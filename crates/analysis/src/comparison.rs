@@ -1,0 +1,192 @@
+//! The Table 2 scheme comparison.
+//!
+//! §5.6 compares, at fixed fanout, (a) Gnutella-style flooding with
+//! duplicate avoidance, (b) the same plus the partial flooding list,
+//! (c) Haas et al.'s GOSSIP1(p, k), and (d) "our scheme" with a decaying
+//! `PF(t)` — reporting total messages per initially-online peer and push
+//! rounds. All four reduce to parameterisations of the §4.2 recursion
+//! (that genericity is the point of the paper's model).
+
+use crate::pf::PfSchedule;
+use crate::push::{PushModel, PushOutcome, PushParams};
+use serde::{Deserialize, Serialize};
+
+/// A dissemination scheme expressible in the push model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Flooding with duplicate avoidance, no partial list, `PF = 1`.
+    Gnutella,
+    /// Flooding with the partial flooding list, `PF = 1`.
+    PartialList,
+    /// GOSSIP1(p, k): flood `k` rounds then forward with probability `p`
+    /// (no partial list — Haas et al. do not use one).
+    Haas {
+        /// Post-flood forwarding probability.
+        p: f64,
+        /// Flooding prefix rounds.
+        k: u32,
+    },
+    /// The paper's scheme: partial list plus a decaying `PF(t)`.
+    Ours {
+        /// The `PF(t)` schedule.
+        pf: PfSchedule,
+    },
+}
+
+impl Scheme {
+    /// The descriptive name used in Table 2.
+    pub fn name(&self) -> String {
+        match self {
+            Self::Gnutella => "Gnutella".to_owned(),
+            Self::PartialList => "Using Partial List".to_owned(),
+            Self::Haas { p, k } => format!("Haas et al.'s G({p},{k})"),
+            Self::Ours { pf } => format!("Our Scheme, {}", pf.label()),
+        }
+    }
+
+    /// Instantiates the §4.2 model for this scheme.
+    pub fn params(&self, total: f64, online: f64, sigma: f64, f_r: f64) -> PushParams {
+        let base = PushParams::new(total, online, sigma, f_r);
+        match *self {
+            Self::Gnutella => base.without_partial_list(),
+            Self::PartialList => base,
+            Self::Haas { p, k } => base
+                .without_partial_list()
+                .with_pf(PfSchedule::FloodThenGossip { p, k }),
+            Self::Ours { pf } => base.with_pf(pf),
+        }
+    }
+}
+
+/// One row of the Table 2 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemeResult {
+    /// Scheme name.
+    pub scheme: String,
+    /// Total messages per initially-online peer.
+    pub messages_per_online: f64,
+    /// Push rounds until termination.
+    pub rounds: u32,
+    /// Final awareness achieved.
+    pub final_awareness: f64,
+    /// Full model output for further inspection.
+    pub outcome: PushOutcome,
+}
+
+/// Runs all schemes under identical environmental parameters.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_analysis::{compare_schemes, PfSchedule, Scheme};
+///
+/// // Table 2, setting B: R_on/R = 10³/10⁴, fanout R·f_r = 40.
+/// let rows = compare_schemes(
+///     &[Scheme::Gnutella, Scheme::Ours { pf: PfSchedule::Exponential { base: 0.9 } }],
+///     10_000.0, 1_000.0, 1.0, 0.004,
+/// );
+/// assert!(rows[1].messages_per_online < rows[0].messages_per_online,
+///         "our scheme beats Gnutella");
+/// ```
+pub fn compare_schemes(
+    schemes: &[Scheme],
+    total: f64,
+    online: f64,
+    sigma: f64,
+    f_r: f64,
+) -> Vec<SchemeResult> {
+    schemes
+        .iter()
+        .map(|s| {
+            let outcome = PushModel::new(s.params(total, online, sigma, f_r)).run();
+            // §5.6: with duplicate avoidance "the total number of messages
+            // created per update will be exactly the average fanout
+            // multiplied by number of peers online" — the paper's Gnutella
+            // row is that closed form; latency still comes from the
+            // recursion.
+            let messages_per_online = match s {
+                Scheme::Gnutella => total * f_r,
+                _ => outcome.messages_per_initial_online(),
+            };
+            SchemeResult {
+                scheme: s.name(),
+                messages_per_online,
+                rounds: outcome.rounds,
+                final_awareness: outcome.final_awareness,
+                outcome,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The paper's "Our Scheme" PF decay base is illegible in the source
+    // scan; 0.95 (setting A) and 0.9 (setting B) best match the printed
+    // numbers (DESIGN.md §3).
+    fn table2_schemes(base: f64) -> Vec<Scheme> {
+        vec![
+            Scheme::Gnutella,
+            Scheme::PartialList,
+            Scheme::Haas { p: 0.8, k: 2 },
+            Scheme::Ours {
+                pf: PfSchedule::Exponential { base },
+            },
+        ]
+    }
+
+    #[test]
+    fn setting_a_ordering_matches_table_2() {
+        // R_on/R = 10^4/10^4, σ = 1, fanout R·f_r = 4.
+        let rows = compare_schemes(&table2_schemes(0.95), 10_000.0, 10_000.0, 1.0, 0.0004);
+        let m: Vec<f64> = rows.iter().map(|r| r.messages_per_online).collect();
+        assert!(m[0] > m[1], "partial list beats Gnutella: {m:?}");
+        assert!(m[1] > m[2], "Haas beats partial list: {m:?}");
+        assert!(m[2] > m[3], "our scheme beats Haas: {m:?}");
+        // Everyone informs (nearly all of) the fully online population;
+        // the exact-expectation recursion leaves an asymptotic tail the
+        // paper's ceiling-capped evaluation snaps to 1.
+        let awareness: Vec<f64> = rows.iter().map(|r| r.final_awareness).collect();
+        assert!(awareness.iter().all(|&a| a > 0.9), "{awareness:?}");
+        // Our scheme pays at most a couple of extra rounds.
+        assert!(rows[3].rounds >= rows[0].rounds);
+        assert!(rows[3].rounds <= rows[0].rounds + 3);
+    }
+
+    #[test]
+    fn setting_a_absolute_values_near_paper() {
+        let rows = compare_schemes(&table2_schemes(0.95), 10_000.0, 10_000.0, 1.0, 0.0004);
+        // Paper: Gnutella 4, partial list 3.92, Haas 3.136, ours 2.215.
+        assert!((rows[0].messages_per_online - 4.0).abs() < 1e-9, "{}", rows[0].messages_per_online);
+        assert!((rows[1].messages_per_online - 3.92).abs() < 0.15, "{}", rows[1].messages_per_online);
+        assert!((rows[2].messages_per_online - 3.136).abs() < 0.4, "{}", rows[2].messages_per_online);
+        assert!((rows[3].messages_per_online - 2.215).abs() < 0.7, "{}", rows[3].messages_per_online);
+    }
+
+    #[test]
+    fn setting_b_ordering_matches_table_2() {
+        // R_on/R = 10^3/10^4, σ = 1, per-pusher messages R·f_r = 40
+        // (expected effective fanout 4).
+        let rows = compare_schemes(&table2_schemes(0.9), 10_000.0, 1_000.0, 1.0, 0.004);
+        let m: Vec<f64> = rows.iter().map(|r| r.messages_per_online).collect();
+        assert!(m[0] > m[1] && m[1] > m[2] && m[2] > m[3], "{m:?}");
+        // Paper: 40, 35.22, 28.49, 16.35.
+        assert!((m[0] - 40.0).abs() < 1e-9, "{m:?}");
+        assert!((m[1] - 35.22).abs() < 4.0, "{m:?}");
+        assert!((m[2] - 28.49).abs() < 4.0, "{m:?}");
+        assert!((m[3] - 16.35).abs() / 16.35 < 0.40, "{m:?}");
+    }
+
+    #[test]
+    fn names_are_table_like() {
+        assert_eq!(Scheme::Gnutella.name(), "Gnutella");
+        assert!(Scheme::Haas { p: 0.8, k: 2 }.name().contains("G(0.8,2)"));
+        assert!(Scheme::Ours {
+            pf: PfSchedule::Exponential { base: 0.9 }
+        }
+        .name()
+        .contains("0.9^t"));
+    }
+}

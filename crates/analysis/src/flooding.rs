@@ -1,0 +1,189 @@
+//! Flooding analysis under Poisson availability (§5.6).
+//!
+//! §5.6 compares the push phase against "simple flooding (like in
+//! Gnutella) and variants": the expected number of attempts needed to
+//! locate online replicas when availability follows a Poisson process,
+//! the geometric-growth message total of pure flooding, and the
+//! fanout-per-online-peer cost of flooding with duplicate avoidance.
+
+/// Poisson probability mass `P(N = k)` for mean `lambda`.
+///
+/// Computed in log space to stay finite for large means.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_analysis::poisson_pmf;
+/// let p0 = poisson_pmf(2.0, 0);
+/// assert!((p0 - (-2.0f64).exp()).abs() < 1e-12);
+/// ```
+pub fn poisson_pmf(lambda: f64, k: u32) -> f64 {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    if lambda == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    let kf = k as f64;
+    (kf * lambda.ln() - lambda - ln_factorial(k)).exp()
+}
+
+fn ln_factorial(k: u32) -> f64 {
+    (1..=k).map(|i| (i as f64).ln()).sum()
+}
+
+/// Expected number of online peers reached by `attempts` uniformly random
+/// probes when `m` of `r` replicas are online: `m · attempts / r` (§5.6).
+pub fn expected_online_reached(m: f64, attempts: f64, r: f64) -> f64 {
+    assert!(r > 0.0, "population must be positive");
+    (m * attempts / r).min(m)
+}
+
+/// Expected number of probe attempts required to reach `targets` online
+/// replicas when each replica is online independently with probability
+/// `p_on` (availability Poisson with mean `p_on · r`).
+///
+/// Conditioning on the online count `m`, reaching `targets` online
+/// replicas takes `targets · r / m` attempts in expectation; the result
+/// marginalises over the Poisson distribution of `m` (zero-online
+/// outcomes are excluded and the mass renormalised).
+pub fn expected_attempts_poisson(targets: f64, r: f64, p_on: f64) -> f64 {
+    assert!(r > 0.0, "population must be positive");
+    assert!((0.0..=1.0).contains(&p_on), "p_on must be a probability");
+    if p_on == 0.0 {
+        return f64::INFINITY;
+    }
+    let lambda = p_on * r;
+    // Sum over a window of ±8 standard deviations around the mean.
+    let sd = lambda.sqrt();
+    let lo = ((lambda - 8.0 * sd).floor().max(1.0)) as u32;
+    let hi = ((lambda + 8.0 * sd).ceil().min(r)) as u32;
+    let mut weighted = 0.0;
+    let mut mass = 0.0;
+    for m in lo..=hi {
+        let p = poisson_pmf(lambda, m);
+        weighted += p * (targets * r / m as f64);
+        mass += p;
+    }
+    if mass <= f64::EPSILON {
+        // Degenerate window (tiny lambda): fall back to the naive form.
+        targets / p_on
+    } else {
+        weighted / mass
+    }
+}
+
+/// Total messages of *pure* flooding: the paper's geometric sum
+/// `1 + (R·f_r) + (R·f_r)² + … + (R·f_r)^T` with
+/// `T = ⌈ln(R_on) / ln(R·f_r)⌉` rounds to cover the online population
+/// (§5.6). Sub-critical fanouts (≤ 1) never cover the population and
+/// return infinity.
+pub fn pure_flooding_messages(r: f64, f_r: f64, online: f64) -> f64 {
+    assert!(r > 0.0 && online > 0.0, "populations must be positive");
+    let fanout = r * f_r;
+    if fanout <= 1.0 {
+        return f64::INFINITY;
+    }
+    let rounds = (online.ln() / fanout.ln()).ceil().max(1.0) as u32;
+    let mut total = 0.0;
+    let mut term = 1.0;
+    for _ in 0..=rounds {
+        total += term;
+        term *= fanout;
+    }
+    total
+}
+
+/// Messages per online peer for Gnutella-style flooding *with* duplicate
+/// avoidance: every informed online peer forwards exactly once to its
+/// fanout, so the cost is the fanout itself (§5.6: "there will be on an
+/// average `[fanout]` messages per online peer").
+pub fn gnutella_messages_per_online_peer(r: f64, f_r: f64) -> f64 {
+    assert!(r > 0.0, "population must be positive");
+    r * f_r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let lambda = 5.0;
+        let total: f64 = (0..100).map(|k| poisson_pmf(lambda, k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+    }
+
+    #[test]
+    fn pmf_mode_near_mean() {
+        let lambda = 20.0;
+        let p19 = poisson_pmf(lambda, 19);
+        let p20 = poisson_pmf(lambda, 20);
+        let p35 = poisson_pmf(lambda, 35);
+        assert!(p20 >= p35);
+        assert!((p19 - p20).abs() / p20 < 0.06, "pmf flat near the mean");
+    }
+
+    #[test]
+    fn pmf_handles_large_lambda() {
+        let p = poisson_pmf(10_000.0, 10_000);
+        assert!(p.is_finite() && p > 0.0);
+    }
+
+    #[test]
+    fn reached_scales_linearly_then_saturates() {
+        assert_eq!(expected_online_reached(100.0, 50.0, 1_000.0), 5.0);
+        assert_eq!(expected_online_reached(100.0, 1e9, 1_000.0), 100.0);
+    }
+
+    #[test]
+    fn attempts_poisson_close_to_naive_for_large_populations() {
+        // With many replicas the Poisson concentrates: E ≈ targets / p_on.
+        let e = expected_attempts_poisson(10.0, 10_000.0, 0.1);
+        let naive = 10.0 / 0.1;
+        assert!((e - naive).abs() / naive < 0.05, "got {e}, naive {naive}");
+    }
+
+    #[test]
+    fn attempts_poisson_infinite_when_nobody_online() {
+        assert!(expected_attempts_poisson(1.0, 100.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn attempts_poisson_more_than_naive_for_small_populations() {
+        // Jensen: E[1/m] > 1/E[m], so small populations cost extra.
+        let e = expected_attempts_poisson(1.0, 50.0, 0.1);
+        assert!(e >= 1.0 / 0.1 * 0.9, "sanity: {e}");
+    }
+
+    #[test]
+    fn pure_flooding_geometric_sum_matches_closed_form() {
+        // Fanout 4, 10^4 online: T = ceil(log_4 10^4) = 7,
+        // sum_{i=0..7} 4^i = (4^8 - 1) / 3.
+        let pure = pure_flooding_messages(10_000.0, 0.0004, 10_000.0);
+        assert!((pure - (4f64.powi(8) - 1.0) / 3.0).abs() < 1e-6, "{pure}");
+        // Enough messages to cover the target population.
+        assert!(pure >= 10_000.0);
+    }
+
+    #[test]
+    fn pure_flooding_subcritical_never_covers() {
+        assert!(pure_flooding_messages(10_000.0, 0.00005, 1_000.0).is_infinite());
+    }
+
+    #[test]
+    fn pure_flooding_monotone_in_online_population() {
+        let small = pure_flooding_messages(10_000.0, 0.0004, 100.0);
+        let large = pure_flooding_messages(10_000.0, 0.0004, 10_000.0);
+        assert!(small < large);
+    }
+
+    #[test]
+    fn gnutella_cost_is_fanout() {
+        assert_eq!(gnutella_messages_per_online_peer(10_000.0, 0.0004), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn pmf_rejects_negative_lambda() {
+        let _ = poisson_pmf(-1.0, 0);
+    }
+}

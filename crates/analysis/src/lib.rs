@@ -1,0 +1,55 @@
+//! The paper's analytical model of the push phase, §4–§5, reimplemented.
+//!
+//! "For the evaluation of the recursive analytical functions a C-program
+//! has been developed" (§5) — this crate is that program, in Rust, plus
+//! the pull-phase probability model (§4.3) and the flooding analysis of
+//! §5.6. Every figure and table of the paper is generated from these
+//! recursions by the `rumor-bench` harness; the discrete simulator in
+//! `rumor-sim` validates them independently.
+//!
+//! # The recursion (§4.2)
+//!
+//! With `R` replicas, initial online population `R_on(0)`, per-round
+//! stay-online probability `σ`, fanout fraction `f_r` and forwarding
+//! probability `PF(t)`:
+//!
+//! ```text
+//! R_on(t)      = R_on(0) · σ^t
+//! pushers(t)   = new_aware(t−1) · σ · PF(t)
+//! M(t)         = pushers(t) · R · f_r · (1 − l'(t−1))      (partial list)
+//!              = pushers(t) · R · f_r                      (no list)
+//! new_aware(t) = R_on(t) · (1 − f_aware(t)) · (1 − (1−f_r)^pushers(t))
+//! l(t)         = 1 − (1−f_r)^(t+1)   truncated at L_thr if configured
+//! L_M(t)       = |U| + R · δ · l(t)
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use rumor_analysis::{PfSchedule, PushModel, PushParams};
+//!
+//! // Fig. 2 setting: R = 10^4, R_on(0) = 1000, σ = 0.9, PF = 1.
+//! let params = PushParams::new(10_000.0, 1_000.0, 0.9, 0.01)
+//!     .with_pf(PfSchedule::One);
+//! let outcome = PushModel::new(params).run();
+//! assert!(outcome.final_awareness > 0.99, "rumor reaches the online population");
+//! assert!(outcome.messages_per_initial_online() > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod comparison;
+mod flooding;
+mod pf;
+mod pull;
+mod push;
+
+pub use comparison::{compare_schemes, Scheme, SchemeResult};
+pub use flooding::{
+    expected_attempts_poisson, expected_online_reached, gnutella_messages_per_online_peer,
+    poisson_pmf, pure_flooding_messages,
+};
+pub use pf::PfSchedule;
+pub use pull::{attempts_for_confidence, pull_success_probability, push_reach_probability};
+pub use push::{PushModel, PushOutcome, PushParams, RoundRow};

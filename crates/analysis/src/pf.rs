@@ -1,0 +1,148 @@
+//! Deterministic `PF(t)` schedules used by the analytical model.
+//!
+//! These mirror `rumor_core::ForwardPolicy`'s deterministic variants (the
+//! self-tuning policy depends on runtime signals and is evaluated by
+//! simulation, not by the closed-form model).
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic forwarding-probability schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PfSchedule {
+    /// `PF(t) = 1` — plain constrained flooding.
+    One,
+    /// `PF(t) = p`.
+    Constant(f64),
+    /// `PF(t) = max(0, 1 − rate·t)`.
+    Linear {
+        /// Per-round decrement.
+        rate: f64,
+    },
+    /// `PF(t) = base^t`.
+    Exponential {
+        /// Decay base.
+        base: f64,
+    },
+    /// `PF(t) = scale·base^t + offset` (Fig. 5).
+    OffsetExponential {
+        /// Multiplier of the decaying term.
+        scale: f64,
+        /// Decay base.
+        base: f64,
+        /// Asymptote.
+        offset: f64,
+    },
+    /// Haas et al. GOSSIP1(p, k): 1 for `t < k`, then `p`.
+    FloodThenGossip {
+        /// Post-flood probability.
+        p: f64,
+        /// Flooding prefix length.
+        k: u32,
+    },
+}
+
+impl PfSchedule {
+    /// Evaluates the schedule at round `t`, clamped to `[0, 1]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rumor_analysis::PfSchedule;
+    /// assert_eq!(PfSchedule::One.value(9), 1.0);
+    /// assert!((PfSchedule::Exponential { base: 0.9 }.value(2) - 0.81).abs() < 1e-12);
+    /// ```
+    pub fn value(&self, t: u32) -> f64 {
+        let tf = t as f64;
+        let p = match *self {
+            Self::One => 1.0,
+            Self::Constant(p) => p,
+            Self::Linear { rate } => 1.0 - rate * tf,
+            Self::Exponential { base } => base.powf(tf),
+            Self::OffsetExponential {
+                scale,
+                base,
+                offset,
+            } => scale * base.powf(tf) + offset,
+            Self::FloodThenGossip { p, k } => {
+                if t < k {
+                    1.0
+                } else {
+                    p
+                }
+            }
+        };
+        p.clamp(0.0, 1.0)
+    }
+
+    /// A short human-readable label for plots and tables.
+    pub fn label(&self) -> String {
+        match *self {
+            Self::One => "PF=1".to_owned(),
+            Self::Constant(p) => format!("PF={p}"),
+            Self::Linear { rate } => format!("PF(t)=1-{rate}t"),
+            Self::Exponential { base } => format!("PF(t)={base}^t"),
+            Self::OffsetExponential {
+                scale,
+                base,
+                offset,
+            } => format!("PF(t)={scale}*{base}^t+{offset}"),
+            Self::FloodThenGossip { p, k } => format!("G({p},{k})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_4_schedules() {
+        assert_eq!(PfSchedule::One.value(5), 1.0);
+        assert_eq!(PfSchedule::Constant(0.8).value(5), 0.8);
+        assert!((PfSchedule::Linear { rate: 0.1 }.value(3) - 0.7).abs() < 1e-12);
+        assert_eq!(PfSchedule::Linear { rate: 0.1 }.value(20), 0.0);
+        assert!((PfSchedule::Exponential { base: 0.5 }.value(3) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure_5_schedule() {
+        let pf = PfSchedule::OffsetExponential {
+            scale: 0.8,
+            base: 0.7,
+            offset: 0.2,
+        };
+        assert!((pf.value(0) - 1.0).abs() < 1e-12);
+        assert!(pf.value(30) > 0.2 - 1e-9);
+    }
+
+    #[test]
+    fn haas_schedule_switches() {
+        let pf = PfSchedule::FloodThenGossip { p: 0.8, k: 2 };
+        assert_eq!(pf.value(1), 1.0);
+        assert_eq!(pf.value(2), 0.8);
+    }
+
+    #[test]
+    fn values_clamped() {
+        assert_eq!(PfSchedule::Constant(1.7).value(0), 1.0);
+        assert_eq!(PfSchedule::Constant(-0.5).value(0), 0.0);
+    }
+
+    #[test]
+    fn labels_are_distinct_and_nonempty() {
+        let labels: Vec<String> = [
+            PfSchedule::One,
+            PfSchedule::Constant(0.8),
+            PfSchedule::Linear { rate: 0.1 },
+            PfSchedule::Exponential { base: 0.9 },
+            PfSchedule::FloodThenGossip { p: 0.8, k: 2 },
+        ]
+        .iter()
+        .map(PfSchedule::label)
+        .collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+        assert!(labels.iter().all(|l| !l.is_empty()));
+    }
+}

@@ -1,0 +1,133 @@
+//! Pull-phase probability model (§4.3).
+
+/// Probability that a replica obtains the update within `attempts` pull
+/// attempts, when `f_aware` of the `r_on` online replicas (out of `r`
+/// total) hold it:
+///
+/// `1 − (1 − R_on · f_aware / R)^k` (§4.3).
+///
+/// Each attempt contacts a uniformly random replica, which helps only if
+/// it is online *and* aware.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_analysis::pull_success_probability;
+/// // 10% online, all aware: one attempt succeeds 10% of the time.
+/// let p1 = pull_success_probability(1_000.0, 10_000.0, 1.0, 1);
+/// assert!((p1 - 0.1).abs() < 1e-12);
+/// // "a constant number of pull attempts should give the update with
+/// // high probability" — 65 attempts ≈ 99.9%.
+/// let p65 = pull_success_probability(1_000.0, 10_000.0, 1.0, 65);
+/// assert!(p65 > 0.998);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `r` is not positive or the populations are inconsistent.
+pub fn pull_success_probability(r_on: f64, r: f64, f_aware: f64, attempts: u32) -> f64 {
+    assert!(r > 0.0, "total population must be positive");
+    assert!((0.0..=r).contains(&r_on), "0 <= R_on <= R required");
+    let hit = (r_on * f_aware.clamp(0.0, 1.0) / r).clamp(0.0, 1.0);
+    1.0 - (1.0 - hit).powi(attempts as i32)
+}
+
+/// Number of pull attempts needed to reach `confidence` success
+/// probability given a single-attempt hit probability `p_single`.
+///
+/// Returns `None` when `p_single` is zero (no number of attempts helps).
+///
+/// # Examples
+///
+/// ```
+/// use rumor_analysis::attempts_for_confidence;
+/// // 10% hit rate, 99.9% confidence: the paper's "about 65 attempts".
+/// assert_eq!(attempts_for_confidence(0.1, 0.999), Some(66));
+/// ```
+pub fn attempts_for_confidence(p_single: f64, confidence: f64) -> Option<u32> {
+    let p = p_single.clamp(0.0, 1.0);
+    let c = confidence.clamp(0.0, 1.0);
+    if p == 0.0 {
+        return None;
+    }
+    if p >= 1.0 || c == 0.0 {
+        return Some(1);
+    }
+    Some(((1.0 - c).ln() / (1.0 - p).ln()).ceil().max(1.0) as u32)
+}
+
+/// Probability that a replica online *during* the push receives a push in
+/// the current round (§4.3's "worst case" refinement): `pushers` peers
+/// each address an `f_r` fraction, diluted by the partial-list factor
+/// `(1 − l)`:
+///
+/// `1 − (1 − f_r · (1 − l))^pushers`.
+pub fn push_reach_probability(pushers: f64, f_r: f64, list_len: f64) -> f64 {
+    let per = (f_r.clamp(0.0, 1.0) * (1.0 - list_len.clamp(0.0, 1.0))).clamp(0.0, 1.0);
+    1.0 - (1.0 - per).powf(pushers.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_awareness_never_succeeds() {
+        assert_eq!(pull_success_probability(1000.0, 10_000.0, 0.0, 100), 0.0);
+    }
+
+    #[test]
+    fn probability_increases_with_attempts() {
+        let mut prev = 0.0;
+        for k in 1..50 {
+            let p = pull_success_probability(1000.0, 10_000.0, 0.5, k);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn full_availability_and_awareness_single_attempt() {
+        assert!((pull_success_probability(100.0, 100.0, 1.0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn papers_sixty_five_attempts_intuition() {
+        // §2: "a serial search will need about 65 attempts" for 99.9%
+        // success at 10% availability.
+        let attempts = attempts_for_confidence(0.1, 0.999).unwrap();
+        assert!((60..=70).contains(&attempts), "got {attempts}");
+    }
+
+    #[test]
+    fn attempts_edge_cases() {
+        assert_eq!(attempts_for_confidence(0.0, 0.9), None);
+        assert_eq!(attempts_for_confidence(1.0, 0.9), Some(1));
+        assert_eq!(attempts_for_confidence(0.5, 0.0), Some(1));
+    }
+
+    #[test]
+    fn push_reach_zero_pushers_is_zero() {
+        assert_eq!(push_reach_probability(0.0, 0.01, 0.0), 0.0);
+    }
+
+    #[test]
+    fn push_reach_monotone_in_pushers() {
+        let a = push_reach_probability(10.0, 0.01, 0.0);
+        let b = push_reach_probability(100.0, 0.01, 0.0);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn longer_list_dilutes_push_reach() {
+        let fresh = push_reach_probability(50.0, 0.01, 0.0);
+        let late = push_reach_probability(50.0, 0.01, 0.9);
+        assert!(late < fresh);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_population() {
+        let _ = pull_success_probability(0.0, 0.0, 1.0, 1);
+    }
+}

@@ -1,0 +1,419 @@
+//! The push-phase recursion of §4.2.
+
+use crate::pf::PfSchedule;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a push-phase evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PushParams {
+    /// Total replicas `R`.
+    pub total_replicas: f64,
+    /// Initially online replicas `R_on(0)`.
+    pub online_initial: f64,
+    /// Per-round stay-online probability `σ`.
+    pub sigma: f64,
+    /// Fanout fraction `f_r`.
+    pub f_r: f64,
+    /// Forwarding probability schedule `PF(t)`.
+    pub pf: PfSchedule,
+    /// Whether pushes carry the partial flooding list.
+    pub partial_list: bool,
+    /// Normalised list bound `L_thr` (§4.2); `None` = unbounded.
+    pub list_threshold: Option<f64>,
+    /// Update payload size `|U|` in bytes (message-length model).
+    pub update_size: f64,
+    /// Bytes per replica entry `δ` (message-length model).
+    pub delta: f64,
+    /// Hard cap on evaluated rounds.
+    pub max_rounds: u32,
+    /// Awareness fraction at which the push is declared complete.
+    pub awareness_target: f64,
+    /// Expected new-aware count below which the rumor is declared dead.
+    pub min_new_aware: f64,
+    /// Awareness below which a terminated push counts as *died* (Fig. 1(a)
+    /// regime) rather than saturated-with-a-tail.
+    pub died_threshold: f64,
+}
+
+impl PushParams {
+    /// Creates parameters with the paper's defaults: partial list on,
+    /// `PF = 1`, no truncation, 64-byte updates, 4-byte replica entries,
+    /// completion at 99.99% awareness.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < online_initial ≤ total_replicas`,
+    /// `0 < f_r ≤ 1` and `0 ≤ sigma ≤ 1` — the model's equations are
+    /// meaningless outside those ranges.
+    pub fn new(total_replicas: f64, online_initial: f64, sigma: f64, f_r: f64) -> Self {
+        assert!(
+            total_replicas >= 1.0 && online_initial > 0.0 && online_initial <= total_replicas,
+            "population must satisfy 0 < R_on(0) <= R"
+        );
+        assert!(f_r > 0.0 && f_r <= 1.0, "f_r must be in (0, 1]");
+        assert!((0.0..=1.0).contains(&sigma), "sigma must be in [0, 1]");
+        Self {
+            total_replicas,
+            online_initial,
+            sigma,
+            f_r,
+            pf: PfSchedule::One,
+            partial_list: true,
+            list_threshold: None,
+            update_size: 64.0,
+            delta: 4.0,
+            max_rounds: 200,
+            awareness_target: 0.9999,
+            min_new_aware: 0.5,
+            died_threshold: 0.9,
+        }
+    }
+
+    /// Sets the `PF(t)` schedule.
+    #[must_use]
+    pub fn with_pf(mut self, pf: PfSchedule) -> Self {
+        self.pf = pf;
+        self
+    }
+
+    /// Disables the partial flooding list (Gnutella-style accounting).
+    #[must_use]
+    pub fn without_partial_list(mut self) -> Self {
+        self.partial_list = false;
+        self
+    }
+
+    /// Bounds the normalised list length at `l_thr` (§4.2).
+    #[must_use]
+    pub fn with_list_threshold(mut self, l_thr: f64) -> Self {
+        self.list_threshold = Some(l_thr.clamp(0.0, 1.0));
+        self
+    }
+}
+
+/// One row of the model output — one push round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundRow {
+    /// Round number `t`.
+    pub t: u32,
+    /// Online population `R_on(t)`.
+    pub online: f64,
+    /// Replicas that decided to push this round.
+    pub pushers: f64,
+    /// Messages sent this round, `M(t)` (includes offline targets).
+    pub messages: f64,
+    /// Cumulative messages through this round.
+    pub cum_messages: f64,
+    /// New online replicas informed this round.
+    pub new_aware: f64,
+    /// Aware fraction of the online population *after* this round.
+    pub f_aware: f64,
+    /// Normalised partial-list length carried by this round's messages.
+    pub list_len: f64,
+    /// Message length `L_M(t)` in bytes.
+    pub message_bytes: f64,
+}
+
+/// Result of evaluating the push model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PushOutcome {
+    /// Per-round rows, starting at `t = 0`.
+    pub rows: Vec<RoundRow>,
+    /// Total messages over all rounds.
+    pub total_messages: f64,
+    /// Number of rounds in which messages were sent.
+    pub rounds: u32,
+    /// Final aware fraction of the online population.
+    pub final_awareness: f64,
+    /// `true` when the rumor terminated below `died_threshold` awareness
+    /// (the Fig. 1(a) too-few-peers regime).
+    pub died: bool,
+    /// The parameters that produced this outcome.
+    pub params: PushParams,
+}
+
+impl PushOutcome {
+    /// The paper's headline metric: total messages normalised by the
+    /// initial online population (`y` axis of Figs. 1–5).
+    pub fn messages_per_initial_online(&self) -> f64 {
+        self.total_messages / self.params.online_initial
+    }
+
+    /// `(f_aware, cumulative messages / R_on(0))` pairs — the exact series
+    /// plotted in the paper's figures.
+    pub fn awareness_cost_series(&self) -> Vec<(f64, f64)> {
+        self.rows
+            .iter()
+            .map(|r| (r.f_aware, r.cum_messages / self.params.online_initial))
+            .collect()
+    }
+}
+
+/// Evaluator for the §4.2 recursion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PushModel {
+    params: PushParams,
+}
+
+impl PushModel {
+    /// Wraps validated parameters.
+    pub fn new(params: PushParams) -> Self {
+        Self { params }
+    }
+
+    /// Runs the recursion to termination.
+    ///
+    /// Termination (§4.2's ceiling handling plus practical cut-offs):
+    /// awareness reaches `awareness_target`, the expected number of newly
+    /// informed replicas falls below `min_new_aware` (rumor died or
+    /// saturated), or `max_rounds` elapses.
+    pub fn run(&self) -> PushOutcome {
+        let p = self.params;
+        let r = p.total_replicas;
+        let mut rows = Vec::new();
+
+        // The normalised list length actually carried in round-t messages;
+        // truncation clamps it (§4.2).
+        let clamp_list = |l: f64| p.list_threshold.map_or(l, |thr| l.min(thr));
+
+        // Round 0: the initiator pushes to f_r·R replicas.
+        let m0 = r * p.f_r;
+        let mut online = p.online_initial;
+        let mut new_aware = online * p.f_r;
+        let mut f_aware = p.f_r.min(1.0);
+        let mut list_len = clamp_list(if p.partial_list { p.f_r } else { 0.0 });
+        let mut cum = m0;
+        rows.push(RoundRow {
+            t: 0,
+            online,
+            pushers: 1.0,
+            messages: m0,
+            cum_messages: cum,
+            new_aware,
+            f_aware,
+            list_len,
+            message_bytes: p.update_size + r * p.delta * list_len,
+        });
+
+        let mut t = 1u32;
+        loop {
+            if f_aware >= p.awareness_target {
+                break;
+            }
+            if t > p.max_rounds {
+                break;
+            }
+            // Churn between rounds.
+            online *= p.sigma;
+            if online < 1.0 {
+                break;
+            }
+
+            let pf = p.pf.value(t);
+            let pushers = new_aware * p.sigma * pf;
+            if pushers <= f64::EPSILON {
+                break;
+            }
+
+            // Messages: each pusher addresses R·f_r targets minus the ones
+            // its (possibly truncated) list of round t−1 already covers.
+            let suppression = if p.partial_list { 1.0 - list_len } else { 1.0 };
+            let messages = pushers * r * p.f_r * suppression;
+
+            // Outgoing list of this round: l(t) = l'(t−1) + f_r(1−l'(t−1)).
+            if p.partial_list {
+                list_len = clamp_list(list_len + p.f_r * (1.0 - list_len));
+            }
+
+            // Newly informed online replicas.
+            let uninformed = online * (1.0 - f_aware);
+            new_aware = uninformed * (1.0 - (1.0 - p.f_r).powf(pushers));
+            // Ceiling handling: awareness cannot exceed 1.
+            if new_aware > uninformed {
+                new_aware = uninformed;
+            }
+            f_aware = ((f_aware * online + new_aware) / online).min(1.0);
+
+            cum += messages;
+            rows.push(RoundRow {
+                t,
+                online,
+                pushers,
+                messages,
+                cum_messages: cum,
+                new_aware,
+                f_aware,
+                list_len,
+                message_bytes: p.update_size + r * p.delta * list_len,
+            });
+
+            if new_aware < p.min_new_aware {
+                break;
+            }
+            t += 1;
+        }
+
+        let died = f_aware < p.died_threshold;
+        PushOutcome {
+            rounds: rows.len() as u32,
+            total_messages: cum,
+            final_awareness: f_aware,
+            died,
+            rows,
+            params: p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(params: PushParams) -> PushOutcome {
+        PushModel::new(params).run()
+    }
+
+    #[test]
+    fn round_zero_matches_closed_form() {
+        let p = PushParams::new(10_000.0, 1_000.0, 0.9, 0.01);
+        let out = run(p);
+        let r0 = out.rows[0];
+        assert_eq!(r0.messages, 100.0, "M(0) = R·f_r");
+        assert_eq!(r0.new_aware, 10.0, "R_on(0)·f_r");
+        assert!((r0.f_aware - 0.01).abs() < 1e-12);
+        assert!((r0.list_len - 0.01).abs() < 1e-12);
+        assert!((r0.message_bytes - (64.0 + 10_000.0 * 4.0 * 0.01)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_one_matches_paper_formula() {
+        // M(1) = R_on(0)·f_r·σ·PF(1)·R·f_r·(1−f_r).
+        let p = PushParams::new(10_000.0, 1_000.0, 0.9, 0.01);
+        let out = run(p);
+        let expected = 1_000.0 * 0.01 * 0.9 * 1.0 * 10_000.0 * 0.01 * 0.99;
+        assert!(
+            (out.rows[1].messages - expected).abs() < 1e-9,
+            "got {}, want {expected}",
+            out.rows[1].messages
+        );
+    }
+
+    #[test]
+    fn list_length_follows_induction() {
+        // l(t) = 1 − (1−f_r)^(t+1) — the induction proved in §4.2.
+        let p = PushParams::new(10_000.0, 10_000.0, 1.0, 0.01);
+        let out = run(p);
+        for row in &out.rows {
+            let closed = 1.0 - (1.0 - 0.01f64).powi(row.t as i32 + 1);
+            assert!(
+                (row.list_len - closed).abs() < 1e-9,
+                "t={} got {} want {closed}",
+                row.t,
+                row.list_len
+            );
+        }
+    }
+
+    #[test]
+    fn awareness_is_monotone_and_bounded() {
+        let p = PushParams::new(10_000.0, 1_000.0, 0.9, 0.01);
+        let out = run(p);
+        let mut prev = 0.0;
+        for row in &out.rows {
+            assert!(row.f_aware >= prev);
+            assert!(row.f_aware <= 1.0);
+            assert!(row.messages >= 0.0);
+            prev = row.f_aware;
+        }
+    }
+
+    #[test]
+    fn healthy_population_reaches_target() {
+        let p = PushParams::new(10_000.0, 1_000.0, 0.95, 0.01);
+        let out = run(p);
+        assert!(!out.died);
+        // The exact-expectation recursion has an asymptotic tail: the push
+        // informs (nearly) the whole online population, the last sliver is
+        // the pull phase's job.
+        assert!(out.final_awareness >= 0.95, "got {}", out.final_awareness);
+    }
+
+    #[test]
+    fn tiny_online_population_dies_out() {
+        // Fig. 1(a): 1% online with f_r = 0.01 → effective fanout ≈ 1·σ < 1.
+        let p = PushParams::new(10_000.0, 100.0, 0.95, 0.01);
+        let out = run(p);
+        assert!(out.died, "rumor must die: awareness {}", out.final_awareness);
+        assert!(out.final_awareness < 0.9);
+    }
+
+    #[test]
+    fn partial_list_strictly_reduces_messages() {
+        let base = PushParams::new(10_000.0, 1_000.0, 0.95, 0.01);
+        let with = run(base);
+        let without = run(base.without_partial_list());
+        assert!(with.total_messages < without.total_messages);
+        // Awareness is unaffected by the list (it only trims duplicates).
+        assert!((with.final_awareness - without.final_awareness).abs() < 1e-6);
+    }
+
+    #[test]
+    fn truncated_list_sits_between_none_and_full() {
+        let base = PushParams::new(10_000.0, 1_000.0, 1.0, 0.02);
+        let full = run(base).total_messages;
+        let none = run(base.without_partial_list()).total_messages;
+        let trunc = run(base.with_list_threshold(0.05)).total_messages;
+        assert!(full < trunc, "truncation loses suppression: {full} !< {trunc}");
+        assert!(trunc < none, "truncated list still helps: {trunc} !< {none}");
+    }
+
+    #[test]
+    fn lower_pf_reduces_messages_without_losing_coverage() {
+        // Fig. 4's observation.
+        let base = PushParams::new(10_000.0, 1_000.0, 0.9, 0.01);
+        let always = run(base);
+        let decayed = run(base.with_pf(PfSchedule::Exponential { base: 0.9 }));
+        assert!(decayed.total_messages < always.total_messages);
+        assert!(!decayed.died, "awareness {}", decayed.final_awareness);
+        assert!(decayed.rounds >= always.rounds, "latency trade-off");
+    }
+
+    #[test]
+    fn sigma_one_keeps_population_constant() {
+        let p = PushParams::new(1_000.0, 1_000.0, 1.0, 0.01);
+        let out = run(p);
+        assert!(out.rows.iter().all(|r| (r.online - 1_000.0).abs() < 1e-9));
+        assert!(!out.died);
+    }
+
+    #[test]
+    fn messages_per_initial_online_normalises() {
+        let p = PushParams::new(10_000.0, 1_000.0, 0.95, 0.01);
+        let out = run(p);
+        assert!(
+            (out.messages_per_initial_online() - out.total_messages / 1_000.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn series_is_plottable() {
+        let p = PushParams::new(10_000.0, 1_000.0, 0.95, 0.01);
+        let out = run(p);
+        let series = out.awareness_cost_series();
+        assert_eq!(series.len(), out.rows.len());
+        assert!(series.windows(2).all(|w| w[0].0 <= w[1].0), "x monotone");
+        assert!(series.windows(2).all(|w| w[0].1 <= w[1].1), "y monotone");
+    }
+
+    #[test]
+    #[should_panic(expected = "f_r")]
+    fn rejects_bad_fanout() {
+        let _ = PushParams::new(100.0, 10.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn rejects_online_exceeding_total() {
+        let _ = PushParams::new(100.0, 200.0, 1.0, 0.1);
+    }
+}

@@ -1,0 +1,411 @@
+//! The Demers et al. epidemic repertoire (§7.2): anti-entropy and rumor
+//! mongering.
+//!
+//! "Randomised rumor spreading algorithms may be categorized by the
+//! gossip termination decision criteria used by peers": *feedback* vs
+//! *blind* loss of interest, and *probabilistic* (coin) vs
+//! *deterministic* (counter) stopping. [`RumorMongerNode`] implements all
+//! four combinations; [`AntiEntropyNode`] is the pull/push-pull
+//! reconciliation baseline the paper's own pull phase descends from.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rumor_net::{Effect, Node};
+use rumor_types::{PeerId, Round, UpdateId};
+use std::collections::{HashMap, HashSet};
+
+/// Messages of the Demers baselines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DemersMsg {
+    /// Anti-entropy request carrying the sender's rumor set.
+    Digest {
+        /// Rumors the sender knows.
+        known: Vec<UpdateId>,
+        /// Whether the receiver should answer (pull) — push-pull sets it.
+        reply: bool,
+    },
+    /// A pushed rumor (rumor mongering).
+    Rumor {
+        /// The rumor.
+        rumor: UpdateId,
+    },
+    /// Feedback to a pushed rumor: did the receiver already know it?
+    Feedback {
+        /// The rumor being acknowledged.
+        rumor: UpdateId,
+        /// `true` when the receiver had already heard it.
+        already_knew: bool,
+    },
+}
+
+/// Anti-entropy (§7.2 / Demers): every round each online node exchanges
+/// its rumor set with one random partner; with `push_pull` the partner
+/// also learns the initiator's rumors.
+#[derive(Debug, Clone)]
+pub struct AntiEntropyNode {
+    id: PeerId,
+    peers: Vec<PeerId>,
+    rumors: HashSet<UpdateId>,
+    push_pull: bool,
+}
+
+impl AntiEntropyNode {
+    /// Creates a node knowing the given peers.
+    pub fn new(id: u32, peers: Vec<PeerId>, push_pull: bool) -> Self {
+        Self {
+            id: PeerId::new(id),
+            peers,
+            rumors: HashSet::new(),
+            push_pull,
+        }
+    }
+
+    /// Convenience: node `id` of a fully-connected population.
+    pub fn fully_connected(id: u32, population: usize, push_pull: bool) -> Self {
+        let peers = (0..population as u32)
+            .filter(|&j| j != id)
+            .map(PeerId::new)
+            .collect();
+        Self::new(id, peers, push_pull)
+    }
+
+    /// Whether the node knows the rumor.
+    pub fn knows(&self, rumor: UpdateId) -> bool {
+        self.rumors.contains(&rumor)
+    }
+
+    /// Seeds a rumor locally (no immediate sends — anti-entropy spreads
+    /// via the per-round exchanges).
+    pub fn seed_rumor(&mut self, rumor: UpdateId) -> Vec<Effect<DemersMsg>> {
+        self.rumors.insert(rumor);
+        Vec::new()
+    }
+}
+
+impl Node for AntiEntropyNode {
+    type Msg = DemersMsg;
+
+    fn id(&self) -> PeerId {
+        self.id
+    }
+
+    fn on_round_start(&mut self, _round: Round, rng: &mut ChaCha8Rng) -> Vec<Effect<DemersMsg>> {
+        let Some(&partner) = self.peers.choose(rng) else {
+            return Vec::new();
+        };
+        vec![Effect::send(
+            partner,
+            DemersMsg::Digest {
+                known: self.rumors.iter().copied().collect(),
+                reply: true,
+            },
+        )]
+    }
+
+    fn on_message(
+        &mut self,
+        from: PeerId,
+        msg: DemersMsg,
+        _round: Round,
+        _rng: &mut ChaCha8Rng,
+    ) -> Vec<Effect<DemersMsg>> {
+        match msg {
+            DemersMsg::Digest { known, reply } => {
+                let their: HashSet<UpdateId> = known.iter().copied().collect();
+                // A response (reply == false) carries the rumors we asked
+                // for — always absorb it. A request is absorbed only in
+                // push-pull mode.
+                if self.push_pull || !reply {
+                    self.rumors.extend(their.iter().copied());
+                }
+                if reply {
+                    let missing: Vec<UpdateId> = self
+                        .rumors
+                        .iter()
+                        .copied()
+                        .filter(|r| !their.contains(r))
+                        .collect();
+                    if !missing.is_empty() || self.push_pull {
+                        return vec![Effect::send(
+                            from,
+                            DemersMsg::Digest {
+                                known: missing,
+                                reply: false,
+                            },
+                        )];
+                    }
+                }
+                Vec::new()
+            }
+            DemersMsg::Rumor { .. } | DemersMsg::Feedback { .. } => Vec::new(),
+        }
+    }
+}
+
+/// When a rumor-mongering node loses interest in a hot rumor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MongerStop {
+    /// Coin: lose interest with probability `1/k` per triggering event.
+    Coin {
+        /// Inverse loss probability.
+        k: u32,
+    },
+    /// Counter: lose interest after `k` triggering events.
+    Counter {
+        /// Event budget.
+        k: u32,
+    },
+}
+
+use serde::{Deserialize, Serialize};
+
+/// Rumor-mongering configuration: feedback-driven or blind, coin or
+/// counter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MongerConfig {
+    /// `true`: the stop rule triggers on "recipient already knew"
+    /// feedback; `false` (blind): it triggers on every send.
+    pub feedback: bool,
+    /// Coin or counter stop rule.
+    pub stop: MongerStop,
+}
+
+/// Demers-style push rumor mongering: while a rumor is *hot* the node
+/// pushes it to one random peer per round; interest is lost per the
+/// configured rule.
+#[derive(Debug, Clone)]
+pub struct RumorMongerNode {
+    id: PeerId,
+    peers: Vec<PeerId>,
+    config: MongerConfig,
+    known: HashSet<UpdateId>,
+    hot: HashSet<UpdateId>,
+    counters: HashMap<UpdateId, u32>,
+}
+
+impl RumorMongerNode {
+    /// Creates a node knowing the given peers.
+    pub fn new(id: u32, peers: Vec<PeerId>, config: MongerConfig) -> Self {
+        Self {
+            id: PeerId::new(id),
+            peers,
+            config,
+            known: HashSet::new(),
+            hot: HashSet::new(),
+            counters: HashMap::new(),
+        }
+    }
+
+    /// Convenience: node `id` of a fully-connected population.
+    pub fn fully_connected(id: u32, population: usize, config: MongerConfig) -> Self {
+        let peers = (0..population as u32)
+            .filter(|&j| j != id)
+            .map(PeerId::new)
+            .collect();
+        Self::new(id, peers, config)
+    }
+
+    /// Whether the node knows the rumor.
+    pub fn knows(&self, rumor: UpdateId) -> bool {
+        self.known.contains(&rumor)
+    }
+
+    /// Whether the node is still actively spreading the rumor.
+    pub fn is_hot(&self, rumor: UpdateId) -> bool {
+        self.hot.contains(&rumor)
+    }
+
+    /// Seeds a rumor at this node, marking it hot.
+    pub fn seed_rumor(&mut self, rumor: UpdateId) -> Vec<Effect<DemersMsg>> {
+        self.known.insert(rumor);
+        self.hot.insert(rumor);
+        Vec::new()
+    }
+
+    fn maybe_lose_interest(&mut self, rumor: UpdateId, rng: &mut ChaCha8Rng) {
+        match self.config.stop {
+            MongerStop::Coin { k } => {
+                if k <= 1 || rng.gen_ratio(1, k) {
+                    self.hot.remove(&rumor);
+                }
+            }
+            MongerStop::Counter { k } => {
+                let c = self.counters.entry(rumor).or_insert(0);
+                *c += 1;
+                if *c >= k {
+                    self.hot.remove(&rumor);
+                }
+            }
+        }
+    }
+}
+
+impl Node for RumorMongerNode {
+    type Msg = DemersMsg;
+
+    fn id(&self) -> PeerId {
+        self.id
+    }
+
+    fn on_round_start(&mut self, _round: Round, rng: &mut ChaCha8Rng) -> Vec<Effect<DemersMsg>> {
+        let hot: Vec<UpdateId> = self.hot.iter().copied().collect();
+        let mut effects = Vec::new();
+        for rumor in hot {
+            if let Some(&partner) = self.peers.choose(rng) {
+                effects.push(Effect::send(partner, DemersMsg::Rumor { rumor }));
+                if !self.config.feedback {
+                    // Blind: the stop rule ticks on every send.
+                    self.maybe_lose_interest(rumor, rng);
+                }
+            }
+        }
+        effects
+    }
+
+    fn on_message(
+        &mut self,
+        from: PeerId,
+        msg: DemersMsg,
+        _round: Round,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Effect<DemersMsg>> {
+        match msg {
+            DemersMsg::Rumor { rumor } => {
+                let already_knew = !self.known.insert(rumor);
+                if !already_knew {
+                    self.hot.insert(rumor);
+                }
+                if self.config.feedback {
+                    vec![Effect::send(from, DemersMsg::Feedback { rumor, already_knew })]
+                } else {
+                    Vec::new()
+                }
+            }
+            DemersMsg::Feedback { rumor, already_knew } => {
+                if self.config.feedback && already_knew {
+                    self.maybe_lose_interest(rumor, rng);
+                }
+                Vec::new()
+            }
+            DemersMsg::Digest { .. } => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::BaselineSim;
+
+    fn rumor() -> UpdateId {
+        UpdateId::from_bits(7)
+    }
+
+    #[test]
+    fn anti_entropy_pull_converges() {
+        let nodes: Vec<AntiEntropyNode> = (0..60)
+            .map(|i| AntiEntropyNode::fully_connected(i, 60, false))
+            .collect();
+        let mut sim = BaselineSim::new(nodes, 60, 3);
+        sim.seed(0, |n, _| n.seed_rumor(rumor()));
+        sim.run_rounds(40);
+        let aware = sim.aware_fraction(|n| n.knows(rumor()));
+        assert!(aware > 0.95, "anti-entropy converges, got {aware}");
+    }
+
+    #[test]
+    fn push_pull_faster_than_pull_only() {
+        let run = |push_pull: bool| {
+            let nodes: Vec<AntiEntropyNode> = (0..80)
+                .map(|i| AntiEntropyNode::fully_connected(i, 80, push_pull))
+                .collect();
+            let mut sim = BaselineSim::new(nodes, 80, 5);
+            sim.seed(0, |n, _| n.seed_rumor(rumor()));
+            let mut rounds = 0;
+            while sim.aware_fraction(|n| n.knows(rumor())) < 0.9 && rounds < 200 {
+                sim.step();
+                rounds += 1;
+            }
+            rounds
+        };
+        assert!(
+            run(true) <= run(false),
+            "push-pull cannot be slower than pull-only"
+        );
+    }
+
+    #[test]
+    fn monger_feedback_coin_covers_population() {
+        let config = MongerConfig {
+            feedback: true,
+            stop: MongerStop::Coin { k: 4 },
+        };
+        let nodes: Vec<RumorMongerNode> = (0..100)
+            .map(|i| RumorMongerNode::fully_connected(i, 100, config))
+            .collect();
+        let mut sim = BaselineSim::new(nodes, 100, 9);
+        sim.seed(0, |n, _| n.seed_rumor(rumor()));
+        sim.run_rounds(100);
+        let aware = sim.aware_fraction(|n| n.knows(rumor()));
+        assert!(aware > 0.9, "rumor mongering covers most peers, got {aware}");
+    }
+
+    #[test]
+    fn monger_counter_eventually_goes_cold() {
+        let config = MongerConfig {
+            feedback: false,
+            stop: MongerStop::Counter { k: 3 },
+        };
+        let nodes: Vec<RumorMongerNode> = (0..50)
+            .map(|i| RumorMongerNode::fully_connected(i, 50, config))
+            .collect();
+        let mut sim = BaselineSim::new(nodes, 50, 13);
+        sim.seed(0, |n, _| n.seed_rumor(rumor()));
+        sim.run_rounds(60);
+        let hot = sim.aware_fraction(|n| n.is_hot(rumor()));
+        assert_eq!(hot, 0.0, "blind counter mongering terminates");
+    }
+
+    #[test]
+    fn blind_coin_sends_fewer_messages_than_feedback_for_same_k() {
+        let run = |feedback: bool| {
+            let config = MongerConfig {
+                feedback,
+                stop: MongerStop::Coin { k: 3 },
+            };
+            let nodes: Vec<RumorMongerNode> = (0..80)
+                .map(|i| RumorMongerNode::fully_connected(i, 80, config))
+                .collect();
+            let mut sim = BaselineSim::new(nodes, 80, 17);
+            sim.seed(0, |n, _| n.seed_rumor(rumor()));
+            sim.run_rounds(120);
+            sim.messages()
+        };
+        // Blind loses interest on every send; feedback only on "already
+        // knew" replies, so it stays hot longer and sends more.
+        assert!(run(false) < run(true));
+    }
+
+    #[test]
+    fn feedback_messages_include_acks() {
+        let config = MongerConfig {
+            feedback: true,
+            stop: MongerStop::Coin { k: 2 },
+        };
+        let mut a = RumorMongerNode::fully_connected(0, 2, config);
+        let mut rng = rand::SeedableRng::seed_from_u64(1);
+        a.seed_rumor(rumor());
+        let mut b = RumorMongerNode::fully_connected(1, 2, config);
+        let fb = b.on_message(PeerId::new(0), DemersMsg::Rumor { rumor: rumor() }, Round::ZERO, &mut rng);
+        assert!(matches!(
+            fb[..],
+            [Effect::Send {
+                msg: DemersMsg::Feedback { already_knew: false, .. },
+                ..
+            }]
+        ));
+        assert!(b.knows(rumor()));
+        assert!(b.is_hot(rumor()));
+    }
+}

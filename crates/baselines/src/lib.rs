@@ -1,0 +1,38 @@
+//! Baseline dissemination protocols the paper compares against.
+//!
+//! §5.6 and §7.2 position the push/pull scheme against: Gnutella-style
+//! limited flooding with duplicate avoidance, pure flooding, Haas,
+//! Halpern & Li's GOSSIP1(p, k) for ad-hoc routing, and the classical
+//! Demers et al. epidemic repertoire (anti-entropy; rumor mongering in
+//! blind/feedback × coin/counter variants). Each baseline is a
+//! [`rumor_net::Node`] driven by the same engines and churn models as the
+//! main protocol, so message counts are apples-to-apples.
+//!
+//! # Examples
+//!
+//! ```
+//! use rumor_baselines::{BaselineSim, GnutellaNode};
+//! use rumor_types::UpdateId;
+//!
+//! // 100 fully-connected peers, rumor seeded at peer 0 with TTL 7.
+//! let rumor = UpdateId::from_bits(1);
+//! let nodes: Vec<GnutellaNode> = (0..100)
+//!     .map(|i| GnutellaNode::fully_connected(i, 100, 6, 7))
+//!     .collect();
+//! let mut sim = BaselineSim::new(nodes, 100, 11);
+//! sim.seed(0, |n, rng| n.seed_rumor(rumor, rng));
+//! sim.run_until_quiescent(50);
+//! let aware = sim.aware_fraction(|n| n.knows(rumor));
+//! assert!(aware > 0.95, "flooding informs (nearly) everyone, got {aware}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod demers;
+mod flood;
+mod runner;
+
+pub use demers::{AntiEntropyNode, DemersMsg, MongerConfig, MongerStop, RumorMongerNode};
+pub use flood::{FloodMsg, GnutellaNode, HaasNode, PureFloodNode};
+pub use runner::BaselineSim;

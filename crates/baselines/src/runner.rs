@@ -1,0 +1,181 @@
+//! A small generic driver for baseline nodes.
+
+use rumor_churn::{Churn, OnlineSet, StaticChurn};
+use rumor_net::{Effect, Node, PerfectLinks, SyncEngine};
+use rumor_types::{derive_seed, PeerId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Drives any population of [`Node`]s in synchronous rounds — the
+/// baseline counterpart of `rumor_sim::Simulation`, generic over the
+/// protocol.
+pub struct BaselineSim<N: Node> {
+    nodes: Vec<N>,
+    online: OnlineSet,
+    churn: Box<dyn Churn>,
+    engine: SyncEngine<N::Msg>,
+    rng: ChaCha8Rng,
+    churn_rng: ChaCha8Rng,
+    rounds_run: u32,
+    initial_online: usize,
+}
+
+impl<N: Node> BaselineSim<N> {
+    /// Creates a driver with `online_count` of the nodes initially online
+    /// and no churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `online_count` exceeds the population.
+    pub fn new(nodes: Vec<N>, online_count: usize, seed: u64) -> Self {
+        let population = nodes.len();
+        let online = OnlineSet::with_online_count(population, online_count);
+        Self {
+            nodes,
+            online,
+            churn: Box::new(StaticChurn::new()),
+            engine: SyncEngine::new(population),
+            rng: ChaCha8Rng::seed_from_u64(derive_seed(seed, "baseline-protocol")),
+            churn_rng: ChaCha8Rng::seed_from_u64(derive_seed(seed, "baseline-churn")),
+            rounds_run: 0,
+            initial_online: online_count,
+        }
+    }
+
+    /// Installs a churn model.
+    pub fn with_churn(mut self, churn: impl Churn + 'static) -> Self {
+        self.churn = Box::new(churn);
+        self
+    }
+
+    /// Seeds protocol state at node `index`, injecting any produced
+    /// effects (e.g. the initiator's broadcast).
+    pub fn seed<F>(&mut self, index: usize, f: F)
+    where
+        F: FnOnce(&mut N, &mut ChaCha8Rng) -> Vec<Effect<N::Msg>>,
+    {
+        let effects = f(&mut self.nodes[index], &mut self.rng);
+        self.engine.inject(PeerId::new(index as u32), effects);
+    }
+
+    /// Executes one round (churn after round 0, then engine).
+    pub fn step(&mut self) {
+        if self.rounds_run > 0 {
+            self.churn
+                .step(self.rounds_run - 1, &mut self.online, &mut self.churn_rng);
+        }
+        self.engine
+            .step(&mut self.nodes, &self.online, &PerfectLinks, &mut self.rng);
+        self.rounds_run += 1;
+    }
+
+    /// Runs `n` rounds.
+    pub fn run_rounds(&mut self, n: u32) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Runs until quiescent or `max_rounds`; returns rounds executed.
+    pub fn run_until_quiescent(&mut self, max_rounds: u32) -> u32 {
+        let start = self.rounds_run;
+        while !self.engine.is_quiescent() && self.rounds_run - start < max_rounds {
+            self.step();
+        }
+        self.rounds_run - start
+    }
+
+    /// Fraction of *online* nodes satisfying `aware`.
+    pub fn aware_fraction(&self, aware: impl Fn(&N) -> bool) -> f64 {
+        let online = self.online.online_count();
+        if online == 0 {
+            return 0.0;
+        }
+        let count = self
+            .online
+            .iter_online()
+            .filter(|p| aware(&self.nodes[p.index()]))
+            .count();
+        count as f64 / online as f64
+    }
+
+    /// Total messages sent so far.
+    pub fn messages(&self) -> u64 {
+        self.engine.stats().sent
+    }
+
+    /// Messages per initially-online node.
+    pub fn messages_per_initial_online(&self) -> f64 {
+        if self.initial_online == 0 {
+            0.0
+        } else {
+            self.messages() as f64 / self.initial_online as f64
+        }
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds_run(&self) -> u32 {
+        self.rounds_run
+    }
+
+    /// Read access to the nodes.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// The availability state.
+    pub fn online(&self) -> &OnlineSet {
+        &self.online
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flood::GnutellaNode;
+    use rumor_churn::MarkovChurn;
+    use rumor_types::UpdateId;
+
+    fn rumor() -> UpdateId {
+        UpdateId::from_bits(5)
+    }
+
+    #[test]
+    fn driver_counts_messages_and_rounds() {
+        let nodes: Vec<GnutellaNode> = (0..30)
+            .map(|i| GnutellaNode::fully_connected(i, 30, 3, 6))
+            .collect();
+        let mut sim = BaselineSim::new(nodes, 30, 1);
+        sim.seed(0, |n, rng| n.seed_rumor(rumor(), rng));
+        let rounds = sim.run_until_quiescent(20);
+        assert!(rounds > 0);
+        assert!(sim.messages() >= 3);
+        assert!(sim.messages_per_initial_online() > 0.0);
+        assert_eq!(sim.rounds_run(), rounds);
+    }
+
+    #[test]
+    fn offline_nodes_do_not_participate() {
+        let nodes: Vec<GnutellaNode> = (0..30)
+            .map(|i| GnutellaNode::fully_connected(i, 30, 3, 6))
+            .collect();
+        let mut sim = BaselineSim::new(nodes, 1, 2); // only node 0 online
+        sim.seed(0, |n, rng| n.seed_rumor(rumor(), rng));
+        sim.run_until_quiescent(20);
+        // Messages were sent but nobody received: awareness stays at the
+        // initiator.
+        assert!(sim.aware_fraction(|n| n.knows(rumor())) >= 0.99);
+        assert_eq!(sim.nodes().iter().filter(|n| n.knows(rumor())).count(), 1);
+    }
+
+    #[test]
+    fn churn_is_applied() {
+        let nodes: Vec<GnutellaNode> = (0..100)
+            .map(|i| GnutellaNode::fully_connected(i, 100, 3, 6))
+            .collect();
+        let mut sim =
+            BaselineSim::new(nodes, 100, 3).with_churn(MarkovChurn::new(0.5, 0.0).unwrap());
+        sim.run_rounds(10);
+        assert!(sim.online().online_count() < 10, "σ=0.5 decimates quickly");
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion benchmarks over the experiment harness itself: one benchmark
+//! per paper table/figure, so `cargo bench` regenerates every result and
+//! tracks the cost of doing so.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumor_bench::experiments::{
+    fig1a, fig1b, fig2, fig3, fig4, fig5, flooding, pull_phase, table2, Table2Setting,
+};
+use rumor_bench::simfig::validate;
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("experiments/fig1a", |b| b.iter(|| std::hint::black_box(fig1a())));
+    c.bench_function("experiments/fig1b", |b| b.iter(|| std::hint::black_box(fig1b())));
+    c.bench_function("experiments/fig2", |b| b.iter(|| std::hint::black_box(fig2())));
+    c.bench_function("experiments/fig3", |b| b.iter(|| std::hint::black_box(fig3())));
+    c.bench_function("experiments/fig4", |b| b.iter(|| std::hint::black_box(fig4())));
+    c.bench_function("experiments/fig5", |b| b.iter(|| std::hint::black_box(fig5())));
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("experiments/table2_setting_a", |b| {
+        b.iter(|| std::hint::black_box(table2(Table2Setting::A)))
+    });
+    c.bench_function("experiments/table2_setting_b", |b| {
+        b.iter(|| std::hint::black_box(table2(Table2Setting::B)))
+    });
+    c.bench_function("experiments/pull_phase", |b| {
+        b.iter(|| std::hint::black_box(pull_phase()))
+    });
+    c.bench_function("experiments/flooding", |b| {
+        b.iter(|| std::hint::black_box(flooding()))
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("push_phase_r1000_on300", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(validate(1_000, 300, 0.95, 0.03, None, 1, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(experiments, bench_figures, bench_tables, bench_simulation);
+criterion_main!(experiments);

@@ -1,0 +1,150 @@
+//! Criterion micro-benchmarks of the core data structures and engines.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rumor_core::{
+    Lineage, Message, PartialList, ProtocolConfig, PushMessage, ReplicaPeer, ReplicaStore,
+    Update, Value,
+};
+use rumor_net::Node;
+use rumor_types::{DataKey, PeerId, Round};
+
+fn rng() -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(1)
+}
+
+fn bench_lineage(c: &mut Criterion) {
+    let mut r = rng();
+    let mut deep = Lineage::root(&mut r);
+    for _ in 0..31 {
+        deep = deep.child(&mut r);
+    }
+    let shallow = Lineage::from_ids(deep.ids()[..16].to_vec());
+    c.bench_function("lineage/relation_depth32", |b| {
+        b.iter(|| std::hint::black_box(deep.relation(&shallow)))
+    });
+    c.bench_function("lineage/child", |b| {
+        let mut local = rng();
+        b.iter(|| std::hint::black_box(deep.child(&mut local)))
+    });
+}
+
+fn bench_partial_list(c: &mut Criterion) {
+    let big = PartialList::from_peers((0..1_000).map(PeerId::new));
+    let small = PartialList::from_peers((500..600).map(PeerId::new));
+    c.bench_function("partial_list/union_1000_100", |b| {
+        b.iter_batched(
+            || big.clone(),
+            |mut l| {
+                l.union_with(&small);
+                l
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("partial_list/contains_1000", |b| {
+        b.iter(|| std::hint::black_box(big.contains(PeerId::new(999))))
+    });
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut r = rng();
+    let updates: Vec<Update> = (0..100)
+        .map(|i| {
+            Update::write(
+                DataKey::new(i % 10),
+                Lineage::root(&mut r),
+                Value::from("payload"),
+                PeerId::new(0),
+            )
+        })
+        .collect();
+    c.bench_function("store/apply_100_concurrent", |b| {
+        b.iter_batched(
+            ReplicaStore::new,
+            |mut s| {
+                for u in &updates {
+                    std::hint::black_box(s.apply(u));
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut filled = ReplicaStore::new();
+    for u in &updates {
+        filled.apply(u);
+    }
+    c.bench_function("store/digest_10_keys", |b| {
+        b.iter(|| std::hint::black_box(filled.digest()))
+    });
+}
+
+fn bench_message_codec(c: &mut Criterion) {
+    let mut r = rng();
+    let msg = Message::Push(PushMessage {
+        update: Update::write(
+            DataKey::new(1),
+            Lineage::root(&mut r).child(&mut r),
+            Value::from("some update payload bytes"),
+            PeerId::new(1),
+        ),
+        push_round: 3,
+        flood_list: PartialList::from_peers((0..100).map(PeerId::new)),
+    });
+    let encoded = msg.encode();
+    c.bench_function("message/encode_push_list100", |b| {
+        b.iter(|| std::hint::black_box(msg.encode()))
+    });
+    c.bench_function("message/decode_push_list100", |b| {
+        b.iter(|| std::hint::black_box(Message::decode(&encoded).expect("valid")))
+    });
+}
+
+fn bench_peer_handle(c: &mut Criterion) {
+    let config = ProtocolConfig::builder(1_000)
+        .fanout_fraction(0.01)
+        .build()
+        .expect("valid");
+    let mut r = rng();
+    let update = Update::write(
+        DataKey::new(1),
+        Lineage::root(&mut r),
+        Value::from("v"),
+        PeerId::new(1),
+    );
+    let msg = Message::Push(PushMessage {
+        update,
+        push_round: 1,
+        flood_list: PartialList::from_peers((0..20).map(PeerId::new)),
+    });
+    c.bench_function("peer/handle_first_push_r1000", |b| {
+        b.iter_batched(
+            || {
+                let mut p = ReplicaPeer::new(PeerId::new(0), config.clone());
+                p.learn_replicas((1..1_000).map(PeerId::new));
+                (p, rng())
+            },
+            |(mut p, mut local)| {
+                std::hint::black_box(p.on_message(
+                    PeerId::new(1),
+                    msg.clone(),
+                    Round::new(1),
+                    &mut local,
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_lineage,
+    bench_partial_list,
+    bench_store,
+    bench_message_codec,
+    bench_peer_handle
+);
+criterion_main!(micro);

@@ -1,0 +1,40 @@
+//! Section 6 ablations: partial list, acks, PF tuning, pull strategies.
+
+use rumor_bench::ablation::{acks, forwarding, partial_list, pull_strategies, AblationRow};
+use rumor_metrics::{Align, Table};
+
+fn render(title: &str, rows: &[AblationRow]) {
+    let mut t = Table::new(vec![
+        "variant".into(),
+        "push msgs/peer".into(),
+        "dups/peer".into(),
+        "total msgs/peer".into(),
+        "awareness".into(),
+        "rounds".into(),
+    ]);
+    for i in 1..6 {
+        t.align(i, Align::Right);
+    }
+    for r in rows {
+        t.row(vec![
+            r.variant.clone(),
+            format!("{:.2}", r.push_cost),
+            format!("{:.2}", r.duplicates),
+            format!("{:.2}", r.total_cost),
+            format!("{:.4}", r.awareness),
+            r.rounds.to_string(),
+        ]);
+    }
+    println!("== {title} ==\n{}", t.render());
+}
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    render("Ablation: partial flooding list (Sec. 4.2)", &partial_list(seed));
+    render("Ablation: acknowledgements (Sec. 6)", &acks(seed));
+    render("Ablation: forwarding policy incl. self-tuning (Sec. 6)", &forwarding(seed));
+    render("Ablation: pull strategies (Sec. 6)", &pull_strategies(seed));
+}

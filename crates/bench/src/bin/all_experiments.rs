@@ -1,0 +1,78 @@
+//! Runs every experiment and writes JSON artefacts next to the text
+//! output (default directory: `experiments-out/`).
+
+use rumor_bench::ablation;
+use rumor_bench::experiments::{self, Table2Setting};
+use rumor_bench::render::{render_summary, to_json};
+use rumor_bench::simfig;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("experiments-out"), PathBuf::from);
+    fs::create_dir_all(&out_dir).expect("create output directory");
+    let write = |name: &str, json: String| {
+        let path = out_dir.join(name);
+        fs::write(&path, json).expect("write artefact");
+        println!("wrote {}", path.display());
+    };
+
+    let fig1a = experiments::fig1a();
+    let fig1b = experiments::fig1b();
+    let fig2 = experiments::fig2();
+    let fig3 = experiments::fig3();
+    let fig4 = experiments::fig4();
+    let fig5 = experiments::fig5();
+    println!("{}", render_summary("Fig. 1(a)", &fig1a));
+    println!("{}", render_summary("Fig. 1(b)", &fig1b));
+    println!("{}", render_summary("Fig. 2", &fig2));
+    println!("{}", render_summary("Fig. 3", &fig3));
+    println!("{}", render_summary("Fig. 4", &fig4));
+    println!("{}", render_summary("Fig. 5", &fig5));
+    write("fig1a.json", to_json(&fig1a));
+    write("fig1b.json", to_json(&fig1b));
+    write("fig2.json", to_json(&fig2));
+    write("fig3.json", to_json(&fig3));
+    write("fig4.json", to_json(&fig4));
+    write("fig5.json", to_json(&fig5));
+
+    let t2a = experiments::table2(Table2Setting::A);
+    let t2b = experiments::table2(Table2Setting::B);
+    for (name, rows) in [("A", &t2a), ("B", &t2b)] {
+        println!("Table 2 setting {name}:");
+        for r in rows.iter() {
+            println!("  {:<28} {:>8.3} msgs/peer  {:>2} rounds", r.scheme, r.messages_per_online, r.rounds);
+        }
+    }
+    write("table2a.json", to_json(&t2a));
+    write("table2b.json", to_json(&t2b));
+
+    let (pull, attempts) = experiments::pull_phase();
+    println!("pull phase rows: {} (99.9% at 10%: {attempts:?} attempts)", pull.len());
+    write("pull_phase.json", to_json(&pull));
+
+    let flood = experiments::flooding();
+    write("flooding.json", to_json(&flood));
+
+    let validation = simfig::standard_suite(42);
+    for v in &validation {
+        println!(
+            "validate {}: model {:.2} vs sim {:.2} msgs/peer ({:.1}% err)",
+            v.setting, v.model_cost, v.sim_cost, v.cost_error() * 100.0
+        );
+    }
+    write("sim_vs_model.json", to_json(&validation));
+
+    let ab = [
+        ("ablation_partial_list.json", ablation::partial_list(42)),
+        ("ablation_acks.json", ablation::acks(42)),
+        ("ablation_forwarding.json", ablation::forwarding(42)),
+        ("ablation_pull.json", ablation::pull_strategies(42)),
+    ];
+    for (name, rows) in ab {
+        write(name, to_json(&rows));
+    }
+    println!("all experiments complete");
+}

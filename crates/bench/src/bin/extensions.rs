@@ -1,0 +1,52 @@
+//! §8 future-work experiments: bimodal delivery distribution and
+//! non-uniform (backbone) availability.
+
+use rumor_bench::extensions::{bimodal, heterogeneity};
+use rumor_metrics::{Align, Histogram, Table};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    let report = bimodal(60, seed);
+    println!("== Bimodal behaviour at near-critical fanout (60 trials) ==");
+    println!(
+        "almost none (<20%): {}   middle: {}   almost all (>80%): {}   => bimodal: {}",
+        report.low,
+        report.middle,
+        report.high,
+        report.is_bimodal()
+    );
+    let mut hist = Histogram::new(0.0, 1.0, 10);
+    for &a in &report.awareness {
+        hist.record(a);
+    }
+    let mut t = Table::new(vec!["awareness bucket".into(), "trials".into()]);
+    t.align(1, Align::Right);
+    for (edge, count) in hist.iter() {
+        t.row(vec![format!("{edge:.1}+"), count.to_string()]);
+    }
+    println!("{}", t.render());
+
+    println!("== Non-uniform availability (backbone) ==");
+    let mut t = Table::new(vec![
+        "scenario".into(),
+        "awareness".into(),
+        "msgs/peer".into(),
+        "rounds".into(),
+    ]);
+    for i in 1..4 {
+        t.align(i, Align::Right);
+    }
+    for row in heterogeneity(5, seed) {
+        t.row(vec![
+            row.scenario.clone(),
+            format!("{:.4}", row.awareness),
+            format!("{:.2}", row.cost),
+            format!("{:.1}", row.rounds),
+        ]);
+    }
+    println!("{}", t.render());
+}

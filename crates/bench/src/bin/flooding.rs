@@ -1,0 +1,26 @@
+//! Section 5.6: flooding analysis under Poisson availability.
+
+use rumor_bench::experiments::flooding;
+use rumor_metrics::{Align, Table};
+
+fn main() {
+    let rows = flooding();
+    let mut t = Table::new(vec![
+        "fanout R*f_r".into(),
+        "pure flooding msgs".into(),
+        "dup-avoid msgs/online peer".into(),
+        "E[attempts] for 10 online".into(),
+    ]);
+    for i in 0..4 {
+        t.align(i, Align::Right);
+    }
+    for r in &rows {
+        t.row(vec![
+            format!("{:.0}", r.fanout),
+            format!("{:.0}", r.pure_flooding),
+            format!("{:.1}", r.gnutella_per_peer),
+            format!("{:.1}", r.attempts_10_targets),
+        ]);
+    }
+    println!("== Sec. 5.6: flooding at R=10^4, 10% availability ==\n{}", t.render());
+}

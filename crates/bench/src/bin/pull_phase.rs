@@ -1,0 +1,26 @@
+//! Section 4.3: pull-phase success probability.
+
+use rumor_bench::experiments::pull_phase;
+use rumor_metrics::{Align, Table};
+
+fn main() {
+    let (rows, attempts_999) = pull_phase();
+    let mut t = Table::new(vec![
+        "f_aware".into(),
+        "attempts".into(),
+        "P(success)".into(),
+    ]);
+    t.align(0, Align::Right).align(1, Align::Right).align(2, Align::Right);
+    for r in &rows {
+        t.row(vec![
+            format!("{:.2}", r.f_aware),
+            r.attempts.to_string(),
+            format!("{:.6}", r.probability),
+        ]);
+    }
+    println!("== Sec. 4.3: pull success at 10% availability ==\n{}", t.render());
+    println!(
+        "Attempts for 99.9% success at 10% availability (paper Sec. 2: ~65): {:?}",
+        attempts_999
+    );
+}

@@ -1,0 +1,38 @@
+//! Validation: the discrete simulator against the analytical recursion.
+
+use rumor_bench::simfig::standard_suite;
+use rumor_metrics::{Align, Table};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let rows = standard_suite(seed);
+    let mut t = Table::new(vec![
+        "setting".into(),
+        "model msgs/peer".into(),
+        "sim msgs/peer".into(),
+        "err".into(),
+        "model aware".into(),
+        "sim aware".into(),
+        "model rounds".into(),
+        "sim rounds".into(),
+    ]);
+    for i in 1..8 {
+        t.align(i, Align::Right);
+    }
+    for r in &rows {
+        t.row(vec![
+            r.setting.clone(),
+            format!("{:.2}", r.model_cost),
+            format!("{:.2}", r.sim_cost),
+            format!("{:.1}%", r.cost_error() * 100.0),
+            format!("{:.4}", r.model_awareness),
+            format!("{:.4}", r.sim_awareness),
+            r.model_rounds.to_string(),
+            format!("{:.1}", r.sim_rounds),
+        ]);
+    }
+    println!("== Simulator vs analytical model (seed {seed}) ==\n{}", t.render());
+}

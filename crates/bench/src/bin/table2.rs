@@ -1,0 +1,35 @@
+//! Table 2: scheme comparison (Gnutella / partial list / Haas / ours).
+
+use rumor_analysis::SchemeResult;
+use rumor_bench::experiments::{table2, Table2Setting};
+use rumor_metrics::{Align, Table};
+
+fn render(title: &str, rows: &[SchemeResult]) {
+    let mut t = Table::new(vec![
+        "Scheme".into(),
+        "msgs/online peer".into(),
+        "push rounds".into(),
+        "awareness".into(),
+    ]);
+    t.align(1, Align::Right).align(2, Align::Right).align(3, Align::Right);
+    for r in rows {
+        t.row(vec![
+            r.scheme.clone(),
+            format!("{:.3}", r.messages_per_online),
+            r.rounds.to_string(),
+            format!("{:.4}", r.final_awareness),
+        ]);
+    }
+    println!("== {title} ==\n{}", t.render());
+}
+
+fn main() {
+    render(
+        "Table 2 (setting A): R_on/R = 10^4/10^4, sigma=1, fanout R*f_r = 4 | paper: 4 / 3.92 / 3.136 / 2.215",
+        &table2(Table2Setting::A),
+    );
+    render(
+        "Table 2 (setting B): R_on/R = 10^3/10^4, sigma=1, R*f_r = 40 | paper: 40 / 35.22 / 28.49 / 16.35",
+        &table2(Table2Setting::B),
+    );
+}

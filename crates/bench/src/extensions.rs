@@ -1,0 +1,202 @@
+//! §8 future-work investigations: bimodal delivery and non-uniform
+//! availability.
+//!
+//! The paper closes with two open questions: "whether there is bimodal
+//! behavior even in the assumed environment of very low peer presence"
+//! and "the effect of non-uniform online probability of peers … a
+//! relatively reliable network backbone would exist and thus would make
+//! possible further performance improvements". Both are answerable with
+//! the simulator.
+
+use rumor_churn::{HeterogeneousChurn, MarkovChurn};
+use rumor_core::{ProtocolConfig, PullStrategy};
+use rumor_metrics::Summary;
+use rumor_sim::SimulationBuilder;
+use rumor_types::DataKey;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the bimodality experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BimodalReport {
+    /// Final online-awareness of each trial.
+    pub awareness: Vec<f64>,
+    /// Trials ending below 20% awareness ("almost none").
+    pub low: usize,
+    /// Trials ending above 80% awareness ("almost all").
+    pub high: usize,
+    /// Trials in between.
+    pub middle: usize,
+    /// Descriptive statistics.
+    pub summary: Summary,
+}
+
+impl BimodalReport {
+    /// The bimodality claim: most runs end in one of the extreme modes,
+    /// and both modes occur.
+    pub fn is_bimodal(&self) -> bool {
+        let n = self.awareness.len();
+        n > 0 && self.low + self.high >= n * 3 / 4 && self.low > 0 && self.high > 0
+    }
+}
+
+/// Runs `trials` slightly-supercritical pushes (effective online fanout
+/// ≈ 2.2, so the epidemic's attack rate sits above 80% while an unlucky
+/// initial seeding — ≈ 9% chance that all 15 round-0 messages land on
+/// offline peers — still extinguishes the rumor) and buckets terminal
+/// awareness: Birman et al.'s "almost all or almost none" reliability
+/// model, tested in the paper's low-availability environment.
+pub fn bimodal(trials: u32, seed: u64) -> BimodalReport {
+    let population = 1_000;
+    let mut awareness = Vec::with_capacity(trials as usize);
+    for t in 0..trials {
+        let config = ProtocolConfig::builder(population)
+            .fanout_fraction(0.015) // ~15 msgs/push, 15% online → eff. ≈ 2.2
+            .pull_strategy(PullStrategy::OnDemand)
+            .build()
+            .expect("valid config");
+        let mut sim = SimulationBuilder::new(population, seed.wrapping_add(u64::from(t)))
+            .online_fraction(0.15)
+            .protocol(config)
+            .build()
+            .expect("valid simulation");
+        let report = sim.propagate(DataKey::from_name("bimodal"), "x", 120);
+        awareness.push(report.aware_online_fraction);
+    }
+    let low = awareness.iter().filter(|&&a| a < 0.2).count();
+    let high = awareness.iter().filter(|&&a| a > 0.8).count();
+    let middle = awareness.len() - low - high;
+    BimodalReport {
+        summary: Summary::of(&awareness),
+        awareness,
+        low,
+        high,
+        middle,
+    }
+}
+
+/// One arm of the heterogeneity comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeterogeneityRow {
+    /// Scenario label.
+    pub scenario: String,
+    /// Mean awareness of the online population over trials.
+    pub awareness: f64,
+    /// Mean push messages per initially-online peer.
+    pub cost: f64,
+    /// Mean rounds.
+    pub rounds: f64,
+}
+
+/// Uniform availability vs a reliable backbone at (approximately) equal
+/// mean availability (§8's hypothesis).
+pub fn heterogeneity(trials: u32, seed: u64) -> Vec<HeterogeneityRow> {
+    let population = 2_000;
+    let run = |label: &str,
+               churn_for: &dyn Fn() -> Box<dyn rumor_churn::Churn>,
+               seed_base: u64|
+     -> HeterogeneityRow {
+        let mut aware = Vec::new();
+        let mut cost = Vec::new();
+        let mut rounds = Vec::new();
+        for t in 0..trials {
+            let config = ProtocolConfig::builder(population)
+                .fanout_fraction(0.015)
+                .pull_strategy(PullStrategy::OnDemand)
+                .build()
+                .expect("valid config");
+            let mut builder = SimulationBuilder::new(population, seed_base.wrapping_add(u64::from(t)))
+                .online_fraction(0.28)
+                .protocol(config);
+            builder = builder_with(builder, churn_for());
+            let mut sim = builder.build().expect("valid simulation");
+            let report = sim.propagate(DataKey::from_name("hetero"), "x", 80);
+            aware.push(report.aware_online_fraction);
+            cost.push(report.messages_per_initial_online());
+            rounds.push(f64::from(report.rounds));
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        HeterogeneityRow {
+            scenario: label.to_owned(),
+            awareness: mean(&aware),
+            cost: mean(&cost),
+            rounds: mean(&rounds),
+        }
+    };
+
+    vec![
+        run(
+            "uniform availability (≈28%)",
+            &|| Box::new(MarkovChurn::new(0.97, 0.0117).expect("valid")),
+            seed,
+        ),
+        run(
+            "10% backbone (≈98%) + transient (≈20%)",
+            &|| {
+                Box::new(
+                    HeterogeneousChurn::backbone(
+                        2_000,
+                        0.1,
+                        MarkovChurn::new(0.999, 0.05).expect("valid"), // ≈ 0.98
+                        MarkovChurn::new(0.97, 0.0075).expect("valid"), // ≈ 0.2
+                    )
+                    .expect("valid classes"),
+                )
+            },
+            seed + 1,
+        ),
+    ]
+}
+
+fn builder_with(
+    builder: rumor_sim::SimulationBuilder,
+    churn: Box<dyn rumor_churn::Churn>,
+) -> rumor_sim::SimulationBuilder {
+    // SimulationBuilder::churn takes `impl Churn`; adapt the box.
+    struct Boxed(Box<dyn rumor_churn::Churn>);
+    impl rumor_churn::Churn for Boxed {
+        fn step(
+            &mut self,
+            round: u32,
+            online: &mut rumor_churn::OnlineSet,
+            rng: &mut rand_chacha::ChaCha8Rng,
+        ) {
+            self.0.step(round, online, rng);
+        }
+        fn stationary_online_fraction(&self) -> Option<f64> {
+            self.0.stationary_online_fraction()
+        }
+    }
+    builder.churn(Boxed(churn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_critical_pushes_are_bimodal() {
+        let report = bimodal(40, 7);
+        assert!(
+            report.is_bimodal(),
+            "expected 'almost all or almost none': low={} middle={} high={}",
+            report.low,
+            report.middle,
+            report.high
+        );
+    }
+
+    #[test]
+    fn backbone_improves_delivery_at_equal_availability() {
+        let rows = heterogeneity(3, 11);
+        let (uniform, backbone) = (&rows[0], &rows[1]);
+        assert!(
+            backbone.awareness >= uniform.awareness - 0.02,
+            "a reliable backbone must not hurt coverage: {rows:?}"
+        );
+        // The §8 hypothesis: the backbone acts as a stable relay spine.
+        assert!(
+            backbone.awareness > 0.9,
+            "backbone scenario covers the population: {rows:?}"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Text rendering for experiment outputs.
+
+use crate::experiments::FigureSeries;
+use rumor_metrics::{Align, Table};
+
+/// Renders one figure's series set the way the paper's plots read: one
+/// block per curve, points as `(F_aware, msgs/R_on[0])` rows.
+pub fn render_figure(title: &str, series: &[FigureSeries]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    for s in series {
+        out.push_str(&format!(
+            "\n-- {} (rounds: {}, total: {:.3} msgs/peer, awareness: {:.4}{})\n",
+            s.label,
+            s.rounds,
+            s.total_per_peer,
+            s.final_awareness,
+            if s.died { ", DIED" } else { "" }
+        ));
+        let mut t = Table::new(vec!["F_aware".into(), "msgs/R_on[0]".into()]);
+        t.align(0, Align::Right).align(1, Align::Right);
+        for &(x, y) in &s.points {
+            t.row(vec![format!("{x:.4}"), format!("{y:.3}")]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// Renders a compact one-line-per-curve summary.
+pub fn render_summary(title: &str, series: &[FigureSeries]) -> String {
+    let mut t = Table::new(vec![
+        "curve".into(),
+        "msgs/peer".into(),
+        "rounds".into(),
+        "awareness".into(),
+        "died".into(),
+    ]);
+    for i in 1..=3 {
+        t.align(i, Align::Right);
+    }
+    for s in series {
+        t.row(vec![
+            s.label.clone(),
+            format!("{:.3}", s.total_per_peer),
+            s.rounds.to_string(),
+            format!("{:.4}", s.final_awareness),
+            if s.died { "yes" } else { "no" }.into(),
+        ]);
+    }
+    format!("== {title} ==\n{}", t.render())
+}
+
+/// Serialises any experiment payload to pretty JSON.
+pub fn to_json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("experiment types serialise")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<FigureSeries> {
+        vec![FigureSeries {
+            label: "curve-a".into(),
+            points: vec![(0.1, 1.0), (0.9, 3.0)],
+            rounds: 2,
+            died: false,
+            total_per_peer: 3.0,
+            final_awareness: 0.9,
+        }]
+    }
+
+    #[test]
+    fn figure_rendering_contains_points_and_label() {
+        let text = render_figure("Fig. X", &sample());
+        assert!(text.contains("Fig. X"));
+        assert!(text.contains("curve-a"));
+        assert!(text.contains("0.9000"));
+        assert!(text.contains("3.000"));
+    }
+
+    #[test]
+    fn summary_is_one_row_per_curve() {
+        let text = render_summary("Fig. X", &sample());
+        assert_eq!(text.lines().count(), 4, "title + header + separator + row");
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let json = to_json(&sample());
+        let back: Vec<FigureSeries> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sample());
+    }
+}

@@ -1,0 +1,182 @@
+//! Simulator-vs-model validation (the paper's §8 future-work item).
+
+use crate::experiments::FigureSeries;
+use rumor_analysis::{PfSchedule, PushModel, PushParams};
+use rumor_churn::MarkovChurn;
+use rumor_core::{ForwardPolicy, ProtocolConfig, PullStrategy};
+use rumor_sim::{SimulationBuilder, TopologySpec};
+use rumor_types::DataKey;
+use serde::{Deserialize, Serialize};
+
+/// A model/simulation pairing for one parameter set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationRow {
+    /// Parameter description.
+    pub setting: String,
+    /// Analytical messages per initially-online peer.
+    pub model_cost: f64,
+    /// Simulated mean messages per initially-online peer.
+    pub sim_cost: f64,
+    /// Analytical final awareness.
+    pub model_awareness: f64,
+    /// Simulated mean final awareness.
+    pub sim_awareness: f64,
+    /// Analytical rounds.
+    pub model_rounds: u32,
+    /// Simulated mean rounds.
+    pub sim_rounds: f64,
+    /// Simulation trials averaged.
+    pub trials: u32,
+}
+
+impl ValidationRow {
+    /// Relative cost error of the model against the simulation.
+    pub fn cost_error(&self) -> f64 {
+        if self.sim_cost == 0.0 {
+            return 0.0;
+        }
+        (self.model_cost - self.sim_cost).abs() / self.sim_cost
+    }
+}
+
+/// Runs one parameter set through both the recursion and the simulator.
+///
+/// The simulator executes the real protocol with the partial list and the
+/// given `PF(t)`; the model evaluates the §4.2 recursion with identical
+/// parameters. Pull machinery is disabled (pure push phase, as in the
+/// analysis).
+pub fn validate(
+    total: usize,
+    online: usize,
+    sigma: f64,
+    f_r: f64,
+    pf_base: Option<f64>,
+    trials: u32,
+    seed: u64,
+) -> ValidationRow {
+    let pf_model = match pf_base {
+        None => PfSchedule::One,
+        Some(b) => PfSchedule::Exponential { base: b },
+    };
+    let model = PushModel::new(
+        PushParams::new(total as f64, online as f64, sigma, f_r).with_pf(pf_model),
+    )
+    .run();
+
+    let pf_sim = match pf_base {
+        None => ForwardPolicy::Always,
+        Some(b) => ForwardPolicy::ExponentialDecay { base: b },
+    };
+    let mut costs = Vec::new();
+    let mut awareness = Vec::new();
+    let mut rounds = Vec::new();
+    for trial in 0..trials {
+        let config = ProtocolConfig::builder(total)
+            .fanout_fraction(f_r)
+            .forward(pf_sim)
+            .pull_strategy(PullStrategy::OnDemand)
+            .build()
+            .expect("valid protocol parameters");
+        let mut sim = SimulationBuilder::new(total, seed.wrapping_add(u64::from(trial)))
+            .online_count(online)
+            .topology(TopologySpec::Full)
+            .churn(MarkovChurn::new(sigma, 0.0).expect("valid sigma"))
+            .protocol(config)
+            .build()
+            .expect("valid simulation");
+        let report = sim.propagate(DataKey::from_name("validation"), "v", 100);
+        costs.push(report.messages_per_initial_online());
+        awareness.push(report.aware_online_fraction);
+        rounds.push(f64::from(report.rounds));
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    ValidationRow {
+        setting: format!(
+            "R={total} R_on(0)={online} sigma={sigma} f_r={f_r} PF={}",
+            pf_base.map_or("1".to_owned(), |b| format!("{b}^t"))
+        ),
+        model_cost: model.messages_per_initial_online(),
+        sim_cost: mean(&costs),
+        model_awareness: model.final_awareness,
+        sim_awareness: mean(&awareness),
+        model_rounds: model.rounds,
+        sim_rounds: mean(&rounds),
+        trials,
+    }
+}
+
+/// The standard validation suite: Fig. 2/3/4-style settings at
+/// simulator-friendly scale.
+pub fn standard_suite(seed: u64) -> Vec<ValidationRow> {
+    vec![
+        // Fig. 2-style: varying fanout.
+        validate(2_000, 600, 1.0, 0.01, None, 3, seed),
+        validate(2_000, 600, 1.0, 0.02, None, 3, seed + 1),
+        // Fig. 3-style: churn during the push.
+        validate(2_000, 600, 0.9, 0.02, None, 3, seed + 2),
+        // Fig. 4-style: decaying PF.
+        validate(2_000, 600, 1.0, 0.02, Some(0.9), 3, seed + 3),
+    ]
+}
+
+/// Converts a simulated run into a [`FigureSeries`] for overlay plots.
+pub fn sim_series(
+    label: impl Into<String>,
+    total: usize,
+    online: usize,
+    sigma: f64,
+    f_r: f64,
+    seed: u64,
+) -> FigureSeries {
+    let config = ProtocolConfig::builder(total)
+        .fanout_fraction(f_r)
+        .pull_strategy(PullStrategy::OnDemand)
+        .build()
+        .expect("valid protocol parameters");
+    let mut sim = SimulationBuilder::new(total, seed)
+        .online_count(online)
+        .churn(MarkovChurn::new(sigma, 0.0).expect("valid sigma"))
+        .protocol(config)
+        .build()
+        .expect("valid simulation");
+    let report = sim.propagate(DataKey::from_name("series"), "v", 100);
+    FigureSeries {
+        label: label.into(),
+        points: report.awareness_cost_series(),
+        rounds: report.rounds,
+        died: report.aware_online_fraction < 0.9,
+        total_per_peer: report.messages_per_initial_online(),
+        final_awareness: report.aware_online_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_and_sim_agree_on_full_availability() {
+        let row = validate(1_000, 1_000, 1.0, 0.01, None, 3, 42);
+        assert!(
+            row.cost_error() < 0.15,
+            "model {} vs sim {}",
+            row.model_cost,
+            row.sim_cost
+        );
+        assert!((row.model_awareness - row.sim_awareness).abs() < 0.05, "{row:?}");
+    }
+
+    #[test]
+    fn model_and_sim_agree_under_churn() {
+        let row = validate(1_000, 300, 0.9, 0.03, None, 3, 43);
+        assert!(row.cost_error() < 0.25, "{row:?}");
+        assert!((row.model_awareness - row.sim_awareness).abs() < 0.1, "{row:?}");
+    }
+
+    #[test]
+    fn sim_series_has_monotone_axes() {
+        let s = sim_series("sim", 500, 500, 1.0, 0.02, 7);
+        assert!(s.points.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(s.points.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+}

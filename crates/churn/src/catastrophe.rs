@@ -1,0 +1,164 @@
+//! Failure injection: scheduled mass-offline events.
+//!
+//! §4.1 justifies a small per-round offline probability "unless there is
+//! any kind of catastrophic failure". This wrapper makes that exception
+//! testable: it layers scheduled catastrophes over any base churn model so
+//! experiments can measure how the pull phase repairs a push that was
+//! interrupted mid-flight.
+
+use crate::online_set::OnlineSet;
+use crate::Churn;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rumor_types::PeerId;
+use serde::{Deserialize, Serialize};
+
+/// A scheduled availability catastrophe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CatastropheEvent {
+    /// Round *after* which the catastrophe strikes.
+    pub round: u32,
+    /// Fraction of currently-online peers knocked offline (`1.0` = all).
+    pub kill_fraction: f64,
+}
+
+/// Wraps a base churn model and injects catastrophes at scheduled rounds.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_churn::{Catastrophe, Churn, OnlineSet, StaticChurn};
+/// use rand::SeedableRng;
+///
+/// let mut churn = Catastrophe::new(StaticChurn::new())
+///     .with_event(2, 1.0); // after round 2, everyone offline
+/// let mut online = OnlineSet::all_online(50);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// churn.step(0, &mut online, &mut rng);
+/// churn.step(1, &mut online, &mut rng);
+/// assert_eq!(online.online_count(), 50);
+/// churn.step(2, &mut online, &mut rng);
+/// assert_eq!(online.online_count(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Catastrophe<C> {
+    base: C,
+    events: Vec<CatastropheEvent>,
+}
+
+impl<C: Churn> Catastrophe<C> {
+    /// Wraps a base model with no scheduled events.
+    pub fn new(base: C) -> Self {
+        Self {
+            base,
+            events: Vec::new(),
+        }
+    }
+
+    /// Schedules a catastrophe after `round` killing `kill_fraction` of the
+    /// online population (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn with_event(mut self, round: u32, kill_fraction: f64) -> Self {
+        self.events.push(CatastropheEvent {
+            round,
+            kill_fraction: kill_fraction.clamp(0.0, 1.0),
+        });
+        self
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[CatastropheEvent] {
+        &self.events
+    }
+
+    /// Access to the wrapped model.
+    pub fn base(&self) -> &C {
+        &self.base
+    }
+}
+
+impl<C: Churn> Churn for Catastrophe<C> {
+    fn step(&mut self, round: u32, online: &mut OnlineSet, rng: &mut ChaCha8Rng) {
+        self.base.step(round, online, rng);
+        for ev in &self.events {
+            if ev.round == round {
+                if ev.kill_fraction >= 1.0 {
+                    online.clear();
+                    continue;
+                }
+                let victims: Vec<PeerId> = online
+                    .iter_online()
+                    .filter(|_| rng.gen_bool(ev.kill_fraction))
+                    .collect();
+                for v in victims {
+                    online.set_online(v, false);
+                }
+            }
+        }
+    }
+
+    fn stationary_online_fraction(&self) -> Option<f64> {
+        self.base.stationary_online_fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markov::{MarkovChurn, StaticChurn};
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn no_events_is_transparent() {
+        let mut c = Catastrophe::new(StaticChurn::new());
+        let mut online = OnlineSet::all_online(10);
+        c.step(0, &mut online, &mut rng());
+        assert_eq!(online.online_count(), 10);
+    }
+
+    #[test]
+    fn total_catastrophe_clears_population() {
+        let mut c = Catastrophe::new(StaticChurn::new()).with_event(1, 1.0);
+        let mut online = OnlineSet::all_online(10);
+        c.step(0, &mut online, &mut rng());
+        assert_eq!(online.online_count(), 10);
+        c.step(1, &mut online, &mut rng());
+        assert_eq!(online.online_count(), 0);
+    }
+
+    #[test]
+    fn partial_catastrophe_kills_about_fraction() {
+        let mut c = Catastrophe::new(StaticChurn::new()).with_event(0, 0.5);
+        let mut online = OnlineSet::all_online(10_000);
+        c.step(0, &mut online, &mut rng());
+        let remaining = online.online_count();
+        assert!(
+            (4_500..=5_500).contains(&remaining),
+            "≈half should remain, got {remaining}"
+        );
+    }
+
+    #[test]
+    fn kill_fraction_is_clamped() {
+        let c = Catastrophe::new(StaticChurn::new()).with_event(0, 7.0);
+        assert_eq!(c.events()[0].kill_fraction, 1.0);
+    }
+
+    #[test]
+    fn base_model_still_applies() {
+        let base = MarkovChurn::new(0.0, 0.0).unwrap(); // everyone leaves every round
+        let mut c = Catastrophe::new(base).with_event(5, 1.0);
+        let mut online = OnlineSet::all_online(100);
+        c.step(0, &mut online, &mut rng());
+        assert_eq!(online.online_count(), 0, "base churn emptied population");
+        assert_eq!(
+            c.stationary_online_fraction(),
+            Some(0.0),
+            "stationary fraction delegates to base"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for churn model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a churn model is configured with invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnError {
+    /// A probability parameter was outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Which parameter was invalid.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A duration parameter was not strictly positive.
+    NonPositiveDuration {
+        /// Which parameter was invalid.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A trace was empty or shaped inconsistently with the population.
+    InvalidTrace {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ProbabilityOutOfRange { name, value } => {
+                write!(f, "probability `{name}` must be in [0, 1], got {value}")
+            }
+            Self::NonPositiveDuration { name, value } => {
+                write!(f, "duration `{name}` must be positive, got {value}")
+            }
+            Self::InvalidTrace { reason } => write!(f, "invalid availability trace: {reason}"),
+        }
+    }
+}
+
+impl Error for ChurnError {}
+
+pub(crate) fn check_probability(name: &'static str, value: f64) -> Result<f64, ChurnError> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(ChurnError::ProbabilityOutOfRange { name, value })
+    }
+}
+
+pub(crate) fn check_positive(name: &'static str, value: f64) -> Result<f64, ChurnError> {
+    if value > 0.0 && value.is_finite() {
+        Ok(value)
+    } else {
+        Err(ChurnError::NonPositiveDuration { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_bounds() {
+        assert!(check_probability("p", 0.0).is_ok());
+        assert!(check_probability("p", 1.0).is_ok());
+        assert!(check_probability("p", -0.1).is_err());
+        assert!(check_probability("p", 1.1).is_err());
+        assert!(check_probability("p", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn positive_bounds() {
+        assert!(check_positive("d", 1.0).is_ok());
+        assert!(check_positive("d", 0.0).is_err());
+        assert!(check_positive("d", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn display_mentions_parameter() {
+        let e = ChurnError::ProbabilityOutOfRange {
+            name: "sigma",
+            value: 2.0,
+        };
+        assert!(e.to_string().contains("sigma"));
+    }
+}

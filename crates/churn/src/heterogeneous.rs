@@ -1,0 +1,214 @@
+//! Non-uniform peer availability — the paper's §8 extension.
+//!
+//! "Also the effect of non-uniform online probability of peers needs to
+//! be explored. In such a scenario a relatively reliable network backbone
+//! would exist and thus would make possible further performance
+//! improvements." This model assigns each peer an availability *class*
+//! (e.g. a small always-on backbone plus a large transient majority) and
+//! steps every class with its own Markov parameters.
+
+use crate::error::ChurnError;
+use crate::markov::MarkovChurn;
+use crate::online_set::OnlineSet;
+use crate::Churn;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rumor_types::PeerId;
+use serde::{Deserialize, Serialize};
+
+/// Per-class Markov availability over a partitioned population.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_churn::{Churn, HeterogeneousChurn, MarkovChurn, OnlineSet};
+/// use rand::SeedableRng;
+///
+/// // 10% backbone that never leaves; 90% transient peers at ~20%
+/// // availability.
+/// let churn = HeterogeneousChurn::backbone(
+///     100,
+///     0.1,
+///     MarkovChurn::new(1.0, 1.0)?,
+///     MarkovChurn::new(0.9, 0.025)?,
+/// )?;
+/// assert_eq!(churn.class_of(rumor_types::PeerId::new(0)), 0, "backbone first");
+/// let f = churn.stationary_online_fraction().unwrap();
+/// assert!(f > 0.25 && f < 0.35, "weighted availability ≈ 0.28, got {f}");
+/// # Ok::<(), rumor_churn::ChurnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeterogeneousChurn {
+    classes: Vec<MarkovChurn>,
+    class_of: Vec<u8>,
+}
+
+impl HeterogeneousChurn {
+    /// Creates a model from an explicit per-peer class assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChurnError::InvalidTrace`] when a peer references a
+    /// missing class or no classes are given.
+    pub fn new(classes: Vec<MarkovChurn>, class_of: Vec<u8>) -> Result<Self, ChurnError> {
+        if classes.is_empty() {
+            return Err(ChurnError::InvalidTrace {
+                reason: "no availability classes".into(),
+            });
+        }
+        if let Some(bad) = class_of.iter().position(|&c| (c as usize) >= classes.len()) {
+            return Err(ChurnError::InvalidTrace {
+                reason: format!("peer {bad} references undefined class"),
+            });
+        }
+        Ok(Self { classes, class_of })
+    }
+
+    /// Convenience: the §8 scenario — the first `backbone_fraction` of
+    /// `population` peers follow `backbone`, the rest follow `transient`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `backbone_fraction` is outside `[0, 1]`.
+    pub fn backbone(
+        population: usize,
+        backbone_fraction: f64,
+        backbone: MarkovChurn,
+        transient: MarkovChurn,
+    ) -> Result<Self, ChurnError> {
+        if !(0.0..=1.0).contains(&backbone_fraction) {
+            return Err(ChurnError::ProbabilityOutOfRange {
+                name: "backbone_fraction",
+                value: backbone_fraction,
+            });
+        }
+        let cut = (population as f64 * backbone_fraction).round() as usize;
+        let class_of = (0..population).map(|i| u8::from(i >= cut)).collect();
+        Self::new(vec![backbone, transient], class_of)
+    }
+
+    /// The availability class of a peer (peers beyond the assignment
+    /// default to class 0).
+    pub fn class_of(&self, peer: PeerId) -> u8 {
+        self.class_of.get(peer.index()).copied().unwrap_or(0)
+    }
+
+    /// The class models.
+    pub fn classes(&self) -> &[MarkovChurn] {
+        &self.classes
+    }
+}
+
+impl Churn for HeterogeneousChurn {
+    fn step(&mut self, _round: u32, online: &mut OnlineSet, rng: &mut ChaCha8Rng) {
+        for i in 0..online.len() {
+            let peer = PeerId::new(i as u32);
+            let model = &self.classes[self.class_of(peer) as usize];
+            if online.is_online(peer) {
+                if model.stay_online() < 1.0 && !rng.gen_bool(model.stay_online()) {
+                    online.set_online(peer, false);
+                }
+            } else if model.come_online() > 0.0 && rng.gen_bool(model.come_online()) {
+                online.set_online(peer, true);
+            }
+        }
+    }
+
+    fn stationary_online_fraction(&self) -> Option<f64> {
+        if self.class_of.is_empty() {
+            return None;
+        }
+        let mut total = 0.0;
+        for &c in &self.class_of {
+            // A frozen class (σ=1, p_on=1 → stationary 1.0 works out via
+            // p_on/(p_on + 0)); classes with no unique stationary point
+            // make the blend undefined.
+            total += self.classes[c as usize].stationary_online_fraction()?;
+        }
+        Some(total / self.class_of.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(50)
+    }
+
+    #[test]
+    fn rejects_bad_assignments() {
+        assert!(HeterogeneousChurn::new(vec![], vec![]).is_err());
+        let m = MarkovChurn::new(0.9, 0.1).unwrap();
+        assert!(HeterogeneousChurn::new(vec![m], vec![0, 1]).is_err());
+        assert!(HeterogeneousChurn::backbone(10, 1.5, m, m).is_err());
+    }
+
+    #[test]
+    fn backbone_peers_stay_online() {
+        let mut churn = HeterogeneousChurn::backbone(
+            1_000,
+            0.1,
+            MarkovChurn::new(1.0, 1.0).unwrap(),
+            MarkovChurn::new(0.5, 0.0).unwrap(),
+        )
+        .unwrap();
+        let mut online = OnlineSet::all_online(1_000);
+        let mut r = rng();
+        for round in 0..20 {
+            churn.step(round, &mut online, &mut r);
+        }
+        // All 100 backbone peers still online; transient peers have
+        // evaporated (σ = 0.5, no return).
+        for i in 0..100 {
+            assert!(online.is_online(PeerId::new(i)), "backbone peer {i} left");
+        }
+        assert!(online.online_count() <= 105, "transients gone: {}", online.online_count());
+    }
+
+    #[test]
+    fn stationary_fraction_is_class_weighted() {
+        let churn = HeterogeneousChurn::backbone(
+            100,
+            0.5,
+            MarkovChurn::new(0.9, 0.1).unwrap(),  // stationary 0.5
+            MarkovChurn::new(0.8, 0.05).unwrap(), // stationary 0.2
+        )
+        .unwrap();
+        let f = churn.stationary_online_fraction().unwrap();
+        assert!((f - 0.35).abs() < 1e-9, "blend of 0.5 and 0.2, got {f}");
+    }
+
+    #[test]
+    fn degenerate_class_blocks_stationary_blend() {
+        let churn = HeterogeneousChurn::backbone(
+            10,
+            0.5,
+            MarkovChurn::new(1.0, 0.0).unwrap(), // frozen: no stationary point
+            MarkovChurn::new(0.9, 0.1).unwrap(),
+        )
+        .unwrap();
+        assert!(churn.stationary_online_fraction().is_none());
+    }
+
+    #[test]
+    fn population_converges_to_blend() {
+        let mut churn = HeterogeneousChurn::backbone(
+            4_000,
+            0.25,
+            MarkovChurn::new(0.99, 0.5).unwrap(),  // ≈ 0.98 available
+            MarkovChurn::new(0.9, 0.0112).unwrap(), // ≈ 0.1 available
+        )
+        .unwrap();
+        let target = churn.stationary_online_fraction().unwrap();
+        let mut online = OnlineSet::all_offline(4_000);
+        let mut r = rng();
+        for round in 0..400 {
+            churn.step(round, &mut online, &mut r);
+        }
+        let got = online.online_fraction();
+        assert!((got - target).abs() < 0.03, "got {got}, want ≈ {target}");
+    }
+}

@@ -1,0 +1,209 @@
+//! The paper's per-round availability chain.
+
+use crate::error::{check_probability, ChurnError};
+use crate::online_set::OnlineSet;
+use crate::Churn;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Two-state Markov availability: each round an online peer stays online
+/// with probability `σ` (the paper's `sigma = 1 − p_f`) and an offline
+/// peer comes online with probability `p_on` (the paper's `p_s`).
+///
+/// §4.1 notes both probabilities "are typically small and may vary in
+/// different push rounds" and that the analysis neglects peers coming
+/// online during a push ("peers coming online need to execute pull any
+/// way"); set `come_online` to `0.0` to reproduce the analysis setting
+/// exactly.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_churn::{Churn, MarkovChurn, OnlineSet};
+/// use rand::SeedableRng;
+///
+/// let mut churn = MarkovChurn::new(0.9, 0.1)?;
+/// assert!((churn.stationary_online_fraction().unwrap() - 0.5).abs() < 1e-12);
+///
+/// let mut online = OnlineSet::with_online_count(100, 50);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+/// churn.step(0, &mut online, &mut rng);
+/// # Ok::<(), rumor_churn::ChurnError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarkovChurn {
+    stay_online: f64,
+    come_online: f64,
+}
+
+impl MarkovChurn {
+    /// Creates the chain from `σ` (stay-online) and `p_on` (come-online).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChurnError::ProbabilityOutOfRange`] if either probability
+    /// is outside `[0, 1]`.
+    pub fn new(stay_online: f64, come_online: f64) -> Result<Self, ChurnError> {
+        Ok(Self {
+            stay_online: check_probability("stay_online", stay_online)?,
+            come_online: check_probability("come_online", come_online)?,
+        })
+    }
+
+    /// The paper's `σ`.
+    pub const fn stay_online(&self) -> f64 {
+        self.stay_online
+    }
+
+    /// The paper's `p_on` (probability an offline peer comes online).
+    pub const fn come_online(&self) -> f64 {
+        self.come_online
+    }
+}
+
+impl Churn for MarkovChurn {
+    fn step(&mut self, _round: u32, online: &mut OnlineSet, rng: &mut ChaCha8Rng) {
+        for i in 0..online.len() {
+            let peer = rumor_types::PeerId::new(i as u32);
+            if online.is_online(peer) {
+                if self.stay_online < 1.0 && !rng.gen_bool(self.stay_online) {
+                    online.set_online(peer, false);
+                }
+            } else if self.come_online > 0.0 && rng.gen_bool(self.come_online) {
+                online.set_online(peer, true);
+            }
+        }
+    }
+
+    fn stationary_online_fraction(&self) -> Option<f64> {
+        let leave = 1.0 - self.stay_online;
+        let denom = leave + self.come_online;
+        if denom == 0.0 {
+            // σ = 1 and p_on = 0: the chain never moves, so the initial
+            // condition persists and there is no unique stationary point.
+            None
+        } else {
+            Some(self.come_online / denom)
+        }
+    }
+}
+
+/// A frozen population: nobody changes availability.
+///
+/// Useful for isolating protocol behaviour (`σ = 1`, Fig. 5 setting) and
+/// for the fully-online Table 2 setting A.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticChurn;
+
+impl StaticChurn {
+    /// Creates the no-op churn model.
+    pub const fn new() -> Self {
+        Self
+    }
+}
+
+impl Churn for StaticChurn {
+    fn step(&mut self, _round: u32, _online: &mut OnlineSet, _rng: &mut ChaCha8Rng) {}
+
+    fn stationary_online_fraction(&self) -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        assert!(MarkovChurn::new(1.5, 0.0).is_err());
+        assert!(MarkovChurn::new(0.5, -0.1).is_err());
+    }
+
+    #[test]
+    fn sigma_one_keeps_everyone_online() {
+        let mut churn = MarkovChurn::new(1.0, 0.0).unwrap();
+        let mut online = OnlineSet::all_online(500);
+        let mut r = rng(1);
+        for round in 0..20 {
+            churn.step(round, &mut online, &mut r);
+        }
+        assert_eq!(online.online_count(), 500);
+    }
+
+    #[test]
+    fn sigma_zero_empties_population() {
+        let mut churn = MarkovChurn::new(0.0, 0.0).unwrap();
+        let mut online = OnlineSet::all_online(100);
+        churn.step(0, &mut online, &mut rng(2));
+        assert_eq!(online.online_count(), 0);
+    }
+
+    #[test]
+    fn online_decay_tracks_sigma() {
+        // With p_on = 0, E[R_on(t)] = R_on(0) σ^t (paper §4.1).
+        let sigma = 0.9;
+        let mut churn = MarkovChurn::new(sigma, 0.0).unwrap();
+        let mut online = OnlineSet::all_online(20_000);
+        let mut r = rng(3);
+        for round in 0..5 {
+            churn.step(round, &mut online, &mut r);
+        }
+        let expected = 20_000.0 * sigma.powi(5);
+        let got = online.online_count() as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.05,
+            "expected ≈ {expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn stationary_fraction_reached() {
+        let mut churn = MarkovChurn::new(0.95, 0.05).unwrap();
+        let target = churn.stationary_online_fraction().unwrap();
+        assert!((target - 0.5).abs() < 1e-12);
+        let mut online = OnlineSet::all_offline(20_000);
+        let mut r = rng(4);
+        for round in 0..200 {
+            churn.step(round, &mut online, &mut r);
+        }
+        assert!(
+            (online.online_fraction() - target).abs() < 0.03,
+            "fraction {} far from stationary {target}",
+            online.online_fraction()
+        );
+    }
+
+    #[test]
+    fn degenerate_chain_has_no_stationary_point() {
+        let churn = MarkovChurn::new(1.0, 0.0).unwrap();
+        assert!(churn.stationary_online_fraction().is_none());
+    }
+
+    #[test]
+    fn static_churn_never_changes_anything() {
+        let mut churn = StaticChurn::new();
+        let mut online = OnlineSet::with_online_count(10, 4);
+        let before = online.clone();
+        churn.step(0, &mut online, &mut rng(5));
+        assert_eq!(online, before);
+        assert!(churn.stationary_online_fraction().is_none());
+    }
+
+    #[test]
+    fn paper_online_range_10_to_30_percent() {
+        // Parameters chosen for the paper's 10%–30% expected availability
+        // must produce stationary fractions in that band.
+        for (sigma, p_on, lo, hi) in [(0.95, 0.00556, 0.09, 0.11), (0.9, 0.0429, 0.28, 0.32)] {
+            let churn = MarkovChurn::new(sigma, p_on).unwrap();
+            let s = churn.stationary_online_fraction().unwrap();
+            assert!((lo..=hi).contains(&s), "σ={sigma} p_on={p_on} gave {s}");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! The set of currently-online replicas (`R_on` in the paper).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rumor_types::PeerId;
+use serde::{Deserialize, Serialize};
+
+/// Dense online/offline state for a replica population.
+///
+/// Maintains the online count incrementally so that `R_on(t)` — the
+/// quantity every formula in the paper's analysis is normalised by — is
+/// available in O(1).
+///
+/// # Examples
+///
+/// ```
+/// use rumor_churn::OnlineSet;
+/// use rumor_types::PeerId;
+///
+/// let mut set = OnlineSet::with_online_count(10, 3);
+/// assert_eq!(set.online_count(), 3);
+/// set.set_online(PeerId::new(9), true);
+/// assert!(set.online_count() >= 3);
+/// assert_eq!(set.len(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnlineSet {
+    online: Vec<bool>,
+    online_count: usize,
+}
+
+impl OnlineSet {
+    /// Creates a population of `n` peers, all offline.
+    pub fn all_offline(n: usize) -> Self {
+        Self {
+            online: vec![false; n],
+            online_count: 0,
+        }
+    }
+
+    /// Creates a population of `n` peers, all online.
+    pub fn all_online(n: usize) -> Self {
+        Self {
+            online: vec![true; n],
+            online_count: n,
+        }
+    }
+
+    /// Creates a population with exactly the first `k` peers online.
+    ///
+    /// Which peers start online is immaterial to the protocol (peers are
+    /// exchangeable); taking a prefix keeps construction deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn with_online_count(n: usize, k: usize) -> Self {
+        assert!(k <= n, "cannot have more online peers than peers");
+        let mut online = vec![false; n];
+        for slot in online.iter_mut().take(k) {
+            *slot = true;
+        }
+        Self {
+            online,
+            online_count: k,
+        }
+    }
+
+    /// Creates a population where each peer is online independently with
+    /// probability `p`.
+    pub fn with_online_probability(n: usize, p: f64, rng: &mut ChaCha8Rng) -> Self {
+        let mut set = Self::all_offline(n);
+        for i in 0..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                set.set_online(PeerId::new(i as u32), true);
+            }
+        }
+        set
+    }
+
+    /// Total population size (the paper's `R`).
+    pub fn len(&self) -> usize {
+        self.online.len()
+    }
+
+    /// True when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.online.is_empty()
+    }
+
+    /// Number of online peers (the paper's `R_on`).
+    pub const fn online_count(&self) -> usize {
+        self.online_count
+    }
+
+    /// Online fraction `R_on / R`.
+    pub fn online_fraction(&self) -> f64 {
+        if self.online.is_empty() {
+            0.0
+        } else {
+            self.online_count as f64 / self.online.len() as f64
+        }
+    }
+
+    /// Whether the given peer is online.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer is outside the population.
+    pub fn is_online(&self, peer: PeerId) -> bool {
+        self.online[peer.index()]
+    }
+
+    /// Sets a peer's availability; returns `true` if the state changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer is outside the population.
+    pub fn set_online(&mut self, peer: PeerId, online: bool) -> bool {
+        let slot = &mut self.online[peer.index()];
+        if *slot == online {
+            return false;
+        }
+        *slot = online;
+        if online {
+            self.online_count += 1;
+        } else {
+            self.online_count -= 1;
+        }
+        true
+    }
+
+    /// Iterates over the online peers in index order.
+    pub fn iter_online(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.online
+            .iter()
+            .enumerate()
+            .filter(|(_, &on)| on)
+            .map(|(i, _)| PeerId::new(i as u32))
+    }
+
+    /// Iterates over every peer with its availability.
+    pub fn iter(&self) -> impl Iterator<Item = (PeerId, bool)> + '_ {
+        self.online
+            .iter()
+            .enumerate()
+            .map(|(i, &on)| (PeerId::new(i as u32), on))
+    }
+
+    /// Samples one online peer uniformly, or `None` if all are offline.
+    pub fn sample_online(&self, rng: &mut ChaCha8Rng) -> Option<PeerId> {
+        if self.online_count == 0 {
+            return None;
+        }
+        // Rejection sampling is O(R / R_on) expected — fine for the online
+        // fractions the paper considers (≥1%); fall back to a scan for
+        // pathological sparsity.
+        for _ in 0..64 {
+            let i = rng.gen_range(0..self.online.len());
+            if self.online[i] {
+                return Some(PeerId::new(i as u32));
+            }
+        }
+        let online: Vec<PeerId> = self.iter_online().collect();
+        online.choose(rng).copied()
+    }
+
+    /// Takes every peer offline (used by catastrophe injection).
+    pub fn clear(&mut self) {
+        self.online.iter_mut().for_each(|b| *b = false);
+        self.online_count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn constructors_set_counts() {
+        assert_eq!(OnlineSet::all_offline(5).online_count(), 0);
+        assert_eq!(OnlineSet::all_online(5).online_count(), 5);
+        assert_eq!(OnlineSet::with_online_count(5, 2).online_count(), 2);
+    }
+
+    #[test]
+    fn probability_constructor_is_close_to_p() {
+        let set = OnlineSet::with_online_probability(10_000, 0.2, &mut rng());
+        let frac = set.online_fraction();
+        assert!((frac - 0.2).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    fn set_online_maintains_count() {
+        let mut s = OnlineSet::all_offline(3);
+        assert!(s.set_online(PeerId::new(1), true));
+        assert!(!s.set_online(PeerId::new(1), true), "no-op change");
+        assert_eq!(s.online_count(), 1);
+        assert!(s.set_online(PeerId::new(1), false));
+        assert_eq!(s.online_count(), 0);
+    }
+
+    #[test]
+    fn iter_online_matches_count() {
+        let s = OnlineSet::with_online_count(10, 4);
+        assert_eq!(s.iter_online().count(), 4);
+        assert!(s.iter_online().all(|p| p.index() < 4));
+    }
+
+    #[test]
+    fn sample_online_returns_online_peer() {
+        let s = OnlineSet::with_online_count(100, 10);
+        let mut r = rng();
+        for _ in 0..50 {
+            let p = s.sample_online(&mut r).expect("some peer online");
+            assert!(s.is_online(p));
+        }
+    }
+
+    #[test]
+    fn sample_online_empty_is_none() {
+        let s = OnlineSet::all_offline(10);
+        assert!(s.sample_online(&mut rng()).is_none());
+    }
+
+    #[test]
+    fn sample_online_sparse_falls_back_to_scan() {
+        let mut s = OnlineSet::all_offline(100_000);
+        s.set_online(PeerId::new(99_999), true);
+        let p = s.sample_online(&mut rng()).expect("one online");
+        assert_eq!(p, PeerId::new(99_999));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = OnlineSet::all_online(4);
+        s.clear();
+        assert_eq!(s.online_count(), 0);
+        assert_eq!(s.online_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fraction_of_empty_population_is_zero() {
+        assert_eq!(OnlineSet::all_offline(0).online_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Continuous-time on/off availability for the event-driven engine.
+
+use crate::error::{check_positive, ChurnError};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A per-peer alternating renewal process with exponentially distributed
+/// online and offline dwell times.
+///
+/// The synchronous analysis abstracts availability into per-round
+/// probabilities; the event-driven engine needs actual session lengths.
+/// Exponential dwells make the embedded per-round chain exactly the
+/// paper's Markov model (memorylessness), so the two engines are
+/// statistically consistent.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_churn::OnOffProcess;
+/// use rand::SeedableRng;
+///
+/// let p = OnOffProcess::new(10.0, 90.0)?; // 10% expected availability
+/// assert!((p.expected_online_fraction() - 0.1).abs() < 1e-12);
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+/// let dwell = p.sample_online_dwell(&mut rng);
+/// assert!(dwell > 0.0);
+/// # Ok::<(), rumor_churn::ChurnError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnOffProcess {
+    mean_online: f64,
+    mean_offline: f64,
+}
+
+impl OnOffProcess {
+    /// Creates a process with the given mean online/offline session
+    /// lengths (in ticks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChurnError::NonPositiveDuration`] if either mean is not
+    /// strictly positive and finite.
+    pub fn new(mean_online: f64, mean_offline: f64) -> Result<Self, ChurnError> {
+        Ok(Self {
+            mean_online: check_positive("mean_online", mean_online)?,
+            mean_offline: check_positive("mean_offline", mean_offline)?,
+        })
+    }
+
+    /// Builds a process with a target availability and mean online session
+    /// length: `mean_offline` is derived.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `availability` is not in `(0, 1)` or
+    /// `mean_online` is not positive.
+    pub fn with_availability(availability: f64, mean_online: f64) -> Result<Self, ChurnError> {
+        if !(availability > 0.0 && availability < 1.0) {
+            return Err(ChurnError::ProbabilityOutOfRange {
+                name: "availability",
+                value: availability,
+            });
+        }
+        let mean_online = check_positive("mean_online", mean_online)?;
+        let mean_offline = mean_online * (1.0 - availability) / availability;
+        Self::new(mean_online, mean_offline)
+    }
+
+    /// Long-run fraction of time spent online.
+    pub fn expected_online_fraction(&self) -> f64 {
+        self.mean_online / (self.mean_online + self.mean_offline)
+    }
+
+    /// Samples the length of one online session.
+    pub fn sample_online_dwell(&self, rng: &mut ChaCha8Rng) -> f64 {
+        sample_exponential(self.mean_online, rng)
+    }
+
+    /// Samples the length of one offline period.
+    pub fn sample_offline_dwell(&self, rng: &mut ChaCha8Rng) -> f64 {
+        sample_exponential(self.mean_offline, rng)
+    }
+
+    /// Probability that a peer online now is still online `dt` ticks later
+    /// without interruption — the continuous analogue of the paper's `σ`.
+    pub fn survival_probability(&self, dt: f64) -> f64 {
+        (-dt / self.mean_online).exp()
+    }
+}
+
+fn sample_exponential(mean: f64, rng: &mut ChaCha8Rng) -> f64 {
+    // Inverse CDF; guard the log away from 0 so dwells are finite.
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn rejects_non_positive_means() {
+        assert!(OnOffProcess::new(0.0, 1.0).is_err());
+        assert!(OnOffProcess::new(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn availability_constructor_hits_target() {
+        let p = OnOffProcess::with_availability(0.3, 30.0).unwrap();
+        assert!((p.expected_online_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn availability_constructor_rejects_extremes() {
+        assert!(OnOffProcess::with_availability(0.0, 1.0).is_err());
+        assert!(OnOffProcess::with_availability(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn dwell_means_converge() {
+        let p = OnOffProcess::new(10.0, 40.0).unwrap();
+        let mut r = rng();
+        let n = 20_000;
+        let mean_on: f64 = (0..n).map(|_| p.sample_online_dwell(&mut r)).sum::<f64>() / n as f64;
+        let mean_off: f64 = (0..n).map(|_| p.sample_offline_dwell(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean_on - 10.0).abs() < 0.5, "online mean {mean_on}");
+        assert!((mean_off - 40.0).abs() < 2.0, "offline mean {mean_off}");
+    }
+
+    #[test]
+    fn survival_matches_exponential() {
+        let p = OnOffProcess::new(10.0, 10.0).unwrap();
+        assert!((p.survival_probability(0.0) - 1.0).abs() < 1e-12);
+        assert!((p.survival_probability(10.0) - (-1.0f64).exp()).abs() < 1e-12);
+        assert!(p.survival_probability(100.0) < 1e-4);
+    }
+
+    #[test]
+    fn dwells_are_positive() {
+        let p = OnOffProcess::new(1.0, 1.0).unwrap();
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(p.sample_online_dwell(&mut r) > 0.0);
+        }
+    }
+}

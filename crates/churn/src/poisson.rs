@@ -1,0 +1,104 @@
+//! Poisson sampling, used for workload arrivals and the §5.6 analysis.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Samples a Poisson random variate with the given mean.
+///
+/// Uses Knuth's product method for small means and a normal approximation
+/// above 30 (error well under the stochastic noise of the experiments it
+/// feeds). The paper's §5.6 assumes "peers stay online according to a
+/// Poisson process"; workload generators also use this for update arrivals.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let x = rumor_churn::sample_poisson(4.0, &mut rng);
+/// assert!(x < 100);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `mean` is negative or not finite.
+pub fn sample_poisson(mean: f64, rng: &mut ChaCha8Rng) -> u64 {
+    assert!(mean >= 0.0 && mean.is_finite(), "mean must be finite ≥ 0");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        // Normal approximation with continuity correction.
+        let z = sample_standard_normal(rng);
+        let v = mean + z * mean.sqrt() + 0.5;
+        return v.max(0.0) as u64;
+    }
+    let limit = (-mean).exp();
+    let mut k: u64 = 0;
+    let mut product: f64 = 1.0;
+    loop {
+        product *= rng.gen_range(0.0f64..1.0);
+        if product <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+fn sample_standard_normal(rng: &mut ChaCha8Rng) -> f64 {
+    // Box–Muller transform.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0f64..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn zero_mean_is_zero() {
+        assert_eq!(sample_poisson(0.0, &mut rng()), 0);
+    }
+
+    #[test]
+    fn small_mean_statistics() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<u64> = (0..n).map(|_| sample_poisson(3.0, &mut r)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 3.0).abs() < 0.15, "variance {var} (Poisson: = mean)");
+    }
+
+    #[test]
+    fn large_mean_statistics() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean = (0..n).map(|_| sample_poisson(100.0, &mut r)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_negative_mean() {
+        let _ = sample_poisson(-1.0, &mut rng());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = sample_poisson(5.0, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = sample_poisson(5.0, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

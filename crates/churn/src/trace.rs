@@ -1,0 +1,230 @@
+//! Trace-driven availability.
+//!
+//! The paper cites observed replica counts from music file-sharing systems
+//! but uses no availability traces; real traces are unavailable to this
+//! reproduction, so [`AvailabilityTrace::generate`] synthesises one from
+//! any generator model and [`TraceChurn`] replays it. This keeps the
+//! "replayable measured environment" code path exercised (see `DESIGN.md`
+//! §4) and lets experiments pin an identical churn schedule across
+//! protocol variants — the ceteris-paribus comparisons in the harness.
+
+use crate::error::ChurnError;
+use crate::online_set::OnlineSet;
+use crate::Churn;
+use rand_chacha::ChaCha8Rng;
+use rumor_types::PeerId;
+use serde::{Deserialize, Serialize};
+
+/// A pre-computed availability matrix: `rows = rounds`, `cols = peers`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AvailabilityTrace {
+    peers: usize,
+    rounds: Vec<Vec<bool>>,
+}
+
+impl AvailabilityTrace {
+    /// Builds a trace from explicit per-round availability rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChurnError::InvalidTrace`] if the trace is empty or rows
+    /// have inconsistent widths.
+    pub fn from_rows(rows: Vec<Vec<bool>>) -> Result<Self, ChurnError> {
+        let Some(first) = rows.first() else {
+            return Err(ChurnError::InvalidTrace {
+                reason: "trace has no rounds".into(),
+            });
+        };
+        let peers = first.len();
+        if peers == 0 {
+            return Err(ChurnError::InvalidTrace {
+                reason: "trace has no peers".into(),
+            });
+        }
+        if let Some(bad) = rows.iter().position(|r| r.len() != peers) {
+            return Err(ChurnError::InvalidTrace {
+                reason: format!("row {bad} has width {} ≠ {peers}", rows[bad].len()),
+            });
+        }
+        Ok(Self { peers, rounds: rows })
+    }
+
+    /// Generates a trace by running a churn model for `rounds` rounds from
+    /// the given initial state.
+    pub fn generate<C: Churn>(
+        initial: &OnlineSet,
+        model: &mut C,
+        rounds: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Self {
+        let mut state = initial.clone();
+        let mut rows = Vec::with_capacity(rounds.max(1));
+        rows.push((0..state.len()).map(|i| state.is_online(PeerId::new(i as u32))).collect());
+        for round in 1..rounds {
+            model.step(round as u32 - 1, &mut state, rng);
+            rows.push((0..state.len()).map(|i| state.is_online(PeerId::new(i as u32))).collect());
+        }
+        Self {
+            peers: initial.len(),
+            rounds: rows,
+        }
+    }
+
+    /// Number of peers in the trace.
+    pub const fn peers(&self) -> usize {
+        self.peers
+    }
+
+    /// Number of recorded rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Availability of `peer` at `round` (clamped to the last round once
+    /// the trace is exhausted).
+    pub fn is_online(&self, round: usize, peer: PeerId) -> bool {
+        let row = round.min(self.rounds.len() - 1);
+        self.rounds[row][peer.index()]
+    }
+
+    /// Mean online fraction over the whole trace.
+    pub fn mean_online_fraction(&self) -> f64 {
+        let total: usize = self
+            .rounds
+            .iter()
+            .map(|r| r.iter().filter(|&&b| b).count())
+            .sum();
+        total as f64 / (self.peers * self.rounds.len()) as f64
+    }
+}
+
+/// Replays an [`AvailabilityTrace`] as a churn model.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_churn::{AvailabilityTrace, Churn, OnlineSet, TraceChurn};
+/// use rand::SeedableRng;
+///
+/// let trace = AvailabilityTrace::from_rows(vec![
+///     vec![true, false],
+///     vec![false, true],
+/// ])?;
+/// let mut churn = TraceChurn::new(trace);
+/// let mut online = OnlineSet::all_offline(2);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// churn.step(0, &mut online, &mut rng); // applies round 1 of the trace
+/// assert!(online.is_online(rumor_types::PeerId::new(1)));
+/// # Ok::<(), rumor_churn::ChurnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceChurn {
+    trace: AvailabilityTrace,
+}
+
+impl TraceChurn {
+    /// Wraps a trace for replay.
+    pub fn new(trace: AvailabilityTrace) -> Self {
+        Self { trace }
+    }
+
+    /// Applies round 0 of the trace to an online set (initial condition).
+    pub fn apply_initial(&self, online: &mut OnlineSet) {
+        for i in 0..online.len().min(self.trace.peers()) {
+            let p = PeerId::new(i as u32);
+            online.set_online(p, self.trace.is_online(0, p));
+        }
+    }
+
+    /// The wrapped trace.
+    pub fn trace(&self) -> &AvailabilityTrace {
+        &self.trace
+    }
+}
+
+impl Churn for TraceChurn {
+    fn step(&mut self, round: u32, online: &mut OnlineSet, _rng: &mut ChaCha8Rng) {
+        // Stepping after round `t` moves the population into trace row `t+1`.
+        let row = round as usize + 1;
+        for i in 0..online.len().min(self.trace.peers()) {
+            let p = PeerId::new(i as u32);
+            online.set_online(p, self.trace.is_online(row, p));
+        }
+    }
+
+    fn stationary_online_fraction(&self) -> Option<f64> {
+        Some(self.trace.mean_online_fraction())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markov::MarkovChurn;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_empty_traces() {
+        assert!(AvailabilityTrace::from_rows(vec![]).is_err());
+        assert!(AvailabilityTrace::from_rows(vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = AvailabilityTrace::from_rows(vec![vec![true], vec![true, false]]);
+        assert!(matches!(err, Err(ChurnError::InvalidTrace { .. })));
+    }
+
+    #[test]
+    fn replay_is_exact() {
+        let rows = vec![vec![true, false, true], vec![false, false, true]];
+        let trace = AvailabilityTrace::from_rows(rows).unwrap();
+        let mut churn = TraceChurn::new(trace);
+        let mut online = OnlineSet::all_offline(3);
+        churn.apply_initial(&mut online);
+        assert_eq!(online.online_count(), 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        churn.step(0, &mut online, &mut rng);
+        assert_eq!(online.online_count(), 1);
+        assert!(online.is_online(PeerId::new(2)));
+    }
+
+    #[test]
+    fn trace_clamps_past_end() {
+        let trace = AvailabilityTrace::from_rows(vec![vec![true]]).unwrap();
+        assert!(trace.is_online(99, PeerId::new(0)));
+    }
+
+    #[test]
+    fn generated_trace_matches_model_statistics() {
+        let mut model = MarkovChurn::new(0.9, 0.1).unwrap();
+        let initial = OnlineSet::with_online_count(2000, 1000);
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let trace = AvailabilityTrace::generate(&initial, &mut model, 100, &mut rng);
+        assert_eq!(trace.rounds(), 100);
+        assert_eq!(trace.peers(), 2000);
+        // Stationary fraction of this chain is 0.5 and we start there.
+        let f = trace.mean_online_fraction();
+        assert!((f - 0.5).abs() < 0.05, "mean online fraction {f}");
+    }
+
+    #[test]
+    fn replaying_generated_trace_reproduces_counts() {
+        let mut model = MarkovChurn::new(0.8, 0.2).unwrap();
+        let initial = OnlineSet::with_online_count(100, 40);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let trace = AvailabilityTrace::generate(&initial, &mut model, 10, &mut rng);
+
+        let mut churn = TraceChurn::new(trace.clone());
+        let mut online = OnlineSet::all_offline(100);
+        churn.apply_initial(&mut online);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(999); // RNG irrelevant for replay
+        for round in 0..9u32 {
+            churn.step(round, &mut online, &mut rng2);
+            let expect = (0..100)
+                .filter(|&i| trace.is_online(round as usize + 1, PeerId::new(i)))
+                .count();
+            assert_eq!(online.online_count(), expect);
+        }
+    }
+}

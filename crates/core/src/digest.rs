@@ -1,0 +1,150 @@
+//! Version digests exchanged during the pull phase.
+//!
+//! A pulling replica summarises what it holds — per key, the head ids of
+//! its frontier versions — and the pulled party answers with every
+//! version not listed (paper §3: "Inquire for missed updates based on
+//! version vectors").
+
+use rumor_types::{DataKey, VersionId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-key sets of known version heads.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_core::StoreDigest;
+/// use rumor_types::{DataKey, VersionId};
+///
+/// let mut d = StoreDigest::new();
+/// d.insert(DataKey::new(1), VersionId::from_bits(42));
+/// assert!(d.contains(DataKey::new(1), VersionId::from_bits(42)));
+/// assert!(!d.contains(DataKey::new(2), VersionId::from_bits(42)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreDigest {
+    entries: BTreeMap<DataKey, Vec<VersionId>>,
+}
+
+impl StoreDigest {
+    /// Creates an empty digest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that a version head is known for `key`.
+    pub fn insert(&mut self, key: DataKey, head: VersionId) {
+        let heads = self.entries.entry(key).or_default();
+        if let Err(pos) = heads.binary_search(&head) {
+            heads.insert(pos, head);
+        }
+    }
+
+    /// Whether `head` is listed for `key`.
+    pub fn contains(&self, key: DataKey, head: VersionId) -> bool {
+        self.entries
+            .get(&key)
+            .is_some_and(|heads| heads.binary_search(&head).is_ok())
+    }
+
+    /// Number of keys described.
+    pub fn key_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of `(key, head)` entries.
+    pub fn version_count(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// True when the digest describes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(key, heads)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (DataKey, &[VersionId])> {
+        self.entries.iter().map(|(k, v)| (*k, v.as_slice()))
+    }
+}
+
+impl FromIterator<(DataKey, VersionId)> for StoreDigest {
+    fn from_iter<I: IntoIterator<Item = (DataKey, VersionId)>>(iter: I) -> Self {
+        let mut d = Self::new();
+        for (k, v) in iter {
+            d.insert(k, v);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(bits: u128) -> VersionId {
+        VersionId::from_bits(bits)
+    }
+
+    #[test]
+    fn empty_digest() {
+        let d = StoreDigest::new();
+        assert!(d.is_empty());
+        assert_eq!(d.key_count(), 0);
+        assert_eq!(d.version_count(), 0);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut d = StoreDigest::new();
+        d.insert(DataKey::new(1), v(9));
+        d.insert(DataKey::new(1), v(9));
+        assert_eq!(d.version_count(), 1);
+    }
+
+    #[test]
+    fn multiple_heads_per_key() {
+        let mut d = StoreDigest::new();
+        d.insert(DataKey::new(1), v(1));
+        d.insert(DataKey::new(1), v(2));
+        assert_eq!(d.key_count(), 1);
+        assert_eq!(d.version_count(), 2);
+        assert!(d.contains(DataKey::new(1), v(1)));
+        assert!(d.contains(DataKey::new(1), v(2)));
+    }
+
+    #[test]
+    fn heads_stay_sorted() {
+        let mut d = StoreDigest::new();
+        for bits in [5u128, 1, 3, 2, 4] {
+            d.insert(DataKey::new(1), v(bits));
+        }
+        let (_, heads) = d.iter().next().unwrap();
+        let sorted: Vec<_> = {
+            let mut s = heads.to_vec();
+            s.sort();
+            s
+        };
+        assert_eq!(heads, sorted.as_slice());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let d: StoreDigest = [(DataKey::new(1), v(1)), (DataKey::new(2), v(2))]
+            .into_iter()
+            .collect();
+        assert_eq!(d.key_count(), 2);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let a: StoreDigest = [(DataKey::new(1), v(1)), (DataKey::new(1), v(2))]
+            .into_iter()
+            .collect();
+        let b: StoreDigest = [(DataKey::new(1), v(2)), (DataKey::new(1), v(1))]
+            .into_iter()
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for protocol configuration and wire decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by `rumor-core` public APIs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// The parameter at fault.
+        parameter: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A wire message could not be decoded.
+    Decode {
+        /// Why decoding failed.
+        reason: String,
+    },
+}
+
+impl CoreError {
+    pub(crate) fn invalid_config(parameter: &'static str, reason: impl Into<String>) -> Self {
+        Self::InvalidConfig {
+            parameter,
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn decode(reason: impl Into<String>) -> Self {
+        Self::Decode {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid protocol configuration `{parameter}`: {reason}")
+            }
+            Self::Decode { reason } => write!(f, "malformed message: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_parameter() {
+        let e = CoreError::invalid_config("fanout", "must be positive");
+        assert!(e.to_string().contains("fanout"));
+        assert!(e.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn decode_error_displays_reason() {
+        let e = CoreError::decode("truncated header");
+        assert!(e.to_string().contains("truncated header"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<CoreError>();
+    }
+}

@@ -1,0 +1,125 @@
+//! Fanout policies — the paper's `f_r`.
+//!
+//! §4.1 deliberately separates the *fanout fraction* `f_r` from the
+//! forwarding probability `PF(t)` "because we wanted to study the effects
+//! of both these factors in limited flooding algorithms": Gnutella has
+//! fanout but no `PF`, gossip routing has `PF` but fixed fanout. Both
+//! knobs exist here for the same reason.
+
+use serde::{Deserialize, Serialize};
+
+/// How many replicas a forwarding peer addresses per push.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FanoutPolicy {
+    /// Address `fraction · R` replicas (`f_r`, the paper's default).
+    Fraction {
+        /// The paper's `f_r` in `(0, 1]`.
+        f_r: f64,
+    },
+    /// Address a fixed number of replicas regardless of `R`.
+    Absolute {
+        /// Number of targets per push.
+        count: usize,
+    },
+}
+
+impl FanoutPolicy {
+    /// Resolves the number of push targets for a population of
+    /// `total_replicas`, always at least 1 (a forwarding decision that
+    /// addresses nobody is meaningless).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rumor_core::FanoutPolicy;
+    /// assert_eq!(FanoutPolicy::Fraction { f_r: 0.01 }.targets(1000), 10);
+    /// assert_eq!(FanoutPolicy::Absolute { count: 4 }.targets(1000), 4);
+    /// ```
+    pub fn targets(&self, total_replicas: usize) -> usize {
+        match *self {
+            Self::Fraction { f_r } => ((total_replicas as f64 * f_r).round() as usize).max(1),
+            Self::Absolute { count } => count.max(1),
+        }
+    }
+
+    /// The effective fanout fraction for a population (used where the
+    /// analysis needs `f_r` regardless of which representation was
+    /// configured).
+    pub fn fraction(&self, total_replicas: usize) -> f64 {
+        match *self {
+            Self::Fraction { f_r } => f_r,
+            Self::Absolute { count } => {
+                if total_replicas == 0 {
+                    0.0
+                } else {
+                    count as f64 / total_replicas as f64
+                }
+            }
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Self::Fraction { f_r } => {
+                if f_r > 0.0 && f_r <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(format!("f_r must be in (0,1], got {f_r}"))
+                }
+            }
+            Self::Absolute { count } => {
+                if count > 0 {
+                    Ok(())
+                } else {
+                    Err("fanout count must be ≥ 1".to_owned())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_rounds_to_nearest() {
+        assert_eq!(FanoutPolicy::Fraction { f_r: 0.005 }.targets(1000), 5);
+        assert_eq!(FanoutPolicy::Fraction { f_r: 0.0004 }.targets(10_000), 4);
+    }
+
+    #[test]
+    fn fraction_is_at_least_one() {
+        assert_eq!(FanoutPolicy::Fraction { f_r: 0.001 }.targets(10), 1);
+    }
+
+    #[test]
+    fn absolute_ignores_population() {
+        let p = FanoutPolicy::Absolute { count: 7 };
+        assert_eq!(p.targets(10), 7);
+        assert_eq!(p.targets(1_000_000), 7);
+    }
+
+    #[test]
+    fn fraction_accessor_inverts_absolute() {
+        let p = FanoutPolicy::Absolute { count: 10 };
+        assert!((p.fraction(1000) - 0.01).abs() < 1e-12);
+        assert_eq!(p.fraction(0), 0.0);
+        let q = FanoutPolicy::Fraction { f_r: 0.02 };
+        assert_eq!(q.fraction(12345), 0.02);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(FanoutPolicy::Fraction { f_r: 0.01 }.validate().is_ok());
+        assert!(FanoutPolicy::Fraction { f_r: 0.0 }.validate().is_err());
+        assert!(FanoutPolicy::Fraction { f_r: 1.2 }.validate().is_err());
+        assert!(FanoutPolicy::Absolute { count: 1 }.validate().is_ok());
+        assert!(FanoutPolicy::Absolute { count: 0 }.validate().is_err());
+    }
+}

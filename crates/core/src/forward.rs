@@ -1,0 +1,363 @@
+//! Forwarding-probability policies `PF(t)`.
+//!
+//! §3 introduces `PF(t)` as "any function, and is a self tuning parameter,
+//! determined locally", and Fig. 4 evaluates the concrete shapes
+//! reproduced here. §6 describes the self-tuning variant: duplicates
+//! received, acknowledgements and the partial-list length are "essential,
+//! locally available metric[s]" for reducing `PF(t)` as the rumor spreads.
+
+use serde::{Deserialize, Serialize};
+
+/// Locally observable signals available when deciding whether to forward.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TuningSignals {
+    /// Duplicate copies of this update received so far (§6: "the number of
+    /// duplicate messages received by a replica … essential, locally
+    /// available metric").
+    pub duplicates: u32,
+    /// Normalised partial-list length `l(t)` — an estimate of how far the
+    /// update has already spread (§6: "message length `L(t)` … provides an
+    /// estimate of the extent of propagation").
+    pub list_coverage: f64,
+    /// Acknowledgements received for this update's pushes.
+    pub acks: u32,
+}
+
+/// The probability `PF(t)` that a replica which received an update in
+/// round `t−1` forwards it in round `t`.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_core::{ForwardPolicy, TuningSignals};
+///
+/// let pf = ForwardPolicy::ExponentialDecay { base: 0.9 };
+/// let s = TuningSignals::default();
+/// assert!((pf.probability(0, &s) - 1.0).abs() < 1e-12);
+/// assert!((pf.probability(2, &s) - 0.81).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ForwardPolicy {
+    /// Always forward (`PF = 1`, plain constrained flooding — the
+    /// Gnutella-like baseline of Fig. 1–3).
+    Always,
+    /// Forward with a fixed probability (`PF = p`, Fig. 4's `PF = 0.8`).
+    Constant {
+        /// The fixed probability.
+        p: f64,
+    },
+    /// `PF(t) = max(0, 1 − rate · t)` (Fig. 4's `PF(t) = 1 − 0.1 t`).
+    LinearDecay {
+        /// Per-round decrement.
+        rate: f64,
+    },
+    /// `PF(t) = base^t` (Fig. 4's `0.9^t`, `0.7^t`, `0.5^t`; Table 2's
+    /// "our scheme").
+    ExponentialDecay {
+        /// Decay base in `(0, 1]`.
+        base: f64,
+    },
+    /// `PF(t) = scale · base^t + offset` (Fig. 5's `0.8 · 0.7^t + 0.2`).
+    OffsetExponential {
+        /// Multiplier of the decaying part.
+        scale: f64,
+        /// Decay base.
+        base: f64,
+        /// Asymptotic forwarding probability.
+        offset: f64,
+    },
+    /// Haas et al.'s GOSSIP1(p, k): flood (`PF = 1`) for the first `k`
+    /// rounds, then forward with probability `p` (§5.6).
+    FloodThenGossip {
+        /// Probability after the flood prefix.
+        p: f64,
+        /// Number of pure-flooding rounds.
+        k: u32,
+    },
+    /// §6's locally self-tuned policy:
+    /// `PF = clamp(base^t · (1 − l(t))^ce · dd^dups, floor, 1)`.
+    ///
+    /// Coverage (`l(t)`) and duplicates both *damp* forwarding; the floor
+    /// keeps the tail population reachable.
+    SelfTuning {
+        /// Deterministic per-round decay base.
+        base: f64,
+        /// Exponent applied to `(1 − coverage)`.
+        coverage_exponent: f64,
+        /// Multiplicative decay per duplicate received.
+        duplicate_decay: f64,
+        /// Lower bound on the probability.
+        floor: f64,
+    },
+}
+
+impl ForwardPolicy {
+    /// A reasonable self-tuning default (used by examples and ablations).
+    pub const fn self_tuning_default() -> Self {
+        Self::SelfTuning {
+            base: 0.95,
+            coverage_exponent: 1.0,
+            duplicate_decay: 0.6,
+            floor: 0.05,
+        }
+    }
+
+    /// Evaluates `PF(t)` under the given local signals, clamped to `[0,1]`.
+    pub fn probability(&self, round_t: u32, signals: &TuningSignals) -> f64 {
+        let t = round_t as f64;
+        let p = match *self {
+            Self::Always => 1.0,
+            Self::Constant { p } => p,
+            Self::LinearDecay { rate } => 1.0 - rate * t,
+            Self::ExponentialDecay { base } => base.powf(t),
+            Self::OffsetExponential {
+                scale,
+                base,
+                offset,
+            } => scale * base.powf(t) + offset,
+            Self::FloodThenGossip { p, k } => {
+                if round_t < k {
+                    1.0
+                } else {
+                    p
+                }
+            }
+            Self::SelfTuning {
+                base,
+                coverage_exponent,
+                duplicate_decay,
+                floor,
+            } => {
+                let coverage = signals.list_coverage.clamp(0.0, 1.0);
+                let tuned = base.powf(t)
+                    * (1.0 - coverage).powf(coverage_exponent)
+                    * duplicate_decay.powi(signals.duplicates as i32);
+                tuned.max(floor)
+            }
+        };
+        p.clamp(0.0, 1.0)
+    }
+
+    /// Validates the policy's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        let check_prob = |name: &str, v: f64| {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{name} must be in [0,1], got {v}"))
+            }
+        };
+        match *self {
+            Self::Always => Ok(()),
+            Self::Constant { p } => check_prob("p", p),
+            Self::LinearDecay { rate } => {
+                if rate >= 0.0 && rate.is_finite() {
+                    Ok(())
+                } else {
+                    Err(format!("rate must be ≥ 0, got {rate}"))
+                }
+            }
+            Self::ExponentialDecay { base } => {
+                if base > 0.0 && base <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(format!("base must be in (0,1], got {base}"))
+                }
+            }
+            Self::OffsetExponential {
+                scale,
+                base,
+                offset,
+            } => {
+                check_prob("scale", scale)?;
+                check_prob("offset", offset)?;
+                if base > 0.0 && base <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(format!("base must be in (0,1], got {base}"))
+                }
+            }
+            Self::FloodThenGossip { p, .. } => check_prob("p", p),
+            Self::SelfTuning {
+                base,
+                coverage_exponent,
+                duplicate_decay,
+                floor,
+            } => {
+                check_prob("duplicate_decay", duplicate_decay)?;
+                check_prob("floor", floor)?;
+                if !(base > 0.0 && base <= 1.0) {
+                    return Err(format!("base must be in (0,1], got {base}"));
+                }
+                if coverage_exponent < 0.0 {
+                    return Err(format!(
+                        "coverage_exponent must be ≥ 0, got {coverage_exponent}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NO_SIGNALS: TuningSignals = TuningSignals {
+        duplicates: 0,
+        list_coverage: 0.0,
+        acks: 0,
+    };
+
+    #[test]
+    fn always_is_one() {
+        for t in 0..20 {
+            assert_eq!(ForwardPolicy::Always.probability(t, &NO_SIGNALS), 1.0);
+        }
+    }
+
+    #[test]
+    fn constant_holds_value() {
+        let pf = ForwardPolicy::Constant { p: 0.8 };
+        assert_eq!(pf.probability(0, &NO_SIGNALS), 0.8);
+        assert_eq!(pf.probability(9, &NO_SIGNALS), 0.8);
+    }
+
+    #[test]
+    fn linear_decay_matches_figure_4() {
+        // PF(t) = 1 − 0.1 t (assuming t < 10).
+        let pf = ForwardPolicy::LinearDecay { rate: 0.1 };
+        assert!((pf.probability(3, &NO_SIGNALS) - 0.7).abs() < 1e-12);
+        assert_eq!(pf.probability(15, &NO_SIGNALS), 0.0, "clamped at zero");
+    }
+
+    #[test]
+    fn exponential_decay_matches_figure_4() {
+        let pf = ForwardPolicy::ExponentialDecay { base: 0.7 };
+        assert!((pf.probability(2, &NO_SIGNALS) - 0.49).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_exponential_matches_figure_5() {
+        // PF(t) = 0.8 · 0.7^t + 0.2.
+        let pf = ForwardPolicy::OffsetExponential {
+            scale: 0.8,
+            base: 0.7,
+            offset: 0.2,
+        };
+        assert!((pf.probability(0, &NO_SIGNALS) - 1.0).abs() < 1e-12);
+        assert!((pf.probability(1, &NO_SIGNALS) - 0.76).abs() < 1e-12);
+        // Asymptote at 0.2.
+        assert!((pf.probability(50, &NO_SIGNALS) - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flood_then_gossip_switches_at_k() {
+        let pf = ForwardPolicy::FloodThenGossip { p: 0.8, k: 2 };
+        assert_eq!(pf.probability(0, &NO_SIGNALS), 1.0);
+        assert_eq!(pf.probability(1, &NO_SIGNALS), 1.0);
+        assert_eq!(pf.probability(2, &NO_SIGNALS), 0.8);
+        assert_eq!(pf.probability(7, &NO_SIGNALS), 0.8);
+    }
+
+    #[test]
+    fn self_tuning_damps_with_coverage_and_duplicates() {
+        let pf = ForwardPolicy::self_tuning_default();
+        let quiet = pf.probability(1, &NO_SIGNALS);
+        let covered = pf.probability(
+            1,
+            &TuningSignals {
+                duplicates: 0,
+                list_coverage: 0.9,
+                acks: 0,
+            },
+        );
+        let noisy = pf.probability(
+            1,
+            &TuningSignals {
+                duplicates: 3,
+                list_coverage: 0.9,
+                acks: 0,
+            },
+        );
+        assert!(quiet > covered, "{quiet} vs {covered}");
+        assert!(covered >= noisy);
+    }
+
+    #[test]
+    fn self_tuning_respects_floor() {
+        let pf = ForwardPolicy::SelfTuning {
+            base: 0.5,
+            coverage_exponent: 2.0,
+            duplicate_decay: 0.1,
+            floor: 0.07,
+        };
+        let p = pf.probability(
+            30,
+            &TuningSignals {
+                duplicates: 20,
+                list_coverage: 0.999,
+                acks: 0,
+            },
+        );
+        assert!((p - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_always_in_unit_interval() {
+        let policies = [
+            ForwardPolicy::Always,
+            ForwardPolicy::Constant { p: 0.3 },
+            ForwardPolicy::LinearDecay { rate: 0.25 },
+            ForwardPolicy::ExponentialDecay { base: 0.5 },
+            ForwardPolicy::OffsetExponential {
+                scale: 0.8,
+                base: 0.7,
+                offset: 0.2,
+            },
+            ForwardPolicy::FloodThenGossip { p: 0.8, k: 2 },
+            ForwardPolicy::self_tuning_default(),
+        ];
+        for pf in policies {
+            for t in 0..40 {
+                let p = pf.probability(
+                    t,
+                    &TuningSignals {
+                        duplicates: t,
+                        list_coverage: t as f64 / 40.0,
+                        acks: 0,
+                    },
+                );
+                assert!((0.0..=1.0).contains(&p), "{pf:?} at t={t} gave {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn validation_accepts_paper_policies() {
+        assert!(ForwardPolicy::Always.validate().is_ok());
+        assert!(ForwardPolicy::ExponentialDecay { base: 0.9 }.validate().is_ok());
+        assert!(ForwardPolicy::self_tuning_default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(ForwardPolicy::Constant { p: 1.5 }.validate().is_err());
+        assert!(ForwardPolicy::ExponentialDecay { base: 0.0 }.validate().is_err());
+        assert!(ForwardPolicy::ExponentialDecay { base: 1.5 }.validate().is_err());
+        assert!(ForwardPolicy::LinearDecay { rate: -1.0 }.validate().is_err());
+        assert!(ForwardPolicy::SelfTuning {
+            base: 0.9,
+            coverage_exponent: -1.0,
+            duplicate_decay: 0.5,
+            floor: 0.0
+        }
+        .validate()
+        .is_err());
+    }
+}

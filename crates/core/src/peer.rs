@@ -1,0 +1,972 @@
+//! The replica state machine: push phase, pull phase, acks, self-tuning.
+
+use crate::config::{AckPolicy, ProtocolConfig, PullStrategy};
+use crate::forward::TuningSignals;
+use crate::message::{Message, PushMessage};
+use crate::partial_list::PartialList;
+use crate::query::QueryAnswer;
+use crate::select::select_targets;
+use crate::store::ReplicaStore;
+use crate::update::Update;
+use crate::value::Value;
+use crate::version::Lineage;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rumor_net::{Effect, Node};
+use rumor_types::{DataKey, PeerId, Round, UpdateId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Timer tag used by the lazy pull strategy.
+const TAG_LAZY_PULL: u64 = 1;
+/// Timer tag used by pull retries (§4.3's repeated attempts).
+const TAG_PULL_RETRY: u64 = 2;
+
+/// Locally collected protocol statistics (all monotone counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerStats {
+    /// First copies of updates received by push.
+    pub pushes_received: u64,
+    /// Duplicate push copies received (§6's tuning signal).
+    pub duplicates_received: u64,
+    /// Forwarding decisions in which the `PF(t)` coin fired.
+    pub pushes_forwarded: u64,
+    /// Forwarding decisions suppressed by the `PF(t)` coin.
+    pub forwards_suppressed: u64,
+    /// Push messages sent (to targets, `R_p \ R_f`).
+    pub push_messages_sent: u64,
+    /// Push targets skipped because the partial list covered them.
+    pub targets_suppressed_by_list: u64,
+    /// Acks sent.
+    pub acks_sent: u64,
+    /// Acks received.
+    pub acks_received: u64,
+    /// Pulls initiated.
+    pub pulls_initiated: u64,
+    /// Pull requests served.
+    pub pull_requests_received: u64,
+    /// Pull responses received.
+    pub pull_responses_received: u64,
+    /// Updates that changed the store, arriving via push.
+    pub updates_via_push: u64,
+    /// Updates that changed the store, arriving via pull.
+    pub updates_via_pull: u64,
+    /// Previously unknown replicas learned from flood lists/senders.
+    pub replicas_discovered: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ProcessedState {
+    duplicates: u32,
+    acks_sent: u32,
+    acks_received: u32,
+}
+
+/// A replica of one logical data partition, running the paper's hybrid
+/// push/pull update protocol as a sans-IO state machine.
+///
+/// Drive it through [`rumor_net::Node`] (engines) or call the inherent
+/// methods directly (tests, custom transports). See the crate docs for an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct ReplicaPeer {
+    id: PeerId,
+    config: ProtocolConfig,
+    store: ReplicaStore,
+    /// Known replicas, sorted, self excluded.
+    known: Vec<PeerId>,
+    processed: HashMap<UpdateId, ProcessedState>,
+    /// Accumulated flooding list per update (union over received copies).
+    flood_lists: HashMap<UpdateId, PartialList>,
+    /// Peers that acked recently: preferred targets (round of last ack).
+    acked_by: HashMap<PeerId, Round>,
+    /// Peers pushed to that have not acked: avoided until cool-off.
+    awaiting_ack: HashMap<PeerId, Round>,
+    last_info_round: Option<Round>,
+    confident: bool,
+    online: bool,
+    pull_retries_left: u32,
+    stats: PeerStats,
+}
+
+impl ReplicaPeer {
+    /// Creates a replica with the given identity and configuration.
+    ///
+    /// The peer starts online, confident, with an empty store and no
+    /// known replicas; populate knowledge with
+    /// [`ReplicaPeer::learn_replicas`].
+    pub fn new(id: PeerId, config: ProtocolConfig) -> Self {
+        Self {
+            id,
+            config,
+            store: ReplicaStore::new(),
+            known: Vec::new(),
+            processed: HashMap::new(),
+            flood_lists: HashMap::new(),
+            acked_by: HashMap::new(),
+            awaiting_ack: HashMap::new(),
+            last_info_round: None,
+            confident: true,
+            online: true,
+            pull_retries_left: 0,
+            stats: PeerStats::default(),
+        }
+    }
+
+    /// Adds replicas to this peer's local knowledge (replica list).
+    /// Returns how many were previously unknown.
+    pub fn learn_replicas(&mut self, peers: impl IntoIterator<Item = PeerId>) -> usize {
+        let mut new = 0;
+        for p in peers {
+            if p == self.id {
+                continue;
+            }
+            if let Err(pos) = self.known.binary_search(&p) {
+                self.known.insert(pos, p);
+                new += 1;
+            }
+        }
+        self.stats.replicas_discovered += new as u64;
+        new
+    }
+
+    /// The replica's identity.
+    pub const fn peer_id(&self) -> PeerId {
+        self.id
+    }
+
+    /// The local data store.
+    pub const fn store(&self) -> &ReplicaStore {
+        &self.store
+    }
+
+    /// The replicas this peer currently knows (sorted).
+    pub fn known_replicas(&self) -> &[PeerId] {
+        &self.known
+    }
+
+    /// Whether this peer has processed (seen) the given update event.
+    pub fn has_processed(&self, id: UpdateId) -> bool {
+        self.processed.contains_key(&id)
+    }
+
+    /// Duplicate copies received for an update.
+    pub fn duplicates_of(&self, id: UpdateId) -> u32 {
+        self.processed.get(&id).map_or(0, |s| s.duplicates)
+    }
+
+    /// Local statistics.
+    pub const fn stats(&self) -> &PeerStats {
+        &self.stats
+    }
+
+    /// Whether the peer believes it is in sync (§3's `not_confident`
+    /// gate, inverted).
+    pub const fn is_confident(&self) -> bool {
+        self.confident
+    }
+
+    /// The protocol configuration in force.
+    pub const fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// Marks the peer's initial availability. Simulators call this once
+    /// before the first round for peers that start offline (the engines
+    /// only report *transitions*).
+    pub fn set_initially_offline(&mut self) {
+        self.online = false;
+        self.confident = false;
+    }
+
+    /// Initiates a new update: stores it locally and returns the round-0
+    /// push effects (§4.2 "Round 0": the initiator sends `U` to an `f_r`
+    /// fraction of replicas; no `PF` coin is flipped for the initiator).
+    ///
+    /// `value = None` initiates a deletion (tombstone).
+    pub fn initiate_update(
+        &mut self,
+        key: DataKey,
+        value: Option<Value>,
+        round: Round,
+        rng: &mut ChaCha8Rng,
+    ) -> (Update, Vec<Effect<Message>>) {
+        let lineage = match self.store.latest(key) {
+            Some(existing) => existing.lineage().child(rng),
+            None => Lineage::root(rng),
+        };
+        let update = match value {
+            Some(v) => Update::write(key, lineage, v, self.id),
+            None => Update::tombstone(key, lineage, self.id),
+        };
+        self.store.apply(&update);
+        self.processed.insert(update.id(), ProcessedState::default());
+        self.note_info(round);
+
+        let fanout = self.config.push_targets();
+        let (preferred, avoided) = self.selection_bias(round);
+        let targets = select_targets(&self.known, fanout, &preferred, &avoided, rng);
+        let mut flood_list = PartialList::from_peers([self.id]);
+        flood_list.extend(targets.iter().copied());
+        flood_list.truncate(&self.config.truncation, self.config.total_replicas, rng);
+        self.flood_lists.insert(update.id(), flood_list.clone());
+
+        let effects = self.send_pushes(&update, 1, &flood_list, &targets, round);
+        (update, effects)
+    }
+
+    /// Explicitly enters the pull phase: sends `PullRequest`s to up to
+    /// `pull.fanout` known replicas and, when retries are configured,
+    /// arms a retry timer so that attempts repeat until a response
+    /// arrives (§4.3's `k` attempts).
+    pub fn pull_with_retries(&mut self, round: Round, rng: &mut ChaCha8Rng) -> Vec<Effect<Message>> {
+        self.pull_retries_left = self.config.pull.max_retries;
+        let mut effects = self.trigger_pull(round, rng);
+        if self.config.pull.retry_rounds > 0 && !effects.is_empty() {
+            effects.push(Effect::Timer {
+                delay: u64::from(self.config.pull.retry_rounds),
+                tag: TAG_PULL_RETRY,
+            });
+        }
+        effects
+    }
+
+    /// Explicitly enters the pull phase: sends `PullRequest`s to up to
+    /// `pull.fanout` known replicas.
+    pub fn trigger_pull(&mut self, round: Round, rng: &mut ChaCha8Rng) -> Vec<Effect<Message>> {
+        if self.known.is_empty() {
+            return Vec::new();
+        }
+        self.stats.pulls_initiated += 1;
+        let _ = round;
+        let (preferred, avoided) = self.selection_bias(round);
+        let targets = select_targets(
+            &self.known,
+            self.config.pull.fanout,
+            &preferred,
+            &avoided,
+            rng,
+        );
+        let digest = self.store.digest();
+        targets
+            .into_iter()
+            .map(|to| {
+                Effect::send(
+                    to,
+                    Message::PullRequest {
+                        digest: digest.clone(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Answers a query from local state (§4.4). The sim layer combines
+    /// answers from several replicas with a
+    /// [`QueryPolicy`](crate::QueryPolicy).
+    pub fn answer_query(&self, key: DataKey) -> QueryAnswer {
+        match self.store.latest(key) {
+            Some(v) => QueryAnswer {
+                key,
+                lineage: Some(v.lineage().clone()),
+                value: v.value().cloned(),
+                confident: self.confident,
+            },
+            None => QueryAnswer::unknown(key, self.confident),
+        }
+    }
+
+    fn note_info(&mut self, round: Round) {
+        self.last_info_round = Some(round);
+        self.confident = true;
+    }
+
+    /// Preferred/avoided peers for target selection under the ack
+    /// heuristic (§6). With acks disabled both sets are empty and the
+    /// selection is uniform.
+    fn selection_bias(&self, round: Round) -> (Vec<PeerId>, Vec<PeerId>) {
+        if matches!(self.config.ack, AckPolicy::None) {
+            return (Vec::new(), Vec::new());
+        }
+        let cool = self.config.ack_cooloff_rounds;
+        let preferred: Vec<PeerId> = self
+            .acked_by
+            .iter()
+            .filter(|(_, &r)| round - r <= cool)
+            .map(|(&p, _)| p)
+            .collect();
+        let avoided: Vec<PeerId> = self
+            .awaiting_ack
+            .iter()
+            .filter(|(_, &r)| round - r <= cool && round > r)
+            .map(|(&p, _)| p)
+            .collect();
+        (preferred, avoided)
+    }
+
+    fn send_pushes(
+        &mut self,
+        update: &Update,
+        push_round: u32,
+        flood_list: &PartialList,
+        targets: &[PeerId],
+        round: Round,
+    ) -> Vec<Effect<Message>> {
+        let mut effects = Vec::with_capacity(targets.len());
+        for &to in targets {
+            if self.config.ack.limit() > 0 {
+                self.awaiting_ack.entry(to).or_insert(round);
+            }
+            effects.push(Effect::send(
+                to,
+                Message::Push(PushMessage {
+                    update: update.clone(),
+                    push_round,
+                    flood_list: flood_list.clone(),
+                }),
+            ));
+        }
+        self.stats.push_messages_sent += targets.len() as u64;
+        effects
+    }
+
+    fn handle_push(
+        &mut self,
+        from: PeerId,
+        push: PushMessage,
+        round: Round,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Effect<Message>> {
+        // Learn replicas from the sender and the flood list (name-dropper
+        // side channel, §1: "possibly discovers replicas unknown to her").
+        self.learn_replicas(push.flood_list.iter().chain([from]));
+
+        let uid = push.update.id();
+        let mut effects = Vec::new();
+
+        if let Some(state) = self.processed.get_mut(&uid) {
+            state.duplicates += 1;
+            self.stats.duplicates_received += 1;
+            // Ack duplicates only while the policy's budget allows; the
+            // paper's FirstK policy counts distinct senders.
+            let limit = self.config.ack.limit();
+            let state = self.processed.get_mut(&uid).expect("just seen");
+            if state.acks_sent < limit {
+                state.acks_sent += 1;
+                self.stats.acks_sent += 1;
+                effects.push(Effect::send(from, Message::Ack { update_id: uid }));
+            }
+            // Merge lists from duplicate copies: keeps discovery flowing
+            // and sharpens coverage estimates (§4.2 optional trimming).
+            self.flood_lists
+                .entry(uid)
+                .or_default()
+                .union_with(&push.flood_list);
+            return effects;
+        }
+
+        // First copy.
+        self.stats.pushes_received += 1;
+        self.note_info(round);
+        if self.store.apply(&push.update).changed() {
+            self.stats.updates_via_push += 1;
+        }
+        let mut state = ProcessedState::default();
+        if self.config.ack.limit() > 0 {
+            state.acks_sent = 1;
+            self.stats.acks_sent += 1;
+            effects.push(Effect::send(from, Message::Ack { update_id: uid }));
+        }
+        self.processed.insert(uid, state);
+
+        // Accumulate the flooding list.
+        let mut list = self
+            .flood_lists
+            .remove(&uid)
+            .unwrap_or_default();
+        list.union_with(&push.flood_list);
+
+        // Forwarding decision: one PF(t) coin per update (paper §3
+        // pseudocode flips once, then pushes to R_p \ R_f).
+        let signals = TuningSignals {
+            duplicates: self.duplicates_of(uid),
+            list_coverage: list.normalized_len(self.config.total_replicas),
+            acks: self.processed[&uid].acks_received,
+        };
+        let pf = self.config.forward.probability(push.push_round, &signals);
+        let forward = pf > 0.0 && (pf >= 1.0 || rng.gen_bool(pf));
+        if forward {
+            self.stats.pushes_forwarded += 1;
+            let fanout = self.config.push_targets();
+            let (preferred, avoided) = self.selection_bias(round);
+            let r_p = select_targets(&self.known, fanout, &preferred, &avoided, rng);
+            let targets: Vec<PeerId> = r_p
+                .iter()
+                .copied()
+                .filter(|&p| p != from && !list.contains(p))
+                .collect();
+            self.stats.targets_suppressed_by_list += (r_p.len() - targets.len()) as u64;
+            list.extend(r_p.iter().copied());
+            list.insert(self.id);
+            list.truncate(&self.config.truncation, self.config.total_replicas, rng);
+            effects.extend(self.send_pushes(
+                &push.update,
+                push.push_round + 1,
+                &list,
+                &targets,
+                round,
+            ));
+        } else {
+            self.stats.forwards_suppressed += 1;
+        }
+        self.flood_lists.insert(uid, list);
+        effects
+    }
+
+    fn handle_pull_request(
+        &mut self,
+        from: PeerId,
+        digest: &crate::digest::StoreDigest,
+        round: Round,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Effect<Message>> {
+        self.stats.pull_requests_received += 1;
+        self.learn_replicas([from]);
+        let updates = self.store.missing_updates_for(digest);
+        let mut effects = vec![Effect::send(from, Message::PullResponse { updates })];
+        // §3: "receives a pull request, but is not sure to have the latest
+        // update" — an unconfident pulled party itself enters the pull
+        // phase.
+        if !self.confident {
+            effects.extend(self.trigger_pull(round, rng));
+        }
+        effects
+    }
+
+    fn handle_pull_response(
+        &mut self,
+        from: PeerId,
+        updates: &[Update],
+        round: Round,
+    ) -> Vec<Effect<Message>> {
+        self.stats.pull_responses_received += 1;
+        self.learn_replicas([from]);
+        let changed = self.store.merge_updates(updates);
+        self.stats.updates_via_pull += changed as u64;
+        // Updates learned by pull are "processed": a later push copy is a
+        // duplicate and must not restart the flood.
+        for u in updates {
+            self.processed.entry(u.id()).or_default();
+        }
+        // Any response — even an empty one — is evidence of being in sync.
+        self.note_info(round);
+        Vec::new()
+    }
+
+    fn handle_ack(&mut self, from: PeerId, update_id: UpdateId, round: Round) {
+        self.stats.acks_received += 1;
+        self.acked_by.insert(from, round);
+        self.awaiting_ack.remove(&from);
+        if let Some(state) = self.processed.get_mut(&update_id) {
+            state.acks_received += 1;
+        }
+    }
+}
+
+impl Node for ReplicaPeer {
+    type Msg = Message;
+
+    fn id(&self) -> PeerId {
+        self.id
+    }
+
+    fn on_message(
+        &mut self,
+        from: PeerId,
+        msg: Message,
+        round: Round,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Effect<Message>> {
+        match msg {
+            Message::Push(push) => self.handle_push(from, push, round, rng),
+            Message::PullRequest { digest } => {
+                self.handle_pull_request(from, &digest, round, rng)
+            }
+            Message::PullResponse { updates } => self.handle_pull_response(from, &updates, round),
+            Message::Ack { update_id } => {
+                self.handle_ack(from, update_id, round);
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_round_start(&mut self, round: Round, rng: &mut ChaCha8Rng) -> Vec<Effect<Message>> {
+        // `no_updates_since(t)` trigger (§3).
+        if let Some(staleness) = self.config.pull.staleness_rounds {
+            let stale = match self.last_info_round {
+                Some(last) => round - last >= staleness,
+                None => round.as_u32() >= staleness,
+            };
+            if stale {
+                // Reset the clock so the pull is not re-fired every round
+                // while responses are in flight.
+                self.last_info_round = Some(round);
+                self.confident = false;
+                return self.trigger_pull(round, rng);
+            }
+        }
+        Vec::new()
+    }
+
+    fn on_status_change(
+        &mut self,
+        online: bool,
+        round: Round,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Effect<Message>> {
+        self.online = online;
+        if !online {
+            return Vec::new();
+        }
+        // `online_again` trigger (§3): the peer cannot know what it
+        // missed, so it is unconfident until a pull round-trips.
+        self.confident = false;
+        match self.config.pull.strategy {
+            PullStrategy::Eager => self.pull_with_retries(round, rng),
+            PullStrategy::Lazy { patience } => vec![Effect::Timer {
+                delay: u64::from(patience.max(1)),
+                tag: TAG_LAZY_PULL,
+            }],
+            PullStrategy::OnDemand => Vec::new(),
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, round: Round, rng: &mut ChaCha8Rng) -> Vec<Effect<Message>> {
+        match tag {
+            TAG_LAZY_PULL if !self.confident => {
+                // §6: the lazy peer waited for a push; none arrived, pull.
+                self.pull_with_retries(round, rng)
+            }
+            TAG_PULL_RETRY if !self.confident && self.pull_retries_left > 0 => {
+                self.pull_retries_left -= 1;
+                let mut effects = self.trigger_pull(round, rng);
+                if self.pull_retries_left > 0 && !effects.is_empty() {
+                    effects.push(Effect::Timer {
+                        delay: u64::from(self.config.pull.retry_rounds),
+                        tag: TAG_PULL_RETRY,
+                    });
+                }
+                effects
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AckPolicy, ProtocolConfig, PullStrategy};
+    use crate::forward::ForwardPolicy;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(9)
+    }
+
+    fn peer_with(n: usize, f_r: f64) -> ReplicaPeer {
+        let config = ProtocolConfig::builder(n).fanout_fraction(f_r).build().unwrap();
+        let mut p = ReplicaPeer::new(PeerId::new(0), config);
+        p.learn_replicas((1..n as u32).map(PeerId::new));
+        p
+    }
+
+    fn push_msg(update: &Update, t: u32, list: impl IntoIterator<Item = u32>) -> Message {
+        Message::Push(PushMessage {
+            update: update.clone(),
+            push_round: t,
+            flood_list: PartialList::from_peers(list.into_iter().map(PeerId::new)),
+        })
+    }
+
+    #[test]
+    fn initiator_pushes_fanout_targets() {
+        let mut p = peer_with(100, 0.05);
+        let (update, effects) = p.initiate_update(
+            DataKey::new(1),
+            Some(Value::from("x")),
+            Round::ZERO,
+            &mut rng(),
+        );
+        assert_eq!(effects.len(), 5);
+        assert!(p.has_processed(update.id()));
+        assert_eq!(p.stats().push_messages_sent, 5);
+        // All effects are pushes with t = 1 and a flood list containing
+        // the initiator and the targets.
+        for e in &effects {
+            let Effect::Send { msg: Message::Push(push), .. } = e else {
+                panic!("expected a push send, got {e:?}");
+            };
+            assert_eq!(push.push_round, 1);
+            assert_eq!(push.flood_list.len(), 6);
+            assert!(push.flood_list.contains(PeerId::new(0)));
+        }
+    }
+
+    #[test]
+    fn initiate_on_existing_key_extends_lineage() {
+        let mut p = peer_with(10, 0.2);
+        let mut r = rng();
+        let (u1, _) = p.initiate_update(DataKey::new(1), Some(Value::from("a")), Round::ZERO, &mut r);
+        let (u2, _) = p.initiate_update(DataKey::new(1), Some(Value::from("b")), Round::ZERO, &mut r);
+        assert!(u2.lineage().covers(u1.lineage()));
+        assert_eq!(p.store().versions(DataKey::new(1)).len(), 1);
+    }
+
+    #[test]
+    fn first_push_is_applied_and_forwarded() {
+        let mut p = peer_with(100, 0.05);
+        let mut r = rng();
+        let update = Update::write(
+            DataKey::new(9),
+            Lineage::root(&mut r),
+            Value::from("v"),
+            PeerId::new(7),
+        );
+        let effects = p.on_message(PeerId::new(7), push_msg(&update, 1, [7]), Round::new(1), &mut r);
+        assert!(p.has_processed(update.id()));
+        assert_eq!(p.store().get(DataKey::new(9)).unwrap().as_bytes(), b"v");
+        assert!(!effects.is_empty(), "PF=Always must forward");
+        for e in &effects {
+            let Effect::Send { to, msg: Message::Push(push) } = e else {
+                panic!("unexpected effect {e:?}");
+            };
+            assert_ne!(*to, PeerId::new(7), "never forward back to the sender");
+            assert_eq!(push.push_round, 2, "hop counter incremented");
+        }
+        assert_eq!(p.stats().pushes_received, 1);
+        assert_eq!(p.stats().pushes_forwarded, 1);
+    }
+
+    #[test]
+    fn duplicate_push_is_not_reforwarded() {
+        let mut p = peer_with(100, 0.05);
+        let mut r = rng();
+        let update = Update::write(
+            DataKey::new(9),
+            Lineage::root(&mut r),
+            Value::from("v"),
+            PeerId::new(7),
+        );
+        let _ = p.on_message(PeerId::new(7), push_msg(&update, 1, [7]), Round::new(1), &mut r);
+        let effects = p.on_message(PeerId::new(8), push_msg(&update, 1, [8]), Round::new(1), &mut r);
+        assert!(effects.is_empty(), "duplicates produce no forwards without acks");
+        assert_eq!(p.stats().duplicates_received, 1);
+        assert_eq!(p.duplicates_of(update.id()), 1);
+    }
+
+    #[test]
+    fn flood_list_suppresses_targets() {
+        // Peer knows only peers 1..10; flood list already covers them all
+        // => nothing left to push to.
+        let config = ProtocolConfig::builder(10).fanout_fraction(1.0).build().unwrap();
+        let mut p = ReplicaPeer::new(PeerId::new(0), config);
+        p.learn_replicas((1..10).map(PeerId::new));
+        let mut r = rng();
+        let update = Update::write(
+            DataKey::new(1),
+            Lineage::root(&mut r),
+            Value::from("v"),
+            PeerId::new(1),
+        );
+        let effects = p.on_message(PeerId::new(1), push_msg(&update, 1, 0..10), Round::new(1), &mut r);
+        assert!(effects.is_empty());
+        assert!(p.stats().targets_suppressed_by_list >= 8);
+    }
+
+    #[test]
+    fn pf_zero_never_forwards() {
+        let config = ProtocolConfig::builder(100)
+            .forward(ForwardPolicy::Constant { p: 0.0 })
+            .build()
+            .unwrap();
+        let mut p = ReplicaPeer::new(PeerId::new(0), config);
+        p.learn_replicas((1..100).map(PeerId::new));
+        let mut r = rng();
+        let update = Update::write(
+            DataKey::new(1),
+            Lineage::root(&mut r),
+            Value::from("v"),
+            PeerId::new(1),
+        );
+        let effects = p.on_message(PeerId::new(1), push_msg(&update, 1, [1]), Round::new(1), &mut r);
+        assert!(effects.is_empty());
+        assert_eq!(p.stats().forwards_suppressed, 1);
+        assert!(
+            p.store().get(DataKey::new(1)).is_some(),
+            "update applied even when not forwarded"
+        );
+    }
+
+    #[test]
+    fn ack_policy_first_sender() {
+        let config = ProtocolConfig::builder(100)
+            .ack(AckPolicy::FirstSender)
+            .build()
+            .unwrap();
+        let mut p = ReplicaPeer::new(PeerId::new(0), config);
+        p.learn_replicas((1..100).map(PeerId::new));
+        let mut r = rng();
+        let update = Update::write(
+            DataKey::new(1),
+            Lineage::root(&mut r),
+            Value::from("v"),
+            PeerId::new(1),
+        );
+        let first = p.on_message(PeerId::new(1), push_msg(&update, 1, [1]), Round::new(1), &mut r);
+        let acks: Vec<_> = first
+            .iter()
+            .filter(|e| matches!(e, Effect::Send { msg: Message::Ack { .. }, .. }))
+            .collect();
+        assert_eq!(acks.len(), 1, "first sender is acked");
+        let dup = p.on_message(PeerId::new(2), push_msg(&update, 1, [2]), Round::new(1), &mut r);
+        assert!(
+            dup.iter().all(|e| !matches!(e, Effect::Send { msg: Message::Ack { .. }, .. })),
+            "second sender is not acked under FirstSender"
+        );
+        assert_eq!(p.stats().acks_sent, 1);
+    }
+
+    #[test]
+    fn ack_reception_updates_preferences() {
+        let config = ProtocolConfig::builder(100).ack(AckPolicy::FirstSender).build().unwrap();
+        let mut p = ReplicaPeer::new(PeerId::new(0), config);
+        p.learn_replicas((1..100).map(PeerId::new));
+        let mut r = rng();
+        let (update, _) =
+            p.initiate_update(DataKey::new(1), Some(Value::from("x")), Round::ZERO, &mut r);
+        assert!(!p.awaiting_ack.is_empty(), "targets awaiting ack recorded");
+        let some_target = *p.awaiting_ack.keys().next().unwrap();
+        p.on_message(
+            some_target,
+            Message::Ack { update_id: update.id() },
+            Round::new(1),
+            &mut r,
+        );
+        assert_eq!(p.stats().acks_received, 1);
+        assert!(p.acked_by.contains_key(&some_target));
+        assert!(!p.awaiting_ack.contains_key(&some_target));
+    }
+
+    #[test]
+    fn pull_roundtrip_reconciles() {
+        let mut r = rng();
+        let mut source = peer_with(10, 0.2);
+        let (update, _) =
+            source.initiate_update(DataKey::new(5), Some(Value::from("data")), Round::ZERO, &mut r);
+
+        let config = ProtocolConfig::builder(10).build().unwrap();
+        let mut fresh = ReplicaPeer::new(PeerId::new(9), config);
+        fresh.learn_replicas([PeerId::new(0)]);
+
+        // Fresh peer comes online => eager pull (plus a retry timer).
+        let pulls = fresh.on_status_change(true, Round::new(3), &mut r);
+        assert!(!fresh.is_confident());
+        let requests: Vec<_> = pulls
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send { msg: Message::PullRequest { digest }, .. } => Some(digest),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(requests.len(), 1);
+        assert!(
+            pulls.iter().any(|e| matches!(e, Effect::Timer { .. })),
+            "eager pull arms a retry timer"
+        );
+        let digest = requests[0];
+
+        // Source answers with the missing update.
+        let responses =
+            source.on_message(PeerId::new(9), Message::PullRequest { digest: digest.clone() }, Round::new(3), &mut r);
+        let Effect::Send { msg: Message::PullResponse { updates }, .. } = &responses[0] else {
+            panic!("expected pull response");
+        };
+        assert_eq!(updates.len(), 1);
+
+        // Fresh peer ingests it.
+        fresh.on_message(PeerId::new(0), Message::PullResponse { updates: updates.clone() }, Round::new(4), &mut r);
+        assert!(fresh.is_confident());
+        assert_eq!(fresh.store().get(DataKey::new(5)).unwrap().as_bytes(), b"data");
+        assert!(fresh.has_processed(update.id()), "pulled updates are marked processed");
+        assert_eq!(fresh.stats().updates_via_pull, 1);
+    }
+
+    #[test]
+    fn lazy_pull_waits_for_push() {
+        let config = ProtocolConfig::builder(10)
+            .pull_strategy(PullStrategy::Lazy { patience: 3 })
+            .build()
+            .unwrap();
+        let mut p = ReplicaPeer::new(PeerId::new(2), config);
+        p.learn_replicas([PeerId::new(0), PeerId::new(1)]);
+        let mut r = rng();
+
+        let effects = p.on_status_change(true, Round::new(5), &mut r);
+        assert!(
+            matches!(effects[..], [Effect::Timer { delay: 3, tag: TAG_LAZY_PULL }]),
+            "lazy strategy sets a timer instead of pulling: {effects:?}"
+        );
+
+        // A push arrives before the timer => confident, timer is a no-op.
+        let update = Update::write(
+            DataKey::new(1),
+            Lineage::root(&mut r),
+            Value::from("v"),
+            PeerId::new(0),
+        );
+        p.on_message(PeerId::new(0), push_msg(&update, 1, [0]), Round::new(6), &mut r);
+        assert!(p.on_timer(TAG_LAZY_PULL, Round::new(8), &mut r).is_empty());
+
+        // Without the push, the timer pulls.
+        let mut q = ReplicaPeer::new(
+            PeerId::new(3),
+            ProtocolConfig::builder(10)
+                .pull_strategy(PullStrategy::Lazy { patience: 3 })
+                .build()
+                .unwrap(),
+        );
+        q.learn_replicas([PeerId::new(0)]);
+        q.on_status_change(true, Round::new(5), &mut r);
+        let effects = q.on_timer(TAG_LAZY_PULL, Round::new(8), &mut r);
+        assert!(
+            matches!(
+                effects.first(),
+                Some(Effect::Send { msg: Message::PullRequest { .. }, .. })
+            ),
+            "lazy timer with no push must pull: {effects:?}"
+        );
+    }
+
+    #[test]
+    fn pull_retries_until_response_or_budget() {
+        let config = ProtocolConfig::builder(10).pull_retry(2, 2).build().unwrap();
+        let mut p = ReplicaPeer::new(PeerId::new(0), config);
+        p.learn_replicas([PeerId::new(1), PeerId::new(2)]);
+        let mut r = rng();
+
+        // Coming online fires the first attempt and a retry timer.
+        let first = p.on_status_change(true, Round::new(1), &mut r);
+        assert!(first.iter().any(|e| matches!(e, Effect::Timer { delay: 2, .. })));
+
+        // No response arrives: the retry timer pulls again and re-arms.
+        let retry1 = p.on_timer(TAG_PULL_RETRY, Round::new(3), &mut r);
+        assert!(retry1
+            .iter()
+            .any(|e| matches!(e, Effect::Send { msg: Message::PullRequest { .. }, .. })));
+        assert!(retry1.iter().any(|e| matches!(e, Effect::Timer { .. })));
+
+        // Second retry exhausts the budget: no further timer.
+        let retry2 = p.on_timer(TAG_PULL_RETRY, Round::new(5), &mut r);
+        assert!(retry2
+            .iter()
+            .any(|e| matches!(e, Effect::Send { msg: Message::PullRequest { .. }, .. })));
+        assert!(!retry2.iter().any(|e| matches!(e, Effect::Timer { .. })));
+        let retry3 = p.on_timer(TAG_PULL_RETRY, Round::new(7), &mut r);
+        assert!(retry3.is_empty(), "budget exhausted");
+    }
+
+    #[test]
+    fn pull_retry_stops_after_response() {
+        let config = ProtocolConfig::builder(10).pull_retry(2, 5).build().unwrap();
+        let mut p = ReplicaPeer::new(PeerId::new(0), config);
+        p.learn_replicas([PeerId::new(1)]);
+        let mut r = rng();
+        p.on_status_change(true, Round::new(1), &mut r);
+        // A (possibly empty) pull response restores confidence.
+        p.on_message(
+            PeerId::new(1),
+            Message::PullResponse { updates: vec![] },
+            Round::new(2),
+            &mut r,
+        );
+        assert!(p.is_confident());
+        assert!(p.on_timer(TAG_PULL_RETRY, Round::new(3), &mut r).is_empty());
+    }
+
+    #[test]
+    fn staleness_triggers_periodic_pull() {
+        let config = ProtocolConfig::builder(10).staleness_rounds(5).build().unwrap();
+        let mut p = ReplicaPeer::new(PeerId::new(0), config);
+        p.learn_replicas([PeerId::new(1)]);
+        let mut r = rng();
+        assert!(p.on_round_start(Round::new(3), &mut r).is_empty());
+        let effects = p.on_round_start(Round::new(5), &mut r);
+        assert!(!effects.is_empty(), "stale peer pulls");
+        assert!(p.on_round_start(Round::new(6), &mut r).is_empty(), "clock reset");
+    }
+
+    #[test]
+    fn unconfident_pulled_party_also_pulls() {
+        let config = ProtocolConfig::builder(10).build().unwrap();
+        let mut p = ReplicaPeer::new(PeerId::new(0), config);
+        p.learn_replicas([PeerId::new(1), PeerId::new(2)]);
+        let mut r = rng();
+        p.on_status_change(false, Round::new(1), &mut r);
+        p.online = true;
+        p.confident = false;
+        let effects = p.on_message(
+            PeerId::new(1),
+            Message::PullRequest { digest: crate::digest::StoreDigest::new() },
+            Round::new(2),
+            &mut r,
+        );
+        let responses = effects
+            .iter()
+            .filter(|e| matches!(e, Effect::Send { msg: Message::PullResponse { .. }, .. }))
+            .count();
+        let pulls = effects
+            .iter()
+            .filter(|e| matches!(e, Effect::Send { msg: Message::PullRequest { .. }, .. }))
+            .count();
+        assert_eq!(responses, 1, "always answer the request");
+        assert!(pulls >= 1, "unconfident pulled party enters pull phase itself");
+    }
+
+    #[test]
+    fn pull_with_no_known_replicas_is_silent() {
+        let config = ProtocolConfig::builder(10).build().unwrap();
+        let mut p = ReplicaPeer::new(PeerId::new(0), config);
+        assert!(p.trigger_pull(Round::ZERO, &mut rng()).is_empty());
+        assert_eq!(p.stats().pulls_initiated, 0);
+    }
+
+    #[test]
+    fn query_answers_reflect_store_and_confidence() {
+        let mut p = peer_with(10, 0.2);
+        let mut r = rng();
+        let a = p.answer_query(DataKey::new(1));
+        assert!(a.lineage.is_none());
+        assert!(a.confident);
+        p.initiate_update(DataKey::new(1), Some(Value::from("x")), Round::ZERO, &mut r);
+        let a = p.answer_query(DataKey::new(1));
+        assert_eq!(a.value.unwrap().as_bytes(), b"x");
+        p.on_status_change(true, Round::new(1), &mut r);
+        assert!(!p.answer_query(DataKey::new(1)).confident);
+    }
+
+    #[test]
+    fn learn_replicas_ignores_self_and_duplicates() {
+        let mut p = peer_with(10, 0.2);
+        assert_eq!(p.learn_replicas([PeerId::new(0), PeerId::new(1)]), 0);
+        assert_eq!(p.learn_replicas([PeerId::new(42)]), 1);
+        assert!(p.known_replicas().windows(2).all(|w| w[0] < w[1]), "sorted");
+    }
+
+    #[test]
+    fn set_initially_offline_clears_confidence() {
+        let mut p = peer_with(10, 0.2);
+        p.set_initially_offline();
+        assert!(!p.is_confident());
+    }
+}

@@ -1,0 +1,170 @@
+//! Query servicing over replicated, possibly-stale data.
+//!
+//! §4.4: "Since requests are more sensitive … we may define some majority
+//! logic, or use a version scheme for identifying latest updates, or a
+//! hybrid of the two." A querier collects [`QueryAnswer`]s from several
+//! replicas and resolves them with a [`QueryPolicy`].
+
+use crate::value::Value;
+use crate::version::Lineage;
+use rumor_types::DataKey;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One replica's answer to a query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryAnswer {
+    /// The queried key.
+    pub key: DataKey,
+    /// The answering replica's latest version, if it stores the key.
+    pub lineage: Option<Lineage>,
+    /// The corresponding value (`None` for tombstoned or unknown keys).
+    pub value: Option<Value>,
+    /// Whether the replica considers itself in sync (paper §3:
+    /// `not_confident` triggers a pull instead of a confident answer).
+    pub confident: bool,
+}
+
+impl QueryAnswer {
+    /// An answer from a replica that does not store the key.
+    pub fn unknown(key: DataKey, confident: bool) -> Self {
+        Self {
+            key,
+            lineage: None,
+            value: None,
+            confident,
+        }
+    }
+}
+
+/// How multiple answers are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryPolicy {
+    /// The version scheme: trust the answer with the longest lineage
+    /// (ties broken by head id), i.e. the most recent version seen.
+    Latest,
+    /// Majority logic: the version head reported by the most replicas
+    /// wins; ties resolve to the more recent version.
+    Majority,
+}
+
+impl QueryPolicy {
+    /// Resolves collected answers into a single one, or `None` when no
+    /// replica returned a version.
+    pub fn resolve(&self, answers: &[QueryAnswer]) -> Option<QueryAnswer> {
+        let versioned: Vec<&QueryAnswer> =
+            answers.iter().filter(|a| a.lineage.is_some()).collect();
+        if versioned.is_empty() {
+            return None;
+        }
+        let newest = |candidates: &[&QueryAnswer]| -> QueryAnswer {
+            (*candidates
+                .iter()
+                .max_by_key(|a| {
+                    let l = a.lineage.as_ref().expect("filtered");
+                    (l.len(), l.head())
+                })
+                .expect("non-empty"))
+            .clone()
+        };
+        match self {
+            Self::Latest => Some(newest(&versioned)),
+            Self::Majority => {
+                let mut votes: HashMap<_, usize> = HashMap::new();
+                for a in &versioned {
+                    *votes
+                        .entry(a.lineage.as_ref().expect("filtered").head())
+                        .or_default() += 1;
+                }
+                let best_count = *votes.values().max().expect("non-empty");
+                let winners: Vec<&QueryAnswer> = versioned
+                    .iter()
+                    .filter(|a| {
+                        votes[&a.lineage.as_ref().expect("filtered").head()] == best_count
+                    })
+                    .copied()
+                    .collect();
+                Some(newest(&winners))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(8)
+    }
+
+    fn answer(lineage: &Lineage, val: &str) -> QueryAnswer {
+        QueryAnswer {
+            key: DataKey::new(1),
+            lineage: Some(lineage.clone()),
+            value: Some(Value::from(val)),
+            confident: true,
+        }
+    }
+
+    #[test]
+    fn empty_answers_resolve_to_none() {
+        assert!(QueryPolicy::Latest.resolve(&[]).is_none());
+        assert!(QueryPolicy::Majority.resolve(&[]).is_none());
+        let unknowns = vec![QueryAnswer::unknown(DataKey::new(1), true)];
+        assert!(QueryPolicy::Latest.resolve(&unknowns).is_none());
+    }
+
+    #[test]
+    fn latest_picks_longest_lineage() {
+        let mut r = rng();
+        let v1 = Lineage::root(&mut r);
+        let v2 = v1.child(&mut r);
+        let resolved = QueryPolicy::Latest
+            .resolve(&[answer(&v1, "old"), answer(&v2, "new")])
+            .unwrap();
+        assert_eq!(resolved.value.unwrap().as_bytes(), b"new");
+    }
+
+    #[test]
+    fn majority_outvotes_a_longer_minority() {
+        let mut r = rng();
+        let common = Lineage::root(&mut r);
+        let fresh = common.child(&mut r); // newer, but only one replica has it
+        let answers = vec![
+            answer(&common, "stable"),
+            answer(&common, "stable"),
+            answer(&fresh, "fresh"),
+        ];
+        let resolved = QueryPolicy::Majority.resolve(&answers).unwrap();
+        assert_eq!(resolved.value.unwrap().as_bytes(), b"stable");
+        // The version scheme would instead pick the fresh one.
+        let latest = QueryPolicy::Latest.resolve(&answers).unwrap();
+        assert_eq!(latest.value.unwrap().as_bytes(), b"fresh");
+    }
+
+    #[test]
+    fn majority_tie_resolves_to_newest() {
+        let mut r = rng();
+        let a = Lineage::root(&mut r);
+        let b = a.child(&mut r);
+        let answers = vec![answer(&a, "a"), answer(&b, "b")];
+        let resolved = QueryPolicy::Majority.resolve(&answers).unwrap();
+        assert_eq!(resolved.value.unwrap().as_bytes(), b"b");
+    }
+
+    #[test]
+    fn unknown_answers_do_not_vote() {
+        let mut r = rng();
+        let v = Lineage::root(&mut r);
+        let answers = vec![
+            QueryAnswer::unknown(DataKey::new(1), true),
+            QueryAnswer::unknown(DataKey::new(1), true),
+            answer(&v, "present"),
+        ];
+        let resolved = QueryPolicy::Majority.resolve(&answers).unwrap();
+        assert_eq!(resolved.value.unwrap().as_bytes(), b"present");
+    }
+}

@@ -1,0 +1,142 @@
+//! Random target selection with soft preferences.
+//!
+//! §6's acknowledgement optimisation biases target choice: replicas that
+//! recently acked "will have better chances to find online replicas in
+//! future updates", while replicas that failed to ack are skipped "for
+//! short time intervals". [`select_targets`] implements that three-tier
+//! preference (preferred / neutral / avoided) over a uniform random base.
+
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha8Rng;
+use rumor_types::PeerId;
+
+/// Selects up to `count` distinct targets from `candidates`.
+///
+/// Candidates in `preferred` are chosen first (shuffled among themselves),
+/// then neutral candidates, and candidates in `avoided` only if nothing
+/// else remains — the ack heuristic must degrade to plain uniform gossip
+/// rather than starve the push. Within each tier the choice is uniformly
+/// random.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_core::select_targets;
+/// use rumor_types::PeerId;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let candidates: Vec<PeerId> = (0..10).map(PeerId::new).collect();
+/// let picked = select_targets(&candidates, 3, &[], &[], &mut rng);
+/// assert_eq!(picked.len(), 3);
+/// ```
+pub fn select_targets(
+    candidates: &[PeerId],
+    count: usize,
+    preferred: &[PeerId],
+    avoided: &[PeerId],
+    rng: &mut ChaCha8Rng,
+) -> Vec<PeerId> {
+    if count == 0 || candidates.is_empty() {
+        return Vec::new();
+    }
+    let mut first: Vec<PeerId> = Vec::new();
+    let mut middle: Vec<PeerId> = Vec::new();
+    let mut last: Vec<PeerId> = Vec::new();
+    for &c in candidates {
+        if preferred.contains(&c) {
+            first.push(c);
+        } else if avoided.contains(&c) {
+            last.push(c);
+        } else {
+            middle.push(c);
+        }
+    }
+    first.shuffle(rng);
+    middle.shuffle(rng);
+    last.shuffle(rng);
+    first
+        .into_iter()
+        .chain(middle)
+        .chain(last)
+        .take(count)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(13)
+    }
+
+    fn ids(v: impl IntoIterator<Item = u32>) -> Vec<PeerId> {
+        v.into_iter().map(PeerId::new).collect()
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(select_targets(&[], 3, &[], &[], &mut rng()).is_empty());
+        assert!(select_targets(&ids([1]), 0, &[], &[], &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn selects_exactly_count_when_available() {
+        let picked = select_targets(&ids(0..100), 10, &[], &[], &mut rng());
+        assert_eq!(picked.len(), 10);
+        let mut uniq = picked.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 10, "no duplicates");
+    }
+
+    #[test]
+    fn returns_fewer_when_candidates_scarce() {
+        let picked = select_targets(&ids([1, 2]), 10, &[], &[], &mut rng());
+        assert_eq!(picked.len(), 2);
+    }
+
+    #[test]
+    fn preferred_come_first() {
+        let pref = ids([7, 8]);
+        let picked = select_targets(&ids(0..10), 2, &pref, &[], &mut rng());
+        assert_eq!(picked.len(), 2);
+        assert!(picked.iter().all(|p| pref.contains(p)));
+    }
+
+    #[test]
+    fn avoided_used_only_as_last_resort() {
+        let avoid = ids([0, 1]);
+        // Plenty of neutral candidates: avoided never picked.
+        let picked = select_targets(&ids(0..10), 5, &[], &avoid, &mut rng());
+        assert!(picked.iter().all(|p| !avoid.contains(p)));
+        // Only avoided candidates exist: they are used.
+        let picked = select_targets(&ids([0, 1]), 2, &[], &avoid, &mut rng());
+        assert_eq!(picked.len(), 2);
+    }
+
+    #[test]
+    fn selection_is_roughly_uniform_without_preferences() {
+        let candidates = ids(0..10);
+        let mut counts = [0u32; 10];
+        let mut r = rng();
+        for _ in 0..5000 {
+            for p in select_targets(&candidates, 3, &[], &[], &mut r) {
+                counts[p.index()] += 1;
+            }
+        }
+        // Each peer expected ≈ 1500 hits.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((1300..=1700).contains(&c), "peer {i} picked {c} times");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = select_targets(&ids(0..50), 5, &[], &[], &mut rng());
+        let b = select_targets(&ids(0..50), 5, &[], &[], &mut rng());
+        assert_eq!(a, b);
+    }
+}

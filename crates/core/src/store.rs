@@ -1,0 +1,370 @@
+//! The replica-local multi-version store.
+//!
+//! §3: update conflicts are rare and need no resolution — "if data is
+//! altered, it may be treated as distinct and coexists as different
+//! versions". The store therefore keeps, per key, the *frontier* of
+//! maximal lineages: applying an update discards every version it
+//! supersedes and otherwise coexists with the rest. Deletions are stored
+//! as tombstones so that the death certificate keeps propagating.
+
+use crate::digest::StoreDigest;
+use crate::update::Update;
+use crate::value::Value;
+use crate::version::Lineage;
+use rumor_types::{DataKey, PeerId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One version held by the store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredVersion {
+    lineage: Lineage,
+    value: Option<Value>,
+    origin: PeerId,
+}
+
+impl StoredVersion {
+    /// The version history.
+    pub const fn lineage(&self) -> &Lineage {
+        &self.lineage
+    }
+
+    /// The stored value (`None` = tombstone).
+    pub const fn value(&self) -> Option<&Value> {
+        self.value.as_ref()
+    }
+
+    /// The replica that initiated this version.
+    pub const fn origin(&self) -> PeerId {
+        self.origin
+    }
+
+    /// Whether this version is a tombstone.
+    pub const fn is_tombstone(&self) -> bool {
+        self.value.is_none()
+    }
+
+    /// Re-materialises the update that produced this version.
+    pub fn to_update(&self, key: DataKey) -> Update {
+        match &self.value {
+            Some(v) => Update::write(key, self.lineage.clone(), v.clone(), self.origin),
+            None => Update::tombstone(key, self.lineage.clone(), self.origin),
+        }
+    }
+}
+
+/// Result of applying an update to the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApplyOutcome {
+    /// The update superseded at least one stored version.
+    Applied,
+    /// The update introduced a new concurrent version (coexists).
+    AppliedConcurrent,
+    /// The exact version was already stored.
+    AlreadyKnown,
+    /// A stored version already supersedes the update.
+    Stale,
+}
+
+impl ApplyOutcome {
+    /// Whether the store changed.
+    pub const fn changed(self) -> bool {
+        matches!(self, Self::Applied | Self::AppliedConcurrent)
+    }
+}
+
+/// Multi-version key/value store for one replica.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_core::{ApplyOutcome, Lineage, ReplicaStore, Update, Value};
+/// use rumor_types::{DataKey, PeerId};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut store = ReplicaStore::new();
+/// let key = DataKey::from_name("news");
+/// let v1 = Update::write(key, Lineage::root(&mut rng), Value::from("a"), PeerId::new(0));
+/// assert_eq!(store.apply(&v1), ApplyOutcome::AppliedConcurrent);
+/// assert_eq!(store.apply(&v1), ApplyOutcome::AlreadyKnown);
+///
+/// let v2 = Update::write(key, v1.lineage().child(&mut rng), Value::from("b"), PeerId::new(0));
+/// assert_eq!(store.apply(&v2), ApplyOutcome::Applied);
+/// assert_eq!(store.apply(&v1), ApplyOutcome::Stale);
+/// assert_eq!(store.latest(key).unwrap().value().unwrap().as_bytes(), b"b");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaStore {
+    items: BTreeMap<DataKey, Vec<StoredVersion>>,
+}
+
+impl ReplicaStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies an update, enforcing the frontier invariant: after the
+    /// call, no stored version of the key covers another.
+    pub fn apply(&mut self, update: &Update) -> ApplyOutcome {
+        let versions = self.items.entry(update.key()).or_default();
+        for v in versions.iter() {
+            if v.lineage == *update.lineage() {
+                return ApplyOutcome::AlreadyKnown;
+            }
+            if v.lineage.covers(update.lineage()) {
+                return ApplyOutcome::Stale;
+            }
+        }
+        let before = versions.len();
+        versions.retain(|v| !update.lineage().covers(&v.lineage));
+        let superseded = before - versions.len();
+        versions.push(StoredVersion {
+            lineage: update.lineage().clone(),
+            value: update.value().cloned(),
+            origin: update.origin(),
+        });
+        if superseded > 0 {
+            ApplyOutcome::Applied
+        } else {
+            ApplyOutcome::AppliedConcurrent
+        }
+    }
+
+    /// All current (frontier) versions of a key.
+    pub fn versions(&self, key: DataKey) -> &[StoredVersion] {
+        self.items.get(&key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Deterministically picks the "most recent" version of a key: the
+    /// longest lineage, ties broken by the largest head id. This is the
+    /// paper's "version scheme for identifying latest updates" (§4.4).
+    pub fn latest(&self, key: DataKey) -> Option<&StoredVersion> {
+        self.versions(key)
+            .iter()
+            .max_by_key(|v| (v.lineage.len(), v.lineage.head()))
+    }
+
+    /// The visible value of a key: the latest version's value, or `None`
+    /// if the key is absent or its latest version is a tombstone.
+    pub fn get(&self, key: DataKey) -> Option<&Value> {
+        self.latest(key).and_then(StoredVersion::value)
+    }
+
+    /// Number of keys with at least one stored version.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over all keys.
+    pub fn keys(&self) -> impl Iterator<Item = DataKey> + '_ {
+        self.items.keys().copied()
+    }
+
+    /// Number of keys whose latest version is a tombstone.
+    pub fn tombstone_count(&self) -> usize {
+        self.items
+            .keys()
+            .filter(|&&k| self.latest(k).is_some_and(StoredVersion::is_tombstone))
+            .count()
+    }
+
+    /// A compact description of every version held, for anti-entropy.
+    pub fn digest(&self) -> StoreDigest {
+        let mut digest = StoreDigest::new();
+        for (key, versions) in &self.items {
+            for v in versions {
+                digest.insert(*key, v.lineage.head());
+            }
+        }
+        digest
+    }
+
+    /// Updates held here that the owner of `digest` does not list — the
+    /// payload of a pull response.
+    ///
+    /// A version is sent when its head id is absent from the digest; the
+    /// receiver's own `apply` discards anything its frontier already
+    /// covers, so over-sending costs only bandwidth, never correctness.
+    pub fn missing_updates_for(&self, digest: &StoreDigest) -> Vec<Update> {
+        let mut out = Vec::new();
+        for (key, versions) in &self.items {
+            for v in versions {
+                if !digest.contains(*key, v.lineage.head()) {
+                    out.push(v.to_update(*key));
+                }
+            }
+        }
+        out
+    }
+
+    /// Ingests every update from a pull response; returns how many changed
+    /// the store.
+    pub fn merge_updates<'a>(&mut self, updates: impl IntoIterator<Item = &'a Update>) -> usize {
+        updates
+            .into_iter()
+            .filter(|u| self.apply(u).changed())
+            .count()
+    }
+
+    /// Two stores are *consistent* when they hold identical version sets
+    /// (the paper's quasi-consistency target once gossip quiesces).
+    pub fn consistent_with(&self, other: &ReplicaStore) -> bool {
+        self.digest() == other.digest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(6)
+    }
+
+    fn write(key: u64, lineage: Lineage, val: &str) -> Update {
+        Update::write(DataKey::new(key), lineage, Value::from(val), PeerId::new(0))
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = ReplicaStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.get(DataKey::new(1)).is_none());
+        assert!(s.versions(DataKey::new(1)).is_empty());
+        assert!(s.latest(DataKey::new(1)).is_none());
+    }
+
+    #[test]
+    fn newer_version_supersedes() {
+        let mut r = rng();
+        let mut s = ReplicaStore::new();
+        let u1 = write(1, Lineage::root(&mut r), "a");
+        let u2 = write(1, u1.lineage().child(&mut r), "b");
+        s.apply(&u1);
+        assert_eq!(s.apply(&u2), ApplyOutcome::Applied);
+        assert_eq!(s.versions(DataKey::new(1)).len(), 1, "frontier holds only the newest");
+        assert_eq!(s.get(DataKey::new(1)).unwrap().as_bytes(), b"b");
+    }
+
+    #[test]
+    fn out_of_order_arrival_is_stale() {
+        let mut r = rng();
+        let mut s = ReplicaStore::new();
+        let u1 = write(1, Lineage::root(&mut r), "a");
+        let u2 = write(1, u1.lineage().child(&mut r), "b");
+        s.apply(&u2);
+        assert_eq!(s.apply(&u1), ApplyOutcome::Stale);
+        assert_eq!(s.get(DataKey::new(1)).unwrap().as_bytes(), b"b");
+    }
+
+    #[test]
+    fn concurrent_versions_coexist() {
+        let mut r = rng();
+        let mut s = ReplicaStore::new();
+        let base = Lineage::root(&mut r);
+        let u1 = write(1, base.child(&mut r), "a");
+        let u2 = write(1, base.child(&mut r), "b");
+        s.apply(&u1);
+        assert_eq!(s.apply(&u2), ApplyOutcome::AppliedConcurrent);
+        assert_eq!(s.versions(DataKey::new(1)).len(), 2, "conflict co-exists (paper §3)");
+    }
+
+    #[test]
+    fn supersede_collapses_concurrent_branches() {
+        let mut r = rng();
+        let mut s = ReplicaStore::new();
+        let base = Lineage::root(&mut r);
+        let a = write(1, base.child(&mut r), "a");
+        let b = write(1, base.child(&mut r), "b");
+        s.apply(&a);
+        s.apply(&b);
+        // A new version extending branch `a` supersedes only branch `a`.
+        let a2 = write(1, a.lineage().child(&mut r), "a2");
+        assert_eq!(s.apply(&a2), ApplyOutcome::Applied);
+        assert_eq!(s.versions(DataKey::new(1)).len(), 2);
+    }
+
+    #[test]
+    fn tombstone_hides_value_but_remains_stored() {
+        let mut r = rng();
+        let mut s = ReplicaStore::new();
+        let u = write(1, Lineage::root(&mut r), "a");
+        s.apply(&u);
+        let del = u.superseding_delete(&mut r);
+        assert_eq!(s.apply(&del), ApplyOutcome::Applied);
+        assert!(s.get(DataKey::new(1)).is_none(), "deleted key reads as absent");
+        assert_eq!(s.tombstone_count(), 1, "death certificate retained");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn latest_prefers_longer_lineage() {
+        let mut r = rng();
+        let mut s = ReplicaStore::new();
+        let base = Lineage::root(&mut r);
+        let shallow = write(1, base.child(&mut r), "shallow");
+        let deep = write(1, base.child(&mut r).child(&mut r), "deep");
+        s.apply(&shallow);
+        s.apply(&deep);
+        assert_eq!(s.latest(DataKey::new(1)).unwrap().value().unwrap().as_bytes(), b"deep");
+    }
+
+    #[test]
+    fn digest_and_missing_updates_roundtrip() {
+        let mut r = rng();
+        let mut a = ReplicaStore::new();
+        let mut b = ReplicaStore::new();
+        let u1 = write(1, Lineage::root(&mut r), "x");
+        let u2 = write(2, Lineage::root(&mut r), "y");
+        a.apply(&u1);
+        a.apply(&u2);
+        b.apply(&u1);
+        let missing = a.missing_updates_for(&b.digest());
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].key(), DataKey::new(2));
+        assert_eq!(b.merge_updates(&missing), 1);
+        assert!(a.consistent_with(&b));
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut r = rng();
+        let mut a = ReplicaStore::new();
+        let u = write(1, Lineage::root(&mut r), "x");
+        a.apply(&u);
+        let mut b = ReplicaStore::new();
+        let missing = a.missing_updates_for(&b.digest());
+        assert_eq!(b.merge_updates(&missing), 1);
+        assert_eq!(b.merge_updates(&missing), 0, "second merge changes nothing");
+    }
+
+    #[test]
+    fn stored_version_roundtrips_to_update() {
+        let mut r = rng();
+        let mut s = ReplicaStore::new();
+        let u = write(7, Lineage::root(&mut r), "v");
+        s.apply(&u);
+        let back = s.versions(DataKey::new(7))[0].to_update(DataKey::new(7));
+        assert_eq!(back, u);
+    }
+
+    #[test]
+    fn keys_iterates_every_key() {
+        let mut r = rng();
+        let mut s = ReplicaStore::new();
+        s.apply(&write(1, Lineage::root(&mut r), "a"));
+        s.apply(&write(2, Lineage::root(&mut r), "b"));
+        let keys: Vec<u64> = s.keys().map(|k| k.as_u64()).collect();
+        assert_eq!(keys, vec![1, 2]);
+    }
+}

@@ -1,0 +1,182 @@
+//! The update record `(U, V)` disseminated by the protocol.
+
+use crate::value::Value;
+use crate::version::Lineage;
+use rumor_types::{DataKey, PeerId, UpdateId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One version of one data item, as carried by push messages and pull
+/// responses.
+///
+/// A `None` value is a *tombstone*: the paper handles deletions with
+/// "conventional tombstones and death certificates" (§3) — the lineage is
+/// the death certificate proving the delete supersedes earlier writes.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_core::{Lineage, Update, Value};
+/// use rumor_types::{DataKey, PeerId};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+/// let write = Update::write(
+///     DataKey::from_name("addr/alice"),
+///     Lineage::root(&mut rng),
+///     Value::from("lausanne"),
+///     PeerId::new(4),
+/// );
+/// let delete = write.superseding_delete(&mut rng);
+/// assert!(delete.is_tombstone());
+/// assert!(delete.lineage().covers(write.lineage()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Update {
+    key: DataKey,
+    lineage: Lineage,
+    value: Option<Value>,
+    origin: PeerId,
+}
+
+impl Update {
+    /// Creates a write (value-bearing) update.
+    pub fn write(key: DataKey, lineage: Lineage, value: Value, origin: PeerId) -> Self {
+        Self {
+            key,
+            lineage,
+            value: Some(value),
+            origin,
+        }
+    }
+
+    /// Creates a tombstone update (a delete with a death certificate).
+    pub fn tombstone(key: DataKey, lineage: Lineage, origin: PeerId) -> Self {
+        Self {
+            key,
+            lineage,
+            value: None,
+            origin,
+        }
+    }
+
+    /// Builds a delete that supersedes this update (extends its lineage).
+    #[must_use]
+    pub fn superseding_delete(&self, rng: &mut rand_chacha::ChaCha8Rng) -> Self {
+        Self::tombstone(self.key, self.lineage.child(rng), self.origin)
+    }
+
+    /// The data item this update concerns.
+    pub const fn key(&self) -> DataKey {
+        self.key
+    }
+
+    /// The version history of this update.
+    pub const fn lineage(&self) -> &Lineage {
+        &self.lineage
+    }
+
+    /// The new value, or `None` for a tombstone.
+    pub const fn value(&self) -> Option<&Value> {
+        self.value.as_ref()
+    }
+
+    /// The replica that initiated the update.
+    pub const fn origin(&self) -> PeerId {
+        self.origin
+    }
+
+    /// Whether this update deletes the item.
+    pub const fn is_tombstone(&self) -> bool {
+        self.value.is_none()
+    }
+
+    /// The globally unique identifier of this update event, used for the
+    /// "push at most once" bookkeeping.
+    pub fn id(&self) -> UpdateId {
+        UpdateId::for_version(self.key, self.lineage.head())
+    }
+
+    /// Payload size in bytes (`|U|` in the message-length analysis).
+    pub fn payload_len(&self) -> usize {
+        self.value.as_ref().map_or(0, Value::len)
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_tombstone() {
+            write!(f, "delete {} ({})", self.key, self.lineage)
+        } else {
+            write!(f, "write {} ({})", self.key, self.lineage)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(4)
+    }
+
+    fn sample_write(r: &mut ChaCha8Rng) -> Update {
+        Update::write(
+            DataKey::new(1),
+            Lineage::root(r),
+            Value::from("v"),
+            PeerId::new(0),
+        )
+    }
+
+    #[test]
+    fn write_has_value_and_id() {
+        let mut r = rng();
+        let u = sample_write(&mut r);
+        assert!(!u.is_tombstone());
+        assert_eq!(u.value().unwrap().as_bytes(), b"v");
+        assert_eq!(u.payload_len(), 1);
+        assert_eq!(u.id(), UpdateId::for_version(u.key(), u.lineage().head()));
+    }
+
+    #[test]
+    fn tombstone_has_no_value() {
+        let mut r = rng();
+        let t = Update::tombstone(DataKey::new(2), Lineage::root(&mut r), PeerId::new(1));
+        assert!(t.is_tombstone());
+        assert_eq!(t.payload_len(), 0);
+        assert!(t.value().is_none());
+    }
+
+    #[test]
+    fn superseding_delete_dominates() {
+        let mut r = rng();
+        let w = sample_write(&mut r);
+        let d = w.superseding_delete(&mut r);
+        assert!(d.is_tombstone());
+        assert_eq!(d.key(), w.key());
+        assert!(d.lineage().covers(w.lineage()));
+        assert_ne!(d.id(), w.id(), "a delete is a distinct update event");
+    }
+
+    #[test]
+    fn ids_differ_across_keys() {
+        let mut r = rng();
+        let lineage = Lineage::root(&mut r);
+        let a = Update::write(DataKey::new(1), lineage.clone(), Value::from("x"), PeerId::new(0));
+        let b = Update::write(DataKey::new(2), lineage, Value::from("x"), PeerId::new(0));
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn display_distinguishes_kinds() {
+        let mut r = rng();
+        let w = sample_write(&mut r);
+        let d = w.superseding_delete(&mut r);
+        assert!(format!("{w}").starts_with("write"));
+        assert!(format!("{d}").starts_with("delete"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Opaque replicated values.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The application payload of a data item version.
+///
+/// The protocol never interprets values — the paper treats the update
+/// content `U` as opaque and only its *size* enters the analysis (message
+/// length, §4.2). Cheap to clone (reference counted).
+///
+/// # Examples
+///
+/// ```
+/// use rumor_core::Value;
+/// let v = Value::from("concert on friday");
+/// assert_eq!(v.len(), 17);
+/// assert_eq!(v.as_bytes(), b"concert on friday");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Value(Bytes);
+
+impl Value {
+    /// Creates a value from raw bytes.
+    pub fn new(bytes: impl Into<Bytes>) -> Self {
+        Self(bytes.into())
+    }
+
+    /// The payload bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Payload size in bytes (the paper's `|U|`).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for a zero-length payload.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Self(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Self(Bytes::from(v))
+    }
+}
+
+impl AsRef<[u8]> for Value {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match std::str::from_utf8(&self.0) {
+            Ok(s) if s.len() <= 32 => write!(f, "{s:?}"),
+            Ok(s) => write!(f, "{:?}… ({} bytes)", &s[..32], self.0.len()),
+            Err(_) => write!(f, "<{} binary bytes>", self.0.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(Value::from("abc").as_bytes(), b"abc");
+        assert_eq!(Value::from(vec![1u8, 2]).len(), 2);
+        assert_eq!(Value::new(Bytes::from_static(b"x")).as_ref(), b"x");
+    }
+
+    #[test]
+    fn empty_value() {
+        let v = Value::default();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+
+    #[test]
+    fn display_short_text() {
+        assert_eq!(format!("{}", Value::from("hi")), "\"hi\"");
+    }
+
+    #[test]
+    fn display_long_text_is_truncated() {
+        let long = "x".repeat(100);
+        let shown = format!("{}", Value::from(long.as_str()));
+        assert!(shown.contains("100 bytes"));
+    }
+
+    #[test]
+    fn display_binary_is_nonempty() {
+        let v = Value::from(vec![0xff, 0xfe]);
+        assert!(format!("{v}").contains("2 binary bytes"));
+    }
+}

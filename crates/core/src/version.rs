@@ -1,0 +1,222 @@
+//! Version lineages — the paper's "vector of version identifiers".
+//!
+//! Footnote 1 of the paper defines the version `V` carried by an update as
+//! `(version_id_1, version_id_2, …, version_id_k)`: the *history* of
+//! version identifiers a data item has passed through. A lineage that
+//! extends another strictly supersedes it; two lineages that diverge are
+//! concurrent and their values coexist as distinct versions (§3: altered
+//! data "may be treated as distinct and coexists as different versions").
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rumor_types::VersionId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How two lineages relate in the version partial order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VersionRelation {
+    /// Identical histories.
+    Equal,
+    /// `self` strictly extends the other lineage (newer).
+    Dominates,
+    /// The other lineage strictly extends `self` (older).
+    DominatedBy,
+    /// Histories diverged: neither is a prefix of the other.
+    Concurrent,
+}
+
+/// An append-only chain of version identifiers for one data item.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_core::{Lineage, VersionRelation};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let v1 = Lineage::root(&mut rng);
+/// let v2 = v1.child(&mut rng);
+/// assert_eq!(v2.relation(&v1), VersionRelation::Dominates);
+///
+/// let fork = v1.child(&mut rng);
+/// assert_eq!(fork.relation(&v2), VersionRelation::Concurrent);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Lineage {
+    ids: Vec<VersionId>,
+}
+
+impl Lineage {
+    /// Creates a fresh single-entry lineage with a random version id.
+    ///
+    /// The paper derives ids from a secure hash of time, IP and a random
+    /// number; 128 random bits give the same collision guarantees while
+    /// keeping runs reproducible (`DESIGN.md` §4).
+    pub fn root(rng: &mut ChaCha8Rng) -> Self {
+        Self {
+            ids: vec![fresh_id(rng)],
+        }
+    }
+
+    /// Builds a lineage from explicit ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty: an empty history names no version.
+    pub fn from_ids(ids: Vec<VersionId>) -> Self {
+        assert!(!ids.is_empty(), "a lineage must contain at least one id");
+        Self { ids }
+    }
+
+    /// Returns a new lineage extending this one by a fresh random id.
+    #[must_use]
+    pub fn child(&self, rng: &mut ChaCha8Rng) -> Self {
+        let mut ids = self.ids.clone();
+        ids.push(fresh_id(rng));
+        Self { ids }
+    }
+
+    /// The newest version identifier (the chain head).
+    pub fn head(&self) -> VersionId {
+        *self.ids.last().expect("lineage is never empty")
+    }
+
+    /// Number of versions in the history.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Lineages are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The full chain of ids, oldest first.
+    pub fn ids(&self) -> &[VersionId] {
+        &self.ids
+    }
+
+    /// Whether `prefix` is a (non-strict) prefix of this lineage.
+    pub fn has_prefix(&self, prefix: &Lineage) -> bool {
+        self.ids.len() >= prefix.ids.len() && self.ids[..prefix.ids.len()] == prefix.ids[..]
+    }
+
+    /// Computes the partial-order relation between two lineages.
+    pub fn relation(&self, other: &Lineage) -> VersionRelation {
+        if self.ids == other.ids {
+            VersionRelation::Equal
+        } else if self.has_prefix(other) {
+            VersionRelation::Dominates
+        } else if other.has_prefix(self) {
+            VersionRelation::DominatedBy
+        } else {
+            VersionRelation::Concurrent
+        }
+    }
+
+    /// True when this lineage supersedes or equals `other`.
+    pub fn covers(&self, other: &Lineage) -> bool {
+        matches!(
+            self.relation(other),
+            VersionRelation::Equal | VersionRelation::Dominates
+        )
+    }
+}
+
+impl fmt::Display for Lineage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lineage[{} -> {}]", self.ids.len(), self.head())
+    }
+}
+
+fn fresh_id(rng: &mut ChaCha8Rng) -> VersionId {
+    VersionId::from_bits(rng.gen())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(2)
+    }
+
+    #[test]
+    fn root_has_length_one() {
+        let l = Lineage::root(&mut rng());
+        assert_eq!(l.len(), 1);
+        assert!(!l.is_empty());
+        assert_eq!(l.head(), l.ids()[0]);
+    }
+
+    #[test]
+    fn child_extends_parent() {
+        let mut r = rng();
+        let parent = Lineage::root(&mut r);
+        let child = parent.child(&mut r);
+        assert_eq!(child.len(), 2);
+        assert!(child.has_prefix(&parent));
+        assert_eq!(child.relation(&parent), VersionRelation::Dominates);
+        assert_eq!(parent.relation(&child), VersionRelation::DominatedBy);
+    }
+
+    #[test]
+    fn equal_relation() {
+        let l = Lineage::root(&mut rng());
+        assert_eq!(l.relation(&l.clone()), VersionRelation::Equal);
+        assert!(l.covers(&l.clone()));
+    }
+
+    #[test]
+    fn forks_are_concurrent() {
+        let mut r = rng();
+        let base = Lineage::root(&mut r);
+        let a = base.child(&mut r);
+        let b = base.child(&mut r);
+        assert_eq!(a.relation(&b), VersionRelation::Concurrent);
+        assert_eq!(b.relation(&a), VersionRelation::Concurrent);
+        assert!(!a.covers(&b));
+    }
+
+    #[test]
+    fn unrelated_roots_are_concurrent() {
+        let mut r = rng();
+        let a = Lineage::root(&mut r);
+        let b = Lineage::root(&mut r);
+        assert_eq!(a.relation(&b), VersionRelation::Concurrent);
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_respects_dominance() {
+        let mut r = rng();
+        let a = Lineage::root(&mut r);
+        let b = a.child(&mut r);
+        let c = b.child(&mut r);
+        assert!(c.covers(&a), "grandchild covers grandparent");
+        assert!(!a.covers(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one id")]
+    fn from_ids_rejects_empty() {
+        let _ = Lineage::from_ids(vec![]);
+    }
+
+    #[test]
+    fn display_mentions_length() {
+        let mut r = rng();
+        let l = Lineage::root(&mut r).child(&mut r);
+        assert!(format!("{l}").contains("lineage[2"));
+    }
+
+    #[test]
+    fn fresh_ids_do_not_collide_in_practice() {
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(fresh_id(&mut r)));
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Detecting that a propagation has effectively terminated.
+//!
+//! The analysis stops a push phase when the newly-aware increment drops
+//! below a threshold or awareness saturates (paper §4.2: `f_aware` "rapidly
+//! grows to 1" and must be capped). The simulator uses the same criterion so
+//! model and simulation report comparable round counts.
+
+use serde::{Deserialize, Serialize};
+
+/// Declares convergence once a monitored value stops improving.
+///
+/// The detector watches a monotone quantity (for example the aware
+/// fraction) and reports convergence when `patience` consecutive
+/// observations improve by less than `epsilon`, or when the value reaches
+/// `target`.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_metrics::ConvergenceDetector;
+/// let mut d = ConvergenceDetector::new(1e-6, 2, 0.999);
+/// assert!(!d.observe(0.5));
+/// assert!(!d.observe(0.5)); // first stall
+/// assert!(d.observe(0.5));  // second stall => converged
+/// assert!(d.is_converged());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceDetector {
+    epsilon: f64,
+    patience: u32,
+    target: f64,
+    last: Option<f64>,
+    stalls: u32,
+    converged: bool,
+}
+
+impl ConvergenceDetector {
+    /// Creates a detector.
+    ///
+    /// * `epsilon` — minimum improvement that counts as progress.
+    /// * `patience` — number of consecutive stalled observations tolerated.
+    /// * `target` — absolute value at which convergence is immediate
+    ///   (e.g. `0.999` awareness, the paper's "high probability, arbitrarily
+    ///   close to 1").
+    pub fn new(epsilon: f64, patience: u32, target: f64) -> Self {
+        Self {
+            epsilon,
+            patience,
+            target,
+            last: None,
+            stalls: 0,
+            converged: false,
+        }
+    }
+
+    /// Feeds the next observation; returns `true` once converged.
+    pub fn observe(&mut self, value: f64) -> bool {
+        if self.converged {
+            return true;
+        }
+        if value >= self.target {
+            self.converged = true;
+            return true;
+        }
+        match self.last {
+            Some(prev) if (value - prev) < self.epsilon => {
+                self.stalls += 1;
+                if self.stalls >= self.patience {
+                    self.converged = true;
+                }
+            }
+            _ => self.stalls = 0,
+        }
+        self.last = Some(value);
+        self.converged
+    }
+
+    /// Whether convergence has been declared.
+    pub const fn is_converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Resets the detector to its initial state.
+    pub fn reset(&mut self) {
+        self.last = None;
+        self.stalls = 0;
+        self.converged = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_target() {
+        let mut d = ConvergenceDetector::new(1e-9, 5, 0.999);
+        assert!(d.observe(0.9995));
+    }
+
+    #[test]
+    fn converges_on_stall() {
+        let mut d = ConvergenceDetector::new(0.01, 3, 1.0);
+        assert!(!d.observe(0.1));
+        assert!(!d.observe(0.105)); // stall 1 (< 0.01 improvement)
+        assert!(!d.observe(0.107)); // stall 2
+        assert!(d.observe(0.108)); // stall 3 => converged
+    }
+
+    #[test]
+    fn progress_resets_stall_count() {
+        let mut d = ConvergenceDetector::new(0.01, 2, 1.0);
+        assert!(!d.observe(0.1));
+        assert!(!d.observe(0.1)); // stall 1
+        assert!(!d.observe(0.5)); // progress, resets
+        assert!(!d.observe(0.5)); // stall 1
+        assert!(d.observe(0.5)); // stall 2 => converged
+    }
+
+    #[test]
+    fn stays_converged() {
+        let mut d = ConvergenceDetector::new(1e-9, 1, 0.5);
+        assert!(d.observe(0.6));
+        assert!(d.observe(0.0), "remains converged on later observations");
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut d = ConvergenceDetector::new(1e-9, 1, 0.5);
+        assert!(d.observe(0.6));
+        d.reset();
+        assert!(!d.is_converged());
+        assert!(!d.observe(0.1));
+    }
+}

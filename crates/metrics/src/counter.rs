@@ -1,0 +1,183 @@
+//! Monotone counters and labelled counter sets.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotone event counter.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_metrics::Counter;
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Self(0)
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Returns the current count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A set of counters addressed by static label, used by the simulator to
+/// tally message kinds (push, pull request, pull response, ack, duplicate…).
+///
+/// # Examples
+///
+/// ```
+/// use rumor_metrics::CounterSet;
+/// let mut set = CounterSet::new();
+/// set.add("push", 2);
+/// set.incr("push");
+/// assert_eq!(set.get("push"), 3);
+/// assert_eq!(set.get("never-touched"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSet {
+    counters: BTreeMap<String, Counter>,
+}
+
+impl CounterSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter with the given label, creating it if absent.
+    pub fn add(&mut self, label: &str, n: u64) {
+        self.counters.entry(label.to_owned()).or_default().add(n);
+    }
+
+    /// Adds one to the counter with the given label.
+    pub fn incr(&mut self, label: &str) {
+        self.add(label, 1);
+    }
+
+    /// Returns the value of the labelled counter, or 0 if never touched.
+    pub fn get(&self, label: &str) -> u64 {
+        self.counters.get(label).map_or(0, |c| c.get())
+    }
+
+    /// Returns the sum of every counter in the set.
+    pub fn total(&self) -> u64 {
+        self.counters.values().map(|c| c.get()).sum()
+    }
+
+    /// Iterates over `(label, value)` pairs in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+
+    /// Merges another set into this one, summing shared labels.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (label, value) in other.iter() {
+            self.add(label, value);
+        }
+    }
+
+    /// Returns true if no counter was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+impl fmt::Display for CounterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counters.is_empty() {
+            return write!(f, "(no counters)");
+        }
+        let mut first = true;
+        for (label, value) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{label}={value}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn counter_default_is_zero() {
+        assert_eq!(Counter::default().get(), 0);
+    }
+
+    #[test]
+    fn set_tracks_labels_independently() {
+        let mut s = CounterSet::new();
+        s.incr("a");
+        s.add("b", 5);
+        assert_eq!(s.get("a"), 1);
+        assert_eq!(s.get("b"), 5);
+        assert_eq!(s.total(), 6);
+    }
+
+    #[test]
+    fn set_merge_sums() {
+        let mut a = CounterSet::new();
+        a.add("x", 1);
+        let mut b = CounterSet::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn set_iter_is_sorted() {
+        let mut s = CounterSet::new();
+        s.incr("zebra");
+        s.incr("ant");
+        let labels: Vec<_> = s.iter().map(|(l, _)| l.to_owned()).collect();
+        assert_eq!(labels, vec!["ant", "zebra"]);
+    }
+
+    #[test]
+    fn set_display_nonempty() {
+        let mut s = CounterSet::new();
+        assert_eq!(format!("{s}"), "(no counters)");
+        s.incr("m");
+        assert!(format!("{s}").contains("m=1"));
+    }
+}

@@ -1,0 +1,185 @@
+//! A simple fixed-width linear histogram for latency/staleness distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// A linear-bucket histogram over `f64` samples.
+///
+/// Samples below the range clamp into the first bucket and samples above
+/// clamp into the overflow bucket, so [`Histogram::count`] always equals
+/// the number of recorded samples.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_metrics::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.record(1.0);
+/// h.record(9.5);
+/// h.record(100.0); // overflow bucket
+/// assert_eq!(h.count(), 3);
+/// assert!(h.quantile(0.5) <= 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[lo, hi)` with `buckets` equal cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Self {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        let idx = if v < self.lo {
+            0
+        } else {
+            (((v - self.lo) / width) as usize).min(self.buckets.len() - 1)
+        };
+        self.buckets[idx] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) via bucket interpolation.
+    ///
+    /// Returns the upper edge of the bucket containing the quantile;
+    /// overflow resolves to the recorded maximum.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return self.lo + width * (i as f64 + 1.0);
+            }
+        }
+        self.max
+    }
+
+    /// Iterates over `(bucket_lower_edge, count)` pairs, then overflow.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + width * i as f64, c))
+            .chain(std::iter::once((self.hi, self.overflow)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 10);
+        assert!((h.mean() - 4.5).abs() < 1e-12);
+        assert_eq!(h.min(), Some(0.0));
+        assert_eq!(h.max(), Some(9.0));
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-5.0);
+        h.record(42.0);
+        assert_eq!(h.count(), 2);
+        let cells: Vec<_> = h.iter().collect();
+        assert_eq!(cells[0].1, 1, "below-range goes to first bucket");
+        assert_eq!(cells.last().unwrap().1, 1, "above-range goes to overflow");
+    }
+
+    #[test]
+    fn quantile_median_of_uniform() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let med = h.quantile(0.5);
+        assert!((45.0..=55.0).contains(&med), "median ≈ 50, got {med}");
+    }
+
+    #[test]
+    fn quantile_empty_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.9), 0.0);
+    }
+
+    #[test]
+    fn quantile_overflow_returns_max() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(7.0);
+        assert_eq!(h.quantile(1.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+}

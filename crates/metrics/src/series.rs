@@ -1,0 +1,186 @@
+//! Per-round time series — the backbone of every figure in the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// One `(round, value)` observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Push round the value was observed in.
+    pub round: u32,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// A named sequence of per-round observations.
+///
+/// The figures of the paper plot cumulative messages per initially-online
+/// peer (y) against the aware fraction (x), point per round; `RoundSeries`
+/// is the common carrier for both axes.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_metrics::RoundSeries;
+/// let mut s = RoundSeries::new("f_aware");
+/// s.record(0, 0.01);
+/// s.record(1, 0.05);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.last().unwrap().value, 0.05);
+/// let c = s.cumulative();
+/// assert!((c.last().unwrap().value - 0.06).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundSeries {
+    name: String,
+    points: Vec<SeriesPoint>,
+}
+
+impl RoundSeries {
+    /// Creates an empty series with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends an observation for `round`.
+    pub fn record(&mut self, round: u32, value: f64) {
+        self.points.push(SeriesPoint { round, value });
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The recorded points in insertion order.
+    pub fn points(&self) -> &[SeriesPoint] {
+        &self.points
+    }
+
+    /// The most recent point.
+    pub fn last(&self) -> Option<SeriesPoint> {
+        self.points.last().copied()
+    }
+
+    /// Sum of all values.
+    pub fn total(&self) -> f64 {
+        self.points.iter().map(|p| p.value).sum()
+    }
+
+    /// Returns a new series of running totals (same rounds).
+    #[must_use]
+    pub fn cumulative(&self) -> RoundSeries {
+        let mut out = RoundSeries::new(format!("{} (cumulative)", self.name));
+        let mut acc = 0.0;
+        for p in &self.points {
+            acc += p.value;
+            out.record(p.round, acc);
+        }
+        out
+    }
+
+    /// Returns a new series with every value divided by `denom`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom` is zero or not finite: normalising a figure by a
+    /// degenerate population is always a harness bug.
+    #[must_use]
+    pub fn normalized(&self, denom: f64) -> RoundSeries {
+        assert!(
+            denom.is_finite() && denom != 0.0,
+            "normalisation denominator must be finite and non-zero"
+        );
+        let mut out = RoundSeries::new(format!("{} / {denom}", self.name));
+        for p in &self.points {
+            out.record(p.round, p.value / denom);
+        }
+        out
+    }
+
+    /// Zips two equally-long series into `(x, y)` pairs — e.g. awareness on
+    /// x and cumulative messages on y, the paper's standard plot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series have different lengths.
+    pub fn zip<'a>(x: &'a RoundSeries, y: &'a RoundSeries) -> Vec<(f64, f64)> {
+        assert_eq!(x.len(), y.len(), "series length mismatch");
+        x.points
+            .iter()
+            .zip(&y.points)
+            .map(|(a, b)| (a.value, b.value))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut s = RoundSeries::new("m");
+        s.record(0, 1.0);
+        s.record(1, 2.0);
+        assert_eq!(s.points()[1].round, 1);
+        assert_eq!(s.total(), 3.0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn cumulative_sums() {
+        let mut s = RoundSeries::new("m");
+        for r in 0..4 {
+            s.record(r, 1.0);
+        }
+        let c = s.cumulative();
+        let vals: Vec<_> = c.points().iter().map(|p| p.value).collect();
+        assert_eq!(vals, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn normalized_divides() {
+        let mut s = RoundSeries::new("m");
+        s.record(0, 10.0);
+        let n = s.normalized(5.0);
+        assert_eq!(n.points()[0].value, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn normalized_rejects_zero() {
+        let s = RoundSeries::new("m");
+        let _ = s.normalized(0.0);
+    }
+
+    #[test]
+    fn zip_pairs_values() {
+        let mut x = RoundSeries::new("x");
+        let mut y = RoundSeries::new("y");
+        x.record(0, 0.1);
+        y.record(0, 5.0);
+        assert_eq!(RoundSeries::zip(&x, &y), vec![(0.1, 5.0)]);
+    }
+
+    #[test]
+    fn empty_series_behaviour() {
+        let s = RoundSeries::new("e");
+        assert!(s.is_empty());
+        assert!(s.last().is_none());
+        assert_eq!(s.total(), 0.0);
+        assert!(s.cumulative().is_empty());
+    }
+}

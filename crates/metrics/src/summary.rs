@@ -1,0 +1,145 @@
+//! Descriptive statistics over sample slices.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean / standard deviation / extrema / percentiles of a sample set.
+///
+/// Used by the harness to aggregate repeated simulation trials into the
+/// single numbers reported in `EXPERIMENTS.md`.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_metrics::Summary;
+/// let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.std_dev(), 2.0);
+/// assert_eq!(s.min(), 2.0);
+/// assert_eq!(s.max(), 9.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    std_dev: f64,
+    min: f64,
+    max: f64,
+    median: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `samples`.
+    ///
+    /// Empty input yields an all-zero summary with `n == 0`; callers that
+    /// require data should check [`Summary::n`].
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+            };
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Self {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        }
+    }
+
+    /// Number of samples.
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Arithmetic mean.
+    pub const fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation.
+    pub const fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Smallest sample.
+    pub const fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample.
+    pub const fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Median sample.
+    pub const fn median(&self) -> f64 {
+        self.median
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} med={:.4} max={:.4}",
+            self.n, self.mean, self.std_dev, self.min, self.median, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.n(), 1);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.median(), 3.5);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn even_count_median_interpolates() {
+        let s = Summary::of(&[1.0, 3.0]);
+        assert_eq!(s.median(), 2.0);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = Summary::of(&[3.0, 1.0, 2.0]);
+        let b = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_mentions_mean() {
+        let s = Summary::of(&[1.0, 1.0]);
+        assert!(format!("{s}").contains("mean=1.0000"));
+    }
+}

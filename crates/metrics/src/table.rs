@@ -1,0 +1,210 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! The harness reproduces the paper's tables (e.g. Table 2) as aligned
+//! monospace text; this module is the shared renderer. CSV output is also
+//! provided so results can be re-plotted externally.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Column alignment for [`Table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Align {
+    /// Pad on the right.
+    Left,
+    /// Pad on the left (numbers).
+    Right,
+}
+
+/// An aligned monospace table builder.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_metrics::{Align, Table};
+/// let mut t = Table::new(vec!["scheme".into(), "msgs".into()]);
+/// t.align(1, Align::Right);
+/// t.row(vec!["Gnutella".into(), "4.00".into()]);
+/// let text = t.render();
+/// assert!(text.contains("Gnutella"));
+/// assert!(text.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        let aligns = vec![Align::Left; headers.len()];
+        Self {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the alignment of column `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn align(&mut self, idx: usize, align: Align) -> &mut Self {
+        self.aligns[idx] = align;
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text with a separator under the header.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        render_row(&mut out, &self.headers, &widths, &self.aligns);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        render_row(&mut out, &sep, &widths, &self.aligns);
+        for row in &self.rows {
+            render_row(&mut out, row, &widths, &self.aligns);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&csv_line(&self.headers));
+        for row in &self.rows {
+            out.push_str(&csv_line(row));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn render_row(out: &mut String, cells: &[String], widths: &[usize], aligns: &[Align]) {
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        let pad = widths[i].saturating_sub(cell.chars().count());
+        match aligns[i] {
+            Align::Left => {
+                out.push_str(cell);
+                if i + 1 < cells.len() {
+                    out.push_str(&" ".repeat(pad));
+                }
+            }
+            Align::Right => {
+                out.push_str(&" ".repeat(pad));
+                out.push_str(cell);
+            }
+        }
+    }
+    out.push('\n');
+}
+
+fn csv_line(cells: &[String]) -> String {
+    let escaped: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+    format!("{}\n", escaped.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.align(1, Align::Right);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "22.5".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = sample().render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Right-aligned numeric column: "1" ends at same offset as "22.5".
+        assert!(lines[2].ends_with('1'));
+        assert!(lines[3].ends_with("22.5"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["name,value", "alpha,1", "b,22.5"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(vec!["x".into()]);
+        t.row(vec!["a,b".into()]);
+        t.row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(vec!["one".into(), "two".into()]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let t = Table::new(vec!["h".into()]);
+        assert!(t.is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let t = sample();
+        assert_eq!(format!("{t}"), t.render());
+    }
+}

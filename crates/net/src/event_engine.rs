@@ -1,0 +1,438 @@
+//! Deterministic discrete-event engine: the asynchronous counterpart of
+//! [`SyncEngine`](crate::SyncEngine).
+//!
+//! §4.1: "It is indeed possible that because of variation in network
+//! latency, messages of different push rounds live in the network at the
+//! same instant of time." This engine realises that regime — messages
+//! carry sampled latencies, churn follows continuous on/off dwell times —
+//! while staying bit-for-bit reproducible under a fixed seed.
+
+use crate::latency::LatencyModel;
+use crate::node::{Effect, Node};
+use crate::stats::EngineStats;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rumor_churn::{OnOffProcess, OnlineSet};
+use rumor_types::{PeerId, Round, Tick};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Configuration of the event engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventEngineConfig {
+    /// In-flight delay distribution.
+    pub latency: LatencyModel,
+    /// Independent message-drop probability.
+    pub loss: f64,
+    /// Ticks that constitute one nominal "round" (used to translate ticks
+    /// into the `Round` values nodes reason about).
+    pub ticks_per_round: u64,
+}
+
+impl Default for EventEngineConfig {
+    fn default() -> Self {
+        Self {
+            latency: LatencyModel::Constant { ticks: 10 },
+            loss: 0.0,
+            ticks_per_round: 10,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { from: PeerId, to: PeerId, msg: M },
+    Status { peer: PeerId, online: bool },
+    Timer { peer: PeerId, tag: u64 },
+}
+
+#[derive(Debug)]
+struct Scheduled<M> {
+    at: Tick,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (at, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator over [`Node`]s.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_net::{Effect, EventEngine, EventEngineConfig, Node};
+/// use rumor_churn::OnlineSet;
+/// use rumor_types::{PeerId, Round, Tick};
+/// use rand::SeedableRng;
+///
+/// struct Sink { id: PeerId, got: u32 }
+/// impl Node for Sink {
+///     type Msg = ();
+///     fn id(&self) -> PeerId { self.id }
+///     fn on_message(&mut self, _f: PeerId, _m: (), _r: Round,
+///                   _rng: &mut rand_chacha::ChaCha8Rng) -> Vec<Effect<()>> {
+///         self.got += 1; vec![]
+///     }
+/// }
+///
+/// let mut nodes = vec![Sink { id: PeerId::new(0), got: 0 },
+///                      Sink { id: PeerId::new(1), got: 0 }];
+/// let mut online = OnlineSet::all_online(2);
+/// let mut engine = EventEngine::new(EventEngineConfig::default(), 2);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), ())], &mut rng);
+/// engine.run(&mut nodes, &mut online, None, Tick::new(100), &mut rng);
+/// assert_eq!(nodes[1].got, 1);
+/// ```
+#[derive(Debug)]
+pub struct EventEngine<M> {
+    cfg: EventEngineConfig,
+    queue: BinaryHeap<Scheduled<M>>,
+    now: Tick,
+    seq: u64,
+    stats: EngineStats,
+    population: usize,
+    sent_this_round: u64,
+    closed_rounds: u32,
+}
+
+impl<M: Clone> EventEngine<M> {
+    /// Creates an engine for `population` peers.
+    pub fn new(cfg: EventEngineConfig, population: usize) -> Self {
+        Self {
+            cfg,
+            queue: BinaryHeap::new(),
+            now: Tick::ZERO,
+            seq: 0,
+            stats: EngineStats::new(),
+            population,
+            sent_this_round: 0,
+            closed_rounds: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub const fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Message accounting so far.
+    pub const fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Number of queued events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The nominal round corresponding to the current tick.
+    pub fn current_round(&self) -> Round {
+        Round::new((self.now.as_u64() / self.cfg.ticks_per_round) as u32)
+    }
+
+    fn push_event(&mut self, at: Tick, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, kind });
+    }
+
+    /// Queues effects originating at `from` at the current time.
+    pub fn inject(&mut self, from: PeerId, effects: Vec<Effect<M>>, rng: &mut ChaCha8Rng) {
+        self.apply_effects(from, effects, rng);
+    }
+
+    fn apply_effects(&mut self, from: PeerId, effects: Vec<Effect<M>>, rng: &mut ChaCha8Rng) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    self.stats.record_sent(1);
+                    self.sent_this_round += 1;
+                    let delay = self.cfg.latency.sample(rng);
+                    let at = self.now.advance(delay);
+                    self.push_event(at, EventKind::Deliver { from, to, msg });
+                }
+                Effect::Timer { delay, tag } => {
+                    let at = self.now.advance(delay.max(1));
+                    self.push_event(at, EventKind::Timer { peer: from, tag });
+                }
+            }
+        }
+    }
+
+    /// Seeds availability transitions for every peer from a continuous
+    /// on/off process. Call once before [`EventEngine::run`] when churn is
+    /// desired; without it the initial `OnlineSet` stays frozen.
+    pub fn schedule_churn(
+        &mut self,
+        online: &OnlineSet,
+        process: &OnOffProcess,
+        rng: &mut ChaCha8Rng,
+    ) {
+        for (peer, is_on) in online.iter() {
+            let dwell = if is_on {
+                process.sample_online_dwell(rng)
+            } else {
+                process.sample_offline_dwell(rng)
+            };
+            let at = self.now.advance(dwell.ceil().max(1.0) as u64);
+            self.push_event(
+                at,
+                EventKind::Status {
+                    peer,
+                    online: !is_on,
+                },
+            );
+        }
+    }
+
+    /// Processes events until `until` (inclusive) or until the queue is
+    /// empty. Returns the number of events processed.
+    pub fn run<N>(
+        &mut self,
+        nodes: &mut [N],
+        online: &mut OnlineSet,
+        churn: Option<&OnOffProcess>,
+        until: Tick,
+        rng: &mut ChaCha8Rng,
+    ) -> u64
+    where
+        N: Node<Msg = M>,
+    {
+        assert_eq!(nodes.len(), self.population, "population size mismatch");
+        let mut processed = 0;
+        while let Some(head) = self.queue.peek() {
+            if head.at > until {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.advance_clock(ev.at);
+            processed += 1;
+            let round = self.current_round();
+            match ev.kind {
+                EventKind::Deliver { from, to, msg } => {
+                    if !online.is_online(to) {
+                        self.stats.lost_offline += 1;
+                        continue;
+                    }
+                    if self.cfg.loss > 0.0 && rng.gen_bool(self.cfg.loss) {
+                        self.stats.lost_fault += 1;
+                        continue;
+                    }
+                    self.stats.delivered += 1;
+                    let effects = nodes[to.index()].on_message(from, msg, round, rng);
+                    self.apply_effects(to, effects, rng);
+                }
+                EventKind::Status { peer, online: goes_online } => {
+                    online.set_online(peer, goes_online);
+                    let effects = nodes[peer.index()].on_status_change(goes_online, round, rng);
+                    self.apply_effects(peer, effects, rng);
+                    if let Some(process) = churn {
+                        let dwell = if goes_online {
+                            process.sample_online_dwell(rng)
+                        } else {
+                            process.sample_offline_dwell(rng)
+                        };
+                        let at = self.now.advance(dwell.ceil().max(1.0) as u64);
+                        self.push_event(
+                            at,
+                            EventKind::Status {
+                                peer,
+                                online: !goes_online,
+                            },
+                        );
+                    }
+                }
+                EventKind::Timer { peer, tag } => {
+                    if online.is_online(peer) {
+                        let effects = nodes[peer.index()].on_timer(tag, round, rng);
+                        self.apply_effects(peer, effects, rng);
+                    }
+                }
+            }
+        }
+        if self.now < until {
+            self.advance_clock(until);
+        }
+        processed
+    }
+
+    fn advance_clock(&mut self, to: Tick) {
+        // Close any nominal rounds the clock skips past, so the per-round
+        // series stays comparable with the synchronous engine.
+        let target_round = (to.as_u64() / self.cfg.ticks_per_round) as u32;
+        while self.closed_rounds < target_round {
+            self.stats
+                .close_round(self.closed_rounds, self.sent_this_round);
+            self.sent_this_round = 0;
+            self.closed_rounds += 1;
+        }
+        self.now = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    struct Sink {
+        id: PeerId,
+        got: Vec<u32>,
+        timer_tags: Vec<u64>,
+        transitions: u32,
+    }
+
+    impl Sink {
+        fn new(id: u32) -> Self {
+            Self {
+                id: PeerId::new(id),
+                got: Vec::new(),
+                timer_tags: Vec::new(),
+                transitions: 0,
+            }
+        }
+    }
+
+    impl Node for Sink {
+        type Msg = u32;
+        fn id(&self) -> PeerId {
+            self.id
+        }
+        fn on_message(
+            &mut self,
+            _from: PeerId,
+            msg: u32,
+            _round: Round,
+            _rng: &mut ChaCha8Rng,
+        ) -> Vec<Effect<u32>> {
+            self.got.push(msg);
+            Vec::new()
+        }
+        fn on_status_change(
+            &mut self,
+            _online: bool,
+            _round: Round,
+            _rng: &mut ChaCha8Rng,
+        ) -> Vec<Effect<u32>> {
+            self.transitions += 1;
+            Vec::new()
+        }
+        fn on_timer(&mut self, tag: u64, _round: Round, _rng: &mut ChaCha8Rng) -> Vec<Effect<u32>> {
+            self.timer_tags.push(tag);
+            Vec::new()
+        }
+    }
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(10)
+    }
+
+    #[test]
+    fn delivers_with_constant_latency() {
+        let mut nodes = vec![Sink::new(0), Sink::new(1)];
+        let mut online = OnlineSet::all_online(2);
+        let mut engine = EventEngine::new(EventEngineConfig::default(), 2);
+        let mut r = rng();
+        engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 42)], &mut r);
+        engine.run(&mut nodes, &mut online, None, Tick::new(9), &mut r);
+        assert!(nodes[1].got.is_empty(), "latency is 10 ticks");
+        engine.run(&mut nodes, &mut online, None, Tick::new(10), &mut r);
+        assert_eq!(nodes[1].got, vec![42]);
+    }
+
+    #[test]
+    fn loss_drops_messages() {
+        let cfg = EventEngineConfig {
+            loss: 1.0,
+            ..EventEngineConfig::default()
+        };
+        let mut nodes = vec![Sink::new(0), Sink::new(1)];
+        let mut online = OnlineSet::all_online(2);
+        let mut engine = EventEngine::new(cfg, 2);
+        let mut r = rng();
+        engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 1)], &mut r);
+        engine.run(&mut nodes, &mut online, None, Tick::new(100), &mut r);
+        assert!(nodes[1].got.is_empty());
+        assert_eq!(engine.stats().lost_fault, 1);
+    }
+
+    #[test]
+    fn timer_fires_at_requested_delay() {
+        let mut nodes = vec![Sink::new(0)];
+        let mut online = OnlineSet::all_online(1);
+        let mut engine = EventEngine::new(EventEngineConfig::default(), 1);
+        let mut r = rng();
+        engine.inject(PeerId::new(0), vec![Effect::Timer { delay: 25, tag: 3 }], &mut r);
+        engine.run(&mut nodes, &mut online, None, Tick::new(24), &mut r);
+        assert!(nodes[0].timer_tags.is_empty());
+        engine.run(&mut nodes, &mut online, None, Tick::new(25), &mut r);
+        assert_eq!(nodes[0].timer_tags, vec![3]);
+    }
+
+    #[test]
+    fn churn_produces_transitions() {
+        let mut nodes: Vec<Sink> = (0..20).map(Sink::new).collect();
+        let mut online = OnlineSet::all_online(20);
+        let mut engine = EventEngine::new(EventEngineConfig::default(), 20);
+        let process = OnOffProcess::new(20.0, 20.0).unwrap();
+        let mut r = rng();
+        engine.schedule_churn(&online, &process, &mut r);
+        engine.run(&mut nodes, &mut online, Some(&process), Tick::new(1000), &mut r);
+        let total: u32 = nodes.iter().map(|n| n.transitions).sum();
+        assert!(total > 20, "expected ongoing churn, saw {total} transitions");
+        assert!(
+            online.online_count() > 0 && online.online_count() < 20,
+            "availability should hover mid-range"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let run = |seed: u64| {
+            let mut nodes = vec![Sink::new(0), Sink::new(1)];
+            let mut online = OnlineSet::all_online(2);
+            let cfg = EventEngineConfig {
+                latency: LatencyModel::Uniform { lo: 1, hi: 50 },
+                ..EventEngineConfig::default()
+            };
+            let mut engine = EventEngine::new(cfg, 2);
+            let mut r = ChaCha8Rng::seed_from_u64(seed);
+            for i in 0..10 {
+                engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), i)], &mut r);
+            }
+            engine.run(&mut nodes, &mut online, None, Tick::new(100), &mut r);
+            nodes[1].got.clone()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn rounds_close_as_time_passes() {
+        let mut nodes = vec![Sink::new(0), Sink::new(1)];
+        let mut online = OnlineSet::all_online(2);
+        let mut engine = EventEngine::new(EventEngineConfig::default(), 2);
+        let mut r = rng();
+        engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 1)], &mut r);
+        engine.run(&mut nodes, &mut online, None, Tick::new(55), &mut r);
+        // 55 ticks / 10 ticks-per-round => 5 closed rounds.
+        assert_eq!(engine.stats().per_round_sent().points().len(), 5);
+        assert_eq!(engine.current_round(), Round::new(5));
+    }
+}

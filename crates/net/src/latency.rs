@@ -1,0 +1,128 @@
+//! Message latency models for the event-driven engine.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// How long a message spends in flight, in ticks.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_net::LatencyModel;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+/// let l = LatencyModel::Uniform { lo: 5, hi: 15 };
+/// let d = l.sample(&mut rng);
+/// assert!((5..=15).contains(&d));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly `ticks`.
+    Constant {
+        /// Fixed delay.
+        ticks: u64,
+    },
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Minimum delay.
+        lo: u64,
+        /// Maximum delay (inclusive).
+        hi: u64,
+    },
+    /// Exponential with the given mean, shifted by `min` (long tail — the
+    /// regime where push rounds of different ages coexist in the network).
+    Exponential {
+        /// Floor added to every sample.
+        min: u64,
+        /// Mean of the exponential part.
+        mean: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Samples one in-flight delay; always at least 1 tick so that a
+    /// message can never be delivered in the instant it was sent.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> u64 {
+        let raw = match *self {
+            Self::Constant { ticks } => ticks,
+            Self::Uniform { lo, hi } => {
+                if lo >= hi {
+                    lo
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            }
+            Self::Exponential { min, mean } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                min + (-mean * u.ln()).round() as u64
+            }
+        };
+        raw.max(1)
+    }
+
+    /// The mean delay of the model.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Self::Constant { ticks } => ticks.max(1) as f64,
+            Self::Uniform { lo, hi } => ((lo + hi) as f64 / 2.0).max(1.0),
+            Self::Exponential { min, mean } => min as f64 + mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(4)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let l = LatencyModel::Constant { ticks: 7 };
+        let mut r = rng();
+        assert!((0..100).all(|_| l.sample(&mut r) == 7));
+    }
+
+    #[test]
+    fn zero_constant_clamps_to_one() {
+        let l = LatencyModel::Constant { ticks: 0 };
+        assert_eq!(l.sample(&mut rng()), 1);
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let l = LatencyModel::Uniform { lo: 3, hi: 9 };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let d = l.sample(&mut r);
+            assert!((3..=9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn degenerate_uniform() {
+        let l = LatencyModel::Uniform { lo: 5, hi: 5 };
+        assert_eq!(l.sample(&mut rng()), 5);
+    }
+
+    #[test]
+    fn exponential_mean_roughly_correct() {
+        let l = LatencyModel::Exponential { min: 2, mean: 10.0 };
+        let mut r = rng();
+        let n = 20_000;
+        let mean = (0..n).map(|_| l.sample(&mut r)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 12.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn model_means() {
+        assert_eq!(LatencyModel::Constant { ticks: 4 }.mean(), 4.0);
+        assert_eq!(LatencyModel::Uniform { lo: 2, hi: 4 }.mean(), 3.0);
+        assert_eq!(LatencyModel::Exponential { min: 1, mean: 2.0 }.mean(), 3.0);
+    }
+}

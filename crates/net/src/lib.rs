@@ -1,0 +1,39 @@
+//! Logical-network substrate: engines that drive protocol nodes.
+//!
+//! The paper separates the update algorithm from physical connectivity:
+//! "the algorithm deals with logical connectivity (knowledge), and is
+//! disentangled from the underlying network/physical connectivity" (§1),
+//! and its analysis uses "a synchronous model which is a standard model
+//! for analysing epidemic algorithms" (§3). Accordingly this crate offers
+//! two engines over the same [`Node`] abstraction:
+//!
+//! * [`SyncEngine`] — lock-step push rounds: a message sent in round `t`
+//!   is delivered at the start of round `t+1`; messages addressed to
+//!   offline peers are lost (and still counted, as in the paper's
+//!   overhead metric).
+//! * [`EventEngine`] — a deterministic discrete-event engine with latency
+//!   and loss models, demonstrating that rounds "need not be synchronous"
+//!   (§4.1): messages of different rounds may coexist in flight.
+//!
+//! [`topology`] builds the *knowledge graph* — which replicas each peer
+//! initially knows — *full* or *partial* (random subset), per §2's
+//! assumption that "each replica knows a minimal fraction of the complete
+//! set of replicas".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event_engine;
+mod latency;
+mod link;
+mod node;
+mod stats;
+mod sync_engine;
+pub mod topology;
+
+pub use event_engine::{EventEngine, EventEngineConfig};
+pub use latency::LatencyModel;
+pub use link::{BernoulliLoss, LinkFilter, Partition, PerfectLinks};
+pub use node::{Effect, Node};
+pub use stats::EngineStats;
+pub use sync_engine::SyncEngine;

@@ -1,0 +1,191 @@
+//! Link-level fault models: probabilistic loss and partitions.
+//!
+//! §3: "if two peers may not communicate with each other, they will simply
+//! perceive each other to be offline" — so faults compose with churn
+//! naturally: a filtered message counts as sent and is lost.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rumor_types::{PeerId, Round};
+
+/// Decides whether a link delivery succeeds.
+pub trait LinkFilter {
+    /// Returns `true` when a message from `from` to `to` in `round` passes.
+    fn allows(&self, from: PeerId, to: PeerId, round: Round, rng: &mut ChaCha8Rng) -> bool;
+}
+
+/// No link faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfectLinks;
+
+impl LinkFilter for PerfectLinks {
+    fn allows(&self, _from: PeerId, _to: PeerId, _round: Round, _rng: &mut ChaCha8Rng) -> bool {
+        true
+    }
+}
+
+/// Drops each message independently with probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BernoulliLoss {
+    p: f64,
+}
+
+impl BernoulliLoss {
+    /// Creates a loss model; `p` is clamped to `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        Self { p: p.clamp(0.0, 1.0) }
+    }
+
+    /// The drop probability.
+    pub const fn probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl LinkFilter for BernoulliLoss {
+    fn allows(&self, _from: PeerId, _to: PeerId, _round: Round, rng: &mut ChaCha8Rng) -> bool {
+        self.p == 0.0 || !rng.gen_bool(self.p)
+    }
+}
+
+/// Splits the population into groups; cross-group messages are dropped
+/// while the partition is active.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    group_of: Vec<u8>,
+    from_round: Round,
+    until_round: Round,
+}
+
+impl Partition {
+    /// Creates a partition from a per-peer group assignment, active during
+    /// `[from_round, until_round)`.
+    ///
+    /// Peers beyond `group_of.len()` are treated as group 0.
+    pub fn new(group_of: Vec<u8>, from_round: Round, until_round: Round) -> Self {
+        Self {
+            group_of,
+            from_round,
+            until_round,
+        }
+    }
+
+    /// Convenience: splits peers `0..n` into two halves for the given
+    /// round window.
+    pub fn halves(n: usize, from_round: Round, until_round: Round) -> Self {
+        let group_of = (0..n).map(|i| u8::from(i >= n / 2)).collect();
+        Self::new(group_of, from_round, until_round)
+    }
+
+    fn group(&self, p: PeerId) -> u8 {
+        self.group_of.get(p.index()).copied().unwrap_or(0)
+    }
+
+    /// Whether the partition is active in `round`.
+    pub fn active(&self, round: Round) -> bool {
+        round >= self.from_round && round < self.until_round
+    }
+}
+
+impl LinkFilter for Partition {
+    fn allows(&self, from: PeerId, to: PeerId, round: Round, _rng: &mut ChaCha8Rng) -> bool {
+        !self.active(round) || self.group(from) == self.group(to)
+    }
+}
+
+/// A stack of filters: a message passes only if every layer allows it.
+impl<F: LinkFilter> LinkFilter for Vec<F> {
+    fn allows(&self, from: PeerId, to: PeerId, round: Round, rng: &mut ChaCha8Rng) -> bool {
+        self.iter().all(|f| f.allows(from, to, round, rng))
+    }
+}
+
+impl<F: LinkFilter + ?Sized> LinkFilter for Box<F> {
+    fn allows(&self, from: PeerId, to: PeerId, round: Round, rng: &mut ChaCha8Rng) -> bool {
+        (**self).allows(from, to, round, rng)
+    }
+}
+
+impl<F: LinkFilter + ?Sized> LinkFilter for &F {
+    fn allows(&self, from: PeerId, to: PeerId, round: Round, rng: &mut ChaCha8Rng) -> bool {
+        (**self).allows(from, to, round, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(6)
+    }
+
+    #[test]
+    fn perfect_links_allow_everything() {
+        let f = PerfectLinks;
+        assert!(f.allows(PeerId::new(0), PeerId::new(1), Round::ZERO, &mut rng()));
+    }
+
+    #[test]
+    fn loss_zero_and_one() {
+        let none = BernoulliLoss::new(0.0);
+        let all = BernoulliLoss::new(1.0);
+        let mut r = rng();
+        assert!(none.allows(PeerId::new(0), PeerId::new(1), Round::ZERO, &mut r));
+        assert!(!all.allows(PeerId::new(0), PeerId::new(1), Round::ZERO, &mut r));
+    }
+
+    #[test]
+    fn loss_probability_is_clamped() {
+        assert_eq!(BernoulliLoss::new(3.0).probability(), 1.0);
+        assert_eq!(BernoulliLoss::new(-3.0).probability(), 0.0);
+    }
+
+    #[test]
+    fn loss_rate_statistics() {
+        let f = BernoulliLoss::new(0.3);
+        let mut r = rng();
+        let n = 20_000;
+        let passed = (0..n)
+            .filter(|_| f.allows(PeerId::new(0), PeerId::new(1), Round::ZERO, &mut r))
+            .count();
+        let rate = passed as f64 / n as f64;
+        assert!((rate - 0.7).abs() < 0.02, "pass rate {rate}");
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_during_window() {
+        let p = Partition::halves(4, Round::new(1), Round::new(3));
+        let mut r = rng();
+        let (a, b) = (PeerId::new(0), PeerId::new(3));
+        assert!(p.allows(a, b, Round::new(0), &mut r), "before window");
+        assert!(!p.allows(a, b, Round::new(1), &mut r), "inside window");
+        assert!(!p.allows(a, b, Round::new(2), &mut r), "inside window");
+        assert!(p.allows(a, b, Round::new(3), &mut r), "after window");
+        // Same-group traffic is never blocked.
+        assert!(p.allows(a, PeerId::new(1), Round::new(1), &mut r));
+    }
+
+    #[test]
+    fn partition_unknown_peers_default_to_group_zero() {
+        let p = Partition::new(vec![0, 1], Round::ZERO, Round::new(10));
+        let mut r = rng();
+        assert!(p.allows(PeerId::new(0), PeerId::new(99), Round::ZERO, &mut r));
+        assert!(!p.allows(PeerId::new(1), PeerId::new(99), Round::ZERO, &mut r));
+    }
+
+    #[test]
+    fn filter_stack_composes() {
+        let stack = vec![BernoulliLoss::new(0.0), BernoulliLoss::new(1.0)];
+        assert!(!stack.allows(PeerId::new(0), PeerId::new(1), Round::ZERO, &mut rng()));
+    }
+
+    #[test]
+    fn boxed_and_borrowed_filters_delegate() {
+        let boxed: Box<dyn LinkFilter> = Box::new(BernoulliLoss::new(1.0));
+        assert!(!boxed.allows(PeerId::new(0), PeerId::new(1), Round::ZERO, &mut rng()));
+        let by_ref = &PerfectLinks;
+        assert!(LinkFilter::allows(&by_ref, PeerId::new(0), PeerId::new(1), Round::ZERO, &mut rng()));
+    }
+}

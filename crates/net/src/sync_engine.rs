@@ -1,0 +1,409 @@
+//! The synchronous round engine — the paper's analysis model, executable.
+//!
+//! One push round = one network delay (§4.1): a message sent during round
+//! `t` is delivered at the start of round `t+1`. Messages to peers that
+//! are offline at delivery time are lost (the pull phase exists precisely
+//! to repair this) but still count toward the overhead metric.
+
+use crate::link::LinkFilter;
+use crate::node::{Effect, Node};
+use crate::stats::EngineStats;
+use rand_chacha::ChaCha8Rng;
+use rumor_churn::OnlineSet;
+use rumor_types::{PeerId, Round};
+
+/// In-flight message: `(from, payload)`.
+type Inbox<M> = Vec<(PeerId, M)>;
+
+/// Deterministic lock-step engine over a population of [`Node`]s.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_net::{Effect, Node, PerfectLinks, SyncEngine};
+/// use rumor_churn::OnlineSet;
+/// use rumor_types::{PeerId, Round};
+/// use rand::SeedableRng;
+///
+/// struct Relay { id: PeerId }
+/// impl Node for Relay {
+///     type Msg = u8;
+///     fn id(&self) -> PeerId { self.id }
+///     fn on_message(&mut self, _f: PeerId, m: u8, _r: Round,
+///                   _rng: &mut rand_chacha::ChaCha8Rng) -> Vec<Effect<u8>> {
+///         if m > 0 { vec![Effect::send(PeerId::new(0), m - 1)] } else { vec![] }
+///     }
+/// }
+///
+/// let mut nodes = vec![Relay { id: PeerId::new(0) }, Relay { id: PeerId::new(1) }];
+/// let online = OnlineSet::all_online(2);
+/// let mut engine = SyncEngine::new(2);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// engine.inject(PeerId::new(1), vec![Effect::send(PeerId::new(0), 3)]);
+/// while !engine.is_quiescent() {
+///     engine.step(&mut nodes, &online, &PerfectLinks, &mut rng);
+/// }
+/// assert_eq!(engine.stats().sent, 4); // 3, 2, 1, 0
+/// ```
+#[derive(Debug)]
+pub struct SyncEngine<M> {
+    current: Vec<Inbox<M>>,
+    next: Vec<Inbox<M>>,
+    timers: Vec<(Round, PeerId, u64)>,
+    round: Round,
+    prev_online: Option<Vec<bool>>,
+    stats: EngineStats,
+    sent_this_round: u64,
+}
+
+impl<M: Clone> SyncEngine<M> {
+    /// Creates an engine for a population of `n` peers.
+    pub fn new(n: usize) -> Self {
+        Self {
+            current: (0..n).map(|_| Vec::new()).collect(),
+            next: (0..n).map(|_| Vec::new()).collect(),
+            timers: Vec::new(),
+            round: Round::ZERO,
+            prev_online: None,
+            stats: EngineStats::new(),
+            sent_this_round: 0,
+        }
+    }
+
+    /// The round the *next* [`SyncEngine::step`] call will execute.
+    pub const fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Message accounting so far.
+    pub const fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Number of messages queued for delivery in the next round.
+    pub fn in_flight(&self) -> usize {
+        self.current.iter().map(Vec::len).sum::<usize>()
+            + self.next.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// True when no message is in flight and no timer is pending:
+    /// stepping further can only trigger `on_round_start` work.
+    pub fn is_quiescent(&self) -> bool {
+        self.in_flight() == 0 && self.timers.is_empty()
+    }
+
+    /// Queues effects produced outside the engine (e.g. the update
+    /// initiator's round-0 push, paper §4.2 "Round 0"). Sends are
+    /// delivered during the *next* [`SyncEngine::step`] call.
+    pub fn inject(&mut self, from: PeerId, effects: Vec<Effect<M>>) {
+        self.apply_effects(from, effects, true);
+    }
+
+    fn apply_effects(&mut self, from: PeerId, effects: Vec<Effect<M>>, into_current: bool) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    self.stats.record_sent(1);
+                    self.sent_this_round += 1;
+                    if into_current {
+                        self.current[to.index()].push((from, msg));
+                    } else {
+                        self.next[to.index()].push((from, msg));
+                    }
+                }
+                Effect::Timer { delay, tag } => {
+                    self.timers.push((self.round + delay as u32, from, tag));
+                }
+            }
+        }
+    }
+
+    /// Executes one full round:
+    ///
+    /// 1. availability transitions (`on_status_change`),
+    /// 2. `on_round_start` for online peers,
+    /// 3. due timers (for online peers; timers owned by offline peers are
+    ///    dropped — an offline replica does no protocol work),
+    /// 4. delivery of last round's messages through the link `filter`,
+    /// 5. queueing of all produced sends for the next round.
+    pub fn step<N, F>(
+        &mut self,
+        nodes: &mut [N],
+        online: &OnlineSet,
+        filter: &F,
+        rng: &mut ChaCha8Rng,
+    ) where
+        N: Node<Msg = M>,
+        F: LinkFilter,
+    {
+        assert_eq!(nodes.len(), self.current.len(), "population size mismatch");
+        let round = self.round;
+
+        // 1. Status changes relative to the previous observation.
+        match &self.prev_online {
+            None => {
+                self.prev_online = Some((0..online.len()).map(|i| online.is_online(PeerId::new(i as u32))).collect());
+            }
+            Some(prev) => {
+                let mut transitions = Vec::new();
+                for (i, node) in nodes.iter_mut().enumerate() {
+                    let peer = PeerId::new(i as u32);
+                    let now_online = online.is_online(peer);
+                    if prev[i] != now_online {
+                        transitions.push((peer, node.on_status_change(now_online, round, rng)));
+                    }
+                }
+                for (peer, effects) in transitions {
+                    self.apply_effects(peer, effects, false);
+                }
+                self.prev_online = Some((0..online.len()).map(|i| online.is_online(PeerId::new(i as u32))).collect());
+            }
+        }
+
+        // 2. Round start for online peers.
+        let mut round_start_effects = Vec::new();
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let peer = PeerId::new(i as u32);
+            if online.is_online(peer) {
+                round_start_effects.push((peer, node.on_round_start(round, rng)));
+            }
+        }
+        for (peer, effects) in round_start_effects {
+            self.apply_effects(peer, effects, false);
+        }
+
+        // 3. Due timers, in scheduling order.
+        let mut due = Vec::new();
+        self.timers.retain(|&(fire, peer, tag)| {
+            if fire <= round {
+                due.push((peer, tag));
+                false
+            } else {
+                true
+            }
+        });
+        for (peer, tag) in due {
+            if online.is_online(peer) {
+                let effects = nodes[peer.index()].on_timer(tag, round, rng);
+                self.apply_effects(peer, effects, false);
+            }
+        }
+
+        // 4. Deliver the current inboxes.
+        let inboxes = std::mem::take(&mut self.current);
+        for (i, inbox) in inboxes.into_iter().enumerate() {
+            let to = PeerId::new(i as u32);
+            for (from, msg) in inbox {
+                if !online.is_online(to) {
+                    self.stats.lost_offline += 1;
+                    continue;
+                }
+                if !filter.allows(from, to, round, rng) {
+                    self.stats.lost_fault += 1;
+                    continue;
+                }
+                self.stats.delivered += 1;
+                let effects = nodes[i].on_message(from, msg, round, rng);
+                self.apply_effects(to, effects, false);
+            }
+        }
+        self.current = (0..nodes.len()).map(|_| Vec::new()).collect();
+
+        // 5. Promote next-round queue and close the round.
+        std::mem::swap(&mut self.current, &mut self.next);
+        self.stats.close_round(round.as_u32(), self.sent_this_round);
+        self.sent_this_round = 0;
+        self.round = round.next();
+    }
+
+    /// Runs until quiescent or `max_rounds` is hit; returns rounds run.
+    pub fn run_to_quiescence<N, F>(
+        &mut self,
+        nodes: &mut [N],
+        online: &OnlineSet,
+        filter: &F,
+        rng: &mut ChaCha8Rng,
+        max_rounds: u32,
+    ) -> u32
+    where
+        N: Node<Msg = M>,
+        F: LinkFilter,
+    {
+        let start = self.round;
+        while !self.is_quiescent() && self.round - start < max_rounds {
+            self.step(nodes, online, filter, rng);
+        }
+        self.round - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{BernoulliLoss, PerfectLinks};
+    use rand::SeedableRng;
+    use rumor_types::Round;
+
+    /// Counts deliveries; forwards each message once to a fixed target.
+    struct Forwarder {
+        id: PeerId,
+        to: Option<PeerId>,
+        received: u32,
+        status_changes: Vec<bool>,
+        timer_fired: Vec<u64>,
+    }
+
+    impl Forwarder {
+        fn new(id: u32, to: Option<u32>) -> Self {
+            Self {
+                id: PeerId::new(id),
+                to: to.map(PeerId::new),
+                received: 0,
+                status_changes: Vec::new(),
+                timer_fired: Vec::new(),
+            }
+        }
+    }
+
+    impl Node for Forwarder {
+        type Msg = u32;
+        fn id(&self) -> PeerId {
+            self.id
+        }
+        fn on_message(
+            &mut self,
+            _from: PeerId,
+            msg: u32,
+            _round: Round,
+            _rng: &mut ChaCha8Rng,
+        ) -> Vec<Effect<u32>> {
+            self.received += 1;
+            self.to.map(|t| Effect::send(t, msg)).into_iter().collect()
+        }
+        fn on_status_change(
+            &mut self,
+            online: bool,
+            _round: Round,
+            _rng: &mut ChaCha8Rng,
+        ) -> Vec<Effect<u32>> {
+            self.status_changes.push(online);
+            Vec::new()
+        }
+        fn on_timer(&mut self, tag: u64, _round: Round, _rng: &mut ChaCha8Rng) -> Vec<Effect<u32>> {
+            self.timer_fired.push(tag);
+            Vec::new()
+        }
+    }
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(8)
+    }
+
+    #[test]
+    fn message_takes_one_round() {
+        let mut nodes = vec![Forwarder::new(0, None), Forwarder::new(1, None)];
+        let online = OnlineSet::all_online(2);
+        let mut engine = SyncEngine::new(2);
+        engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 5)]);
+        assert_eq!(nodes[1].received, 0);
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        assert_eq!(nodes[1].received, 1, "delivered at start of next round");
+        assert_eq!(engine.stats().sent, 1);
+        assert_eq!(engine.stats().delivered, 1);
+    }
+
+    #[test]
+    fn chain_forwarding_costs_one_round_per_hop() {
+        // 0 -> 1 -> 2: two hops, two rounds after injection.
+        let mut nodes = vec![
+            Forwarder::new(0, None),
+            Forwarder::new(1, Some(2)),
+            Forwarder::new(2, None),
+        ];
+        let online = OnlineSet::all_online(3);
+        let mut engine = SyncEngine::new(3);
+        engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 9)]);
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        assert_eq!(nodes[2].received, 0);
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        assert_eq!(nodes[2].received, 1);
+        assert!(engine.is_quiescent());
+    }
+
+    #[test]
+    fn offline_target_loses_message_but_counts_send() {
+        let mut nodes = vec![Forwarder::new(0, None), Forwarder::new(1, None)];
+        let online = OnlineSet::with_online_count(2, 1); // peer 1 offline
+        let mut engine = SyncEngine::new(2);
+        engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 5)]);
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        assert_eq!(nodes[1].received, 0);
+        assert_eq!(engine.stats().sent, 1, "paper counts sends to offline peers");
+        assert_eq!(engine.stats().lost_offline, 1);
+    }
+
+    #[test]
+    fn link_loss_is_counted_separately() {
+        let mut nodes = vec![Forwarder::new(0, None), Forwarder::new(1, None)];
+        let online = OnlineSet::all_online(2);
+        let mut engine = SyncEngine::new(2);
+        engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 5)]);
+        engine.step(&mut nodes, &online, &BernoulliLoss::new(1.0), &mut rng());
+        assert_eq!(engine.stats().lost_fault, 1);
+        assert_eq!(nodes[1].received, 0);
+    }
+
+    #[test]
+    fn status_changes_fire_once_per_transition() {
+        let mut nodes = vec![Forwarder::new(0, None)];
+        let mut online = OnlineSet::all_online(1);
+        let mut engine = SyncEngine::new(1);
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        assert!(nodes[0].status_changes.is_empty(), "initial state is not a transition");
+        online.set_online(PeerId::new(0), false);
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        online.set_online(PeerId::new(0), true);
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        assert_eq!(nodes[0].status_changes, vec![false, true]);
+    }
+
+    #[test]
+    fn timers_fire_for_online_peers_only() {
+        let mut nodes = vec![Forwarder::new(0, None), Forwarder::new(1, None)];
+        let mut online = OnlineSet::all_online(2);
+        let mut engine = SyncEngine::new(2);
+        engine.inject(PeerId::new(0), vec![Effect::Timer { delay: 1, tag: 7 }]);
+        engine.inject(PeerId::new(1), vec![Effect::Timer { delay: 1, tag: 8 }]);
+        online.set_online(PeerId::new(1), false);
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng()); // round 0
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng()); // round 1: timers due
+        assert_eq!(nodes[0].timer_fired, vec![7]);
+        assert!(nodes[1].timer_fired.is_empty(), "offline peer's timer dropped");
+        assert!(engine.is_quiescent());
+    }
+
+    #[test]
+    fn per_round_series_tracks_rounds() {
+        let mut nodes = vec![Forwarder::new(0, Some(1)), Forwarder::new(1, Some(0))];
+        let online = OnlineSet::all_online(2);
+        let mut engine = SyncEngine::new(2);
+        engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 1)]);
+        for _ in 0..4 {
+            engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        }
+        // Ping-pong forever: one send per round.
+        assert_eq!(engine.stats().per_round_sent().points().len(), 4);
+        assert_eq!(engine.stats().sent, 5); // inject + 4 forwards
+    }
+
+    #[test]
+    fn run_to_quiescence_respects_cap() {
+        let mut nodes = vec![Forwarder::new(0, Some(1)), Forwarder::new(1, Some(0))];
+        let online = OnlineSet::all_online(2);
+        let mut engine = SyncEngine::new(2);
+        engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 1)]);
+        let rounds = engine.run_to_quiescence(&mut nodes, &online, &PerfectLinks, &mut rng(), 10);
+        assert_eq!(rounds, 10, "ping-pong never quiesces; cap applies");
+    }
+}

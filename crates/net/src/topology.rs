@@ -1,0 +1,173 @@
+//! Knowledge-graph construction: which replicas each peer initially knows.
+//!
+//! §2: "the replicas within a logical partition of the data space are
+//! connected among each other and each replica knows a minimal fraction of
+//! the complete set of replicas", with "the connectivity among replicas…
+//! high and the connectivity graph is random". These helpers generate
+//! exactly those random knowledge graphs.
+
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha8Rng;
+use rumor_types::PeerId;
+use std::collections::VecDeque;
+
+/// Full knowledge: every peer knows every other peer.
+///
+/// # Examples
+///
+/// ```
+/// let adj = rumor_net::topology::full(3);
+/// assert_eq!(adj[0].len(), 2);
+/// ```
+pub fn full(n: usize) -> Vec<Vec<PeerId>> {
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| PeerId::new(j as u32))
+                .collect()
+        })
+        .collect()
+}
+
+/// Partial knowledge: every peer knows `k` distinct peers drawn uniformly
+/// at random (self excluded).
+///
+/// # Panics
+///
+/// Panics if `k >= n` (a peer cannot know more peers than exist besides
+/// itself).
+pub fn random_subsets(n: usize, k: usize, rng: &mut ChaCha8Rng) -> Vec<Vec<PeerId>> {
+    assert!(k < n, "k must be smaller than the population");
+    let everyone: Vec<u32> = (0..n as u32).collect();
+    (0..n)
+        .map(|i| {
+            let mut pool: Vec<u32> = everyone
+                .iter()
+                .copied()
+                .filter(|&j| j != i as u32)
+                .collect();
+            pool.shuffle(rng);
+            pool.truncate(k);
+            pool.sort_unstable();
+            pool.into_iter().map(PeerId::new).collect()
+        })
+        .collect()
+}
+
+/// Whether the knowledge graph is connected when edges are taken as
+/// undirected (A knowing B suffices for the rumor to cross in either
+/// direction eventually, because B learns A from the partial list).
+pub fn is_connected(adj: &[Vec<PeerId>]) -> bool {
+    let n = adj.len();
+    if n == 0 {
+        return true;
+    }
+    // Build undirected adjacency.
+    let mut und: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, known) in adj.iter().enumerate() {
+        for p in known {
+            und[i].push(p.index());
+            und[p.index()].push(i);
+        }
+    }
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::from([0usize]);
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(u) = queue.pop_front() {
+        for &v in &und[u] {
+            if !seen[v] {
+                seen[v] = true;
+                count += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    count == n
+}
+
+/// Mean out-degree of a knowledge graph.
+pub fn mean_degree(adj: &[Vec<PeerId>]) -> f64 {
+    if adj.is_empty() {
+        return 0.0;
+    }
+    adj.iter().map(Vec::len).sum::<usize>() as f64 / adj.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(12)
+    }
+
+    #[test]
+    fn full_graph_shape() {
+        let adj = full(5);
+        assert_eq!(adj.len(), 5);
+        assert!(adj.iter().all(|a| a.len() == 4));
+        assert!(is_connected(&adj));
+        assert_eq!(mean_degree(&adj), 4.0);
+    }
+
+    #[test]
+    fn full_graph_excludes_self() {
+        let adj = full(4);
+        for (i, known) in adj.iter().enumerate() {
+            assert!(known.iter().all(|p| p.index() != i));
+        }
+    }
+
+    #[test]
+    fn random_subsets_have_exact_degree() {
+        let adj = random_subsets(100, 7, &mut rng());
+        assert!(adj.iter().all(|a| a.len() == 7));
+        assert_eq!(mean_degree(&adj), 7.0);
+    }
+
+    #[test]
+    fn random_subsets_exclude_self_and_duplicates() {
+        let adj = random_subsets(50, 10, &mut rng());
+        for (i, known) in adj.iter().enumerate() {
+            let mut uniq = known.clone();
+            uniq.dedup();
+            assert_eq!(uniq.len(), known.len(), "duplicates at {i}");
+            assert!(known.iter().all(|p| p.index() != i), "self-loop at {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the population")]
+    fn random_subsets_reject_k_too_large() {
+        let _ = random_subsets(5, 5, &mut rng());
+    }
+
+    #[test]
+    fn random_graph_with_log_degree_is_connected() {
+        // k ≈ 2 ln n keeps a random digraph connected with overwhelming
+        // probability — the paper's "high connectivity" assumption.
+        let adj = random_subsets(500, 13, &mut rng());
+        assert!(is_connected(&adj));
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        // Two islands: {0,1} and {2,3}.
+        let adj = vec![
+            vec![PeerId::new(1)],
+            vec![PeerId::new(0)],
+            vec![PeerId::new(3)],
+            vec![PeerId::new(2)],
+        ];
+        assert!(!is_connected(&adj));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(is_connected(&[]));
+        assert_eq!(mean_degree(&[]), 0.0);
+    }
+}

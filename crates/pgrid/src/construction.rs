@@ -1,0 +1,186 @@
+//! Randomized-exchange construction of the trie.
+//!
+//! P-Grid self-organises through random pairwise meetings (Aberer 2001):
+//! two peers with identical paths *split* the partition between them
+//! (becoming mutual routing references); peers whose paths diverge
+//! exchange references; peers that meet at maximum depth with the same
+//! path become replicas of one another — producing exactly the replica
+//! partitions the update protocol operates on.
+
+use crate::peer::PGridPeer;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rumor_types::PeerId;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of a construction run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstructionStats {
+    /// Meetings that split a shared partition.
+    pub splits: u64,
+    /// Meetings that exchanged routing references.
+    pub exchanges: u64,
+    /// Meetings that established replica relations.
+    pub replications: u64,
+}
+
+/// Builds `n` peers and runs `meetings_per_peer · n` random pairwise
+/// meetings, limiting paths to `max_depth` bits.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (meetings need two distinct peers) or
+/// `max_depth == 0`.
+pub fn build_peers(
+    n: usize,
+    max_depth: u8,
+    meetings_per_peer: usize,
+    ref_cap: usize,
+    rng: &mut ChaCha8Rng,
+) -> (Vec<PGridPeer>, ConstructionStats) {
+    assert!(n >= 2, "construction needs at least two peers");
+    assert!(max_depth > 0, "max_depth must be positive");
+    let mut peers: Vec<PGridPeer> = (0..n)
+        .map(|i| PGridPeer::new(PeerId::new(i as u32), ref_cap))
+        .collect();
+    let mut stats = ConstructionStats::default();
+    let total_meetings = n * meetings_per_peer;
+    for _ in 0..total_meetings {
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n);
+        while b == a {
+            b = rng.gen_range(0..n);
+        }
+        meet(&mut peers, a, b, max_depth, rng, &mut stats);
+    }
+    (peers, stats)
+}
+
+fn meet(
+    peers: &mut [PGridPeer],
+    a: usize,
+    b: usize,
+    max_depth: u8,
+    rng: &mut ChaCha8Rng,
+    stats: &mut ConstructionStats,
+) {
+    let (pa, pb) = (*peers[a].path(), *peers[b].path());
+    let common = pa.common_prefix_len(&pb);
+    let (id_a, id_b) = (peers[a].id(), peers[b].id());
+
+    if common == pa.len() && common == pb.len() {
+        // Identical paths: split if depth remains, else replicate.
+        if pa.len() < max_depth {
+            let first = rng.gen_bool(0.5);
+            peers[a].specialize(first);
+            peers[b].specialize(!first);
+            peers[a].add_routing_ref(common, id_b);
+            peers[b].add_routing_ref(common, id_a);
+            stats.splits += 1;
+        } else {
+            let x = peers[a].add_replica(id_b);
+            let y = peers[b].add_replica(id_a);
+            if x || y {
+                stats.replications += 1;
+            }
+        }
+    } else if common == pa.len() {
+        // a's path is a prefix of b's: a specialises into the half b does
+        // not cover at the divergence level, making the pair complementary.
+        let b_bit = pb.bit(common).expect("b is deeper");
+        peers[a].specialize(!b_bit);
+        peers[a].add_routing_ref(common, id_b);
+        peers[b].add_routing_ref(common, id_a);
+        stats.splits += 1;
+    } else if common == pb.len() {
+        let a_bit = pa.bit(common).expect("a is deeper");
+        peers[b].specialize(!a_bit);
+        peers[a].add_routing_ref(common, id_b);
+        peers[b].add_routing_ref(common, id_a);
+        stats.splits += 1;
+    } else {
+        // Paths diverge at `common`: perfect routing references for each
+        // other at that level.
+        peers[a].add_routing_ref(common, id_b);
+        peers[b].add_routing_ref(common, id_a);
+        stats.exchanges += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn construction_specialises_paths() {
+        let (peers, stats) = build_peers(64, 3, 30, 8, &mut rng(1));
+        assert!(stats.splits > 0);
+        // With plenty of meetings every peer reaches full depth.
+        assert!(
+            peers.iter().all(|p| p.path().len() == 3),
+            "paths: {:?}",
+            peers.iter().map(|p| p.path().len()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn every_leaf_partition_is_populated() {
+        let (peers, _) = build_peers(128, 3, 40, 8, &mut rng(2));
+        for partition in 0u64..8 {
+            let path = crate::path::Path::from_bits(partition << 61, 3);
+            let owners = peers.iter().filter(|p| p.path() == &path).count();
+            assert!(owners > 0, "partition {path} has no replica");
+        }
+    }
+
+    #[test]
+    fn replicas_are_mutual_and_same_path() {
+        let (peers, stats) = build_peers(128, 2, 40, 8, &mut rng(3));
+        assert!(stats.replications > 0, "max depth 2 with 128 peers replicates");
+        for p in &peers {
+            for &r in p.replicas() {
+                let other = &peers[r.index()];
+                assert_eq!(other.path(), p.path(), "replicas share the path");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_refs_point_to_complement() {
+        let (peers, _) = build_peers(64, 3, 40, 8, &mut rng(4));
+        for p in &peers {
+            for (level, target) in p.routing().iter() {
+                if level >= p.path().len() {
+                    continue; // ref collected before a later split
+                }
+                let t = &peers[target.index()];
+                if level < t.path().len() {
+                    // Paths must agree below `level` as seen at add time;
+                    // after further splits the invariant that still holds
+                    // is complementarity at the level itself.
+                    let own_bit = p.path().bit(level);
+                    let their_bit = t.path().bit(level);
+                    assert_ne!(own_bit, their_bit, "level {level} ref not complementary");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (a, _) = build_peers(32, 3, 20, 4, &mut rng(9));
+        let (b, _) = build_peers(32, 3, 20, 4, &mut rng(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "two peers")]
+    fn rejects_tiny_population() {
+        let _ = build_peers(1, 3, 10, 4, &mut rng(1));
+    }
+}

@@ -1,0 +1,222 @@
+//! The assembled overlay: routing and partition queries.
+
+use crate::construction::{build_peers, ConstructionStats};
+use crate::path::{key_to_path, Path};
+use crate::peer::PGridPeer;
+use rand_chacha::ChaCha8Rng;
+use rumor_types::{DataKey, PeerId};
+use serde::{Deserialize, Serialize};
+
+/// Result of routing a key through the trie.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteOutcome {
+    /// The responsible peer the query reached.
+    pub responsible: PeerId,
+    /// Overlay hops taken.
+    pub hops: u32,
+    /// The sequence of peers visited (starting peer first).
+    pub visited: Vec<PeerId>,
+}
+
+/// A constructed P-Grid overlay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PGrid {
+    peers: Vec<PGridPeer>,
+    max_depth: u8,
+    stats: ConstructionStats,
+}
+
+impl PGrid {
+    /// Builds an overlay of `n` peers with paths up to `max_depth` bits
+    /// using `meetings_per_peer` random meetings per peer.
+    pub fn build(n: usize, max_depth: u8, meetings_per_peer: usize, rng: &mut ChaCha8Rng) -> Self {
+        let (peers, stats) = build_peers(n, max_depth, meetings_per_peer, 8, rng);
+        Self {
+            peers,
+            max_depth,
+            stats,
+        }
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// True when the overlay has no peers (never produced by `build`).
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Read access to a peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics for ids outside the population.
+    pub fn peer(&self, id: PeerId) -> &PGridPeer {
+        &self.peers[id.index()]
+    }
+
+    /// Mutable access to a peer (applying gossiped routing updates).
+    pub fn peer_mut(&mut self, id: PeerId) -> &mut PGridPeer {
+        &mut self.peers[id.index()]
+    }
+
+    /// All peers.
+    pub fn peers(&self) -> &[PGridPeer] {
+        &self.peers
+    }
+
+    /// Construction statistics.
+    pub const fn stats(&self) -> &ConstructionStats {
+        &self.stats
+    }
+
+    /// Maximum trie depth.
+    pub const fn max_depth(&self) -> u8 {
+        self.max_depth
+    }
+
+    /// Greedy prefix routing from `start` towards the partition of `key`
+    /// (the P-Grid query algorithm): at each peer, follow a routing
+    /// reference at the first level where the peer's path diverges from
+    /// the key path. Returns `None` when a peer lacks the needed
+    /// reference (incomplete construction).
+    pub fn route(&self, start: PeerId, key: DataKey) -> Option<RouteOutcome> {
+        let key_path = key_to_path(key, self.max_depth);
+        let mut current = start;
+        let mut visited = vec![start];
+        // Matched prefix strictly grows per hop, so the hop count is
+        // bounded by the depth; the +1 tolerates a root-path start.
+        for hops in 0..=u32::from(self.max_depth) + 1 {
+            let peer = &self.peers[current.index()];
+            if peer.is_responsible_for(&key_path) {
+                return Some(RouteOutcome {
+                    responsible: current,
+                    hops,
+                    visited,
+                });
+            }
+            let divergence = peer.path().common_prefix_len(&key_path);
+            let next = peer.routing().level_refs(divergence).first().copied()?;
+            visited.push(next);
+            current = next;
+        }
+        None
+    }
+
+    /// The replica partition responsible for `key`: every peer whose path
+    /// prefixes the key path. This is the replica set `R` the update
+    /// protocol runs over (§2).
+    pub fn replica_partition(&self, key: DataKey) -> Vec<PeerId> {
+        let key_path = key_to_path(key, self.max_depth);
+        self.peers
+            .iter()
+            .filter(|p| p.is_responsible_for(&key_path))
+            .map(PGridPeer::id)
+            .collect()
+    }
+
+    /// Partition sizes keyed by path — load-balance diagnostics.
+    pub fn partition_sizes(&self) -> Vec<(Path, usize)> {
+        let mut sizes: Vec<(Path, usize)> = Vec::new();
+        for p in &self.peers {
+            match sizes.iter_mut().find(|(path, _)| path == p.path()) {
+                Some((_, n)) => *n += 1,
+                None => sizes.push((*p.path(), 1)),
+            }
+        }
+        sizes.sort_by_key(|(path, _)| format!("{path}"));
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn grid(seed: u64) -> PGrid {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        PGrid::build(128, 3, 40, &mut rng)
+    }
+
+    #[test]
+    fn every_key_routes_from_every_start() {
+        let g = grid(1);
+        let keys: Vec<DataKey> = (0..20).map(|i| DataKey::from_name(&format!("k{i}"))).collect();
+        for key in keys {
+            for start in [0u32, 17, 63, 127] {
+                let out = g
+                    .route(PeerId::new(start), key)
+                    .unwrap_or_else(|| panic!("no route for {key} from {start}"));
+                let key_path = key_to_path(key, 3);
+                assert!(g.peer(out.responsible).path().is_prefix_of(&key_path));
+                assert!(out.hops <= 4, "hops bounded by depth: {}", out.hops);
+                assert_eq!(out.visited.len() as u32, out.hops + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn hops_strictly_progress() {
+        let g = grid(2);
+        let key = DataKey::from_name("progress");
+        let key_path = key_to_path(key, 3);
+        let out = g.route(PeerId::new(5), key).unwrap();
+        let mut last_match = 0;
+        for (i, &p) in out.visited.iter().enumerate() {
+            let m = g.peer(p).path().common_prefix_len(&key_path);
+            if i > 0 {
+                assert!(m > last_match, "matched prefix must grow");
+            }
+            last_match = m;
+        }
+    }
+
+    #[test]
+    fn replica_partition_matches_manual_scan() {
+        let g = grid(3);
+        let key = DataKey::from_name("partition");
+        let members = g.replica_partition(key);
+        assert!(!members.is_empty(), "every key has replicas");
+        let key_path = key_to_path(key, 3);
+        for p in g.peers() {
+            assert_eq!(
+                members.contains(&p.id()),
+                p.path().is_prefix_of(&key_path)
+            );
+        }
+    }
+
+    #[test]
+    fn partition_sizes_cover_population() {
+        let g = grid(4);
+        let sizes = g.partition_sizes();
+        let total: usize = sizes.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, g.len());
+        assert_eq!(sizes.len(), 8, "depth-3 trie has 8 leaves");
+        // The paper expects partitions of comparable size (load balance);
+        // allow generous slack for randomness.
+        let (min, max) = sizes
+            .iter()
+            .fold((usize::MAX, 0), |(lo, hi), (_, n)| (lo.min(*n), hi.max(*n)));
+        assert!(min >= 4, "smallest partition too small: {sizes:?}");
+        assert!(max <= 64, "largest partition too large: {sizes:?}");
+    }
+
+    #[test]
+    fn routing_to_own_partition_is_zero_hops() {
+        let g = grid(5);
+        // Find a key the start peer is responsible for.
+        let start = PeerId::new(11);
+        let path = *g.peer(start).path();
+        let key = (0..10_000u64)
+            .map(|i| DataKey::from_name(&format!("probe{i}")))
+            .find(|&k| path.is_prefix_of(&key_to_path(k, 3)))
+            .expect("some key lands in the partition");
+        let out = g.route(start, key).unwrap();
+        assert_eq!(out.hops, 0);
+        assert_eq!(out.responsible, start);
+    }
+}

@@ -1,0 +1,47 @@
+//! A minimal P-Grid overlay — the paper's host system.
+//!
+//! The update algorithm of the paper runs *inside* P-Grid (Aberer 2001):
+//! a binary-trie access structure in which every peer is responsible for
+//! one key-space partition (its *path*), keeps routing references to the
+//! complementary subtree at every level, and replicates its partition's
+//! data with the other peers sharing its path. This crate provides that
+//! substrate: path arithmetic, randomized-exchange construction, prefix
+//! routing, and replica-partition extraction — enough to host the gossip
+//! protocol exactly as §2 assumes ("replicas within a logical partition
+//! of the data space are connected among each other").
+//!
+//! It also demonstrates §3's observation that "the 'data' may indeed be
+//! knowledge regarding the system's topology, for example the routing
+//! tables": [`RoutingChange`] serialises a routing-table delta into an
+//! opaque value that the gossip layer can disseminate.
+//!
+//! # Examples
+//!
+//! ```
+//! use rumor_pgrid::{key_to_path, PGrid};
+//! use rumor_types::DataKey;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+//! let grid = PGrid::build(64, 3, 40, &mut rng);
+//! let key = DataKey::from_name("inventory/widget");
+//! let owner = grid.route(rumor_types::PeerId::new(0), key).expect("routable");
+//! assert!(grid.peer(owner.responsible).path().is_prefix_of(&key_to_path(key, 3)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod construction;
+mod grid;
+mod path;
+mod peer;
+mod routing;
+mod update_integration;
+
+pub use construction::{build_peers, ConstructionStats};
+pub use grid::{PGrid, RouteOutcome};
+pub use path::{key_to_path, ParsePathError, Path};
+pub use peer::PGridPeer;
+pub use routing::RoutingTable;
+pub use update_integration::{DecodeRoutingChangeError, RoutingChange};

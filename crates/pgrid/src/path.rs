@@ -1,0 +1,260 @@
+//! Binary key-space paths.
+
+use rumor_types::DataKey;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A binary string of up to 64 bits identifying a key-space partition.
+///
+/// The empty path is the whole key space; each appended bit halves the
+/// partition. Peers own paths; keys map to (deep) paths; a peer is
+/// responsible for a key when its path is a prefix of the key's path.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_pgrid::Path;
+///
+/// let p: Path = "01".parse()?;
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.bit(1), Some(true));
+/// assert!(p.is_prefix_of(&"011".parse()?));
+/// assert!(!p.is_prefix_of(&"00".parse()?));
+/// # Ok::<(), rumor_pgrid::ParsePathError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Path {
+    bits: u64,
+    len: u8,
+}
+
+impl Path {
+    /// Maximum path depth.
+    pub const MAX_LEN: u8 = 64;
+
+    /// The empty path (the whole key space).
+    pub const fn root() -> Self {
+        Self { bits: 0, len: 0 }
+    }
+
+    /// Builds a path from the `len` most significant bits of `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn from_bits(bits: u64, len: u8) -> Self {
+        assert!(len <= Self::MAX_LEN, "path too deep");
+        let mask = if len == 0 { 0 } else { u64::MAX << (64 - len) };
+        Self {
+            bits: bits & mask,
+            len,
+        }
+    }
+
+    /// Path length in bits.
+    pub const fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True for the root path.
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th bit (0-indexed from the most significant end), or
+    /// `None` past the end.
+    pub fn bit(&self, i: u8) -> Option<bool> {
+        (i < self.len).then(|| (self.bits >> (63 - i)) & 1 == 1)
+    }
+
+    /// Returns this path extended by one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics at maximum depth.
+    #[must_use]
+    pub fn child(&self, bit: bool) -> Self {
+        assert!(self.len < Self::MAX_LEN, "path at maximum depth");
+        let mut bits = self.bits;
+        if bit {
+            bits |= 1 << (63 - self.len);
+        }
+        Self {
+            bits,
+            len: self.len + 1,
+        }
+    }
+
+    /// Whether `self` is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &Path) -> bool {
+        if self.len > other.len {
+            return false;
+        }
+        if self.len == 0 {
+            return true;
+        }
+        let mask = u64::MAX << (64 - self.len);
+        (self.bits & mask) == (other.bits & mask)
+    }
+
+    /// Length of the longest common prefix with `other`.
+    pub fn common_prefix_len(&self, other: &Path) -> u8 {
+        let max = self.len.min(other.len);
+        if max == 0 {
+            return 0;
+        }
+        let diff = self.bits ^ other.bits;
+        let lead = diff.leading_zeros() as u8;
+        lead.min(max)
+    }
+
+    /// The first `n` bits as a new path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the path length.
+    #[must_use]
+    pub fn truncated(&self, n: u8) -> Self {
+        assert!(n <= self.len, "cannot truncate beyond length");
+        Self::from_bits(self.bits, n)
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len == 0 {
+            return write!(f, "ε");
+        }
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.bit(i).expect("in range")))?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a [`Path`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePathError {
+    offending: char,
+}
+
+impl fmt::Display for ParsePathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid path character {:?} (want 0/1)", self.offending)
+    }
+}
+
+impl std::error::Error for ParsePathError {}
+
+impl std::str::FromStr for Path {
+    type Err = ParsePathError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut path = Path::root();
+        for c in s.chars() {
+            match c {
+                '0' => path = path.child(false),
+                '1' => path = path.child(true),
+                other => return Err(ParsePathError { offending: other }),
+            }
+        }
+        Ok(path)
+    }
+}
+
+/// Maps a data key into the binary key space at the given depth.
+///
+/// P-Grid prefixes keys by order-preserving hashing; `DataKey` is already
+/// a well-distributed 64-bit value, so its top bits serve directly.
+pub fn key_to_path(key: DataKey, depth: u8) -> Path {
+    Path::from_bits(key.as_u64(), depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_empty_prefix_of_everything() {
+        let root = Path::root();
+        assert!(root.is_empty());
+        assert!(root.is_prefix_of(&"0101".parse().unwrap()));
+        assert_eq!(format!("{root}"), "ε");
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["0", "1", "0110", "111000111"] {
+            let p: Path = s.parse().unwrap();
+            assert_eq!(format!("{p}"), s);
+            assert_eq!(p.len() as usize, s.len());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_non_binary() {
+        assert!("012".parse::<Path>().is_err());
+    }
+
+    #[test]
+    fn child_appends_bits() {
+        let p = Path::root().child(true).child(false);
+        assert_eq!(format!("{p}"), "10");
+        assert_eq!(p.bit(0), Some(true));
+        assert_eq!(p.bit(1), Some(false));
+        assert_eq!(p.bit(2), None);
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a: Path = "01".parse().unwrap();
+        let b: Path = "010".parse().unwrap();
+        assert!(a.is_prefix_of(&b));
+        assert!(!b.is_prefix_of(&a));
+        assert!(a.is_prefix_of(&a));
+        let c: Path = "00".parse().unwrap();
+        assert!(!a.is_prefix_of(&c));
+    }
+
+    #[test]
+    fn common_prefix_lengths() {
+        let a: Path = "0101".parse().unwrap();
+        let b: Path = "0110".parse().unwrap();
+        assert_eq!(a.common_prefix_len(&b), 2);
+        assert_eq!(a.common_prefix_len(&a), 4);
+        assert_eq!(Path::root().common_prefix_len(&a), 0);
+        let c: Path = "01".parse().unwrap();
+        assert_eq!(a.common_prefix_len(&c), 2);
+    }
+
+    #[test]
+    fn truncated_takes_prefix() {
+        let a: Path = "0101".parse().unwrap();
+        assert_eq!(format!("{}", a.truncated(2)), "01");
+        assert_eq!(a.truncated(0), Path::root());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond length")]
+    fn truncated_rejects_overrun() {
+        let a: Path = "01".parse().unwrap();
+        let _ = a.truncated(3);
+    }
+
+    #[test]
+    fn from_bits_masks_low_bits() {
+        let a = Path::from_bits(u64::MAX, 2);
+        assert_eq!(format!("{a}"), "11");
+        let b = Path::from_bits(u64::MAX, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn key_to_path_is_stable_and_prefix_consistent() {
+        let key = DataKey::from_name("x");
+        let deep = key_to_path(key, 16);
+        let shallow = key_to_path(key, 4);
+        assert!(shallow.is_prefix_of(&deep));
+        assert_eq!(deep, key_to_path(key, 16));
+    }
+}

@@ -1,0 +1,118 @@
+//! A P-Grid peer: path, routing table, replica list.
+
+use crate::path::Path;
+use crate::routing::RoutingTable;
+use rumor_types::PeerId;
+use serde::{Deserialize, Serialize};
+
+/// One peer of the P-Grid overlay.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PGridPeer {
+    id: PeerId,
+    path: Path,
+    routing: RoutingTable,
+    replicas: Vec<PeerId>,
+}
+
+impl PGridPeer {
+    /// Creates a fresh peer at the root path.
+    pub fn new(id: PeerId, ref_cap: usize) -> Self {
+        Self {
+            id,
+            path: Path::root(),
+            routing: RoutingTable::new(ref_cap),
+            replicas: Vec::new(),
+        }
+    }
+
+    /// The peer's identity.
+    pub const fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// The key-space partition this peer is responsible for.
+    pub const fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The routing table.
+    pub const fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// Mutable routing table (the gossip layer applies routing updates).
+    pub fn routing_mut(&mut self) -> &mut RoutingTable {
+        &mut self.routing
+    }
+
+    /// Known replicas of this peer's partition (peers sharing its path).
+    pub fn replicas(&self) -> &[PeerId] {
+        &self.replicas
+    }
+
+    /// Whether this peer is responsible for a key mapped to `key_path`.
+    pub fn is_responsible_for(&self, key_path: &Path) -> bool {
+        self.path.is_prefix_of(key_path)
+    }
+
+    pub(crate) fn specialize(&mut self, bit: bool) {
+        self.path = self.path.child(bit);
+        // A path change invalidates the replica list: former replicas may
+        // now cover the sibling partition.
+        self.replicas.clear();
+    }
+
+    pub(crate) fn add_routing_ref(&mut self, level: u8, peer: PeerId) -> bool {
+        self.routing.add_ref(level, peer)
+    }
+
+    pub(crate) fn add_replica(&mut self, peer: PeerId) -> bool {
+        if peer == self.id || self.replicas.contains(&peer) {
+            return false;
+        }
+        self.replicas.push(peer);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_peer_owns_everything() {
+        let p = PGridPeer::new(PeerId::new(0), 4);
+        assert!(p.path().is_empty());
+        assert!(p.is_responsible_for(&"0101".parse().unwrap()));
+        assert!(p.replicas().is_empty());
+    }
+
+    #[test]
+    fn specialization_narrows_responsibility() {
+        let mut p = PGridPeer::new(PeerId::new(0), 4);
+        p.add_replica(PeerId::new(9));
+        p.specialize(true);
+        assert_eq!(format!("{}", p.path()), "1");
+        assert!(p.is_responsible_for(&"10".parse().unwrap()));
+        assert!(!p.is_responsible_for(&"01".parse().unwrap()));
+        assert!(p.replicas().is_empty(), "replica list reset on split");
+    }
+
+    #[test]
+    fn replica_list_deduplicates_and_excludes_self() {
+        let mut p = PGridPeer::new(PeerId::new(0), 4);
+        assert!(!p.add_replica(PeerId::new(0)), "self is not a replica");
+        assert!(p.add_replica(PeerId::new(1)));
+        assert!(!p.add_replica(PeerId::new(1)));
+        assert_eq!(p.replicas(), &[PeerId::new(1)]);
+    }
+
+    #[test]
+    fn routing_refs_reachable_through_accessors() {
+        let mut p = PGridPeer::new(PeerId::new(0), 4);
+        p.add_routing_ref(0, PeerId::new(3));
+        assert_eq!(p.routing().level_refs(0), &[PeerId::new(3)]);
+        p.routing_mut().add_ref(1, PeerId::new(4));
+        assert_eq!(p.routing().total_refs(), 2);
+    }
+}

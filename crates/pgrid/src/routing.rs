@@ -1,0 +1,151 @@
+//! Per-level routing references.
+
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha8Rng;
+use rumor_types::PeerId;
+use serde::{Deserialize, Serialize};
+
+/// A P-Grid routing table: `refs[l]` holds peers whose paths agree with
+/// the owner on the first `l` bits and differ on bit `l` — i.e. they
+/// cover the complementary half of the key space at level `l`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingTable {
+    refs: Vec<Vec<PeerId>>,
+    cap_per_level: usize,
+}
+
+impl RoutingTable {
+    /// Creates a table keeping at most `cap_per_level` references per
+    /// level (P-Grid keeps small constant reference lists).
+    pub fn new(cap_per_level: usize) -> Self {
+        Self {
+            refs: Vec::new(),
+            cap_per_level: cap_per_level.max(1),
+        }
+    }
+
+    /// Number of levels with at least one reference slot.
+    pub fn levels(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// References at `level` (empty slice when none).
+    pub fn level_refs(&self, level: u8) -> &[PeerId] {
+        self.refs
+            .get(level as usize)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Adds a reference at `level`; returns `false` when the level is
+    /// full or the peer was already present.
+    pub fn add_ref(&mut self, level: u8, peer: PeerId) -> bool {
+        let idx = level as usize;
+        while self.refs.len() <= idx {
+            self.refs.push(Vec::new());
+        }
+        let slot = &mut self.refs[idx];
+        if slot.contains(&peer) || slot.len() >= self.cap_per_level {
+            return false;
+        }
+        slot.push(peer);
+        true
+    }
+
+    /// Inserts a reference at `level`, evicting the *oldest* entry when
+    /// the level is full — routing-table maintenance for refs learned via
+    /// gossiped routing updates. Returns `false` only when the peer was
+    /// already present.
+    pub fn refresh_ref(&mut self, level: u8, peer: PeerId) -> bool {
+        let idx = level as usize;
+        while self.refs.len() <= idx {
+            self.refs.push(Vec::new());
+        }
+        let slot = &mut self.refs[idx];
+        if slot.contains(&peer) {
+            return false;
+        }
+        if slot.len() >= self.cap_per_level {
+            slot.remove(0);
+        }
+        slot.push(peer);
+        true
+    }
+
+    /// A uniformly random reference at `level`, if any.
+    pub fn random_ref(&self, level: u8, rng: &mut ChaCha8Rng) -> Option<PeerId> {
+        self.level_refs(level).choose(rng).copied()
+    }
+
+    /// Total number of stored references.
+    pub fn total_refs(&self) -> usize {
+        self.refs.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates `(level, peer)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u8, PeerId)> + '_ {
+        self.refs
+            .iter()
+            .enumerate()
+            .flat_map(|(l, peers)| peers.iter().map(move |&p| (l as u8, p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(30)
+    }
+
+    #[test]
+    fn add_and_fetch() {
+        let mut t = RoutingTable::new(4);
+        assert!(t.add_ref(2, PeerId::new(7)));
+        assert_eq!(t.level_refs(2), &[PeerId::new(7)]);
+        assert!(t.level_refs(0).is_empty());
+        assert_eq!(t.levels(), 3);
+        assert_eq!(t.total_refs(), 1);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut t = RoutingTable::new(4);
+        assert!(t.add_ref(0, PeerId::new(1)));
+        assert!(!t.add_ref(0, PeerId::new(1)));
+        assert_eq!(t.total_refs(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t = RoutingTable::new(2);
+        assert!(t.add_ref(0, PeerId::new(1)));
+        assert!(t.add_ref(0, PeerId::new(2)));
+        assert!(!t.add_ref(0, PeerId::new(3)), "level full");
+        assert_eq!(t.level_refs(0).len(), 2);
+    }
+
+    #[test]
+    fn random_ref_draws_from_level() {
+        let mut t = RoutingTable::new(8);
+        for i in 0..5 {
+            t.add_ref(1, PeerId::new(i));
+        }
+        let mut r = rng();
+        for _ in 0..20 {
+            let p = t.random_ref(1, &mut r).unwrap();
+            assert!(p.as_u32() < 5);
+        }
+        assert!(t.random_ref(0, &mut r).is_none());
+    }
+
+    #[test]
+    fn iter_lists_every_entry() {
+        let mut t = RoutingTable::new(4);
+        t.add_ref(0, PeerId::new(1));
+        t.add_ref(2, PeerId::new(2));
+        let all: Vec<(u8, PeerId)> = t.iter().collect();
+        assert_eq!(all, vec![(0, PeerId::new(1)), (2, PeerId::new(2))]);
+    }
+}

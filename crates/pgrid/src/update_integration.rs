@@ -1,0 +1,123 @@
+//! Routing-table updates as gossip payloads.
+//!
+//! §3: "in a decentralised system, such as P-Grid the 'data' may indeed
+//! be knowledge regarding the system's topology, for example the routing
+//! tables used in P-Grid". [`RoutingChange`] is that data item: a
+//! serialisable routing-table delta whose wire form rides inside a
+//! `rumor_core::Value`, so the gossip layer disseminates topology changes
+//! with the exact same machinery as application data.
+
+use crate::peer::PGridPeer;
+use bytes::{Buf, BufMut, BytesMut};
+use rumor_types::PeerId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A delta to a routing table: references to add at one level.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingChange {
+    /// The trie level the references belong to.
+    pub level: u8,
+    /// Peers now covering the complementary subtree at that level.
+    pub added: Vec<PeerId>,
+}
+
+/// Error decoding a [`RoutingChange`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeRoutingChangeError;
+
+impl fmt::Display for DecodeRoutingChangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed routing change payload")
+    }
+}
+
+impl std::error::Error for DecodeRoutingChangeError {}
+
+impl RoutingChange {
+    /// Creates a change.
+    pub fn new(level: u8, added: Vec<PeerId>) -> Self {
+        Self { level, added }
+    }
+
+    /// Serialises the change into opaque bytes (a gossip `Value`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(1 + 2 + self.added.len() * 4);
+        buf.put_u8(self.level);
+        buf.put_u16(self.added.len() as u16);
+        for p in &self.added {
+            buf.put_u32(p.as_u32());
+        }
+        buf.to_vec()
+    }
+
+    /// Decodes a change from gossip payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeRoutingChangeError`] on truncated or oversized
+    /// input.
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, DecodeRoutingChangeError> {
+        if bytes.len() < 3 {
+            return Err(DecodeRoutingChangeError);
+        }
+        let level = bytes.get_u8();
+        let n = bytes.get_u16() as usize;
+        if bytes.len() != n * 4 {
+            return Err(DecodeRoutingChangeError);
+        }
+        let added = (0..n).map(|_| PeerId::new(bytes.get_u32())).collect();
+        Ok(Self { level, added })
+    }
+
+    /// Applies the change to a peer's routing table, evicting the oldest
+    /// reference per level when full; returns how many references were
+    /// newly installed (duplicates do not count).
+    pub fn apply_to(&self, peer: &mut PGridPeer) -> usize {
+        self.added
+            .iter()
+            .filter(|&&p| peer.routing_mut().refresh_ref(self.level, p))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn change() -> RoutingChange {
+        RoutingChange::new(2, vec![PeerId::new(4), PeerId::new(9)])
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let c = change();
+        let decoded = RoutingChange::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(decoded, c);
+    }
+
+    #[test]
+    fn empty_change_roundtrips() {
+        let c = RoutingChange::new(0, vec![]);
+        assert_eq!(RoutingChange::from_bytes(&c.to_bytes()).unwrap(), c);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_garbage() {
+        let bytes = change().to_bytes();
+        assert!(RoutingChange::from_bytes(&bytes[..2]).is_err());
+        assert!(RoutingChange::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(RoutingChange::from_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn apply_adds_refs_once() {
+        let mut peer = PGridPeer::new(PeerId::new(0), 8);
+        let c = change();
+        assert_eq!(c.apply_to(&mut peer), 2);
+        assert_eq!(c.apply_to(&mut peer), 0, "idempotent re-application");
+        assert_eq!(peer.routing().level_refs(2).len(), 2);
+    }
+}

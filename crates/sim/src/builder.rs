@@ -1,0 +1,278 @@
+//! Simulation construction.
+
+use crate::error::SimError;
+use crate::runner::Simulation;
+use rumor_churn::{Churn, OnlineSet, StaticChurn};
+use rumor_core::{ProtocolConfig, ReplicaPeer};
+use rumor_net::{topology, BernoulliLoss, LinkFilter, Partition, PerfectLinks, SyncEngine};
+use rumor_types::{derive_seed, PeerId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// How much of the replica set each peer initially knows (§2: "each
+/// replica knows a minimal fraction of the complete set of replicas").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// Everyone knows everyone.
+    Full,
+    /// Each peer knows `k` uniformly random peers.
+    RandomSubset {
+        /// Out-degree of the knowledge graph.
+        k: usize,
+    },
+}
+
+/// Builder for [`Simulation`].
+///
+/// # Examples
+///
+/// ```
+/// use rumor_sim::{SimulationBuilder, TopologySpec};
+/// use rumor_churn::MarkovChurn;
+///
+/// let sim = SimulationBuilder::new(1_000, 7)
+///     .online_fraction(0.1)
+///     .topology(TopologySpec::RandomSubset { k: 50 })
+///     .churn(MarkovChurn::new(0.95, 0.0)?)
+///     .build()?;
+/// assert_eq!(sim.population(), 1_000);
+/// assert_eq!(sim.online().online_count(), 100);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct SimulationBuilder {
+    population: usize,
+    seed: u64,
+    online_count: Option<usize>,
+    topology: TopologySpec,
+    churn: Box<dyn Churn>,
+    protocol: Option<ProtocolConfig>,
+    loss: f64,
+    partition: Option<Partition>,
+}
+
+impl std::fmt::Debug for SimulationBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulationBuilder")
+            .field("population", &self.population)
+            .field("seed", &self.seed)
+            .field("online_count", &self.online_count)
+            .field("topology", &self.topology)
+            .field("loss", &self.loss)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimulationBuilder {
+    /// Starts building a simulation of `population` replicas with a
+    /// top-level `seed` from which every random stream derives.
+    pub fn new(population: usize, seed: u64) -> Self {
+        Self {
+            population,
+            seed,
+            online_count: None,
+            topology: TopologySpec::Full,
+            churn: Box::new(StaticChurn::new()),
+            protocol: None,
+            loss: 0.0,
+            partition: None,
+        }
+    }
+
+    /// Sets the initially online peer count.
+    pub fn online_count(mut self, count: usize) -> Self {
+        self.online_count = Some(count);
+        self
+    }
+
+    /// Sets the initially online fraction of the population.
+    pub fn online_fraction(mut self, fraction: f64) -> Self {
+        self.online_count = Some((self.population as f64 * fraction).round() as usize);
+        self
+    }
+
+    /// Sets the knowledge-graph topology.
+    pub fn topology(mut self, spec: TopologySpec) -> Self {
+        self.topology = spec;
+        self
+    }
+
+    /// Installs an availability model (default: no churn).
+    pub fn churn(mut self, churn: impl Churn + 'static) -> Self {
+        self.churn = Box::new(churn);
+        self
+    }
+
+    /// Installs a protocol configuration (default:
+    /// `ProtocolConfig::builder(population)` defaults).
+    pub fn protocol(mut self, config: ProtocolConfig) -> Self {
+        self.protocol = Some(config);
+        self
+    }
+
+    /// Adds independent message loss with probability `p`.
+    pub fn loss(mut self, p: f64) -> Self {
+        self.loss = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Adds a network partition.
+    pub fn partition(mut self, partition: Partition) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the population is empty, the online
+    /// count exceeds it, or the protocol configuration is invalid.
+    pub fn build(self) -> Result<Simulation, SimError> {
+        if self.population == 0 {
+            return Err(SimError::InvalidSetup {
+                reason: "population must be non-empty".into(),
+            });
+        }
+        let online_count = self
+            .online_count
+            .unwrap_or(self.population);
+        if online_count > self.population {
+            return Err(SimError::InvalidSetup {
+                reason: format!(
+                    "online count {online_count} exceeds population {}",
+                    self.population
+                ),
+            });
+        }
+        if online_count == 0 {
+            return Err(SimError::InvalidSetup {
+                reason: "at least one peer must start online".into(),
+            });
+        }
+        let config = match self.protocol {
+            Some(c) => c,
+            None => ProtocolConfig::builder(self.population).build()?,
+        };
+
+        let mut topo_rng = ChaCha8Rng::seed_from_u64(derive_seed(self.seed, "topology"));
+        let adjacency = match self.topology {
+            TopologySpec::Full => topology::full(self.population),
+            TopologySpec::RandomSubset { k } => {
+                if k >= self.population {
+                    return Err(SimError::InvalidSetup {
+                        reason: format!(
+                            "subset degree {k} must be below population {}",
+                            self.population
+                        ),
+                    });
+                }
+                topology::random_subsets(self.population, k, &mut topo_rng)
+            }
+        };
+
+        let online = OnlineSet::with_online_count(self.population, online_count);
+        let mut peers = Vec::with_capacity(self.population);
+        for (i, known) in adjacency.into_iter().enumerate() {
+            let id = PeerId::new(i as u32);
+            let mut peer = ReplicaPeer::new(id, config.clone());
+            peer.learn_replicas(known);
+            if !online.is_online(id) {
+                peer.set_initially_offline();
+            }
+            peers.push(peer);
+        }
+
+        let filter: Box<dyn LinkFilter> = match (self.loss > 0.0, self.partition) {
+            (false, None) => Box::new(PerfectLinks),
+            (true, None) => Box::new(BernoulliLoss::new(self.loss)),
+            (false, Some(p)) => Box::new(p),
+            (true, Some(p)) => Box::new(ComposedFilter {
+                loss: BernoulliLoss::new(self.loss),
+                partition: p,
+            }),
+        };
+
+        Ok(Simulation::assemble(
+            peers,
+            online,
+            self.churn,
+            SyncEngine::new(self.population),
+            filter,
+            self.seed,
+        ))
+    }
+}
+
+struct ComposedFilter {
+    loss: BernoulliLoss,
+    partition: Partition,
+}
+
+impl LinkFilter for ComposedFilter {
+    fn allows(
+        &self,
+        from: PeerId,
+        to: PeerId,
+        round: rumor_types::Round,
+        rng: &mut ChaCha8Rng,
+    ) -> bool {
+        self.partition.allows(from, to, round, rng) && self.loss.allows(from, to, round, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_defaults() {
+        let sim = SimulationBuilder::new(10, 1).build().unwrap();
+        assert_eq!(sim.population(), 10);
+        assert_eq!(sim.online().online_count(), 10, "default: everyone online");
+    }
+
+    #[test]
+    fn online_fraction_rounds() {
+        let sim = SimulationBuilder::new(10, 1).online_fraction(0.25).build().unwrap();
+        assert_eq!(sim.online().online_count(), 3);
+    }
+
+    #[test]
+    fn rejects_empty_population() {
+        assert!(SimulationBuilder::new(0, 1).build().is_err());
+    }
+
+    #[test]
+    fn rejects_online_overflow() {
+        assert!(SimulationBuilder::new(5, 1).online_count(6).build().is_err());
+    }
+
+    #[test]
+    fn rejects_all_offline() {
+        assert!(SimulationBuilder::new(5, 1).online_count(0).build().is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_subset_degree() {
+        let r = SimulationBuilder::new(5, 1)
+            .topology(TopologySpec::RandomSubset { k: 5 })
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn offline_peers_start_unconfident() {
+        let sim = SimulationBuilder::new(4, 1).online_count(2).build().unwrap();
+        assert!(sim.peer(PeerId::new(0)).is_confident());
+        assert!(!sim.peer(PeerId::new(3)).is_confident());
+    }
+
+    #[test]
+    fn subset_topology_limits_knowledge() {
+        let sim = SimulationBuilder::new(50, 1)
+            .topology(TopologySpec::RandomSubset { k: 5 })
+            .build()
+            .unwrap();
+        assert!((0..50).all(|i| sim.peer(PeerId::new(i)).known_replicas().len() == 5));
+    }
+}

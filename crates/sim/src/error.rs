@@ -1,0 +1,75 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or driving a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The protocol configuration was invalid.
+    Protocol(rumor_core::CoreError),
+    /// The churn model was invalid.
+    Churn(rumor_churn::ChurnError),
+    /// The simulation setup was inconsistent.
+    InvalidSetup {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Protocol(e) => write!(f, "protocol configuration: {e}"),
+            Self::Churn(e) => write!(f, "churn model: {e}"),
+            Self::InvalidSetup { reason } => write!(f, "invalid simulation setup: {reason}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Protocol(e) => Some(e),
+            Self::Churn(e) => Some(e),
+            Self::InvalidSetup { .. } => None,
+        }
+    }
+}
+
+impl From<rumor_core::CoreError> for SimError {
+    fn from(e: rumor_core::CoreError) -> Self {
+        Self::Protocol(e)
+    }
+}
+
+impl From<rumor_churn::ChurnError> for SimError {
+    fn from(e: rumor_churn::ChurnError) -> Self {
+        Self::Churn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SimError::InvalidSetup {
+            reason: "zero peers".into(),
+        };
+        assert!(e.to_string().contains("zero peers"));
+    }
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let core = rumor_core::ProtocolConfig::builder(0).build().unwrap_err();
+        let wrapped: SimError = core.into();
+        assert!(matches!(wrapped, SimError::Protocol(_)));
+        assert!(Error::source(&wrapped).is_some());
+
+        let churn = rumor_churn::MarkovChurn::new(2.0, 0.0).unwrap_err();
+        let wrapped: SimError = churn.into();
+        assert!(matches!(wrapped, SimError::Churn(_)));
+    }
+}

@@ -1,0 +1,49 @@
+//! Discrete simulation of the hybrid push/pull update protocol.
+//!
+//! The paper evaluates its algorithm analytically and names simulation as
+//! future work ("To verify the correctness of the analysis if some of the
+//! simplifying assumptions are relaxed, we plan to use simulations", §8).
+//! This crate is that simulator: it executes the *actual protocol code*
+//! from `rumor-core` over the churn and network substrates, under the
+//! same synchronous round model the analysis assumes — so analytical and
+//! simulated curves are directly comparable (see the `sim_vs_model`
+//! experiment in `rumor-bench`).
+//!
+//! # Examples
+//!
+//! ```
+//! use rumor_core::ProtocolConfig;
+//! use rumor_sim::{SimulationBuilder, TopologySpec};
+//! use rumor_types::DataKey;
+//!
+//! // 500 replicas, 30% initially online, full knowledge, no churn.
+//! // Fanout f_r = 0.04 gives ≈ 6 expected *online* targets per push.
+//! let config = ProtocolConfig::builder(500).fanout_fraction(0.04).build()?;
+//! let mut sim = SimulationBuilder::new(500, 42)
+//!     .online_fraction(0.3)
+//!     .topology(TopologySpec::Full)
+//!     .protocol(config)
+//!     .build()?;
+//! let report = sim.propagate(DataKey::from_name("motd"), "hello", 50);
+//! assert!(report.aware_online_fraction > 0.95,
+//!         "push reaches nearly all online peers, got {}",
+//!         report.aware_online_fraction);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod consistency;
+mod error;
+mod report;
+mod runner;
+mod workload;
+
+pub use builder::{SimulationBuilder, TopologySpec};
+pub use consistency::{awareness, consistency_fraction, staleness_by_peer};
+pub use error::SimError;
+pub use report::{PushReport, RoundObservation, SimReport};
+pub use runner::Simulation;
+pub use workload::{UpdateEvent, WorkloadBuilder};

@@ -1,0 +1,123 @@
+//! Simulation reports.
+
+use rumor_metrics::{CounterSet, RoundSeries};
+use serde::{Deserialize, Serialize};
+
+/// A per-round snapshot taken while an update propagates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundObservation {
+    /// Round just executed.
+    pub round: u32,
+    /// Online peers at the end of the round.
+    pub online: usize,
+    /// Online peers aware of the tracked update.
+    pub aware_online: usize,
+    /// Aware fraction of the online population.
+    pub f_aware: f64,
+    /// Cumulative messages sent (all kinds).
+    pub cum_messages: u64,
+    /// Cumulative push messages sent.
+    pub cum_push_messages: u64,
+}
+
+/// Outcome of propagating one update (the simulator's analogue of the
+/// analytical `PushOutcome`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PushReport {
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Aware fraction of the online population at the end.
+    pub aware_online_fraction: f64,
+    /// Aware fraction of the *entire* population (offline included).
+    pub aware_total_fraction: f64,
+    /// Push messages sent (the paper's overhead metric).
+    pub push_messages: u64,
+    /// All messages sent (pushes + pulls + acks).
+    pub total_messages: u64,
+    /// Duplicate push deliveries observed by peers.
+    pub duplicates: u64,
+    /// Initial online population (normalisation denominator).
+    pub initial_online: usize,
+    /// Per-round trace.
+    pub per_round: Vec<RoundObservation>,
+}
+
+impl PushReport {
+    /// Push messages per initially-online peer — the y axis of the
+    /// paper's figures.
+    pub fn messages_per_initial_online(&self) -> f64 {
+        if self.initial_online == 0 {
+            0.0
+        } else {
+            self.push_messages as f64 / self.initial_online as f64
+        }
+    }
+
+    /// `(f_aware, cumulative push messages / R_on(0))` series, matching
+    /// `rumor_analysis::PushOutcome::awareness_cost_series`.
+    pub fn awareness_cost_series(&self) -> Vec<(f64, f64)> {
+        let denom = self.initial_online.max(1) as f64;
+        self.per_round
+            .iter()
+            .map(|o| (o.f_aware, o.cum_push_messages as f64 / denom))
+            .collect()
+    }
+}
+
+/// Aggregate statistics over a whole simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Rounds executed in total.
+    pub rounds: u32,
+    /// Engine-level message accounting labels:
+    /// `sent`, `delivered`, `lost_offline`, `lost_fault`.
+    pub engine: CounterSet,
+    /// Aggregated peer counters (pushes, pulls, acks, duplicates…).
+    pub peers: CounterSet,
+    /// Per-round sent messages.
+    pub per_round_sent: RoundSeries,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation_guards_zero() {
+        let r = PushReport {
+            rounds: 0,
+            aware_online_fraction: 0.0,
+            aware_total_fraction: 0.0,
+            push_messages: 10,
+            total_messages: 10,
+            duplicates: 0,
+            initial_online: 0,
+            per_round: Vec::new(),
+        };
+        assert_eq!(r.messages_per_initial_online(), 0.0);
+        assert!(r.awareness_cost_series().is_empty());
+    }
+
+    #[test]
+    fn series_uses_push_messages() {
+        let r = PushReport {
+            rounds: 1,
+            aware_online_fraction: 0.5,
+            aware_total_fraction: 0.25,
+            push_messages: 20,
+            total_messages: 30,
+            duplicates: 2,
+            initial_online: 10,
+            per_round: vec![RoundObservation {
+                round: 0,
+                online: 10,
+                aware_online: 5,
+                f_aware: 0.5,
+                cum_messages: 30,
+                cum_push_messages: 20,
+            }],
+        };
+        assert_eq!(r.messages_per_initial_online(), 2.0);
+        assert_eq!(r.awareness_cost_series(), vec![(0.5, 2.0)]);
+    }
+}

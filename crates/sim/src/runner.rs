@@ -1,0 +1,441 @@
+//! The simulation driver.
+
+use crate::consistency;
+use crate::report::{PushReport, RoundObservation, SimReport};
+use rumor_churn::{Churn, OnlineSet};
+use rumor_core::{Message, QueryAnswer, QueryPolicy, ReplicaPeer, Update, Value};
+use rumor_metrics::{ConvergenceDetector, CounterSet, RoundSeries};
+use rumor_net::{LinkFilter, SyncEngine};
+use rumor_types::{derive_seed, DataKey, PeerId, Round, UpdateId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A population of [`ReplicaPeer`]s driven in synchronous rounds under
+/// churn — built via [`SimulationBuilder`](crate::SimulationBuilder).
+pub struct Simulation {
+    peers: Vec<ReplicaPeer>,
+    online: OnlineSet,
+    churn: Box<dyn Churn>,
+    engine: SyncEngine<Message>,
+    filter: Box<dyn LinkFilter>,
+    proto_rng: ChaCha8Rng,
+    churn_rng: ChaCha8Rng,
+    initial_online: usize,
+    rounds_run: u32,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("population", &self.peers.len())
+            .field("online", &self.online.online_count())
+            .field("rounds_run", &self.rounds_run)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    pub(crate) fn assemble(
+        peers: Vec<ReplicaPeer>,
+        online: OnlineSet,
+        churn: Box<dyn Churn>,
+        engine: SyncEngine<Message>,
+        filter: Box<dyn LinkFilter>,
+        seed: u64,
+    ) -> Self {
+        let initial_online = online.online_count();
+        Self {
+            peers,
+            online,
+            churn,
+            engine,
+            filter,
+            proto_rng: ChaCha8Rng::seed_from_u64(derive_seed(seed, "protocol")),
+            churn_rng: ChaCha8Rng::seed_from_u64(derive_seed(seed, "churn")),
+            initial_online,
+            rounds_run: 0,
+        }
+    }
+
+    /// Total population size `R`.
+    pub fn population(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The current availability state.
+    pub fn online(&self) -> &OnlineSet {
+        &self.online
+    }
+
+    /// Read access to one peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer is outside the population.
+    pub fn peer(&self, id: PeerId) -> &ReplicaPeer {
+        &self.peers[id.index()]
+    }
+
+    /// All peers, for whole-population assertions.
+    pub fn peers(&self) -> &[ReplicaPeer] {
+        &self.peers
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds_run(&self) -> u32 {
+        self.rounds_run
+    }
+
+    /// The number of peers online when the simulation started (`R_on(0)`).
+    pub fn initial_online(&self) -> usize {
+        self.initial_online
+    }
+
+    /// Initiates an update at `initiator` (or a random online peer) and
+    /// injects its round-0 pushes. Returns the update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nobody is online to initiate.
+    pub fn initiate_update(
+        &mut self,
+        initiator: Option<PeerId>,
+        key: DataKey,
+        value: Option<Value>,
+    ) -> Update {
+        let id = initiator
+            .or_else(|| self.online.sample_online(&mut self.proto_rng))
+            .expect("an online initiator is required");
+        let round = Round::new(self.rounds_run);
+        let (update, effects) =
+            self.peers[id.index()].initiate_update(key, value, round, &mut self.proto_rng);
+        self.engine.inject(id, effects);
+        update
+    }
+
+    /// Executes one synchronous round: churn transition (after round 0),
+    /// then the engine round.
+    pub fn step(&mut self) {
+        if self.rounds_run > 0 {
+            self.churn
+                .step(self.rounds_run - 1, &mut self.online, &mut self.churn_rng);
+        }
+        self.engine
+            .step(&mut self.peers, &self.online, &self.filter, &mut self.proto_rng);
+        self.rounds_run += 1;
+    }
+
+    /// Runs `n` rounds.
+    pub fn run_rounds(&mut self, n: u32) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Runs until the engine is quiescent (no message in flight, no timer
+    /// pending) or `max_rounds` have elapsed; returns rounds executed.
+    pub fn run_until_quiescent(&mut self, max_rounds: u32) -> u32 {
+        let start = self.rounds_run;
+        while !self.engine.is_quiescent() && self.rounds_run - start < max_rounds {
+            self.step();
+        }
+        self.rounds_run - start
+    }
+
+    /// Convenience: initiate a write and drive the push to quiescence,
+    /// collecting the per-round trace. This is the figure-reproduction
+    /// workhorse.
+    pub fn propagate(&mut self, key: DataKey, value: &str, max_rounds: u32) -> PushReport {
+        let update = self.initiate_update(None, key, Some(Value::from(value)));
+        self.track_update(update.id(), max_rounds)
+    }
+
+    /// Drives rounds until the push for `update` quiesces (or awareness
+    /// stalls), recording per-round observations.
+    pub fn track_update(&mut self, update: UpdateId, max_rounds: u32) -> PushReport {
+        let mut per_round = Vec::new();
+        let mut detector = ConvergenceDetector::new(1e-9, 3, 1.0);
+        let start_round = self.rounds_run;
+        while self.rounds_run - start_round < max_rounds {
+            if self.engine.is_quiescent() && self.rounds_run > start_round {
+                break;
+            }
+            self.step();
+            let obs = self.observe(update);
+            let f_aware = obs.f_aware;
+            per_round.push(obs);
+            if detector.observe(f_aware) {
+                break;
+            }
+        }
+        let aware_online = consistency::awareness(&self.peers, Some(&self.online), update);
+        let aware_total = consistency::awareness(&self.peers, None, update);
+        PushReport {
+            rounds: self.rounds_run - start_round,
+            aware_online_fraction: aware_online,
+            aware_total_fraction: aware_total,
+            push_messages: self.push_messages(),
+            total_messages: self.engine.stats().sent,
+            duplicates: self
+                .peers
+                .iter()
+                .map(|p| p.stats().duplicates_received)
+                .sum(),
+            initial_online: self.initial_online,
+            per_round,
+        }
+    }
+
+    fn observe(&self, update: UpdateId) -> RoundObservation {
+        let online = self.online.online_count();
+        let aware_online = self
+            .online
+            .iter_online()
+            .filter(|&p| self.peers[p.index()].has_processed(update))
+            .count();
+        RoundObservation {
+            round: self.rounds_run - 1,
+            online,
+            aware_online,
+            f_aware: if online == 0 {
+                0.0
+            } else {
+                aware_online as f64 / online as f64
+            },
+            cum_messages: self.engine.stats().sent,
+            cum_push_messages: self.push_messages(),
+        }
+    }
+
+    fn push_messages(&self) -> u64 {
+        self.peers.iter().map(|p| p.stats().push_messages_sent).sum()
+    }
+
+    /// Issues a query the way a client would (§4.4): collect local
+    /// answers from up to `attempts` random online replicas and resolve
+    /// them under `policy`.
+    pub fn query(
+        &mut self,
+        key: DataKey,
+        attempts: usize,
+        policy: QueryPolicy,
+    ) -> Option<QueryAnswer> {
+        let mut answers = Vec::new();
+        for _ in 0..attempts {
+            if let Some(p) = self.online.sample_online(&mut self.proto_rng) {
+                answers.push(self.peers[p.index()].answer_query(key));
+            }
+        }
+        policy.resolve(&answers)
+    }
+
+    /// Aggregate report over everything run so far.
+    pub fn report(&self) -> SimReport {
+        let stats = self.engine.stats();
+        let mut engine = CounterSet::new();
+        engine.add("sent", stats.sent);
+        engine.add("delivered", stats.delivered);
+        engine.add("lost_offline", stats.lost_offline);
+        engine.add("lost_fault", stats.lost_fault);
+
+        let mut peers = CounterSet::new();
+        for p in &self.peers {
+            let s = p.stats();
+            peers.add("pushes_received", s.pushes_received);
+            peers.add("duplicates_received", s.duplicates_received);
+            peers.add("pushes_forwarded", s.pushes_forwarded);
+            peers.add("forwards_suppressed", s.forwards_suppressed);
+            peers.add("push_messages_sent", s.push_messages_sent);
+            peers.add("targets_suppressed_by_list", s.targets_suppressed_by_list);
+            peers.add("acks_sent", s.acks_sent);
+            peers.add("acks_received", s.acks_received);
+            peers.add("pulls_initiated", s.pulls_initiated);
+            peers.add("pull_requests_received", s.pull_requests_received);
+            peers.add("pull_responses_received", s.pull_responses_received);
+            peers.add("updates_via_push", s.updates_via_push);
+            peers.add("updates_via_pull", s.updates_via_pull);
+            peers.add("replicas_discovered", s.replicas_discovered);
+        }
+
+        let mut per_round_sent = RoundSeries::new("messages sent");
+        for pt in stats.per_round_sent().points() {
+            per_round_sent.record(pt.round, pt.value);
+        }
+        SimReport {
+            rounds: self.rounds_run,
+            engine,
+            peers,
+            per_round_sent,
+        }
+    }
+
+    /// Forces a peer's availability (test/fault-injection hook). The
+    /// change takes effect at the next round's status-change scan.
+    pub fn set_online(&mut self, peer: PeerId, online: bool) {
+        self.online.set_online(peer, online);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{SimulationBuilder, TopologySpec};
+    use rumor_churn::MarkovChurn;
+    use rumor_core::{ForwardPolicy, ProtocolConfig, PullStrategy};
+
+    fn key() -> DataKey {
+        DataKey::from_name("test-key")
+    }
+
+    fn with_fanout(population: usize, seed: u64, fanout: usize) -> SimulationBuilder {
+        let config = ProtocolConfig::builder(population)
+            .fanout_absolute(fanout)
+            .build()
+            .unwrap();
+        SimulationBuilder::new(population, seed).protocol(config)
+    }
+
+    #[test]
+    fn push_reaches_everyone_when_all_online() {
+        let mut sim = with_fanout(200, 3, 6).build().unwrap();
+        let report = sim.propagate(key(), "v1", 50);
+        assert!(report.aware_online_fraction > 0.99, "{report:?}");
+        assert!(report.push_messages > 0);
+        assert!(report.rounds < 50);
+    }
+
+    #[test]
+    fn push_only_reaches_online_peers() {
+        // No churn, no pull triggers for offline peers (they never come
+        // online), so offline peers stay unaware.
+        let mut sim = with_fanout(200, 3, 10).online_fraction(0.5).build().unwrap();
+        let report = sim.propagate(key(), "v1", 50);
+        assert!(report.aware_online_fraction > 0.9);
+        assert!(report.aware_total_fraction < 0.7);
+    }
+
+    #[test]
+    fn awareness_is_monotone_per_round() {
+        let mut sim = with_fanout(300, 5, 6).build().unwrap();
+        let report = sim.propagate(key(), "v1", 50);
+        let f: Vec<f64> = report.per_round.iter().map(|o| o.f_aware).collect();
+        assert!(f.windows(2).all(|w| w[0] <= w[1] + 1e-12), "{f:?}");
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let run = |seed| {
+            let mut sim = SimulationBuilder::new(100, seed)
+                .online_fraction(0.5)
+                .churn(MarkovChurn::new(0.9, 0.05).unwrap())
+                .build()
+                .unwrap();
+            let r = sim.propagate(key(), "v1", 30);
+            (r.push_messages, r.aware_online_fraction, r.rounds)
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "different seeds diverge");
+    }
+
+    #[test]
+    fn offline_initiator_panics() {
+        let mut sim = SimulationBuilder::new(4, 1).online_count(1).build().unwrap();
+        // Peer 3 starts offline.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.initiate_update(Some(PeerId::new(3)), key(), Some(Value::from("x")))
+        }));
+        // Initiating at an offline peer is allowed (it will push when the
+        // engine delivers) — but sampling when nobody is online panics.
+        assert!(result.is_ok(), "explicit initiator is accepted");
+    }
+
+    #[test]
+    fn query_resolves_after_propagation() {
+        let mut sim = with_fanout(100, 9, 6).build().unwrap();
+        sim.propagate(key(), "answer", 30);
+        let resolved = sim.query(key(), 5, QueryPolicy::Latest).expect("resolved");
+        assert_eq!(resolved.value.unwrap().as_bytes(), b"answer");
+    }
+
+    #[test]
+    fn report_aggregates_counters() {
+        let mut sim = SimulationBuilder::new(100, 2).build().unwrap();
+        sim.propagate(key(), "v", 30);
+        let report = sim.report();
+        assert!(report.engine.get("sent") > 0);
+        assert_eq!(
+            report.engine.get("sent"),
+            report.engine.get("delivered")
+                + report.engine.get("lost_offline")
+                + report.engine.get("lost_fault"),
+            "message conservation"
+        );
+        assert!(report.peers.get("pushes_received") > 0);
+    }
+
+    #[test]
+    fn loss_reduces_coverage_or_costs_messages() {
+        let clean = {
+            let mut sim = SimulationBuilder::new(200, 4).build().unwrap();
+            sim.propagate(key(), "v", 40)
+        };
+        let lossy = {
+            let mut sim = SimulationBuilder::new(200, 4).loss(0.7).build().unwrap();
+            sim.propagate(key(), "v", 40)
+        };
+        assert!(
+            lossy.aware_online_fraction <= clean.aware_online_fraction + 1e-9,
+            "loss cannot improve coverage"
+        );
+    }
+
+    #[test]
+    fn pull_recovers_offline_peers_after_churn() {
+        // Peers come online after the push and pull the update eagerly.
+        let config = ProtocolConfig::builder(100)
+            .fanout_fraction(0.05)
+            .pull_strategy(PullStrategy::Eager)
+            .build()
+            .unwrap();
+        let mut sim = SimulationBuilder::new(100, 6)
+            .online_fraction(0.5)
+            .churn(MarkovChurn::new(1.0, 0.2).unwrap()) // offline peers return
+            .protocol(config)
+            .build()
+            .unwrap();
+        let update = sim.initiate_update(None, key(), Some(Value::from("v")));
+        sim.run_rounds(40);
+        let aware_total = consistency::awareness(sim.peers(), None, update.id());
+        assert!(
+            aware_total > 0.95,
+            "pull must spread the update to returning peers, got {aware_total}"
+        );
+    }
+
+    #[test]
+    fn suppressed_forwarding_spreads_less() {
+        let mk = |pf| {
+            let config = ProtocolConfig::builder(300)
+                .fanout_fraction(0.01)
+                .forward(pf)
+                .build()
+                .unwrap();
+            let mut sim = SimulationBuilder::new(300, 8).protocol(config).build().unwrap();
+            sim.propagate(key(), "v", 40)
+        };
+        let always = mk(ForwardPolicy::Always);
+        let never = mk(ForwardPolicy::Constant { p: 0.0 });
+        assert!(always.aware_online_fraction > never.aware_online_fraction);
+        assert!(always.push_messages > never.push_messages);
+    }
+
+    #[test]
+    fn partial_knowledge_still_spreads() {
+        let mut sim = with_fanout(400, 13, 10)
+            .topology(TopologySpec::RandomSubset { k: 20 })
+            .build()
+            .unwrap();
+        let report = sim.propagate(key(), "v", 60);
+        assert!(report.aware_online_fraction > 0.95, "{}", report.aware_online_fraction);
+    }
+}

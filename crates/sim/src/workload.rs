@@ -1,0 +1,192 @@
+//! Update workload generation.
+//!
+//! §2 motivates frequently updated data: bulletin boards, shared
+//! calendars and address books, e-commerce catalogues. The paper's own
+//! analysis injects a *single* update into a consistent state ("updates
+//! are distributed sparsely", §2); the workload generator extends that to
+//! streams of sparse updates over a key population so examples and
+//! ablations can exercise steady-state behaviour.
+
+use rumor_churn::sample_poisson;
+use rumor_types::{derive_seed, DataKey};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled update event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateEvent {
+    /// Round at which the update is initiated.
+    pub round: u32,
+    /// Key being written.
+    pub key: DataKey,
+    /// Whether the event is a delete (tombstone) instead of a write.
+    pub delete: bool,
+    /// Sequence number (unique per schedule, handy for payloads).
+    pub sequence: u32,
+}
+
+/// Builds Poisson-arrival update schedules.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_sim::WorkloadBuilder;
+///
+/// let events = WorkloadBuilder::new(42)
+///     .keys(&["news/a", "news/b"])
+///     .rate_per_round(0.5)
+///     .rounds(100)
+///     .generate();
+/// assert!(!events.is_empty());
+/// assert!(events.windows(2).all(|w| w[0].round <= w[1].round));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    seed: u64,
+    keys: Vec<DataKey>,
+    rate: f64,
+    rounds: u32,
+    delete_fraction: f64,
+}
+
+impl WorkloadBuilder {
+    /// Creates a builder with one default key, rate 0.1/round, 100 rounds.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            keys: vec![DataKey::from_name("default")],
+            rate: 0.1,
+            rounds: 100,
+            delete_fraction: 0.0,
+        }
+    }
+
+    /// Sets the key population by name.
+    pub fn keys(mut self, names: &[&str]) -> Self {
+        self.keys = names.iter().map(|n| DataKey::from_name(n)).collect();
+        self
+    }
+
+    /// Sets the key population directly.
+    pub fn data_keys(mut self, keys: Vec<DataKey>) -> Self {
+        self.keys = keys;
+        self
+    }
+
+    /// Mean updates per round (Poisson arrivals).
+    pub fn rate_per_round(mut self, rate: f64) -> Self {
+        self.rate = rate.max(0.0);
+        self
+    }
+
+    /// Schedule horizon in rounds.
+    pub fn rounds(mut self, rounds: u32) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Fraction of events that are deletions.
+    pub fn delete_fraction(mut self, f: f64) -> Self {
+        self.delete_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Generates the schedule, sorted by round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no keys were configured.
+    pub fn generate(&self) -> Vec<UpdateEvent> {
+        assert!(!self.keys.is_empty(), "workload needs at least one key");
+        let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(self.seed, "workload"));
+        let mut events = Vec::new();
+        let mut sequence = 0;
+        for round in 0..self.rounds {
+            let n = sample_poisson(self.rate, &mut rng);
+            for _ in 0..n {
+                let key = *self.keys.choose(&mut rng).expect("non-empty");
+                let delete = self.delete_fraction > 0.0
+                    && rand::Rng::gen_bool(&mut rng, self.delete_fraction);
+                events.push(UpdateEvent {
+                    round,
+                    key,
+                    delete,
+                    sequence,
+                });
+                sequence += 1;
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_sorted_and_sequenced() {
+        let events = WorkloadBuilder::new(1).rate_per_round(1.0).rounds(50).generate();
+        assert!(events.windows(2).all(|w| w[0].round <= w[1].round));
+        assert!(events.windows(2).all(|w| w[0].sequence < w[1].sequence));
+    }
+
+    #[test]
+    fn rate_controls_volume() {
+        let sparse = WorkloadBuilder::new(2).rate_per_round(0.1).rounds(200).generate();
+        let dense = WorkloadBuilder::new(2).rate_per_round(2.0).rounds(200).generate();
+        assert!(dense.len() > sparse.len() * 5, "{} vs {}", dense.len(), sparse.len());
+    }
+
+    #[test]
+    fn poisson_rate_statistically_close() {
+        let events = WorkloadBuilder::new(3).rate_per_round(0.5).rounds(2000).generate();
+        let per_round = events.len() as f64 / 2000.0;
+        assert!((per_round - 0.5).abs() < 0.1, "rate {per_round}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = WorkloadBuilder::new(7).rate_per_round(0.7).generate();
+        let b = WorkloadBuilder::new(7).rate_per_round(0.7).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delete_fraction_generates_tombstones() {
+        let events = WorkloadBuilder::new(4)
+            .rate_per_round(1.0)
+            .rounds(500)
+            .delete_fraction(0.3)
+            .generate();
+        let deletes = events.iter().filter(|e| e.delete).count();
+        let frac = deletes as f64 / events.len() as f64;
+        assert!((frac - 0.3).abs() < 0.07, "delete fraction {frac}");
+    }
+
+    #[test]
+    fn zero_rate_is_empty() {
+        assert!(WorkloadBuilder::new(5).rate_per_round(0.0).generate().is_empty());
+    }
+
+    #[test]
+    fn keys_drawn_from_pool() {
+        let events = WorkloadBuilder::new(6)
+            .keys(&["a", "b"])
+            .rate_per_round(1.0)
+            .rounds(300)
+            .generate();
+        let (a, b) = (DataKey::from_name("a"), DataKey::from_name("b"));
+        assert!(events.iter().all(|e| e.key == a || e.key == b));
+        assert!(events.iter().any(|e| e.key == a));
+        assert!(events.iter().any(|e| e.key == b));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn empty_key_pool_panics() {
+        let _ = WorkloadBuilder::new(1).data_keys(vec![]).generate();
+    }
+}

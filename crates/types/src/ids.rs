@@ -1,0 +1,228 @@
+//! Compact newtype identifiers for peers, data items, updates and versions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a replica peer within a population.
+///
+/// Peers are numbered densely from `0` so that simulators can index
+/// per-peer state with plain vectors. The paper calls the full set of
+/// replicas `R`; a `PeerId` names one element of that set.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_types::PeerId;
+/// let p = PeerId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(format!("{p}"), "peer-3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PeerId(u32);
+
+impl PeerId {
+    /// Creates a peer identifier from its dense index.
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the dense index of the peer (usable as a vector index).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer-{}", self.0)
+    }
+}
+
+impl From<u32> for PeerId {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+/// Identifier of a replicated data item (the paper's update subject `U`).
+///
+/// In a deployed system this would be a key in the P-Grid key space; in the
+/// reproduction it is an opaque 64-bit value, typically a hash of an
+/// application-level name.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_types::DataKey;
+/// let k = DataKey::from_name("calendar/2026-06-09");
+/// assert_eq!(k, DataKey::from_name("calendar/2026-06-09"));
+/// assert_ne!(k, DataKey::from_name("calendar/2026-06-10"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DataKey(u64);
+
+impl DataKey {
+    /// Creates a key from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Derives a key from an application-level name using FNV-1a.
+    ///
+    /// The hash only needs to be stable and well-distributed; it is not
+    /// cryptographic (the paper's version identifiers are where uniqueness
+    /// matters, see [`VersionId`]).
+    pub fn from_name(name: &str) -> Self {
+        Self(fnv1a(name.as_bytes()))
+    }
+
+    /// Returns the raw 64-bit value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for DataKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key-{:016x}", self.0)
+    }
+}
+
+impl From<u64> for DataKey {
+    fn from(v: u64) -> Self {
+        Self(v)
+    }
+}
+
+/// Universally-unique identifier of a single *version* of a data item.
+///
+/// Paper, footnote 1: version identifiers are "universally unique
+/// identifiers computed locally by applying a cryptographically secure hash
+/// function to the concatenated values of the current date and time, the
+/// current IP address and a large random number". The reproduction draws
+/// 128 random bits from a seeded generator instead (see `DESIGN.md` §4):
+/// only uniqueness matters, and determinism keeps experiments replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VersionId(u128);
+
+impl VersionId {
+    /// Creates a version identifier from raw bits.
+    pub const fn from_bits(bits: u128) -> Self {
+        Self(bits)
+    }
+
+    /// Returns the raw 128 bits.
+    pub const fn to_bits(self) -> u128 {
+        self.0
+    }
+}
+
+impl fmt::Display for VersionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{:032x}", self.0)
+    }
+}
+
+/// Identifier of one update *event* (an `(U, V)` pair in flight).
+///
+/// Two pushes carry the same `UpdateId` exactly when they disseminate the
+/// same new version of the same data item, which is what "any replica
+/// pushes the update at most once" (paper §3) is keyed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UpdateId(u128);
+
+impl UpdateId {
+    /// Creates an update identifier from raw bits.
+    pub const fn from_bits(bits: u128) -> Self {
+        Self(bits)
+    }
+
+    /// Returns the raw 128 bits.
+    pub const fn to_bits(self) -> u128 {
+        self.0
+    }
+
+    /// Derives the update identifier for a key/version pair.
+    pub fn for_version(key: DataKey, version: VersionId) -> Self {
+        let mixed = (version.to_bits()).wrapping_mul(0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c835)
+            ^ u128::from(key.as_u64());
+        Self(mixed)
+    }
+}
+
+impl fmt::Display for UpdateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{:032x}", self.0)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_id_roundtrip() {
+        let p = PeerId::new(42);
+        assert_eq!(p.index(), 42);
+        assert_eq!(p.as_u32(), 42);
+        assert_eq!(PeerId::from(42u32), p);
+    }
+
+    #[test]
+    fn peer_id_ordering_follows_index() {
+        assert!(PeerId::new(1) < PeerId::new(2));
+    }
+
+    #[test]
+    fn data_key_from_name_is_stable() {
+        assert_eq!(DataKey::from_name("abc"), DataKey::from_name("abc"));
+        assert_ne!(DataKey::from_name("abc"), DataKey::from_name("abd"));
+    }
+
+    #[test]
+    fn data_key_display_is_nonempty() {
+        assert!(!format!("{}", DataKey::new(0)).is_empty());
+    }
+
+    #[test]
+    fn update_id_mixes_key_and_version() {
+        let v = VersionId::from_bits(7);
+        let a = UpdateId::for_version(DataKey::new(1), v);
+        let b = UpdateId::for_version(DataKey::new(2), v);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn update_id_same_inputs_same_id() {
+        let v = VersionId::from_bits(99);
+        let k = DataKey::new(5);
+        assert_eq!(UpdateId::for_version(k, v), UpdateId::for_version(k, v));
+    }
+
+    #[test]
+    fn displays_are_distinct() {
+        let v = VersionId::from_bits(1);
+        let u = UpdateId::from_bits(1);
+        assert_ne!(format!("{v}"), format!("{u}"));
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,104 @@
+//! Bulletin-board scenario (§2's motivating workload): a stream of news
+//! items published by random peers under heavy churn, with staleness and
+//! query-correctness measurements.
+//!
+//! Run with: `cargo run --example news_flash`
+
+use rumor::churn::MarkovChurn;
+use rumor::core::{ForwardPolicy, ProtocolConfig, PullStrategy, QueryPolicy, Value};
+use rumor::sim::{SimulationBuilder, WorkloadBuilder};
+use rumor::types::PeerId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let population = 800;
+    let config = ProtocolConfig::builder(population)
+        .fanout_fraction(0.03)
+        .forward(ForwardPolicy::self_tuning_default())
+        .pull_strategy(PullStrategy::Eager)
+        .staleness_rounds(40) // no_updates_since trigger (§3)
+        .build()?;
+
+    let mut sim = SimulationBuilder::new(population, 7)
+        .online_fraction(0.25)
+        .churn(MarkovChurn::new(0.97, 0.01)?)
+        .protocol(config)
+        .build()?;
+
+    // A Poisson stream of news posts over four topics.
+    let workload = WorkloadBuilder::new(99)
+        .keys(&["news/tech", "news/science", "news/sports", "news/music"])
+        .rate_per_round(0.15)
+        .rounds(120)
+        .generate();
+    println!("publishing {} news items over 120 rounds…", workload.len());
+
+    let mut published = Vec::new();
+    let mut event_iter = workload.into_iter().peekable();
+    for round in 0..120 {
+        while event_iter.peek().is_some_and(|e| e.round == round) {
+            let event = event_iter.next().expect("peeked");
+            let body = format!("story #{} in {}", event.sequence, event.key);
+            let update = sim.initiate_update(None, event.key, Some(Value::from(body.as_str())));
+            published.push((round, update));
+        }
+        sim.step();
+    }
+    // Let the dust settle: pulls repair peers that returned late.
+    sim.run_rounds(30);
+
+    // How fresh is the board? Check the latest story per topic via
+    // majority queries.
+    println!("\nfinal state:");
+    for topic in ["news/tech", "news/science", "news/sports", "news/music"] {
+        let key = rumor::types::DataKey::from_name(topic);
+        let latest = published
+            .iter()
+            .rev()
+            .find(|(_, u)| u.key() == key)
+            .map(|(_, u)| u);
+        let answer = sim.query(key, 7, QueryPolicy::Majority);
+        match (latest, answer) {
+            (Some(want), Some(got)) => {
+                let got_head = got.lineage.as_ref().map(rumor::core::Lineage::head);
+                let fresh = got_head == Some(want.lineage().head());
+                println!(
+                    "  {topic:<14} majority answer {} the newest story",
+                    if fresh { "IS" } else { "is NOT" }
+                );
+            }
+            (Some(_), None) => println!("  {topic:<14} no replica answered"),
+            (None, _) => println!("  {topic:<14} nothing was published"),
+        }
+    }
+
+    // Population-wide staleness for the busiest topic.
+    let key = rumor::types::DataKey::from_name("news/tech");
+    if let Some((_, newest)) = published.iter().rev().find(|(_, u)| u.key() == key) {
+        let head = newest.lineage().head();
+        let (mut current, mut online_total) = (0usize, 0usize);
+        for i in 0..population as u32 {
+            let p = PeerId::new(i);
+            if !sim.online().is_online(p) {
+                continue;
+            }
+            online_total += 1;
+            if sim
+                .peer(p)
+                .store()
+                .latest(key)
+                .is_some_and(|v| v.lineage().head() == head)
+            {
+                current += 1;
+            }
+        }
+        println!(
+            "\nnews/tech: {current}/{online_total} online replicas hold the newest version ({:.1}%)",
+            current as f64 / online_total.max(1) as f64 * 100.0
+        );
+    }
+
+    let report = sim.report();
+    println!("\ntraffic: {}", report.engine);
+    println!("peer counters: {}", report.peers);
+    Ok(())
+}

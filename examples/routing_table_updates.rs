@@ -1,0 +1,72 @@
+//! P-Grid integration (§3): "the 'data' may indeed be knowledge regarding
+//! the system's topology, for example the routing tables used in P-Grid."
+//!
+//! Builds a P-Grid trie, extracts the replica partition responsible for a
+//! key, runs the gossip protocol *within that partition* to disseminate a
+//! routing-table change, and applies the change to every replica's
+//! routing table.
+//!
+//! Run with: `cargo run --example routing_table_updates`
+
+use rand::SeedableRng;
+use rumor::core::{ProtocolConfig, ReplicaPeer, Value};
+use rumor::net::{PerfectLinks, SyncEngine};
+use rumor::churn::OnlineSet;
+use rumor::pgrid::{key_to_path, PGrid, RoutingChange};
+use rumor::types::{DataKey, PeerId, Round};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+
+    // 1. Self-organise a 256-peer P-Grid of depth 4.
+    let mut grid = PGrid::build(256, 4, 60, &mut rng);
+    println!("built P-Grid: {} peers, {} leaf partitions", grid.len(), grid.partition_sizes().len());
+
+    // 2. Route a query to find the partition that owns the key.
+    let key = DataKey::from_name("routing/refresh");
+    let outcome = grid.route(PeerId::new(0), key).expect("prefix routing succeeds");
+    println!(
+        "routed {key} from peer-0 in {} hops to {}",
+        outcome.hops, outcome.responsible
+    );
+    let partition = grid.replica_partition(key);
+    println!("replica partition for {} has {} members", key_to_path(key, 4), partition.len());
+
+    // 3. Gossip a routing change within the partition. The gossip layer
+    //    runs over *partition-local* ids (dense 0..n), mapped back to
+    //    overlay ids afterwards.
+    let n = partition.len();
+    let config = ProtocolConfig::builder(n).fanout_absolute(4).build()?;
+    let mut replicas: Vec<ReplicaPeer> = (0..n)
+        .map(|i| {
+            let mut p = ReplicaPeer::new(PeerId::new(i as u32), config.clone());
+            p.learn_replicas((0..n as u32).map(PeerId::new));
+            p
+        })
+        .collect();
+
+    // The change: partition members learn two fresh level-0 references.
+    let change = RoutingChange::new(0, vec![PeerId::new(7), PeerId::new(42)]);
+    let payload = Value::from(change.to_bytes());
+
+    let online = OnlineSet::all_online(n);
+    let mut engine: SyncEngine<rumor::core::Message> = SyncEngine::new(n);
+    let (update, effects) =
+        replicas[0].initiate_update(key, Some(payload), Round::ZERO, &mut rng);
+    engine.inject(PeerId::new(0), effects);
+    let rounds = engine.run_to_quiescence(&mut replicas, &online, &PerfectLinks, &mut rng, 30);
+    let aware = replicas.iter().filter(|r| r.has_processed(update.id())).count();
+    println!("gossiped routing change in {rounds} rounds; {aware}/{n} replicas received it");
+
+    // 4. Apply the gossiped change to the real routing tables.
+    let mut applied = 0;
+    for (local, &overlay_id) in partition.iter().enumerate() {
+        if let Some(stored) = replicas[local].store().get(key) {
+            let decoded = RoutingChange::from_bytes(stored.as_bytes())?;
+            applied += usize::from(decoded.apply_to(grid.peer_mut(overlay_id)) > 0);
+        }
+    }
+    println!("applied the change to {applied} routing tables");
+    assert!(applied as f64 >= n as f64 * 0.9, "routing update must reach the partition");
+    Ok(())
+}

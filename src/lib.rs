@@ -1,0 +1,56 @@
+//! `rumor` — updates in highly unreliable, replicated peer-to-peer
+//! systems.
+//!
+//! A production-quality Rust reproduction of Datta, Hauswirth & Aberer,
+//! *Updates in Highly Unreliable, Replicated Peer-to-Peer Systems*
+//! (ICDCS 2003): a hybrid **push/pull rumor-spreading** update protocol
+//! for replicated data where peers are offline most of the time, plus the
+//! paper's full analytical model, a discrete-event simulator, the
+//! baseline protocols it compares against, and a P-Grid overlay
+//! substrate.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! namespace so applications can depend on a single crate.
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`core`] | `rumor-core` | the protocol: replica state machine, versions, partial lists, `PF(t)` policies, stores |
+//! | [`analysis`] | `rumor-analysis` | the §4 analytical model (figures & Table 2) |
+//! | [`sim`] | `rumor-sim` | discrete simulator over the real protocol |
+//! | [`churn`] | `rumor-churn` | availability models (σ/p_on chains, on/off dwell, traces, catastrophes) |
+//! | [`net`] | `rumor-net` | sync round engine, async event engine, loss/partitions, topologies |
+//! | [`baselines`] | `rumor-baselines` | Gnutella, pure flooding, Haas GOSSIP1, Demers anti-entropy & rumor mongering |
+//! | [`pgrid`] | `rumor-pgrid` | the P-Grid trie overlay hosting the protocol |
+//! | [`metrics`] | `rumor-metrics` | counters, series, histograms, tables |
+//! | [`types`] | `rumor-types` | shared ids, rounds, seeds |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rumor::core::ProtocolConfig;
+//! use rumor::sim::SimulationBuilder;
+//! use rumor::types::DataKey;
+//!
+//! // A replica partition of 1000 peers, 30% online, fanout 0.02.
+//! let config = ProtocolConfig::builder(1000).fanout_fraction(0.02).build()?;
+//! let mut sim = SimulationBuilder::new(1000, 7)
+//!     .online_fraction(0.3)
+//!     .protocol(config)
+//!     .build()?;
+//! let report = sim.propagate(DataKey::from_name("motd"), "hello p2p", 60);
+//! assert!(report.aware_online_fraction > 0.95);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rumor_analysis as analysis;
+pub use rumor_baselines as baselines;
+pub use rumor_churn as churn;
+pub use rumor_core as core;
+pub use rumor_metrics as metrics;
+pub use rumor_net as net;
+pub use rumor_pgrid as pgrid;
+pub use rumor_sim as sim;
+pub use rumor_types as types;

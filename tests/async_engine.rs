@@ -1,0 +1,187 @@
+//! The protocol under the asynchronous event engine: §4.1 notes the round
+//! model "does not mean that we need synchronous rounds … messages of
+//! different push rounds live in the network at the same instant of
+//! time". The same `ReplicaPeer` state machine must therefore work,
+//! unchanged, under sampled latencies and continuous on/off churn.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rumor::churn::{OnOffProcess, OnlineSet};
+use rumor::core::{Message, ProtocolConfig, PullStrategy, ReplicaPeer, Value};
+use rumor::net::{EventEngine, EventEngineConfig, LatencyModel};
+use rumor::types::{DataKey, PeerId, Round, Tick};
+
+fn population(n: usize, config: &ProtocolConfig) -> Vec<ReplicaPeer> {
+    (0..n)
+        .map(|i| {
+            let mut p = ReplicaPeer::new(PeerId::new(i as u32), config.clone());
+            p.learn_replicas((0..n as u32).map(PeerId::new));
+            p
+        })
+        .collect()
+}
+
+#[test]
+fn push_spreads_under_variable_latency() {
+    let n = 300;
+    let config = ProtocolConfig::builder(n)
+        .fanout_absolute(6)
+        .pull_strategy(PullStrategy::OnDemand)
+        .build()
+        .unwrap();
+    let mut nodes = population(n, &config);
+    let mut online = OnlineSet::all_online(n);
+    let engine_cfg = EventEngineConfig {
+        latency: LatencyModel::Uniform { lo: 2, hi: 30 }, // rounds interleave
+        loss: 0.0,
+        ticks_per_round: 10,
+    };
+    let mut engine: EventEngine<Message> = EventEngine::new(engine_cfg, n);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+
+    let (update, effects) = nodes[0].initiate_update(
+        DataKey::from_name("async"),
+        Some(Value::from("v")),
+        Round::ZERO,
+        &mut rng,
+    );
+    engine.inject(PeerId::new(0), effects, &mut rng);
+    engine.run(&mut nodes, &mut online, None, Tick::new(2_000), &mut rng);
+
+    let aware = nodes.iter().filter(|p| p.has_processed(update.id())).count();
+    assert!(
+        aware as f64 / n as f64 > 0.95,
+        "async push must reach (nearly) everyone: {aware}/{n}"
+    );
+}
+
+#[test]
+fn message_loss_degrades_but_does_not_stop_the_epidemic() {
+    let n = 300;
+    let run = |loss: f64| {
+        let config = ProtocolConfig::builder(n)
+            .fanout_absolute(8)
+            .pull_strategy(PullStrategy::OnDemand)
+            .build()
+            .unwrap();
+        let mut nodes = population(n, &config);
+        let mut online = OnlineSet::all_online(n);
+        let mut engine: EventEngine<Message> = EventEngine::new(
+            EventEngineConfig {
+                latency: LatencyModel::Constant { ticks: 5 },
+                loss,
+                ticks_per_round: 5,
+            },
+            n,
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let (update, effects) = nodes[0].initiate_update(
+            DataKey::from_name("lossy"),
+            Some(Value::from("v")),
+            Round::ZERO,
+            &mut rng,
+        );
+        engine.inject(PeerId::new(0), effects, &mut rng);
+        engine.run(&mut nodes, &mut online, None, Tick::new(2_000), &mut rng);
+        nodes.iter().filter(|p| p.has_processed(update.id())).count() as f64 / n as f64
+    };
+    let clean = run(0.0);
+    let lossy = run(0.3);
+    assert!(clean > 0.95);
+    assert!(lossy > 0.8, "30% loss survivable at fanout 8, got {lossy}");
+    assert!(lossy <= clean + 1e-9);
+}
+
+#[test]
+fn continuous_churn_with_eager_pull_recovers_returning_peers() {
+    let n = 200;
+    let config = ProtocolConfig::builder(n)
+        .fanout_absolute(8)
+        .pull_strategy(PullStrategy::Eager)
+        .pull_fanout(4)
+        .pull_retry(20, 5) // delays are in ticks under the event engine
+        .build()
+        .unwrap();
+    let mut nodes = population(n, &config);
+    // Half the peers start offline; dwell times keep everyone cycling.
+    let mut online = OnlineSet::with_online_count(n, n / 2);
+    for i in (n / 2)..n {
+        nodes[i].set_initially_offline();
+    }
+    let process = OnOffProcess::new(300.0, 100.0).unwrap(); // 75% availability
+    let mut engine: EventEngine<Message> = EventEngine::new(
+        EventEngineConfig {
+            latency: LatencyModel::Exponential { min: 2, mean: 8.0 },
+            loss: 0.0,
+            ticks_per_round: 10,
+        },
+        n,
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    engine.schedule_churn(&online, &process, &mut rng);
+
+    let (update, effects) = nodes[0].initiate_update(
+        DataKey::from_name("churny"),
+        Some(Value::from("v")),
+        Round::ZERO,
+        &mut rng,
+    );
+    engine.inject(PeerId::new(0), effects, &mut rng);
+    engine.run(&mut nodes, &mut online, Some(&process), Tick::new(5_000), &mut rng);
+
+    let aware = nodes.iter().filter(|p| p.has_processed(update.id())).count();
+    assert!(
+        aware as f64 / n as f64 > 0.9,
+        "push + eager pull under continuous churn: {aware}/{n}"
+    );
+    // Pull traffic actually happened (the push alone cannot reach peers
+    // that were offline the whole push window).
+    let pulls: u64 = nodes.iter().map(|p| p.stats().pulls_initiated).sum();
+    assert!(pulls > 0, "returning peers must have pulled");
+}
+
+#[test]
+fn sync_and_async_engines_agree_on_coverage() {
+    // Same protocol, same population: the synchronous round engine and
+    // the event engine with constant latency must land on statistically
+    // similar coverage.
+    let n = 400;
+    let config = ProtocolConfig::builder(n)
+        .fanout_absolute(5)
+        .pull_strategy(PullStrategy::OnDemand)
+        .build()
+        .unwrap();
+
+    // Async run.
+    let async_aware = {
+        let mut nodes = population(n, &config);
+        let mut online = OnlineSet::all_online(n);
+        let mut engine: EventEngine<Message> =
+            EventEngine::new(EventEngineConfig::default(), n);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let (update, effects) = nodes[0].initiate_update(
+            DataKey::from_name("agree"),
+            Some(Value::from("v")),
+            Round::ZERO,
+            &mut rng,
+        );
+        engine.inject(PeerId::new(0), effects, &mut rng);
+        engine.run(&mut nodes, &mut online, None, Tick::new(1_000), &mut rng);
+        nodes.iter().filter(|p| p.has_processed(update.id())).count() as f64 / n as f64
+    };
+
+    // Sync run via the simulator.
+    let sync_aware = {
+        let mut sim = rumor::sim::SimulationBuilder::new(n, 8)
+            .protocol(config)
+            .build()
+            .unwrap();
+        let report = sim.propagate(DataKey::from_name("agree"), "v", 60);
+        report.aware_online_fraction
+    };
+
+    assert!(
+        (async_aware - sync_aware).abs() < 0.05,
+        "engines disagree: async {async_aware} vs sync {sync_aware}"
+    );
+}

@@ -1,0 +1,47 @@
+//! The analytical model and the discrete simulator must tell the same
+//! story (the paper's §8 validation plan, executed).
+
+use rumor_bench::simfig::{standard_suite, validate};
+
+#[test]
+fn standard_suite_agrees_within_tolerance() {
+    for row in standard_suite(1234) {
+        assert!(
+            row.cost_error() < 0.30,
+            "{}: model {:.2} vs sim {:.2} msgs/peer",
+            row.setting,
+            row.model_cost,
+            row.sim_cost
+        );
+        assert!(
+            (row.model_awareness - row.sim_awareness).abs() < 0.12,
+            "{}: model {:.3} vs sim {:.3} awareness",
+            row.setting,
+            row.model_awareness,
+            row.sim_awareness
+        );
+    }
+}
+
+#[test]
+fn agreement_improves_with_full_availability() {
+    // With σ = 1 and everyone online the model's simplifications vanish;
+    // the residual gap is only the list-vs-expectation approximation.
+    let row = validate(2_000, 2_000, 1.0, 0.005, None, 5, 99);
+    assert!(row.cost_error() < 0.12, "{row:?}");
+}
+
+#[test]
+fn model_predicts_simulated_pf_savings() {
+    // The *relative* saving from PF(t) = 0.9^t should transfer from the
+    // model to the simulator.
+    let always = validate(1_500, 500, 1.0, 0.02, None, 3, 7);
+    let decayed = validate(1_500, 500, 1.0, 0.02, Some(0.9), 3, 7);
+    let model_ratio = decayed.model_cost / always.model_cost;
+    let sim_ratio = decayed.sim_cost / always.sim_cost;
+    assert!(
+        (model_ratio - sim_ratio).abs() < 0.2,
+        "saving ratios diverge: model {model_ratio:.2} vs sim {sim_ratio:.2}"
+    );
+    assert!(model_ratio < 0.9, "the model must predict a saving");
+}

@@ -1,0 +1,211 @@
+//! Property-based invariants across the workspace (proptest).
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rumor::analysis::{PfSchedule, PushModel, PushParams};
+use rumor::core::{
+    DiscardStrategy, Lineage, PartialList, ReplicaStore, TruncationPolicy, Update, Value,
+    VersionRelation,
+};
+use rumor::pgrid::Path;
+use rumor::types::{DataKey, PeerId, VersionId};
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// An arbitrary lineage built by extending a root `depth` times.
+fn lineage_from(seed: u64, depth: usize) -> Lineage {
+    let mut r = rng(seed);
+    let mut l = Lineage::root(&mut r);
+    for _ in 0..depth {
+        l = l.child(&mut r);
+    }
+    l
+}
+
+proptest! {
+    #[test]
+    fn lineage_relation_is_antisymmetric(seed in 0u64..5_000, a in 0usize..6, b in 0usize..6) {
+        let base = lineage_from(seed, a.min(b));
+        let mut r = rng(seed.wrapping_add(1));
+        let mut deep = base.clone();
+        for _ in 0..a.max(b) - a.min(b) {
+            deep = deep.child(&mut r);
+        }
+        match deep.relation(&base) {
+            VersionRelation::Equal => prop_assert_eq!(base.relation(&deep), VersionRelation::Equal),
+            VersionRelation::Dominates => {
+                prop_assert_eq!(base.relation(&deep), VersionRelation::DominatedBy)
+            }
+            VersionRelation::DominatedBy => {
+                prop_assert_eq!(base.relation(&deep), VersionRelation::Dominates)
+            }
+            VersionRelation::Concurrent => {
+                prop_assert_eq!(base.relation(&deep), VersionRelation::Concurrent)
+            }
+        }
+    }
+
+    #[test]
+    fn lineage_dominance_is_transitive(seed in 0u64..5_000) {
+        let mut r = rng(seed);
+        let a = Lineage::root(&mut r);
+        let b = a.child(&mut r);
+        let c = b.child(&mut r);
+        prop_assert!(c.covers(&b) && b.covers(&a));
+        prop_assert!(c.covers(&a), "covers must be transitive");
+    }
+
+    #[test]
+    fn store_apply_is_order_independent(
+        seed in 0u64..2_000,
+        order in proptest::sample::select(vec![0usize, 1, 2, 3, 4, 5])
+    ) {
+        // Three versions: root -> child, plus a concurrent fork.
+        let mut r = rng(seed);
+        let key = DataKey::new(1);
+        let root = Lineage::root(&mut r);
+        let child = root.child(&mut r);
+        let fork = root.child(&mut r);
+        let updates = [
+            Update::write(key, root, Value::from("root"), PeerId::new(0)),
+            Update::write(key, child, Value::from("child"), PeerId::new(1)),
+            Update::write(key, fork, Value::from("fork"), PeerId::new(2)),
+        ];
+        let permutations: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let perm = permutations[order];
+
+        let mut reference = ReplicaStore::new();
+        for u in &updates {
+            reference.apply(u);
+        }
+        let mut shuffled = ReplicaStore::new();
+        for &i in &perm {
+            shuffled.apply(&updates[i]);
+        }
+        prop_assert_eq!(reference.digest(), shuffled.digest());
+    }
+
+    #[test]
+    fn reconciliation_converges_both_ways(seed in 0u64..2_000, n_a in 0usize..6, n_b in 0usize..6) {
+        let mut r = rng(seed);
+        let mut a = ReplicaStore::new();
+        let mut b = ReplicaStore::new();
+        for i in 0..n_a {
+            let u = Update::write(
+                DataKey::new(i as u64 % 3),
+                Lineage::root(&mut r),
+                Value::from("a"),
+                PeerId::new(0),
+            );
+            a.apply(&u);
+        }
+        for i in 0..n_b {
+            let u = Update::write(
+                DataKey::new(i as u64 % 3),
+                Lineage::root(&mut r),
+                Value::from("b"),
+                PeerId::new(1),
+            );
+            b.apply(&u);
+        }
+        // One anti-entropy exchange in each direction.
+        let for_b = a.missing_updates_for(&b.digest());
+        b.merge_updates(&for_b);
+        let for_a = b.missing_updates_for(&a.digest());
+        a.merge_updates(&for_a);
+        prop_assert!(a.consistent_with(&b), "two-way exchange must converge");
+    }
+
+    #[test]
+    fn partial_list_truncation_respects_cap(
+        entries in proptest::collection::vec(0u32..500, 0..200),
+        cap in 0usize..100,
+        strategy in proptest::sample::select(vec![
+            DiscardStrategy::Head,
+            DiscardStrategy::Tail,
+            DiscardStrategy::Random,
+        ]),
+        seed in 0u64..1000,
+    ) {
+        let mut list = PartialList::from_peers(entries.iter().copied().map(PeerId::new));
+        let before = list.len();
+        let policy = TruncationPolicy::MaxEntries { cap, discard: strategy };
+        let dropped = list.truncate(&policy, 1_000, &mut rng(seed));
+        prop_assert_eq!(list.len(), before.min(cap), "post-truncation size");
+        prop_assert_eq!(dropped, before - list.len(), "dropped accounting");
+        // No duplicates ever.
+        let mut seen: Vec<PeerId> = list.iter().collect();
+        seen.sort();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), list.len());
+    }
+
+    #[test]
+    fn push_model_outputs_are_physical(
+        online_frac in 0.01f64..1.0,
+        sigma in 0.5f64..1.0,
+        f_r in 0.001f64..0.2,
+        pf_base in 0.5f64..1.0,
+    ) {
+        let total = 5_000.0;
+        let params = PushParams::new(total, total * online_frac, sigma, f_r)
+            .with_pf(PfSchedule::Exponential { base: pf_base });
+        let out = PushModel::new(params).run();
+        let mut prev_aware = 0.0;
+        let mut prev_cum = 0.0;
+        for row in &out.rows {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&row.f_aware));
+            prop_assert!(row.f_aware >= prev_aware - 1e-12, "awareness monotone");
+            prop_assert!(row.messages >= 0.0);
+            prop_assert!(row.cum_messages >= prev_cum - 1e-9);
+            prop_assert!((0.0..=1.0).contains(&row.list_len));
+            prev_aware = row.f_aware;
+            prev_cum = row.cum_messages;
+        }
+        prop_assert!(out.total_messages >= total * f_r - 1e-9, "at least round 0");
+    }
+
+    #[test]
+    fn digest_contains_exactly_applied_heads(seed in 0u64..2_000, n in 1usize..10) {
+        let mut r = rng(seed);
+        let mut store = ReplicaStore::new();
+        let mut heads = Vec::new();
+        for i in 0..n {
+            let u = Update::write(
+                DataKey::new(i as u64),
+                Lineage::root(&mut r),
+                Value::from("x"),
+                PeerId::new(0),
+            );
+            heads.push((u.key(), u.lineage().head()));
+            store.apply(&u);
+        }
+        let digest = store.digest();
+        for (k, h) in heads {
+            prop_assert!(digest.contains(k, h));
+        }
+        prop_assert_eq!(digest.version_count(), n);
+    }
+
+    #[test]
+    fn path_prefix_laws(bits_a in any::<u64>(), len_a in 0u8..32, extra in 0u8..16) {
+        let a = Path::from_bits(bits_a, len_a);
+        let mut b = a;
+        for i in 0..extra {
+            b = b.child((bits_a >> i) & 1 == 1);
+        }
+        prop_assert!(a.is_prefix_of(&b));
+        prop_assert_eq!(a.common_prefix_len(&b), len_a);
+        prop_assert_eq!(b.truncated(len_a), a);
+    }
+
+    #[test]
+    fn version_id_digest_roundtrip(bits in any::<u128>()) {
+        let v = VersionId::from_bits(bits);
+        prop_assert_eq!(v.to_bits(), bits);
+    }
+}
