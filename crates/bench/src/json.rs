@@ -1,0 +1,396 @@
+//! Hand-rolled JSON emission for experiment artefacts.
+//!
+//! The offline `serde` shim provides no serialization framework, so the
+//! experiment payload types serialise through this module instead: a tiny
+//! document model ([`Json`]) with a pretty printer, plus [`ToJson`]
+//! implementations for every payload `all_experiments` writes. Output is
+//! plain standards-compliant JSON, so downstream plotting scripts see the
+//! same artefacts they would with `serde_json`.
+
+use crate::ablation::AblationRow;
+use crate::experiments::{FigureSeries, FloodingRow, PullRow};
+use crate::simfig::ValidationRow;
+use rumor_analysis::{PfSchedule, PushOutcome, PushParams, RoundRow, SchemeResult};
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (emitted without a decimal point, as `serde_json`
+    /// would for Rust integer types).
+    Int(i64),
+    /// A finite number (non-finite values emit as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<const N: usize>(fields: [(&str, Json); N]) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Pretty-prints with two-space indentation, mirroring
+    /// `serde_json::to_string_pretty`.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        out.push_str(&format!("{:.1}", x));
+                    } else {
+                        out.push_str(&format!("{x}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    Json::Str(k.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Conversion into the [`Json`] document model.
+pub trait ToJson {
+    /// Converts `self` into a JSON document.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for u32 {
+    fn to_json(&self) -> Json {
+        Json::Int(i64::from(*self))
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::Int(*self as i64)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for (f64, f64) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![Json::Num(self.0), Json::Num(self.1)])
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        self.as_ref().map_or(Json::Null, ToJson::to_json)
+    }
+}
+
+impl ToJson for FigureSeries {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", self.label.to_json()),
+            ("points", self.points.to_json()),
+            ("rounds", self.rounds.to_json()),
+            ("died", self.died.to_json()),
+            ("total_per_peer", self.total_per_peer.to_json()),
+            ("final_awareness", self.final_awareness.to_json()),
+        ])
+    }
+}
+
+impl ToJson for PullRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("f_aware", self.f_aware.to_json()),
+            ("attempts", self.attempts.to_json()),
+            ("probability", self.probability.to_json()),
+        ])
+    }
+}
+
+impl ToJson for FloodingRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("fanout", self.fanout.to_json()),
+            ("pure_flooding", self.pure_flooding.to_json()),
+            ("gnutella_per_peer", self.gnutella_per_peer.to_json()),
+            ("attempts_10_targets", self.attempts_10_targets.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ValidationRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("setting", self.setting.to_json()),
+            ("model_cost", self.model_cost.to_json()),
+            ("sim_cost", self.sim_cost.to_json()),
+            ("model_awareness", self.model_awareness.to_json()),
+            ("sim_awareness", self.sim_awareness.to_json()),
+            ("model_rounds", self.model_rounds.to_json()),
+            ("sim_rounds", self.sim_rounds.to_json()),
+            ("trials", self.trials.to_json()),
+        ])
+    }
+}
+
+impl ToJson for AblationRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("variant", self.variant.to_json()),
+            ("push_cost", self.push_cost.to_json()),
+            ("duplicates", self.duplicates.to_json()),
+            ("total_cost", self.total_cost.to_json()),
+            ("awareness", self.awareness.to_json()),
+            ("rounds", self.rounds.to_json()),
+        ])
+    }
+}
+
+impl ToJson for PfSchedule {
+    fn to_json(&self) -> Json {
+        match self {
+            PfSchedule::One => Json::Str("One".into()),
+            PfSchedule::Constant(p) => Json::obj([("Constant", Json::Num(*p))]),
+            PfSchedule::Linear { rate } => {
+                Json::obj([("Linear", Json::obj([("rate", Json::Num(*rate))]))])
+            }
+            PfSchedule::Exponential { base } => {
+                Json::obj([("Exponential", Json::obj([("base", Json::Num(*base))]))])
+            }
+            PfSchedule::OffsetExponential { scale, base, offset } => Json::obj([(
+                "OffsetExponential",
+                Json::obj([
+                    ("scale", Json::Num(*scale)),
+                    ("base", Json::Num(*base)),
+                    ("offset", Json::Num(*offset)),
+                ]),
+            )]),
+            PfSchedule::FloodThenGossip { p, k } => Json::obj([(
+                "FloodThenGossip",
+                Json::obj([("p", Json::Num(*p)), ("k", k.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl ToJson for PushParams {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("total_replicas", self.total_replicas.to_json()),
+            ("online_initial", self.online_initial.to_json()),
+            ("sigma", self.sigma.to_json()),
+            ("f_r", self.f_r.to_json()),
+            ("pf", self.pf.to_json()),
+            ("partial_list", self.partial_list.to_json()),
+            ("list_threshold", self.list_threshold.to_json()),
+            ("update_size", self.update_size.to_json()),
+            ("delta", self.delta.to_json()),
+            ("max_rounds", self.max_rounds.to_json()),
+            ("awareness_target", self.awareness_target.to_json()),
+            ("min_new_aware", self.min_new_aware.to_json()),
+            ("died_threshold", self.died_threshold.to_json()),
+        ])
+    }
+}
+
+impl ToJson for RoundRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("t", self.t.to_json()),
+            ("online", self.online.to_json()),
+            ("pushers", self.pushers.to_json()),
+            ("messages", self.messages.to_json()),
+            ("cum_messages", self.cum_messages.to_json()),
+            ("new_aware", self.new_aware.to_json()),
+            ("f_aware", self.f_aware.to_json()),
+            ("list_len", self.list_len.to_json()),
+            ("message_bytes", self.message_bytes.to_json()),
+        ])
+    }
+}
+
+impl ToJson for PushOutcome {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rows", self.rows.to_json()),
+            ("total_messages", self.total_messages.to_json()),
+            ("rounds", self.rounds.to_json()),
+            ("final_awareness", self.final_awareness.to_json()),
+            ("died", self.died.to_json()),
+            ("params", self.params.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SchemeResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scheme", self.scheme.to_json()),
+            ("messages_per_online", self.messages_per_online.to_json()),
+            ("rounds", self.rounds.to_json()),
+            ("final_awareness", self.final_awareness.to_json()),
+            ("outcome", self.outcome.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_control_characters() {
+        let j = Json::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(j.pretty(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_render_json_style() {
+        assert_eq!(Json::Num(3.0).pretty(), "3.0");
+        assert_eq!(Json::Num(0.5).pretty(), "0.5");
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
+        assert_eq!(Json::Int(12).pretty(), "12");
+        assert_eq!(7u32.to_json().pretty(), "7");
+    }
+
+    #[test]
+    fn empty_collections_are_compact() {
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).pretty(), "{}");
+    }
+
+    #[test]
+    fn objects_pretty_print_with_indentation() {
+        let j = Json::obj([("k", Json::Num(1.0)), ("s", Json::Str("v".into()))]);
+        assert_eq!(j.pretty(), "{\n  \"k\": 1.0,\n  \"s\": \"v\"\n}");
+    }
+
+    #[test]
+    fn flooding_row_includes_every_field() {
+        let row = FloodingRow {
+            fanout: 4.0,
+            pure_flooding: 1.0,
+            gnutella_per_peer: 2.0,
+            attempts_10_targets: 3.0,
+        };
+        let text = row.to_json().pretty();
+        for key in ["fanout", "pure_flooding", "gnutella_per_peer", "attempts_10_targets"] {
+            assert!(text.contains(&format!("\"{key}\"")), "missing {key} in {text}");
+        }
+    }
+
+    #[test]
+    fn figure_series_includes_every_field() {
+        let s = FigureSeries {
+            label: "c".into(),
+            points: vec![(0.1, 2.0)],
+            rounds: 3,
+            died: false,
+            total_per_peer: 2.0,
+            final_awareness: 0.9,
+        };
+        let text = s.to_json().pretty();
+        for key in ["label", "points", "rounds", "died", "total_per_peer", "final_awareness"] {
+            assert!(text.contains(&format!("\"{key}\"")), "missing {key} in {text}");
+        }
+    }
+}

@@ -13,5 +13,6 @@
 pub mod ablation;
 pub mod experiments;
 pub mod extensions;
+pub mod json;
 pub mod render;
 pub mod simfig;

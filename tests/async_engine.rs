@@ -105,8 +105,8 @@ fn continuous_churn_with_eager_pull_recovers_returning_peers() {
     let mut nodes = population(n, &config);
     // Half the peers start offline; dwell times keep everyone cycling.
     let mut online = OnlineSet::with_online_count(n, n / 2);
-    for i in (n / 2)..n {
-        nodes[i].set_initially_offline();
+    for node in nodes.iter_mut().skip(n / 2) {
+        node.set_initially_offline();
     }
     let process = OnOffProcess::new(300.0, 100.0).unwrap(); // 75% availability
     let mut engine: EventEngine<Message> = EventEngine::new(

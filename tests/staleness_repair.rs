@@ -1,0 +1,81 @@
+//! Regression test for the flood-dies-before-staleness-pull interaction.
+//!
+//! The push flood usually blankets a partition but can stochastically
+//! miss peers; the `no_updates_since` pull trigger is the safety net. A
+//! driver that stops at `SyncEngine::is_quiescent` stops too early: the
+//! engine is "quiescent" the moment the flood's last message lands, which
+//! is *before* the first staleness pull fires (the hybrid protocol keeps
+//! polling and never goes fully quiet). This test pins the repair path:
+//! even a flood engineered to miss most peers must converge to full
+//! awareness once staleness pulls are given a fixed horizon to run.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rumor::churn::OnlineSet;
+use rumor::core::{ForwardPolicy, Message, ProtocolConfig, ReplicaPeer, Value};
+use rumor::net::{PerfectLinks, SyncEngine};
+use rumor::types::{DataKey, PeerId, Round};
+
+fn population(n: usize, config: &ProtocolConfig) -> Vec<ReplicaPeer> {
+    (0..n)
+        .map(|i| {
+            let mut p = ReplicaPeer::new(PeerId::new(i as u32), config.clone());
+            p.learn_replicas((0..n as u32).map(PeerId::new));
+            p
+        })
+        .collect()
+}
+
+#[test]
+fn staleness_pull_repairs_peers_the_flood_missed() {
+    // Fanout 1 and PF = 0 beyond the initiator: the "flood" is a single
+    // message, so n - 2 peers are guaranteed to be missed by push.
+    let n = 12;
+    let config = ProtocolConfig::builder(n)
+        .fanout_absolute(1)
+        .forward(ForwardPolicy::Constant { p: 0.0 })
+        .staleness_rounds(3)
+        .build()
+        .unwrap();
+    let mut peers = population(n, &config);
+    let online = OnlineSet::all_online(n);
+    let mut engine: SyncEngine<Message> = SyncEngine::new(n);
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+
+    let key = DataKey::from_name("missed-by-flood");
+    let (update, effects) =
+        peers[0].initiate_update(key, Some(Value::from("x")), Round::ZERO, &mut rng);
+    engine.inject(PeerId::new(0), effects);
+
+    // The flood is spent after two rounds; quiescence here would report
+    // convergence falsely.
+    engine.step(&mut peers, &online, &PerfectLinks, &mut rng);
+    engine.step(&mut peers, &online, &PerfectLinks, &mut rng);
+    let aware_after_flood = peers.iter().filter(|p| p.has_processed(update.id())).count();
+    assert!(
+        aware_after_flood <= 2,
+        "push with fanout 1 / PF 0 reaches at most the initiator and one target"
+    );
+    assert!(
+        engine.is_quiescent(),
+        "engine reports quiescence before the first staleness pull — the \
+         bug this test guards: drivers must use a fixed horizon, not \
+         run_to_quiescence, when periodic pulls are configured"
+    );
+
+    // A fixed horizon lets the periodic pulls run; anti-entropy converges
+    // the whole partition.
+    for _ in 0..30 {
+        engine.step(&mut peers, &online, &PerfectLinks, &mut rng);
+    }
+    let aware = peers.iter().filter(|p| p.has_processed(update.id())).count();
+    assert_eq!(aware, n, "staleness pulls must repair every missed peer");
+    for p in &peers {
+        assert_eq!(
+            p.store().get(key).expect("converged").as_bytes(),
+            b"x",
+            "peer {} holds the value",
+            p.peer_id()
+        );
+    }
+}

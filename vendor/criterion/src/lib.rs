@@ -1,0 +1,238 @@
+//! Vendored criterion-compatible benchmark harness.
+//!
+//! The build environment has no network access, so this crate provides
+//! the subset of the `criterion` API the workspace's benches use:
+//! [`Criterion`], [`Criterion::benchmark_group`], `bench_function`,
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`BatchSize`],
+//! [`black_box`] and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Timing is a simple best-of-N wall-clock measurement printed
+//! as `name ... <median> per iter` — enough to compare hot paths
+//! locally; swap the real criterion back in for statistics and plots.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortises setup cost (shim: informational only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Larger per-iteration state.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    samples: usize,
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            measured: Vec::new(),
+        }
+    }
+
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.measured.push(start.elapsed());
+        }
+    }
+
+    /// Measures `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.measured.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.measured.is_empty() {
+            return Duration::ZERO;
+        }
+        self.measured.sort_unstable();
+        self.measured[self.measured.len() / 2]
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    /// Per-group override, as upstream: it must not leak into
+    /// benchmarks run after `finish()`.
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Sets a target measurement time (shim: ignored; sampling is count-based).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, samples, f);
+        self
+    }
+
+    /// Finishes the group (shim: no-op).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Configures this instance from command-line arguments (shim: returns
+    /// self unchanged; cargo's `--bench`/`--test` flags are tolerated).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let samples = self.sample_size;
+        self.run_one(id, samples, f);
+        self
+    }
+
+    /// Finalizes the run (shim: no-op, for API parity).
+    pub fn final_summary(&mut self) {}
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, samples: usize, mut f: F) {
+        // `cargo test` invokes bench binaries with `--test`; skip measuring
+        // there so test runs stay fast, but still execute one iteration to
+        // smoke-test the benchmark body.
+        let testing = std::env::args().any(|a| a == "--test");
+        let samples = if testing { 1 } else { samples };
+        let mut bencher = Bencher::new(samples);
+        f(&mut bencher);
+        let median = bencher.median();
+        println!("bench: {id:<50} {median:>12?} per iter (median of {samples})");
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts_samples() {
+        let mut b = Bencher::new(5);
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5);
+        assert_eq!(b.measured.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_feeds_fresh_inputs() {
+        let mut b = Bencher::new(3);
+        let mut next = 0;
+        let mut seen = Vec::new();
+        b.iter_batched(
+            || {
+                next += 1;
+                next
+            },
+            |x| seen.push(x),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.sample_size(2).bench_function("f", |b| {
+            b.iter(|| ran = true);
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_sample_size_does_not_leak_past_finish() {
+        let mut c = Criterion::default();
+        let default_samples = c.sample_size;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(100);
+        group.finish();
+        assert_eq!(
+            c.sample_size, default_samples,
+            "a group's sample_size is per-group, as in upstream criterion"
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Vendored property-testing harness (offline `proptest` stand-in).
+//!
+//! Supports the subset of the `proptest` API this workspace uses: the
+//! [`proptest!`] macro over `arg in strategy` bindings, range strategies
+//! for the primitive numeric types, [`any`], [`sample::select`] and
+//! [`collection::vec`], plus [`prop_assert!`]/[`prop_assert_eq!`].
+//!
+//! Each `#[test]` runs a fixed number of cases; inputs are drawn from a
+//! ChaCha8 stream seeded from the test's name and the case index, so
+//! every run of `cargo test` explores the identical, reproducible input
+//! set (no flakiness, trivial failure reproduction). Shrinking is not
+//! implemented — the failing case's seed is its reproduction recipe.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+
+/// Number of cases each property runs.
+pub const CASES: u64 = 64;
+
+/// Builds the deterministic RNG for one test case.
+pub fn test_rng(test_name: &str, case: u64) -> ChaCha8Rng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in test_name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    ChaCha8Rng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Values constructible "from anywhere" by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut ChaCha8Rng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut ChaCha8Rng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut ChaCha8Rng) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut ChaCha8Rng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut ChaCha8Rng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Strategy producing any value of `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod sample {
+    //! Strategies that pick from explicit value sets.
+
+    use super::{ChaCha8Rng, Strategy};
+    use rand::seq::SliceRandom;
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T>(Vec<T>);
+
+    /// Picks uniformly from the given non-empty vector.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+            self.0.choose(rng).expect("non-empty options").clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{ChaCha8Rng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Asserts a property holds (shim: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two values are equal (shim: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts two values differ (shim: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares deterministic property tests, mirroring `proptest::proptest!`.
+///
+/// Each declared function becomes a `#[test]` that runs [`CASES`] cases
+/// with inputs drawn from a per-test, per-case seeded ChaCha8 stream.
+#[macro_export]
+macro_rules! proptest {
+    ($( #[test] fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            #[test]
+            fn $name() {
+                for __case in 0..$crate::CASES {
+                    let mut __rng = $crate::test_rng(stringify!($name), __case);
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn test_rng_is_deterministic_per_name_and_case() {
+        use rand::RngCore;
+        let mut a = crate::test_rng("t", 3);
+        let mut b = crate::test_rng("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_rng("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn select_and_vec_strategies_sample_in_bounds() {
+        let mut rng = crate::test_rng("bounds", 0);
+        let sel = crate::sample::select(vec![10, 20, 30]);
+        for _ in 0..100 {
+            assert!([10, 20, 30].contains(&sel.sample(&mut rng)));
+        }
+        let vs = crate::collection::vec(0u32..5, 2..4);
+        for _ in 0..100 {
+            let v = vs.sample(&mut rng);
+            assert!((2..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_cases(x in 0u64..100, y in 0usize..10) {
+            prop_assert!(x < 100);
+            prop_assert!(y < 10);
+            prop_assert_eq!(x.min(99), x);
+        }
+
+        #[test]
+        fn any_covers_wide_values(bits in any::<u128>()) {
+            prop_assert_eq!(bits, bits);
+        }
+    }
+}

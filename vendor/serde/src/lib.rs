@@ -1,0 +1,19 @@
+//! Vendored `serde` facade for the offline build environment.
+//!
+//! Exposes `Serialize`/`Deserialize` as marker traits alongside no-op
+//! derive macros of the same names, so `use serde::{Deserialize,
+//! Serialize}` + `#[derive(Serialize, Deserialize)]` compile exactly as
+//! they would against the real crate. No serialization framework is
+//! provided; `rumor-bench` emits its JSON artefacts through its own
+//! `render::json` module. Swapping the real `serde` in later is a
+//! manifest-only change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de> {}

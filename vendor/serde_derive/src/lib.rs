@@ -1,0 +1,23 @@
+//! Vendored no-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The build environment has no network access, so real `serde` cannot be
+//! fetched. The workspace's types annotate themselves with
+//! `#[derive(Serialize, Deserialize)]` as forward-compatible markers; the
+//! only JSON produced today goes through `rumor-bench`'s hand-rolled
+//! emitter. These derives therefore expand to nothing — the annotations
+//! compile, and swapping the real `serde` back in later is a
+//! manifest-only change.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
