@@ -159,10 +159,26 @@ mod tests {
     fn setting_a_absolute_values_near_paper() {
         let rows = compare_schemes(&table2_schemes(0.95), 10_000.0, 10_000.0, 1.0, 0.0004);
         // Paper: Gnutella 4, partial list 3.92, Haas 3.136, ours 2.215.
-        assert!((rows[0].messages_per_online - 4.0).abs() < 1e-9, "{}", rows[0].messages_per_online);
-        assert!((rows[1].messages_per_online - 3.92).abs() < 0.15, "{}", rows[1].messages_per_online);
-        assert!((rows[2].messages_per_online - 3.136).abs() < 0.4, "{}", rows[2].messages_per_online);
-        assert!((rows[3].messages_per_online - 2.215).abs() < 0.7, "{}", rows[3].messages_per_online);
+        assert!(
+            (rows[0].messages_per_online - 4.0).abs() < 1e-9,
+            "{}",
+            rows[0].messages_per_online
+        );
+        assert!(
+            (rows[1].messages_per_online - 3.92).abs() < 0.15,
+            "{}",
+            rows[1].messages_per_online
+        );
+        assert!(
+            (rows[2].messages_per_online - 3.136).abs() < 0.4,
+            "{}",
+            rows[2].messages_per_online
+        );
+        assert!(
+            (rows[3].messages_per_online - 2.215).abs() < 0.7,
+            "{}",
+            rows[3].messages_per_online
+        );
     }
 
     #[test]

@@ -343,7 +343,11 @@ mod tests {
         // Fig. 1(a): 1% online with f_r = 0.01 → effective fanout ≈ 1·σ < 1.
         let p = PushParams::new(10_000.0, 100.0, 0.95, 0.01);
         let out = run(p);
-        assert!(out.died, "rumor must die: awareness {}", out.final_awareness);
+        assert!(
+            out.died,
+            "rumor must die: awareness {}",
+            out.final_awareness
+        );
         assert!(out.final_awareness < 0.9);
     }
 
@@ -363,8 +367,14 @@ mod tests {
         let full = run(base).total_messages;
         let none = run(base.without_partial_list()).total_messages;
         let trunc = run(base.with_list_threshold(0.05)).total_messages;
-        assert!(full < trunc, "truncation loses suppression: {full} !< {trunc}");
-        assert!(trunc < none, "truncated list still helps: {trunc} !< {none}");
+        assert!(
+            full < trunc,
+            "truncation loses suppression: {full} !< {trunc}"
+        );
+        assert!(
+            trunc < none,
+            "truncated list still helps: {trunc} !< {none}"
+        );
     }
 
     #[test]
@@ -390,9 +400,7 @@ mod tests {
     fn messages_per_initial_online_normalises() {
         let p = PushParams::new(10_000.0, 1_000.0, 0.95, 0.01);
         let out = run(p);
-        assert!(
-            (out.messages_per_initial_online() - out.total_messages / 1_000.0).abs() < 1e-12
-        );
+        assert!((out.messages_per_initial_online() - out.total_messages / 1_000.0).abs() < 1e-12);
     }
 
     #[test]

@@ -277,12 +277,21 @@ impl Node for RumorMongerNode {
                     self.hot.insert(rumor);
                 }
                 if self.config.feedback {
-                    vec![Effect::send(from, DemersMsg::Feedback { rumor, already_knew })]
+                    vec![Effect::send(
+                        from,
+                        DemersMsg::Feedback {
+                            rumor,
+                            already_knew,
+                        },
+                    )]
                 } else {
                     Vec::new()
                 }
             }
-            DemersMsg::Feedback { rumor, already_knew } => {
+            DemersMsg::Feedback {
+                rumor,
+                already_knew,
+            } => {
                 if self.config.feedback && already_knew {
                     self.maybe_lose_interest(rumor, rng);
                 }
@@ -307,7 +316,7 @@ mod tests {
         let nodes: Vec<AntiEntropyNode> = (0..60)
             .map(|i| AntiEntropyNode::fully_connected(i, 60, false))
             .collect();
-        let mut sim = BaselineSim::new(nodes, 60, 3);
+        let mut sim = BaselineSim::new(nodes, 60, 3).unwrap();
         sim.seed(0, |n, _| n.seed_rumor(rumor()));
         sim.run_rounds(40);
         let aware = sim.aware_fraction(|n| n.knows(rumor()));
@@ -320,7 +329,7 @@ mod tests {
             let nodes: Vec<AntiEntropyNode> = (0..80)
                 .map(|i| AntiEntropyNode::fully_connected(i, 80, push_pull))
                 .collect();
-            let mut sim = BaselineSim::new(nodes, 80, 5);
+            let mut sim = BaselineSim::new(nodes, 80, 5).unwrap();
             sim.seed(0, |n, _| n.seed_rumor(rumor()));
             let mut rounds = 0;
             while sim.aware_fraction(|n| n.knows(rumor())) < 0.9 && rounds < 200 {
@@ -344,11 +353,14 @@ mod tests {
         let nodes: Vec<RumorMongerNode> = (0..100)
             .map(|i| RumorMongerNode::fully_connected(i, 100, config))
             .collect();
-        let mut sim = BaselineSim::new(nodes, 100, 9);
+        let mut sim = BaselineSim::new(nodes, 100, 9).unwrap();
         sim.seed(0, |n, _| n.seed_rumor(rumor()));
         sim.run_rounds(100);
         let aware = sim.aware_fraction(|n| n.knows(rumor()));
-        assert!(aware > 0.9, "rumor mongering covers most peers, got {aware}");
+        assert!(
+            aware > 0.9,
+            "rumor mongering covers most peers, got {aware}"
+        );
     }
 
     #[test]
@@ -360,7 +372,7 @@ mod tests {
         let nodes: Vec<RumorMongerNode> = (0..50)
             .map(|i| RumorMongerNode::fully_connected(i, 50, config))
             .collect();
-        let mut sim = BaselineSim::new(nodes, 50, 13);
+        let mut sim = BaselineSim::new(nodes, 50, 13).unwrap();
         sim.seed(0, |n, _| n.seed_rumor(rumor()));
         sim.run_rounds(60);
         let hot = sim.aware_fraction(|n| n.is_hot(rumor()));
@@ -377,7 +389,7 @@ mod tests {
             let nodes: Vec<RumorMongerNode> = (0..80)
                 .map(|i| RumorMongerNode::fully_connected(i, 80, config))
                 .collect();
-            let mut sim = BaselineSim::new(nodes, 80, 17);
+            let mut sim = BaselineSim::new(nodes, 80, 17).unwrap();
             sim.seed(0, |n, _| n.seed_rumor(rumor()));
             sim.run_rounds(120);
             sim.messages()
@@ -397,11 +409,19 @@ mod tests {
         let mut rng = rand::SeedableRng::seed_from_u64(1);
         a.seed_rumor(rumor());
         let mut b = RumorMongerNode::fully_connected(1, 2, config);
-        let fb = b.on_message(PeerId::new(0), DemersMsg::Rumor { rumor: rumor() }, Round::ZERO, &mut rng);
+        let fb = b.on_message(
+            PeerId::new(0),
+            DemersMsg::Rumor { rumor: rumor() },
+            Round::ZERO,
+            &mut rng,
+        );
         assert!(matches!(
             fb[..],
             [Effect::Send {
-                msg: DemersMsg::Feedback { already_knew: false, .. },
+                msg: DemersMsg::Feedback {
+                    already_knew: false,
+                    ..
+                },
                 ..
             }]
         ));

@@ -63,6 +63,11 @@ impl GnutellaNode {
         self.seen.contains(&rumor)
     }
 
+    /// Number of neighbours this node can address.
+    pub fn neighbor_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
     /// Seeds a rumor at this node (the initiator's broadcast).
     pub fn seed_rumor(&mut self, rumor: UpdateId, rng: &mut ChaCha8Rng) -> Vec<Effect<FloodMsg>> {
         self.seen.insert(rumor);
@@ -177,7 +182,8 @@ impl Node for PureFloodNode {
             self.inner.duplicates += 1;
             // No duplicate avoidance: forward anyway.
         }
-        self.inner.forward(msg.rumor, msg.ttl, msg.hops, Some(from), rng)
+        self.inner
+            .forward(msg.rumor, msg.ttl, msg.hops, Some(from), rng)
     }
 }
 
@@ -244,7 +250,8 @@ impl Node for HaasNode {
         }
         let forward = msg.hops < self.k || self.p >= 1.0 || rng.gen_bool(self.p);
         if forward {
-            self.inner.forward(msg.rumor, msg.ttl, msg.hops, Some(from), rng)
+            self.inner
+                .forward(msg.rumor, msg.ttl, msg.hops, Some(from), rng)
         } else {
             Vec::new()
         }
@@ -271,7 +278,9 @@ mod tests {
         let effects = n.seed_rumor(rumor(), &mut rng());
         assert_eq!(effects.len(), 4);
         for e in &effects {
-            let Effect::Send { msg, .. } = e else { panic!() };
+            let Effect::Send { msg, .. } = e else {
+                panic!()
+            };
             assert_eq!(msg.ttl, 2);
             assert_eq!(msg.hops, 1);
         }
@@ -284,7 +293,11 @@ mod tests {
         let mut r = rng();
         let out = n.on_message(
             PeerId::new(1),
-            FloodMsg { rumor: rumor(), ttl: 0, hops: 1 },
+            FloodMsg {
+                rumor: rumor(),
+                ttl: 0,
+                hops: 1,
+            },
             Round::ZERO,
             &mut r,
         );
@@ -296,7 +309,11 @@ mod tests {
     fn gnutella_drops_duplicates() {
         let mut n = GnutellaNode::fully_connected(0, 10, 4, 5);
         let mut r = rng();
-        let msg = FloodMsg { rumor: rumor(), ttl: 4, hops: 1 };
+        let msg = FloodMsg {
+            rumor: rumor(),
+            ttl: 4,
+            hops: 1,
+        };
         let first = n.on_message(PeerId::new(1), msg, Round::ZERO, &mut r);
         let second = n.on_message(PeerId::new(2), msg, Round::ZERO, &mut r);
         assert!(!first.is_empty());
@@ -308,7 +325,11 @@ mod tests {
     fn pure_flood_reforwards_duplicates() {
         let mut n = PureFloodNode::fully_connected(0, 10, 2, 5);
         let mut r = rng();
-        let msg = FloodMsg { rumor: rumor(), ttl: 4, hops: 1 };
+        let msg = FloodMsg {
+            rumor: rumor(),
+            ttl: 4,
+            hops: 1,
+        };
         let first = n.on_message(PeerId::new(1), msg, Round::ZERO, &mut r);
         let second = n.on_message(PeerId::new(2), msg, Round::ZERO, &mut r);
         assert_eq!(first.len(), 2);
@@ -322,7 +343,11 @@ mod tests {
         // hops < k: always forwards even with p = 0.
         let early = n.on_message(
             PeerId::new(1),
-            FloodMsg { rumor: UpdateId::from_bits(1), ttl: 9, hops: 1 },
+            FloodMsg {
+                rumor: UpdateId::from_bits(1),
+                ttl: 9,
+                hops: 1,
+            },
             Round::ZERO,
             &mut r,
         );
@@ -330,7 +355,11 @@ mod tests {
         // hops >= k with p = 0: never forwards.
         let late = n.on_message(
             PeerId::new(1),
-            FloodMsg { rumor: UpdateId::from_bits(2), ttl: 9, hops: 5 },
+            FloodMsg {
+                rumor: UpdateId::from_bits(2),
+                ttl: 9,
+                hops: 5,
+            },
             Round::ZERO,
             &mut r,
         );
@@ -348,7 +377,7 @@ mod tests {
             let nodes: Vec<PureFloodNode> = (0..population as u32)
                 .map(|i| PureFloodNode::fully_connected(i, population, fanout, 5))
                 .collect();
-            let mut sim = BaselineSim::new(nodes, population, 21);
+            let mut sim = BaselineSim::new(nodes, population, 21).unwrap();
             sim.seed(0, |n, rng| n.seed_rumor(rumor(), rng));
             sim.run_until_quiescent(30);
             sim.messages()
@@ -357,7 +386,7 @@ mod tests {
             let nodes: Vec<GnutellaNode> = (0..population as u32)
                 .map(|i| GnutellaNode::fully_connected(i, population, fanout, ttl))
                 .collect();
-            let mut sim = BaselineSim::new(nodes, population, 21);
+            let mut sim = BaselineSim::new(nodes, population, 21).unwrap();
             sim.seed(0, |n, rng| n.seed_rumor(rumor(), rng));
             sim.run_until_quiescent(30);
             // Fanout-4 epidemics leave a small tail of unreached peers.
@@ -368,7 +397,7 @@ mod tests {
             let nodes: Vec<HaasNode> = (0..population as u32)
                 .map(|i| HaasNode::fully_connected(i, population, fanout, ttl, 0.8, 2))
                 .collect();
-            let mut sim = BaselineSim::new(nodes, population, 21);
+            let mut sim = BaselineSim::new(nodes, population, 21).unwrap();
             sim.seed(0, |n, rng| n.seed_rumor(rumor(), rng));
             sim.run_until_quiescent(30);
             assert!(sim.aware_fraction(|n| n.knows(rumor())) > 0.8);

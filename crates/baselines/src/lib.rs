@@ -6,7 +6,11 @@
 //! Demers et al. epidemic repertoire (anti-entropy; rumor mongering in
 //! blind/feedback × coin/counter variants). Each baseline is a
 //! [`rumor_net::Node`] driven by the same engines and churn models as the
-//! main protocol, so message counts are apples-to-apples.
+//! main protocol, so message counts are apples-to-apples — and each has a
+//! [`rumor_sim::Protocol`] factory ([`GnutellaFlooding`], [`PureFlooding`],
+//! [`Gossip1`], [`AntiEntropy`], [`RumorMongering`]) so one shared
+//! [`rumor_sim::Scenario`] drives every contender with identical
+//! topology, churn, loss and partitions.
 //!
 //! # Examples
 //!
@@ -19,11 +23,12 @@
 //! let nodes: Vec<GnutellaNode> = (0..100)
 //!     .map(|i| GnutellaNode::fully_connected(i, 100, 6, 7))
 //!     .collect();
-//! let mut sim = BaselineSim::new(nodes, 100, 11);
+//! let mut sim = BaselineSim::new(nodes, 100, 11)?;
 //! sim.seed(0, |n, rng| n.seed_rumor(rumor, rng));
 //! sim.run_until_quiescent(50);
 //! let aware = sim.aware_fraction(|n| n.knows(rumor));
 //! assert!(aware > 0.95, "flooding informs (nearly) everyone, got {aware}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -31,8 +36,10 @@
 
 mod demers;
 mod flood;
+mod protocols;
 mod runner;
 
 pub use demers::{AntiEntropyNode, DemersMsg, MongerConfig, MongerStop, RumorMongerNode};
 pub use flood::{FloodMsg, GnutellaNode, HaasNode, PureFloodNode};
+pub use protocols::{AntiEntropy, GnutellaFlooding, Gossip1, PureFlooding, RumorMongering};
 pub use runner::BaselineSim;

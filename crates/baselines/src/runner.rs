@@ -1,51 +1,84 @@
-//! A small generic driver for baseline nodes.
+//! The baseline driver facade.
+//!
+//! [`BaselineSim`] used to carry its own round loop; it is now a thin
+//! wrapper over the shared [`rumor_sim::Driver`], so baselines run under
+//! exactly the same orchestration (churn step → engine step, quiescence,
+//! observation) as the paper protocol. Mount a baseline into a
+//! [`Scenario`](rumor_sim::Scenario) (via the [`Protocol`] factories in
+//! [`crate::protocols`]) to give it topology, loss and partition parity
+//! with the main protocol; use [`BaselineSim::new`] for the historical
+//! fully-connected / perfect-links setup.
 
-use rumor_churn::{Churn, OnlineSet, StaticChurn};
-use rumor_net::{Effect, Node, PerfectLinks, SyncEngine};
-use rumor_types::{derive_seed, PeerId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rumor_churn::{Churn, OnlineSet, StaticChurn};
+use rumor_net::{Effect, Node, PerfectLinks};
+use rumor_sim::{ConvergenceSpec, Driver, SimError};
+use rumor_types::{derive_seed, PeerId};
 
 /// Drives any population of [`Node`]s in synchronous rounds — the
 /// baseline counterpart of `rumor_sim::Simulation`, generic over the
-/// protocol.
+/// protocol and delegating every round to the shared
+/// [`rumor_sim::Driver`].
 pub struct BaselineSim<N: Node> {
-    nodes: Vec<N>,
-    online: OnlineSet,
-    churn: Box<dyn Churn>,
-    engine: SyncEngine<N::Msg>,
-    rng: ChaCha8Rng,
-    churn_rng: ChaCha8Rng,
-    rounds_run: u32,
-    initial_online: usize,
+    driver: Driver<N>,
+}
+
+impl<N: Node> std::fmt::Debug for BaselineSim<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselineSim")
+            .field("driver", &self.driver)
+            .finish()
+    }
 }
 
 impl<N: Node> BaselineSim<N> {
     /// Creates a driver with `online_count` of the nodes initially online
     /// and no churn.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `online_count` exceeds the population.
-    pub fn new(nodes: Vec<N>, online_count: usize, seed: u64) -> Self {
+    /// Returns [`SimError`] if `online_count` exceeds the population.
+    pub fn new(nodes: Vec<N>, online_count: usize, seed: u64) -> Result<Self, SimError> {
         let population = nodes.len();
+        if online_count > population {
+            return Err(SimError::InvalidSetup {
+                reason: format!("online count {online_count} exceeds population {population}"),
+            });
+        }
         let online = OnlineSet::with_online_count(population, online_count);
-        Self {
+        let driver = Driver::assemble(
             nodes,
             online,
-            churn: Box::new(StaticChurn::new()),
-            engine: SyncEngine::new(population),
-            rng: ChaCha8Rng::seed_from_u64(derive_seed(seed, "baseline-protocol")),
-            churn_rng: ChaCha8Rng::seed_from_u64(derive_seed(seed, "baseline-churn")),
-            rounds_run: 0,
-            initial_online: online_count,
-        }
+            Box::new(StaticChurn::new()),
+            Box::new(PerfectLinks),
+            ChaCha8Rng::seed_from_u64(derive_seed(seed, "baseline-protocol")),
+            ChaCha8Rng::seed_from_u64(derive_seed(seed, "baseline-churn")),
+            ConvergenceSpec::default(),
+        );
+        Ok(Self { driver })
+    }
+
+    /// Wraps a driver mounted from a [`Scenario`](rumor_sim::Scenario),
+    /// inheriting its topology, churn, loss and partition configuration.
+    pub fn from_driver(driver: Driver<N>) -> Self {
+        Self { driver }
     }
 
     /// Installs a churn model.
     pub fn with_churn(mut self, churn: impl Churn + 'static) -> Self {
-        self.churn = Box::new(churn);
+        self.driver.set_churn(Box::new(churn));
         self
+    }
+
+    /// The underlying protocol-agnostic driver.
+    pub fn driver(&self) -> &Driver<N> {
+        &self.driver
+    }
+
+    /// Mutable access to the underlying driver.
+    pub fn driver_mut(&mut self) -> &mut Driver<N> {
+        &mut self.driver
     }
 
     /// Seeds protocol state at node `index`, injecting any produced
@@ -54,78 +87,53 @@ impl<N: Node> BaselineSim<N> {
     where
         F: FnOnce(&mut N, &mut ChaCha8Rng) -> Vec<Effect<N::Msg>>,
     {
-        let effects = f(&mut self.nodes[index], &mut self.rng);
-        self.engine.inject(PeerId::new(index as u32), effects);
+        self.driver
+            .apply(PeerId::new(index as u32), |node, rng| ((), f(node, rng)));
     }
 
     /// Executes one round (churn after round 0, then engine).
     pub fn step(&mut self) {
-        if self.rounds_run > 0 {
-            self.churn
-                .step(self.rounds_run - 1, &mut self.online, &mut self.churn_rng);
-        }
-        self.engine
-            .step(&mut self.nodes, &self.online, &PerfectLinks, &mut self.rng);
-        self.rounds_run += 1;
+        self.driver.step();
     }
 
     /// Runs `n` rounds.
     pub fn run_rounds(&mut self, n: u32) {
-        for _ in 0..n {
-            self.step();
-        }
+        self.driver.run_rounds(n);
     }
 
     /// Runs until quiescent or `max_rounds`; returns rounds executed.
     pub fn run_until_quiescent(&mut self, max_rounds: u32) -> u32 {
-        let start = self.rounds_run;
-        while !self.engine.is_quiescent() && self.rounds_run - start < max_rounds {
-            self.step();
-        }
-        self.rounds_run - start
+        self.driver.run_until_quiescent(max_rounds)
     }
 
     /// Fraction of *online* nodes satisfying `aware`.
     pub fn aware_fraction(&self, aware: impl Fn(&N) -> bool) -> f64 {
-        let online = self.online.online_count();
-        if online == 0 {
-            return 0.0;
-        }
-        let count = self
-            .online
-            .iter_online()
-            .filter(|p| aware(&self.nodes[p.index()]))
-            .count();
-        count as f64 / online as f64
+        self.driver.aware_fraction(aware)
     }
 
     /// Total messages sent so far.
     pub fn messages(&self) -> u64 {
-        self.engine.stats().sent
+        self.driver.messages()
     }
 
     /// Messages per initially-online node.
     pub fn messages_per_initial_online(&self) -> f64 {
-        if self.initial_online == 0 {
-            0.0
-        } else {
-            self.messages() as f64 / self.initial_online as f64
-        }
+        self.driver.messages_per_initial_online()
     }
 
     /// Rounds executed so far.
     pub fn rounds_run(&self) -> u32 {
-        self.rounds_run
+        self.driver.rounds_run()
     }
 
     /// Read access to the nodes.
     pub fn nodes(&self) -> &[N] {
-        &self.nodes
+        self.driver.nodes()
     }
 
     /// The availability state.
     pub fn online(&self) -> &OnlineSet {
-        &self.online
+        self.driver.online()
     }
 }
 
@@ -145,7 +153,7 @@ mod tests {
         let nodes: Vec<GnutellaNode> = (0..30)
             .map(|i| GnutellaNode::fully_connected(i, 30, 3, 6))
             .collect();
-        let mut sim = BaselineSim::new(nodes, 30, 1);
+        let mut sim = BaselineSim::new(nodes, 30, 1).unwrap();
         sim.seed(0, |n, rng| n.seed_rumor(rumor(), rng));
         let rounds = sim.run_until_quiescent(20);
         assert!(rounds > 0);
@@ -159,7 +167,7 @@ mod tests {
         let nodes: Vec<GnutellaNode> = (0..30)
             .map(|i| GnutellaNode::fully_connected(i, 30, 3, 6))
             .collect();
-        let mut sim = BaselineSim::new(nodes, 1, 2); // only node 0 online
+        let mut sim = BaselineSim::new(nodes, 1, 2).unwrap(); // only node 0 online
         sim.seed(0, |n, rng| n.seed_rumor(rumor(), rng));
         sim.run_until_quiescent(20);
         // Messages were sent but nobody received: awareness stays at the
@@ -173,9 +181,19 @@ mod tests {
         let nodes: Vec<GnutellaNode> = (0..100)
             .map(|i| GnutellaNode::fully_connected(i, 100, 3, 6))
             .collect();
-        let mut sim =
-            BaselineSim::new(nodes, 100, 3).with_churn(MarkovChurn::new(0.5, 0.0).unwrap());
+        let mut sim = BaselineSim::new(nodes, 100, 3)
+            .unwrap()
+            .with_churn(MarkovChurn::new(0.5, 0.0).unwrap());
         sim.run_rounds(10);
         assert!(sim.online().online_count() < 10, "σ=0.5 decimates quickly");
+    }
+
+    #[test]
+    fn oversized_online_count_is_an_error_not_a_panic() {
+        let nodes: Vec<GnutellaNode> = (0..30)
+            .map(|i| GnutellaNode::fully_connected(i, 30, 3, 6))
+            .collect();
+        let err = BaselineSim::new(nodes, 31, 4).unwrap_err();
+        assert!(err.to_string().contains("exceeds population"), "{err}");
     }
 }

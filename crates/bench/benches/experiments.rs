@@ -9,12 +9,24 @@ use rumor_bench::experiments::{
 use rumor_bench::simfig::validate;
 
 fn bench_figures(c: &mut Criterion) {
-    c.bench_function("experiments/fig1a", |b| b.iter(|| std::hint::black_box(fig1a())));
-    c.bench_function("experiments/fig1b", |b| b.iter(|| std::hint::black_box(fig1b())));
-    c.bench_function("experiments/fig2", |b| b.iter(|| std::hint::black_box(fig2())));
-    c.bench_function("experiments/fig3", |b| b.iter(|| std::hint::black_box(fig3())));
-    c.bench_function("experiments/fig4", |b| b.iter(|| std::hint::black_box(fig4())));
-    c.bench_function("experiments/fig5", |b| b.iter(|| std::hint::black_box(fig5())));
+    c.bench_function("experiments/fig1a", |b| {
+        b.iter(|| std::hint::black_box(fig1a()))
+    });
+    c.bench_function("experiments/fig1b", |b| {
+        b.iter(|| std::hint::black_box(fig1b()))
+    });
+    c.bench_function("experiments/fig2", |b| {
+        b.iter(|| std::hint::black_box(fig2()))
+    });
+    c.bench_function("experiments/fig3", |b| {
+        b.iter(|| std::hint::black_box(fig3()))
+    });
+    c.bench_function("experiments/fig4", |b| {
+        b.iter(|| std::hint::black_box(fig4()))
+    });
+    c.bench_function("experiments/fig5", |b| {
+        b.iter(|| std::hint::black_box(fig5()))
+    });
 }
 
 fn bench_tables(c: &mut Criterion) {

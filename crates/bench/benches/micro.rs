@@ -4,8 +4,8 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rumor_core::{
-    Lineage, Message, PartialList, ProtocolConfig, PushMessage, ReplicaPeer, ReplicaStore,
-    Update, Value,
+    Lineage, Message, PartialList, ProtocolConfig, PushMessage, ReplicaPeer, ReplicaStore, Update,
+    Value,
 };
 use rumor_net::Node;
 use rumor_types::{DataKey, PeerId, Round};

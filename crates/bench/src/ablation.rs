@@ -4,7 +4,7 @@ use rumor_churn::MarkovChurn;
 use rumor_core::{
     AckPolicy, DiscardStrategy, ForwardPolicy, ProtocolConfig, PullStrategy, TruncationPolicy,
 };
-use rumor_sim::{SimulationBuilder, TopologySpec};
+use rumor_sim::{Scenario, TopologySpec};
 use rumor_types::DataKey;
 use serde::{Deserialize, Serialize};
 
@@ -25,14 +25,22 @@ pub struct AblationRow {
     pub rounds: u32,
 }
 
-fn run(variant: &str, config: ProtocolConfig, total: usize, online: usize, sigma: f64, p_on: f64, seed: u64) -> AblationRow {
-    let mut sim = SimulationBuilder::new(total, seed)
+fn run(
+    variant: &str,
+    config: ProtocolConfig,
+    total: usize,
+    online: usize,
+    sigma: f64,
+    p_on: f64,
+    seed: u64,
+) -> AblationRow {
+    let scenario = Scenario::builder(total, seed)
         .online_count(online)
         .topology(TopologySpec::Full)
         .churn(MarkovChurn::new(sigma, p_on).expect("valid churn"))
-        .protocol(config)
         .build()
-        .expect("valid simulation");
+        .expect("valid scenario");
+    let mut sim = scenario.simulation(config);
     let report = sim.propagate(DataKey::from_name("ablation"), "v", 80);
     let denom = online as f64;
     AblationRow {
@@ -59,7 +67,15 @@ pub fn partial_list(seed: u64) -> Vec<AblationRow> {
             .expect("valid config")
     };
     vec![
-        run("full partial list", base(TruncationPolicy::None), R, ON, 1.0, 0.0, seed),
+        run(
+            "full partial list",
+            base(TruncationPolicy::None),
+            R,
+            ON,
+            1.0,
+            0.0,
+            seed,
+        ),
         run(
             "list capped at 5% of R",
             base(TruncationPolicy::MaxFraction {
@@ -101,8 +117,24 @@ pub fn acks(seed: u64) -> Vec<AblationRow> {
     };
     vec![
         run("no acks", base(AckPolicy::None), R, ON, 0.95, 0.0, seed),
-        run("ack first sender", base(AckPolicy::FirstSender), R, ON, 0.95, 0.0, seed),
-        run("ack first 2", base(AckPolicy::FirstK(2)), R, ON, 0.95, 0.0, seed),
+        run(
+            "ack first sender",
+            base(AckPolicy::FirstSender),
+            R,
+            ON,
+            0.95,
+            0.0,
+            seed,
+        ),
+        run(
+            "ack first 2",
+            base(AckPolicy::FirstK(2)),
+            R,
+            ON,
+            0.95,
+            0.0,
+            seed,
+        ),
     ]
 }
 
@@ -153,7 +185,15 @@ pub fn pull_strategies(seed: u64) -> Vec<AblationRow> {
     };
     // p_on > 0: offline peers keep returning and must catch up.
     vec![
-        run("eager pull", base(PullStrategy::Eager), R, ON, 0.98, 0.02, seed),
+        run(
+            "eager pull",
+            base(PullStrategy::Eager),
+            R,
+            ON,
+            0.98,
+            0.02,
+            seed,
+        ),
         run(
             "lazy pull (patience 3)",
             base(PullStrategy::Lazy { patience: 3 }),
@@ -163,7 +203,15 @@ pub fn pull_strategies(seed: u64) -> Vec<AblationRow> {
             0.02,
             seed,
         ),
-        run("on-demand pull", base(PullStrategy::OnDemand), R, ON, 0.98, 0.02, seed),
+        run(
+            "on-demand pull",
+            base(PullStrategy::OnDemand),
+            R,
+            ON,
+            0.98,
+            0.02,
+            seed,
+        ),
     ]
 }
 
@@ -190,8 +238,14 @@ mod tests {
     fn decaying_pf_cuts_cost_in_simulation_too() {
         let rows = forwarding(2);
         assert!(rows[1].push_cost < rows[0].push_cost);
-        assert!(rows[2].push_cost < rows[0].push_cost, "self-tuning saves: {rows:?}");
-        assert!(rows[2].awareness > 0.85, "self-tuning keeps coverage: {rows:?}");
+        assert!(
+            rows[2].push_cost < rows[0].push_cost,
+            "self-tuning saves: {rows:?}"
+        );
+        assert!(
+            rows[2].awareness > 0.85,
+            "self-tuning keeps coverage: {rows:?}"
+        );
     }
 
     #[test]

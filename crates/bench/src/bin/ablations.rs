@@ -33,8 +33,14 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(42u64);
-    render("Ablation: partial flooding list (Sec. 4.2)", &partial_list(seed));
+    render(
+        "Ablation: partial flooding list (Sec. 4.2)",
+        &partial_list(seed),
+    );
     render("Ablation: acknowledgements (Sec. 6)", &acks(seed));
-    render("Ablation: forwarding policy incl. self-tuning (Sec. 6)", &forwarding(seed));
+    render(
+        "Ablation: forwarding policy incl. self-tuning (Sec. 6)",
+        &forwarding(seed),
+    );
     render("Ablation: pull strategies (Sec. 6)", &pull_strategies(seed));
 }

@@ -3,6 +3,7 @@
 
 use rumor_bench::ablation;
 use rumor_bench::experiments::{self, Table2Setting};
+use rumor_bench::head_to_head;
 use rumor_bench::render::{render_summary, to_json};
 use rumor_bench::simfig;
 use std::fs;
@@ -43,14 +44,20 @@ fn main() {
     for (name, rows) in [("A", &t2a), ("B", &t2b)] {
         println!("Table 2 setting {name}:");
         for r in rows.iter() {
-            println!("  {:<28} {:>8.3} msgs/peer  {:>2} rounds", r.scheme, r.messages_per_online, r.rounds);
+            println!(
+                "  {:<28} {:>8.3} msgs/peer  {:>2} rounds",
+                r.scheme, r.messages_per_online, r.rounds
+            );
         }
     }
     write("table2a.json", to_json(&t2a));
     write("table2b.json", to_json(&t2b));
 
     let (pull, attempts) = experiments::pull_phase();
-    println!("pull phase rows: {} (99.9% at 10%: {attempts:?} attempts)", pull.len());
+    println!(
+        "pull phase rows: {} (99.9% at 10%: {attempts:?} attempts)",
+        pull.len()
+    );
     write("pull_phase.json", to_json(&pull));
 
     let flood = experiments::flooding();
@@ -60,10 +67,22 @@ fn main() {
     for v in &validation {
         println!(
             "validate {}: model {:.2} vs sim {:.2} msgs/peer ({:.1}% err)",
-            v.setting, v.model_cost, v.sim_cost, v.cost_error() * 100.0
+            v.setting,
+            v.model_cost,
+            v.sim_cost,
+            v.cost_error() * 100.0
         );
     }
     write("sim_vs_model.json", to_json(&validation));
+
+    let versus = head_to_head::standard_comparison(1_000, 77).expect("valid comparison");
+    for r in &versus {
+        println!(
+            "head-to-head {:<48} {:>8} msgs  {:>6.3} coverage  {:>3} rounds",
+            r.protocol, r.total_messages, r.coverage, r.rounds
+        );
+    }
+    write("head_to_head.json", to_json(&versus));
 
     let ab = [
         ("ablation_partial_list.json", ablation::partial_list(42)),

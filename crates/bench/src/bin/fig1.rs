@@ -9,12 +9,21 @@ fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "both".into());
     if which == "a" || which == "both" {
         let s = fig1a();
-        println!("{}", render_figure("Fig. 1(a): R_on[0] = 1% — the rumor dies", &s));
+        println!(
+            "{}",
+            render_figure("Fig. 1(a): R_on[0] = 1% — the rumor dies", &s)
+        );
         println!("{}", render_summary("Fig. 1(a) summary", &s));
     }
     if which == "b" || which == "both" {
         let s = fig1b();
-        println!("{}", render_figure("Fig. 1(b): varying R_on[0]/R (sigma=0.95, PF=1, f_r=0.01)", &s));
+        println!(
+            "{}",
+            render_figure(
+                "Fig. 1(b): varying R_on[0]/R (sigma=0.95, PF=1, f_r=0.01)",
+                &s
+            )
+        );
         println!("{}", render_summary("Fig. 1(b) summary", &s));
     }
 }

@@ -5,6 +5,9 @@ use rumor_bench::render::{render_figure, render_summary};
 
 fn main() {
     let s = fig2();
-    println!("{}", render_figure("Fig. 2: varying F_r (sigma=0.9, PF=1, R_on[0]=1000)", &s));
+    println!(
+        "{}",
+        render_figure("Fig. 2: varying F_r (sigma=0.9, PF=1, R_on[0]=1000)", &s)
+    );
     println!("{}", render_summary("Fig. 2 summary", &s));
 }

@@ -5,6 +5,9 @@ use rumor_bench::render::{render_figure, render_summary};
 
 fn main() {
     let s = fig3();
-    println!("{}", render_figure("Fig. 3: varying sigma (PF=1, R_on[0]=1000, F_r=0.01)", &s));
+    println!(
+        "{}",
+        render_figure("Fig. 3: varying sigma (PF=1, R_on[0]=1000, F_r=0.01)", &s)
+    );
     println!("{}", render_summary("Fig. 3 summary", &s));
 }

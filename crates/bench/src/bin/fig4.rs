@@ -5,6 +5,12 @@ use rumor_bench::render::{render_figure, render_summary};
 
 fn main() {
     let s = fig4();
-    println!("{}", render_figure("Fig. 4: varying PF(t) (sigma=0.9, R_on[0]=1000, F_r=0.01)", &s));
+    println!(
+        "{}",
+        render_figure(
+            "Fig. 4: varying PF(t) (sigma=0.9, R_on[0]=1000, F_r=0.01)",
+            &s
+        )
+    );
     println!("{}", render_summary("Fig. 4 summary", &s));
 }

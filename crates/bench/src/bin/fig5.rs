@@ -5,7 +5,12 @@ use rumor_bench::render::{render_figure, render_summary};
 
 fn main() {
     let s = fig5();
-    println!("{}", render_figure(
-        "Fig. 5: scalability (R_on/R=0.1, sigma=1, PF(t)=0.8*0.7^t+0.2, R*f_r=100)", &s));
+    println!(
+        "{}",
+        render_figure(
+            "Fig. 5: scalability (R_on/R=0.1, sigma=1, PF(t)=0.8*0.7^t+0.2, R*f_r=100)",
+            &s
+        )
+    );
     println!("{}", render_summary("Fig. 5 summary", &s));
 }

@@ -22,5 +22,8 @@ fn main() {
             format!("{:.1}", r.attempts_10_targets),
         ]);
     }
-    println!("== Sec. 5.6: flooding at R=10^4, 10% availability ==\n{}", t.render());
+    println!(
+        "== Sec. 5.6: flooding at R=10^4, 10% availability ==\n{}",
+        t.render()
+    );
 }

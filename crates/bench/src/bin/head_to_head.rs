@@ -1,0 +1,32 @@
+//! Simulated head-to-head: every contender in one shared `Scenario`.
+
+use rumor_bench::head_to_head::standard_comparison;
+use rumor_metrics::{Align, Table};
+
+fn main() {
+    let rows = standard_comparison(1_000, 77).expect("valid comparison setup");
+    let mut t = Table::new(vec![
+        "protocol".into(),
+        "proto msgs".into(),
+        "total msgs".into(),
+        "msgs/peer".into(),
+        "coverage".into(),
+        "rounds".into(),
+    ]);
+    for i in 1..6 {
+        t.align(i, Align::Right);
+    }
+    for r in &rows {
+        t.row(vec![
+            r.protocol.clone(),
+            r.protocol_messages.to_string(),
+            r.total_messages.to_string(),
+            format!("{:.2}", r.messages_per_initial_online),
+            format!("{:.3}", r.coverage),
+            r.rounds.to_string(),
+        ]);
+    }
+    println!("== Simulated head-to-head (R = 1000, all online, one shared Scenario) ==");
+    println!("{}", t.render());
+    println!("note: total msgs include feedback/ack/digest traffic where the protocol uses it.");
+}

@@ -10,7 +10,9 @@ fn main() {
         "attempts".into(),
         "P(success)".into(),
     ]);
-    t.align(0, Align::Right).align(1, Align::Right).align(2, Align::Right);
+    t.align(0, Align::Right)
+        .align(1, Align::Right)
+        .align(2, Align::Right);
     for r in &rows {
         t.row(vec![
             format!("{:.2}", r.f_aware),
@@ -18,7 +20,10 @@ fn main() {
             format!("{:.6}", r.probability),
         ]);
     }
-    println!("== Sec. 4.3: pull success at 10% availability ==\n{}", t.render());
+    println!(
+        "== Sec. 4.3: pull success at 10% availability ==\n{}",
+        t.render()
+    );
     println!(
         "Attempts for 99.9% success at 10% availability (paper Sec. 2: ~65): {:?}",
         attempts_999

@@ -34,5 +34,8 @@ fn main() {
             format!("{:.1}", r.sim_rounds),
         ]);
     }
-    println!("== Simulator vs analytical model (seed {seed}) ==\n{}", t.render());
+    println!(
+        "== Simulator vs analytical model (seed {seed}) ==\n{}",
+        t.render()
+    );
 }

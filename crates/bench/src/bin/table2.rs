@@ -11,7 +11,9 @@ fn render(title: &str, rows: &[SchemeResult]) {
         "push rounds".into(),
         "awareness".into(),
     ]);
-    t.align(1, Align::Right).align(2, Align::Right).align(3, Align::Right);
+    t.align(1, Align::Right)
+        .align(2, Align::Right)
+        .align(3, Align::Right);
     for r in rows {
         t.row(vec![
             r.scheme.clone(),

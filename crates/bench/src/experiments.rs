@@ -235,7 +235,12 @@ mod tests {
         // ≥ 5% online: the rumor spreads.
         for s in &all[1..] {
             assert!(!s.died, "{} died", s.label);
-            assert!(s.final_awareness > 0.9, "{}: {}", s.label, s.final_awareness);
+            assert!(
+                s.final_awareness > 0.9,
+                "{}: {}",
+                s.label,
+                s.final_awareness
+            );
         }
         // Paper: "message overhead is relatively independent of the online
         // population", around 80 messages/peer for PF=1, f_r=0.01.
@@ -271,7 +276,12 @@ mod tests {
         // σ ≥ 0.8 still informs (nearly) everyone — the paper's
         // robustness claim.
         for s in &all[..3] {
-            assert!(s.final_awareness > 0.95, "{}: {}", s.label, s.final_awareness);
+            assert!(
+                s.final_awareness > 0.95,
+                "{}: {}",
+                s.label,
+                s.final_awareness
+            );
         }
         // At σ = 0.5 the population drains faster than the rumor spreads:
         // the exact-expectation recursion flags it as died (the paper's
@@ -285,9 +295,12 @@ mod tests {
         let all = fig4();
         let pf1 = &all[0];
         let exp9 = &all[3];
-        assert!(exp9.total_per_peer < pf1.total_per_peer * 0.75,
+        assert!(
+            exp9.total_per_peer < pf1.total_per_peer * 0.75,
             "PF(t)=0.9^t saves at least a quarter of the messages: {} vs {}",
-            exp9.total_per_peer, pf1.total_per_peer);
+            exp9.total_per_peer,
+            pf1.total_per_peer
+        );
         // Aggressive decay (0.5^t) risks under-propagation — the paper's
         // warning about tuning PF(t).
         let exp5 = &all[5];
@@ -302,7 +315,10 @@ mod tests {
         // overhead can be … limited to around 20 messages per initial
         // online peer", decreasing with population.
         assert!(costs.windows(2).all(|w| w[0] >= w[1]), "{costs:?}");
-        assert!(costs.iter().all(|&c| (15.0..45.0).contains(&c)), "{costs:?}");
+        assert!(
+            costs.iter().all(|&c| (15.0..45.0).contains(&c)),
+            "{costs:?}"
+        );
         // Coverage stays high across four orders of magnitude; the slow
         // drift below the 0.9 died-threshold at 10^7+ is the exact
         // recursion's saturation tail (EXPERIMENTS.md).
@@ -339,8 +355,12 @@ mod tests {
     #[test]
     fn flooding_rows_scale_with_fanout() {
         let rows = flooding();
-        assert!(rows.windows(2).all(|w| w[0].gnutella_per_peer < w[1].gnutella_per_peer));
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].gnutella_per_peer < w[1].gnutella_per_peer));
         assert!(rows.iter().all(|r| r.pure_flooding.is_finite()));
-        assert!(rows.iter().all(|r| (r.attempts_10_targets - 100.0).abs() < 10.0));
+        assert!(rows
+            .iter()
+            .all(|r| (r.attempts_10_targets - 100.0).abs() < 10.0));
     }
 }

@@ -8,10 +8,10 @@
 //! possible further performance improvements". Both are answerable with
 //! the simulator.
 
-use rumor_churn::{HeterogeneousChurn, MarkovChurn};
+use rumor_churn::{Churn, HeterogeneousChurn, MarkovChurn};
 use rumor_core::{ProtocolConfig, PullStrategy};
 use rumor_metrics::Summary;
-use rumor_sim::SimulationBuilder;
+use rumor_sim::Scenario;
 use rumor_types::DataKey;
 use serde::{Deserialize, Serialize};
 
@@ -54,11 +54,11 @@ pub fn bimodal(trials: u32, seed: u64) -> BimodalReport {
             .pull_strategy(PullStrategy::OnDemand)
             .build()
             .expect("valid config");
-        let mut sim = SimulationBuilder::new(population, seed.wrapping_add(u64::from(t)))
+        let scenario = Scenario::builder(population, seed.wrapping_add(u64::from(t)))
             .online_fraction(0.15)
-            .protocol(config)
             .build()
-            .expect("valid simulation");
+            .expect("valid scenario");
+        let mut sim = scenario.simulation(config);
         let report = sim.propagate(DataKey::from_name("bimodal"), "x", 120);
         awareness.push(report.aware_online_fraction);
     }
@@ -91,10 +91,13 @@ pub struct HeterogeneityRow {
 /// mean availability (§8's hypothesis).
 pub fn heterogeneity(trials: u32, seed: u64) -> Vec<HeterogeneityRow> {
     let population = 2_000;
-    let run = |label: &str,
-               churn_for: &dyn Fn() -> Box<dyn rumor_churn::Churn>,
-               seed_base: u64|
-     -> HeterogeneityRow {
+    fn run<C: Churn + Clone + 'static>(
+        label: &str,
+        churn: C,
+        population: usize,
+        trials: u32,
+        seed_base: u64,
+    ) -> HeterogeneityRow {
         let mut aware = Vec::new();
         let mut cost = Vec::new();
         let mut rounds = Vec::new();
@@ -104,11 +107,12 @@ pub fn heterogeneity(trials: u32, seed: u64) -> Vec<HeterogeneityRow> {
                 .pull_strategy(PullStrategy::OnDemand)
                 .build()
                 .expect("valid config");
-            let mut builder = SimulationBuilder::new(population, seed_base.wrapping_add(u64::from(t)))
+            let scenario = Scenario::builder(population, seed_base.wrapping_add(u64::from(t)))
                 .online_fraction(0.28)
-                .protocol(config);
-            builder = builder_with(builder, churn_for());
-            let mut sim = builder.build().expect("valid simulation");
+                .churn(churn.clone())
+                .build()
+                .expect("valid scenario");
+            let mut sim = scenario.simulation(config);
             let report = sim.propagate(DataKey::from_name("hetero"), "x", 80);
             aware.push(report.aware_online_fraction);
             cost.push(report.messages_per_initial_online());
@@ -121,52 +125,30 @@ pub fn heterogeneity(trials: u32, seed: u64) -> Vec<HeterogeneityRow> {
             cost: mean(&cost),
             rounds: mean(&rounds),
         }
-    };
+    }
 
     vec![
         run(
             "uniform availability (≈28%)",
-            &|| Box::new(MarkovChurn::new(0.97, 0.0117).expect("valid")),
+            MarkovChurn::new(0.97, 0.0117).expect("valid"),
+            population,
+            trials,
             seed,
         ),
         run(
             "10% backbone (≈98%) + transient (≈20%)",
-            &|| {
-                Box::new(
-                    HeterogeneousChurn::backbone(
-                        2_000,
-                        0.1,
-                        MarkovChurn::new(0.999, 0.05).expect("valid"), // ≈ 0.98
-                        MarkovChurn::new(0.97, 0.0075).expect("valid"), // ≈ 0.2
-                    )
-                    .expect("valid classes"),
-                )
-            },
+            HeterogeneousChurn::backbone(
+                2_000,
+                0.1,
+                MarkovChurn::new(0.999, 0.05).expect("valid"), // ≈ 0.98
+                MarkovChurn::new(0.97, 0.0075).expect("valid"), // ≈ 0.2
+            )
+            .expect("valid classes"),
+            population,
+            trials,
             seed + 1,
         ),
     ]
-}
-
-fn builder_with(
-    builder: rumor_sim::SimulationBuilder,
-    churn: Box<dyn rumor_churn::Churn>,
-) -> rumor_sim::SimulationBuilder {
-    // SimulationBuilder::churn takes `impl Churn`; adapt the box.
-    struct Boxed(Box<dyn rumor_churn::Churn>);
-    impl rumor_churn::Churn for Boxed {
-        fn step(
-            &mut self,
-            round: u32,
-            online: &mut rumor_churn::OnlineSet,
-            rng: &mut rand_chacha::ChaCha8Rng,
-        ) {
-            self.0.step(round, online, rng);
-        }
-        fn stationary_online_fraction(&self) -> Option<f64> {
-            self.0.stationary_online_fraction()
-        }
-    }
-    builder.churn(Boxed(churn))
 }
 
 #[cfg(test)]

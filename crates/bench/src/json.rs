@@ -9,6 +9,7 @@
 
 use crate::ablation::AblationRow;
 use crate::experiments::{FigureSeries, FloodingRow, PullRow};
+use crate::head_to_head::ContenderRow;
 use crate::simfig::ValidationRow;
 use rumor_analysis::{PfSchedule, PushOutcome, PushParams, RoundRow, SchemeResult};
 
@@ -35,7 +36,12 @@ pub enum Json {
 impl Json {
     /// Builds an object from `(key, value)` pairs.
     pub fn obj<const N: usize>(fields: [(&str, Json); N]) -> Json {
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 
     /// Pretty-prints with two-space indentation, mirroring
@@ -144,6 +150,12 @@ impl ToJson for f64 {
 impl ToJson for u32 {
     fn to_json(&self) -> Json {
         Json::Int(i64::from(*self))
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::Int(*self as i64)
     }
 }
 
@@ -256,7 +268,11 @@ impl ToJson for PfSchedule {
             PfSchedule::Exponential { base } => {
                 Json::obj([("Exponential", Json::obj([("base", Json::Num(*base))]))])
             }
-            PfSchedule::OffsetExponential { scale, base, offset } => Json::obj([(
+            PfSchedule::OffsetExponential {
+                scale,
+                base,
+                offset,
+            } => Json::obj([(
                 "OffsetExponential",
                 Json::obj([
                     ("scale", Json::Num(*scale)),
@@ -333,6 +349,22 @@ impl ToJson for SchemeResult {
     }
 }
 
+impl ToJson for ContenderRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", self.protocol.to_json()),
+            ("protocol_messages", self.protocol_messages.to_json()),
+            ("total_messages", self.total_messages.to_json()),
+            (
+                "messages_per_initial_online",
+                self.messages_per_initial_online.to_json(),
+            ),
+            ("coverage", self.coverage.to_json()),
+            ("rounds", self.rounds.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,8 +405,16 @@ mod tests {
             attempts_10_targets: 3.0,
         };
         let text = row.to_json().pretty();
-        for key in ["fanout", "pure_flooding", "gnutella_per_peer", "attempts_10_targets"] {
-            assert!(text.contains(&format!("\"{key}\"")), "missing {key} in {text}");
+        for key in [
+            "fanout",
+            "pure_flooding",
+            "gnutella_per_peer",
+            "attempts_10_targets",
+        ] {
+            assert!(
+                text.contains(&format!("\"{key}\"")),
+                "missing {key} in {text}"
+            );
         }
     }
 
@@ -389,8 +429,18 @@ mod tests {
             final_awareness: 0.9,
         };
         let text = s.to_json().pretty();
-        for key in ["label", "points", "rounds", "died", "total_per_peer", "final_awareness"] {
-            assert!(text.contains(&format!("\"{key}\"")), "missing {key} in {text}");
+        for key in [
+            "label",
+            "points",
+            "rounds",
+            "died",
+            "total_per_peer",
+            "final_awareness",
+        ] {
+            assert!(
+                text.contains(&format!("\"{key}\"")),
+                "missing {key} in {text}"
+            );
         }
     }
 }

@@ -13,6 +13,7 @@
 pub mod ablation;
 pub mod experiments;
 pub mod extensions;
+pub mod head_to_head;
 pub mod json;
 pub mod render;
 pub mod simfig;

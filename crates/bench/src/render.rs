@@ -93,8 +93,18 @@ mod tests {
     #[test]
     fn json_contains_all_fields_and_balances() {
         let json = to_json(&sample());
-        for key in ["label", "points", "rounds", "died", "total_per_peer", "final_awareness"] {
-            assert!(json.contains(&format!("\"{key}\"")), "missing {key}:\n{json}");
+        for key in [
+            "label",
+            "points",
+            "rounds",
+            "died",
+            "total_per_peer",
+            "final_awareness",
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\"")),
+                "missing {key}:\n{json}"
+            );
         }
         assert!(json.contains("curve-a"));
         let opens = json.matches(['{', '[']).count();

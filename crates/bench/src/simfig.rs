@@ -4,7 +4,7 @@ use crate::experiments::FigureSeries;
 use rumor_analysis::{PfSchedule, PushModel, PushParams};
 use rumor_churn::MarkovChurn;
 use rumor_core::{ForwardPolicy, ProtocolConfig, PullStrategy};
-use rumor_sim::{SimulationBuilder, TopologySpec};
+use rumor_sim::{Scenario, TopologySpec};
 use rumor_types::DataKey;
 use serde::{Deserialize, Serialize};
 
@@ -58,10 +58,9 @@ pub fn validate(
         None => PfSchedule::One,
         Some(b) => PfSchedule::Exponential { base: b },
     };
-    let model = PushModel::new(
-        PushParams::new(total as f64, online as f64, sigma, f_r).with_pf(pf_model),
-    )
-    .run();
+    let model =
+        PushModel::new(PushParams::new(total as f64, online as f64, sigma, f_r).with_pf(pf_model))
+            .run();
 
     let pf_sim = match pf_base {
         None => ForwardPolicy::Always,
@@ -77,13 +76,13 @@ pub fn validate(
             .pull_strategy(PullStrategy::OnDemand)
             .build()
             .expect("valid protocol parameters");
-        let mut sim = SimulationBuilder::new(total, seed.wrapping_add(u64::from(trial)))
+        let scenario = Scenario::builder(total, seed.wrapping_add(u64::from(trial)))
             .online_count(online)
             .topology(TopologySpec::Full)
             .churn(MarkovChurn::new(sigma, 0.0).expect("valid sigma"))
-            .protocol(config)
             .build()
-            .expect("valid simulation");
+            .expect("valid scenario");
+        let mut sim = scenario.simulation(config);
         let report = sim.propagate(DataKey::from_name("validation"), "v", 100);
         costs.push(report.messages_per_initial_online());
         awareness.push(report.aware_online_fraction);
@@ -133,12 +132,12 @@ pub fn sim_series(
         .pull_strategy(PullStrategy::OnDemand)
         .build()
         .expect("valid protocol parameters");
-    let mut sim = SimulationBuilder::new(total, seed)
+    let scenario = Scenario::builder(total, seed)
         .online_count(online)
         .churn(MarkovChurn::new(sigma, 0.0).expect("valid sigma"))
-        .protocol(config)
         .build()
-        .expect("valid simulation");
+        .expect("valid scenario");
+    let mut sim = scenario.simulation(config);
     let report = sim.propagate(DataKey::from_name("series"), "v", 100);
     FigureSeries {
         label: label.into(),
@@ -163,14 +162,20 @@ mod tests {
             row.model_cost,
             row.sim_cost
         );
-        assert!((row.model_awareness - row.sim_awareness).abs() < 0.05, "{row:?}");
+        assert!(
+            (row.model_awareness - row.sim_awareness).abs() < 0.05,
+            "{row:?}"
+        );
     }
 
     #[test]
     fn model_and_sim_agree_under_churn() {
         let row = validate(1_000, 300, 0.9, 0.03, None, 3, 43);
         assert!(row.cost_error() < 0.25, "{row:?}");
-        assert!((row.model_awareness - row.sim_awareness).abs() < 0.1, "{row:?}");
+        assert!(
+            (row.model_awareness - row.sim_awareness).abs() < 0.1,
+            "{row:?}"
+        );
     }
 
     #[test]

@@ -165,7 +165,11 @@ mod tests {
         for i in 0..100 {
             assert!(online.is_online(PeerId::new(i)), "backbone peer {i} left");
         }
-        assert!(online.online_count() <= 105, "transients gone: {}", online.online_count());
+        assert!(
+            online.online_count() <= 105,
+            "transients gone: {}",
+            online.online_count()
+        );
     }
 
     #[test]
@@ -173,7 +177,7 @@ mod tests {
         let churn = HeterogeneousChurn::backbone(
             100,
             0.5,
-            MarkovChurn::new(0.9, 0.1).unwrap(),  // stationary 0.5
+            MarkovChurn::new(0.9, 0.1).unwrap(), // stationary 0.5
             MarkovChurn::new(0.8, 0.05).unwrap(), // stationary 0.2
         )
         .unwrap();
@@ -198,7 +202,7 @@ mod tests {
         let mut churn = HeterogeneousChurn::backbone(
             4_000,
             0.25,
-            MarkovChurn::new(0.99, 0.5).unwrap(),  // ≈ 0.98 available
+            MarkovChurn::new(0.99, 0.5).unwrap(), // ≈ 0.98 available
             MarkovChurn::new(0.9, 0.0112).unwrap(), // ≈ 0.1 available
         )
         .unwrap();

@@ -39,8 +39,8 @@ mod catastrophe;
 mod error;
 mod heterogeneous;
 mod markov;
-mod onoff;
 mod online_set;
+mod onoff;
 mod poisson;
 mod trace;
 
@@ -48,8 +48,8 @@ pub use catastrophe::Catastrophe;
 pub use error::ChurnError;
 pub use heterogeneous::HeterogeneousChurn;
 pub use markov::{MarkovChurn, StaticChurn};
-pub use onoff::OnOffProcess;
 pub use online_set::OnlineSet;
+pub use onoff::OnOffProcess;
 pub use poisson::sample_poisson;
 pub use trace::{AvailabilityTrace, TraceChurn};
 

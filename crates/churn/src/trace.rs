@@ -46,7 +46,10 @@ impl AvailabilityTrace {
                 reason: format!("row {bad} has width {} ≠ {peers}", rows[bad].len()),
             });
         }
-        Ok(Self { peers, rounds: rows })
+        Ok(Self {
+            peers,
+            rounds: rows,
+        })
     }
 
     /// Generates a trace by running a churn model for `rounds` rounds from
@@ -59,10 +62,18 @@ impl AvailabilityTrace {
     ) -> Self {
         let mut state = initial.clone();
         let mut rows = Vec::with_capacity(rounds.max(1));
-        rows.push((0..state.len()).map(|i| state.is_online(PeerId::new(i as u32))).collect());
+        rows.push(
+            (0..state.len())
+                .map(|i| state.is_online(PeerId::new(i as u32)))
+                .collect(),
+        );
         for round in 1..rounds {
             model.step(round as u32 - 1, &mut state, rng);
-            rows.push((0..state.len()).map(|i| state.is_online(PeerId::new(i as u32))).collect());
+            rows.push(
+                (0..state.len())
+                    .map(|i| state.is_online(PeerId::new(i as u32)))
+                    .collect(),
+            );
         }
         Self {
             peers: initial.len(),

@@ -291,8 +291,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_fanout() {
-        assert!(ProtocolConfig::builder(10).fanout_fraction(0.0).build().is_err());
-        assert!(ProtocolConfig::builder(10).fanout_absolute(0).build().is_err());
+        assert!(ProtocolConfig::builder(10)
+            .fanout_fraction(0.0)
+            .build()
+            .is_err());
+        assert!(ProtocolConfig::builder(10)
+            .fanout_absolute(0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -341,16 +341,24 @@ mod tests {
     #[test]
     fn validation_accepts_paper_policies() {
         assert!(ForwardPolicy::Always.validate().is_ok());
-        assert!(ForwardPolicy::ExponentialDecay { base: 0.9 }.validate().is_ok());
+        assert!(ForwardPolicy::ExponentialDecay { base: 0.9 }
+            .validate()
+            .is_ok());
         assert!(ForwardPolicy::self_tuning_default().validate().is_ok());
     }
 
     #[test]
     fn validation_rejects_bad_parameters() {
         assert!(ForwardPolicy::Constant { p: 1.5 }.validate().is_err());
-        assert!(ForwardPolicy::ExponentialDecay { base: 0.0 }.validate().is_err());
-        assert!(ForwardPolicy::ExponentialDecay { base: 1.5 }.validate().is_err());
-        assert!(ForwardPolicy::LinearDecay { rate: -1.0 }.validate().is_err());
+        assert!(ForwardPolicy::ExponentialDecay { base: 0.0 }
+            .validate()
+            .is_err());
+        assert!(ForwardPolicy::ExponentialDecay { base: 1.5 }
+            .validate()
+            .is_err());
+        assert!(ForwardPolicy::LinearDecay { rate: -1.0 }
+            .validate()
+            .is_err());
         assert!(ForwardPolicy::SelfTuning {
             base: 0.9,
             coverage_exponent: -1.0,

@@ -75,9 +75,7 @@ impl Message {
                     .map(|(_, heads)| 8 + 2 + heads.len() * 16)
                     .sum::<usize>()
             }
-            Self::PullResponse { updates } => {
-                4 + updates.iter().map(update_len).sum::<usize>()
-            }
+            Self::PullResponse { updates } => 4 + updates.iter().map(update_len).sum::<usize>(),
             Self::Ack { .. } => 16,
         }
     }
@@ -233,10 +231,7 @@ macro_rules! take_int {
     ($name:ident, $ty:ty, $get:ident, $size:expr) => {
         fn $name(buf: &mut &[u8]) -> Result<$ty, CoreError> {
             if buf.len() < $size {
-                return Err(CoreError::decode(concat!(
-                    "truncated ",
-                    stringify!($ty)
-                )));
+                return Err(CoreError::decode(concat!("truncated ", stringify!($ty))));
             }
             Ok(buf.$get())
         }

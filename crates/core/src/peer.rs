@@ -200,7 +200,8 @@ impl ReplicaPeer {
             None => Update::tombstone(key, lineage, self.id),
         };
         self.store.apply(&update);
-        self.processed.insert(update.id(), ProcessedState::default());
+        self.processed
+            .insert(update.id(), ProcessedState::default());
         self.note_info(round);
 
         let fanout = self.config.push_targets();
@@ -219,7 +220,11 @@ impl ReplicaPeer {
     /// `pull.fanout` known replicas and, when retries are configured,
     /// arms a retry timer so that attempts repeat until a response
     /// arrives (§4.3's `k` attempts).
-    pub fn pull_with_retries(&mut self, round: Round, rng: &mut ChaCha8Rng) -> Vec<Effect<Message>> {
+    pub fn pull_with_retries(
+        &mut self,
+        round: Round,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Effect<Message>> {
         self.pull_retries_left = self.config.pull.max_retries;
         let mut effects = self.trigger_pull(round, rng);
         if self.config.pull.retry_rounds > 0 && !effects.is_empty() {
@@ -380,10 +385,7 @@ impl ReplicaPeer {
         self.processed.insert(uid, state);
 
         // Accumulate the flooding list.
-        let mut list = self
-            .flood_lists
-            .remove(&uid)
-            .unwrap_or_default();
+        let mut list = self.flood_lists.remove(&uid).unwrap_or_default();
         list.union_with(&push.flood_list);
 
         // Forwarding decision: one PF(t) coin per update (paper §3
@@ -489,9 +491,7 @@ impl Node for ReplicaPeer {
     ) -> Vec<Effect<Message>> {
         match msg {
             Message::Push(push) => self.handle_push(from, push, round, rng),
-            Message::PullRequest { digest } => {
-                self.handle_pull_request(from, &digest, round, rng)
-            }
+            Message::PullRequest { digest } => self.handle_pull_request(from, &digest, round, rng),
             Message::PullResponse { updates } => self.handle_pull_response(from, &updates, round),
             Message::Ack { update_id } => {
                 self.handle_ack(from, update_id, round);
@@ -575,7 +575,10 @@ mod tests {
     }
 
     fn peer_with(n: usize, f_r: f64) -> ReplicaPeer {
-        let config = ProtocolConfig::builder(n).fanout_fraction(f_r).build().unwrap();
+        let config = ProtocolConfig::builder(n)
+            .fanout_fraction(f_r)
+            .build()
+            .unwrap();
         let mut p = ReplicaPeer::new(PeerId::new(0), config);
         p.learn_replicas((1..n as u32).map(PeerId::new));
         p
@@ -604,7 +607,11 @@ mod tests {
         // All effects are pushes with t = 1 and a flood list containing
         // the initiator and the targets.
         for e in &effects {
-            let Effect::Send { msg: Message::Push(push), .. } = e else {
+            let Effect::Send {
+                msg: Message::Push(push),
+                ..
+            } = e
+            else {
                 panic!("expected a push send, got {e:?}");
             };
             assert_eq!(push.push_round, 1);
@@ -617,8 +624,10 @@ mod tests {
     fn initiate_on_existing_key_extends_lineage() {
         let mut p = peer_with(10, 0.2);
         let mut r = rng();
-        let (u1, _) = p.initiate_update(DataKey::new(1), Some(Value::from("a")), Round::ZERO, &mut r);
-        let (u2, _) = p.initiate_update(DataKey::new(1), Some(Value::from("b")), Round::ZERO, &mut r);
+        let (u1, _) =
+            p.initiate_update(DataKey::new(1), Some(Value::from("a")), Round::ZERO, &mut r);
+        let (u2, _) =
+            p.initiate_update(DataKey::new(1), Some(Value::from("b")), Round::ZERO, &mut r);
         assert!(u2.lineage().covers(u1.lineage()));
         assert_eq!(p.store().versions(DataKey::new(1)).len(), 1);
     }
@@ -633,12 +642,21 @@ mod tests {
             Value::from("v"),
             PeerId::new(7),
         );
-        let effects = p.on_message(PeerId::new(7), push_msg(&update, 1, [7]), Round::new(1), &mut r);
+        let effects = p.on_message(
+            PeerId::new(7),
+            push_msg(&update, 1, [7]),
+            Round::new(1),
+            &mut r,
+        );
         assert!(p.has_processed(update.id()));
         assert_eq!(p.store().get(DataKey::new(9)).unwrap().as_bytes(), b"v");
         assert!(!effects.is_empty(), "PF=Always must forward");
         for e in &effects {
-            let Effect::Send { to, msg: Message::Push(push) } = e else {
+            let Effect::Send {
+                to,
+                msg: Message::Push(push),
+            } = e
+            else {
                 panic!("unexpected effect {e:?}");
             };
             assert_ne!(*to, PeerId::new(7), "never forward back to the sender");
@@ -658,9 +676,22 @@ mod tests {
             Value::from("v"),
             PeerId::new(7),
         );
-        let _ = p.on_message(PeerId::new(7), push_msg(&update, 1, [7]), Round::new(1), &mut r);
-        let effects = p.on_message(PeerId::new(8), push_msg(&update, 1, [8]), Round::new(1), &mut r);
-        assert!(effects.is_empty(), "duplicates produce no forwards without acks");
+        let _ = p.on_message(
+            PeerId::new(7),
+            push_msg(&update, 1, [7]),
+            Round::new(1),
+            &mut r,
+        );
+        let effects = p.on_message(
+            PeerId::new(8),
+            push_msg(&update, 1, [8]),
+            Round::new(1),
+            &mut r,
+        );
+        assert!(
+            effects.is_empty(),
+            "duplicates produce no forwards without acks"
+        );
         assert_eq!(p.stats().duplicates_received, 1);
         assert_eq!(p.duplicates_of(update.id()), 1);
     }
@@ -669,7 +700,10 @@ mod tests {
     fn flood_list_suppresses_targets() {
         // Peer knows only peers 1..10; flood list already covers them all
         // => nothing left to push to.
-        let config = ProtocolConfig::builder(10).fanout_fraction(1.0).build().unwrap();
+        let config = ProtocolConfig::builder(10)
+            .fanout_fraction(1.0)
+            .build()
+            .unwrap();
         let mut p = ReplicaPeer::new(PeerId::new(0), config);
         p.learn_replicas((1..10).map(PeerId::new));
         let mut r = rng();
@@ -679,7 +713,12 @@ mod tests {
             Value::from("v"),
             PeerId::new(1),
         );
-        let effects = p.on_message(PeerId::new(1), push_msg(&update, 1, 0..10), Round::new(1), &mut r);
+        let effects = p.on_message(
+            PeerId::new(1),
+            push_msg(&update, 1, 0..10),
+            Round::new(1),
+            &mut r,
+        );
         assert!(effects.is_empty());
         assert!(p.stats().targets_suppressed_by_list >= 8);
     }
@@ -699,7 +738,12 @@ mod tests {
             Value::from("v"),
             PeerId::new(1),
         );
-        let effects = p.on_message(PeerId::new(1), push_msg(&update, 1, [1]), Round::new(1), &mut r);
+        let effects = p.on_message(
+            PeerId::new(1),
+            push_msg(&update, 1, [1]),
+            Round::new(1),
+            &mut r,
+        );
         assert!(effects.is_empty());
         assert_eq!(p.stats().forwards_suppressed, 1);
         assert!(
@@ -723,15 +767,39 @@ mod tests {
             Value::from("v"),
             PeerId::new(1),
         );
-        let first = p.on_message(PeerId::new(1), push_msg(&update, 1, [1]), Round::new(1), &mut r);
+        let first = p.on_message(
+            PeerId::new(1),
+            push_msg(&update, 1, [1]),
+            Round::new(1),
+            &mut r,
+        );
         let acks: Vec<_> = first
             .iter()
-            .filter(|e| matches!(e, Effect::Send { msg: Message::Ack { .. }, .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    Effect::Send {
+                        msg: Message::Ack { .. },
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(acks.len(), 1, "first sender is acked");
-        let dup = p.on_message(PeerId::new(2), push_msg(&update, 1, [2]), Round::new(1), &mut r);
+        let dup = p.on_message(
+            PeerId::new(2),
+            push_msg(&update, 1, [2]),
+            Round::new(1),
+            &mut r,
+        );
         assert!(
-            dup.iter().all(|e| !matches!(e, Effect::Send { msg: Message::Ack { .. }, .. })),
+            dup.iter().all(|e| !matches!(
+                e,
+                Effect::Send {
+                    msg: Message::Ack { .. },
+                    ..
+                }
+            )),
             "second sender is not acked under FirstSender"
         );
         assert_eq!(p.stats().acks_sent, 1);
@@ -739,7 +807,10 @@ mod tests {
 
     #[test]
     fn ack_reception_updates_preferences() {
-        let config = ProtocolConfig::builder(100).ack(AckPolicy::FirstSender).build().unwrap();
+        let config = ProtocolConfig::builder(100)
+            .ack(AckPolicy::FirstSender)
+            .build()
+            .unwrap();
         let mut p = ReplicaPeer::new(PeerId::new(0), config);
         p.learn_replicas((1..100).map(PeerId::new));
         let mut r = rng();
@@ -749,7 +820,9 @@ mod tests {
         let some_target = *p.awaiting_ack.keys().next().unwrap();
         p.on_message(
             some_target,
-            Message::Ack { update_id: update.id() },
+            Message::Ack {
+                update_id: update.id(),
+            },
             Round::new(1),
             &mut r,
         );
@@ -762,8 +835,12 @@ mod tests {
     fn pull_roundtrip_reconciles() {
         let mut r = rng();
         let mut source = peer_with(10, 0.2);
-        let (update, _) =
-            source.initiate_update(DataKey::new(5), Some(Value::from("data")), Round::ZERO, &mut r);
+        let (update, _) = source.initiate_update(
+            DataKey::new(5),
+            Some(Value::from("data")),
+            Round::ZERO,
+            &mut r,
+        );
 
         let config = ProtocolConfig::builder(10).build().unwrap();
         let mut fresh = ReplicaPeer::new(PeerId::new(9), config);
@@ -775,7 +852,10 @@ mod tests {
         let requests: Vec<_> = pulls
             .iter()
             .filter_map(|e| match e {
-                Effect::Send { msg: Message::PullRequest { digest }, .. } => Some(digest),
+                Effect::Send {
+                    msg: Message::PullRequest { digest },
+                    ..
+                } => Some(digest),
                 _ => None,
             })
             .collect();
@@ -787,18 +867,41 @@ mod tests {
         let digest = requests[0];
 
         // Source answers with the missing update.
-        let responses =
-            source.on_message(PeerId::new(9), Message::PullRequest { digest: digest.clone() }, Round::new(3), &mut r);
-        let Effect::Send { msg: Message::PullResponse { updates }, .. } = &responses[0] else {
+        let responses = source.on_message(
+            PeerId::new(9),
+            Message::PullRequest {
+                digest: digest.clone(),
+            },
+            Round::new(3),
+            &mut r,
+        );
+        let Effect::Send {
+            msg: Message::PullResponse { updates },
+            ..
+        } = &responses[0]
+        else {
             panic!("expected pull response");
         };
         assert_eq!(updates.len(), 1);
 
         // Fresh peer ingests it.
-        fresh.on_message(PeerId::new(0), Message::PullResponse { updates: updates.clone() }, Round::new(4), &mut r);
+        fresh.on_message(
+            PeerId::new(0),
+            Message::PullResponse {
+                updates: updates.clone(),
+            },
+            Round::new(4),
+            &mut r,
+        );
         assert!(fresh.is_confident());
-        assert_eq!(fresh.store().get(DataKey::new(5)).unwrap().as_bytes(), b"data");
-        assert!(fresh.has_processed(update.id()), "pulled updates are marked processed");
+        assert_eq!(
+            fresh.store().get(DataKey::new(5)).unwrap().as_bytes(),
+            b"data"
+        );
+        assert!(
+            fresh.has_processed(update.id()),
+            "pulled updates are marked processed"
+        );
         assert_eq!(fresh.stats().updates_via_pull, 1);
     }
 
@@ -814,7 +917,13 @@ mod tests {
 
         let effects = p.on_status_change(true, Round::new(5), &mut r);
         assert!(
-            matches!(effects[..], [Effect::Timer { delay: 3, tag: TAG_LAZY_PULL }]),
+            matches!(
+                effects[..],
+                [Effect::Timer {
+                    delay: 3,
+                    tag: TAG_LAZY_PULL
+                }]
+            ),
             "lazy strategy sets a timer instead of pulling: {effects:?}"
         );
 
@@ -825,7 +934,12 @@ mod tests {
             Value::from("v"),
             PeerId::new(0),
         );
-        p.on_message(PeerId::new(0), push_msg(&update, 1, [0]), Round::new(6), &mut r);
+        p.on_message(
+            PeerId::new(0),
+            push_msg(&update, 1, [0]),
+            Round::new(6),
+            &mut r,
+        );
         assert!(p.on_timer(TAG_LAZY_PULL, Round::new(8), &mut r).is_empty());
 
         // Without the push, the timer pulls.
@@ -842,7 +956,10 @@ mod tests {
         assert!(
             matches!(
                 effects.first(),
-                Some(Effect::Send { msg: Message::PullRequest { .. }, .. })
+                Some(Effect::Send {
+                    msg: Message::PullRequest { .. },
+                    ..
+                })
             ),
             "lazy timer with no push must pull: {effects:?}"
         );
@@ -850,27 +967,40 @@ mod tests {
 
     #[test]
     fn pull_retries_until_response_or_budget() {
-        let config = ProtocolConfig::builder(10).pull_retry(2, 2).build().unwrap();
+        let config = ProtocolConfig::builder(10)
+            .pull_retry(2, 2)
+            .build()
+            .unwrap();
         let mut p = ReplicaPeer::new(PeerId::new(0), config);
         p.learn_replicas([PeerId::new(1), PeerId::new(2)]);
         let mut r = rng();
 
         // Coming online fires the first attempt and a retry timer.
         let first = p.on_status_change(true, Round::new(1), &mut r);
-        assert!(first.iter().any(|e| matches!(e, Effect::Timer { delay: 2, .. })));
+        assert!(first
+            .iter()
+            .any(|e| matches!(e, Effect::Timer { delay: 2, .. })));
 
         // No response arrives: the retry timer pulls again and re-arms.
         let retry1 = p.on_timer(TAG_PULL_RETRY, Round::new(3), &mut r);
-        assert!(retry1
-            .iter()
-            .any(|e| matches!(e, Effect::Send { msg: Message::PullRequest { .. }, .. })));
+        assert!(retry1.iter().any(|e| matches!(
+            e,
+            Effect::Send {
+                msg: Message::PullRequest { .. },
+                ..
+            }
+        )));
         assert!(retry1.iter().any(|e| matches!(e, Effect::Timer { .. })));
 
         // Second retry exhausts the budget: no further timer.
         let retry2 = p.on_timer(TAG_PULL_RETRY, Round::new(5), &mut r);
-        assert!(retry2
-            .iter()
-            .any(|e| matches!(e, Effect::Send { msg: Message::PullRequest { .. }, .. })));
+        assert!(retry2.iter().any(|e| matches!(
+            e,
+            Effect::Send {
+                msg: Message::PullRequest { .. },
+                ..
+            }
+        )));
         assert!(!retry2.iter().any(|e| matches!(e, Effect::Timer { .. })));
         let retry3 = p.on_timer(TAG_PULL_RETRY, Round::new(7), &mut r);
         assert!(retry3.is_empty(), "budget exhausted");
@@ -878,7 +1008,10 @@ mod tests {
 
     #[test]
     fn pull_retry_stops_after_response() {
-        let config = ProtocolConfig::builder(10).pull_retry(2, 5).build().unwrap();
+        let config = ProtocolConfig::builder(10)
+            .pull_retry(2, 5)
+            .build()
+            .unwrap();
         let mut p = ReplicaPeer::new(PeerId::new(0), config);
         p.learn_replicas([PeerId::new(1)]);
         let mut r = rng();
@@ -896,14 +1029,20 @@ mod tests {
 
     #[test]
     fn staleness_triggers_periodic_pull() {
-        let config = ProtocolConfig::builder(10).staleness_rounds(5).build().unwrap();
+        let config = ProtocolConfig::builder(10)
+            .staleness_rounds(5)
+            .build()
+            .unwrap();
         let mut p = ReplicaPeer::new(PeerId::new(0), config);
         p.learn_replicas([PeerId::new(1)]);
         let mut r = rng();
         assert!(p.on_round_start(Round::new(3), &mut r).is_empty());
         let effects = p.on_round_start(Round::new(5), &mut r);
         assert!(!effects.is_empty(), "stale peer pulls");
-        assert!(p.on_round_start(Round::new(6), &mut r).is_empty(), "clock reset");
+        assert!(
+            p.on_round_start(Round::new(6), &mut r).is_empty(),
+            "clock reset"
+        );
     }
 
     #[test]
@@ -917,20 +1056,41 @@ mod tests {
         p.confident = false;
         let effects = p.on_message(
             PeerId::new(1),
-            Message::PullRequest { digest: crate::digest::StoreDigest::new() },
+            Message::PullRequest {
+                digest: crate::digest::StoreDigest::new(),
+            },
             Round::new(2),
             &mut r,
         );
         let responses = effects
             .iter()
-            .filter(|e| matches!(e, Effect::Send { msg: Message::PullResponse { .. }, .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    Effect::Send {
+                        msg: Message::PullResponse { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         let pulls = effects
             .iter()
-            .filter(|e| matches!(e, Effect::Send { msg: Message::PullRequest { .. }, .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    Effect::Send {
+                        msg: Message::PullRequest { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(responses, 1, "always answer the request");
-        assert!(pulls >= 1, "unconfident pulled party enters pull phase itself");
+        assert!(
+            pulls >= 1,
+            "unconfident pulled party enters pull phase itself"
+        );
     }
 
     #[test]

@@ -52,8 +52,7 @@ impl QueryPolicy {
     /// Resolves collected answers into a single one, or `None` when no
     /// replica returned a version.
     pub fn resolve(&self, answers: &[QueryAnswer]) -> Option<QueryAnswer> {
-        let versioned: Vec<&QueryAnswer> =
-            answers.iter().filter(|a| a.lineage.is_some()).collect();
+        let versioned: Vec<&QueryAnswer> = answers.iter().filter(|a| a.lineage.is_some()).collect();
         if versioned.is_empty() {
             return None;
         }
@@ -79,9 +78,7 @@ impl QueryPolicy {
                 let best_count = *votes.values().max().expect("non-empty");
                 let winners: Vec<&QueryAnswer> = versioned
                     .iter()
-                    .filter(|a| {
-                        votes[&a.lineage.as_ref().expect("filtered").head()] == best_count
-                    })
+                    .filter(|a| votes[&a.lineage.as_ref().expect("filtered").head()] == best_count)
                     .copied()
                     .collect();
                 Some(newest(&winners))

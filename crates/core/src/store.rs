@@ -252,7 +252,11 @@ mod tests {
         let u2 = write(1, u1.lineage().child(&mut r), "b");
         s.apply(&u1);
         assert_eq!(s.apply(&u2), ApplyOutcome::Applied);
-        assert_eq!(s.versions(DataKey::new(1)).len(), 1, "frontier holds only the newest");
+        assert_eq!(
+            s.versions(DataKey::new(1)).len(),
+            1,
+            "frontier holds only the newest"
+        );
         assert_eq!(s.get(DataKey::new(1)).unwrap().as_bytes(), b"b");
     }
 
@@ -276,7 +280,11 @@ mod tests {
         let u2 = write(1, base.child(&mut r), "b");
         s.apply(&u1);
         assert_eq!(s.apply(&u2), ApplyOutcome::AppliedConcurrent);
-        assert_eq!(s.versions(DataKey::new(1)).len(), 2, "conflict co-exists (paper §3)");
+        assert_eq!(
+            s.versions(DataKey::new(1)).len(),
+            2,
+            "conflict co-exists (paper §3)"
+        );
     }
 
     #[test]
@@ -302,7 +310,10 @@ mod tests {
         s.apply(&u);
         let del = u.superseding_delete(&mut r);
         assert_eq!(s.apply(&del), ApplyOutcome::Applied);
-        assert!(s.get(DataKey::new(1)).is_none(), "deleted key reads as absent");
+        assert!(
+            s.get(DataKey::new(1)).is_none(),
+            "deleted key reads as absent"
+        );
         assert_eq!(s.tombstone_count(), 1, "death certificate retained");
         assert_eq!(s.len(), 1);
     }
@@ -316,7 +327,14 @@ mod tests {
         let deep = write(1, base.child(&mut r).child(&mut r), "deep");
         s.apply(&shallow);
         s.apply(&deep);
-        assert_eq!(s.latest(DataKey::new(1)).unwrap().value().unwrap().as_bytes(), b"deep");
+        assert_eq!(
+            s.latest(DataKey::new(1))
+                .unwrap()
+                .value()
+                .unwrap()
+                .as_bytes(),
+            b"deep"
+        );
     }
 
     #[test]

@@ -166,7 +166,12 @@ mod tests {
     fn ids_differ_across_keys() {
         let mut r = rng();
         let lineage = Lineage::root(&mut r);
-        let a = Update::write(DataKey::new(1), lineage.clone(), Value::from("x"), PeerId::new(0));
+        let a = Update::write(
+            DataKey::new(1),
+            lineage.clone(),
+            Value::from("x"),
+            PeerId::new(0),
+        );
         let b = Update::write(DataKey::new(2), lineage, Value::from("x"), PeerId::new(0));
         assert_ne!(a.id(), b.id());
     }

@@ -239,7 +239,10 @@ impl<M: Clone> EventEngine<M> {
                     let effects = nodes[to.index()].on_message(from, msg, round, rng);
                     self.apply_effects(to, effects, rng);
                 }
-                EventKind::Status { peer, online: goes_online } => {
+                EventKind::Status {
+                    peer,
+                    online: goes_online,
+                } => {
                     online.set_online(peer, goes_online);
                     let effects = nodes[peer.index()].on_status_change(goes_online, round, rng);
                     self.apply_effects(peer, effects, rng);
@@ -350,7 +353,11 @@ mod tests {
         let mut online = OnlineSet::all_online(2);
         let mut engine = EventEngine::new(EventEngineConfig::default(), 2);
         let mut r = rng();
-        engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 42)], &mut r);
+        engine.inject(
+            PeerId::new(0),
+            vec![Effect::send(PeerId::new(1), 42)],
+            &mut r,
+        );
         engine.run(&mut nodes, &mut online, None, Tick::new(9), &mut r);
         assert!(nodes[1].got.is_empty(), "latency is 10 ticks");
         engine.run(&mut nodes, &mut online, None, Tick::new(10), &mut r);
@@ -367,7 +374,11 @@ mod tests {
         let mut online = OnlineSet::all_online(2);
         let mut engine = EventEngine::new(cfg, 2);
         let mut r = rng();
-        engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 1)], &mut r);
+        engine.inject(
+            PeerId::new(0),
+            vec![Effect::send(PeerId::new(1), 1)],
+            &mut r,
+        );
         engine.run(&mut nodes, &mut online, None, Tick::new(100), &mut r);
         assert!(nodes[1].got.is_empty());
         assert_eq!(engine.stats().lost_fault, 1);
@@ -379,7 +390,11 @@ mod tests {
         let mut online = OnlineSet::all_online(1);
         let mut engine = EventEngine::new(EventEngineConfig::default(), 1);
         let mut r = rng();
-        engine.inject(PeerId::new(0), vec![Effect::Timer { delay: 25, tag: 3 }], &mut r);
+        engine.inject(
+            PeerId::new(0),
+            vec![Effect::Timer { delay: 25, tag: 3 }],
+            &mut r,
+        );
         engine.run(&mut nodes, &mut online, None, Tick::new(24), &mut r);
         assert!(nodes[0].timer_tags.is_empty());
         engine.run(&mut nodes, &mut online, None, Tick::new(25), &mut r);
@@ -394,9 +409,18 @@ mod tests {
         let process = OnOffProcess::new(20.0, 20.0).unwrap();
         let mut r = rng();
         engine.schedule_churn(&online, &process, &mut r);
-        engine.run(&mut nodes, &mut online, Some(&process), Tick::new(1000), &mut r);
+        engine.run(
+            &mut nodes,
+            &mut online,
+            Some(&process),
+            Tick::new(1000),
+            &mut r,
+        );
         let total: u32 = nodes.iter().map(|n| n.transitions).sum();
-        assert!(total > 20, "expected ongoing churn, saw {total} transitions");
+        assert!(
+            total > 20,
+            "expected ongoing churn, saw {total} transitions"
+        );
         assert!(
             online.online_count() > 0 && online.online_count() < 20,
             "availability should hover mid-range"
@@ -415,7 +439,11 @@ mod tests {
             let mut engine = EventEngine::new(cfg, 2);
             let mut r = ChaCha8Rng::seed_from_u64(seed);
             for i in 0..10 {
-                engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), i)], &mut r);
+                engine.inject(
+                    PeerId::new(0),
+                    vec![Effect::send(PeerId::new(1), i)],
+                    &mut r,
+                );
             }
             engine.run(&mut nodes, &mut online, None, Tick::new(100), &mut r);
             nodes[1].got.clone()
@@ -429,7 +457,11 @@ mod tests {
         let mut online = OnlineSet::all_online(2);
         let mut engine = EventEngine::new(EventEngineConfig::default(), 2);
         let mut r = rng();
-        engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 1)], &mut r);
+        engine.inject(
+            PeerId::new(0),
+            vec![Effect::send(PeerId::new(1), 1)],
+            &mut r,
+        );
         engine.run(&mut nodes, &mut online, None, Tick::new(55), &mut r);
         // 55 ticks / 10 ticks-per-round => 5 closed rounds.
         assert_eq!(engine.stats().per_round_sent().points().len(), 5);

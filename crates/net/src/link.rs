@@ -33,7 +33,9 @@ pub struct BernoulliLoss {
 impl BernoulliLoss {
     /// Creates a loss model; `p` is clamped to `[0, 1]`.
     pub fn new(p: f64) -> Self {
-        Self { p: p.clamp(0.0, 1.0) }
+        Self {
+            p: p.clamp(0.0, 1.0),
+        }
     }
 
     /// The drop probability.
@@ -90,6 +92,15 @@ impl Partition {
 impl LinkFilter for Partition {
     fn allows(&self, from: PeerId, to: PeerId, round: Round, _rng: &mut ChaCha8Rng) -> bool {
         !self.active(round) || self.group(from) == self.group(to)
+    }
+}
+
+/// Two composed filters: the message passes only if both layers allow
+/// it, consulted left to right (so put the filter that consumes no
+/// randomness first when ordering matters for replay).
+impl<A: LinkFilter, B: LinkFilter> LinkFilter for (A, B) {
+    fn allows(&self, from: PeerId, to: PeerId, round: Round, rng: &mut ChaCha8Rng) -> bool {
+        self.0.allows(from, to, round, rng) && self.1.allows(from, to, round, rng)
     }
 }
 
@@ -182,10 +193,27 @@ mod tests {
     }
 
     #[test]
+    fn filter_pair_composes_heterogeneous_layers() {
+        let pair = (
+            Partition::halves(4, Round::ZERO, Round::new(5)),
+            BernoulliLoss::new(0.0),
+        );
+        let mut r = rng();
+        assert!(!pair.allows(PeerId::new(0), PeerId::new(3), Round::ZERO, &mut r));
+        assert!(pair.allows(PeerId::new(0), PeerId::new(1), Round::ZERO, &mut r));
+    }
+
+    #[test]
     fn boxed_and_borrowed_filters_delegate() {
         let boxed: Box<dyn LinkFilter> = Box::new(BernoulliLoss::new(1.0));
         assert!(!boxed.allows(PeerId::new(0), PeerId::new(1), Round::ZERO, &mut rng()));
         let by_ref = &PerfectLinks;
-        assert!(LinkFilter::allows(&by_ref, PeerId::new(0), PeerId::new(1), Round::ZERO, &mut rng()));
+        assert!(LinkFilter::allows(
+            &by_ref,
+            PeerId::new(0),
+            PeerId::new(1),
+            Round::ZERO,
+            &mut rng()
+        ));
     }
 }

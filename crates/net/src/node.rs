@@ -113,7 +113,9 @@ mod tests {
         let mut node = Echo(PeerId::new(0));
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         assert!(node.on_round_start(Round::ZERO, &mut rng).is_empty());
-        assert!(node.on_status_change(true, Round::ZERO, &mut rng).is_empty());
+        assert!(node
+            .on_status_change(true, Round::ZERO, &mut rng)
+            .is_empty());
         assert!(node.on_timer(0, Round::ZERO, &mut rng).is_empty());
     }
 

@@ -142,7 +142,11 @@ impl<M: Clone> SyncEngine<M> {
         // 1. Status changes relative to the previous observation.
         match &self.prev_online {
             None => {
-                self.prev_online = Some((0..online.len()).map(|i| online.is_online(PeerId::new(i as u32))).collect());
+                self.prev_online = Some(
+                    (0..online.len())
+                        .map(|i| online.is_online(PeerId::new(i as u32)))
+                        .collect(),
+                );
             }
             Some(prev) => {
                 let mut transitions = Vec::new();
@@ -156,7 +160,11 @@ impl<M: Clone> SyncEngine<M> {
                 for (peer, effects) in transitions {
                     self.apply_effects(peer, effects, false);
                 }
-                self.prev_online = Some((0..online.len()).map(|i| online.is_online(PeerId::new(i as u32))).collect());
+                self.prev_online = Some(
+                    (0..online.len())
+                        .map(|i| online.is_online(PeerId::new(i as u32)))
+                        .collect(),
+                );
             }
         }
 
@@ -338,7 +346,11 @@ mod tests {
         engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 5)]);
         engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
         assert_eq!(nodes[1].received, 0);
-        assert_eq!(engine.stats().sent, 1, "paper counts sends to offline peers");
+        assert_eq!(
+            engine.stats().sent,
+            1,
+            "paper counts sends to offline peers"
+        );
         assert_eq!(engine.stats().lost_offline, 1);
     }
 
@@ -359,7 +371,10 @@ mod tests {
         let mut online = OnlineSet::all_online(1);
         let mut engine = SyncEngine::new(1);
         engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
-        assert!(nodes[0].status_changes.is_empty(), "initial state is not a transition");
+        assert!(
+            nodes[0].status_changes.is_empty(),
+            "initial state is not a transition"
+        );
         online.set_online(PeerId::new(0), false);
         engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
         online.set_online(PeerId::new(0), true);
@@ -379,7 +394,10 @@ mod tests {
         engine.step(&mut nodes, &online, &PerfectLinks, &mut rng()); // round 0
         engine.step(&mut nodes, &online, &PerfectLinks, &mut rng()); // round 1: timers due
         assert_eq!(nodes[0].timer_fired, vec![7]);
-        assert!(nodes[1].timer_fired.is_empty(), "offline peer's timer dropped");
+        assert!(
+            nodes[1].timer_fired.is_empty(),
+            "offline peer's timer dropped"
+        );
         assert!(engine.is_quiescent());
     }
 

@@ -141,7 +141,10 @@ mod tests {
     #[test]
     fn replicas_are_mutual_and_same_path() {
         let (peers, stats) = build_peers(128, 2, 40, 8, &mut rng(3));
-        assert!(stats.replications > 0, "max depth 2 with 128 peers replicates");
+        assert!(
+            stats.replications > 0,
+            "max depth 2 with 128 peers replicates"
+        );
         for p in &peers {
             for &r in p.replicas() {
                 let other = &peers[r.index()];

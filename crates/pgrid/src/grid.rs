@@ -144,7 +144,9 @@ mod tests {
     #[test]
     fn every_key_routes_from_every_start() {
         let g = grid(1);
-        let keys: Vec<DataKey> = (0..20).map(|i| DataKey::from_name(&format!("k{i}"))).collect();
+        let keys: Vec<DataKey> = (0..20)
+            .map(|i| DataKey::from_name(&format!("k{i}")))
+            .collect();
         for key in keys {
             for start in [0u32, 17, 63, 127] {
                 let out = g
@@ -182,10 +184,7 @@ mod tests {
         assert!(!members.is_empty(), "every key has replicas");
         let key_path = key_to_path(key, 3);
         for p in g.peers() {
-            assert_eq!(
-                members.contains(&p.id()),
-                p.path().is_prefix_of(&key_path)
-            );
+            assert_eq!(members.contains(&p.id()), p.path().is_prefix_of(&key_path));
         }
     }
 

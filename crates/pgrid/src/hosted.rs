@@ -1,0 +1,154 @@
+//! Hosting the update protocol on a P-Grid replica partition via the
+//! declarative [`Scenario`] API.
+//!
+//! §3: in P-Grid every leaf path of the trie owns a *replica partition* —
+//! the peers responsible for the keys under that path — and the paper's
+//! update protocol runs *within* each partition. [`HostedPartition`]
+//! extracts one partition, exposes the local-id ↔ overlay-id mapping, and
+//! produces a partition-sized [`Scenario`] so the P-Grid-hosted peer
+//! mounts into the exact same driver as every other contender.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rumor_pgrid::{HostedPartition, PGrid};
+//! use rumor_types::DataKey;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let grid = PGrid::build(128, 3, 60, &mut rng);
+//! let host = HostedPartition::new(&grid, DataKey::from_name("motd"));
+//! let scenario = host.scenario(7).build()?;
+//! let mut driver = scenario.drive(&host.gossip_protocol()?);
+//! driver.run_rounds(5);
+//! assert_eq!(driver.population(), host.len());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::grid::PGrid;
+use rumor_core::{CoreError, ProtocolConfig};
+use rumor_sim::{PaperProtocol, ScenarioBuilder};
+use rumor_types::{DataKey, PeerId};
+
+/// One P-Grid replica partition prepared for hosting the update protocol:
+/// the gossip layer runs over dense local ids `0..len`, mapped back to
+/// overlay ids through [`HostedPartition::overlay_id`].
+#[derive(Debug, Clone)]
+pub struct HostedPartition {
+    key: DataKey,
+    members: Vec<PeerId>,
+}
+
+impl HostedPartition {
+    /// Extracts the replica partition responsible for `key`.
+    pub fn new(grid: &PGrid, key: DataKey) -> Self {
+        Self {
+            key,
+            members: grid.replica_partition(key),
+        }
+    }
+
+    /// The key whose partition this is.
+    pub fn key(&self) -> DataKey {
+        self.key
+    }
+
+    /// Partition size (the gossip population `R`).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The partition members' overlay ids, indexed by local id.
+    pub fn members(&self) -> &[PeerId] {
+        &self.members
+    }
+
+    /// Maps a partition-local peer id back to its overlay id.
+    pub fn overlay_id(&self, local: PeerId) -> Option<PeerId> {
+        self.members.get(local.index()).copied()
+    }
+
+    /// Starts a partition-sized scenario (full intra-partition knowledge,
+    /// everyone online — tune further with the builder's methods).
+    pub fn scenario(&self, seed: u64) -> ScenarioBuilder {
+        ScenarioBuilder::new(self.len(), seed)
+    }
+
+    /// The paper protocol tuned the way the P-Grid integration tests run
+    /// it: small absolute fanout plus the `no_updates_since` staleness
+    /// pull, so anti-entropy repairs whatever the probabilistic push
+    /// misses inside the partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] when the partition is too small for a valid
+    /// protocol configuration.
+    pub fn gossip_protocol(&self) -> Result<PaperProtocol, CoreError> {
+        let config = ProtocolConfig::builder(self.len())
+            .fanout_absolute(3)
+            .staleness_rounds(6)
+            .build()?;
+        Ok(PaperProtocol::new(config))
+    }
+
+    /// A protocol factory from an explicit configuration.
+    pub fn protocol(&self, config: ProtocolConfig) -> PaperProtocol {
+        PaperProtocol::new(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rumor_sim::{Protocol, UpdateEvent};
+
+    fn grid() -> PGrid {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        PGrid::build(256, 4, 60, &mut rng)
+    }
+
+    #[test]
+    fn partition_maps_local_to_overlay_ids() {
+        let grid = grid();
+        let host = HostedPartition::new(&grid, DataKey::from_name("a"));
+        assert!(host.len() >= 4, "partition too small: {}", host.len());
+        for (local, &overlay) in host.members().iter().enumerate() {
+            assert_eq!(host.overlay_id(PeerId::new(local as u32)), Some(overlay));
+        }
+        assert_eq!(host.overlay_id(PeerId::new(host.len() as u32)), None);
+    }
+
+    #[test]
+    fn hosted_partition_runs_the_update_protocol_in_scenario() {
+        let grid = grid();
+        let host = HostedPartition::new(&grid, DataKey::from_name("b"));
+        let scenario = host.scenario(5).build().unwrap();
+        let protocol = host.gossip_protocol().unwrap();
+        let mut driver = scenario.drive(&protocol);
+        let update = driver
+            .initiate(
+                &protocol,
+                Some(PeerId::new(0)),
+                &UpdateEvent {
+                    round: 0,
+                    key: host.key(),
+                    delete: false,
+                    sequence: 0,
+                },
+            )
+            .unwrap();
+        driver.run_rounds(30);
+        let aware = driver.aware_fraction(|n| protocol.is_aware(n, update));
+        assert!(
+            (aware - 1.0).abs() < 1e-12,
+            "the whole partition learns the update, got {aware}"
+        );
+    }
+}

@@ -34,6 +34,7 @@
 
 mod construction;
 mod grid;
+mod hosted;
 mod path;
 mod peer;
 mod routing;
@@ -41,6 +42,7 @@ mod update_integration;
 
 pub use construction::{build_peers, ConstructionStats};
 pub use grid::{PGrid, RouteOutcome};
+pub use hosted::HostedPartition;
 pub use path::{key_to_path, ParsePathError, Path};
 pub use peer::PGridPeer;
 pub use routing::RoutingTable;

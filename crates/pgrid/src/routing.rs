@@ -31,9 +31,7 @@ impl RoutingTable {
 
     /// References at `level` (empty slice when none).
     pub fn level_refs(&self, level: u8) -> &[PeerId] {
-        self.refs
-            .get(level as usize)
-            .map_or(&[], Vec::as_slice)
+        self.refs.get(level as usize).map_or(&[], Vec::as_slice)
     }
 
     /// Adds a reference at `level`; returns `false` when the level is

@@ -1,26 +1,19 @@
 //! Simulation construction.
+//!
+//! [`SimulationBuilder`] is the historical paper-protocol entry point,
+//! now a thin typed wrapper over the declarative
+//! [`Scenario`](crate::Scenario) API: it validates the same environment
+//! knobs, derives the same seeded random streams, and mounts
+//! [`PaperProtocol`](crate::PaperProtocol) into the shared
+//! [`Driver`](crate::Driver).
 
+use crate::driver::PaperProtocol;
 use crate::error::SimError;
 use crate::runner::Simulation;
-use rumor_churn::{Churn, OnlineSet, StaticChurn};
-use rumor_core::{ProtocolConfig, ReplicaPeer};
-use rumor_net::{topology, BernoulliLoss, LinkFilter, Partition, PerfectLinks, SyncEngine};
-use rumor_types::{derive_seed, PeerId};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
-/// How much of the replica set each peer initially knows (§2: "each
-/// replica knows a minimal fraction of the complete set of replicas").
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TopologySpec {
-    /// Everyone knows everyone.
-    Full,
-    /// Each peer knows `k` uniformly random peers.
-    RandomSubset {
-        /// Out-degree of the knowledge graph.
-        k: usize,
-    },
-}
+use crate::scenario::{ConvergenceSpec, Scenario, TopologySpec};
+use rumor_churn::Churn;
+use rumor_core::ProtocolConfig;
+use rumor_net::Partition;
 
 /// Builder for [`Simulation`].
 ///
@@ -44,10 +37,11 @@ pub struct SimulationBuilder {
     seed: u64,
     online_count: Option<usize>,
     topology: TopologySpec,
-    churn: Box<dyn Churn>,
+    churn: Option<Box<dyn Churn>>,
     protocol: Option<ProtocolConfig>,
     loss: f64,
     partition: Option<Partition>,
+    convergence: ConvergenceSpec,
 }
 
 impl std::fmt::Debug for SimulationBuilder {
@@ -71,10 +65,11 @@ impl SimulationBuilder {
             seed,
             online_count: None,
             topology: TopologySpec::Full,
-            churn: Box::new(StaticChurn::new()),
+            churn: None,
             protocol: None,
             loss: 0.0,
             partition: None,
+            convergence: ConvergenceSpec::default(),
         }
     }
 
@@ -98,7 +93,7 @@ impl SimulationBuilder {
 
     /// Installs an availability model (default: no churn).
     pub fn churn(mut self, churn: impl Churn + 'static) -> Self {
-        self.churn = Box::new(churn);
+        self.churn = Some(Box::new(churn));
         self
     }
 
@@ -121,6 +116,14 @@ impl SimulationBuilder {
         self
     }
 
+    /// Overrides the convergence criterion used by
+    /// [`Simulation::track_update`] (default:
+    /// [`ConvergenceSpec::default`]).
+    pub fn convergence(mut self, spec: ConvergenceSpec) -> Self {
+        self.convergence = spec;
+        self
+    }
+
     /// Builds the simulation.
     ///
     /// # Errors
@@ -128,101 +131,34 @@ impl SimulationBuilder {
     /// Returns [`SimError`] when the population is empty, the online
     /// count exceeds it, or the protocol configuration is invalid.
     pub fn build(self) -> Result<Simulation, SimError> {
-        if self.population == 0 {
-            return Err(SimError::InvalidSetup {
-                reason: "population must be non-empty".into(),
-            });
-        }
-        let online_count = self
-            .online_count
-            .unwrap_or(self.population);
-        if online_count > self.population {
-            return Err(SimError::InvalidSetup {
-                reason: format!(
-                    "online count {online_count} exceeds population {}",
-                    self.population
-                ),
-            });
-        }
-        if online_count == 0 {
-            return Err(SimError::InvalidSetup {
-                reason: "at least one peer must start online".into(),
-            });
-        }
         let config = match self.protocol {
             Some(c) => c,
             None => ProtocolConfig::builder(self.population).build()?,
         };
-
-        let mut topo_rng = ChaCha8Rng::seed_from_u64(derive_seed(self.seed, "topology"));
-        let adjacency = match self.topology {
-            TopologySpec::Full => topology::full(self.population),
-            TopologySpec::RandomSubset { k } => {
-                if k >= self.population {
-                    return Err(SimError::InvalidSetup {
-                        reason: format!(
-                            "subset degree {k} must be below population {}",
-                            self.population
-                        ),
-                    });
-                }
-                topology::random_subsets(self.population, k, &mut topo_rng)
-            }
-        };
-
-        let online = OnlineSet::with_online_count(self.population, online_count);
-        let mut peers = Vec::with_capacity(self.population);
-        for (i, known) in adjacency.into_iter().enumerate() {
-            let id = PeerId::new(i as u32);
-            let mut peer = ReplicaPeer::new(id, config.clone());
-            peer.learn_replicas(known);
-            if !online.is_online(id) {
-                peer.set_initially_offline();
-            }
-            peers.push(peer);
+        let mut scenario = Scenario::builder(self.population, self.seed)
+            .topology(self.topology)
+            .loss(self.loss)
+            .convergence(self.convergence);
+        if let Some(count) = self.online_count {
+            scenario = scenario.online_count(count);
         }
-
-        let filter: Box<dyn LinkFilter> = match (self.loss > 0.0, self.partition) {
-            (false, None) => Box::new(PerfectLinks),
-            (true, None) => Box::new(BernoulliLoss::new(self.loss)),
-            (false, Some(p)) => Box::new(p),
-            (true, Some(p)) => Box::new(ComposedFilter {
-                loss: BernoulliLoss::new(self.loss),
-                partition: p,
-            }),
+        if let Some(partition) = self.partition {
+            scenario = scenario.partition(partition);
+        }
+        let scenario = scenario.build()?;
+        let protocol = PaperProtocol::new(config);
+        let driver = match self.churn {
+            Some(churn) => scenario.drive_with_churn(&protocol, churn),
+            None => scenario.drive(&protocol),
         };
-
-        Ok(Simulation::assemble(
-            peers,
-            online,
-            self.churn,
-            SyncEngine::new(self.population),
-            filter,
-            self.seed,
-        ))
-    }
-}
-
-struct ComposedFilter {
-    loss: BernoulliLoss,
-    partition: Partition,
-}
-
-impl LinkFilter for ComposedFilter {
-    fn allows(
-        &self,
-        from: PeerId,
-        to: PeerId,
-        round: rumor_types::Round,
-        rng: &mut ChaCha8Rng,
-    ) -> bool {
-        self.partition.allows(from, to, round, rng) && self.loss.allows(from, to, round, rng)
+        Ok(Simulation::from_parts(driver, protocol))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rumor_types::PeerId;
 
     #[test]
     fn builds_with_defaults() {
@@ -233,7 +169,10 @@ mod tests {
 
     #[test]
     fn online_fraction_rounds() {
-        let sim = SimulationBuilder::new(10, 1).online_fraction(0.25).build().unwrap();
+        let sim = SimulationBuilder::new(10, 1)
+            .online_fraction(0.25)
+            .build()
+            .unwrap();
         assert_eq!(sim.online().online_count(), 3);
     }
 
@@ -244,12 +183,18 @@ mod tests {
 
     #[test]
     fn rejects_online_overflow() {
-        assert!(SimulationBuilder::new(5, 1).online_count(6).build().is_err());
+        assert!(SimulationBuilder::new(5, 1)
+            .online_count(6)
+            .build()
+            .is_err());
     }
 
     #[test]
     fn rejects_all_offline() {
-        assert!(SimulationBuilder::new(5, 1).online_count(0).build().is_err());
+        assert!(SimulationBuilder::new(5, 1)
+            .online_count(0)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -262,7 +207,10 @@ mod tests {
 
     #[test]
     fn offline_peers_start_unconfident() {
-        let sim = SimulationBuilder::new(4, 1).online_count(2).build().unwrap();
+        let sim = SimulationBuilder::new(4, 1)
+            .online_count(2)
+            .build()
+            .unwrap();
         assert!(sim.peer(PeerId::new(0)).is_confident());
         assert!(!sim.peer(PeerId::new(3)).is_confident());
     }
@@ -274,5 +222,27 @@ mod tests {
             .build()
             .unwrap();
         assert!((0..50).all(|i| sim.peer(PeerId::new(i)).known_replicas().len() == 5));
+    }
+
+    #[test]
+    fn convergence_override_loosens_tracking() {
+        // target 0.5: tracking stops as soon as half the online peers
+        // are aware, well before full coverage.
+        let loose = ConvergenceSpec {
+            target: 0.5,
+            ..ConvergenceSpec::default()
+        };
+        let run = |spec: Option<ConvergenceSpec>| {
+            let mut b = SimulationBuilder::new(300, 5);
+            if let Some(s) = spec {
+                b = b.convergence(s);
+            }
+            let mut sim = b.build().unwrap();
+            sim.propagate(rumor_types::DataKey::from_name("c"), "v", 60)
+        };
+        let strict = run(None);
+        let loose = run(Some(loose));
+        assert!(loose.rounds <= strict.rounds);
+        assert!(loose.aware_online_fraction < strict.aware_online_fraction);
     }
 }

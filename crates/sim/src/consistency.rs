@@ -76,10 +76,10 @@ pub fn staleness_by_peer(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rumor_core::{ProtocolConfig, Value};
-    use rumor_types::{PeerId, Round};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use rumor_core::{ProtocolConfig, Value};
+    use rumor_types::{PeerId, Round};
 
     fn peers(n: usize) -> Vec<ReplicaPeer> {
         let config = ProtocolConfig::builder(n).build().unwrap();
@@ -117,7 +117,10 @@ mod tests {
 
     #[test]
     fn awareness_of_empty_population_is_zero() {
-        assert_eq!(awareness(&[], None, rumor_types::UpdateId::from_bits(1)), 0.0);
+        assert_eq!(
+            awareness(&[], None, rumor_types::UpdateId::from_bits(1)),
+            0.0
+        );
     }
 
     #[test]
@@ -125,7 +128,12 @@ mod tests {
         let mut ps = peers(3);
         assert_eq!(consistency_fraction(&ps, None), 1.0, "empty stores agree");
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        ps[0].initiate_update(DataKey::new(1), Some(Value::from("x")), Round::ZERO, &mut rng);
+        ps[0].initiate_update(
+            DataKey::new(1),
+            Some(Value::from("x")),
+            Round::ZERO,
+            &mut rng,
+        );
         let frac = consistency_fraction(&ps, None);
         assert!((frac - 2.0 / 3.0).abs() < 1e-12, "{frac}");
     }
@@ -134,7 +142,12 @@ mod tests {
     fn staleness_flags_mismatches() {
         let mut ps = peers(2);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        ps[0].initiate_update(DataKey::new(1), Some(Value::from("new")), Round::ZERO, &mut rng);
+        ps[0].initiate_update(
+            DataKey::new(1),
+            Some(Value::from("new")),
+            Round::ZERO,
+            &mut rng,
+        );
         let flags = staleness_by_peer(&ps, DataKey::new(1), Some(b"new"));
         assert_eq!(flags, vec![false, true]);
         let absent = staleness_by_peer(&ps, DataKey::new(9), None);

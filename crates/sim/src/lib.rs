@@ -1,4 +1,5 @@
-//! Discrete simulation of the hybrid push/pull update protocol.
+//! Discrete simulation of the hybrid push/pull update protocol — and the
+//! protocol-agnostic scenario harness every baseline mounts into.
 //!
 //! The paper evaluates its algorithm analytically and names simulation as
 //! future work ("To verify the correctness of the analysis if some of the
@@ -9,21 +10,31 @@
 //! simulated curves are directly comparable (see the `sim_vs_model`
 //! experiment in `rumor-bench`).
 //!
+//! The experiment surface is declarative: a [`Scenario`] describes the
+//! environment (population, topology, churn, link faults, workload,
+//! convergence criterion) and a [`Protocol`] factory describes one
+//! contender; [`Scenario::drive`] mounts the contender into the single
+//! generic [`Driver`]. One driver, many protocols — the paper peer
+//! ([`PaperProtocol`]), every `rumor-baselines` scheme and the
+//! P-Grid-hosted partition all run in the same environment: identical
+//! topology draw, initial availability and churn trajectory, same
+//! loss/partition parameters.
+//!
 //! # Examples
 //!
 //! ```
 //! use rumor_core::ProtocolConfig;
-//! use rumor_sim::{SimulationBuilder, TopologySpec};
+//! use rumor_sim::{Scenario, TopologySpec};
 //! use rumor_types::DataKey;
 //!
 //! // 500 replicas, 30% initially online, full knowledge, no churn.
 //! // Fanout f_r = 0.04 gives ≈ 6 expected *online* targets per push.
-//! let config = ProtocolConfig::builder(500).fanout_fraction(0.04).build()?;
-//! let mut sim = SimulationBuilder::new(500, 42)
+//! let scenario = Scenario::builder(500, 42)
 //!     .online_fraction(0.3)
 //!     .topology(TopologySpec::Full)
-//!     .protocol(config)
 //!     .build()?;
+//! let config = ProtocolConfig::builder(500).fanout_fraction(0.04).build()?;
+//! let mut sim = scenario.simulation(config);
 //! let report = sim.propagate(DataKey::from_name("motd"), "hello", 50);
 //! assert!(report.aware_online_fraction > 0.95,
 //!         "push reaches nearly all online peers, got {}",
@@ -36,14 +47,20 @@
 
 mod builder;
 mod consistency;
+mod driver;
 mod error;
 mod report;
 mod runner;
+mod scenario;
 mod workload;
 
-pub use builder::{SimulationBuilder, TopologySpec};
+pub use builder::SimulationBuilder;
 pub use consistency::{awareness, consistency_fraction, staleness_by_peer};
+pub use driver::{Driver, PaperProtocol, Protocol};
 pub use error::SimError;
-pub use report::{PushReport, RoundObservation, SimReport};
+pub use report::{
+    PushReport, RoundObservation, RunReport, SimReport, UpdateOutcome, WorkloadReport,
+};
 pub use runner::Simulation;
+pub use scenario::{ConvergenceSpec, Scenario, ScenarioBuilder, TopologySpec};
 pub use workload::{UpdateEvent, WorkloadBuilder};

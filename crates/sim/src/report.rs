@@ -1,6 +1,7 @@
 //! Simulation reports.
 
 use rumor_metrics::{CounterSet, RoundSeries};
+use rumor_types::{DataKey, UpdateId};
 use serde::{Deserialize, Serialize};
 
 /// A per-round snapshot taken while an update propagates.
@@ -64,6 +65,141 @@ impl PushReport {
     }
 }
 
+/// Outcome of tracking one update through *any* mounted protocol — the
+/// protocol-agnostic counterpart of [`PushReport`], produced by
+/// [`Driver::track_update`](crate::Driver::track_update).
+///
+/// `protocol_messages` is whatever the mounted
+/// [`Protocol`](crate::Protocol) counts as its overhead metric (push
+/// messages for the paper peer, 0 for baselines whose engine-level total
+/// is the meaningful number). Message counters are cumulative over the
+/// driver's lifetime, mirroring [`PushReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Rounds executed by this tracking call.
+    pub rounds: u32,
+    /// Aware fraction of the online population at the end.
+    pub aware_online_fraction: f64,
+    /// Aware fraction of the *entire* population (offline included).
+    pub aware_total_fraction: f64,
+    /// Protocol-specific overhead messages (see type docs).
+    pub protocol_messages: u64,
+    /// All messages sent so far (cumulative engine total).
+    pub total_messages: u64,
+    /// Initial online population (normalisation denominator).
+    pub initial_online: usize,
+    /// Per-round trace.
+    pub per_round: Vec<RoundObservation>,
+}
+
+impl RunReport {
+    /// Total messages per initially-online peer.
+    pub fn messages_per_initial_online(&self) -> f64 {
+        if self.initial_online == 0 {
+            0.0
+        } else {
+            self.total_messages as f64 / self.initial_online as f64
+        }
+    }
+}
+
+/// Per-update outcome inside a [`WorkloadReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpdateOutcome {
+    /// The update's identity (protocol-assigned or derived from the
+    /// event's sequence number for data-less baselines).
+    pub update: UpdateId,
+    /// Key the event targeted.
+    pub key: DataKey,
+    /// Whether the event was a tombstone.
+    pub delete: bool,
+    /// Schedule sequence number.
+    pub sequence: u32,
+    /// Absolute round at which the update was initiated.
+    pub initiated_round: u32,
+    /// First absolute round at which online awareness reached the
+    /// scenario's convergence target, if it ever did.
+    pub converged_round: Option<u32>,
+    /// Online-aware fraction when the workload finished.
+    pub final_aware_online: f64,
+    /// Whole-population aware fraction when the workload finished.
+    pub final_aware_total: f64,
+}
+
+impl UpdateOutcome {
+    /// Rounds from initiation to convergence, if the update converged.
+    pub fn rounds_to_converge(&self) -> Option<u32> {
+        self.converged_round.map(|r| r - self.initiated_round)
+    }
+}
+
+/// Outcome of executing a multi-update schedule through
+/// [`Driver::run_workload`](crate::Driver::run_workload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// Rounds executed by the workload call.
+    pub rounds: u32,
+    /// Messages sent during the workload (delta, all kinds).
+    pub messages: u64,
+    /// Initial online population (normalisation denominator).
+    pub initial_online: usize,
+    /// Scheduled events that could not be initiated before the horizon
+    /// ended (nobody was online when their round came up).
+    pub dropped_events: usize,
+    /// Per-update outcomes in initiation order.
+    pub updates: Vec<UpdateOutcome>,
+}
+
+impl WorkloadReport {
+    /// Fraction of initiated updates that reached the convergence target.
+    pub fn converged_fraction(&self) -> f64 {
+        if self.updates.is_empty() {
+            return 0.0;
+        }
+        let converged = self
+            .updates
+            .iter()
+            .filter(|u| u.converged_round.is_some())
+            .count();
+        converged as f64 / self.updates.len() as f64
+    }
+
+    /// Mean rounds-to-convergence over the updates that converged.
+    pub fn mean_rounds_to_converge(&self) -> Option<f64> {
+        let latencies: Vec<f64> = self
+            .updates
+            .iter()
+            .filter_map(|u| u.rounds_to_converge().map(f64::from))
+            .collect();
+        if latencies.is_empty() {
+            None
+        } else {
+            Some(latencies.iter().sum::<f64>() / latencies.len() as f64)
+        }
+    }
+
+    /// Mean final online awareness over all initiated updates.
+    pub fn mean_final_awareness(&self) -> f64 {
+        if self.updates.is_empty() {
+            return 0.0;
+        }
+        self.updates
+            .iter()
+            .map(|u| u.final_aware_online)
+            .sum::<f64>()
+            / self.updates.len() as f64
+    }
+
+    /// Workload messages per initially-online peer.
+    pub fn messages_per_initial_online(&self) -> f64 {
+        if self.initial_online == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.initial_online as f64
+        }
+    }
+}
+
 /// Aggregate statistics over a whole simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -96,6 +232,51 @@ mod tests {
         };
         assert_eq!(r.messages_per_initial_online(), 0.0);
         assert!(r.awareness_cost_series().is_empty());
+    }
+
+    #[test]
+    fn workload_report_aggregates() {
+        let outcome = |sequence, initiated, converged: Option<u32>, aware| UpdateOutcome {
+            update: UpdateId::from_bits(u128::from(sequence) + 1),
+            key: DataKey::new(1),
+            delete: sequence % 2 == 1,
+            sequence,
+            initiated_round: initiated,
+            converged_round: converged,
+            final_aware_online: aware,
+            final_aware_total: aware / 2.0,
+        };
+        let report = WorkloadReport {
+            rounds: 50,
+            messages: 200,
+            initial_online: 20,
+            dropped_events: 0,
+            updates: vec![
+                outcome(0, 0, Some(4), 1.0),
+                outcome(1, 10, Some(16), 1.0),
+                outcome(2, 20, None, 0.5),
+            ],
+        };
+        assert!((report.converged_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.mean_rounds_to_converge(), Some(5.0));
+        assert!((report.mean_final_awareness() - 2.5 / 3.0).abs() < 1e-12);
+        assert_eq!(report.messages_per_initial_online(), 10.0);
+        assert_eq!(report.updates[2].rounds_to_converge(), None);
+    }
+
+    #[test]
+    fn empty_workload_report_guards_division() {
+        let report = WorkloadReport {
+            rounds: 0,
+            messages: 0,
+            initial_online: 0,
+            dropped_events: 0,
+            updates: Vec::new(),
+        };
+        assert_eq!(report.converged_fraction(), 0.0);
+        assert_eq!(report.mean_rounds_to_converge(), None);
+        assert_eq!(report.mean_final_awareness(), 0.0);
+        assert_eq!(report.messages_per_initial_online(), 0.0);
     }
 
     #[test]

@@ -1,70 +1,63 @@
-//! The simulation driver.
+//! The typed simulation facade over the generic driver.
 
-use crate::consistency;
-use crate::report::{PushReport, RoundObservation, SimReport};
-use rumor_churn::{Churn, OnlineSet};
-use rumor_core::{Message, QueryAnswer, QueryPolicy, ReplicaPeer, Update, Value};
-use rumor_metrics::{ConvergenceDetector, CounterSet, RoundSeries};
-use rumor_net::{LinkFilter, SyncEngine};
-use rumor_types::{derive_seed, DataKey, PeerId, Round, UpdateId};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use crate::driver::{Driver, PaperProtocol};
+use crate::report::{PushReport, SimReport, WorkloadReport};
+use crate::workload::UpdateEvent;
+use rumor_churn::OnlineSet;
+use rumor_core::{QueryAnswer, QueryPolicy, ReplicaPeer, Update, Value};
+use rumor_metrics::{CounterSet, RoundSeries};
+use rumor_types::{DataKey, PeerId, Round, UpdateId};
 
 /// A population of [`ReplicaPeer`]s driven in synchronous rounds under
-/// churn — built via [`SimulationBuilder`](crate::SimulationBuilder).
+/// churn — built via [`SimulationBuilder`](crate::SimulationBuilder) or
+/// [`Scenario::simulation`](crate::Scenario::simulation).
+///
+/// This is a thin typed wrapper over [`Driver`]`<ReplicaPeer>`: the round
+/// loop, churn orchestration and awareness tracking live in the generic
+/// driver shared with every baseline protocol; this type adds the
+/// [`ReplicaPeer`]-specific conveniences (queries, typed reports, store
+/// access).
 pub struct Simulation {
-    peers: Vec<ReplicaPeer>,
-    online: OnlineSet,
-    churn: Box<dyn Churn>,
-    engine: SyncEngine<Message>,
-    filter: Box<dyn LinkFilter>,
-    proto_rng: ChaCha8Rng,
-    churn_rng: ChaCha8Rng,
-    initial_online: usize,
-    rounds_run: u32,
+    driver: Driver<ReplicaPeer>,
+    protocol: PaperProtocol,
 }
 
 impl std::fmt::Debug for Simulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
-            .field("population", &self.peers.len())
-            .field("online", &self.online.online_count())
-            .field("rounds_run", &self.rounds_run)
+            .field("population", &self.driver.population())
+            .field("online", &self.driver.online().online_count())
+            .field("rounds_run", &self.driver.rounds_run())
             .finish_non_exhaustive()
     }
 }
 
 impl Simulation {
-    pub(crate) fn assemble(
-        peers: Vec<ReplicaPeer>,
-        online: OnlineSet,
-        churn: Box<dyn Churn>,
-        engine: SyncEngine<Message>,
-        filter: Box<dyn LinkFilter>,
-        seed: u64,
-    ) -> Self {
-        let initial_online = online.online_count();
-        Self {
-            peers,
-            online,
-            churn,
-            engine,
-            filter,
-            proto_rng: ChaCha8Rng::seed_from_u64(derive_seed(seed, "protocol")),
-            churn_rng: ChaCha8Rng::seed_from_u64(derive_seed(seed, "churn")),
-            initial_online,
-            rounds_run: 0,
-        }
+    /// Wraps a mounted paper-protocol driver (used by
+    /// [`Scenario::simulation`](crate::Scenario::simulation) and
+    /// [`SimulationBuilder`](crate::SimulationBuilder)).
+    pub fn from_parts(driver: Driver<ReplicaPeer>, protocol: PaperProtocol) -> Self {
+        Self { driver, protocol }
+    }
+
+    /// The underlying protocol-agnostic driver.
+    pub fn driver(&self) -> &Driver<ReplicaPeer> {
+        &self.driver
+    }
+
+    /// Mutable access to the underlying driver.
+    pub fn driver_mut(&mut self) -> &mut Driver<ReplicaPeer> {
+        &mut self.driver
     }
 
     /// Total population size `R`.
     pub fn population(&self) -> usize {
-        self.peers.len()
+        self.driver.population()
     }
 
     /// The current availability state.
     pub fn online(&self) -> &OnlineSet {
-        &self.online
+        self.driver.online()
     }
 
     /// Read access to one peer.
@@ -73,22 +66,22 @@ impl Simulation {
     ///
     /// Panics if the peer is outside the population.
     pub fn peer(&self, id: PeerId) -> &ReplicaPeer {
-        &self.peers[id.index()]
+        self.driver.node(id)
     }
 
     /// All peers, for whole-population assertions.
     pub fn peers(&self) -> &[ReplicaPeer] {
-        &self.peers
+        self.driver.nodes()
     }
 
     /// Rounds executed so far.
     pub fn rounds_run(&self) -> u32 {
-        self.rounds_run
+        self.driver.rounds_run()
     }
 
     /// The number of peers online when the simulation started (`R_on(0)`).
     pub fn initial_online(&self) -> usize {
-        self.initial_online
+        self.driver.initial_online()
     }
 
     /// Initiates an update at `initiator` (or a random online peer) and
@@ -104,42 +97,28 @@ impl Simulation {
         value: Option<Value>,
     ) -> Update {
         let id = initiator
-            .or_else(|| self.online.sample_online(&mut self.proto_rng))
+            .or_else(|| self.driver.sample_online())
             .expect("an online initiator is required");
-        let round = Round::new(self.rounds_run);
-        let (update, effects) =
-            self.peers[id.index()].initiate_update(key, value, round, &mut self.proto_rng);
-        self.engine.inject(id, effects);
-        update
+        let round = Round::new(self.driver.rounds_run());
+        self.driver
+            .apply(id, |peer, rng| peer.initiate_update(key, value, round, rng))
     }
 
     /// Executes one synchronous round: churn transition (after round 0),
     /// then the engine round.
     pub fn step(&mut self) {
-        if self.rounds_run > 0 {
-            self.churn
-                .step(self.rounds_run - 1, &mut self.online, &mut self.churn_rng);
-        }
-        self.engine
-            .step(&mut self.peers, &self.online, &self.filter, &mut self.proto_rng);
-        self.rounds_run += 1;
+        self.driver.step();
     }
 
     /// Runs `n` rounds.
     pub fn run_rounds(&mut self, n: u32) {
-        for _ in 0..n {
-            self.step();
-        }
+        self.driver.run_rounds(n);
     }
 
     /// Runs until the engine is quiescent (no message in flight, no timer
     /// pending) or `max_rounds` have elapsed; returns rounds executed.
     pub fn run_until_quiescent(&mut self, max_rounds: u32) -> u32 {
-        let start = self.rounds_run;
-        while !self.engine.is_quiescent() && self.rounds_run - start < max_rounds {
-            self.step();
-        }
-        self.rounds_run - start
+        self.driver.run_until_quiescent(max_rounds)
     }
 
     /// Convenience: initiate a write and drive the push to quiescence,
@@ -151,87 +130,58 @@ impl Simulation {
     }
 
     /// Drives rounds until the push for `update` quiesces (or awareness
-    /// stalls), recording per-round observations.
+    /// stalls per the scenario's convergence criterion), recording
+    /// per-round observations.
     pub fn track_update(&mut self, update: UpdateId, max_rounds: u32) -> PushReport {
-        let mut per_round = Vec::new();
-        let mut detector = ConvergenceDetector::new(1e-9, 3, 1.0);
-        let start_round = self.rounds_run;
-        while self.rounds_run - start_round < max_rounds {
-            if self.engine.is_quiescent() && self.rounds_run > start_round {
-                break;
-            }
-            self.step();
-            let obs = self.observe(update);
-            let f_aware = obs.f_aware;
-            per_round.push(obs);
-            if detector.observe(f_aware) {
-                break;
-            }
-        }
-        let aware_online = consistency::awareness(&self.peers, Some(&self.online), update);
-        let aware_total = consistency::awareness(&self.peers, None, update);
+        let run = self.driver.track_update(&self.protocol, update, max_rounds);
         PushReport {
-            rounds: self.rounds_run - start_round,
-            aware_online_fraction: aware_online,
-            aware_total_fraction: aware_total,
-            push_messages: self.push_messages(),
-            total_messages: self.engine.stats().sent,
+            rounds: run.rounds,
+            aware_online_fraction: run.aware_online_fraction,
+            aware_total_fraction: run.aware_total_fraction,
+            push_messages: run.protocol_messages,
+            total_messages: run.total_messages,
             duplicates: self
-                .peers
+                .driver
+                .nodes()
                 .iter()
                 .map(|p| p.stats().duplicates_received)
                 .sum(),
-            initial_online: self.initial_online,
-            per_round,
+            initial_online: run.initial_online,
+            per_round: run.per_round,
         }
     }
 
-    fn observe(&self, update: UpdateId) -> RoundObservation {
-        let online = self.online.online_count();
-        let aware_online = self
-            .online
-            .iter_online()
-            .filter(|&p| self.peers[p.index()].has_processed(update))
-            .count();
-        RoundObservation {
-            round: self.rounds_run - 1,
-            online,
-            aware_online,
-            f_aware: if online == 0 {
-                0.0
-            } else {
-                aware_online as f64 / online as f64
-            },
-            cum_messages: self.engine.stats().sent,
-            cum_push_messages: self.push_messages(),
-        }
-    }
-
-    fn push_messages(&self) -> u64 {
-        self.peers.iter().map(|p| p.stats().push_messages_sent).sum()
+    /// Executes a scheduled update workload (writes **and** tombstones)
+    /// with per-update awareness tracking — see
+    /// [`Driver::run_workload`].
+    pub fn run_workload(&mut self, events: &[UpdateEvent], settle_rounds: u32) -> WorkloadReport {
+        self.driver
+            .run_workload(&self.protocol, events, settle_rounds)
     }
 
     /// Issues a query the way a client would (§4.4): collect local
-    /// answers from up to `attempts` random online replicas and resolve
-    /// them under `policy`.
+    /// answers from up to `attempts` *distinct* random online replicas
+    /// and resolve them under `policy`.
+    ///
+    /// When `attempts` meets or exceeds the online population, every
+    /// online replica answers exactly once.
     pub fn query(
         &mut self,
         key: DataKey,
         attempts: usize,
         policy: QueryPolicy,
     ) -> Option<QueryAnswer> {
-        let mut answers = Vec::new();
-        for _ in 0..attempts {
-            if let Some(p) = self.online.sample_online(&mut self.proto_rng) {
-                answers.push(self.peers[p.index()].answer_query(key));
-            }
-        }
+        let sampled = self.driver.sample_online_distinct(attempts);
+        let answers: Vec<QueryAnswer> = sampled
+            .into_iter()
+            .map(|p| self.driver.node(p).answer_query(key))
+            .collect();
         policy.resolve(&answers)
     }
 
     /// Aggregate report over everything run so far.
     pub fn report(&self) -> SimReport {
-        let stats = self.engine.stats();
+        let stats = self.driver.stats();
         let mut engine = CounterSet::new();
         engine.add("sent", stats.sent);
         engine.add("delivered", stats.delivered);
@@ -239,7 +189,7 @@ impl Simulation {
         engine.add("lost_fault", stats.lost_fault);
 
         let mut peers = CounterSet::new();
-        for p in &self.peers {
+        for p in self.driver.nodes() {
             let s = p.stats();
             peers.add("pushes_received", s.pushes_received);
             peers.add("duplicates_received", s.duplicates_received);
@@ -262,7 +212,7 @@ impl Simulation {
             per_round_sent.record(pt.round, pt.value);
         }
         SimReport {
-            rounds: self.rounds_run,
+            rounds: self.driver.rounds_run(),
             engine,
             peers,
             per_round_sent,
@@ -272,14 +222,16 @@ impl Simulation {
     /// Forces a peer's availability (test/fault-injection hook). The
     /// change takes effect at the next round's status-change scan.
     pub fn set_online(&mut self, peer: PeerId, online: bool) {
-        self.online.set_online(peer, online);
+        self.driver.set_online(peer, online);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::{SimulationBuilder, TopologySpec};
+    use crate::builder::SimulationBuilder;
+    use crate::consistency;
+    use crate::scenario::TopologySpec;
     use rumor_churn::MarkovChurn;
     use rumor_core::{ForwardPolicy, ProtocolConfig, PullStrategy};
 
@@ -308,7 +260,10 @@ mod tests {
     fn push_only_reaches_online_peers() {
         // No churn, no pull triggers for offline peers (they never come
         // online), so offline peers stay unaware.
-        let mut sim = with_fanout(200, 3, 10).online_fraction(0.5).build().unwrap();
+        let mut sim = with_fanout(200, 3, 10)
+            .online_fraction(0.5)
+            .build()
+            .unwrap();
         let report = sim.propagate(key(), "v1", 50);
         assert!(report.aware_online_fraction > 0.9);
         assert!(report.aware_total_fraction < 0.7);
@@ -343,7 +298,10 @@ mod tests {
 
     #[test]
     fn offline_initiator_panics() {
-        let mut sim = SimulationBuilder::new(4, 1).online_count(1).build().unwrap();
+        let mut sim = SimulationBuilder::new(4, 1)
+            .online_count(1)
+            .build()
+            .unwrap();
         // Peer 3 starts offline.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             sim.initiate_update(Some(PeerId::new(3)), key(), Some(Value::from("x")))
@@ -359,6 +317,35 @@ mod tests {
         sim.propagate(key(), "answer", 30);
         let resolved = sim.query(key(), 5, QueryPolicy::Latest).expect("resolved");
         assert_eq!(resolved.value.unwrap().as_bytes(), b"answer");
+    }
+
+    #[test]
+    fn query_samples_distinct_replicas() {
+        // Regression (§4.4): sampling with replacement could probe the
+        // same replica twice, so a query with attempts >= online count
+        // could still miss the only replica holding the value. Distinct
+        // sampling makes such queries exhaustive and deterministic.
+        let mut sim = SimulationBuilder::new(5, 17).build().unwrap();
+        // Only the initiator holds the value: no rounds are run, so the
+        // round-0 pushes are still in flight.
+        sim.initiate_update(Some(PeerId::new(0)), key(), Some(Value::from("lone")));
+        for _ in 0..20 {
+            let answer = sim
+                .query(key(), 5, QueryPolicy::Latest)
+                .expect("5 distinct draws over 5 online peers must include the holder");
+            assert_eq!(answer.value.unwrap().as_bytes(), b"lone");
+        }
+    }
+
+    #[test]
+    fn query_attempts_beyond_population_answer_each_replica_once() {
+        let mut sim = SimulationBuilder::new(3, 21).build().unwrap();
+        sim.initiate_update(Some(PeerId::new(1)), key(), Some(Value::from("x")));
+        // 100 attempts over 3 online replicas: exactly one holder answer.
+        let answer = sim
+            .query(key(), 100, QueryPolicy::Latest)
+            .expect("resolved");
+        assert_eq!(answer.value.unwrap().as_bytes(), b"x");
     }
 
     #[test]
@@ -424,7 +411,10 @@ mod tests {
                 .forward(pf)
                 .build()
                 .unwrap();
-            let mut sim = SimulationBuilder::new(300, 8).protocol(config).build().unwrap();
+            let mut sim = SimulationBuilder::new(300, 8)
+                .protocol(config)
+                .build()
+                .unwrap();
             sim.propagate(key(), "v", 40)
         };
         let always = mk(ForwardPolicy::Always);
@@ -440,6 +430,10 @@ mod tests {
             .build()
             .unwrap();
         let report = sim.propagate(key(), "v", 60);
-        assert!(report.aware_online_fraction > 0.95, "{}", report.aware_online_fraction);
+        assert!(
+            report.aware_online_fraction > 0.95,
+            "{}",
+            report.aware_online_fraction
+        );
     }
 }

@@ -7,11 +7,11 @@
 //! streams of sparse updates over a key population so examples and
 //! ablations can exercise steady-state behaviour.
 
-use rumor_churn::sample_poisson;
-use rumor_types::{derive_seed, DataKey};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rumor_churn::sample_poisson;
+use rumor_types::{derive_seed, DataKey, UpdateId};
 use serde::{Deserialize, Serialize};
 
 /// One scheduled update event.
@@ -25,6 +25,22 @@ pub struct UpdateEvent {
     pub delete: bool,
     /// Sequence number (unique per schedule, handy for payloads).
     pub sequence: u32,
+}
+
+impl UpdateEvent {
+    /// Deterministic rumor identity for protocols without a data model
+    /// (the dissemination baselines): derived from the schedule sequence
+    /// number, so every contender in a comparison tracks "the same"
+    /// update.
+    pub fn rumor_id(&self) -> UpdateId {
+        UpdateId::from_bits(u128::from(self.sequence) + 1)
+    }
+
+    /// Deterministic write payload for this event (`u{sequence}`), used
+    /// by protocols that carry real values.
+    pub fn payload(&self) -> String {
+        format!("u{}", self.sequence)
+    }
 }
 
 /// Builds Poisson-arrival update schedules.
@@ -128,21 +144,38 @@ mod tests {
 
     #[test]
     fn schedule_is_sorted_and_sequenced() {
-        let events = WorkloadBuilder::new(1).rate_per_round(1.0).rounds(50).generate();
+        let events = WorkloadBuilder::new(1)
+            .rate_per_round(1.0)
+            .rounds(50)
+            .generate();
         assert!(events.windows(2).all(|w| w[0].round <= w[1].round));
         assert!(events.windows(2).all(|w| w[0].sequence < w[1].sequence));
     }
 
     #[test]
     fn rate_controls_volume() {
-        let sparse = WorkloadBuilder::new(2).rate_per_round(0.1).rounds(200).generate();
-        let dense = WorkloadBuilder::new(2).rate_per_round(2.0).rounds(200).generate();
-        assert!(dense.len() > sparse.len() * 5, "{} vs {}", dense.len(), sparse.len());
+        let sparse = WorkloadBuilder::new(2)
+            .rate_per_round(0.1)
+            .rounds(200)
+            .generate();
+        let dense = WorkloadBuilder::new(2)
+            .rate_per_round(2.0)
+            .rounds(200)
+            .generate();
+        assert!(
+            dense.len() > sparse.len() * 5,
+            "{} vs {}",
+            dense.len(),
+            sparse.len()
+        );
     }
 
     #[test]
     fn poisson_rate_statistically_close() {
-        let events = WorkloadBuilder::new(3).rate_per_round(0.5).rounds(2000).generate();
+        let events = WorkloadBuilder::new(3)
+            .rate_per_round(0.5)
+            .rounds(2000)
+            .generate();
         let per_round = events.len() as f64 / 2000.0;
         assert!((per_round - 0.5).abs() < 0.1, "rate {per_round}");
     }
@@ -168,7 +201,10 @@ mod tests {
 
     #[test]
     fn zero_rate_is_empty() {
-        assert!(WorkloadBuilder::new(5).rate_per_round(0.0).generate().is_empty());
+        assert!(WorkloadBuilder::new(5)
+            .rate_per_round(0.0)
+            .generate()
+            .is_empty());
     }
 
     #[test]

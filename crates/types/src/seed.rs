@@ -72,7 +72,10 @@ impl SeedSequence {
 
     /// Returns the next seed in the sequence.
     pub fn next_seed(&mut self) -> u64 {
-        let s = splitmix64(self.base.wrapping_add(self.counter.wrapping_mul(0x9e37_79b9)));
+        let s = splitmix64(
+            self.base
+                .wrapping_add(self.counter.wrapping_mul(0x9e37_79b9)),
+        );
         self.counter += 1;
         s
     }

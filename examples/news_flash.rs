@@ -1,16 +1,34 @@
 //! Bulletin-board scenario (§2's motivating workload): a stream of news
-//! items published by random peers under heavy churn, with staleness and
-//! query-correctness measurements.
+//! items published by random peers under heavy churn, executed through
+//! the declarative `Scenario` + `run_workload` pipeline with per-update
+//! convergence tracking, then cross-checked with majority queries.
 //!
 //! Run with: `cargo run --example news_flash`
 
 use rumor::churn::MarkovChurn;
-use rumor::core::{ForwardPolicy, ProtocolConfig, PullStrategy, QueryPolicy, Value};
-use rumor::sim::{SimulationBuilder, WorkloadBuilder};
-use rumor::types::PeerId;
+use rumor::core::{ForwardPolicy, ProtocolConfig, PullStrategy, QueryPolicy};
+use rumor::sim::{Scenario, WorkloadBuilder};
+
+const TOPICS: [&str; 4] = ["news/tech", "news/science", "news/sports", "news/music"];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let population = 800;
+
+    // A Poisson stream of news posts over four topics.
+    let workload = WorkloadBuilder::new(99)
+        .keys(&TOPICS)
+        .rate_per_round(0.15)
+        .rounds(120)
+        .generate();
+    println!("publishing {} news items over 120 rounds…", workload.len());
+
+    // The environment: 25% online under churn, with the schedule attached.
+    let scenario = Scenario::builder(population, 7)
+        .online_fraction(0.25)
+        .churn(MarkovChurn::new(0.97, 0.01)?)
+        .workload(workload.clone())
+        .build()?;
+
     let config = ProtocolConfig::builder(population)
         .fanout_fraction(0.03)
         .forward(ForwardPolicy::self_tuning_default())
@@ -18,52 +36,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .staleness_rounds(40) // no_updates_since trigger (§3)
         .build()?;
 
-    let mut sim = SimulationBuilder::new(population, 7)
-        .online_fraction(0.25)
-        .churn(MarkovChurn::new(0.97, 0.01)?)
-        .protocol(config)
-        .build()?;
+    // Execute the whole schedule (plus 30 settle rounds for late pulls)
+    // and collect per-update outcomes.
+    let mut sim = scenario.simulation(config);
+    let report = sim.run_workload(scenario.workload(), 30);
 
-    // A Poisson stream of news posts over four topics.
-    let workload = WorkloadBuilder::new(99)
-        .keys(&["news/tech", "news/science", "news/sports", "news/music"])
-        .rate_per_round(0.15)
-        .rounds(120)
-        .generate();
-    println!("publishing {} news items over 120 rounds…", workload.len());
-
-    let mut published = Vec::new();
-    let mut event_iter = workload.into_iter().peekable();
-    for round in 0..120 {
-        while event_iter.peek().is_some_and(|e| e.round == round) {
-            let event = event_iter.next().expect("peeked");
-            let body = format!("story #{} in {}", event.sequence, event.key);
-            let update = sim.initiate_update(None, event.key, Some(Value::from(body.as_str())));
-            published.push((round, update));
-        }
-        sim.step();
-    }
-    // Let the dust settle: pulls repair peers that returned late.
-    sim.run_rounds(30);
-
-    // How fresh is the board? Check the latest story per topic via
-    // majority queries.
-    println!("\nfinal state:");
-    for topic in ["news/tech", "news/science", "news/sports", "news/music"] {
-        let key = rumor::types::DataKey::from_name(topic);
-        let latest = published
+    println!("\nworkload outcome:");
+    println!("  rounds executed       : {}", report.rounds);
+    println!("  messages              : {}", report.messages);
+    println!(
+        "  msgs/initially-online : {:.2}",
+        report.messages_per_initial_online()
+    );
+    println!(
+        "  converged updates     : {:.1}% ({} of {})",
+        report.converged_fraction() * 100.0,
+        report
+            .updates
             .iter()
-            .rev()
-            .find(|(_, u)| u.key() == key)
-            .map(|(_, u)| u);
+            .filter(|u| u.converged_round.is_some())
+            .count(),
+        report.updates.len()
+    );
+    if let Some(latency) = report.mean_rounds_to_converge() {
+        println!("  mean rounds to conv.  : {latency:.1}");
+    }
+    println!(
+        "  mean final awareness  : {:.3}",
+        report.mean_final_awareness()
+    );
+
+    // How fresh is the board? The workload payload for event #n is "u{n}",
+    // so the majority answer per topic should be its latest story.
+    println!("\nfinal state:");
+    for topic in TOPICS {
+        let key = rumor::types::DataKey::from_name(topic);
+        let latest = workload.iter().rev().find(|e| e.key == key);
         let answer = sim.query(key, 7, QueryPolicy::Majority);
         match (latest, answer) {
             (Some(want), Some(got)) => {
-                let got_head = got.lineage.as_ref().map(rumor::core::Lineage::head);
-                let fresh = got_head == Some(want.lineage().head());
+                let fresh = got
+                    .value
+                    .as_ref()
+                    .is_some_and(|v| v.as_bytes() == want.payload().as_bytes());
                 println!(
-                    "  {topic:<14} majority answer {} the newest story",
-                    if fresh { "IS" } else { "is NOT" }
+                    "  {topic:<14} majority answer {} story #{}",
+                    if fresh {
+                        "IS the newest"
+                    } else {
+                        "is NOT the newest"
+                    },
+                    want.sequence
                 );
             }
             (Some(_), None) => println!("  {topic:<14} no replica answered"),
@@ -71,34 +94,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // Population-wide staleness for the busiest topic.
-    let key = rumor::types::DataKey::from_name("news/tech");
-    if let Some((_, newest)) = published.iter().rev().find(|(_, u)| u.key() == key) {
-        let head = newest.lineage().head();
-        let (mut current, mut online_total) = (0usize, 0usize);
-        for i in 0..population as u32 {
-            let p = PeerId::new(i);
-            if !sim.online().is_online(p) {
-                continue;
-            }
-            online_total += 1;
-            if sim
-                .peer(p)
-                .store()
-                .latest(key)
-                .is_some_and(|v| v.lineage().head() == head)
-            {
-                current += 1;
-            }
-        }
-        println!(
-            "\nnews/tech: {current}/{online_total} online replicas hold the newest version ({:.1}%)",
-            current as f64 / online_total.max(1) as f64 * 100.0
-        );
-    }
-
-    let report = sim.report();
-    println!("\ntraffic: {}", report.engine);
-    println!("peer counters: {}", report.peers);
+    let sim_report = sim.report();
+    println!("\ntraffic: {}", sim_report.engine);
+    println!("peer counters: {}", sim_report.peers);
     Ok(())
 }

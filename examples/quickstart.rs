@@ -6,25 +6,27 @@
 
 use rumor::churn::MarkovChurn;
 use rumor::core::{ForwardPolicy, ProtocolConfig, PullStrategy, QueryPolicy};
-use rumor::sim::SimulationBuilder;
+use rumor::sim::Scenario;
 use rumor::types::{DataKey, PeerId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's environment: 1000 replicas, 20% online, peers drop off
-    // with probability 1 - sigma per round and return at a low rate.
+    // with probability 1 - sigma per round and return at a low rate. The
+    // `Scenario` describes only the environment — any protocol (ours or a
+    // baseline) can be mounted into it.
     let population = 1_000;
+    let scenario = Scenario::builder(population, 2026)
+        .online_fraction(0.2)
+        .churn(MarkovChurn::new(0.98, 0.01)?)
+        .build()?;
+
     let config = ProtocolConfig::builder(population)
         .fanout_fraction(0.03) // f_r: each pusher addresses 30 replicas
         .forward(ForwardPolicy::ExponentialDecay { base: 0.9 }) // PF(t) = 0.9^t
         .pull_strategy(PullStrategy::Eager) // online_again => pull
         .pull_fanout(3)
         .build()?;
-
-    let mut sim = SimulationBuilder::new(population, 2026)
-        .online_fraction(0.2)
-        .churn(MarkovChurn::new(0.98, 0.01)?)
-        .protocol(config)
-        .build()?;
+    let mut sim = scenario.simulation(config);
 
     // One peer publishes a new value; the push phase floods it to the
     // online population with the partial-list optimisation.
@@ -33,10 +35,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("push phase:");
     println!("  rounds                : {}", report.rounds);
-    println!("  online awareness      : {:.1}%", report.aware_online_fraction * 100.0);
-    println!("  total awareness       : {:.1}%", report.aware_total_fraction * 100.0);
+    println!(
+        "  online awareness      : {:.1}%",
+        report.aware_online_fraction * 100.0
+    );
+    println!(
+        "  total awareness       : {:.1}%",
+        report.aware_total_fraction * 100.0
+    );
     println!("  push messages         : {}", report.push_messages);
-    println!("  per initially-online  : {:.2}", report.messages_per_initial_online());
+    println!(
+        "  per initially-online  : {:.2}",
+        report.messages_per_initial_online()
+    );
     println!("  duplicates received   : {}", report.duplicates);
 
     // A peer that slept through the whole push comes online: the eager
@@ -50,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let value = sim.peer(sleeper).store().get(key);
     println!("\npull phase:");
-    println!("  {sleeper} came online and now reads: {:?}", value.map(|v| String::from_utf8_lossy(v.as_bytes()).into_owned()));
+    println!(
+        "  {sleeper} came online and now reads: {:?}",
+        value.map(|v| String::from_utf8_lossy(v.as_bytes()).into_owned())
+    );
     assert!(value.is_some(), "the pull phase must recover the update");
 
     // A client queries a handful of replicas and resolves by version.

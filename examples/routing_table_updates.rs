@@ -2,17 +2,17 @@
 //! the system's topology, for example the routing tables used in P-Grid."
 //!
 //! Builds a P-Grid trie, extracts the replica partition responsible for a
-//! key, runs the gossip protocol *within that partition* to disseminate a
-//! routing-table change, and applies the change to every replica's
-//! routing table.
+//! key as a `HostedPartition`, mounts the update protocol into a
+//! partition-sized `Scenario` — the same driver every other protocol
+//! runs on — to disseminate a routing-table change, and applies the
+//! change to every replica's routing table.
 //!
 //! Run with: `cargo run --example routing_table_updates`
 
 use rand::SeedableRng;
-use rumor::core::{ProtocolConfig, ReplicaPeer, Value};
-use rumor::net::{PerfectLinks, SyncEngine};
-use rumor::churn::OnlineSet;
-use rumor::pgrid::{key_to_path, PGrid, RoutingChange};
+use rumor::core::Value;
+use rumor::pgrid::{key_to_path, HostedPartition, PGrid, RoutingChange};
+use rumor::sim::{Protocol, UpdateEvent};
 use rumor::types::{DataKey, PeerId, Round};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,53 +20,87 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Self-organise a 256-peer P-Grid of depth 4.
     let mut grid = PGrid::build(256, 4, 60, &mut rng);
-    println!("built P-Grid: {} peers, {} leaf partitions", grid.len(), grid.partition_sizes().len());
+    println!(
+        "built P-Grid: {} peers, {} leaf partitions",
+        grid.len(),
+        grid.partition_sizes().len()
+    );
 
     // 2. Route a query to find the partition that owns the key.
     let key = DataKey::from_name("routing/refresh");
-    let outcome = grid.route(PeerId::new(0), key).expect("prefix routing succeeds");
+    let outcome = grid
+        .route(PeerId::new(0), key)
+        .expect("prefix routing succeeds");
     println!(
         "routed {key} from peer-0 in {} hops to {}",
         outcome.hops, outcome.responsible
     );
-    let partition = grid.replica_partition(key);
-    println!("replica partition for {} has {} members", key_to_path(key, 4), partition.len());
+    let host = HostedPartition::new(&grid, key);
+    println!(
+        "replica partition for {} has {} members",
+        key_to_path(key, 4),
+        host.len()
+    );
 
-    // 3. Gossip a routing change within the partition. The gossip layer
-    //    runs over *partition-local* ids (dense 0..n), mapped back to
-    //    overlay ids afterwards.
-    let n = partition.len();
-    let config = ProtocolConfig::builder(n).fanout_absolute(4).build()?;
-    let mut replicas: Vec<ReplicaPeer> = (0..n)
-        .map(|i| {
-            let mut p = ReplicaPeer::new(PeerId::new(i as u32), config.clone());
-            p.learn_replicas((0..n as u32).map(PeerId::new));
-            p
-        })
-        .collect();
+    // 3. Gossip a routing change within the partition: the hosted peers
+    //    run over partition-local ids (dense 0..n) inside a Scenario,
+    //    mapped back to overlay ids afterwards.
+    let scenario = host.scenario(31).build()?;
+    let protocol = host.gossip_protocol()?;
+    let mut driver = scenario.drive(&protocol);
 
     // The change: partition members learn two fresh level-0 references.
     let change = RoutingChange::new(0, vec![PeerId::new(7), PeerId::new(42)]);
     let payload = Value::from(change.to_bytes());
+    let update = driver.apply(PeerId::new(0), |peer, rng| {
+        peer.initiate_update(key, Some(payload), Round::ZERO, rng)
+    });
+    // A fixed horizon, not quiescence: the hybrid protocol's periodic
+    // staleness pull keeps polling by design.
+    driver.run_rounds(30);
+    let aware = driver
+        .nodes()
+        .iter()
+        .filter(|r| protocol.is_aware(r, update.id()))
+        .count();
+    println!(
+        "gossiped routing change in 30 rounds; {aware}/{} replicas received it",
+        host.len()
+    );
 
-    let online = OnlineSet::all_online(n);
-    let mut engine: SyncEngine<rumor::core::Message> = SyncEngine::new(n);
-    let (update, effects) =
-        replicas[0].initiate_update(key, Some(payload), Round::ZERO, &mut rng);
-    engine.inject(PeerId::new(0), effects);
-    let rounds = engine.run_to_quiescence(&mut replicas, &online, &PerfectLinks, &mut rng, 30);
-    let aware = replicas.iter().filter(|r| r.has_processed(update.id())).count();
-    println!("gossiped routing change in {rounds} rounds; {aware}/{n} replicas received it");
+    // Mounting a pure dissemination baseline into the *same* partition
+    // scenario is one line — e.g. how far would Gnutella flooding get?
+    let flood = rumor::baselines::GnutellaFlooding { fanout: 3, ttl: 6 };
+    let mut flood_driver = scenario.drive(&flood);
+    let event = UpdateEvent {
+        round: 0,
+        key,
+        delete: false,
+        sequence: 0,
+    };
+    let rumor_id = flood_driver
+        .initiate(&flood, Some(PeerId::new(0)), &event)
+        .expect("seeded");
+    let flood_report = flood_driver.track_update(&flood, rumor_id, 30);
+    println!(
+        "(for comparison, Gnutella flooding reaches {:.0}% of the partition in {} rounds)",
+        flood_report.aware_online_fraction * 100.0,
+        flood_report.rounds
+    );
 
     // 4. Apply the gossiped change to the real routing tables.
     let mut applied = 0;
-    for (local, &overlay_id) in partition.iter().enumerate() {
-        if let Some(stored) = replicas[local].store().get(key) {
+    for local in 0..host.len() {
+        let overlay_id = host.overlay_id(PeerId::new(local as u32)).expect("member");
+        if let Some(stored) = driver.node(PeerId::new(local as u32)).store().get(key) {
             let decoded = RoutingChange::from_bytes(stored.as_bytes())?;
             applied += usize::from(decoded.apply_to(grid.peer_mut(overlay_id)) > 0);
         }
     }
     println!("applied the change to {applied} routing tables");
-    assert!(applied as f64 >= n as f64 * 0.9, "routing update must reach the partition");
+    assert!(
+        applied as f64 >= host.len() as f64 * 0.9,
+        "routing update must reach the partition"
+    );
     Ok(())
 }

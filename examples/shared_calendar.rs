@@ -6,21 +6,21 @@
 
 use rumor::churn::MarkovChurn;
 use rumor::core::{ProtocolConfig, PullStrategy, Value};
-use rumor::sim::SimulationBuilder;
+use rumor::sim::Scenario;
 use rumor::types::{DataKey, PeerId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let population = 400;
+    let scenario = Scenario::builder(population, 11)
+        .online_fraction(0.5)
+        .churn(MarkovChurn::new(0.99, 0.02)?)
+        .build()?;
     let config = ProtocolConfig::builder(population)
         .fanout_fraction(0.04)
         .pull_strategy(PullStrategy::Eager)
         .pull_fanout(3)
         .build()?;
-    let mut sim = SimulationBuilder::new(population, 11)
-        .online_fraction(0.5)
-        .churn(MarkovChurn::new(0.99, 0.02)?)
-        .protocol(config)
-        .build()?;
+    let mut sim = scenario.simulation(config);
 
     let slot = DataKey::from_name("calendar/2026-06-12T10:00");
 
@@ -47,11 +47,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // §3: conflicts are not resolved — both versions coexist.
     let versions = sim.peer(alice).store().versions(slot);
-    println!("versions visible at {alice} after concurrent writes: {}", versions.len());
+    println!(
+        "versions visible at {alice} after concurrent writes: {}",
+        versions.len()
+    );
     for v in versions {
         println!(
             "  - {:?} (lineage depth {})",
-            v.value().map(|x| String::from_utf8_lossy(x.as_bytes()).into_owned()),
+            v.value()
+                .map(|x| String::from_utf8_lossy(x.as_bytes()).into_owned()),
             v.lineage().len()
         );
     }
@@ -66,10 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .store()
         .versions(slot)
         .iter()
-        .find(|v| {
-            v.value()
-                .is_some_and(|x| x.as_bytes().starts_with(b"bob"))
-        })
+        .find(|v| v.value().is_some_and(|x| x.as_bytes().starts_with(b"bob")))
         .map(|v| v.lineage().clone())
         .expect("bob sees his own booking");
     drop(bob_version);
@@ -83,7 +84,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter_map(|v| v.value())
         .map(|x| String::from_utf8_lossy(x.as_bytes()).into_owned())
         .collect();
-    println!("\nafter bob's delete, {alice} sees {tombstones} tombstone(s) and live versions: {live:?}");
+    println!(
+        "\nafter bob's delete, {alice} sees {tombstones} tombstone(s) and live versions: {live:?}"
+    );
     assert!(tombstones >= 1, "the death certificate must propagate");
 
     // Eventual consistency check across the online population.

@@ -8,7 +8,7 @@ use rumor::analysis::{PfSchedule, PushModel, PushParams};
 use rumor::churn::MarkovChurn;
 use rumor::core::{ForwardPolicy, ProtocolConfig, PullStrategy};
 use rumor::metrics::{Align, Table};
-use rumor::sim::SimulationBuilder;
+use rumor::sim::Scenario;
 use rumor::types::DataKey;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,7 +31,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (label, pf) in [
             ("1", PfSchedule::One),
             ("0.9^t", PfSchedule::Exponential { base: 0.9 }),
-            ("0.8*0.7^t+0.2", PfSchedule::OffsetExponential { scale: 0.8, base: 0.7, offset: 0.2 }),
+            (
+                "0.8*0.7^t+0.2",
+                PfSchedule::OffsetExponential {
+                    scale: 0.8,
+                    base: 0.7,
+                    offset: 0.2,
+                },
+            ),
         ] {
             let out = PushModel::new(PushParams::new(r, online, sigma, f_r).with_pf(pf)).run();
             table.row(vec![
@@ -59,21 +66,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let forward = match pf {
         PfSchedule::One => ForwardPolicy::Always,
         PfSchedule::Exponential { base } => ForwardPolicy::ExponentialDecay { base },
-        PfSchedule::OffsetExponential { scale, base, offset } => {
-            ForwardPolicy::OffsetExponential { scale, base, offset }
-        }
+        PfSchedule::OffsetExponential {
+            scale,
+            base,
+            offset,
+        } => ForwardPolicy::OffsetExponential {
+            scale,
+            base,
+            offset,
+        },
         _ => ForwardPolicy::Always,
     };
+    let scenario = Scenario::builder(5_000, 3)
+        .online_count(1_000)
+        .churn(MarkovChurn::new(sigma, 0.0)?)
+        .build()?;
     let config = ProtocolConfig::builder(5_000)
         .fanout_fraction(f_r)
         .forward(forward)
         .pull_strategy(PullStrategy::OnDemand)
         .build()?;
-    let mut sim = SimulationBuilder::new(5_000, 3)
-        .online_count(1_000)
-        .churn(MarkovChurn::new(sigma, 0.0)?)
-        .protocol(config)
-        .build()?;
+    let mut sim = scenario.simulation(config);
     let report = sim.propagate(DataKey::from_name("tuned"), "v", 80);
     println!(
         "simulator confirms: {:.2} msgs/peer, awareness {:.4}, {} rounds",

@@ -16,7 +16,7 @@
 //! |--------|-------|----------|
 //! | [`core`] | `rumor-core` | the protocol: replica state machine, versions, partial lists, `PF(t)` policies, stores |
 //! | [`analysis`] | `rumor-analysis` | the §4 analytical model (figures & Table 2) |
-//! | [`sim`] | `rumor-sim` | discrete simulator over the real protocol |
+//! | [`sim`] | `rumor-sim` | the `Scenario`/`Driver`/`Protocol` experiment harness + discrete simulator over the real protocol |
 //! | [`churn`] | `rumor-churn` | availability models (σ/p_on chains, on/off dwell, traces, catastrophes) |
 //! | [`net`] | `rumor-net` | sync round engine, async event engine, loss/partitions, topologies |
 //! | [`baselines`] | `rumor-baselines` | Gnutella, pure flooding, Haas GOSSIP1, Demers anti-entropy & rumor mongering |
@@ -26,17 +26,19 @@
 //!
 //! # Quickstart
 //!
+//! A [`sim::Scenario`] declares the environment; any protocol — the
+//! paper peer or a baseline — mounts into it through the one shared
+//! [`sim::Driver`]:
+//!
 //! ```
 //! use rumor::core::ProtocolConfig;
-//! use rumor::sim::SimulationBuilder;
+//! use rumor::sim::Scenario;
 //! use rumor::types::DataKey;
 //!
 //! // A replica partition of 1000 peers, 30% online, fanout 0.02.
+//! let scenario = Scenario::builder(1000, 7).online_fraction(0.3).build()?;
 //! let config = ProtocolConfig::builder(1000).fanout_fraction(0.02).build()?;
-//! let mut sim = SimulationBuilder::new(1000, 7)
-//!     .online_fraction(0.3)
-//!     .protocol(config)
-//!     .build()?;
+//! let mut sim = scenario.simulation(config);
 //! let report = sim.propagate(DataKey::from_name("motd"), "hello p2p", 60);
 //! assert!(report.aware_online_fraction > 0.95);
 //! # Ok::<(), Box<dyn std::error::Error>>(())

@@ -48,7 +48,10 @@ fn push_spreads_under_variable_latency() {
     engine.inject(PeerId::new(0), effects, &mut rng);
     engine.run(&mut nodes, &mut online, None, Tick::new(2_000), &mut rng);
 
-    let aware = nodes.iter().filter(|p| p.has_processed(update.id())).count();
+    let aware = nodes
+        .iter()
+        .filter(|p| p.has_processed(update.id()))
+        .count();
     assert!(
         aware as f64 / n as f64 > 0.95,
         "async push must reach (nearly) everyone: {aware}/{n}"
@@ -83,7 +86,11 @@ fn message_loss_degrades_but_does_not_stop_the_epidemic() {
         );
         engine.inject(PeerId::new(0), effects, &mut rng);
         engine.run(&mut nodes, &mut online, None, Tick::new(2_000), &mut rng);
-        nodes.iter().filter(|p| p.has_processed(update.id())).count() as f64 / n as f64
+        nodes
+            .iter()
+            .filter(|p| p.has_processed(update.id()))
+            .count() as f64
+            / n as f64
     };
     let clean = run(0.0);
     let lossy = run(0.3);
@@ -127,9 +134,18 @@ fn continuous_churn_with_eager_pull_recovers_returning_peers() {
         &mut rng,
     );
     engine.inject(PeerId::new(0), effects, &mut rng);
-    engine.run(&mut nodes, &mut online, Some(&process), Tick::new(5_000), &mut rng);
+    engine.run(
+        &mut nodes,
+        &mut online,
+        Some(&process),
+        Tick::new(5_000),
+        &mut rng,
+    );
 
-    let aware = nodes.iter().filter(|p| p.has_processed(update.id())).count();
+    let aware = nodes
+        .iter()
+        .filter(|p| p.has_processed(update.id()))
+        .count();
     assert!(
         aware as f64 / n as f64 > 0.9,
         "push + eager pull under continuous churn: {aware}/{n}"
@@ -156,8 +172,7 @@ fn sync_and_async_engines_agree_on_coverage() {
     let async_aware = {
         let mut nodes = population(n, &config);
         let mut online = OnlineSet::all_online(n);
-        let mut engine: EventEngine<Message> =
-            EventEngine::new(EventEngineConfig::default(), n);
+        let mut engine: EventEngine<Message> = EventEngine::new(EventEngineConfig::default(), n);
         let mut rng = ChaCha8Rng::seed_from_u64(8);
         let (update, effects) = nodes[0].initiate_update(
             DataKey::from_name("agree"),
@@ -167,7 +182,11 @@ fn sync_and_async_engines_agree_on_coverage() {
         );
         engine.inject(PeerId::new(0), effects, &mut rng);
         engine.run(&mut nodes, &mut online, None, Tick::new(1_000), &mut rng);
-        nodes.iter().filter(|p| p.has_processed(update.id())).count() as f64 / n as f64
+        nodes
+            .iter()
+            .filter(|p| p.has_processed(update.id()))
+            .count() as f64
+            / n as f64
     };
 
     // Sync run via the simulator.

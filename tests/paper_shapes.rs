@@ -73,7 +73,10 @@ fn fig4_best_strategy_is_decaying_pf() {
 fn fig5_overhead_stays_bounded_across_four_orders_of_magnitude() {
     let series = experiments::fig5();
     let costs: Vec<f64> = series.iter().map(|s| s.total_per_peer).collect();
-    assert!(costs.windows(2).all(|w| w[0] >= w[1]), "decreasing: {costs:?}");
+    assert!(
+        costs.windows(2).all(|w| w[0] >= w[1]),
+        "decreasing: {costs:?}"
+    );
     assert!(
         costs.iter().all(|&c| (15.0..45.0).contains(&c)),
         "paper: around 20 messages/peer: {costs:?}"
@@ -85,16 +88,25 @@ fn table2_full_ordering_and_factors() {
     // Setting A — paper: 4 / 3.92 / 3.136 / 2.215 msgs per online peer.
     let a = experiments::table2(Table2Setting::A);
     let m: Vec<f64> = a.iter().map(|r| r.messages_per_online).collect();
-    assert!(m[0] > m[1] && m[1] > m[2] && m[2] > m[3], "A ordering: {m:?}");
+    assert!(
+        m[0] > m[1] && m[1] > m[2] && m[2] > m[3],
+        "A ordering: {m:?}"
+    );
     assert!((m[0] - 4.0).abs() < 1e-9);
-    assert!((m[1] - 3.92).abs() / 3.92 < 0.05, "partial list ≈ paper: {m:?}");
+    assert!(
+        (m[1] - 3.92).abs() / 3.92 < 0.05,
+        "partial list ≈ paper: {m:?}"
+    );
     assert!((m[2] - 3.136).abs() / 3.136 < 0.10, "Haas ≈ paper: {m:?}");
     assert!((m[3] - 2.215).abs() / 2.215 < 0.20, "ours ≈ paper: {m:?}");
 
     // Setting B — paper: 40 / 35.22 / 28.49 / 16.35.
     let b = experiments::table2(Table2Setting::B);
     let m: Vec<f64> = b.iter().map(|r| r.messages_per_online).collect();
-    assert!(m[0] > m[1] && m[1] > m[2] && m[2] > m[3], "B ordering: {m:?}");
+    assert!(
+        m[0] > m[1] && m[1] > m[2] && m[2] > m[3],
+        "B ordering: {m:?}"
+    );
     assert!((m[0] - 40.0).abs() < 1e-9);
     assert!((m[1] - 35.22).abs() / 35.22 < 0.10, "{m:?}");
     assert!((m[2] - 28.49).abs() / 28.49 < 0.10, "{m:?}");

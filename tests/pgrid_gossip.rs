@@ -55,7 +55,10 @@ fn every_partition_can_host_the_update_protocol() {
         for _ in 0..30 {
             engine.step(&mut replicas, &online, &PerfectLinks, &mut rng);
         }
-        let aware = replicas.iter().filter(|r| r.has_processed(update.id())).count();
+        let aware = replicas
+            .iter()
+            .filter(|r| r.has_processed(update.id()))
+            .count();
         assert_eq!(aware, n, "the whole partition learns the update");
     }
 }

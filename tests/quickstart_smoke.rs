@@ -6,7 +6,7 @@
 
 use rumor::churn::MarkovChurn;
 use rumor::core::{ForwardPolicy, ProtocolConfig, PullStrategy, QueryPolicy};
-use rumor::sim::SimulationBuilder;
+use rumor::sim::Scenario;
 use rumor::types::{DataKey, PeerId};
 
 #[test]
@@ -14,6 +14,12 @@ fn quickstart_flow_end_to_end() {
     // Identical parameters to examples/quickstart.rs (same fixed seed, so
     // this run is reproducible bit for bit).
     let population = 1_000;
+    let scenario = Scenario::builder(population, 2026)
+        .online_fraction(0.2)
+        .churn(MarkovChurn::new(0.98, 0.01).expect("valid churn"))
+        .build()
+        .expect("quickstart scenario builds");
+
     let config = ProtocolConfig::builder(population)
         .fanout_fraction(0.03)
         .forward(ForwardPolicy::ExponentialDecay { base: 0.9 })
@@ -21,13 +27,7 @@ fn quickstart_flow_end_to_end() {
         .pull_fanout(3)
         .build()
         .expect("quickstart config is valid");
-
-    let mut sim = SimulationBuilder::new(population, 2026)
-        .online_fraction(0.2)
-        .churn(MarkovChurn::new(0.98, 0.01).expect("valid churn"))
-        .protocol(config)
-        .build()
-        .expect("quickstart simulation builds");
+    let mut sim = scenario.simulation(config);
 
     // Push phase: the example prints these numbers; the test pins the
     // claims behind them.
@@ -54,11 +54,17 @@ fn quickstart_flow_end_to_end() {
         .expect("someone slept through the push");
     sim.set_online(sleeper, true);
     sim.run_rounds(4);
-    let value = sim.peer(sleeper).store().get(key).expect("pull recovers the update");
+    let value = sim
+        .peer(sleeper)
+        .store()
+        .get(key)
+        .expect("pull recovers the update");
     assert_eq!(value.as_bytes(), b"rumors spread fast");
 
     // Query: five replicas answer, the latest version wins.
-    let answer = sim.query(key, 5, QueryPolicy::Latest).expect("replicas hold the key");
+    let answer = sim
+        .query(key, 5, QueryPolicy::Latest)
+        .expect("replicas hold the key");
     assert_eq!(
         answer.value.expect("not a tombstone").as_bytes(),
         b"rumors spread fast"

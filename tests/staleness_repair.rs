@@ -51,7 +51,10 @@ fn staleness_pull_repairs_peers_the_flood_missed() {
     // convergence falsely.
     engine.step(&mut peers, &online, &PerfectLinks, &mut rng);
     engine.step(&mut peers, &online, &PerfectLinks, &mut rng);
-    let aware_after_flood = peers.iter().filter(|p| p.has_processed(update.id())).count();
+    let aware_after_flood = peers
+        .iter()
+        .filter(|p| p.has_processed(update.id()))
+        .count();
     assert!(
         aware_after_flood <= 2,
         "push with fanout 1 / PF 0 reaches at most the initiator and one target"
@@ -68,7 +71,10 @@ fn staleness_pull_repairs_peers_the_flood_missed() {
     for _ in 0..30 {
         engine.step(&mut peers, &online, &PerfectLinks, &mut rng);
     }
-    let aware = peers.iter().filter(|p| p.has_processed(update.id())).count();
+    let aware = peers
+        .iter()
+        .filter(|p| p.has_processed(update.id()))
+        .count();
     assert_eq!(aware, n, "staleness pulls must repair every missed peer");
     for p in &peers {
         assert_eq!(

@@ -11,8 +11,6 @@
 
 #![forbid(unsafe_code)]
 
-
-
 /// A source of random bits.
 pub trait RngCore {
     /// Returns the next 32 random bits.
@@ -230,7 +228,10 @@ pub trait Rng: RngCore {
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p={p} out of range");
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "p={p} out of range"
+        );
         unit_f64(self) < p
     }
 
