@@ -1,0 +1,185 @@
+//! Figure artefacts: the analytical curves of each paper figure paired
+//! with a replicated simulation overlay, ready for JSON emission.
+//!
+//! Every figure bin (`fig1` … `fig5`) and `all_experiments` writes one
+//! [`FigureArtefact`] per figure. The analytical side reproduces the
+//! paper's closed-form curves; the simulated side runs the real protocol
+//! at simulator-friendly scale through the replication harness
+//! ([`rumor_sim::Experiment`]), so the artefact carries
+//! `mean/ci95/stddev/n` blocks downstream plotting draws as error bars.
+
+use crate::experiments::FigureSeries;
+use crate::json::ToJson;
+use crate::simfig::{self, ReplicatedSeries};
+use crate::{experiments, render};
+use rumor_types::derive_seed;
+use std::path::{Path, PathBuf};
+
+/// The master seed the figure overlays derive their replication
+/// substreams from (each figure further derives its own namespace).
+pub const DEFAULT_FIGURE_SEED: u64 = 42;
+
+/// One figure's full payload: the paper's analytical curves plus the
+/// replicated simulation overlay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureArtefact {
+    /// Artefact name (also the JSON file stem, e.g. `fig2`).
+    pub figure: String,
+    /// The closed-form curves from `experiments`.
+    pub analytic: Vec<FigureSeries>,
+    /// The replicated simulation overlay with dispersion statistics.
+    pub simulated: Vec<ReplicatedSeries>,
+}
+
+impl FigureArtefact {
+    /// Writes the artefact as pretty JSON into `dir` as
+    /// `<figure>.json`, creating the directory if needed. Returns the
+    /// path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from directory creation or the
+    /// write.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.figure));
+        std::fs::write(&path, self.to_json().pretty())?;
+        Ok(path)
+    }
+
+    /// Renders the analytic summary plus the overlay's error bars.
+    pub fn render(&self, title: &str) -> String {
+        let replications = self.simulated.first().map_or(0, |s| s.n);
+        format!(
+            "{}\n{}",
+            render::render_summary(title, &self.analytic),
+            render::render_replicated(
+                &format!("{title} — simulated ({replications} replications)"),
+                &self.simulated
+            )
+        )
+    }
+}
+
+fn figure_seed(master: u64, figure: &str) -> u64 {
+    derive_seed(master, figure)
+}
+
+/// Fig. 1(a) artefact: the dying-rumor regime plus its simulated
+/// counterpart (1% initial availability). Runs only that one setting —
+/// it shares labels/seeds with [`simfig::fig1_overlay`]'s first series,
+/// so the numbers match Fig. 1(b)'s overlay without recomputing the
+/// other four curves.
+pub fn fig1a(replications: u32, master_seed: u64) -> FigureArtefact {
+    FigureArtefact {
+        figure: "fig1a".into(),
+        analytic: experiments::fig1a(),
+        simulated: vec![simfig::fig1_overlay_low_availability(
+            replications,
+            figure_seed(master_seed, "fig1"),
+        )],
+    }
+}
+
+/// Fig. 1(b) artefact: varying the initial online population.
+pub fn fig1b(replications: u32, master_seed: u64) -> FigureArtefact {
+    FigureArtefact {
+        figure: "fig1b".into(),
+        analytic: experiments::fig1b(),
+        simulated: simfig::fig1_overlay(replications, figure_seed(master_seed, "fig1")),
+    }
+}
+
+/// Fig. 2 artefact: varying the fanout fraction `f_r`.
+pub fn fig2(replications: u32, master_seed: u64) -> FigureArtefact {
+    FigureArtefact {
+        figure: "fig2".into(),
+        analytic: experiments::fig2(),
+        simulated: simfig::fig2_overlay(replications, figure_seed(master_seed, "fig2")),
+    }
+}
+
+/// Fig. 3 artefact: varying the stay-online probability `sigma`.
+pub fn fig3(replications: u32, master_seed: u64) -> FigureArtefact {
+    FigureArtefact {
+        figure: "fig3".into(),
+        analytic: experiments::fig3(),
+        simulated: simfig::fig3_overlay(replications, figure_seed(master_seed, "fig3")),
+    }
+}
+
+/// Fig. 4 artefact: varying the forwarding schedule `PF(t)`.
+pub fn fig4(replications: u32, master_seed: u64) -> FigureArtefact {
+    FigureArtefact {
+        figure: "fig4".into(),
+        analytic: experiments::fig4(),
+        simulated: simfig::fig4_overlay(replications, figure_seed(master_seed, "fig4")),
+    }
+}
+
+/// Fig. 5 artefact: scalability across population sizes.
+pub fn fig5(replications: u32, master_seed: u64) -> FigureArtefact {
+    FigureArtefact {
+        figure: "fig5".into(),
+        analytic: experiments::fig5(),
+        simulated: simfig::fig5_overlay(replications, figure_seed(master_seed, "fig5")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simfig::PushSetting;
+
+    #[test]
+    fn artefact_json_has_stats_blocks() {
+        // A tiny artefact (2 replications, smallest population) keeps the
+        // test fast while exercising the whole emission path.
+        let artefact = FigureArtefact {
+            figure: "figX".into(),
+            analytic: experiments::fig1a(),
+            simulated: vec![simfig::replicated_sim_series(
+                "sim",
+                PushSetting {
+                    total: 200,
+                    online: 100,
+                    sigma: 1.0,
+                    f_r: 0.02,
+                    pf_base: None,
+                },
+                2,
+                9,
+            )],
+        };
+        let text = artefact.to_json().pretty();
+        for key in [
+            "figure",
+            "analytic",
+            "simulated",
+            "mean",
+            "ci95",
+            "stddev",
+            "n",
+        ] {
+            assert!(
+                text.contains(&format!("\"{key}\"")),
+                "missing {key} in artefact JSON"
+            );
+        }
+    }
+
+    #[test]
+    fn artefact_writes_named_file() {
+        let dir = std::env::temp_dir().join("rumor-artefact-test");
+        let artefact = FigureArtefact {
+            figure: "figtest".into(),
+            analytic: Vec::new(),
+            simulated: Vec::new(),
+        };
+        let path = artefact.write_json(&dir).expect("write artefact");
+        assert!(path.ends_with("figtest.json"));
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.contains("\"figure\": \"figtest\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

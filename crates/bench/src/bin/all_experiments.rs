@@ -1,11 +1,15 @@
 //! Runs every experiment and writes JSON artefacts next to the text
-//! output (default directory: `experiments-out/`).
+//! output (default directory: `experiments-out/`). Every Monte Carlo
+//! payload carries replication statistics (`mean/ci95/stddev/n`) from
+//! the shared replication harness.
 
-use rumor_bench::ablation;
+use rumor_bench::artefact::{self, DEFAULT_FIGURE_SEED};
 use rumor_bench::experiments::{self, Table2Setting};
+use rumor_bench::extensions;
 use rumor_bench::head_to_head;
 use rumor_bench::render::{render_summary, to_json};
-use rumor_bench::simfig;
+use rumor_bench::simfig::{self, OVERLAY_REPLICATIONS};
+use rumor_bench::{ablation, render};
 use std::fs;
 use std::path::PathBuf;
 
@@ -20,24 +24,41 @@ fn main() {
         println!("wrote {}", path.display());
     };
 
-    let fig1a = experiments::fig1a();
-    let fig1b = experiments::fig1b();
-    let fig2 = experiments::fig2();
-    let fig3 = experiments::fig3();
-    let fig4 = experiments::fig4();
-    let fig5 = experiments::fig5();
-    println!("{}", render_summary("Fig. 1(a)", &fig1a));
-    println!("{}", render_summary("Fig. 1(b)", &fig1b));
-    println!("{}", render_summary("Fig. 2", &fig2));
-    println!("{}", render_summary("Fig. 3", &fig3));
-    println!("{}", render_summary("Fig. 4", &fig4));
-    println!("{}", render_summary("Fig. 5", &fig5));
-    write("fig1a.json", to_json(&fig1a));
-    write("fig1b.json", to_json(&fig1b));
-    write("fig2.json", to_json(&fig2));
-    write("fig3.json", to_json(&fig3));
-    write("fig4.json", to_json(&fig4));
-    write("fig5.json", to_json(&fig5));
+    let figures = [
+        (
+            "Fig. 1(a)",
+            artefact::fig1a(OVERLAY_REPLICATIONS, DEFAULT_FIGURE_SEED),
+        ),
+        (
+            "Fig. 1(b)",
+            artefact::fig1b(OVERLAY_REPLICATIONS, DEFAULT_FIGURE_SEED),
+        ),
+        (
+            "Fig. 2",
+            artefact::fig2(OVERLAY_REPLICATIONS, DEFAULT_FIGURE_SEED),
+        ),
+        (
+            "Fig. 3",
+            artefact::fig3(OVERLAY_REPLICATIONS, DEFAULT_FIGURE_SEED),
+        ),
+        (
+            "Fig. 4",
+            artefact::fig4(OVERLAY_REPLICATIONS, DEFAULT_FIGURE_SEED),
+        ),
+        (
+            "Fig. 5",
+            artefact::fig5(OVERLAY_REPLICATIONS, DEFAULT_FIGURE_SEED),
+        ),
+    ];
+    for (title, figure) in &figures {
+        println!("{}", render_summary(title, &figure.analytic));
+        println!(
+            "{}",
+            render::render_replicated(&format!("{title} simulated"), &figure.simulated)
+        );
+        let path = figure.write_json(&out_dir).expect("write artefact");
+        println!("wrote {}", path.display());
+    }
 
     let t2a = experiments::table2(Table2Setting::A);
     let t2b = experiments::table2(Table2Setting::B);
@@ -66,23 +87,39 @@ fn main() {
     let validation = simfig::standard_suite(42);
     for v in &validation {
         println!(
-            "validate {}: model {:.2} vs sim {:.2} msgs/peer ({:.1}% err)",
+            "validate {}: model {:.2} vs sim {:.2} ± {:.2} msgs/peer ({:.1}% err, n={})",
             v.setting,
             v.model_cost,
-            v.sim_cost,
-            v.cost_error() * 100.0
+            v.sim_cost.mean(),
+            v.sim_cost.ci95().half_width(),
+            v.cost_error() * 100.0,
+            v.sim_cost.n()
         );
     }
     write("sim_vs_model.json", to_json(&validation));
 
-    let versus = head_to_head::standard_comparison(1_000, 77).expect("valid comparison");
+    let versus = head_to_head::standard_comparison(1_000, OVERLAY_REPLICATIONS, 77)
+        .expect("valid comparison");
     for r in &versus {
         println!(
-            "head-to-head {:<48} {:>8} msgs  {:>6.3} coverage  {:>3} rounds",
-            r.protocol, r.total_messages, r.coverage, r.rounds
+            "head-to-head {:<48} {:>10.1} msgs  {:>6.3} coverage  {:>5.1} rounds  (n={})",
+            r.protocol,
+            r.total_messages.mean(),
+            r.coverage.mean(),
+            r.rounds.mean(),
+            r.n
         );
     }
     write("head_to_head.json", to_json(&versus));
+
+    let bimodal = extensions::bimodal(60, 42);
+    println!(
+        "bimodal: low={} middle={} high={} (awareness {})",
+        bimodal.low, bimodal.middle, bimodal.high, bimodal.stats
+    );
+    write("extensions_bimodal.json", to_json(&bimodal));
+    let hetero = extensions::heterogeneity(5, 42);
+    write("extensions_heterogeneity.json", to_json(&hetero));
 
     let ab = [
         ("ablation_partial_list.json", ablation::partial_list(42)),

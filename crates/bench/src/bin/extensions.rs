@@ -1,5 +1,5 @@
 //! §8 future-work experiments: bimodal delivery distribution and
-//! non-uniform (backbone) availability.
+//! non-uniform (backbone) availability, with replication statistics.
 
 use rumor_bench::extensions::{bimodal, heterogeneity};
 use rumor_metrics::{Align, Histogram, Table};
@@ -11,7 +11,7 @@ fn main() {
         .unwrap_or(42u64);
 
     let report = bimodal(60, seed);
-    println!("== Bimodal behaviour at near-critical fanout (60 trials) ==");
+    println!("== Bimodal behaviour at near-critical fanout (60 replications) ==");
     println!(
         "almost none (<20%): {}   middle: {}   almost all (>80%): {}   => bimodal: {}",
         report.low,
@@ -19,33 +19,48 @@ fn main() {
         report.high,
         report.is_bimodal()
     );
+    println!("awareness: {}", report.stats);
     let mut hist = Histogram::new(0.0, 1.0, 10);
     for &a in &report.awareness {
         hist.record(a);
     }
-    let mut t = Table::new(vec!["awareness bucket".into(), "trials".into()]);
+    let mut t = Table::new(vec!["awareness bucket".into(), "replications".into()]);
     t.align(1, Align::Right);
     for (edge, count) in hist.iter() {
         t.row(vec![format!("{edge:.1}+"), count.to_string()]);
     }
     println!("{}", t.render());
 
-    println!("== Non-uniform availability (backbone) ==");
+    println!("== Non-uniform availability (backbone), mean ± 95% CI ==");
     let mut t = Table::new(vec![
         "scenario".into(),
         "awareness".into(),
         "msgs/peer".into(),
         "rounds".into(),
+        "n".into(),
     ]);
-    for i in 1..4 {
+    for i in 1..5 {
         t.align(i, Align::Right);
     }
     for row in heterogeneity(5, seed) {
         t.row(vec![
             row.scenario.clone(),
-            format!("{:.4}", row.awareness),
-            format!("{:.2}", row.cost),
-            format!("{:.1}", row.rounds),
+            format!(
+                "{:.4} ± {:.4}",
+                row.awareness.mean(),
+                row.awareness.ci95().half_width()
+            ),
+            format!(
+                "{:.2} ± {:.2}",
+                row.cost.mean(),
+                row.cost.ci95().half_width()
+            ),
+            format!(
+                "{:.1} ± {:.1}",
+                row.rounds.mean(),
+                row.rounds.ci95().half_width()
+            ),
+            row.awareness.n().to_string(),
         ]);
     }
     println!("{}", t.render());

@@ -1,29 +1,50 @@
-//! Figure 1: impact of the initial online population size.
+//! Figure 1: impact of the initial online population size — analytical
+//! curves plus the replicated simulation overlay (95% CIs).
 //!
-//! `cargo run -p rumor-bench --bin fig1 [-- a|b]`
+//! `cargo run -p rumor-bench --bin fig1 [-- a|b [out_dir]]`
 
-use rumor_bench::experiments::{fig1a, fig1b};
-use rumor_bench::render::{render_figure, render_summary};
+use rumor_bench::artefact::{self, DEFAULT_FIGURE_SEED};
+use rumor_bench::render::{render_error_bars, render_figure};
+use rumor_bench::simfig::OVERLAY_REPLICATIONS;
+use std::path::PathBuf;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "both".into());
+    let out_dir = std::env::args()
+        .nth(2)
+        .map_or_else(|| PathBuf::from("experiments-out"), PathBuf::from);
     if which == "a" || which == "both" {
-        let s = fig1a();
+        let artefact = artefact::fig1a(OVERLAY_REPLICATIONS, DEFAULT_FIGURE_SEED);
         println!(
             "{}",
-            render_figure("Fig. 1(a): R_on[0] = 1% — the rumor dies", &s)
+            render_figure(
+                "Fig. 1(a): R_on[0] = 1% — the rumor dies",
+                &artefact.analytic
+            )
         );
-        println!("{}", render_summary("Fig. 1(a) summary", &s));
+        println!("{}", artefact.render("Fig. 1(a) summary"));
+        let path = artefact.write_json(&out_dir).expect("write artefact");
+        println!("wrote {}", path.display());
     }
     if which == "b" || which == "both" {
-        let s = fig1b();
+        let artefact = artefact::fig1b(OVERLAY_REPLICATIONS, DEFAULT_FIGURE_SEED);
         println!(
             "{}",
             render_figure(
                 "Fig. 1(b): varying R_on[0]/R (sigma=0.95, PF=1, f_r=0.01)",
-                &s
+                &artefact.analytic
             )
         );
-        println!("{}", render_summary("Fig. 1(b) summary", &s));
+        println!("{}", artefact.render("Fig. 1(b) summary"));
+        println!(
+            "{}",
+            render_error_bars(
+                "Fig. 1(b) simulated awareness (95% CI)",
+                &artefact.simulated,
+                |s| &s.final_awareness
+            )
+        );
+        let path = artefact.write_json(&out_dir).expect("write artefact");
+        println!("wrote {}", path.display());
     }
 }

@@ -1,13 +1,34 @@
-//! Figure 2: impact of varying the fanout fraction `f_r`.
+//! Figure 2: impact of varying the fanout fraction `f_r` — analytical
+//! curves plus the replicated simulation overlay (95% CIs).
+//!
+//! `cargo run -p rumor-bench --bin fig2 [-- out_dir]`
 
-use rumor_bench::experiments::fig2;
-use rumor_bench::render::{render_figure, render_summary};
+use rumor_bench::artefact::{self, DEFAULT_FIGURE_SEED};
+use rumor_bench::render::{render_error_bars, render_figure};
+use rumor_bench::simfig::OVERLAY_REPLICATIONS;
+use std::path::PathBuf;
 
 fn main() {
-    let s = fig2();
+    let out_dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("experiments-out"), PathBuf::from);
+    let artefact = artefact::fig2(OVERLAY_REPLICATIONS, DEFAULT_FIGURE_SEED);
     println!(
         "{}",
-        render_figure("Fig. 2: varying F_r (sigma=0.9, PF=1, R_on[0]=1000)", &s)
+        render_figure(
+            "Fig. 2: varying F_r (sigma=0.9, PF=1, R_on[0]=1000)",
+            &artefact.analytic
+        )
     );
-    println!("{}", render_summary("Fig. 2 summary", &s));
+    println!("{}", artefact.render("Fig. 2 summary"));
+    println!(
+        "{}",
+        render_error_bars(
+            "Fig. 2 simulated msgs/peer (95% CI)",
+            &artefact.simulated,
+            |s| &s.total_per_peer
+        )
+    );
+    let path = artefact.write_json(&out_dir).expect("write artefact");
+    println!("wrote {}", path.display());
 }

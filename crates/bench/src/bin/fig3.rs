@@ -1,13 +1,34 @@
-//! Figure 3: impact of the stay-online probability `sigma`.
+//! Figure 3: impact of the stay-online probability `sigma` — analytical
+//! curves plus the replicated simulation overlay (95% CIs).
+//!
+//! `cargo run -p rumor-bench --bin fig3 [-- out_dir]`
 
-use rumor_bench::experiments::fig3;
-use rumor_bench::render::{render_figure, render_summary};
+use rumor_bench::artefact::{self, DEFAULT_FIGURE_SEED};
+use rumor_bench::render::{render_error_bars, render_figure};
+use rumor_bench::simfig::OVERLAY_REPLICATIONS;
+use std::path::PathBuf;
 
 fn main() {
-    let s = fig3();
+    let out_dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("experiments-out"), PathBuf::from);
+    let artefact = artefact::fig3(OVERLAY_REPLICATIONS, DEFAULT_FIGURE_SEED);
     println!(
         "{}",
-        render_figure("Fig. 3: varying sigma (PF=1, R_on[0]=1000, F_r=0.01)", &s)
+        render_figure(
+            "Fig. 3: varying sigma (PF=1, R_on[0]=1000, F_r=0.01)",
+            &artefact.analytic
+        )
     );
-    println!("{}", render_summary("Fig. 3 summary", &s));
+    println!("{}", artefact.render("Fig. 3 summary"));
+    println!(
+        "{}",
+        render_error_bars(
+            "Fig. 3 simulated msgs/peer (95% CI)",
+            &artefact.simulated,
+            |s| &s.total_per_peer
+        )
+    );
+    let path = artefact.write_json(&out_dir).expect("write artefact");
+    println!("wrote {}", path.display());
 }

@@ -1,16 +1,34 @@
-//! Figure 4: impact of the forwarding probability schedule `PF(t)`.
+//! Figure 4: impact of the forwarding probability schedule `PF(t)` —
+//! analytical curves plus the replicated simulation overlay (95% CIs).
+//!
+//! `cargo run -p rumor-bench --bin fig4 [-- out_dir]`
 
-use rumor_bench::experiments::fig4;
-use rumor_bench::render::{render_figure, render_summary};
+use rumor_bench::artefact::{self, DEFAULT_FIGURE_SEED};
+use rumor_bench::render::{render_error_bars, render_figure};
+use rumor_bench::simfig::OVERLAY_REPLICATIONS;
+use std::path::PathBuf;
 
 fn main() {
-    let s = fig4();
+    let out_dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("experiments-out"), PathBuf::from);
+    let artefact = artefact::fig4(OVERLAY_REPLICATIONS, DEFAULT_FIGURE_SEED);
     println!(
         "{}",
         render_figure(
             "Fig. 4: varying PF(t) (sigma=0.9, R_on[0]=1000, F_r=0.01)",
-            &s
+            &artefact.analytic
         )
     );
-    println!("{}", render_summary("Fig. 4 summary", &s));
+    println!("{}", artefact.render("Fig. 4 summary"));
+    println!(
+        "{}",
+        render_error_bars(
+            "Fig. 4 simulated msgs/peer (95% CI)",
+            &artefact.simulated,
+            |s| &s.total_per_peer
+        )
+    );
+    let path = artefact.write_json(&out_dir).expect("write artefact");
+    println!("wrote {}", path.display());
 }

@@ -1,16 +1,34 @@
-//! Figure 5: scalability from 10^4 to 10^8 replicas.
+//! Figure 5: scalability from 10^4 to 10^8 replicas — analytical curves
+//! plus the replicated simulation overlay at simulator scale (95% CIs).
+//!
+//! `cargo run -p rumor-bench --bin fig5 [-- out_dir]`
 
-use rumor_bench::experiments::fig5;
-use rumor_bench::render::{render_figure, render_summary};
+use rumor_bench::artefact::{self, DEFAULT_FIGURE_SEED};
+use rumor_bench::render::{render_error_bars, render_figure};
+use rumor_bench::simfig::OVERLAY_REPLICATIONS;
+use std::path::PathBuf;
 
 fn main() {
-    let s = fig5();
+    let out_dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("experiments-out"), PathBuf::from);
+    let artefact = artefact::fig5(OVERLAY_REPLICATIONS, DEFAULT_FIGURE_SEED);
     println!(
         "{}",
         render_figure(
             "Fig. 5: scalability (R_on/R=0.1, sigma=1, PF(t)=0.8*0.7^t+0.2, R*f_r=100)",
-            &s
+            &artefact.analytic
         )
     );
-    println!("{}", render_summary("Fig. 5 summary", &s));
+    println!("{}", artefact.render("Fig. 5 summary"));
+    println!(
+        "{}",
+        render_error_bars(
+            "Fig. 5 simulated msgs/peer (95% CI)",
+            &artefact.simulated,
+            |s| &s.total_per_peer
+        )
+    );
+    let path = artefact.write_json(&out_dir).expect("write artefact");
+    println!("wrote {}", path.display());
 }

@@ -1,10 +1,14 @@
-//! Simulated head-to-head: every contender in one shared `Scenario`.
+//! Simulated head-to-head: every contender in one shared `Scenario`,
+//! replicated over independent seed substreams (95% CIs).
 
 use rumor_bench::head_to_head::standard_comparison;
+use rumor_bench::render::mean_ci;
 use rumor_metrics::{Align, Table};
 
+const REPLICATIONS: u32 = 5;
+
 fn main() {
-    let rows = standard_comparison(1_000, 77).expect("valid comparison setup");
+    let rows = standard_comparison(1_000, REPLICATIONS, 77).expect("valid comparison setup");
     let mut t = Table::new(vec![
         "protocol".into(),
         "proto msgs".into(),
@@ -12,21 +16,25 @@ fn main() {
         "msgs/peer".into(),
         "coverage".into(),
         "rounds".into(),
+        "n".into(),
     ]);
-    for i in 1..6 {
+    for i in 1..7 {
         t.align(i, Align::Right);
     }
     for r in &rows {
         t.row(vec![
             r.protocol.clone(),
-            r.protocol_messages.to_string(),
-            r.total_messages.to_string(),
-            format!("{:.2}", r.messages_per_initial_online),
-            format!("{:.3}", r.coverage),
-            r.rounds.to_string(),
+            mean_ci(&r.protocol_messages),
+            mean_ci(&r.total_messages),
+            mean_ci(&r.messages_per_initial_online),
+            mean_ci(&r.coverage),
+            mean_ci(&r.rounds),
+            r.n.to_string(),
         ]);
     }
-    println!("== Simulated head-to-head (R = 1000, all online, one shared Scenario) ==");
+    println!(
+        "== Simulated head-to-head (R = 1000, all online, {REPLICATIONS} replications, mean ± 95% CI) =="
+    );
     println!("{}", t.render());
     println!("note: total msgs include feedback/ack/digest traffic where the protocol uses it.");
 }

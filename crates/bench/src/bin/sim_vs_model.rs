@@ -1,4 +1,5 @@
-//! Validation: the discrete simulator against the analytical recursion.
+//! Validation: the discrete simulator (replicated, with 95% CIs)
+//! against the analytical recursion.
 
 use rumor_bench::simfig::standard_suite;
 use rumor_metrics::{Align, Table};
@@ -18,24 +19,38 @@ fn main() {
         "sim aware".into(),
         "model rounds".into(),
         "sim rounds".into(),
+        "n".into(),
     ]);
-    for i in 1..8 {
+    for i in 1..9 {
         t.align(i, Align::Right);
     }
     for r in &rows {
         t.row(vec![
             r.setting.clone(),
             format!("{:.2}", r.model_cost),
-            format!("{:.2}", r.sim_cost),
+            format!(
+                "{:.2} ± {:.2}",
+                r.sim_cost.mean(),
+                r.sim_cost.ci95().half_width()
+            ),
             format!("{:.1}%", r.cost_error() * 100.0),
             format!("{:.4}", r.model_awareness),
-            format!("{:.4}", r.sim_awareness),
+            format!(
+                "{:.4} ± {:.4}",
+                r.sim_awareness.mean(),
+                r.sim_awareness.ci95().half_width()
+            ),
             r.model_rounds.to_string(),
-            format!("{:.1}", r.sim_rounds),
+            format!(
+                "{:.1} ± {:.1}",
+                r.sim_rounds.mean(),
+                r.sim_rounds.ci95().half_width()
+            ),
+            r.trials.to_string(),
         ]);
     }
     println!(
-        "== Simulator vs analytical model (seed {seed}) ==\n{}",
+        "== Simulator vs analytical model (seed {seed}, mean ± 95% CI) ==\n{}",
         t.render()
     );
 }

@@ -6,28 +6,31 @@
 //! and "the effect of non-uniform online probability of peers … a
 //! relatively reliable network backbone would exist and thus would make
 //! possible further performance improvements". Both are answerable with
-//! the simulator.
+//! the simulator; both are Monte Carlo questions, so the replications
+//! run through [`rumor_sim::Experiment`] and report dispersion, not bare
+//! means.
 
 use rumor_churn::{Churn, HeterogeneousChurn, MarkovChurn};
 use rumor_core::{ProtocolConfig, PullStrategy};
-use rumor_metrics::Summary;
-use rumor_sim::Scenario;
+use rumor_metrics::SampleStats;
+use rumor_sim::{Experiment, ReplicatedReport, Scenario};
 use rumor_types::DataKey;
 use serde::{Deserialize, Serialize};
 
 /// Outcome of the bimodality experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BimodalReport {
-    /// Final online-awareness of each trial.
+    /// Final online-awareness of each replication, in replication order.
     pub awareness: Vec<f64>,
-    /// Trials ending below 20% awareness ("almost none").
+    /// Replications ending below 20% awareness ("almost none").
     pub low: usize,
-    /// Trials ending above 80% awareness ("almost all").
+    /// Replications ending above 80% awareness ("almost all").
     pub high: usize,
-    /// Trials in between.
+    /// Replications in between.
     pub middle: usize,
-    /// Descriptive statistics.
-    pub summary: Summary,
+    /// Replication statistics over the awareness samples (mean,
+    /// stddev, Student-t 95% CI, percentiles).
+    pub stats: SampleStats,
 }
 
 impl BimodalReport {
@@ -47,26 +50,25 @@ impl BimodalReport {
 /// model, tested in the paper's low-availability environment.
 pub fn bimodal(trials: u32, seed: u64) -> BimodalReport {
     let population = 1_000;
-    let mut awareness = Vec::with_capacity(trials as usize);
-    for t in 0..trials {
+    let awareness: Vec<f64> = Experiment::new(seed, trials).run(|rep| {
         let config = ProtocolConfig::builder(population)
             .fanout_fraction(0.015) // ~15 msgs/push, 15% online → eff. ≈ 2.2
             .pull_strategy(PullStrategy::OnDemand)
             .build()
             .expect("valid config");
-        let scenario = Scenario::builder(population, seed.wrapping_add(u64::from(t)))
+        let scenario = Scenario::builder(population, rep.seed)
             .online_fraction(0.15)
             .build()
             .expect("valid scenario");
         let mut sim = scenario.simulation(config);
-        let report = sim.propagate(DataKey::from_name("bimodal"), "x", 120);
-        awareness.push(report.aware_online_fraction);
-    }
+        sim.propagate(DataKey::from_name("bimodal"), "x", 120)
+            .aware_online_fraction
+    });
     let low = awareness.iter().filter(|&&a| a < 0.2).count();
     let high = awareness.iter().filter(|&&a| a > 0.8).count();
     let middle = awareness.len() - low - high;
     BimodalReport {
-        summary: Summary::of(&awareness),
+        stats: SampleStats::of(&awareness),
         awareness,
         low,
         high,
@@ -74,56 +76,51 @@ pub fn bimodal(trials: u32, seed: u64) -> BimodalReport {
     }
 }
 
-/// One arm of the heterogeneity comparison.
+/// One arm of the heterogeneity comparison, with replication statistics
+/// per metric.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HeterogeneityRow {
     /// Scenario label.
     pub scenario: String,
-    /// Mean awareness of the online population over trials.
-    pub awareness: f64,
-    /// Mean push messages per initially-online peer.
-    pub cost: f64,
-    /// Mean rounds.
-    pub rounds: f64,
+    /// Final awareness of the online population, over replications.
+    pub awareness: SampleStats,
+    /// Push messages per initially-online peer, over replications.
+    pub cost: SampleStats,
+    /// Rounds, over replications.
+    pub rounds: SampleStats,
 }
 
 /// Uniform availability vs a reliable backbone at (approximately) equal
 /// mean availability (§8's hypothesis).
 pub fn heterogeneity(trials: u32, seed: u64) -> Vec<HeterogeneityRow> {
     let population = 2_000;
-    fn run<C: Churn + Clone + 'static>(
+    fn run<C: Churn + Clone + Send + Sync + 'static>(
         label: &str,
         churn: C,
         population: usize,
         trials: u32,
         seed_base: u64,
     ) -> HeterogeneityRow {
-        let mut aware = Vec::new();
-        let mut cost = Vec::new();
-        let mut rounds = Vec::new();
-        for t in 0..trials {
+        let reports = Experiment::new(seed_base, trials).run(|rep| {
             let config = ProtocolConfig::builder(population)
                 .fanout_fraction(0.015)
                 .pull_strategy(PullStrategy::OnDemand)
                 .build()
                 .expect("valid config");
-            let scenario = Scenario::builder(population, seed_base.wrapping_add(u64::from(t)))
+            let scenario = Scenario::builder(population, rep.seed)
                 .online_fraction(0.28)
                 .churn(churn.clone())
                 .build()
                 .expect("valid scenario");
             let mut sim = scenario.simulation(config);
-            let report = sim.propagate(DataKey::from_name("hetero"), "x", 80);
-            aware.push(report.aware_online_fraction);
-            cost.push(report.messages_per_initial_online());
-            rounds.push(f64::from(report.rounds));
-        }
-        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            sim.propagate(DataKey::from_name("hetero"), "x", 80)
+        });
+        let agg = ReplicatedReport::from_push(&reports);
         HeterogeneityRow {
             scenario: label.to_owned(),
-            awareness: mean(&aware),
-            cost: mean(&cost),
-            rounds: mean(&rounds),
+            awareness: agg.aware_online_fraction,
+            cost: agg.messages_per_initial_online,
+            rounds: agg.rounds,
         }
     }
 
@@ -165,6 +162,8 @@ mod tests {
             report.middle,
             report.high
         );
+        assert_eq!(report.stats.n(), 40);
+        assert!(report.stats.ci95().half_width().is_finite());
     }
 
     #[test]
@@ -172,12 +171,12 @@ mod tests {
         let rows = heterogeneity(3, 11);
         let (uniform, backbone) = (&rows[0], &rows[1]);
         assert!(
-            backbone.awareness >= uniform.awareness - 0.02,
+            backbone.awareness.mean() >= uniform.awareness.mean() - 0.02,
             "a reliable backbone must not hurt coverage: {rows:?}"
         );
         // The §8 hypothesis: the backbone acts as a stable relay spine.
         assert!(
-            backbone.awareness > 0.9,
+            backbone.awareness.mean() > 0.9,
             "backbone scenario covers the population: {rows:?}"
         );
     }

@@ -1,26 +1,29 @@
 //! Simulated head-to-head comparison: every contender mounted into one
 //! shared [`Scenario`] — the executable, environment-faithful version of
-//! Table 2.
+//! Table 2 — replicated over independent seed substreams.
 //!
 //! The analytical `experiments::table2` compares closed-form models; this
 //! module runs the *actual protocol code* of the paper peer and each
 //! baseline through the single generic driver, so every contender sees
 //! the identical topology draw, churn trajectory and initial
 //! availability, and the same loss/partition parameters (loss
-//! realisations ride each protocol's own stream). Before the redesign
-//! the baselines ran on a
-//! private loop with hardcoded perfect links and full topology — an
-//! easier environment than the paper protocol's.
+//! realisations ride each protocol's own stream). Replication goes
+//! through [`rumor_sim::Experiment`]: each replication is one shared
+//! scenario (seeded from its substream) that all contenders mount, and
+//! per-contender metrics aggregate into [`SampleStats`] with Student-t
+//! 95% confidence intervals.
 
 use rumor_baselines::{
     AntiEntropy, GnutellaFlooding, Gossip1, MongerConfig, MongerStop, RumorMongering,
 };
 use rumor_core::{ForwardPolicy, ProtocolConfig, PullStrategy};
-use rumor_sim::{PaperProtocol, Protocol, Scenario, SimError, UpdateEvent};
+use rumor_metrics::SampleStats;
+use rumor_sim::{Experiment, PaperProtocol, Protocol, Scenario, SimError, UpdateEvent};
 use rumor_types::DataKey;
 use serde::{Deserialize, Serialize};
 
-/// One contender's outcome in the shared scenario.
+/// One contender's outcome in one shared scenario (a single
+/// replication's row; [`ContenderSummary`] aggregates them).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ContenderRow {
     /// Protocol name (from [`Protocol::name`]).
@@ -37,6 +40,70 @@ pub struct ContenderRow {
     pub coverage: f64,
     /// Rounds until the tracker stopped (quiescence or convergence).
     pub rounds: u32,
+}
+
+/// One contender's replication statistics across every shared scenario:
+/// each metric carries mean, stddev, Student-t 95% CI and n.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContenderSummary {
+    /// Protocol name (from [`Protocol::name`]).
+    pub protocol: String,
+    /// Replications aggregated.
+    pub n: u32,
+    /// Protocol-counted overhead messages, over replications.
+    pub protocol_messages: SampleStats,
+    /// Total messages sent, over replications.
+    pub total_messages: SampleStats,
+    /// Total messages per initially-online peer, over replications.
+    pub messages_per_initial_online: SampleStats,
+    /// Final aware fraction of the online population, over replications.
+    pub coverage: SampleStats,
+    /// Rounds until the tracker stopped, over replications.
+    pub rounds: SampleStats,
+}
+
+impl ContenderSummary {
+    /// Folds one contender's per-replication rows (all sharing a
+    /// protocol name) into replication statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or mixes protocols.
+    pub fn fold(rows: &[&ContenderRow]) -> Self {
+        let protocol = rows
+            .first()
+            .expect("at least one replication")
+            .protocol
+            .clone();
+        assert!(
+            rows.iter().all(|r| r.protocol == protocol),
+            "cannot fold rows from different protocols"
+        );
+        ContenderSummary {
+            protocol,
+            n: rows.len() as u32,
+            protocol_messages: SampleStats::of(
+                &rows
+                    .iter()
+                    .map(|r| r.protocol_messages as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            total_messages: SampleStats::of(
+                &rows
+                    .iter()
+                    .map(|r| r.total_messages as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            messages_per_initial_online: SampleStats::of(
+                &rows
+                    .iter()
+                    .map(|r| r.messages_per_initial_online)
+                    .collect::<Vec<_>>(),
+            ),
+            coverage: SampleStats::of(&rows.iter().map(|r| r.coverage).collect::<Vec<_>>()),
+            rounds: SampleStats::of(&rows.iter().map(|r| f64::from(r.rounds)).collect::<Vec<_>>()),
+        }
+    }
 }
 
 /// The baseline parameterisation mounted alongside the paper protocol.
@@ -135,23 +202,57 @@ pub fn head_to_head(
     ]
 }
 
+/// Replicates [`head_to_head`] over independent scenario seeds: each
+/// replication builds one shared scenario from its substream (population
+/// `population`, everyone online), mounts every contender into it, and
+/// the per-contender metrics fold into [`ContenderSummary`] statistics.
+pub fn replicated_head_to_head(
+    population: usize,
+    config: ProtocolConfig,
+    contenders: ContenderSet,
+    horizon: u32,
+    replications: u32,
+    master_seed: u64,
+) -> Result<Vec<ContenderSummary>, SimError> {
+    // Validate the scenario parameters once, outside the worker pool.
+    Scenario::builder(population, master_seed).build()?;
+    let experiment = Experiment::new(master_seed, replications);
+    let per_replication: Vec<Vec<ContenderRow>> = experiment.run(|rep| {
+        let scenario = Scenario::builder(population, rep.seed)
+            .build()
+            .expect("scenario parameters validated above");
+        head_to_head(&scenario, config.clone(), contenders, horizon)
+    });
+    let contender_count = per_replication.first().map_or(0, Vec::len);
+    Ok((0..contender_count)
+        .map(|i| {
+            let rows: Vec<&ContenderRow> = per_replication.iter().map(|rep| &rep[i]).collect();
+            ContenderSummary::fold(&rows)
+        })
+        .collect())
+}
+
 /// The default comparison: `population` peers, everyone online, no
 /// churn — the Table 2(a) regime — with a paper configuration matching
-/// the baselines' fanout and a decaying `PF(t) = 0.9^t`.
+/// the baselines' fanout and a decaying `PF(t) = 0.9^t`, replicated
+/// `replications` times over independent seed substreams.
 ///
 /// # Errors
 ///
 /// Returns [`SimError`] when the scenario or protocol configuration is
 /// invalid (e.g. an empty population).
-pub fn standard_comparison(population: usize, seed: u64) -> Result<Vec<ContenderRow>, SimError> {
+pub fn standard_comparison(
+    population: usize,
+    replications: u32,
+    seed: u64,
+) -> Result<Vec<ContenderSummary>, SimError> {
     let contenders = ContenderSet::default();
-    let scenario = Scenario::builder(population, seed).build()?;
     let config = ProtocolConfig::builder(population)
         .fanout_absolute(contenders.fanout)
         .forward(ForwardPolicy::ExponentialDecay { base: 0.9 })
         .pull_strategy(PullStrategy::OnDemand)
         .build()?;
-    Ok(head_to_head(&scenario, config, contenders, 60))
+    replicated_head_to_head(population, config, contenders, 60, replications, seed)
 }
 
 #[cfg(test)]
@@ -160,40 +261,57 @@ mod tests {
 
     #[test]
     fn every_contender_covers_a_benign_scenario() {
-        let rows = standard_comparison(300, 7).unwrap();
+        let rows = standard_comparison(300, 3, 7).unwrap();
         assert_eq!(rows.len(), 5);
         for row in &rows {
+            assert_eq!(row.n, 3);
             assert!(
-                row.coverage > 0.9,
+                row.coverage.mean() > 0.9,
                 "{} only reached {}",
                 row.protocol,
-                row.coverage
+                row.coverage.mean()
             );
-            assert!(row.total_messages > 0);
+            assert!(row.total_messages.mean() > 0.0);
+            assert!(row.coverage.ci95().half_width().is_finite());
         }
     }
 
     #[test]
     fn paper_protocol_beats_flooding_on_push_overhead() {
-        let rows = standard_comparison(300, 7).unwrap();
+        let rows = standard_comparison(300, 3, 7).unwrap();
         let ours = &rows[0];
         let gnutella = &rows[1];
         // §5.6: duplicate-avoidance flooding sends every receiver a full
         // fanout of copies; the partial list plus decaying PF suppress
         // most of that.
         assert!(
-            ours.protocol_messages < gnutella.total_messages,
+            ours.protocol_messages.mean() < gnutella.total_messages.mean(),
             "ours {} !< gnutella {}",
-            ours.protocol_messages,
-            gnutella.total_messages
+            ours.protocol_messages.mean(),
+            gnutella.total_messages.mean()
         );
     }
 
     #[test]
     fn rows_are_deterministic_per_seed() {
         assert_eq!(
-            standard_comparison(150, 3).unwrap(),
-            standard_comparison(150, 3).unwrap()
+            standard_comparison(150, 2, 3).unwrap(),
+            standard_comparison(150, 2, 3).unwrap()
         );
+    }
+
+    #[test]
+    fn fold_rejects_mixed_protocols() {
+        let row = |name: &str| ContenderRow {
+            protocol: name.into(),
+            protocol_messages: 1,
+            total_messages: 2,
+            messages_per_initial_online: 0.5,
+            coverage: 1.0,
+            rounds: 3,
+        };
+        let (a, b) = (row("a"), row("b"));
+        let result = std::panic::catch_unwind(|| ContenderSummary::fold(&[&a, &b]));
+        assert!(result.is_err());
     }
 }

@@ -8,10 +8,13 @@
 //! same artefacts they would with `serde_json`.
 
 use crate::ablation::AblationRow;
+use crate::artefact::FigureArtefact;
 use crate::experiments::{FigureSeries, FloodingRow, PullRow};
-use crate::head_to_head::ContenderRow;
-use crate::simfig::ValidationRow;
+use crate::extensions::{BimodalReport, HeterogeneityRow};
+use crate::head_to_head::{ContenderRow, ContenderSummary};
+use crate::simfig::{ReplicatedSeries, ValidationRow};
 use rumor_analysis::{PfSchedule, PushOutcome, PushParams, RoundRow, SchemeResult};
+use rumor_metrics::SampleStats;
 
 /// A JSON document.
 #[derive(Debug, Clone, PartialEq)]
@@ -229,6 +232,25 @@ impl ToJson for FloodingRow {
     }
 }
 
+impl ToJson for SampleStats {
+    /// The replication-statistics block every Monte Carlo artefact
+    /// publishes: `mean/ci95/stddev/n` plus extrema. `ci95` is the
+    /// half-width of the Student-t interval (`null` when `n < 2`, where
+    /// dispersion is unknowable).
+    fn to_json(&self) -> Json {
+        let ci = self.ci95();
+        Json::obj([
+            ("mean", self.mean().to_json()),
+            ("ci95", ci.half_width().to_json()),
+            ("stddev", self.std_dev().to_json()),
+            ("n", self.n().to_json()),
+            ("min", self.min().to_json()),
+            ("max", self.max().to_json()),
+            ("median", self.median().to_json()),
+        ])
+    }
+}
+
 impl ToJson for ValidationRow {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -240,6 +262,70 @@ impl ToJson for ValidationRow {
             ("model_rounds", self.model_rounds.to_json()),
             ("sim_rounds", self.sim_rounds.to_json()),
             ("trials", self.trials.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ReplicatedSeries {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", self.label.to_json()),
+            ("n", self.n.to_json()),
+            ("total_per_peer", self.total_per_peer.to_json()),
+            ("rounds", self.rounds.to_json()),
+            ("final_awareness", self.final_awareness.to_json()),
+            ("died_fraction", self.died_fraction.to_json()),
+        ])
+    }
+}
+
+impl ToJson for FigureArtefact {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("figure", self.figure.to_json()),
+            ("analytic", self.analytic.to_json()),
+            ("simulated", self.simulated.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ContenderSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", self.protocol.to_json()),
+            ("n", self.n.to_json()),
+            ("protocol_messages", self.protocol_messages.to_json()),
+            ("total_messages", self.total_messages.to_json()),
+            (
+                "messages_per_initial_online",
+                self.messages_per_initial_online.to_json(),
+            ),
+            ("coverage", self.coverage.to_json()),
+            ("rounds", self.rounds.to_json()),
+        ])
+    }
+}
+
+impl ToJson for BimodalReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("awareness", self.awareness.to_json()),
+            ("low", self.low.to_json()),
+            ("high", self.high.to_json()),
+            ("middle", self.middle.to_json()),
+            ("stats", self.stats.to_json()),
+            ("is_bimodal", self.is_bimodal().to_json()),
+        ])
+    }
+}
+
+impl ToJson for HeterogeneityRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", self.scenario.to_json()),
+            ("awareness", self.awareness.to_json()),
+            ("cost", self.cost.to_json()),
+            ("rounds", self.rounds.to_json()),
         ])
     }
 }
@@ -416,6 +502,21 @@ mod tests {
                 "missing {key} in {text}"
             );
         }
+    }
+
+    #[test]
+    fn sample_stats_emit_mean_ci95_stddev_n() {
+        let text = SampleStats::of(&[1.0, 2.0, 3.0]).to_json().pretty();
+        for key in ["mean", "ci95", "stddev", "n", "min", "max", "median"] {
+            assert!(
+                text.contains(&format!("\"{key}\"")),
+                "missing {key} in {text}"
+            );
+        }
+        assert!(text.contains("\"n\": 3"));
+        // A single sample has an unknowable dispersion: ci95 is null.
+        let lone = SampleStats::of(&[5.0]).to_json().pretty();
+        assert!(lone.contains("\"ci95\": null"), "{lone}");
     }
 
     #[test]

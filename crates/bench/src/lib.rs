@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod artefact;
 pub mod experiments;
 pub mod extensions;
 pub mod head_to_head;

@@ -10,14 +10,14 @@
 //! # Examples
 //!
 //! ```
-//! use rumor_metrics::{RoundSeries, Summary};
+//! use rumor_metrics::{RoundSeries, SampleStats};
 //!
 //! let mut msgs = RoundSeries::new("messages");
 //! msgs.record(0, 10.0);
 //! msgs.record(1, 40.0);
 //! assert_eq!(msgs.total(), 50.0);
 //!
-//! let s = Summary::of(&[1.0, 2.0, 3.0]);
+//! let s = SampleStats::of(&[1.0, 2.0, 3.0]);
 //! assert_eq!(s.mean(), 2.0);
 //! ```
 
@@ -28,12 +28,12 @@ mod convergence;
 mod counter;
 mod histogram;
 mod series;
-mod summary;
+mod stats;
 mod table;
 
 pub use convergence::ConvergenceDetector;
 pub use counter::{Counter, CounterSet};
 pub use histogram::Histogram;
 pub use series::{RoundSeries, SeriesPoint};
-pub use summary::Summary;
+pub use stats::{t_critical_95, ConfidenceInterval, SampleStats};
 pub use table::{Align, Table};

@@ -1,0 +1,381 @@
+//! Replication statistics: sample moments, percentiles and Student-t
+//! confidence intervals.
+//!
+//! Monte Carlo estimates are only as good as their dispersion report:
+//! epidemic reproductions (Demers et al.'s anti-entropy experiments,
+//! Malkhi et al.'s Byzantine diffusion bounds) publish distributions,
+//! not point estimates. [`SampleStats`] is the aggregation target the
+//! replication harness (`rumor_sim::replicate`) folds per-replication
+//! metrics into, and [`ConfidenceInterval`] is the 95% Student-t
+//! interval the figures draw as error bars.
+//!
+//! # Examples
+//!
+//! ```
+//! use rumor_metrics::SampleStats;
+//!
+//! let s = SampleStats::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+//! assert_eq!(s.mean(), 5.0);
+//! assert_eq!(s.min(), 2.0);
+//! let ci = s.ci95();
+//! assert!(ci.lower < 5.0 && 5.0 < ci.upper);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Two-sided Student-t 97.5% quantiles (95% confidence, two tails) for
+/// 1 ≤ df ≤ 30. Beyond the table a conservative step function applies.
+const T_TABLE: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The two-sided 95% Student-t critical value for `df` degrees of
+/// freedom. Exact for `df ≤ 30`; beyond that a step function that
+/// rounds *up* (wider intervals), converging to the normal 1.96.
+///
+/// # Panics
+///
+/// Panics when `df == 0` — a single sample has no dispersion estimate;
+/// callers gate on `n ≥ 2` (see [`SampleStats::ci95`]).
+pub fn t_critical_95(df: usize) -> f64 {
+    assert!(df > 0, "Student-t requires at least one degree of freedom");
+    match df {
+        1..=30 => T_TABLE[df - 1],
+        31..=40 => 2.042,
+        41..=60 => 2.021,
+        61..=120 => 2.000,
+        _ => 1.960,
+    }
+}
+
+/// A two-sided confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lower: f64,
+    /// Upper bound.
+    pub upper: f64,
+    /// Confidence level (e.g. `0.95`).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half the interval width — what an error bar extends either side
+    /// of the mean. Infinite for the degenerate `n < 2` interval.
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Whether `x` lies inside the interval (bounds included).
+    pub fn contains(&self, x: f64) -> bool {
+        self.lower <= x && x <= self.upper
+    }
+}
+
+/// Descriptive statistics over one replicated metric: sample mean,
+/// unbiased (n−1) variance, extrema and exact percentiles, plus the
+/// Student-t confidence interval machinery.
+///
+/// The sorted sample set is retained, so percentiles are exact and two
+/// `SampleStats` built from the same replication outputs compare equal
+/// bit for bit — the property the determinism suite pins across worker
+/// thread counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleStats {
+    sorted: Vec<f64>,
+    mean: f64,
+    variance: f64,
+}
+
+impl SampleStats {
+    /// Computes statistics over `samples` (order irrelevant).
+    ///
+    /// Empty input yields an all-zero result with `n == 0`; a single
+    /// sample has zero variance by convention but an undefined (infinite)
+    /// confidence interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn of(samples: &[f64]) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        let n = sorted.len();
+        if n == 0 {
+            return Self {
+                sorted,
+                mean: 0.0,
+                variance: 0.0,
+            };
+        }
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let variance = if n < 2 {
+            0.0
+        } else {
+            sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        Self {
+            sorted,
+            mean,
+            variance,
+        }
+    }
+
+    /// Number of samples.
+    pub fn n(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (n−1 denominator; 0 when `n < 2`).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean (`s / √n`; 0 when `n < 2`).
+    pub fn std_error(&self) -> f64 {
+        if self.sorted.len() < 2 {
+            0.0
+        } else {
+            self.std_dev() / (self.sorted.len() as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Median (the 50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Exact percentile by linear interpolation between order statistics
+    /// (the "R-7" rule NumPy defaults to). `p` is clamped to `[0, 100]`;
+    /// `percentile(0) == min`, `percentile(100) == max`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let n = self.sorted.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] + (self.sorted[hi] - self.sorted[lo]) * frac
+    }
+
+    /// The two-sided Student-t 95% confidence interval for the mean.
+    ///
+    /// With fewer than two samples the dispersion is unknowable, so the
+    /// interval is `(-∞, +∞)` — honest rather than falsely tight; JSON
+    /// emission renders its half-width as `null`.
+    pub fn ci95(&self) -> ConfidenceInterval {
+        let n = self.sorted.len();
+        if n < 2 {
+            return ConfidenceInterval {
+                lower: f64::NEG_INFINITY,
+                upper: f64::INFINITY,
+                level: 0.95,
+            };
+        }
+        let half = t_critical_95(n - 1) * self.std_error();
+        ConfidenceInterval {
+            lower: self.mean - half,
+            upper: self.mean + half,
+            level: 0.95,
+        }
+    }
+}
+
+impl std::fmt::Display for SampleStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let half = self.ci95().half_width();
+        if half.is_finite() {
+            write!(f, "{:.4} ± {:.4} (n={})", self.mean, half, self.n())
+        } else {
+            write!(f, "{:.4} (n={})", self.mean, self.n())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = SampleStats::of(&[]);
+        assert_eq!(s.n(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn t_table_edge_cases() {
+        // df = 1 (n = 2): the notoriously wide 12.706.
+        assert_eq!(t_critical_95(1), 12.706);
+        // df = 2 (n = 3).
+        assert_eq!(t_critical_95(2), 4.303);
+        // Monotone non-increasing toward the normal limit.
+        let mut prev = f64::INFINITY;
+        for df in 1..500 {
+            let t = t_critical_95(df);
+            assert!(t <= prev, "t must not increase: df={df}");
+            assert!(t >= 1.960, "t never drops below the normal quantile");
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degree of freedom")]
+    fn t_critical_rejects_zero_df() {
+        t_critical_95(0);
+    }
+
+    #[test]
+    fn single_sample_has_infinite_ci() {
+        let s = SampleStats::of(&[3.5]);
+        assert_eq!(s.n(), 1);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+        let ci = s.ci95();
+        assert_eq!(ci.lower, f64::NEG_INFINITY);
+        assert_eq!(ci.upper, f64::INFINITY);
+        assert!(ci.half_width().is_infinite());
+        assert!(format!("{s}").contains("3.5000 (n=1)"));
+    }
+
+    #[test]
+    fn two_samples_use_df1() {
+        // Closed form: mean 1, s² = 2, s = √2, se = 1, half = 12.706.
+        let s = SampleStats::of(&[0.0, 2.0]);
+        assert_eq!(s.mean(), 1.0);
+        assert_eq!(s.variance(), 2.0);
+        assert!((s.std_error() - 1.0).abs() < 1e-12);
+        let ci = s.ci95();
+        assert!((ci.half_width() - 12.706).abs() < 1e-9);
+        assert!(ci.contains(1.0));
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = SampleStats::of(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(100.0), 40.0);
+        assert_eq!(s.median(), 25.0);
+        // Rank 0.25·3 = 0.75 → 10 + 0.75·10.
+        assert_eq!(s.percentile(25.0), 17.5);
+    }
+
+    #[test]
+    fn display_includes_ci() {
+        let s = SampleStats::of(&[1.0, 1.0, 1.0]);
+        assert!(format!("{s}").contains("± 0.0000 (n=3)"));
+    }
+
+    proptest! {
+        #[test]
+        fn constant_samples_closed_form(value in -100.0f64..100.0, n in 1usize..40) {
+            let samples = vec![value; n];
+            let s = SampleStats::of(&samples);
+            prop_assert!((s.mean() - value).abs() < 1e-12);
+            prop_assert!(s.variance().abs() < 1e-12);
+            prop_assert_eq!(s.min(), value);
+            prop_assert_eq!(s.max(), value);
+            prop_assert!((s.median() - value).abs() < 1e-12);
+            if n >= 2 {
+                // Zero dispersion → the CI collapses onto the mean
+                // (which may sit an ulp away from `value`).
+                let ci = s.ci95();
+                prop_assert!(ci.half_width() < 1e-9);
+                prop_assert!(ci.contains(s.mean()));
+            }
+        }
+
+        #[test]
+        fn two_point_samples_closed_form(a in -50.0f64..50.0, gap in 0.1f64..10.0, pairs in 1usize..20) {
+            // Equal counts of a and a+gap: mean a + gap/2,
+            // variance gap²/4 · 2m/(2m−1) with the n−1 denominator.
+            let b = a + gap;
+            let mut samples = Vec::new();
+            for _ in 0..pairs {
+                samples.push(a);
+                samples.push(b);
+            }
+            let s = SampleStats::of(&samples);
+            let m = pairs as f64;
+            prop_assert!((s.mean() - (a + gap / 2.0)).abs() < 1e-9);
+            let expected_var = (gap * gap / 4.0) * (2.0 * m / (2.0 * m - 1.0));
+            prop_assert!((s.variance() - expected_var).abs() < 1e-9,
+                "variance {} vs closed form {}", s.variance(), expected_var);
+            prop_assert_eq!(s.min(), a);
+            prop_assert_eq!(s.max(), b);
+        }
+
+        #[test]
+        fn ci_narrows_as_n_grows(a in -50.0f64..50.0, gap in 0.1f64..10.0, doublings in 2usize..7) {
+            // Fixed two-point distribution, growing sample size: the
+            // half-width t(n−1)·s/√n is strictly decreasing in n for the
+            // alternating sample (s is essentially constant, √n grows,
+            // t shrinks).
+            let b = a + gap;
+            let mut widths = Vec::new();
+            for d in 1..=doublings {
+                let pairs = 1 << d;
+                let mut samples = Vec::new();
+                for _ in 0..pairs {
+                    samples.push(a);
+                    samples.push(b);
+                }
+                widths.push(SampleStats::of(&samples).ci95().half_width());
+            }
+            prop_assert!(widths.windows(2).all(|w| w[1] < w[0]),
+                "CI must narrow with n: {widths:?}");
+        }
+
+        #[test]
+        fn percentile_bounds_and_monotonicity(seed_vals in proptest::collection::vec(-100.0f64..100.0, 1..30)) {
+            let s = SampleStats::of(&seed_vals);
+            let mut prev = f64::NEG_INFINITY;
+            for p in 0..=20 {
+                let q = s.percentile(p as f64 * 5.0);
+                prop_assert!(q >= s.min() - 1e-12 && q <= s.max() + 1e-12,
+                    "percentile escapes [min, max]");
+                prop_assert!(q >= prev - 1e-12, "percentiles must be monotone in p");
+                prev = q;
+            }
+            prop_assert_eq!(s.percentile(0.0), s.min());
+            prop_assert_eq!(s.percentile(100.0), s.max());
+            // The mean always lies inside the CI.
+            prop_assert!(s.ci95().contains(s.mean()));
+        }
+
+        #[test]
+        fn order_is_irrelevant(vals in proptest::collection::vec(-100.0f64..100.0, 2..25)) {
+            let forward = SampleStats::of(&vals);
+            let mut rev = vals.clone();
+            rev.reverse();
+            prop_assert_eq!(forward, SampleStats::of(&rev));
+        }
+    }
+}

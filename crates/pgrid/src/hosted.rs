@@ -126,6 +126,74 @@ mod tests {
     }
 
     #[test]
+    fn replicated_hosted_partition_converges_in_every_replication() {
+        // Multi-trial coverage for the P-Grid-hosted partition: each
+        // replication builds the partition scenario from its own seed
+        // substream, runs one update to quiescence, and must converge.
+        use rumor_sim::{Experiment, ReplicatedReport, RunReport};
+        let grid = grid();
+        let host = HostedPartition::new(&grid, DataKey::from_name("rep"));
+        let protocol = host.gossip_protocol().unwrap();
+        let experiment = Experiment::new(31, 6);
+        let run = |threads: usize| {
+            let reports = experiment.clone().threads(threads).run(|rep| {
+                let scenario = host.scenario(rep.seed).build().expect("valid scenario");
+                let mut driver = scenario.drive(&protocol);
+                let update = driver
+                    .initiate(
+                        &protocol,
+                        Some(PeerId::new(rep.index % host.len() as u32)),
+                        &UpdateEvent {
+                            round: 0,
+                            key: host.key(),
+                            delete: false,
+                            sequence: rep.index,
+                        },
+                    )
+                    .expect("initiator is online");
+                // Fixed-horizon run (not track_update): the hosted
+                // protocol's staleness pull repairs push misses *after*
+                // the push itself quiesces.
+                driver.run_rounds(40);
+                RunReport {
+                    rounds: driver.rounds_run(),
+                    aware_online_fraction: driver.aware_fraction(|n| protocol.is_aware(n, update)),
+                    aware_total_fraction: driver
+                        .aware_fraction_total(|n| protocol.is_aware(n, update)),
+                    protocol_messages: driver
+                        .nodes()
+                        .iter()
+                        .map(|n| protocol.protocol_messages(n))
+                        .sum(),
+                    total_messages: driver.messages(),
+                    initial_online: driver.initial_online(),
+                    per_round: Vec::new(),
+                }
+            });
+            for (i, report) in reports.iter().enumerate() {
+                assert!(
+                    (report.aware_online_fraction - 1.0).abs() < 1e-12,
+                    "replication {i} failed to converge: {}",
+                    report.aware_online_fraction
+                );
+            }
+            ReplicatedReport::from_runs(&reports)
+        };
+        let agg = run(1);
+        // Aggregation: every replication converged, so the awareness axis
+        // is the constant 1 with a collapsed CI, and dispersion shows up
+        // only in rounds/messages.
+        assert_eq!(agg.n, 6);
+        assert!((agg.aware_online_fraction.mean() - 1.0).abs() < 1e-12);
+        assert!(agg.aware_online_fraction.ci95().half_width() < 1e-9);
+        assert!(agg.total_messages.mean() > 0.0);
+        assert!(agg.rounds.min() >= 1.0);
+        // And the partition-scoped experiment is thread-count invariant
+        // like every other consumer of the harness.
+        assert_eq!(agg, run(4));
+    }
+
+    #[test]
     fn hosted_partition_runs_the_update_protocol_in_scenario() {
         let grid = grid();
         let host = HostedPartition::new(&grid, DataKey::from_name("b"));

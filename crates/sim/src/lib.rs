@@ -49,6 +49,7 @@ mod builder;
 mod consistency;
 mod driver;
 mod error;
+mod replicate;
 mod report;
 mod runner;
 mod scenario;
@@ -58,6 +59,7 @@ pub use builder::SimulationBuilder;
 pub use consistency::{awareness, consistency_fraction, staleness_by_peer};
 pub use driver::{Driver, PaperProtocol, Protocol};
 pub use error::SimError;
+pub use replicate::{Experiment, ReplicatedReport, Replication};
 pub use report::{
     PushReport, RoundObservation, RunReport, SimReport, UpdateOutcome, WorkloadReport,
 };

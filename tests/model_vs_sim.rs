@@ -11,14 +11,19 @@ fn standard_suite_agrees_within_tolerance() {
             "{}: model {:.2} vs sim {:.2} msgs/peer",
             row.setting,
             row.model_cost,
-            row.sim_cost
+            row.sim_cost.mean()
         );
         assert!(
-            (row.model_awareness - row.sim_awareness).abs() < 0.12,
+            (row.model_awareness - row.sim_awareness.mean()).abs() < 0.12,
             "{}: model {:.3} vs sim {:.3} awareness",
             row.setting,
             row.model_awareness,
-            row.sim_awareness
+            row.sim_awareness.mean()
+        );
+        assert_eq!(
+            row.sim_cost.n() as u32,
+            row.trials,
+            "stats carry every replication"
         );
     }
 }
@@ -38,7 +43,7 @@ fn model_predicts_simulated_pf_savings() {
     let always = validate(1_500, 500, 1.0, 0.02, None, 3, 7);
     let decayed = validate(1_500, 500, 1.0, 0.02, Some(0.9), 3, 7);
     let model_ratio = decayed.model_cost / always.model_cost;
-    let sim_ratio = decayed.sim_cost / always.sim_cost;
+    let sim_ratio = decayed.sim_cost.mean() / always.sim_cost.mean();
     assert!(
         (model_ratio - sim_ratio).abs() < 0.2,
         "saving ratios diverge: model {model_ratio:.2} vs sim {sim_ratio:.2}"
