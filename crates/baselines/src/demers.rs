@@ -11,7 +11,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use rumor_net::{Effect, Node};
+use rumor_net::{EffectSink, Node};
 use rumor_types::{PeerId, Round, UpdateId};
 use std::collections::{HashMap, HashSet};
 
@@ -77,9 +77,8 @@ impl AntiEntropyNode {
 
     /// Seeds a rumor locally (no immediate sends — anti-entropy spreads
     /// via the per-round exchanges).
-    pub fn seed_rumor(&mut self, rumor: UpdateId) -> Vec<Effect<DemersMsg>> {
+    pub fn seed_rumor(&mut self, rumor: UpdateId) {
         self.rumors.insert(rumor);
-        Vec::new()
     }
 }
 
@@ -90,17 +89,22 @@ impl Node for AntiEntropyNode {
         self.id
     }
 
-    fn on_round_start(&mut self, _round: Round, rng: &mut ChaCha8Rng) -> Vec<Effect<DemersMsg>> {
+    fn on_round_start(
+        &mut self,
+        _round: Round,
+        rng: &mut ChaCha8Rng,
+        out: &mut EffectSink<DemersMsg>,
+    ) {
         let Some(&partner) = self.peers.choose(rng) else {
-            return Vec::new();
+            return;
         };
-        vec![Effect::send(
+        out.send(
             partner,
             DemersMsg::Digest {
                 known: self.rumors.iter().copied().collect(),
                 reply: true,
             },
-        )]
+        );
     }
 
     fn on_message(
@@ -109,7 +113,8 @@ impl Node for AntiEntropyNode {
         msg: DemersMsg,
         _round: Round,
         _rng: &mut ChaCha8Rng,
-    ) -> Vec<Effect<DemersMsg>> {
+        out: &mut EffectSink<DemersMsg>,
+    ) {
         match msg {
             DemersMsg::Digest { known, reply } => {
                 let their: HashSet<UpdateId> = known.iter().copied().collect();
@@ -127,18 +132,17 @@ impl Node for AntiEntropyNode {
                         .filter(|r| !their.contains(r))
                         .collect();
                     if !missing.is_empty() || self.push_pull {
-                        return vec![Effect::send(
+                        out.send(
                             from,
                             DemersMsg::Digest {
                                 known: missing,
                                 reply: false,
                             },
-                        )];
+                        );
                     }
                 }
-                Vec::new()
             }
-            DemersMsg::Rumor { .. } | DemersMsg::Feedback { .. } => Vec::new(),
+            DemersMsg::Rumor { .. } | DemersMsg::Feedback { .. } => {}
         }
     }
 }
@@ -182,6 +186,8 @@ pub struct RumorMongerNode {
     known: HashSet<UpdateId>,
     hot: HashSet<UpdateId>,
     counters: HashMap<UpdateId, u32>,
+    /// Reusable snapshot of the hot set (hot path).
+    hot_scratch: Vec<UpdateId>,
 }
 
 impl RumorMongerNode {
@@ -194,6 +200,7 @@ impl RumorMongerNode {
             known: HashSet::new(),
             hot: HashSet::new(),
             counters: HashMap::new(),
+            hot_scratch: Vec::new(),
         }
     }
 
@@ -217,10 +224,9 @@ impl RumorMongerNode {
     }
 
     /// Seeds a rumor at this node, marking it hot.
-    pub fn seed_rumor(&mut self, rumor: UpdateId) -> Vec<Effect<DemersMsg>> {
+    pub fn seed_rumor(&mut self, rumor: UpdateId) {
         self.known.insert(rumor);
         self.hot.insert(rumor);
-        Vec::new()
     }
 
     fn maybe_lose_interest(&mut self, rumor: UpdateId, rng: &mut ChaCha8Rng) {
@@ -248,19 +254,26 @@ impl Node for RumorMongerNode {
         self.id
     }
 
-    fn on_round_start(&mut self, _round: Round, rng: &mut ChaCha8Rng) -> Vec<Effect<DemersMsg>> {
-        let hot: Vec<UpdateId> = self.hot.iter().copied().collect();
-        let mut effects = Vec::new();
-        for rumor in hot {
+    fn on_round_start(
+        &mut self,
+        _round: Round,
+        rng: &mut ChaCha8Rng,
+        out: &mut EffectSink<DemersMsg>,
+    ) {
+        let mut hot = std::mem::take(&mut self.hot_scratch);
+        hot.clear();
+        hot.extend(self.hot.iter().copied());
+        for &rumor in &hot {
             if let Some(&partner) = self.peers.choose(rng) {
-                effects.push(Effect::send(partner, DemersMsg::Rumor { rumor }));
+                out.send(partner, DemersMsg::Rumor { rumor });
                 if !self.config.feedback {
                     // Blind: the stop rule ticks on every send.
                     self.maybe_lose_interest(rumor, rng);
                 }
             }
         }
-        effects
+        hot.clear();
+        self.hot_scratch = hot;
     }
 
     fn on_message(
@@ -269,7 +282,8 @@ impl Node for RumorMongerNode {
         msg: DemersMsg,
         _round: Round,
         rng: &mut ChaCha8Rng,
-    ) -> Vec<Effect<DemersMsg>> {
+        out: &mut EffectSink<DemersMsg>,
+    ) {
         match msg {
             DemersMsg::Rumor { rumor } => {
                 let already_knew = !self.known.insert(rumor);
@@ -277,15 +291,13 @@ impl Node for RumorMongerNode {
                     self.hot.insert(rumor);
                 }
                 if self.config.feedback {
-                    vec![Effect::send(
+                    out.send(
                         from,
                         DemersMsg::Feedback {
                             rumor,
                             already_knew,
                         },
-                    )]
-                } else {
-                    Vec::new()
+                    );
                 }
             }
             DemersMsg::Feedback {
@@ -295,9 +307,8 @@ impl Node for RumorMongerNode {
                 if self.config.feedback && already_knew {
                     self.maybe_lose_interest(rumor, rng);
                 }
-                Vec::new()
             }
-            DemersMsg::Digest { .. } => Vec::new(),
+            DemersMsg::Digest { .. } => {}
         }
     }
 }
@@ -306,6 +317,7 @@ impl Node for RumorMongerNode {
 mod tests {
     use super::*;
     use crate::runner::BaselineSim;
+    use rumor_net::Effect;
 
     fn rumor() -> UpdateId {
         UpdateId::from_bits(7)
@@ -317,7 +329,7 @@ mod tests {
             .map(|i| AntiEntropyNode::fully_connected(i, 60, false))
             .collect();
         let mut sim = BaselineSim::new(nodes, 60, 3).unwrap();
-        sim.seed(0, |n, _| n.seed_rumor(rumor()));
+        sim.seed(0, |n, _, _| n.seed_rumor(rumor()));
         sim.run_rounds(40);
         let aware = sim.aware_fraction(|n| n.knows(rumor()));
         assert!(aware > 0.95, "anti-entropy converges, got {aware}");
@@ -330,7 +342,7 @@ mod tests {
                 .map(|i| AntiEntropyNode::fully_connected(i, 80, push_pull))
                 .collect();
             let mut sim = BaselineSim::new(nodes, 80, 5).unwrap();
-            sim.seed(0, |n, _| n.seed_rumor(rumor()));
+            sim.seed(0, |n, _, _| n.seed_rumor(rumor()));
             let mut rounds = 0;
             while sim.aware_fraction(|n| n.knows(rumor())) < 0.9 && rounds < 200 {
                 sim.step();
@@ -354,7 +366,7 @@ mod tests {
             .map(|i| RumorMongerNode::fully_connected(i, 100, config))
             .collect();
         let mut sim = BaselineSim::new(nodes, 100, 9).unwrap();
-        sim.seed(0, |n, _| n.seed_rumor(rumor()));
+        sim.seed(0, |n, _, _| n.seed_rumor(rumor()));
         sim.run_rounds(100);
         let aware = sim.aware_fraction(|n| n.knows(rumor()));
         assert!(
@@ -373,7 +385,7 @@ mod tests {
             .map(|i| RumorMongerNode::fully_connected(i, 50, config))
             .collect();
         let mut sim = BaselineSim::new(nodes, 50, 13).unwrap();
-        sim.seed(0, |n, _| n.seed_rumor(rumor()));
+        sim.seed(0, |n, _, _| n.seed_rumor(rumor()));
         sim.run_rounds(60);
         let hot = sim.aware_fraction(|n| n.is_hot(rumor()));
         assert_eq!(hot, 0.0, "blind counter mongering terminates");
@@ -390,7 +402,7 @@ mod tests {
                 .map(|i| RumorMongerNode::fully_connected(i, 80, config))
                 .collect();
             let mut sim = BaselineSim::new(nodes, 80, 17).unwrap();
-            sim.seed(0, |n, _| n.seed_rumor(rumor()));
+            sim.seed(0, |n, _, _| n.seed_rumor(rumor()));
             sim.run_rounds(120);
             sim.messages()
         };
@@ -409,11 +421,13 @@ mod tests {
         let mut rng = rand::SeedableRng::seed_from_u64(1);
         a.seed_rumor(rumor());
         let mut b = RumorMongerNode::fully_connected(1, 2, config);
-        let fb = b.on_message(
+        let mut fb = EffectSink::new();
+        b.on_message(
             PeerId::new(0),
             DemersMsg::Rumor { rumor: rumor() },
             Round::ZERO,
             &mut rng,
+            &mut fb,
         );
         assert!(matches!(
             fb[..],

@@ -3,7 +3,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use rumor_net::{Effect, Node};
+use rumor_net::{EffectSink, Node};
 use rumor_types::{PeerId, Round, UpdateId};
 use std::collections::HashSet;
 
@@ -38,6 +38,8 @@ pub struct GnutellaNode {
     seen: HashSet<UpdateId>,
     /// Duplicate copies received (observability).
     pub duplicates: u64,
+    /// Reusable forwarding pool (hot path).
+    pool_scratch: Vec<PeerId>,
 }
 
 impl GnutellaNode {
@@ -50,6 +52,7 @@ impl GnutellaNode {
             ttl,
             seen: HashSet::new(),
             duplicates: 0,
+            pool_scratch: Vec::new(),
         }
     }
 
@@ -68,43 +71,52 @@ impl GnutellaNode {
         self.neighbors.len()
     }
 
-    /// Seeds a rumor at this node (the initiator's broadcast).
-    pub fn seed_rumor(&mut self, rumor: UpdateId, rng: &mut ChaCha8Rng) -> Vec<Effect<FloodMsg>> {
+    /// Seeds a rumor at this node (the initiator's broadcast), writing
+    /// the resulting sends into `out`.
+    pub fn seed_rumor(
+        &mut self,
+        rumor: UpdateId,
+        rng: &mut ChaCha8Rng,
+        out: &mut EffectSink<FloodMsg>,
+    ) {
         self.seen.insert(rumor);
-        self.forward(rumor, self.ttl, 0, None, rng)
+        self.forward(rumor, self.ttl, 0, None, rng, out);
     }
 
     fn forward(
-        &self,
+        &mut self,
         rumor: UpdateId,
         ttl: u32,
         hops: u32,
         exclude: Option<PeerId>,
         rng: &mut ChaCha8Rng,
-    ) -> Vec<Effect<FloodMsg>> {
+        out: &mut EffectSink<FloodMsg>,
+    ) {
         if ttl == 0 {
-            return Vec::new();
+            return;
         }
-        let mut pool: Vec<PeerId> = self
-            .neighbors
-            .iter()
-            .copied()
-            .filter(|&p| Some(p) != exclude)
-            .collect();
+        let mut pool = std::mem::take(&mut self.pool_scratch);
+        pool.clear();
+        pool.extend(
+            self.neighbors
+                .iter()
+                .copied()
+                .filter(|&p| Some(p) != exclude),
+        );
         pool.shuffle(rng);
         pool.truncate(self.fanout);
-        pool.into_iter()
-            .map(|to| {
-                Effect::send(
-                    to,
-                    FloodMsg {
-                        rumor,
-                        ttl: ttl - 1,
-                        hops: hops + 1,
-                    },
-                )
-            })
-            .collect()
+        for &to in &pool {
+            out.send(
+                to,
+                FloodMsg {
+                    rumor,
+                    ttl: ttl - 1,
+                    hops: hops + 1,
+                },
+            );
+        }
+        pool.clear();
+        self.pool_scratch = pool;
     }
 }
 
@@ -121,12 +133,13 @@ impl Node for GnutellaNode {
         msg: FloodMsg,
         _round: Round,
         rng: &mut ChaCha8Rng,
-    ) -> Vec<Effect<FloodMsg>> {
+        out: &mut EffectSink<FloodMsg>,
+    ) {
         if !self.seen.insert(msg.rumor) {
             self.duplicates += 1;
-            return Vec::new();
+            return;
         }
-        self.forward(msg.rumor, msg.ttl, msg.hops, Some(from), rng)
+        self.forward(msg.rumor, msg.ttl, msg.hops, Some(from), rng, out);
     }
 }
 
@@ -159,8 +172,13 @@ impl PureFloodNode {
     }
 
     /// Seeds a rumor at this node.
-    pub fn seed_rumor(&mut self, rumor: UpdateId, rng: &mut ChaCha8Rng) -> Vec<Effect<FloodMsg>> {
-        self.inner.seed_rumor(rumor, rng)
+    pub fn seed_rumor(
+        &mut self,
+        rumor: UpdateId,
+        rng: &mut ChaCha8Rng,
+        out: &mut EffectSink<FloodMsg>,
+    ) {
+        self.inner.seed_rumor(rumor, rng, out);
     }
 }
 
@@ -177,13 +195,14 @@ impl Node for PureFloodNode {
         msg: FloodMsg,
         _round: Round,
         rng: &mut ChaCha8Rng,
-    ) -> Vec<Effect<FloodMsg>> {
+        out: &mut EffectSink<FloodMsg>,
+    ) {
         if !self.inner.seen.insert(msg.rumor) {
             self.inner.duplicates += 1;
             // No duplicate avoidance: forward anyway.
         }
         self.inner
-            .forward(msg.rumor, msg.ttl, msg.hops, Some(from), rng)
+            .forward(msg.rumor, msg.ttl, msg.hops, Some(from), rng, out);
     }
 }
 
@@ -225,8 +244,13 @@ impl HaasNode {
     }
 
     /// Seeds a rumor at this node.
-    pub fn seed_rumor(&mut self, rumor: UpdateId, rng: &mut ChaCha8Rng) -> Vec<Effect<FloodMsg>> {
-        self.inner.seed_rumor(rumor, rng)
+    pub fn seed_rumor(
+        &mut self,
+        rumor: UpdateId,
+        rng: &mut ChaCha8Rng,
+        out: &mut EffectSink<FloodMsg>,
+    ) {
+        self.inner.seed_rumor(rumor, rng, out);
     }
 }
 
@@ -243,17 +267,16 @@ impl Node for HaasNode {
         msg: FloodMsg,
         _round: Round,
         rng: &mut ChaCha8Rng,
-    ) -> Vec<Effect<FloodMsg>> {
+        out: &mut EffectSink<FloodMsg>,
+    ) {
         if !self.inner.seen.insert(msg.rumor) {
             self.inner.duplicates += 1;
-            return Vec::new();
+            return;
         }
         let forward = msg.hops < self.k || self.p >= 1.0 || rng.gen_bool(self.p);
         if forward {
             self.inner
-                .forward(msg.rumor, msg.ttl, msg.hops, Some(from), rng)
-        } else {
-            Vec::new()
+                .forward(msg.rumor, msg.ttl, msg.hops, Some(from), rng, out);
         }
     }
 }
@@ -263,6 +286,7 @@ mod tests {
     use super::*;
     use crate::runner::BaselineSim;
     use rand::SeedableRng;
+    use rumor_net::Effect;
 
     fn rumor() -> UpdateId {
         UpdateId::from_bits(99)
@@ -272,12 +296,17 @@ mod tests {
         ChaCha8Rng::seed_from_u64(14)
     }
 
+    fn sink() -> EffectSink<FloodMsg> {
+        EffectSink::new()
+    }
+
     #[test]
     fn gnutella_seed_respects_fanout_and_ttl() {
         let mut n = GnutellaNode::fully_connected(0, 50, 4, 3);
-        let effects = n.seed_rumor(rumor(), &mut rng());
+        let mut effects = sink();
+        n.seed_rumor(rumor(), &mut rng(), &mut effects);
         assert_eq!(effects.len(), 4);
-        for e in &effects {
+        for e in effects.as_slice() {
             let Effect::Send { msg, .. } = e else {
                 panic!()
             };
@@ -291,7 +320,8 @@ mod tests {
     fn gnutella_zero_ttl_does_not_forward() {
         let mut n = GnutellaNode::fully_connected(0, 10, 4, 1);
         let mut r = rng();
-        let out = n.on_message(
+        let mut out = sink();
+        n.on_message(
             PeerId::new(1),
             FloodMsg {
                 rumor: rumor(),
@@ -300,6 +330,7 @@ mod tests {
             },
             Round::ZERO,
             &mut r,
+            &mut out,
         );
         assert!(out.is_empty());
         assert!(n.knows(rumor()));
@@ -314,8 +345,10 @@ mod tests {
             ttl: 4,
             hops: 1,
         };
-        let first = n.on_message(PeerId::new(1), msg, Round::ZERO, &mut r);
-        let second = n.on_message(PeerId::new(2), msg, Round::ZERO, &mut r);
+        let mut first = sink();
+        n.on_message(PeerId::new(1), msg, Round::ZERO, &mut r, &mut first);
+        let mut second = sink();
+        n.on_message(PeerId::new(2), msg, Round::ZERO, &mut r, &mut second);
         assert!(!first.is_empty());
         assert!(second.is_empty());
         assert_eq!(n.duplicates, 1);
@@ -330,8 +363,10 @@ mod tests {
             ttl: 4,
             hops: 1,
         };
-        let first = n.on_message(PeerId::new(1), msg, Round::ZERO, &mut r);
-        let second = n.on_message(PeerId::new(2), msg, Round::ZERO, &mut r);
+        let mut first = sink();
+        n.on_message(PeerId::new(1), msg, Round::ZERO, &mut r, &mut first);
+        let mut second = sink();
+        n.on_message(PeerId::new(2), msg, Round::ZERO, &mut r, &mut second);
         assert_eq!(first.len(), 2);
         assert_eq!(second.len(), 2, "no duplicate avoidance");
     }
@@ -341,7 +376,8 @@ mod tests {
         let mut n = HaasNode::fully_connected(0, 100, 3, 10, 0.0, 2);
         let mut r = rng();
         // hops < k: always forwards even with p = 0.
-        let early = n.on_message(
+        let mut early = sink();
+        n.on_message(
             PeerId::new(1),
             FloodMsg {
                 rumor: UpdateId::from_bits(1),
@@ -350,10 +386,12 @@ mod tests {
             },
             Round::ZERO,
             &mut r,
+            &mut early,
         );
         assert_eq!(early.len(), 3);
         // hops >= k with p = 0: never forwards.
-        let late = n.on_message(
+        let mut late = sink();
+        n.on_message(
             PeerId::new(1),
             FloodMsg {
                 rumor: UpdateId::from_bits(2),
@@ -362,6 +400,7 @@ mod tests {
             },
             Round::ZERO,
             &mut r,
+            &mut late,
         );
         assert!(late.is_empty());
     }
@@ -378,7 +417,7 @@ mod tests {
                 .map(|i| PureFloodNode::fully_connected(i, population, fanout, 5))
                 .collect();
             let mut sim = BaselineSim::new(nodes, population, 21).unwrap();
-            sim.seed(0, |n, rng| n.seed_rumor(rumor(), rng));
+            sim.seed(0, |n, rng, out| n.seed_rumor(rumor(), rng, out));
             sim.run_until_quiescent(30);
             sim.messages()
         };
@@ -387,7 +426,7 @@ mod tests {
                 .map(|i| GnutellaNode::fully_connected(i, population, fanout, ttl))
                 .collect();
             let mut sim = BaselineSim::new(nodes, population, 21).unwrap();
-            sim.seed(0, |n, rng| n.seed_rumor(rumor(), rng));
+            sim.seed(0, |n, rng, out| n.seed_rumor(rumor(), rng, out));
             sim.run_until_quiescent(30);
             // Fanout-4 epidemics leave a small tail of unreached peers.
             assert!(sim.aware_fraction(|n| n.knows(rumor())) > 0.9);
@@ -398,7 +437,7 @@ mod tests {
                 .map(|i| HaasNode::fully_connected(i, population, fanout, ttl, 0.8, 2))
                 .collect();
             let mut sim = BaselineSim::new(nodes, population, 21).unwrap();
-            sim.seed(0, |n, rng| n.seed_rumor(rumor(), rng));
+            sim.seed(0, |n, rng, out| n.seed_rumor(rumor(), rng, out));
             sim.run_until_quiescent(30);
             assert!(sim.aware_fraction(|n| n.knows(rumor())) > 0.8);
             sim.messages()

@@ -24,7 +24,7 @@
 //!     .map(|i| GnutellaNode::fully_connected(i, 100, 6, 7))
 //!     .collect();
 //! let mut sim = BaselineSim::new(nodes, 100, 11)?;
-//! sim.seed(0, |n, rng| n.seed_rumor(rumor, rng));
+//! sim.seed(0, |n, rng, out| n.seed_rumor(rumor, rng, out));
 //! sim.run_until_quiescent(50);
 //! let aware = sim.aware_fraction(|n| n.knows(rumor));
 //! assert!(aware > 0.95, "flooding informs (nearly) everyone, got {aware}");

@@ -32,7 +32,7 @@
 use crate::demers::{AntiEntropyNode, DemersMsg, MongerConfig, RumorMongerNode};
 use crate::flood::{FloodMsg, GnutellaNode, HaasNode, PureFloodNode};
 use rand_chacha::ChaCha8Rng;
-use rumor_net::Effect;
+use rumor_net::EffectSink;
 use rumor_sim::{Protocol, UpdateEvent};
 use rumor_types::{PeerId, Round, UpdateId};
 
@@ -65,9 +65,11 @@ impl Protocol for GnutellaFlooding {
         event: &UpdateEvent,
         _round: Round,
         rng: &mut ChaCha8Rng,
-    ) -> (UpdateId, Vec<Effect<FloodMsg>>) {
+        out: &mut EffectSink<FloodMsg>,
+    ) -> UpdateId {
         let rumor = event.rumor_id();
-        (rumor, node.seed_rumor(rumor, rng))
+        node.seed_rumor(rumor, rng, out);
+        rumor
     }
 
     fn is_aware(&self, node: &GnutellaNode, update: UpdateId) -> bool {
@@ -101,9 +103,11 @@ impl Protocol for PureFlooding {
         event: &UpdateEvent,
         _round: Round,
         rng: &mut ChaCha8Rng,
-    ) -> (UpdateId, Vec<Effect<FloodMsg>>) {
+        out: &mut EffectSink<FloodMsg>,
+    ) -> UpdateId {
         let rumor = event.rumor_id();
-        (rumor, node.seed_rumor(rumor, rng))
+        node.seed_rumor(rumor, rng, out);
+        rumor
     }
 
     fn is_aware(&self, node: &PureFloodNode, update: UpdateId) -> bool {
@@ -142,9 +146,11 @@ impl Protocol for Gossip1 {
         event: &UpdateEvent,
         _round: Round,
         rng: &mut ChaCha8Rng,
-    ) -> (UpdateId, Vec<Effect<FloodMsg>>) {
+        out: &mut EffectSink<FloodMsg>,
+    ) -> UpdateId {
         let rumor = event.rumor_id();
-        (rumor, node.seed_rumor(rumor, rng))
+        node.seed_rumor(rumor, rng, out);
+        rumor
     }
 
     fn is_aware(&self, node: &HaasNode, update: UpdateId) -> bool {
@@ -181,9 +187,11 @@ impl Protocol for AntiEntropy {
         event: &UpdateEvent,
         _round: Round,
         _rng: &mut ChaCha8Rng,
-    ) -> (UpdateId, Vec<Effect<DemersMsg>>) {
+        _out: &mut EffectSink<DemersMsg>,
+    ) -> UpdateId {
         let rumor = event.rumor_id();
-        (rumor, node.seed_rumor(rumor))
+        node.seed_rumor(rumor);
+        rumor
     }
 
     fn is_aware(&self, node: &AntiEntropyNode, update: UpdateId) -> bool {
@@ -223,9 +231,11 @@ impl Protocol for RumorMongering {
         event: &UpdateEvent,
         _round: Round,
         _rng: &mut ChaCha8Rng,
-    ) -> (UpdateId, Vec<Effect<DemersMsg>>) {
+        _out: &mut EffectSink<DemersMsg>,
+    ) -> UpdateId {
         let rumor = event.rumor_id();
-        (rumor, node.seed_rumor(rumor))
+        node.seed_rumor(rumor);
+        rumor
     }
 
     fn is_aware(&self, node: &RumorMongerNode, update: UpdateId) -> bool {

@@ -12,7 +12,7 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rumor_churn::{Churn, OnlineSet, StaticChurn};
-use rumor_net::{Effect, Node, PerfectLinks};
+use rumor_net::{EffectSink, Node, PerfectLinks};
 use rumor_sim::{ConvergenceSpec, Driver, SimError};
 use rumor_types::{derive_seed, PeerId};
 
@@ -81,14 +81,13 @@ impl<N: Node> BaselineSim<N> {
         &mut self.driver
     }
 
-    /// Seeds protocol state at node `index`, injecting any produced
-    /// effects (e.g. the initiator's broadcast).
+    /// Seeds protocol state at node `index`, injecting any effects the
+    /// closure writes into the sink (e.g. the initiator's broadcast).
     pub fn seed<F>(&mut self, index: usize, f: F)
     where
-        F: FnOnce(&mut N, &mut ChaCha8Rng) -> Vec<Effect<N::Msg>>,
+        F: FnOnce(&mut N, &mut ChaCha8Rng, &mut EffectSink<N::Msg>),
     {
-        self.driver
-            .apply(PeerId::new(index as u32), |node, rng| ((), f(node, rng)));
+        self.driver.apply(PeerId::new(index as u32), f);
     }
 
     /// Executes one round (churn after round 0, then engine).
@@ -154,7 +153,7 @@ mod tests {
             .map(|i| GnutellaNode::fully_connected(i, 30, 3, 6))
             .collect();
         let mut sim = BaselineSim::new(nodes, 30, 1).unwrap();
-        sim.seed(0, |n, rng| n.seed_rumor(rumor(), rng));
+        sim.seed(0, |n, rng, out| n.seed_rumor(rumor(), rng, out));
         let rounds = sim.run_until_quiescent(20);
         assert!(rounds > 0);
         assert!(sim.messages() >= 3);
@@ -168,7 +167,7 @@ mod tests {
             .map(|i| GnutellaNode::fully_connected(i, 30, 3, 6))
             .collect();
         let mut sim = BaselineSim::new(nodes, 1, 2).unwrap(); // only node 0 online
-        sim.seed(0, |n, rng| n.seed_rumor(rumor(), rng));
+        sim.seed(0, |n, rng, out| n.seed_rumor(rumor(), rng, out));
         sim.run_until_quiescent(20);
         // Messages were sent but nobody received: awareness stays at the
         // initiator.

@@ -1,0 +1,78 @@
+//! Criterion bench: steady-state round throughput of the driver/engine
+//! stack (`SyncEngine::step` + churn + protocol work) under the tracked
+//! `engine_bench` scenarios — paper peer and anti-entropy baseline at
+//! N = 128 / 1k / 8k with churn, loss and partial knowledge.
+//!
+//! One iteration = one timed window of rounds on a pre-warmed driver, so
+//! the reported time divided by the window length is seconds/round.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rumor_baselines::AntiEntropy;
+use rumor_bench::engine_bench::{
+    bench_paper_config, bench_scenario, ENGINE_BENCH_SEED, WARMUP_ROUNDS,
+};
+use rumor_sim::{PaperProtocol, Protocol, Scenario, UpdateEvent};
+use rumor_types::DataKey;
+
+fn event() -> UpdateEvent {
+    UpdateEvent {
+        round: 0,
+        key: DataKey::from_name("engine-bench"),
+        delete: false,
+        sequence: 0,
+    }
+}
+
+fn warmed_driver<P: Protocol>(scenario: &Scenario, protocol: &P) -> rumor_sim::Driver<P::Node> {
+    let mut driver = scenario.drive(protocol);
+    driver
+        .initiate(protocol, None, &event())
+        .expect("initiator online");
+    driver.run_rounds(WARMUP_ROUNDS);
+    driver
+}
+
+fn window_for(population: usize) -> u32 {
+    match population {
+        0..=256 => 200,
+        257..=2_048 => 50,
+        _ => 10,
+    }
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    for population in [128usize, 1_000, 8_000] {
+        let window = window_for(population);
+        let scenario = bench_scenario(population, ENGINE_BENCH_SEED);
+
+        let paper = PaperProtocol::new(bench_paper_config(population));
+        group.bench_function(&format!("paper/n{population}/rounds{window}"), |b| {
+            b.iter_batched(
+                || warmed_driver(&scenario, &paper),
+                |mut driver| {
+                    driver.run_rounds(window);
+                    driver
+                },
+                BatchSize::PerIteration,
+            )
+        });
+
+        let anti_entropy = AntiEntropy { push_pull: true };
+        group.bench_function(&format!("anti-entropy/n{population}/rounds{window}"), |b| {
+            b.iter_batched(
+                || warmed_driver(&scenario, &anti_entropy),
+                |mut driver| {
+                    driver.run_rounds(window);
+                    driver
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(engine, bench_engine_throughput);
+criterion_main!(engine);

@@ -7,7 +7,7 @@ use rumor_core::{
     Lineage, Message, PartialList, ProtocolConfig, PushMessage, ReplicaPeer, ReplicaStore, Update,
     Value,
 };
-use rumor_net::Node;
+use rumor_net::{EffectSink, Node};
 use rumor_types::{DataKey, PeerId, Round};
 
 fn rng() -> ChaCha8Rng {
@@ -124,15 +124,17 @@ fn bench_peer_handle(c: &mut Criterion) {
             || {
                 let mut p = ReplicaPeer::new(PeerId::new(0), config.clone());
                 p.learn_replicas((1..1_000).map(PeerId::new));
-                (p, rng())
+                (p, rng(), EffectSink::new())
             },
-            |(mut p, mut local)| {
-                std::hint::black_box(p.on_message(
+            |(mut p, mut local, mut out)| {
+                p.on_message(
                     PeerId::new(1),
                     msg.clone(),
                     Round::new(1),
                     &mut local,
-                ))
+                    &mut out,
+                );
+                std::hint::black_box(out)
             },
             BatchSize::SmallInput,
         )

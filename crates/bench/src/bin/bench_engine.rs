@@ -1,0 +1,46 @@
+//! Tracked engine-throughput benchmark: measures steady-state rounds/sec
+//! for the paper peer and the anti-entropy baseline at several
+//! populations and writes `BENCH_engine.json`.
+//!
+//! `cargo run --release -p rumor-bench --bin bench_engine [-- out_dir]`
+//! `cargo run --release -p rumor-bench --bin bench_engine -- --smoke [out_dir]`
+//!
+//! `--smoke` runs a tiny population for a handful of rounds — CI uses it
+//! to keep the bench path compiling and the artefact schema stable.
+
+use rumor_bench::engine_bench::{self, EngineBenchRow};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_dir = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map_or_else(|| PathBuf::from("experiments-out"), PathBuf::from);
+
+    let rows: Vec<EngineBenchRow> = if smoke {
+        vec![
+            engine_bench::measure_paper(64, 20),
+            engine_bench::measure_anti_entropy(64, 20),
+        ]
+    } else {
+        engine_bench::run_matrix(&[128, 1_000, 8_000])
+    };
+
+    println!(
+        "{:<14} {:>10} {:>8} {:>12} {:>14}",
+        "contender", "population", "rounds", "rounds/sec", "messages"
+    );
+    for row in &rows {
+        println!(
+            "{:<14} {:>10} {:>8} {:>12.1} {:>14}",
+            row.contender, row.population, row.rounds, row.rounds_per_sec, row.messages
+        );
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let path = out_dir.join("BENCH_engine.json");
+    std::fs::write(&path, engine_bench::to_json(&rows).pretty() + "\n").expect("write artefact");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,220 @@
+//! Steady-state engine-throughput measurement (rounds/sec).
+//!
+//! The repo's every published number is produced by `SyncEngine::step`
+//! via `rumor_sim::Driver`, so engine throughput bounds how many
+//! replications, populations and scenarios the harness can afford. This
+//! module defines the *tracked* benchmark: fixed steady-state scenarios
+//! (partial knowledge per paper §2, churn, loss, periodic staleness
+//! pulls so traffic never dies down) measured for the paper peer and the
+//! Demers anti-entropy baseline, emitted as `BENCH_engine.json` so the
+//! perf trajectory is comparable across commits. The criterion bench
+//! (`benches/engine_throughput.rs`) wraps the same scenarios.
+
+use crate::json::Json;
+use rumor_baselines::AntiEntropy;
+use rumor_churn::MarkovChurn;
+use rumor_core::{ProtocolConfig, PullStrategy};
+use rumor_sim::{PaperProtocol, Protocol, Scenario, TopologySpec, UpdateEvent};
+use rumor_types::DataKey;
+use std::time::Instant;
+
+/// Seed every engine-bench scenario derives from.
+pub const ENGINE_BENCH_SEED: u64 = 77;
+
+/// Rounds of warm-up before the timed window (fills inbox capacities and
+/// lets churn reach its stationary mix).
+pub const WARMUP_ROUNDS: u32 = 20;
+
+/// One measured configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineBenchRow {
+    /// Contender label (`"paper"` or `"anti-entropy"`).
+    pub contender: String,
+    /// Population size `R`.
+    pub population: usize,
+    /// Rounds in the timed window.
+    pub rounds: u32,
+    /// Wall-clock seconds for the timed window.
+    pub elapsed_secs: f64,
+    /// Timed-window throughput.
+    pub rounds_per_sec: f64,
+    /// Messages sent during the whole run (steady-state traffic proof).
+    pub messages: u64,
+}
+
+/// The steady-state environment: partial knowledge (each replica knows a
+/// small fraction of the replica set, §2), Markov churn and link loss.
+pub fn bench_scenario(population: usize, seed: u64) -> Scenario {
+    let k = 32.min(population.saturating_sub(1)).max(1);
+    Scenario::builder(population, seed)
+        .online_fraction(0.7)
+        .topology(TopologySpec::RandomSubset { k })
+        .churn(MarkovChurn::new(0.97, 0.2).expect("valid churn"))
+        .loss(0.03)
+        .build()
+        .expect("valid bench scenario")
+}
+
+/// The paper-peer configuration used by the bench: modest fanout, eager
+/// pull with retries, and a short staleness interval so anti-entropy
+/// pulls keep the round loop under sustained load forever.
+pub fn bench_paper_config(population: usize) -> ProtocolConfig {
+    ProtocolConfig::builder(population)
+        .fanout_absolute(4)
+        .pull_strategy(PullStrategy::Eager)
+        .pull_retry(2, 3)
+        .staleness_rounds(6)
+        .build()
+        .expect("valid bench config")
+}
+
+fn bench_event() -> UpdateEvent {
+    UpdateEvent {
+        round: 0,
+        key: DataKey::from_name("engine-bench"),
+        delete: false,
+        sequence: 0,
+    }
+}
+
+fn measure<P: Protocol>(
+    label: &str,
+    protocol: &P,
+    population: usize,
+    rounds: u32,
+) -> EngineBenchRow {
+    let scenario = bench_scenario(population, ENGINE_BENCH_SEED);
+    let mut driver = scenario.drive(protocol);
+    driver
+        .initiate(protocol, None, &bench_event())
+        .expect("bench initiator online");
+    driver.run_rounds(WARMUP_ROUNDS);
+    let start = Instant::now();
+    driver.run_rounds(rounds);
+    let elapsed = start.elapsed().as_secs_f64();
+    EngineBenchRow {
+        contender: label.to_owned(),
+        population,
+        rounds,
+        elapsed_secs: elapsed,
+        rounds_per_sec: f64::from(rounds) / elapsed.max(f64::MIN_POSITIVE),
+        messages: driver.messages(),
+    }
+}
+
+/// Measures the paper peer's steady-state throughput.
+pub fn measure_paper(population: usize, rounds: u32) -> EngineBenchRow {
+    let protocol = PaperProtocol::new(bench_paper_config(population));
+    measure("paper", &protocol, population, rounds)
+}
+
+/// Measures the Demers push-pull anti-entropy baseline (per-round digest
+/// exchange: heavy sustained small-message traffic).
+pub fn measure_anti_entropy(population: usize, rounds: u32) -> EngineBenchRow {
+    measure(
+        "anti-entropy",
+        &AntiEntropy { push_pull: true },
+        population,
+        rounds,
+    )
+}
+
+/// Timed rounds per population: enough for a stable median without
+/// letting the largest population dominate the run time.
+pub fn default_rounds_for(population: usize) -> u32 {
+    match population {
+        0..=256 => 2_000,
+        257..=2_048 => 300,
+        _ => 40,
+    }
+}
+
+/// Runs the full tracked matrix (both contenders at each population).
+pub fn run_matrix(populations: &[usize]) -> Vec<EngineBenchRow> {
+    let mut rows = Vec::new();
+    for &n in populations {
+        let rounds = default_rounds_for(n);
+        rows.push(measure_paper(n, rounds));
+        rows.push(measure_anti_entropy(n, rounds));
+    }
+    rows
+}
+
+/// Serialises rows into the `BENCH_engine.json` document (schema
+/// `rumor-bench/engine/v1`).
+pub fn to_json(rows: &[EngineBenchRow]) -> Json {
+    Json::obj([
+        ("schema", Json::Str("rumor-bench/engine/v1".into())),
+        ("seed", Json::Int(ENGINE_BENCH_SEED as i64)),
+        ("warmup_rounds", Json::Int(i64::from(WARMUP_ROUNDS))),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("contender", Json::Str(r.contender.clone())),
+                            ("population", Json::Int(r.population as i64)),
+                            ("rounds", Json::Int(i64::from(r.rounds))),
+                            ("elapsed_secs", Json::Num(r.elapsed_secs)),
+                            ("rounds_per_sec", Json::Num(r.rounds_per_sec)),
+                            ("messages", Json::Int(r.messages as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_measurement_produces_traffic_and_throughput() {
+        let row = measure_paper(48, 10);
+        assert_eq!(row.contender, "paper");
+        assert_eq!(row.population, 48);
+        assert!(row.rounds_per_sec > 0.0);
+        assert!(row.messages > 0, "steady-state scenario must send traffic");
+        let ae = measure_anti_entropy(48, 10);
+        assert!(ae.messages > 0);
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let rows = vec![EngineBenchRow {
+            contender: "paper".into(),
+            population: 64,
+            rounds: 10,
+            elapsed_secs: 0.5,
+            rounds_per_sec: 20.0,
+            messages: 1234,
+        }];
+        let text = to_json(&rows).pretty();
+        for key in [
+            "\"schema\"",
+            "rumor-bench/engine/v1",
+            "\"seed\"",
+            "\"warmup_rounds\"",
+            "\"rows\"",
+            "\"contender\"",
+            "\"population\"",
+            "\"rounds\"",
+            "\"elapsed_secs\"",
+            "\"rounds_per_sec\"",
+            "\"messages\"",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+
+    #[test]
+    fn scenario_traffic_is_deterministic() {
+        // Throughput varies with the host; the *workload* must not.
+        let a = measure_paper(48, 10).messages;
+        let b = measure_paper(48, 10).messages;
+        assert_eq!(a, b);
+    }
+}

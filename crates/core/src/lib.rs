@@ -23,15 +23,17 @@
 //!   partial-list length `l(t)` as an estimator of global spread.
 //!
 //! The peer is a pure state machine implementing [`rumor_net::Node`]:
-//! every input returns a list of [`rumor_net::Effect`]s, so the same code
-//! runs under the synchronous round engine (the paper's analysis model),
-//! the asynchronous event engine, or any real transport a downstream user
-//! wires up.
+//! every input writes its [`rumor_net::Effect`]s into a reusable
+//! [`rumor_net::EffectSink`], so the same code runs — without allocating
+//! on the hot path — under the synchronous round engine (the paper's
+//! analysis model), the asynchronous event engine, or any real transport
+//! a downstream user wires up.
 //!
 //! # Examples
 //!
 //! ```
 //! use rumor_core::{ProtocolConfig, ReplicaPeer, Value};
+//! use rumor_net::EffectSink;
 //! use rumor_types::{DataKey, PeerId, Round};
 //! use rand::SeedableRng;
 //!
@@ -42,11 +44,13 @@
 //! peer.learn_replicas((1..100).map(PeerId::new));
 //!
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let mut effects = EffectSink::new();
 //! let key = DataKey::from_name("motd");
-//! let (update, effects) = peer.initiate_update(
-//!     key, Some(Value::from("hello")), Round::ZERO, &mut rng);
+//! let update = peer.initiate_update(
+//!     key, Some(Value::from("hello")), Round::ZERO, &mut rng, &mut effects);
 //! assert_eq!(effects.len(), 5, "R * f_r = 5 initial pushes");
 //! assert!(peer.store().latest(key).is_some());
+//! # let _ = update;
 //! # Ok::<(), rumor_core::CoreError>(())
 //! ```
 
@@ -77,7 +81,7 @@ pub use message::{Message, PushMessage, REPLICA_ENTRY_BYTES};
 pub use partial_list::{DiscardStrategy, PartialList, TruncationPolicy};
 pub use peer::{PeerStats, ReplicaPeer};
 pub use query::{QueryAnswer, QueryPolicy};
-pub use select::select_targets;
+pub use select::{select_targets, select_targets_into, SelectScratch};
 pub use store::{ApplyOutcome, ReplicaStore, StoredVersion};
 pub use update::Update;
 pub use value::Value;

@@ -5,14 +5,14 @@ use crate::forward::TuningSignals;
 use crate::message::{Message, PushMessage};
 use crate::partial_list::PartialList;
 use crate::query::QueryAnswer;
-use crate::select::select_targets;
+use crate::select::{select_targets_into, SelectScratch};
 use crate::store::ReplicaStore;
 use crate::update::Update;
 use crate::value::Value;
 use crate::version::Lineage;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use rumor_net::{Effect, Node};
+use rumor_net::{EffectSink, Node};
 use rumor_types::{DataKey, PeerId, Round, UpdateId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -87,6 +87,12 @@ pub struct ReplicaPeer {
     online: bool,
     pull_retries_left: u32,
     stats: PeerStats,
+    /// Reusable tier buffers for target selection (hot path).
+    select_scratch: SelectScratch,
+    /// Reusable selection output (push targets, pull targets).
+    targets_scratch: Vec<PeerId>,
+    /// Reusable selection output for the pre-filter set `R_p`.
+    rp_scratch: Vec<PeerId>,
 }
 
 impl ReplicaPeer {
@@ -110,6 +116,9 @@ impl ReplicaPeer {
             online: true,
             pull_retries_left: 0,
             stats: PeerStats::default(),
+            select_scratch: SelectScratch::default(),
+            targets_scratch: Vec::new(),
+            rp_scratch: Vec::new(),
         }
     }
 
@@ -179,9 +188,10 @@ impl ReplicaPeer {
         self.confident = false;
     }
 
-    /// Initiates a new update: stores it locally and returns the round-0
-    /// push effects (§4.2 "Round 0": the initiator sends `U` to an `f_r`
-    /// fraction of replicas; no `PF` coin is flipped for the initiator).
+    /// Initiates a new update: stores it locally and writes the round-0
+    /// push effects into `out` (§4.2 "Round 0": the initiator sends `U`
+    /// to an `f_r` fraction of replicas; no `PF` coin is flipped for the
+    /// initiator).
     ///
     /// `value = None` initiates a deletion (tombstone).
     pub fn initiate_update(
@@ -190,7 +200,8 @@ impl ReplicaPeer {
         value: Option<Value>,
         round: Round,
         rng: &mut ChaCha8Rng,
-    ) -> (Update, Vec<Effect<Message>>) {
+        out: &mut EffectSink<Message>,
+    ) -> Update {
         let lineage = match self.store.latest(key) {
             Some(existing) => existing.lineage().child(rng),
             None => Lineage::root(rng),
@@ -206,14 +217,25 @@ impl ReplicaPeer {
 
         let fanout = self.config.push_targets();
         let (preferred, avoided) = self.selection_bias(round);
-        let targets = select_targets(&self.known, fanout, &preferred, &avoided, rng);
+        let mut targets = std::mem::take(&mut self.targets_scratch);
+        select_targets_into(
+            &self.known,
+            fanout,
+            &preferred,
+            &avoided,
+            rng,
+            &mut self.select_scratch,
+            &mut targets,
+        );
         let mut flood_list = PartialList::from_peers([self.id]);
         flood_list.extend(targets.iter().copied());
         flood_list.truncate(&self.config.truncation, self.config.total_replicas, rng);
         self.flood_lists.insert(update.id(), flood_list.clone());
 
-        let effects = self.send_pushes(&update, 1, &flood_list, &targets, round);
-        (update, effects)
+        self.send_pushes(&update, 1, &flood_list, &targets, round, out);
+        targets.clear();
+        self.targets_scratch = targets;
+        update
     }
 
     /// Explicitly enters the pull phase: sends `PullRequest`s to up to
@@ -224,46 +246,51 @@ impl ReplicaPeer {
         &mut self,
         round: Round,
         rng: &mut ChaCha8Rng,
-    ) -> Vec<Effect<Message>> {
+        out: &mut EffectSink<Message>,
+    ) {
         self.pull_retries_left = self.config.pull.max_retries;
-        let mut effects = self.trigger_pull(round, rng);
-        if self.config.pull.retry_rounds > 0 && !effects.is_empty() {
-            effects.push(Effect::Timer {
-                delay: u64::from(self.config.pull.retry_rounds),
-                tag: TAG_PULL_RETRY,
-            });
+        let before = out.len();
+        self.trigger_pull(round, rng, out);
+        if self.config.pull.retry_rounds > 0 && out.len() > before {
+            out.timer(u64::from(self.config.pull.retry_rounds), TAG_PULL_RETRY);
         }
-        effects
     }
 
     /// Explicitly enters the pull phase: sends `PullRequest`s to up to
     /// `pull.fanout` known replicas.
-    pub fn trigger_pull(&mut self, round: Round, rng: &mut ChaCha8Rng) -> Vec<Effect<Message>> {
+    pub fn trigger_pull(
+        &mut self,
+        round: Round,
+        rng: &mut ChaCha8Rng,
+        out: &mut EffectSink<Message>,
+    ) {
         if self.known.is_empty() {
-            return Vec::new();
+            return;
         }
         self.stats.pulls_initiated += 1;
         let _ = round;
         let (preferred, avoided) = self.selection_bias(round);
-        let targets = select_targets(
+        let mut targets = std::mem::take(&mut self.targets_scratch);
+        select_targets_into(
             &self.known,
             self.config.pull.fanout,
             &preferred,
             &avoided,
             rng,
+            &mut self.select_scratch,
+            &mut targets,
         );
         let digest = self.store.digest();
-        targets
-            .into_iter()
-            .map(|to| {
-                Effect::send(
-                    to,
-                    Message::PullRequest {
-                        digest: digest.clone(),
-                    },
-                )
-            })
-            .collect()
+        for &to in &targets {
+            out.send(
+                to,
+                Message::PullRequest {
+                    digest: digest.clone(),
+                },
+            );
+        }
+        targets.clear();
+        self.targets_scratch = targets;
     }
 
     /// Answers a query from local state (§4.4). The sim layer combines
@@ -316,23 +343,22 @@ impl ReplicaPeer {
         flood_list: &PartialList,
         targets: &[PeerId],
         round: Round,
-    ) -> Vec<Effect<Message>> {
-        let mut effects = Vec::with_capacity(targets.len());
+        out: &mut EffectSink<Message>,
+    ) {
         for &to in targets {
             if self.config.ack.limit() > 0 {
                 self.awaiting_ack.entry(to).or_insert(round);
             }
-            effects.push(Effect::send(
+            out.send(
                 to,
                 Message::Push(PushMessage {
                     update: update.clone(),
                     push_round,
                     flood_list: flood_list.clone(),
                 }),
-            ));
+            );
         }
         self.stats.push_messages_sent += targets.len() as u64;
-        effects
     }
 
     fn handle_push(
@@ -341,13 +367,13 @@ impl ReplicaPeer {
         push: PushMessage,
         round: Round,
         rng: &mut ChaCha8Rng,
-    ) -> Vec<Effect<Message>> {
+        out: &mut EffectSink<Message>,
+    ) {
         // Learn replicas from the sender and the flood list (name-dropper
         // side channel, §1: "possibly discovers replicas unknown to her").
         self.learn_replicas(push.flood_list.iter().chain([from]));
 
         let uid = push.update.id();
-        let mut effects = Vec::new();
 
         if let Some(state) = self.processed.get_mut(&uid) {
             state.duplicates += 1;
@@ -359,7 +385,7 @@ impl ReplicaPeer {
             if state.acks_sent < limit {
                 state.acks_sent += 1;
                 self.stats.acks_sent += 1;
-                effects.push(Effect::send(from, Message::Ack { update_id: uid }));
+                out.send(from, Message::Ack { update_id: uid });
             }
             // Merge lists from duplicate copies: keeps discovery flowing
             // and sharpens coverage estimates (§4.2 optional trimming).
@@ -367,7 +393,7 @@ impl ReplicaPeer {
                 .entry(uid)
                 .or_default()
                 .union_with(&push.flood_list);
-            return effects;
+            return;
         }
 
         // First copy.
@@ -380,7 +406,7 @@ impl ReplicaPeer {
         if self.config.ack.limit() > 0 {
             state.acks_sent = 1;
             self.stats.acks_sent += 1;
-            effects.push(Effect::send(from, Message::Ack { update_id: uid }));
+            out.send(from, Message::Ack { update_id: uid });
         }
         self.processed.insert(uid, state);
 
@@ -401,28 +427,43 @@ impl ReplicaPeer {
             self.stats.pushes_forwarded += 1;
             let fanout = self.config.push_targets();
             let (preferred, avoided) = self.selection_bias(round);
-            let r_p = select_targets(&self.known, fanout, &preferred, &avoided, rng);
-            let targets: Vec<PeerId> = r_p
-                .iter()
-                .copied()
-                .filter(|&p| p != from && !list.contains(p))
-                .collect();
+            let mut r_p = std::mem::take(&mut self.rp_scratch);
+            select_targets_into(
+                &self.known,
+                fanout,
+                &preferred,
+                &avoided,
+                rng,
+                &mut self.select_scratch,
+                &mut r_p,
+            );
+            let mut targets = std::mem::take(&mut self.targets_scratch);
+            targets.clear();
+            targets.extend(
+                r_p.iter()
+                    .copied()
+                    .filter(|&p| p != from && !list.contains(p)),
+            );
             self.stats.targets_suppressed_by_list += (r_p.len() - targets.len()) as u64;
             list.extend(r_p.iter().copied());
             list.insert(self.id);
             list.truncate(&self.config.truncation, self.config.total_replicas, rng);
-            effects.extend(self.send_pushes(
+            self.send_pushes(
                 &push.update,
                 push.push_round + 1,
                 &list,
                 &targets,
                 round,
-            ));
+                out,
+            );
+            targets.clear();
+            self.targets_scratch = targets;
+            r_p.clear();
+            self.rp_scratch = r_p;
         } else {
             self.stats.forwards_suppressed += 1;
         }
         self.flood_lists.insert(uid, list);
-        effects
     }
 
     fn handle_pull_request(
@@ -431,26 +472,21 @@ impl ReplicaPeer {
         digest: &crate::digest::StoreDigest,
         round: Round,
         rng: &mut ChaCha8Rng,
-    ) -> Vec<Effect<Message>> {
+        out: &mut EffectSink<Message>,
+    ) {
         self.stats.pull_requests_received += 1;
         self.learn_replicas([from]);
         let updates = self.store.missing_updates_for(digest);
-        let mut effects = vec![Effect::send(from, Message::PullResponse { updates })];
+        out.send(from, Message::PullResponse { updates });
         // §3: "receives a pull request, but is not sure to have the latest
         // update" — an unconfident pulled party itself enters the pull
         // phase.
         if !self.confident {
-            effects.extend(self.trigger_pull(round, rng));
+            self.trigger_pull(round, rng, out);
         }
-        effects
     }
 
-    fn handle_pull_response(
-        &mut self,
-        from: PeerId,
-        updates: &[Update],
-        round: Round,
-    ) -> Vec<Effect<Message>> {
+    fn handle_pull_response(&mut self, from: PeerId, updates: &[Update], round: Round) {
         self.stats.pull_responses_received += 1;
         self.learn_replicas([from]);
         let changed = self.store.merge_updates(updates);
@@ -462,7 +498,6 @@ impl ReplicaPeer {
         }
         // Any response — even an empty one — is evidence of being in sync.
         self.note_info(round);
-        Vec::new()
     }
 
     fn handle_ack(&mut self, from: PeerId, update_id: UpdateId, round: Round) {
@@ -488,19 +523,24 @@ impl Node for ReplicaPeer {
         msg: Message,
         round: Round,
         rng: &mut ChaCha8Rng,
-    ) -> Vec<Effect<Message>> {
+        out: &mut EffectSink<Message>,
+    ) {
         match msg {
-            Message::Push(push) => self.handle_push(from, push, round, rng),
-            Message::PullRequest { digest } => self.handle_pull_request(from, &digest, round, rng),
-            Message::PullResponse { updates } => self.handle_pull_response(from, &updates, round),
-            Message::Ack { update_id } => {
-                self.handle_ack(from, update_id, round);
-                Vec::new()
+            Message::Push(push) => self.handle_push(from, push, round, rng, out),
+            Message::PullRequest { digest } => {
+                self.handle_pull_request(from, &digest, round, rng, out);
             }
+            Message::PullResponse { updates } => self.handle_pull_response(from, &updates, round),
+            Message::Ack { update_id } => self.handle_ack(from, update_id, round),
         }
     }
 
-    fn on_round_start(&mut self, round: Round, rng: &mut ChaCha8Rng) -> Vec<Effect<Message>> {
+    fn on_round_start(
+        &mut self,
+        round: Round,
+        rng: &mut ChaCha8Rng,
+        out: &mut EffectSink<Message>,
+    ) {
         // `no_updates_since(t)` trigger (§3).
         if let Some(staleness) = self.config.pull.staleness_rounds {
             let stale = match self.last_info_round {
@@ -512,10 +552,9 @@ impl Node for ReplicaPeer {
                 // while responses are in flight.
                 self.last_info_round = Some(round);
                 self.confident = false;
-                return self.trigger_pull(round, rng);
+                self.trigger_pull(round, rng, out);
             }
         }
-        Vec::new()
     }
 
     fn on_status_change(
@@ -523,42 +562,45 @@ impl Node for ReplicaPeer {
         online: bool,
         round: Round,
         rng: &mut ChaCha8Rng,
-    ) -> Vec<Effect<Message>> {
+        out: &mut EffectSink<Message>,
+    ) {
         self.online = online;
         if !online {
-            return Vec::new();
+            return;
         }
         // `online_again` trigger (§3): the peer cannot know what it
         // missed, so it is unconfident until a pull round-trips.
         self.confident = false;
         match self.config.pull.strategy {
-            PullStrategy::Eager => self.pull_with_retries(round, rng),
-            PullStrategy::Lazy { patience } => vec![Effect::Timer {
-                delay: u64::from(patience.max(1)),
-                tag: TAG_LAZY_PULL,
-            }],
-            PullStrategy::OnDemand => Vec::new(),
+            PullStrategy::Eager => self.pull_with_retries(round, rng, out),
+            PullStrategy::Lazy { patience } => {
+                out.timer(u64::from(patience.max(1)), TAG_LAZY_PULL);
+            }
+            PullStrategy::OnDemand => {}
         }
     }
 
-    fn on_timer(&mut self, tag: u64, round: Round, rng: &mut ChaCha8Rng) -> Vec<Effect<Message>> {
+    fn on_timer(
+        &mut self,
+        tag: u64,
+        round: Round,
+        rng: &mut ChaCha8Rng,
+        out: &mut EffectSink<Message>,
+    ) {
         match tag {
             TAG_LAZY_PULL if !self.confident => {
                 // §6: the lazy peer waited for a push; none arrived, pull.
-                self.pull_with_retries(round, rng)
+                self.pull_with_retries(round, rng, out);
             }
             TAG_PULL_RETRY if !self.confident && self.pull_retries_left > 0 => {
                 self.pull_retries_left -= 1;
-                let mut effects = self.trigger_pull(round, rng);
-                if self.pull_retries_left > 0 && !effects.is_empty() {
-                    effects.push(Effect::Timer {
-                        delay: u64::from(self.config.pull.retry_rounds),
-                        tag: TAG_PULL_RETRY,
-                    });
+                let before = out.len();
+                self.trigger_pull(round, rng, out);
+                if self.pull_retries_left > 0 && out.len() > before {
+                    out.timer(u64::from(self.config.pull.retry_rounds), TAG_PULL_RETRY);
                 }
-                effects
             }
-            _ => Vec::new(),
+            _ => {}
         }
     }
 }
@@ -569,9 +611,14 @@ mod tests {
     use crate::config::{AckPolicy, ProtocolConfig, PullStrategy};
     use crate::forward::ForwardPolicy;
     use rand::SeedableRng;
+    use rumor_net::Effect;
 
     fn rng() -> ChaCha8Rng {
         ChaCha8Rng::seed_from_u64(9)
+    }
+
+    fn sink() -> EffectSink<Message> {
+        EffectSink::new()
     }
 
     fn peer_with(n: usize, f_r: f64) -> ReplicaPeer {
@@ -595,18 +642,20 @@ mod tests {
     #[test]
     fn initiator_pushes_fanout_targets() {
         let mut p = peer_with(100, 0.05);
-        let (update, effects) = p.initiate_update(
+        let mut effects = sink();
+        let update = p.initiate_update(
             DataKey::new(1),
             Some(Value::from("x")),
             Round::ZERO,
             &mut rng(),
+            &mut effects,
         );
         assert_eq!(effects.len(), 5);
         assert!(p.has_processed(update.id()));
         assert_eq!(p.stats().push_messages_sent, 5);
         // All effects are pushes with t = 1 and a flood list containing
         // the initiator and the targets.
-        for e in &effects {
+        for e in effects.as_slice() {
             let Effect::Send {
                 msg: Message::Push(push),
                 ..
@@ -624,10 +673,21 @@ mod tests {
     fn initiate_on_existing_key_extends_lineage() {
         let mut p = peer_with(10, 0.2);
         let mut r = rng();
-        let (u1, _) =
-            p.initiate_update(DataKey::new(1), Some(Value::from("a")), Round::ZERO, &mut r);
-        let (u2, _) =
-            p.initiate_update(DataKey::new(1), Some(Value::from("b")), Round::ZERO, &mut r);
+        let mut out = sink();
+        let u1 = p.initiate_update(
+            DataKey::new(1),
+            Some(Value::from("a")),
+            Round::ZERO,
+            &mut r,
+            &mut out,
+        );
+        let u2 = p.initiate_update(
+            DataKey::new(1),
+            Some(Value::from("b")),
+            Round::ZERO,
+            &mut r,
+            &mut out,
+        );
         assert!(u2.lineage().covers(u1.lineage()));
         assert_eq!(p.store().versions(DataKey::new(1)).len(), 1);
     }
@@ -642,16 +702,18 @@ mod tests {
             Value::from("v"),
             PeerId::new(7),
         );
-        let effects = p.on_message(
+        let mut effects = sink();
+        p.on_message(
             PeerId::new(7),
             push_msg(&update, 1, [7]),
             Round::new(1),
             &mut r,
+            &mut effects,
         );
         assert!(p.has_processed(update.id()));
         assert_eq!(p.store().get(DataKey::new(9)).unwrap().as_bytes(), b"v");
         assert!(!effects.is_empty(), "PF=Always must forward");
-        for e in &effects {
+        for e in effects.as_slice() {
             let Effect::Send {
                 to,
                 msg: Message::Push(push),
@@ -676,17 +738,21 @@ mod tests {
             Value::from("v"),
             PeerId::new(7),
         );
-        let _ = p.on_message(
+        let mut out = sink();
+        p.on_message(
             PeerId::new(7),
             push_msg(&update, 1, [7]),
             Round::new(1),
             &mut r,
+            &mut out,
         );
-        let effects = p.on_message(
+        let mut effects = sink();
+        p.on_message(
             PeerId::new(8),
             push_msg(&update, 1, [8]),
             Round::new(1),
             &mut r,
+            &mut effects,
         );
         assert!(
             effects.is_empty(),
@@ -713,11 +779,13 @@ mod tests {
             Value::from("v"),
             PeerId::new(1),
         );
-        let effects = p.on_message(
+        let mut effects = sink();
+        p.on_message(
             PeerId::new(1),
             push_msg(&update, 1, 0..10),
             Round::new(1),
             &mut r,
+            &mut effects,
         );
         assert!(effects.is_empty());
         assert!(p.stats().targets_suppressed_by_list >= 8);
@@ -738,11 +806,13 @@ mod tests {
             Value::from("v"),
             PeerId::new(1),
         );
-        let effects = p.on_message(
+        let mut effects = sink();
+        p.on_message(
             PeerId::new(1),
             push_msg(&update, 1, [1]),
             Round::new(1),
             &mut r,
+            &mut effects,
         );
         assert!(effects.is_empty());
         assert_eq!(p.stats().forwards_suppressed, 1);
@@ -767,11 +837,13 @@ mod tests {
             Value::from("v"),
             PeerId::new(1),
         );
-        let first = p.on_message(
+        let mut first = sink();
+        p.on_message(
             PeerId::new(1),
             push_msg(&update, 1, [1]),
             Round::new(1),
             &mut r,
+            &mut first,
         );
         let acks: Vec<_> = first
             .iter()
@@ -786,11 +858,13 @@ mod tests {
             })
             .collect();
         assert_eq!(acks.len(), 1, "first sender is acked");
-        let dup = p.on_message(
+        let mut dup = sink();
+        p.on_message(
             PeerId::new(2),
             push_msg(&update, 1, [2]),
             Round::new(1),
             &mut r,
+            &mut dup,
         );
         assert!(
             dup.iter().all(|e| !matches!(
@@ -814,10 +888,17 @@ mod tests {
         let mut p = ReplicaPeer::new(PeerId::new(0), config);
         p.learn_replicas((1..100).map(PeerId::new));
         let mut r = rng();
-        let (update, _) =
-            p.initiate_update(DataKey::new(1), Some(Value::from("x")), Round::ZERO, &mut r);
+        let mut out = sink();
+        let update = p.initiate_update(
+            DataKey::new(1),
+            Some(Value::from("x")),
+            Round::ZERO,
+            &mut r,
+            &mut out,
+        );
         assert!(!p.awaiting_ack.is_empty(), "targets awaiting ack recorded");
         let some_target = *p.awaiting_ack.keys().next().unwrap();
+        out.clear();
         p.on_message(
             some_target,
             Message::Ack {
@@ -825,6 +906,7 @@ mod tests {
             },
             Round::new(1),
             &mut r,
+            &mut out,
         );
         assert_eq!(p.stats().acks_received, 1);
         assert!(p.acked_by.contains_key(&some_target));
@@ -835,11 +917,13 @@ mod tests {
     fn pull_roundtrip_reconciles() {
         let mut r = rng();
         let mut source = peer_with(10, 0.2);
-        let (update, _) = source.initiate_update(
+        let mut out = sink();
+        let update = source.initiate_update(
             DataKey::new(5),
             Some(Value::from("data")),
             Round::ZERO,
             &mut r,
+            &mut out,
         );
 
         let config = ProtocolConfig::builder(10).build().unwrap();
@@ -847,7 +931,8 @@ mod tests {
         fresh.learn_replicas([PeerId::new(0)]);
 
         // Fresh peer comes online => eager pull (plus a retry timer).
-        let pulls = fresh.on_status_change(true, Round::new(3), &mut r);
+        let mut pulls = sink();
+        fresh.on_status_change(true, Round::new(3), &mut r, &mut pulls);
         assert!(!fresh.is_confident());
         let requests: Vec<_> = pulls
             .iter()
@@ -867,13 +952,15 @@ mod tests {
         let digest = requests[0];
 
         // Source answers with the missing update.
-        let responses = source.on_message(
+        let mut responses = sink();
+        source.on_message(
             PeerId::new(9),
             Message::PullRequest {
                 digest: digest.clone(),
             },
             Round::new(3),
             &mut r,
+            &mut responses,
         );
         let Effect::Send {
             msg: Message::PullResponse { updates },
@@ -885,6 +972,7 @@ mod tests {
         assert_eq!(updates.len(), 1);
 
         // Fresh peer ingests it.
+        let mut ignored = sink();
         fresh.on_message(
             PeerId::new(0),
             Message::PullResponse {
@@ -892,6 +980,7 @@ mod tests {
             },
             Round::new(4),
             &mut r,
+            &mut ignored,
         );
         assert!(fresh.is_confident());
         assert_eq!(
@@ -915,7 +1004,8 @@ mod tests {
         p.learn_replicas([PeerId::new(0), PeerId::new(1)]);
         let mut r = rng();
 
-        let effects = p.on_status_change(true, Round::new(5), &mut r);
+        let mut effects = sink();
+        p.on_status_change(true, Round::new(5), &mut r, &mut effects);
         assert!(
             matches!(
                 effects[..],
@@ -934,13 +1024,17 @@ mod tests {
             Value::from("v"),
             PeerId::new(0),
         );
+        effects.clear();
         p.on_message(
             PeerId::new(0),
             push_msg(&update, 1, [0]),
             Round::new(6),
             &mut r,
+            &mut effects,
         );
-        assert!(p.on_timer(TAG_LAZY_PULL, Round::new(8), &mut r).is_empty());
+        effects.clear();
+        p.on_timer(TAG_LAZY_PULL, Round::new(8), &mut r, &mut effects);
+        assert!(effects.is_empty());
 
         // Without the push, the timer pulls.
         let mut q = ReplicaPeer::new(
@@ -951,8 +1045,10 @@ mod tests {
                 .unwrap(),
         );
         q.learn_replicas([PeerId::new(0)]);
-        q.on_status_change(true, Round::new(5), &mut r);
-        let effects = q.on_timer(TAG_LAZY_PULL, Round::new(8), &mut r);
+        let mut effects = sink();
+        q.on_status_change(true, Round::new(5), &mut r, &mut effects);
+        effects.clear();
+        q.on_timer(TAG_LAZY_PULL, Round::new(8), &mut r, &mut effects);
         assert!(
             matches!(
                 effects.first(),
@@ -976,13 +1072,15 @@ mod tests {
         let mut r = rng();
 
         // Coming online fires the first attempt and a retry timer.
-        let first = p.on_status_change(true, Round::new(1), &mut r);
+        let mut first = sink();
+        p.on_status_change(true, Round::new(1), &mut r, &mut first);
         assert!(first
             .iter()
             .any(|e| matches!(e, Effect::Timer { delay: 2, .. })));
 
         // No response arrives: the retry timer pulls again and re-arms.
-        let retry1 = p.on_timer(TAG_PULL_RETRY, Round::new(3), &mut r);
+        let mut retry1 = sink();
+        p.on_timer(TAG_PULL_RETRY, Round::new(3), &mut r, &mut retry1);
         assert!(retry1.iter().any(|e| matches!(
             e,
             Effect::Send {
@@ -993,7 +1091,8 @@ mod tests {
         assert!(retry1.iter().any(|e| matches!(e, Effect::Timer { .. })));
 
         // Second retry exhausts the budget: no further timer.
-        let retry2 = p.on_timer(TAG_PULL_RETRY, Round::new(5), &mut r);
+        let mut retry2 = sink();
+        p.on_timer(TAG_PULL_RETRY, Round::new(5), &mut r, &mut retry2);
         assert!(retry2.iter().any(|e| matches!(
             e,
             Effect::Send {
@@ -1002,7 +1101,8 @@ mod tests {
             }
         )));
         assert!(!retry2.iter().any(|e| matches!(e, Effect::Timer { .. })));
-        let retry3 = p.on_timer(TAG_PULL_RETRY, Round::new(7), &mut r);
+        let mut retry3 = sink();
+        p.on_timer(TAG_PULL_RETRY, Round::new(7), &mut r, &mut retry3);
         assert!(retry3.is_empty(), "budget exhausted");
     }
 
@@ -1015,16 +1115,21 @@ mod tests {
         let mut p = ReplicaPeer::new(PeerId::new(0), config);
         p.learn_replicas([PeerId::new(1)]);
         let mut r = rng();
-        p.on_status_change(true, Round::new(1), &mut r);
+        let mut out = sink();
+        p.on_status_change(true, Round::new(1), &mut r, &mut out);
         // A (possibly empty) pull response restores confidence.
+        out.clear();
         p.on_message(
             PeerId::new(1),
             Message::PullResponse { updates: vec![] },
             Round::new(2),
             &mut r,
+            &mut out,
         );
         assert!(p.is_confident());
-        assert!(p.on_timer(TAG_PULL_RETRY, Round::new(3), &mut r).is_empty());
+        out.clear();
+        p.on_timer(TAG_PULL_RETRY, Round::new(3), &mut r, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]
@@ -1036,13 +1141,14 @@ mod tests {
         let mut p = ReplicaPeer::new(PeerId::new(0), config);
         p.learn_replicas([PeerId::new(1)]);
         let mut r = rng();
-        assert!(p.on_round_start(Round::new(3), &mut r).is_empty());
-        let effects = p.on_round_start(Round::new(5), &mut r);
+        let mut effects = sink();
+        p.on_round_start(Round::new(3), &mut r, &mut effects);
+        assert!(effects.is_empty());
+        p.on_round_start(Round::new(5), &mut r, &mut effects);
         assert!(!effects.is_empty(), "stale peer pulls");
-        assert!(
-            p.on_round_start(Round::new(6), &mut r).is_empty(),
-            "clock reset"
-        );
+        effects.clear();
+        p.on_round_start(Round::new(6), &mut r, &mut effects);
+        assert!(effects.is_empty(), "clock reset");
     }
 
     #[test]
@@ -1051,16 +1157,19 @@ mod tests {
         let mut p = ReplicaPeer::new(PeerId::new(0), config);
         p.learn_replicas([PeerId::new(1), PeerId::new(2)]);
         let mut r = rng();
-        p.on_status_change(false, Round::new(1), &mut r);
+        let mut effects = sink();
+        p.on_status_change(false, Round::new(1), &mut r, &mut effects);
         p.online = true;
         p.confident = false;
-        let effects = p.on_message(
+        effects.clear();
+        p.on_message(
             PeerId::new(1),
             Message::PullRequest {
                 digest: crate::digest::StoreDigest::new(),
             },
             Round::new(2),
             &mut r,
+            &mut effects,
         );
         let responses = effects
             .iter()
@@ -1097,7 +1206,9 @@ mod tests {
     fn pull_with_no_known_replicas_is_silent() {
         let config = ProtocolConfig::builder(10).build().unwrap();
         let mut p = ReplicaPeer::new(PeerId::new(0), config);
-        assert!(p.trigger_pull(Round::ZERO, &mut rng()).is_empty());
+        let mut out = sink();
+        p.trigger_pull(Round::ZERO, &mut rng(), &mut out);
+        assert!(out.is_empty());
         assert_eq!(p.stats().pulls_initiated, 0);
     }
 
@@ -1105,13 +1216,21 @@ mod tests {
     fn query_answers_reflect_store_and_confidence() {
         let mut p = peer_with(10, 0.2);
         let mut r = rng();
+        let mut out = sink();
         let a = p.answer_query(DataKey::new(1));
         assert!(a.lineage.is_none());
         assert!(a.confident);
-        p.initiate_update(DataKey::new(1), Some(Value::from("x")), Round::ZERO, &mut r);
+        p.initiate_update(
+            DataKey::new(1),
+            Some(Value::from("x")),
+            Round::ZERO,
+            &mut r,
+            &mut out,
+        );
         let a = p.answer_query(DataKey::new(1));
         assert_eq!(a.value.unwrap().as_bytes(), b"x");
-        p.on_status_change(true, Round::new(1), &mut r);
+        out.clear();
+        p.on_status_change(true, Round::new(1), &mut r, &mut out);
         assert!(!p.answer_query(DataKey::new(1)).confident);
     }
 

@@ -9,6 +9,7 @@
 
 use crate::latency::LatencyModel;
 use crate::node::{Effect, Node};
+use crate::sink::EffectSink;
 use crate::stats::EngineStats;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -86,8 +87,9 @@ impl<M> Ord for Scheduled<M> {
 ///     type Msg = ();
 ///     fn id(&self) -> PeerId { self.id }
 ///     fn on_message(&mut self, _f: PeerId, _m: (), _r: Round,
-///                   _rng: &mut rand_chacha::ChaCha8Rng) -> Vec<Effect<()>> {
-///         self.got += 1; vec![]
+///                   _rng: &mut rand_chacha::ChaCha8Rng,
+///                   _out: &mut rumor_net::EffectSink<()>) {
+///         self.got += 1;
 ///     }
 /// }
 ///
@@ -110,6 +112,8 @@ pub struct EventEngine<M> {
     population: usize,
     sent_this_round: u64,
     closed_rounds: u32,
+    /// Scratch sink node callbacks write into; drained after each call.
+    sink: EffectSink<M>,
 }
 
 impl<M: Clone> EventEngine<M> {
@@ -124,6 +128,7 @@ impl<M: Clone> EventEngine<M> {
             population,
             sent_this_round: 0,
             closed_rounds: 0,
+            sink: EffectSink::new(),
         }
     }
 
@@ -153,26 +158,40 @@ impl<M: Clone> EventEngine<M> {
         self.queue.push(Scheduled { at, seq, kind });
     }
 
-    /// Queues effects originating at `from` at the current time.
-    pub fn inject(&mut self, from: PeerId, effects: Vec<Effect<M>>, rng: &mut ChaCha8Rng) {
-        self.apply_effects(from, effects, rng);
+    /// Queues effects originating at `from` at the current time. Accepts
+    /// any effect iterator — a literal `Vec`, or an
+    /// [`EffectSink::drain`](crate::EffectSink::drain).
+    pub fn inject(
+        &mut self,
+        from: PeerId,
+        effects: impl IntoIterator<Item = Effect<M>>,
+        rng: &mut ChaCha8Rng,
+    ) {
+        for effect in effects {
+            self.apply_effect(from, effect, rng);
+        }
     }
 
-    fn apply_effects(&mut self, from: PeerId, effects: Vec<Effect<M>>, rng: &mut ChaCha8Rng) {
-        for effect in effects {
-            match effect {
-                Effect::Send { to, msg } => {
-                    self.stats.record_sent(1);
-                    self.sent_this_round += 1;
-                    let delay = self.cfg.latency.sample(rng);
-                    let at = self.now.advance(delay);
-                    self.push_event(at, EventKind::Deliver { from, to, msg });
-                }
-                Effect::Timer { delay, tag } => {
-                    let at = self.now.advance(delay.max(1));
-                    self.push_event(at, EventKind::Timer { peer: from, tag });
-                }
+    fn apply_effect(&mut self, from: PeerId, effect: Effect<M>, rng: &mut ChaCha8Rng) {
+        match effect {
+            Effect::Send { to, msg } => {
+                self.stats.record_sent(1);
+                self.sent_this_round += 1;
+                let delay = self.cfg.latency.sample(rng);
+                let at = self.now.advance(delay);
+                self.push_event(at, EventKind::Deliver { from, to, msg });
             }
+            Effect::Timer { delay, tag } => {
+                let at = self.now.advance(delay.max(1));
+                self.push_event(at, EventKind::Timer { peer: from, tag });
+            }
+        }
+    }
+
+    /// Drains `sink`, attributing every effect to `from`.
+    fn apply_sink(&mut self, from: PeerId, sink: &mut EffectSink<M>, rng: &mut ChaCha8Rng) {
+        for effect in sink.drain() {
+            self.apply_effect(from, effect, rng);
         }
     }
 
@@ -217,6 +236,7 @@ impl<M: Clone> EventEngine<M> {
     {
         assert_eq!(nodes.len(), self.population, "population size mismatch");
         let mut processed = 0;
+        let mut sink = std::mem::take(&mut self.sink);
         while let Some(head) = self.queue.peek() {
             if head.at > until {
                 break;
@@ -236,16 +256,16 @@ impl<M: Clone> EventEngine<M> {
                         continue;
                     }
                     self.stats.delivered += 1;
-                    let effects = nodes[to.index()].on_message(from, msg, round, rng);
-                    self.apply_effects(to, effects, rng);
+                    nodes[to.index()].on_message(from, msg, round, rng, &mut sink);
+                    self.apply_sink(to, &mut sink, rng);
                 }
                 EventKind::Status {
                     peer,
                     online: goes_online,
                 } => {
                     online.set_online(peer, goes_online);
-                    let effects = nodes[peer.index()].on_status_change(goes_online, round, rng);
-                    self.apply_effects(peer, effects, rng);
+                    nodes[peer.index()].on_status_change(goes_online, round, rng, &mut sink);
+                    self.apply_sink(peer, &mut sink, rng);
                     if let Some(process) = churn {
                         let dwell = if goes_online {
                             process.sample_online_dwell(rng)
@@ -264,12 +284,13 @@ impl<M: Clone> EventEngine<M> {
                 }
                 EventKind::Timer { peer, tag } => {
                     if online.is_online(peer) {
-                        let effects = nodes[peer.index()].on_timer(tag, round, rng);
-                        self.apply_effects(peer, effects, rng);
+                        nodes[peer.index()].on_timer(tag, round, rng, &mut sink);
+                        self.apply_sink(peer, &mut sink, rng);
                     }
                 }
             }
         }
+        self.sink = sink;
         if self.now < until {
             self.advance_clock(until);
         }
@@ -324,22 +345,27 @@ mod tests {
             msg: u32,
             _round: Round,
             _rng: &mut ChaCha8Rng,
-        ) -> Vec<Effect<u32>> {
+            _out: &mut EffectSink<u32>,
+        ) {
             self.got.push(msg);
-            Vec::new()
         }
         fn on_status_change(
             &mut self,
             _online: bool,
             _round: Round,
             _rng: &mut ChaCha8Rng,
-        ) -> Vec<Effect<u32>> {
+            _out: &mut EffectSink<u32>,
+        ) {
             self.transitions += 1;
-            Vec::new()
         }
-        fn on_timer(&mut self, tag: u64, _round: Round, _rng: &mut ChaCha8Rng) -> Vec<Effect<u32>> {
+        fn on_timer(
+            &mut self,
+            tag: u64,
+            _round: Round,
+            _rng: &mut ChaCha8Rng,
+            _out: &mut EffectSink<u32>,
+        ) {
             self.timer_tags.push(tag);
-            Vec::new()
         }
     }
 

@@ -27,6 +27,7 @@ mod event_engine;
 mod latency;
 mod link;
 mod node;
+mod sink;
 mod stats;
 mod sync_engine;
 pub mod topology;
@@ -35,5 +36,6 @@ pub use event_engine::{EventEngine, EventEngineConfig};
 pub use latency::LatencyModel;
 pub use link::{BernoulliLoss, LinkFilter, Partition, PerfectLinks};
 pub use node::{Effect, Node};
+pub use sink::EffectSink;
 pub use stats::EngineStats;
 pub use sync_engine::SyncEngine;

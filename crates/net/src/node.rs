@@ -1,5 +1,6 @@
 //! The protocol-node abstraction shared by both engines.
 
+use crate::sink::EffectSink;
 use rand_chacha::ChaCha8Rng;
 use rumor_types::{PeerId, Round};
 
@@ -37,7 +38,9 @@ impl<M> Effect<M> {
 ///
 /// All methods receive the engine's RNG so that a node's random choices
 /// (fanout target selection, forwarding coin flips) replay under a fixed
-/// experiment seed.
+/// experiment seed, and a reusable [`EffectSink`] to write their effects
+/// into — the engine drains it after each callback, so steady-state
+/// rounds never allocate for effect plumbing.
 ///
 /// [`SyncEngine`]: crate::SyncEngine
 /// [`EventEngine`]: crate::EventEngine
@@ -48,21 +51,27 @@ pub trait Node {
     /// This node's identity.
     fn id(&self) -> PeerId;
 
-    /// A message arrived (the node is necessarily online).
+    /// A message arrived (the node is necessarily online). Response
+    /// effects are written into `out`.
     fn on_message(
         &mut self,
         from: PeerId,
         msg: Self::Msg,
         round: Round,
         rng: &mut ChaCha8Rng,
-    ) -> Vec<Effect<Self::Msg>>;
+        out: &mut EffectSink<Self::Msg>,
+    );
 
     /// Called at the start of each round while the node is online.
     ///
     /// Protocols use this for periodic work such as lazy pull checks.
-    fn on_round_start(&mut self, round: Round, rng: &mut ChaCha8Rng) -> Vec<Effect<Self::Msg>> {
-        let _ = (round, rng);
-        Vec::new()
+    fn on_round_start(
+        &mut self,
+        round: Round,
+        rng: &mut ChaCha8Rng,
+        out: &mut EffectSink<Self::Msg>,
+    ) {
+        let _ = (round, rng, out);
     }
 
     /// Availability transition: `online == true` means the node just came
@@ -73,15 +82,20 @@ pub trait Node {
         online: bool,
         round: Round,
         rng: &mut ChaCha8Rng,
-    ) -> Vec<Effect<Self::Msg>> {
-        let _ = (online, round, rng);
-        Vec::new()
+        out: &mut EffectSink<Self::Msg>,
+    ) {
+        let _ = (online, round, rng, out);
     }
 
     /// A previously requested timer fired.
-    fn on_timer(&mut self, tag: u64, round: Round, rng: &mut ChaCha8Rng) -> Vec<Effect<Self::Msg>> {
-        let _ = (tag, round, rng);
-        Vec::new()
+    fn on_timer(
+        &mut self,
+        tag: u64,
+        round: Round,
+        rng: &mut ChaCha8Rng,
+        out: &mut EffectSink<Self::Msg>,
+    ) {
+        let _ = (tag, round, rng, out);
     }
 }
 
@@ -102,8 +116,9 @@ mod tests {
             msg: u32,
             _round: Round,
             _rng: &mut ChaCha8Rng,
-        ) -> Vec<Effect<u32>> {
-            vec![Effect::send(from, msg + 1)]
+            out: &mut EffectSink<u32>,
+        ) {
+            out.send(from, msg + 1);
         }
     }
 
@@ -112,11 +127,11 @@ mod tests {
         use rand::SeedableRng;
         let mut node = Echo(PeerId::new(0));
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        assert!(node.on_round_start(Round::ZERO, &mut rng).is_empty());
-        assert!(node
-            .on_status_change(true, Round::ZERO, &mut rng)
-            .is_empty());
-        assert!(node.on_timer(0, Round::ZERO, &mut rng).is_empty());
+        let mut out = EffectSink::new();
+        node.on_round_start(Round::ZERO, &mut rng, &mut out);
+        node.on_status_change(true, Round::ZERO, &mut rng, &mut out);
+        node.on_timer(0, Round::ZERO, &mut rng, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]
@@ -129,5 +144,15 @@ mod tests {
                 msg: 9
             }
         );
+    }
+
+    #[test]
+    fn on_message_writes_into_sink() {
+        use rand::SeedableRng;
+        let mut node = Echo(PeerId::new(0));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut out = EffectSink::new();
+        node.on_message(PeerId::new(4), 7, Round::ZERO, &mut rng, &mut out);
+        assert_eq!(out.as_slice(), &[Effect::send(PeerId::new(4), 8)]);
     }
 }

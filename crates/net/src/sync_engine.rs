@@ -4,23 +4,58 @@
 //! `t` is delivered at the start of round `t+1`. Messages to peers that
 //! are offline at delivery time are lost (the pull phase exists precisely
 //! to repair this) but still count toward the overhead metric.
+//!
+//! The engine allocates only at construction: per-peer inboxes are
+//! recycled across rounds (drain in place, capacity retained), node
+//! callbacks write into one reusable [`EffectSink`], the availability
+//! snapshot is updated in place, timers live in a [`BinaryHeap`] keyed by
+//! `(round, seq)`, and quiescence is an O(1) counter check.
 
 use crate::link::LinkFilter;
 use crate::node::{Effect, Node};
+use crate::sink::EffectSink;
 use crate::stats::EngineStats;
 use rand_chacha::ChaCha8Rng;
 use rumor_churn::OnlineSet;
 use rumor_types::{PeerId, Round};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// In-flight message: `(from, payload)`.
 type Inbox<M> = Vec<(PeerId, M)>;
+
+/// A pending timer, ordered by `(fire, seq)` so that the heap pops due
+/// timers in exactly the order the historical insertion-ordered scan
+/// fired them: all timers due in one round share that round as their
+/// effective fire round, and `seq` is monotone in insertion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TimerEntry {
+    fire: Round,
+    seq: u64,
+    peer: PeerId,
+    tag: u64,
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (fire, seq) pops
+        // first.
+        (other.fire, other.seq).cmp(&(self.fire, self.seq))
+    }
+}
 
 /// Deterministic lock-step engine over a population of [`Node`]s.
 ///
 /// # Examples
 ///
 /// ```
-/// use rumor_net::{Effect, Node, PerfectLinks, SyncEngine};
+/// use rumor_net::{Effect, EffectSink, Node, PerfectLinks, SyncEngine};
 /// use rumor_churn::OnlineSet;
 /// use rumor_types::{PeerId, Round};
 /// use rand::SeedableRng;
@@ -30,8 +65,8 @@ type Inbox<M> = Vec<(PeerId, M)>;
 ///     type Msg = u8;
 ///     fn id(&self) -> PeerId { self.id }
 ///     fn on_message(&mut self, _f: PeerId, m: u8, _r: Round,
-///                   _rng: &mut rand_chacha::ChaCha8Rng) -> Vec<Effect<u8>> {
-///         if m > 0 { vec![Effect::send(PeerId::new(0), m - 1)] } else { vec![] }
+///                   _rng: &mut rand_chacha::ChaCha8Rng, out: &mut EffectSink<u8>) {
+///         if m > 0 { out.send(PeerId::new(0), m - 1); }
 ///     }
 /// }
 ///
@@ -49,11 +84,26 @@ type Inbox<M> = Vec<(PeerId, M)>;
 pub struct SyncEngine<M> {
     current: Vec<Inbox<M>>,
     next: Vec<Inbox<M>>,
-    timers: Vec<(Round, PeerId, u64)>,
+    timers: BinaryHeap<TimerEntry>,
+    timer_seq: u64,
+    /// Earliest round a newly queued timer may fire: the next timer scan
+    /// that could observe it. Preserves the historical insertion-ordered
+    /// Vec-scan semantics exactly (including zero-delay timers queued
+    /// after a round's scan, which fire the following round).
+    timer_barrier: Round,
     round: Round,
-    prev_online: Option<Vec<bool>>,
+    prev_online: Vec<bool>,
+    prev_online_primed: bool,
     stats: EngineStats,
     sent_this_round: u64,
+    /// Messages queued for delivery (O(1) quiescence check).
+    in_flight: usize,
+    /// Scratch sink node callbacks write into; drained after each call.
+    sink: EffectSink<M>,
+    /// Scratch inbox swapped against each peer slot during delivery.
+    delivery_scratch: Inbox<M>,
+    /// Scratch list of due timers, reused across rounds.
+    due_scratch: Vec<(PeerId, u64)>,
 }
 
 impl<M: Clone> SyncEngine<M> {
@@ -62,11 +112,18 @@ impl<M: Clone> SyncEngine<M> {
         Self {
             current: (0..n).map(|_| Vec::new()).collect(),
             next: (0..n).map(|_| Vec::new()).collect(),
-            timers: Vec::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            timer_barrier: Round::ZERO,
             round: Round::ZERO,
-            prev_online: None,
+            prev_online: Vec::with_capacity(n),
+            prev_online_primed: false,
             stats: EngineStats::new(),
             sent_this_round: 0,
+            in_flight: 0,
+            sink: EffectSink::new(),
+            delivery_scratch: Vec::new(),
+            due_scratch: Vec::new(),
         }
     }
 
@@ -80,41 +137,59 @@ impl<M: Clone> SyncEngine<M> {
         &self.stats
     }
 
-    /// Number of messages queued for delivery in the next round.
-    pub fn in_flight(&self) -> usize {
-        self.current.iter().map(Vec::len).sum::<usize>()
-            + self.next.iter().map(Vec::len).sum::<usize>()
+    /// Number of messages queued for delivery (maintained incrementally;
+    /// O(1)).
+    pub const fn in_flight(&self) -> usize {
+        self.in_flight
     }
 
     /// True when no message is in flight and no timer is pending:
-    /// stepping further can only trigger `on_round_start` work.
+    /// stepping further can only trigger `on_round_start` work. O(1).
     pub fn is_quiescent(&self) -> bool {
-        self.in_flight() == 0 && self.timers.is_empty()
+        self.in_flight == 0 && self.timers.is_empty()
     }
 
     /// Queues effects produced outside the engine (e.g. the update
     /// initiator's round-0 push, paper §4.2 "Round 0"). Sends are
-    /// delivered during the *next* [`SyncEngine::step`] call.
-    pub fn inject(&mut self, from: PeerId, effects: Vec<Effect<M>>) {
-        self.apply_effects(from, effects, true);
+    /// delivered during the *next* [`SyncEngine::step`] call. Accepts any
+    /// effect iterator — a literal `Vec`, or an
+    /// [`EffectSink::drain`](crate::EffectSink::drain).
+    pub fn inject(&mut self, from: PeerId, effects: impl IntoIterator<Item = Effect<M>>) {
+        for effect in effects {
+            self.apply_effect(from, effect, true);
+        }
     }
 
-    fn apply_effects(&mut self, from: PeerId, effects: Vec<Effect<M>>, into_current: bool) {
-        for effect in effects {
-            match effect {
-                Effect::Send { to, msg } => {
-                    self.stats.record_sent(1);
-                    self.sent_this_round += 1;
-                    if into_current {
-                        self.current[to.index()].push((from, msg));
-                    } else {
-                        self.next[to.index()].push((from, msg));
-                    }
-                }
-                Effect::Timer { delay, tag } => {
-                    self.timers.push((self.round + delay as u32, from, tag));
+    fn apply_effect(&mut self, from: PeerId, effect: Effect<M>, into_current: bool) {
+        match effect {
+            Effect::Send { to, msg } => {
+                self.stats.record_sent(1);
+                self.sent_this_round += 1;
+                self.in_flight += 1;
+                if into_current {
+                    self.current[to.index()].push((from, msg));
+                } else {
+                    self.next[to.index()].push((from, msg));
                 }
             }
+            Effect::Timer { delay, tag } => {
+                let fire = (self.round + delay as u32).max(self.timer_barrier);
+                self.timer_seq += 1;
+                self.timers.push(TimerEntry {
+                    fire,
+                    seq: self.timer_seq,
+                    peer: from,
+                    tag,
+                });
+            }
+        }
+    }
+
+    /// Drains `sink` into the engine queues, attributing every effect to
+    /// `from`.
+    fn apply_sink(&mut self, from: PeerId, sink: &mut EffectSink<M>, into_current: bool) {
+        for effect in sink.drain() {
+            self.apply_effect(from, effect, into_current);
         }
     }
 
@@ -138,70 +213,68 @@ impl<M: Clone> SyncEngine<M> {
     {
         assert_eq!(nodes.len(), self.current.len(), "population size mismatch");
         let round = self.round;
+        let mut sink = std::mem::take(&mut self.sink);
 
-        // 1. Status changes relative to the previous observation.
-        match &self.prev_online {
-            None => {
-                self.prev_online = Some(
-                    (0..online.len())
-                        .map(|i| online.is_online(PeerId::new(i as u32)))
-                        .collect(),
-                );
-            }
-            Some(prev) => {
-                let mut transitions = Vec::new();
-                for (i, node) in nodes.iter_mut().enumerate() {
-                    let peer = PeerId::new(i as u32);
-                    let now_online = online.is_online(peer);
-                    if prev[i] != now_online {
-                        transitions.push((peer, node.on_status_change(now_online, round, rng)));
-                    }
+        // 1. Status changes relative to the previous observation, with
+        //    the snapshot updated in place (no per-round collects).
+        if self.prev_online_primed {
+            for (i, node) in nodes.iter_mut().enumerate() {
+                let peer = PeerId::new(i as u32);
+                let now_online = online.is_online(peer);
+                if self.prev_online[i] != now_online {
+                    self.prev_online[i] = now_online;
+                    node.on_status_change(now_online, round, rng, &mut sink);
+                    self.apply_sink(peer, &mut sink, false);
                 }
-                for (peer, effects) in transitions {
-                    self.apply_effects(peer, effects, false);
-                }
-                self.prev_online = Some(
-                    (0..online.len())
-                        .map(|i| online.is_online(PeerId::new(i as u32)))
-                        .collect(),
-                );
             }
+        } else {
+            // The initial observation is not a transition.
+            self.prev_online.clear();
+            self.prev_online
+                .extend((0..online.len()).map(|i| online.is_online(PeerId::new(i as u32))));
+            self.prev_online_primed = true;
         }
 
         // 2. Round start for online peers.
-        let mut round_start_effects = Vec::new();
         for (i, node) in nodes.iter_mut().enumerate() {
             let peer = PeerId::new(i as u32);
             if online.is_online(peer) {
-                round_start_effects.push((peer, node.on_round_start(round, rng)));
+                node.on_round_start(round, rng, &mut sink);
+                self.apply_sink(peer, &mut sink, false);
             }
-        }
-        for (peer, effects) in round_start_effects {
-            self.apply_effects(peer, effects, false);
         }
 
-        // 3. Due timers, in scheduling order.
-        let mut due = Vec::new();
-        self.timers.retain(|&(fire, peer, tag)| {
-            if fire <= round {
-                due.push((peer, tag));
-                false
-            } else {
-                true
+        // 3. Due timers, in scheduling order. Collect the whole due set
+        //    before firing so timers queued by `on_timer` itself wait for
+        //    the next round, exactly as under the historical Vec scan.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        while let Some(head) = self.timers.peek() {
+            if head.fire > round {
+                break;
             }
-        });
-        for (peer, tag) in due {
+            let entry = self.timers.pop().expect("peeked");
+            due.push((entry.peer, entry.tag));
+        }
+        self.timer_barrier = round.next();
+        for &(peer, tag) in &due {
             if online.is_online(peer) {
-                let effects = nodes[peer.index()].on_timer(tag, round, rng);
-                self.apply_effects(peer, effects, false);
+                nodes[peer.index()].on_timer(tag, round, rng, &mut sink);
+                self.apply_sink(peer, &mut sink, false);
             }
         }
+        self.due_scratch = due;
 
-        // 4. Deliver the current inboxes.
-        let inboxes = std::mem::take(&mut self.current);
-        for (i, inbox) in inboxes.into_iter().enumerate() {
+        // 4. Deliver the current inboxes, draining each in place so its
+        //    buffer is reused next round. Indexed loop: the body needs
+        //    `&mut self` for `apply_sink` while the slot is swapped out.
+        let mut inbox = std::mem::take(&mut self.delivery_scratch);
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..self.current.len() {
+            std::mem::swap(&mut inbox, &mut self.current[i]);
             let to = PeerId::new(i as u32);
-            for (from, msg) in inbox {
+            for (from, msg) in inbox.drain(..) {
+                self.in_flight -= 1;
                 if !online.is_online(to) {
                     self.stats.lost_offline += 1;
                     continue;
@@ -211,17 +284,19 @@ impl<M: Clone> SyncEngine<M> {
                     continue;
                 }
                 self.stats.delivered += 1;
-                let effects = nodes[i].on_message(from, msg, round, rng);
-                self.apply_effects(to, effects, false);
+                nodes[i].on_message(from, msg, round, rng, &mut sink);
+                self.apply_sink(to, &mut sink, false);
             }
+            std::mem::swap(&mut inbox, &mut self.current[i]);
         }
-        self.current = (0..nodes.len()).map(|_| Vec::new()).collect();
+        self.delivery_scratch = inbox;
 
         // 5. Promote next-round queue and close the round.
         std::mem::swap(&mut self.current, &mut self.next);
         self.stats.close_round(round.as_u32(), self.sent_this_round);
         self.sent_this_round = 0;
         self.round = round.next();
+        self.sink = sink;
     }
 
     /// Runs until quiescent or `max_rounds` is hit; returns rounds run.
@@ -256,9 +331,11 @@ mod tests {
     struct Forwarder {
         id: PeerId,
         to: Option<PeerId>,
-        received: u32,
+        received: Vec<PeerId>,
         status_changes: Vec<bool>,
         timer_fired: Vec<u64>,
+        /// Send this on every status change (ordering probes).
+        announce_to: Option<PeerId>,
     }
 
     impl Forwarder {
@@ -266,9 +343,10 @@ mod tests {
             Self {
                 id: PeerId::new(id),
                 to: to.map(PeerId::new),
-                received: 0,
+                received: Vec::new(),
                 status_changes: Vec::new(),
                 timer_fired: Vec::new(),
+                announce_to: None,
             }
         }
     }
@@ -280,26 +358,38 @@ mod tests {
         }
         fn on_message(
             &mut self,
-            _from: PeerId,
+            from: PeerId,
             msg: u32,
             _round: Round,
             _rng: &mut ChaCha8Rng,
-        ) -> Vec<Effect<u32>> {
-            self.received += 1;
-            self.to.map(|t| Effect::send(t, msg)).into_iter().collect()
+            out: &mut EffectSink<u32>,
+        ) {
+            self.received.push(from);
+            let _ = msg;
+            if let Some(t) = self.to {
+                out.send(t, msg);
+            }
         }
         fn on_status_change(
             &mut self,
             online: bool,
             _round: Round,
             _rng: &mut ChaCha8Rng,
-        ) -> Vec<Effect<u32>> {
+            out: &mut EffectSink<u32>,
+        ) {
             self.status_changes.push(online);
-            Vec::new()
+            if let Some(t) = self.announce_to {
+                out.send(t, self.id.as_u32());
+            }
         }
-        fn on_timer(&mut self, tag: u64, _round: Round, _rng: &mut ChaCha8Rng) -> Vec<Effect<u32>> {
+        fn on_timer(
+            &mut self,
+            tag: u64,
+            _round: Round,
+            _rng: &mut ChaCha8Rng,
+            _out: &mut EffectSink<u32>,
+        ) {
             self.timer_fired.push(tag);
-            Vec::new()
         }
     }
 
@@ -313,9 +403,13 @@ mod tests {
         let online = OnlineSet::all_online(2);
         let mut engine = SyncEngine::new(2);
         engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 5)]);
-        assert_eq!(nodes[1].received, 0);
+        assert_eq!(nodes[1].received.len(), 0);
         engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
-        assert_eq!(nodes[1].received, 1, "delivered at start of next round");
+        assert_eq!(
+            nodes[1].received.len(),
+            1,
+            "delivered at start of next round"
+        );
         assert_eq!(engine.stats().sent, 1);
         assert_eq!(engine.stats().delivered, 1);
     }
@@ -332,9 +426,9 @@ mod tests {
         let mut engine = SyncEngine::new(3);
         engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 9)]);
         engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
-        assert_eq!(nodes[2].received, 0);
+        assert_eq!(nodes[2].received.len(), 0);
         engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
-        assert_eq!(nodes[2].received, 1);
+        assert_eq!(nodes[2].received.len(), 1);
         assert!(engine.is_quiescent());
     }
 
@@ -345,7 +439,7 @@ mod tests {
         let mut engine = SyncEngine::new(2);
         engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 5)]);
         engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
-        assert_eq!(nodes[1].received, 0);
+        assert_eq!(nodes[1].received.len(), 0);
         assert_eq!(
             engine.stats().sent,
             1,
@@ -362,7 +456,7 @@ mod tests {
         engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 5)]);
         engine.step(&mut nodes, &online, &BernoulliLoss::new(1.0), &mut rng());
         assert_eq!(engine.stats().lost_fault, 1);
-        assert_eq!(nodes[1].received, 0);
+        assert_eq!(nodes[1].received.len(), 0);
     }
 
     #[test]
@@ -384,6 +478,40 @@ mod tests {
     }
 
     #[test]
+    fn status_change_effects_fire_in_node_order() {
+        // Regression for the in-place `prev_online` snapshot: several
+        // peers transitioning in the same round must observe their
+        // callbacks (and the effects those emit) in ascending node order,
+        // exactly as the historical collect-then-apply staging did.
+        let mut nodes = vec![
+            Forwarder::new(0, None),
+            Forwarder::new(1, None),
+            Forwarder::new(2, None),
+        ];
+        nodes[1].announce_to = Some(PeerId::new(0));
+        nodes[2].announce_to = Some(PeerId::new(0));
+        let mut online = OnlineSet::all_online(3);
+        let mut engine = SyncEngine::new(3);
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        // Flip both (higher index first, to prove ordering comes from the
+        // scan, not the mutation order).
+        online.set_online(PeerId::new(2), false);
+        online.set_online(PeerId::new(1), false);
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        assert_eq!(
+            nodes[0].received,
+            vec![PeerId::new(1), PeerId::new(2)],
+            "announcements delivered in node order"
+        );
+        // And the snapshot was updated in place: a quiet follow-up round
+        // reports no further transitions.
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        assert_eq!(nodes[1].status_changes, vec![false]);
+        assert_eq!(nodes[2].status_changes, vec![false]);
+    }
+
+    #[test]
     fn timers_fire_for_online_peers_only() {
         let mut nodes = vec![Forwarder::new(0, None), Forwarder::new(1, None)];
         let mut online = OnlineSet::all_online(2);
@@ -402,6 +530,36 @@ mod tests {
     }
 
     #[test]
+    fn timers_with_one_fire_round_pop_in_insertion_order() {
+        // Three timers land on the same effective round through different
+        // paths (long delay armed early, short delay armed late): the
+        // heap must fire them in insertion order, matching the historical
+        // Vec scan.
+        let mut nodes = vec![Forwarder::new(0, None)];
+        let online = OnlineSet::all_online(1);
+        let mut engine = SyncEngine::new(1);
+        engine.inject(PeerId::new(0), vec![Effect::Timer { delay: 2, tag: 1 }]);
+        engine.inject(PeerId::new(0), vec![Effect::Timer { delay: 2, tag: 2 }]);
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng()); // round 0
+        engine.inject(PeerId::new(0), vec![Effect::Timer { delay: 1, tag: 3 }]);
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng()); // round 1
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng()); // round 2: all due
+        assert_eq!(nodes[0].timer_fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_delay_timer_queued_by_inject_fires_next_step() {
+        let mut nodes = vec![Forwarder::new(0, None)];
+        let online = OnlineSet::all_online(1);
+        let mut engine = SyncEngine::new(1);
+        engine.inject(PeerId::new(0), vec![Effect::Timer { delay: 0, tag: 4 }]);
+        assert!(!engine.is_quiescent(), "pending timer blocks quiescence");
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        assert_eq!(nodes[0].timer_fired, vec![4]);
+        assert!(engine.is_quiescent());
+    }
+
+    #[test]
     fn per_round_series_tracks_rounds() {
         let mut nodes = vec![Forwarder::new(0, Some(1)), Forwarder::new(1, Some(0))];
         let online = OnlineSet::all_online(2);
@@ -413,6 +571,23 @@ mod tests {
         // Ping-pong forever: one send per round.
         assert_eq!(engine.stats().per_round_sent().points().len(), 4);
         assert_eq!(engine.stats().sent, 5); // inject + 4 forwards
+    }
+
+    #[test]
+    fn in_flight_counter_tracks_queue_exactly() {
+        let mut nodes = vec![Forwarder::new(0, Some(1)), Forwarder::new(1, None)];
+        let online = OnlineSet::all_online(2);
+        let mut engine = SyncEngine::new(2);
+        assert_eq!(engine.in_flight(), 0);
+        engine.inject(PeerId::new(1), vec![Effect::send(PeerId::new(0), 1)]);
+        engine.inject(PeerId::new(1), vec![Effect::send(PeerId::new(0), 2)]);
+        assert_eq!(engine.in_flight(), 2);
+        // Both deliveries forward to peer 1: two consumed, two queued.
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        assert_eq!(engine.in_flight(), 2);
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        assert_eq!(engine.in_flight(), 0);
+        assert!(engine.is_quiescent());
     }
 
     #[test]

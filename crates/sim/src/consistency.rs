@@ -92,11 +92,12 @@ mod tests {
     fn awareness_counts_processed_updates() {
         let mut ps = peers(4);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let (update, _) = ps[0].initiate_update(
+        let update = ps[0].initiate_update(
             DataKey::new(1),
             Some(Value::from("x")),
             Round::ZERO,
             &mut rng,
+            &mut rumor_net::EffectSink::new(),
         );
         assert_eq!(awareness(&ps, None, update.id()), 0.25);
     }
@@ -105,11 +106,12 @@ mod tests {
     fn awareness_respects_online_filter() {
         let mut ps = peers(4);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let (update, _) = ps[0].initiate_update(
+        let update = ps[0].initiate_update(
             DataKey::new(1),
             Some(Value::from("x")),
             Round::ZERO,
             &mut rng,
+            &mut rumor_net::EffectSink::new(),
         );
         let online = rumor_churn::OnlineSet::with_online_count(4, 1); // only peer 0
         assert_eq!(awareness(&ps, Some(&online), update.id()), 1.0);
@@ -133,6 +135,7 @@ mod tests {
             Some(Value::from("x")),
             Round::ZERO,
             &mut rng,
+            &mut rumor_net::EffectSink::new(),
         );
         let frac = consistency_fraction(&ps, None);
         assert!((frac - 2.0 / 3.0).abs() < 1e-12, "{frac}");
@@ -147,6 +150,7 @@ mod tests {
             Some(Value::from("new")),
             Round::ZERO,
             &mut rng,
+            &mut rumor_net::EffectSink::new(),
         );
         let flags = staleness_by_peer(&ps, DataKey::new(1), Some(b"new"));
         assert_eq!(flags, vec![false, true]);

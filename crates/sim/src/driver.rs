@@ -23,7 +23,7 @@ use rand_chacha::ChaCha8Rng;
 use rumor_churn::{Churn, OnlineSet};
 use rumor_core::{ReplicaPeer, Value};
 use rumor_metrics::ConvergenceDetector;
-use rumor_net::{Effect, EngineStats, LinkFilter, Node, SyncEngine};
+use rumor_net::{EffectSink, EngineStats, LinkFilter, Node, SyncEngine};
 use rumor_types::{PeerId, Round, UpdateId};
 
 /// A factory that mounts one dissemination protocol into a
@@ -45,16 +45,18 @@ pub trait Protocol {
     fn spawn(&self, id: PeerId, known: Vec<PeerId>, online_at_start: bool) -> Self::Node;
 
     /// Initiates the scheduled `event` at `node`, returning the update's
-    /// identity and the round-0 effects to inject. Protocols without a
-    /// data model (pure dissemination baselines) derive the identity from
-    /// [`UpdateEvent::rumor_id`] and ignore the payload semantics.
+    /// identity and writing the round-0 effects to inject into `out`.
+    /// Protocols without a data model (pure dissemination baselines)
+    /// derive the identity from [`UpdateEvent::rumor_id`] and ignore the
+    /// payload semantics.
     fn initiate(
         &self,
         node: &mut Self::Node,
         event: &UpdateEvent,
         round: Round,
         rng: &mut ChaCha8Rng,
-    ) -> (UpdateId, Vec<Effect<<Self::Node as Node>::Msg>>);
+        out: &mut EffectSink<<Self::Node as Node>::Msg>,
+    ) -> UpdateId;
 
     /// Whether `node` has learned of `update`.
     fn is_aware(&self, node: &Self::Node, update: UpdateId) -> bool;
@@ -111,14 +113,14 @@ impl Protocol for PaperProtocol {
         event: &UpdateEvent,
         round: Round,
         rng: &mut ChaCha8Rng,
-    ) -> (UpdateId, Vec<Effect<rumor_core::Message>>) {
+        out: &mut EffectSink<rumor_core::Message>,
+    ) -> UpdateId {
         let value = if event.delete {
             None // a tombstone: the §3 death certificate
         } else {
             Some(Value::from(event.payload().as_str()))
         };
-        let (update, effects) = node.initiate_update(event.key, value, round, rng);
-        (update.id(), effects)
+        node.initiate_update(event.key, value, round, rng, out).id()
     }
 
     fn is_aware(&self, node: &ReplicaPeer, update: UpdateId) -> bool {
@@ -147,6 +149,8 @@ pub struct Driver<N: Node> {
     convergence: ConvergenceSpec,
     initial_online: usize,
     rounds_run: u32,
+    /// Scratch sink for out-of-round effect injection (initiations).
+    sink: EffectSink<N::Msg>,
 }
 
 impl<N: Node> std::fmt::Debug for Driver<N> {
@@ -186,6 +190,7 @@ impl<N: Node> Driver<N> {
             convergence,
             initial_online,
             rounds_run: 0,
+            sink: EffectSink::new(),
         }
     }
 
@@ -283,9 +288,9 @@ impl<N: Node> Driver<N> {
         pool
     }
 
-    /// Runs `f` against one node with the protocol RNG, injecting the
-    /// effects it returns (e.g. an initiator's round-0 broadcast) and
-    /// passing its other output through.
+    /// Runs `f` against one node with the protocol RNG and a scratch
+    /// [`EffectSink`], injecting the effects it writes (e.g. an
+    /// initiator's round-0 broadcast) and passing its output through.
     ///
     /// # Panics
     ///
@@ -293,10 +298,12 @@ impl<N: Node> Driver<N> {
     pub fn apply<T>(
         &mut self,
         at: PeerId,
-        f: impl FnOnce(&mut N, &mut ChaCha8Rng) -> (T, Vec<Effect<N::Msg>>),
+        f: impl FnOnce(&mut N, &mut ChaCha8Rng, &mut EffectSink<N::Msg>) -> T,
     ) -> T {
-        let (out, effects) = f(&mut self.nodes[at.index()], &mut self.proto_rng);
-        self.engine.inject(at, effects);
+        let mut sink = std::mem::take(&mut self.sink);
+        let out = f(&mut self.nodes[at.index()], &mut self.proto_rng, &mut sink);
+        self.engine.inject(at, sink.drain());
+        self.sink = sink;
         out
     }
 
@@ -311,13 +318,16 @@ impl<N: Node> Driver<N> {
     ) -> Option<UpdateId> {
         let id = initiator.or_else(|| self.sample_online())?;
         let round = Round::new(self.rounds_run);
-        let (update, effects) = protocol.initiate(
+        let mut sink = std::mem::take(&mut self.sink);
+        let update = protocol.initiate(
             &mut self.nodes[id.index()],
             event,
             round,
             &mut self.proto_rng,
+            &mut sink,
         );
-        self.engine.inject(id, effects);
+        self.engine.inject(id, sink.drain());
+        self.sink = sink;
         Some(update)
     }
 

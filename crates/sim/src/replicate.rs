@@ -119,10 +119,13 @@ impl Experiment {
     }
 
     /// The replication identities this experiment will run, in order.
+    /// The seed sequence is derived once and indexed per replication, so
+    /// iteration does not re-hash the master seed per item.
     pub fn replications_iter(&self) -> impl Iterator<Item = Replication> + '_ {
-        (0..self.replications).map(|index| Replication {
+        let seq = SeedSequence::new(self.master_seed, REPLICATION_NAMESPACE);
+        (0..self.replications).map(move |index| Replication {
             index,
-            seed: Self::replication_seed(self.master_seed, index),
+            seed: seq.seed_at(u64::from(index)),
         })
     }
 
@@ -157,6 +160,9 @@ impl Experiment {
             return self.replications_iter().map(body).collect();
         }
         let next = std::sync::atomic::AtomicUsize::new(0);
+        // Derive the substream root once, outside the claim loop: workers
+        // index into it instead of re-hashing the master seed per claim.
+        let seq = SeedSequence::new(self.master_seed, REPLICATION_NAMESPACE);
         let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
             let workers: Vec<_> = (0..threads)
                 .map(|_| {
@@ -169,7 +175,7 @@ impl Experiment {
                             }
                             let rep = Replication {
                                 index: index as u32,
-                                seed: Self::replication_seed(self.master_seed, index as u32),
+                                seed: seq.seed_at(index as u64),
                             };
                             produced.push((index, body(rep)));
                         }
@@ -408,6 +414,16 @@ mod tests {
             .map(|i| Experiment::replication_seed(1, i))
             .collect();
         assert_eq!(seeds, expected);
+    }
+
+    #[test]
+    fn hoisted_seed_derivation_matches_per_index_derivation() {
+        // The worker pool indexes one pre-derived SeedSequence instead of
+        // re-hashing the master seed per claim; both paths must agree.
+        let experiment = Experiment::new(42, 8);
+        for rep in experiment.replications_iter() {
+            assert_eq!(rep.seed, Experiment::replication_seed(42, rep.index));
+        }
     }
 
     #[test]

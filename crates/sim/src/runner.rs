@@ -100,8 +100,9 @@ impl Simulation {
             .or_else(|| self.driver.sample_online())
             .expect("an online initiator is required");
         let round = Round::new(self.driver.rounds_run());
-        self.driver
-            .apply(id, |peer, rng| peer.initiate_update(key, value, round, rng))
+        self.driver.apply(id, |peer, rng, out| {
+            peer.initiate_update(key, value, round, rng, out)
+        })
     }
 
     /// Executes one synchronous round: churn transition (after round 0),

@@ -52,8 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The change: partition members learn two fresh level-0 references.
     let change = RoutingChange::new(0, vec![PeerId::new(7), PeerId::new(42)]);
     let payload = Value::from(change.to_bytes());
-    let update = driver.apply(PeerId::new(0), |peer, rng| {
-        peer.initiate_update(key, Some(payload), Round::ZERO, rng)
+    let update = driver.apply(PeerId::new(0), |peer, rng, out| {
+        peer.initiate_update(key, Some(payload), Round::ZERO, rng, out)
     });
     // A fixed horizon, not quiescence: the hybrid protocol's periodic
     // staleness pull keeps polling by design.

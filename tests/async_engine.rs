@@ -8,7 +8,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rumor::churn::{OnOffProcess, OnlineSet};
 use rumor::core::{Message, ProtocolConfig, PullStrategy, ReplicaPeer, Value};
-use rumor::net::{EventEngine, EventEngineConfig, LatencyModel};
+use rumor::net::{EffectSink, EventEngine, EventEngineConfig, LatencyModel};
 use rumor::types::{DataKey, PeerId, Round, Tick};
 
 fn population(n: usize, config: &ProtocolConfig) -> Vec<ReplicaPeer> {
@@ -39,13 +39,15 @@ fn push_spreads_under_variable_latency() {
     let mut engine: EventEngine<Message> = EventEngine::new(engine_cfg, n);
     let mut rng = ChaCha8Rng::seed_from_u64(5);
 
-    let (update, effects) = nodes[0].initiate_update(
+    let mut effects = EffectSink::new();
+    let update = nodes[0].initiate_update(
         DataKey::from_name("async"),
         Some(Value::from("v")),
         Round::ZERO,
         &mut rng,
+        &mut effects,
     );
-    engine.inject(PeerId::new(0), effects, &mut rng);
+    engine.inject(PeerId::new(0), effects.drain(), &mut rng);
     engine.run(&mut nodes, &mut online, None, Tick::new(2_000), &mut rng);
 
     let aware = nodes
@@ -78,13 +80,15 @@ fn message_loss_degrades_but_does_not_stop_the_epidemic() {
             n,
         );
         let mut rng = ChaCha8Rng::seed_from_u64(6);
-        let (update, effects) = nodes[0].initiate_update(
+        let mut effects = EffectSink::new();
+        let update = nodes[0].initiate_update(
             DataKey::from_name("lossy"),
             Some(Value::from("v")),
             Round::ZERO,
             &mut rng,
+            &mut effects,
         );
-        engine.inject(PeerId::new(0), effects, &mut rng);
+        engine.inject(PeerId::new(0), effects.drain(), &mut rng);
         engine.run(&mut nodes, &mut online, None, Tick::new(2_000), &mut rng);
         nodes
             .iter()
@@ -127,13 +131,15 @@ fn continuous_churn_with_eager_pull_recovers_returning_peers() {
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     engine.schedule_churn(&online, &process, &mut rng);
 
-    let (update, effects) = nodes[0].initiate_update(
+    let mut effects = EffectSink::new();
+    let update = nodes[0].initiate_update(
         DataKey::from_name("churny"),
         Some(Value::from("v")),
         Round::ZERO,
         &mut rng,
+        &mut effects,
     );
-    engine.inject(PeerId::new(0), effects, &mut rng);
+    engine.inject(PeerId::new(0), effects.drain(), &mut rng);
     engine.run(
         &mut nodes,
         &mut online,
@@ -174,13 +180,15 @@ fn sync_and_async_engines_agree_on_coverage() {
         let mut online = OnlineSet::all_online(n);
         let mut engine: EventEngine<Message> = EventEngine::new(EventEngineConfig::default(), n);
         let mut rng = ChaCha8Rng::seed_from_u64(8);
-        let (update, effects) = nodes[0].initiate_update(
+        let mut effects = EffectSink::new();
+        let update = nodes[0].initiate_update(
             DataKey::from_name("agree"),
             Some(Value::from("v")),
             Round::ZERO,
             &mut rng,
+            &mut effects,
         );
-        engine.inject(PeerId::new(0), effects, &mut rng);
+        engine.inject(PeerId::new(0), effects.drain(), &mut rng);
         engine.run(&mut nodes, &mut online, None, Tick::new(1_000), &mut rng);
         nodes
             .iter()

@@ -4,7 +4,7 @@
 use rand::SeedableRng;
 use rumor::churn::OnlineSet;
 use rumor::core::{Message, ProtocolConfig, ReplicaPeer, Value};
-use rumor::net::{PerfectLinks, SyncEngine};
+use rumor::net::{EffectSink, PerfectLinks, SyncEngine};
 use rumor::pgrid::{key_to_path, PGrid, RoutingChange};
 use rumor::types::{DataKey, PeerId, Round};
 
@@ -49,9 +49,15 @@ fn every_partition_can_host_the_update_protocol() {
             .collect();
         let online = OnlineSet::all_online(n);
         let mut engine: SyncEngine<Message> = SyncEngine::new(n);
-        let (update, effects) =
-            replicas[0].initiate_update(key, Some(Value::from("payload")), Round::ZERO, &mut rng);
-        engine.inject(PeerId::new(0), effects);
+        let mut effects = EffectSink::new();
+        let update = replicas[0].initiate_update(
+            key,
+            Some(Value::from("payload")),
+            Round::ZERO,
+            &mut rng,
+            &mut effects,
+        );
+        engine.inject(PeerId::new(0), effects.drain());
         for _ in 0..30 {
             engine.step(&mut replicas, &online, &PerfectLinks, &mut rng);
         }
@@ -91,8 +97,9 @@ fn gossiped_routing_change_updates_tables() {
     let payload = Value::from(change.to_bytes());
     let online = OnlineSet::all_online(n);
     let mut engine: SyncEngine<Message> = SyncEngine::new(n);
-    let (_, effects) = replicas[0].initiate_update(key, Some(payload), Round::ZERO, &mut rng);
-    engine.inject(PeerId::new(0), effects);
+    let mut effects = EffectSink::new();
+    replicas[0].initiate_update(key, Some(payload), Round::ZERO, &mut rng, &mut effects);
+    engine.inject(PeerId::new(0), effects.drain());
     // A fixed horizon, not `run_to_quiescence`: the engine considers the
     // system quiescent as soon as the push flood dies out, which is
     // *before* the periodic staleness pull ever fires (by design the

@@ -13,7 +13,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rumor::churn::OnlineSet;
 use rumor::core::{ForwardPolicy, Message, ProtocolConfig, ReplicaPeer, Value};
-use rumor::net::{PerfectLinks, SyncEngine};
+use rumor::net::{EffectSink, PerfectLinks, SyncEngine};
 use rumor::types::{DataKey, PeerId, Round};
 
 fn population(n: usize, config: &ProtocolConfig) -> Vec<ReplicaPeer> {
@@ -43,9 +43,15 @@ fn staleness_pull_repairs_peers_the_flood_missed() {
     let mut rng = ChaCha8Rng::seed_from_u64(17);
 
     let key = DataKey::from_name("missed-by-flood");
-    let (update, effects) =
-        peers[0].initiate_update(key, Some(Value::from("x")), Round::ZERO, &mut rng);
-    engine.inject(PeerId::new(0), effects);
+    let mut effects = EffectSink::new();
+    let update = peers[0].initiate_update(
+        key,
+        Some(Value::from("x")),
+        Round::ZERO,
+        &mut rng,
+        &mut effects,
+    );
+    engine.inject(PeerId::new(0), effects.drain());
 
     // The flood is spent after two rounds; quiescence here would report
     // convergence falsely.
