@@ -38,8 +38,10 @@ mod demers;
 mod flood;
 mod protocols;
 mod runner;
+mod wire;
 
 pub use demers::{AntiEntropyNode, DemersMsg, MongerConfig, MongerStop, RumorMongerNode};
 pub use flood::{FloodMsg, GnutellaNode, HaasNode, PureFloodNode};
 pub use protocols::{AntiEntropy, GnutellaFlooding, Gossip1, PureFlooding, RumorMongering};
 pub use runner::BaselineSim;
+pub use wire::{KIND_DEMERS_DIGEST, KIND_DEMERS_FEEDBACK, KIND_DEMERS_RUMOR, KIND_FLOOD_RUMOR};

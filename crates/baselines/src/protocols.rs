@@ -75,6 +75,10 @@ impl Protocol for GnutellaFlooding {
     fn is_aware(&self, node: &GnutellaNode, update: UpdateId) -> bool {
         node.knows(update)
     }
+
+    fn wire_sizer(&self) -> Option<fn(&FloodMsg) -> usize> {
+        Some(rumor_wire::frame_len::<FloodMsg>)
+    }
 }
 
 /// Pure flooding without duplicate avoidance — the §5.6 worst case.
@@ -112,6 +116,10 @@ impl Protocol for PureFlooding {
 
     fn is_aware(&self, node: &PureFloodNode, update: UpdateId) -> bool {
         node.knows(update)
+    }
+
+    fn wire_sizer(&self) -> Option<fn(&FloodMsg) -> usize> {
+        Some(rumor_wire::frame_len::<FloodMsg>)
     }
 }
 
@@ -156,6 +164,10 @@ impl Protocol for Gossip1 {
     fn is_aware(&self, node: &HaasNode, update: UpdateId) -> bool {
         node.knows(update)
     }
+
+    fn wire_sizer(&self) -> Option<fn(&FloodMsg) -> usize> {
+        Some(rumor_wire::frame_len::<FloodMsg>)
+    }
 }
 
 /// Demers anti-entropy (§7.2): per-round digest exchange with one random
@@ -196,6 +208,10 @@ impl Protocol for AntiEntropy {
 
     fn is_aware(&self, node: &AntiEntropyNode, update: UpdateId) -> bool {
         node.knows(update)
+    }
+
+    fn wire_sizer(&self) -> Option<fn(&DemersMsg) -> usize> {
+        Some(rumor_wire::frame_len::<DemersMsg>)
     }
 }
 
@@ -240,6 +256,10 @@ impl Protocol for RumorMongering {
 
     fn is_aware(&self, node: &RumorMongerNode, update: UpdateId) -> bool {
         node.knows(update)
+    }
+
+    fn wire_sizer(&self) -> Option<fn(&DemersMsg) -> usize> {
+        Some(rumor_wire::frame_len::<DemersMsg>)
     }
 }
 

@@ -13,12 +13,14 @@ fn main() {
         "protocol".into(),
         "proto msgs".into(),
         "total msgs".into(),
+        "wire bytes".into(),
+        "bytes/msg".into(),
         "msgs/peer".into(),
         "coverage".into(),
         "rounds".into(),
         "n".into(),
     ]);
-    for i in 1..7 {
+    for i in 1..9 {
         t.align(i, Align::Right);
     }
     for r in &rows {
@@ -26,6 +28,8 @@ fn main() {
             r.protocol.clone(),
             mean_ci(&r.protocol_messages),
             mean_ci(&r.total_messages),
+            mean_ci(&r.total_bytes),
+            mean_ci(&r.mean_message_bytes),
             mean_ci(&r.messages_per_initial_online),
             mean_ci(&r.coverage),
             mean_ci(&r.rounds),
@@ -36,5 +40,6 @@ fn main() {
         "== Simulated head-to-head (R = 1000, all online, {REPLICATIONS} replications, mean ± 95% CI) =="
     );
     println!("{}", t.render());
-    println!("note: total msgs include feedback/ack/digest traffic where the protocol uses it.");
+    println!("note: total msgs include feedback/ack/digest traffic where the protocol uses it;");
+    println!("      wire bytes are rumor-wire frame sizes (header + payload) of every send.");
 }

@@ -1,0 +1,238 @@
+//! Tracked live-cluster throughput measurement (frames/sec, bytes/sec).
+//!
+//! The threaded `rumor-cluster` runtime is the repo's real-time path:
+//! one OS thread per replica, every message an encoded `rumor-wire`
+//! frame. This module defines its tracked benchmark — the same
+//! steady-state environment family as `engine_bench` (partial
+//! knowledge, churn, loss, a paper-peer configuration whose staleness
+//! pulls keep traffic flowing forever) executed live, emitted as
+//! `BENCH_cluster.json` so the throughput trajectory is comparable
+//! across commits in both frames *and* bytes per second.
+
+use crate::json::Json;
+use rumor_baselines::AntiEntropy;
+use rumor_churn::MarkovChurn;
+use rumor_cluster::ClusterBuilder;
+use rumor_core::{ProtocolConfig, PullStrategy};
+use rumor_net::Node;
+use rumor_sim::{PaperProtocol, Protocol, Scenario, TopologySpec, UpdateEvent};
+use rumor_types::DataKey;
+use rumor_wire::{Decode, Encode};
+use std::time::Instant;
+
+/// Seed every cluster-bench scenario derives from.
+pub const CLUSTER_BENCH_SEED: u64 = 99;
+
+/// Untimed rounds before the measured window (warms thread caches,
+/// channel buffers and the churn mix).
+pub const WARMUP_ROUNDS: u32 = 10;
+
+/// One measured configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterBenchRow {
+    /// Contender label (`"paper"` or `"anti-entropy"`).
+    pub contender: String,
+    /// Population size (= OS threads mounted).
+    pub population: usize,
+    /// Rounds in the timed window.
+    pub rounds: u32,
+    /// Wall-clock seconds for the timed window.
+    pub elapsed_secs: f64,
+    /// Encoded frames sent per second during the window.
+    pub frames_per_sec: f64,
+    /// Encoded bytes sent per second during the window.
+    pub bytes_per_sec: f64,
+    /// Frames sent during the window.
+    pub frames: u64,
+    /// Bytes sent during the window.
+    pub bytes: u64,
+}
+
+/// The steady-state environment: partial knowledge (§2), Markov churn
+/// and link loss — the engine bench's family, mounted live.
+pub fn bench_scenario(population: usize, seed: u64) -> Scenario {
+    let k = 32.min(population.saturating_sub(1)).max(1);
+    Scenario::builder(population, seed)
+        .online_fraction(0.7)
+        .topology(TopologySpec::RandomSubset { k })
+        .churn(MarkovChurn::new(0.97, 0.2).expect("valid churn"))
+        .loss(0.03)
+        .build()
+        .expect("valid bench scenario")
+}
+
+/// The paper-peer configuration under test: staleness pulls keep the
+/// cluster under sustained load forever (steady state, not a decaying
+/// flood).
+pub fn bench_paper_config(population: usize) -> ProtocolConfig {
+    ProtocolConfig::builder(population)
+        .fanout_absolute(4)
+        .pull_strategy(PullStrategy::Eager)
+        .pull_retry(2, 3)
+        .staleness_rounds(6)
+        .build()
+        .expect("valid bench config")
+}
+
+fn bench_event() -> UpdateEvent {
+    UpdateEvent {
+        round: 0,
+        key: DataKey::from_name("cluster-bench"),
+        delete: false,
+        sequence: 0,
+    }
+}
+
+fn measure<P>(label: &str, protocol: P, population: usize, rounds: u32) -> ClusterBenchRow
+where
+    P: Protocol + Send + Sync + 'static,
+    P::Node: Send + 'static,
+    <P::Node as Node>::Msg: Encode + Decode + Send,
+{
+    let scenario = bench_scenario(population, CLUSTER_BENCH_SEED);
+    let mut cluster = ClusterBuilder::new(&scenario).threaded(protocol);
+    let update = cluster
+        .initiate(&bench_event())
+        .expect("bench initiator online");
+    cluster.run_rounds(WARMUP_ROUNDS);
+    let frames_before = cluster.frames_sent();
+    let bytes_before = cluster.bytes_sent();
+    let start = Instant::now();
+    cluster.run_rounds(rounds);
+    let elapsed = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+    let frames = cluster.frames_sent() - frames_before;
+    let bytes = cluster.bytes_sent() - bytes_before;
+    let report = cluster.finish(update);
+    assert_eq!(report.decode_errors, 0, "bench traffic must decode cleanly");
+    ClusterBenchRow {
+        contender: label.to_owned(),
+        population,
+        rounds,
+        elapsed_secs: elapsed,
+        frames_per_sec: frames as f64 / elapsed,
+        bytes_per_sec: bytes as f64 / elapsed,
+        frames,
+        bytes,
+    }
+}
+
+/// Measures the paper peer on the threaded runtime.
+pub fn measure_paper(population: usize, rounds: u32) -> ClusterBenchRow {
+    measure(
+        "paper",
+        PaperProtocol::new(bench_paper_config(population)),
+        population,
+        rounds,
+    )
+}
+
+/// Measures Demers push-pull anti-entropy on the threaded runtime
+/// (per-round digest exchange: sustained small-frame traffic).
+pub fn measure_anti_entropy(population: usize, rounds: u32) -> ClusterBenchRow {
+    measure(
+        "anti-entropy",
+        AntiEntropy { push_pull: true },
+        population,
+        rounds,
+    )
+}
+
+/// Timed rounds per population: thread barriers dominate at large N, so
+/// the window shrinks as the population grows.
+pub fn default_rounds_for(population: usize) -> u32 {
+    match population {
+        0..=128 => 400,
+        129..=512 => 150,
+        _ => 50,
+    }
+}
+
+/// Runs the full tracked matrix (both contenders at each population).
+pub fn run_matrix(populations: &[usize]) -> Vec<ClusterBenchRow> {
+    let mut rows = Vec::new();
+    for &n in populations {
+        let rounds = default_rounds_for(n);
+        rows.push(measure_paper(n, rounds));
+        rows.push(measure_anti_entropy(n, rounds));
+    }
+    rows
+}
+
+/// Serialises rows into the `BENCH_cluster.json` document (schema
+/// `rumor-bench/cluster/v1`).
+pub fn to_json(rows: &[ClusterBenchRow]) -> Json {
+    Json::obj([
+        ("schema", Json::Str("rumor-bench/cluster/v1".into())),
+        ("seed", Json::Int(CLUSTER_BENCH_SEED as i64)),
+        ("warmup_rounds", Json::Int(i64::from(WARMUP_ROUNDS))),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("contender", Json::Str(r.contender.clone())),
+                            ("population", Json::Int(r.population as i64)),
+                            ("rounds", Json::Int(i64::from(r.rounds))),
+                            ("elapsed_secs", Json::Num(r.elapsed_secs)),
+                            ("frames_per_sec", Json::Num(r.frames_per_sec)),
+                            ("bytes_per_sec", Json::Num(r.bytes_per_sec)),
+                            ("frames", Json::Int(r.frames as i64)),
+                            ("bytes", Json::Int(r.bytes as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_measurement_produces_live_traffic() {
+        let row = measure_paper(24, 10);
+        assert_eq!(row.contender, "paper");
+        assert_eq!(row.population, 24);
+        assert!(row.frames > 0, "steady-state scenario must send frames");
+        assert!(row.bytes > row.frames * 6, "bytes include frame headers");
+        assert!(row.frames_per_sec > 0.0);
+        assert!(row.bytes_per_sec > row.frames_per_sec);
+        let ae = measure_anti_entropy(24, 10);
+        assert!(ae.frames > 0);
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let rows = vec![ClusterBenchRow {
+            contender: "paper".into(),
+            population: 64,
+            rounds: 10,
+            elapsed_secs: 0.5,
+            frames_per_sec: 20.0,
+            bytes_per_sec: 600.0,
+            frames: 10,
+            bytes: 300,
+        }];
+        let text = to_json(&rows).pretty();
+        for key in [
+            "\"schema\"",
+            "rumor-bench/cluster/v1",
+            "\"seed\"",
+            "\"warmup_rounds\"",
+            "\"rows\"",
+            "\"contender\"",
+            "\"population\"",
+            "\"rounds\"",
+            "\"elapsed_secs\"",
+            "\"frames_per_sec\"",
+            "\"bytes_per_sec\"",
+            "\"frames\"",
+            "\"bytes\"",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+}

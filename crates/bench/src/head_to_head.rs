@@ -34,6 +34,11 @@ pub struct ContenderRow {
     pub protocol_messages: u64,
     /// Total messages sent (all kinds, including acks/feedback).
     pub total_messages: u64,
+    /// Encoded wire bytes of `total_messages` (`rumor-wire` frames) —
+    /// the bandwidth cost message counts alone hide.
+    pub total_bytes: u64,
+    /// Mean encoded bytes per sent message.
+    pub mean_message_bytes: f64,
     /// Total messages per initially-online peer.
     pub messages_per_initial_online: f64,
     /// Final aware fraction of the online population.
@@ -54,6 +59,10 @@ pub struct ContenderSummary {
     pub protocol_messages: SampleStats,
     /// Total messages sent, over replications.
     pub total_messages: SampleStats,
+    /// Encoded wire bytes sent, over replications.
+    pub total_bytes: SampleStats,
+    /// Mean encoded bytes per sent message, over replications.
+    pub mean_message_bytes: SampleStats,
     /// Total messages per initially-online peer, over replications.
     pub messages_per_initial_online: SampleStats,
     /// Final aware fraction of the online population, over replications.
@@ -92,6 +101,18 @@ impl ContenderSummary {
                 &rows
                     .iter()
                     .map(|r| r.total_messages as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            total_bytes: SampleStats::of(
+                &rows
+                    .iter()
+                    .map(|r| r.total_bytes as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            mean_message_bytes: SampleStats::of(
+                &rows
+                    .iter()
+                    .map(|r| r.mean_message_bytes)
                     .collect::<Vec<_>>(),
             ),
             messages_per_initial_online: SampleStats::of(
@@ -155,6 +176,8 @@ fn mount<P: Protocol>(scenario: &Scenario, protocol: &P, horizon: u32) -> Conten
         protocol: protocol.name(),
         protocol_messages: report.protocol_messages,
         total_messages: report.total_messages,
+        total_bytes: report.total_bytes,
+        mean_message_bytes: report.mean_message_bytes(),
         messages_per_initial_online: report.messages_per_initial_online(),
         coverage: report.aware_online_fraction,
         rounds: report.rounds,
@@ -272,6 +295,14 @@ mod tests {
                 row.coverage.mean()
             );
             assert!(row.total_messages.mean() > 0.0);
+            // Every contender has a wire codec: bandwidth is reported,
+            // and a frame can never be smaller than its 6-byte header.
+            assert!(
+                row.total_bytes.mean() > row.total_messages.mean() * 6.0,
+                "{} reported no wire bytes",
+                row.protocol
+            );
+            assert!(row.mean_message_bytes.mean() > 6.0);
             assert!(row.coverage.ci95().half_width().is_finite());
         }
     }
@@ -306,6 +337,8 @@ mod tests {
             protocol: name.into(),
             protocol_messages: 1,
             total_messages: 2,
+            total_bytes: 60,
+            mean_message_bytes: 30.0,
             messages_per_initial_online: 0.5,
             coverage: 1.0,
             rounds: 3,

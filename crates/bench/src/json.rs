@@ -296,6 +296,8 @@ impl ToJson for ContenderSummary {
             ("n", self.n.to_json()),
             ("protocol_messages", self.protocol_messages.to_json()),
             ("total_messages", self.total_messages.to_json()),
+            ("total_bytes", self.total_bytes.to_json()),
+            ("mean_message_bytes", self.mean_message_bytes.to_json()),
             (
                 "messages_per_initial_online",
                 self.messages_per_initial_online.to_json(),
@@ -441,6 +443,8 @@ impl ToJson for ContenderRow {
             ("protocol", self.protocol.to_json()),
             ("protocol_messages", self.protocol_messages.to_json()),
             ("total_messages", self.total_messages.to_json()),
+            ("total_bytes", self.total_bytes.to_json()),
+            ("mean_message_bytes", self.mean_message_bytes.to_json()),
             (
                 "messages_per_initial_online",
                 self.messages_per_initial_online.to_json(),

@@ -12,6 +12,7 @@
 
 pub mod ablation;
 pub mod artefact;
+pub mod cluster_bench;
 pub mod engine_bench;
 pub mod experiments;
 pub mod extensions;

@@ -1,0 +1,123 @@
+//! Mounting a [`Scenario`] + [`Protocol`] into a live cluster.
+
+use crate::cell::{DelaySpec, NodeCell};
+use crate::fault::FaultSpec;
+use crate::threaded::ThreadedCluster;
+use crate::virtual_time::VirtualCluster;
+use rumor_churn::OnlineSet;
+use rumor_net::Node;
+use rumor_sim::{Protocol, Scenario};
+use rumor_types::{PeerId, SeedSequence};
+use rumor_wire::{Decode, Encode};
+
+/// Builds a live cluster from the same declarative [`Scenario`] the
+/// simulation harness uses — identical topology draw, initial
+/// availability, churn model and loss/partition parameters — plus the
+/// cluster-only knobs: thread crash/restart faults and extra delivery
+/// delay.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_cluster::ClusterBuilder;
+/// use rumor_core::ProtocolConfig;
+/// use rumor_sim::{PaperProtocol, Scenario, UpdateEvent};
+/// use rumor_types::DataKey;
+///
+/// let scenario = Scenario::builder(32, 7).build()?;
+/// let config = ProtocolConfig::builder(32)
+///     .fanout_absolute(4)
+///     .staleness_rounds(6) // periodic pulls repair any push miss
+///     .build()?;
+/// let mut cluster = ClusterBuilder::new(&scenario)
+///     .virtual_time(PaperProtocol::new(config));
+/// let event = UpdateEvent { round: 0, key: DataKey::from_name("motd"), delete: false, sequence: 0 };
+/// let update = cluster.initiate(&event).expect("someone online");
+/// cluster.run_until_all_online_aware(update, 40).expect("converges");
+/// assert_eq!(cluster.report(update).decode_errors, 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ClusterBuilder<'a> {
+    scenario: &'a Scenario,
+    faults: FaultSpec,
+    delay: DelaySpec,
+}
+
+impl<'a> ClusterBuilder<'a> {
+    /// Starts a cluster over `scenario`'s environment with no crash
+    /// faults and no extra delay.
+    pub fn new(scenario: &'a Scenario) -> Self {
+        Self {
+            scenario,
+            faults: FaultSpec::default(),
+            delay: DelaySpec::default(),
+        }
+    }
+
+    /// Installs a crash/restart plan.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = spec;
+        self
+    }
+
+    /// Installs an extra-delivery-delay plan.
+    pub fn delay(mut self, spec: DelaySpec) -> Self {
+        self.delay = spec;
+        self
+    }
+
+    /// Mounts `protocol` into the deterministic single-threaded
+    /// virtual-time runtime (the golden-pinnable correctness path).
+    pub fn virtual_time<P>(self, protocol: P) -> VirtualCluster<P>
+    where
+        P: Protocol,
+        <P::Node as Node>::Msg: Encode + Decode,
+    {
+        VirtualCluster::mount(self.scenario, protocol, self.faults, self.delay)
+    }
+
+    /// Mounts `protocol` onto one OS thread per replica (the real-time
+    /// throughput path).
+    pub fn threaded<P>(self, protocol: P) -> ThreadedCluster<P>
+    where
+        P: Protocol + Send + Sync + 'static,
+        P::Node: Send + 'static,
+        <P::Node as Node>::Msg: Encode + Decode + Send,
+    {
+        ThreadedCluster::mount(self.scenario, protocol, self.faults, self.delay)
+    }
+}
+
+/// Spawns the scenario's node population into cells: one node per peer
+/// (same topology row and round-0 availability the driver would hand
+/// out) with per-node RNG substreams derived under the `"cluster/node"`
+/// and `"cluster/link"` namespaces.
+pub(crate) fn build_cells<P: Protocol>(
+    scenario: &Scenario,
+    protocol: &P,
+    online: &OnlineSet,
+    delay: DelaySpec,
+) -> Vec<NodeCell<P::Node>>
+where
+    <P::Node as Node>::Msg: Encode + Decode,
+{
+    let mut node_seeds = SeedSequence::new(scenario.seed(), "cluster/node");
+    let mut link_seeds = SeedSequence::new(scenario.seed(), "cluster/link");
+    scenario
+        .adjacency()
+        .into_iter()
+        .enumerate()
+        .map(|(i, known)| {
+            let id = PeerId::new(i as u32);
+            let node = protocol.spawn(id, known, online.is_online(id));
+            NodeCell::new(
+                id,
+                node,
+                node_seeds.next_seed(),
+                link_seeds.next_seed(),
+                delay,
+            )
+        })
+        .collect()
+}

@@ -1,0 +1,547 @@
+//! Per-node runtime state shared by the virtual-time and threaded modes.
+//!
+//! A [`NodeCell`] wraps one sans-IO [`Node`] with everything the live
+//! runtime owns per replica: its protocol and link RNG substreams, its
+//! local timer heap, and the inbox of *encoded* [`Envelope`]s. The tick
+//! routine mirrors `rumor_net::SyncEngine`'s round semantics — status
+//! change, round start, due timers, delivery — with one addition: every
+//! message crosses the node boundary as a `rumor-wire` frame, encoded at
+//! send and strictly decoded at delivery.
+
+use bytes::Bytes;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rumor_net::{Effect, EffectSink, LinkFilter, Node};
+use rumor_types::{PeerId, Round};
+use rumor_wire::{decode_frame, encode_frame, Decode, Encode};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Extra in-flight delivery delay: each frame draws a uniform extra
+/// `0..=max_extra_rounds` rounds (once, at its first eligible tick) from
+/// the receiver's link stream. Zero (the default) reproduces the
+/// synchronous one-round delay exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DelaySpec {
+    /// Maximum extra rounds a frame may spend in flight.
+    pub max_extra_rounds: u32,
+}
+
+/// An encoded frame in flight between two cluster nodes.
+#[derive(Debug, Clone)]
+pub(crate) struct Envelope {
+    /// Sending replica.
+    pub from: PeerId,
+    /// First round at which the frame may be delivered (sender's round
+    /// plus one network delay).
+    pub deliver_from: u32,
+    /// Whether the extra-delay draw already happened for this frame.
+    pub delay_resolved: bool,
+    /// The encoded `rumor-wire` frame.
+    pub frame: Bytes,
+}
+
+/// A pending timer, ordered `(fire, seq)` so ties pop in arming order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TimerEntry {
+    fire: u32,
+    seq: u64,
+    tag: u64,
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap inverted: earliest (fire, seq) pops first.
+        (other.fire, other.seq).cmp(&(self.fire, self.seq))
+    }
+}
+
+/// Per-cell traffic accounting. `sent` counts frames handed to the
+/// transport (the paper's overhead metric counts sends to offline peers
+/// too); the consumed side splits into delivered / lost-offline /
+/// lost-fault / decode-error so `sent == consumed` across the cluster is
+/// the quiescence check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct CellStats {
+    pub sent: u64,
+    pub bytes_sent: u64,
+    pub delivered: u64,
+    pub bytes_delivered: u64,
+    pub lost_offline: u64,
+    pub lost_fault: u64,
+    pub decode_errors: u64,
+}
+
+impl CellStats {
+    /// Frames this cell has consumed (delivered or dropped for any
+    /// reason) — the receiving side of the in-flight balance.
+    pub fn consumed(&self) -> u64 {
+        self.delivered + self.lost_offline + self.lost_fault + self.decode_errors
+    }
+}
+
+/// One replica mounted in the live runtime.
+pub(crate) struct NodeCell<N: Node> {
+    pub id: PeerId,
+    pub node: N,
+    rng: ChaCha8Rng,
+    link_rng: ChaCha8Rng,
+    prev_online: bool,
+    primed: bool,
+    timers: BinaryHeap<TimerEntry>,
+    timer_seq: u64,
+    pub inbox: VecDeque<Envelope>,
+    sink: EffectSink<N::Msg>,
+    pub stats: CellStats,
+    delay: DelaySpec,
+    retained_scratch: Vec<Envelope>,
+    due_scratch: Vec<(u32, u64)>,
+}
+
+impl<N: Node> NodeCell<N>
+where
+    N::Msg: Encode + Decode,
+{
+    /// Wraps `node` with fresh RNG substreams and empty queues.
+    pub fn new(id: PeerId, node: N, node_seed: u64, link_seed: u64, delay: DelaySpec) -> Self {
+        Self {
+            id,
+            node,
+            rng: ChaCha8Rng::seed_from_u64(node_seed),
+            link_rng: ChaCha8Rng::seed_from_u64(link_seed),
+            prev_online: false,
+            primed: false,
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            inbox: VecDeque::new(),
+            sink: EffectSink::new(),
+            stats: CellStats::default(),
+            delay,
+            retained_scratch: Vec::new(),
+            due_scratch: Vec::new(),
+        }
+    }
+
+    /// Frames queued (not yet delivered or dropped).
+    pub fn pending_frames(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Timers armed and not yet fired or dropped.
+    pub fn pending_timers(&self) -> usize {
+        self.timers.len()
+    }
+
+    /// Encodes and dispatches the sink's effects. Sends become envelopes
+    /// deliverable from `deliver_from`; a timer of delay `d` requested at
+    /// round `now` fires at `now + d`, floored at `timer_floor` (the next
+    /// scan that could observe it, preserving the engine's barrier
+    /// semantics).
+    fn drain_effects(
+        &mut self,
+        now: u32,
+        deliver_from: u32,
+        timer_floor: u32,
+        dispatch: &mut dyn FnMut(PeerId, Envelope),
+    ) {
+        for effect in self.sink.drain() {
+            match effect {
+                Effect::Send { to, msg } => {
+                    let frame = encode_frame(&msg);
+                    self.stats.sent += 1;
+                    self.stats.bytes_sent += frame.len() as u64;
+                    dispatch(
+                        to,
+                        Envelope {
+                            from: self.id,
+                            deliver_from,
+                            delay_resolved: false,
+                            frame,
+                        },
+                    );
+                }
+                Effect::Timer { delay, tag } => {
+                    let fire = now.saturating_add(delay as u32).max(timer_floor);
+                    self.timer_seq += 1;
+                    self.timers.push(TimerEntry {
+                        fire,
+                        seq: self.timer_seq,
+                        tag,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Runs `f` against the node outside a tick (update initiation): its
+    /// sends become deliverable at the *next* tick (`round`), mirroring
+    /// `SyncEngine::inject` before a step.
+    pub fn initiate<T>(
+        &mut self,
+        round: u32,
+        f: impl FnOnce(&mut N, &mut ChaCha8Rng, &mut EffectSink<N::Msg>) -> T,
+        dispatch: &mut dyn FnMut(PeerId, Envelope),
+    ) -> T {
+        let out = f(&mut self.node, &mut self.rng, &mut self.sink);
+        self.drain_effects(round, round, round, dispatch);
+        out
+    }
+
+    /// Executes one tick of round `round` with availability `online`:
+    /// status change, round start, due timers, then delivery of eligible
+    /// inbox frames (decode → link filter → `on_message`). Sends produced
+    /// during the tick are deliverable from `round + 1`.
+    ///
+    /// A crashed node simply misses its ticks; frames that came
+    /// deliverable during the gap (`deliver_from < round`) are dropped as
+    /// lost-to-offline on the next tick, and timers that came due during
+    /// the gap are dropped — exactly the engine's offline semantics.
+    pub fn tick(
+        &mut self,
+        round: u32,
+        online: bool,
+        filter: &dyn LinkFilter,
+        dispatch: &mut dyn FnMut(PeerId, Envelope),
+    ) {
+        let r = Round::new(round);
+        // 1. Availability transition (the first observation is not one).
+        if self.primed {
+            if self.prev_online != online {
+                self.prev_online = online;
+                self.node
+                    .on_status_change(online, r, &mut self.rng, &mut self.sink);
+                self.drain_effects(round, round + 1, round + 1, dispatch);
+            }
+        } else {
+            self.primed = true;
+            self.prev_online = online;
+        }
+
+        // 2. Round start while online.
+        if online {
+            self.node.on_round_start(r, &mut self.rng, &mut self.sink);
+            self.drain_effects(round, round + 1, round + 1, dispatch);
+        }
+
+        // 3. Due timers, in arming order. Timers due exactly this round
+        //    fire if the node is online; earlier fire rounds can only
+        //    mean the node was crashed when they came due — dropped, as
+        //    the engine drops offline peers' due timers.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        while let Some(head) = self.timers.peek() {
+            if head.fire > round {
+                break;
+            }
+            let entry = self.timers.pop().expect("peeked");
+            due.push((entry.fire, entry.tag));
+        }
+        for &(fire, tag) in &due {
+            if online && fire == round {
+                self.node.on_timer(tag, r, &mut self.rng, &mut self.sink);
+                self.drain_effects(round, round + 1, round + 1, dispatch);
+            }
+        }
+        self.due_scratch = due;
+
+        // 4. Delivery of eligible frames, in arrival order.
+        let mut retained = std::mem::take(&mut self.retained_scratch);
+        retained.clear();
+        while let Some(mut env) = self.inbox.pop_front() {
+            if env.deliver_from > round {
+                retained.push(env);
+                continue;
+            }
+            if env.deliver_from < round {
+                // Stale: became deliverable during a crash gap. Checked
+                // before the delay draw so a gap frame is never
+                // resurrected into a later round by the delay model.
+                self.stats.lost_offline += 1;
+                continue;
+            }
+            if !env.delay_resolved {
+                env.delay_resolved = true;
+                if self.delay.max_extra_rounds > 0 {
+                    let extra = self.link_rng.gen_range(0..self.delay.max_extra_rounds + 1);
+                    if extra > 0 {
+                        env.deliver_from = round + extra;
+                        retained.push(env);
+                        continue;
+                    }
+                }
+            }
+            if !online {
+                self.stats.lost_offline += 1;
+                continue;
+            }
+            if !filter.allows(env.from, self.id, r, &mut self.link_rng) {
+                self.stats.lost_fault += 1;
+                continue;
+            }
+            match decode_frame::<N::Msg>(&env.frame) {
+                Err(_) => self.stats.decode_errors += 1,
+                Ok(msg) => {
+                    self.stats.delivered += 1;
+                    self.stats.bytes_delivered += env.frame.len() as u64;
+                    self.node
+                        .on_message(env.from, msg, r, &mut self.rng, &mut self.sink);
+                    self.drain_effects(round, round + 1, round + 1, dispatch);
+                }
+            }
+        }
+        self.inbox.extend(retained.drain(..));
+        self.retained_scratch = retained;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::{BufMut, BytesMut};
+    use rumor_net::PerfectLinks;
+    use rumor_wire::{Reader, WireError};
+
+    /// Echo node: replies `msg + 1` to the sender, records timers.
+    struct Echo {
+        id: PeerId,
+        received: Vec<(PeerId, u32)>,
+        timers: Vec<u64>,
+        statuses: Vec<bool>,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Num(u32);
+
+    impl Encode for Num {
+        fn kind(&self) -> u8 {
+            1
+        }
+        fn payload_len(&self) -> usize {
+            4
+        }
+        fn encode_payload(&self, buf: &mut BytesMut) {
+            buf.put_u32(self.0);
+        }
+    }
+
+    impl Decode for Num {
+        fn decode_payload(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
+            if kind != 1 {
+                return Err(WireError::UnknownKind { kind });
+            }
+            let mut r = Reader::new(payload);
+            let n = Num(r.u32()?);
+            r.finish()?;
+            Ok(n)
+        }
+    }
+
+    impl Node for Echo {
+        type Msg = Num;
+        fn id(&self) -> PeerId {
+            self.id
+        }
+        fn on_message(
+            &mut self,
+            from: PeerId,
+            msg: Num,
+            _round: Round,
+            _rng: &mut ChaCha8Rng,
+            out: &mut EffectSink<Num>,
+        ) {
+            self.received.push((from, msg.0));
+            if msg.0 > 0 {
+                out.send(from, Num(msg.0 - 1));
+            }
+        }
+        fn on_timer(
+            &mut self,
+            tag: u64,
+            _round: Round,
+            _rng: &mut ChaCha8Rng,
+            _out: &mut EffectSink<Num>,
+        ) {
+            self.timers.push(tag);
+        }
+        fn on_status_change(
+            &mut self,
+            online: bool,
+            _round: Round,
+            _rng: &mut ChaCha8Rng,
+            _out: &mut EffectSink<Num>,
+        ) {
+            self.statuses.push(online);
+        }
+    }
+
+    fn cell(id: u32) -> NodeCell<Echo> {
+        NodeCell::new(
+            PeerId::new(id),
+            Echo {
+                id: PeerId::new(id),
+                received: Vec::new(),
+                timers: Vec::new(),
+                statuses: Vec::new(),
+            },
+            id as u64 + 1,
+            id as u64 + 100,
+            DelaySpec::default(),
+        )
+    }
+
+    fn envelope(from: u32, deliver_from: u32, value: u32) -> Envelope {
+        Envelope {
+            from: PeerId::new(from),
+            deliver_from,
+            delay_resolved: false,
+            frame: encode_frame(&Num(value)),
+        }
+    }
+
+    #[test]
+    fn delivery_round_trips_through_the_codec() {
+        let mut c = cell(0);
+        c.inbox.push_back(envelope(7, 1, 5));
+        let mut out = Vec::new();
+        c.tick(1, true, &PerfectLinks, &mut |to, env| out.push((to, env)));
+        assert_eq!(c.node.received, vec![(PeerId::new(7), 5)]);
+        assert_eq!(c.stats.delivered, 1);
+        assert_eq!(c.stats.decode_errors, 0);
+        // The reply was re-encoded for the wire.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, PeerId::new(7));
+        assert_eq!(out[0].1.deliver_from, 2);
+        assert_eq!(decode_frame::<Num>(&out[0].1.frame).unwrap(), Num(4));
+        assert_eq!(c.stats.sent, 1);
+        assert_eq!(c.stats.bytes_sent, out[0].1.frame.len() as u64);
+    }
+
+    #[test]
+    fn early_frames_wait_for_their_round() {
+        let mut c = cell(0);
+        c.inbox.push_back(envelope(1, 3, 0));
+        let mut drop_dispatch = |_: PeerId, _: Envelope| {};
+        c.tick(2, true, &PerfectLinks, &mut drop_dispatch);
+        assert!(c.node.received.is_empty());
+        assert_eq!(c.pending_frames(), 1);
+        c.tick(3, true, &PerfectLinks, &mut drop_dispatch);
+        assert_eq!(c.node.received.len(), 1);
+    }
+
+    #[test]
+    fn offline_target_loses_frames_and_due_timers() {
+        let mut c = cell(0);
+        c.inbox.push_back(envelope(1, 1, 0));
+        let mut drop_dispatch = |_: PeerId, _: Envelope| {};
+        // Arm a timer at round 0 (fires round 1 at the earliest).
+        c.initiate(0, |_node, _rng, sink| sink.timer(1, 42), &mut drop_dispatch);
+        c.tick(0, true, &PerfectLinks, &mut drop_dispatch);
+        c.tick(1, false, &PerfectLinks, &mut drop_dispatch);
+        assert_eq!(c.stats.lost_offline, 1);
+        assert!(c.node.timers.is_empty(), "offline due timer dropped");
+        assert_eq!(c.pending_timers(), 0);
+    }
+
+    #[test]
+    fn stale_frames_after_a_crash_gap_count_as_offline_losses() {
+        let mut c = cell(0);
+        let mut drop_dispatch = |_: PeerId, _: Envelope| {};
+        c.tick(0, true, &PerfectLinks, &mut drop_dispatch);
+        // Rounds 1-2 the node is "crashed" (no ticks); a frame became
+        // deliverable at round 1.
+        c.inbox.push_back(envelope(1, 1, 0));
+        // Frame deliverable exactly at the restart round is delivered.
+        c.inbox.push_back(envelope(1, 3, 9));
+        c.tick(3, true, &PerfectLinks, &mut drop_dispatch);
+        assert_eq!(c.stats.lost_offline, 1);
+        assert_eq!(c.node.received, vec![(PeerId::new(1), 9)]);
+    }
+
+    #[test]
+    fn corrupt_frames_are_counted_not_panicked() {
+        let mut c = cell(0);
+        let mut env = envelope(1, 1, 0);
+        env.frame = Bytes::copy_from_slice(&[0xFF, 0, 0, 0, 0, 0]);
+        c.inbox.push_back(env);
+        c.tick(1, true, &PerfectLinks, &mut |_, _| {});
+        assert_eq!(c.stats.decode_errors, 1);
+        assert_eq!(c.stats.delivered, 0);
+    }
+
+    #[test]
+    fn status_transitions_fire_once() {
+        let mut c = cell(0);
+        let mut drop_dispatch = |_: PeerId, _: Envelope| {};
+        c.tick(0, true, &PerfectLinks, &mut drop_dispatch);
+        assert!(c.node.statuses.is_empty(), "priming is not a transition");
+        c.tick(1, false, &PerfectLinks, &mut drop_dispatch);
+        c.tick(2, false, &PerfectLinks, &mut drop_dispatch);
+        c.tick(3, true, &PerfectLinks, &mut drop_dispatch);
+        assert_eq!(c.node.statuses, vec![false, true]);
+    }
+
+    #[test]
+    fn crash_gap_frames_are_not_resurrected_by_the_delay_model() {
+        // Regression: the stale-gap drop must run before the extra-delay
+        // draw, otherwise a frame that became deliverable while the node
+        // was crashed could be postponed into a live round and delivered.
+        let mut c = NodeCell::new(
+            PeerId::new(0),
+            Echo {
+                id: PeerId::new(0),
+                received: Vec::new(),
+                timers: Vec::new(),
+                statuses: Vec::new(),
+            },
+            1,
+            2,
+            DelaySpec {
+                max_extra_rounds: 3,
+            },
+        );
+        let mut drop_dispatch = |_: PeerId, _: Envelope| {};
+        c.tick(0, true, &PerfectLinks, &mut drop_dispatch);
+        // Rounds 1-4: crashed (no ticks). Frames became deliverable at
+        // rounds 1 and 3.
+        c.inbox.push_back(envelope(1, 1, 0));
+        c.inbox.push_back(envelope(1, 3, 1));
+        for round in 5..12 {
+            c.tick(round, true, &PerfectLinks, &mut drop_dispatch);
+        }
+        assert_eq!(c.stats.lost_offline, 2, "both gap frames dropped");
+        assert!(c.node.received.is_empty(), "gap frames must never deliver");
+    }
+
+    #[test]
+    fn extra_delay_postpones_but_never_loses() {
+        let mut c = NodeCell::new(
+            PeerId::new(0),
+            Echo {
+                id: PeerId::new(0),
+                received: Vec::new(),
+                timers: Vec::new(),
+                statuses: Vec::new(),
+            },
+            1,
+            2,
+            DelaySpec {
+                max_extra_rounds: 3,
+            },
+        );
+        let mut drop_dispatch = |_: PeerId, _: Envelope| {};
+        for i in 0..8 {
+            c.inbox.push_back(envelope(1, 1, i));
+        }
+        for round in 0..8 {
+            c.tick(round, true, &PerfectLinks, &mut drop_dispatch);
+        }
+        assert_eq!(c.stats.delivered, 8, "every frame eventually arrives");
+    }
+}

@@ -1,0 +1,163 @@
+//! The seeded crash/restart fault injector.
+//!
+//! Churn (the paper's availability model) and crashes are different
+//! faults: a churn-offline replica's runtime keeps running and merely
+//! refuses protocol work, while a *crashed* node's executor is gone — in
+//! the threaded runtime the OS thread actually exits and is respawned at
+//! restart, with node state surviving the gap (the paper's replicas keep
+//! their stores across sessions). The injector draws both decisions from
+//! one dedicated ChaCha8 substream, so a crash schedule replays
+//! identically in virtual-time and threaded modes.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rumor_types::PeerId;
+
+/// Crash/restart plan: per round, with probability `crash_rate`, one
+/// uniformly chosen node crashes (no-op if the pick is already down) and
+/// comes back `restart_after` rounds later.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Per-round probability that a crash is attempted.
+    pub crash_rate: f64,
+    /// Rounds a crashed node stays down before its restart.
+    pub restart_after: u32,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self {
+            crash_rate: 0.0,
+            restart_after: 5,
+        }
+    }
+}
+
+/// The fault decisions for one round, in application order: restarts
+/// first (a node crashed earlier comes back), then at most one new crash.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct FaultEvents {
+    pub restarts: Vec<PeerId>,
+    pub crash: Option<PeerId>,
+}
+
+/// Seeded crash scheduler shared by both runtime modes.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultInjector {
+    spec: FaultSpec,
+    rng: ChaCha8Rng,
+    down_until: Vec<Option<u32>>,
+    pub crashes: u64,
+    pub restarts: u64,
+}
+
+impl FaultInjector {
+    pub fn new(spec: FaultSpec, seed: u64, population: usize) -> Self {
+        Self {
+            spec,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            down_until: vec![None; population],
+            crashes: 0,
+            restarts: 0,
+        }
+    }
+
+    /// Draws this round's fault events and updates the down set.
+    pub fn step(&mut self, round: u32) -> FaultEvents {
+        let mut events = FaultEvents::default();
+        for (i, slot) in self.down_until.iter_mut().enumerate() {
+            if slot.is_some_and(|until| until <= round) {
+                *slot = None;
+                self.restarts += 1;
+                events.restarts.push(PeerId::new(i as u32));
+            }
+        }
+        if self.spec.crash_rate > 0.0 && self.rng.gen_bool(self.spec.crash_rate.min(1.0)) {
+            let victim = self.rng.gen_range(0..self.down_until.len());
+            if self.down_until[victim].is_none() {
+                self.down_until[victim] = Some(round + self.spec.restart_after.max(1));
+                self.crashes += 1;
+                events.crash = Some(PeerId::new(victim as u32));
+            }
+        }
+        events
+    }
+
+    /// Whether `peer` is currently crashed.
+    pub fn is_down(&self, peer: PeerId) -> bool {
+        self.down_until
+            .get(peer.index())
+            .is_some_and(Option::is_some)
+    }
+
+    /// Whether any node is currently crashed (blocks quiescence — frames
+    /// may be parked in a dead node's mailbox).
+    pub fn any_down(&self) -> bool {
+        self.down_until.iter().any(Option::is_some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_rate_means_no_faults() {
+        let mut inj = FaultInjector::new(FaultSpec::default(), 1, 8);
+        for round in 0..50 {
+            assert_eq!(inj.step(round), FaultEvents::default());
+        }
+        assert!(!inj.any_down());
+    }
+
+    #[test]
+    fn crash_then_restart_after_the_configured_gap() {
+        let spec = FaultSpec {
+            crash_rate: 1.0,
+            restart_after: 3,
+        };
+        let mut inj = FaultInjector::new(spec, 7, 4);
+        let events = inj.step(0);
+        let victim = events.crash.expect("rate 1.0 must crash someone");
+        assert!(inj.is_down(victim));
+        assert!(inj.any_down());
+        // The victim restarts at round 3; other crashes may pile up on
+        // the remaining nodes meanwhile.
+        let mut restarted_at = None;
+        for round in 1..10 {
+            let events = inj.step(round);
+            if events.restarts.contains(&victim) && restarted_at.is_none() {
+                restarted_at = Some(round);
+            }
+        }
+        assert_eq!(restarted_at, Some(3));
+    }
+
+    #[test]
+    fn schedule_replays_per_seed() {
+        let spec = FaultSpec {
+            crash_rate: 0.4,
+            restart_after: 2,
+        };
+        let run = || {
+            let mut inj = FaultInjector::new(spec, 42, 16);
+            (0..40).map(|r| inj.step(r)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crash_on_a_down_node_is_a_noop() {
+        let spec = FaultSpec {
+            crash_rate: 1.0,
+            restart_after: 100,
+        };
+        let mut inj = FaultInjector::new(spec, 3, 1); // single node
+        assert!(inj.step(0).crash.is_some());
+        for round in 1..10 {
+            assert_eq!(inj.step(round).crash, None, "round {round}");
+        }
+        assert_eq!(inj.crashes, 1);
+    }
+}

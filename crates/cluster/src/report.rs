@@ -1,0 +1,152 @@
+//! Aggregated outcome of a cluster run.
+
+use crate::cell::CellStats;
+use rumor_types::PeerId;
+
+/// What a cluster run produced: wire-level traffic totals (frames *and*
+/// bytes — every message crossed the `rumor-wire` codec), fault counts,
+/// and the awareness outcome for the tracked update.
+///
+/// `aware_set` is the sorted list of every replica aware of the tracked
+/// update — crashed and churn-offline replicas included — so two runs of
+/// the same scenario can be compared set-for-set (the cluster/engine
+/// parity suite does exactly that).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterReport {
+    /// Rounds (ticks) executed.
+    pub rounds: u32,
+    /// Frames handed to the transport (sends to offline peers included,
+    /// per the paper's overhead metric).
+    pub frames_sent: u64,
+    /// Encoded bytes of `frames_sent` (header + payload per frame).
+    pub bytes_sent: u64,
+    /// Frames delivered to an online node and decoded successfully.
+    pub frames_delivered: u64,
+    /// Encoded bytes of `frames_delivered`.
+    pub bytes_delivered: u64,
+    /// Frames dropped because the target was offline or crashed.
+    pub lost_offline: u64,
+    /// Frames dropped by the link-fault filter (loss / partition).
+    pub lost_fault: u64,
+    /// Frames that failed strict decoding (0 in a healthy cluster).
+    pub decode_errors: u64,
+    /// Node crashes injected.
+    pub crashes: u64,
+    /// Node restarts performed.
+    pub restarts: u64,
+    /// Nodes online (and not crashed) at the end of the run.
+    pub online: usize,
+    /// Of those, how many were aware of the tracked update.
+    pub aware_online: usize,
+    /// First round at which every online node was aware, if reached.
+    pub converged_round: Option<u32>,
+    /// Every aware replica (offline included), sorted ascending.
+    pub aware_set: Vec<PeerId>,
+}
+
+/// Run-level context a report is folded from (both runtime modes fold
+/// through here so the stats arithmetic can never diverge between
+/// them).
+#[derive(Debug, Clone)]
+pub(crate) struct RunOutcome {
+    pub rounds: u32,
+    pub crashes: u64,
+    pub restarts: u64,
+    pub online: usize,
+    pub aware_online: usize,
+    pub converged_round: Option<u32>,
+    pub aware_set: Vec<PeerId>,
+}
+
+impl ClusterReport {
+    /// Folds per-cell traffic stats plus the run outcome into a report.
+    pub(crate) fn fold<'a>(
+        outcome: RunOutcome,
+        stats: impl IntoIterator<Item = &'a CellStats>,
+    ) -> Self {
+        let mut report = Self {
+            rounds: outcome.rounds,
+            frames_sent: 0,
+            bytes_sent: 0,
+            frames_delivered: 0,
+            bytes_delivered: 0,
+            lost_offline: 0,
+            lost_fault: 0,
+            decode_errors: 0,
+            crashes: outcome.crashes,
+            restarts: outcome.restarts,
+            online: outcome.online,
+            aware_online: outcome.aware_online,
+            converged_round: outcome.converged_round,
+            aware_set: outcome.aware_set,
+        };
+        for cell in stats {
+            report.frames_sent += cell.sent;
+            report.bytes_sent += cell.bytes_sent;
+            report.frames_delivered += cell.delivered;
+            report.bytes_delivered += cell.bytes_delivered;
+            report.lost_offline += cell.lost_offline;
+            report.lost_fault += cell.lost_fault;
+            report.decode_errors += cell.decode_errors;
+        }
+        report
+    }
+
+    /// Aware fraction of the final online population.
+    pub fn aware_online_fraction(&self) -> f64 {
+        if self.online == 0 {
+            0.0
+        } else {
+            self.aware_online as f64 / self.online as f64
+        }
+    }
+
+    /// Mean encoded frame size over everything sent.
+    pub fn mean_frame_bytes(&self) -> f64 {
+        if self.frames_sent == 0 {
+            0.0
+        } else {
+            self.bytes_sent as f64 / self.frames_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ClusterReport {
+        ClusterReport {
+            rounds: 10,
+            frames_sent: 4,
+            bytes_sent: 100,
+            frames_delivered: 3,
+            bytes_delivered: 75,
+            lost_offline: 1,
+            lost_fault: 0,
+            decode_errors: 0,
+            crashes: 1,
+            restarts: 1,
+            online: 8,
+            aware_online: 6,
+            converged_round: None,
+            aware_set: vec![PeerId::new(0)],
+        }
+    }
+
+    #[test]
+    fn derived_fractions() {
+        let r = report();
+        assert_eq!(r.aware_online_fraction(), 0.75);
+        assert_eq!(r.mean_frame_bytes(), 25.0);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let mut r = report();
+        r.online = 0;
+        r.frames_sent = 0;
+        assert_eq!(r.aware_online_fraction(), 0.0);
+        assert_eq!(r.mean_frame_bytes(), 0.0);
+    }
+}

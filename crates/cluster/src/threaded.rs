@@ -1,0 +1,534 @@
+//! The multi-threaded real-time mode: one OS thread per replica.
+//!
+//! Every node runs on its own thread, joined by in-process mpsc channels
+//! carrying *encoded* `rumor-wire` frames — no shared protocol state,
+//! exactly the deployment shape of the paper's replicas. A conductor
+//! (the caller's thread) paces rounds: it steps churn, applies the fault
+//! injector (a crash really terminates the victim's thread; its mailbox
+//! and node state survive for the restart), broadcasts one `Tick` per
+//! live worker, and barriers on their `Done` reports — which carry
+//! cumulative traffic stats and optional awareness probes, giving
+//! quiescence detection and convergence tracking without ever touching a
+//! worker's state from outside.
+//!
+//! Delivery timing matches the sync round model: a frame sent during
+//! round `t` is processed at tick `t + 1` (workers buffer frames whose
+//! `deliver_from` exceeds the current round), so protocol behaviour is
+//! distributionally identical to the virtual-time mode; only arrival
+//! interleavings — and therefore RNG realisations — differ.
+
+use crate::cell::{CellStats, DelaySpec, Envelope, NodeCell};
+use crate::fault::{FaultInjector, FaultSpec};
+use crate::report::ClusterReport;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rumor_churn::{Churn, OnlineSet};
+use rumor_net::{LinkFilter, Node};
+use rumor_sim::{Protocol, Scenario, UpdateEvent};
+use rumor_types::{derive_seed, PeerId, Round, UpdateId};
+use rumor_wire::{Decode, Encode};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Conductor → worker control messages.
+enum Ctrl {
+    Tick {
+        round: u32,
+        online: bool,
+        probe: Option<UpdateId>,
+    },
+    Initiate {
+        event: UpdateEvent,
+        round: u32,
+    },
+    /// Stop and hand back the cell + mailbox (crash or graceful
+    /// shutdown — the conductor decides which it was).
+    Stop,
+}
+
+/// Per-tick worker report: cumulative stats snapshot plus queue depths.
+#[derive(Debug, Clone, Copy)]
+struct DoneReport {
+    stats: CellStats,
+    pending_frames: usize,
+    pending_timers: usize,
+    aware: Option<bool>,
+}
+
+/// Worker → conductor replies, tagged with the worker's peer id.
+enum Reply<N: Node> {
+    Done(DoneReport),
+    Initiated(UpdateId),
+    Stopped {
+        cell: Box<NodeCell<N>>,
+        mailbox: Receiver<Envelope>,
+    },
+}
+
+/// One worker slot as the conductor sees it.
+enum Slot<N: Node> {
+    Running {
+        ctrl: Sender<Ctrl>,
+        handle: JoinHandle<()>,
+    },
+    /// Crashed: the thread exited; state and mailbox wait for restart.
+    Crashed {
+        cell: Box<NodeCell<N>>,
+        mailbox: Receiver<Envelope>,
+    },
+}
+
+fn worker_loop<P>(
+    mut cell: NodeCell<P::Node>,
+    protocol: Arc<P>,
+    filter: Arc<dyn LinkFilter + Send + Sync>,
+    ctrl: Receiver<Ctrl>,
+    data: Receiver<Envelope>,
+    peers: Vec<Sender<Envelope>>,
+    replies: Sender<(PeerId, Reply<P::Node>)>,
+) where
+    P: Protocol,
+    P::Node: Send,
+    <P::Node as Node>::Msg: Encode + Decode + Send,
+{
+    let id = cell.id;
+    loop {
+        let Ok(msg) = ctrl.recv() else {
+            return; // conductor gone
+        };
+        match msg {
+            Ctrl::Tick {
+                round,
+                online,
+                probe,
+            } => {
+                // Everything sent before this tick's barrier is already
+                // in the channel; frames from the current round carry a
+                // later `deliver_from` and wait in the inbox.
+                while let Ok(env) = data.try_recv() {
+                    cell.inbox.push_back(env);
+                }
+                cell.tick(round, online, &*filter, &mut |to, env| {
+                    // Sends cannot fail: every mailbox receiver survives
+                    // crashes inside the conductor's slot.
+                    let _ = peers[to.index()].send(env);
+                });
+                let report = DoneReport {
+                    stats: cell.stats,
+                    pending_frames: cell.pending_frames(),
+                    pending_timers: cell.pending_timers(),
+                    aware: probe.map(|u| protocol.is_aware(&cell.node, u)),
+                };
+                if replies.send((id, Reply::Done(report))).is_err() {
+                    return;
+                }
+            }
+            Ctrl::Initiate { event, round } => {
+                let update = cell.initiate(
+                    round,
+                    |node, rng, sink| protocol.initiate(node, &event, Round::new(round), rng, sink),
+                    &mut |to, env| {
+                        let _ = peers[to.index()].send(env);
+                    },
+                );
+                if replies.send((id, Reply::Initiated(update))).is_err() {
+                    return;
+                }
+            }
+            Ctrl::Stop => {
+                let _ = replies.send((
+                    id,
+                    Reply::Stopped {
+                        cell: Box::new(cell),
+                        mailbox: data,
+                    },
+                ));
+                return;
+            }
+        }
+    }
+}
+
+/// A live cluster whose replicas run on OS threads.
+///
+/// Build one with
+/// [`ClusterBuilder::threaded`](crate::ClusterBuilder::threaded); always
+/// [`ThreadedCluster::finish`] it (dropping shuts the threads down but
+/// discards the report).
+pub struct ThreadedCluster<P>
+where
+    P: Protocol + Send + Sync + 'static,
+    P::Node: Send + 'static,
+    <P::Node as Node>::Msg: Encode + Decode + Send,
+{
+    protocol: Arc<P>,
+    filter: Arc<dyn LinkFilter + Send + Sync>,
+    slots: Vec<Option<Slot<P::Node>>>,
+    data_senders: Vec<Sender<Envelope>>,
+    reply_tx: Sender<(PeerId, Reply<P::Node>)>,
+    reply_rx: Receiver<(PeerId, Reply<P::Node>)>,
+    online: OnlineSet,
+    churn: Box<dyn Churn>,
+    churn_rng: ChaCha8Rng,
+    ctrl_rng: ChaCha8Rng,
+    faults: FaultInjector,
+    /// Latest per-worker Done snapshot (stats are cumulative).
+    snapshots: Vec<DoneReport>,
+    rounds_run: u32,
+    converged_round: Option<u32>,
+}
+
+impl<P> std::fmt::Debug for ThreadedCluster<P>
+where
+    P: Protocol + Send + Sync + 'static,
+    P::Node: Send + 'static,
+    <P::Node as Node>::Msg: Encode + Decode + Send,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedCluster")
+            .field("population", &self.slots.len())
+            .field("rounds_run", &self.rounds_run)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P> ThreadedCluster<P>
+where
+    P: Protocol + Send + Sync + 'static,
+    P::Node: Send + 'static,
+    <P::Node as Node>::Msg: Encode + Decode + Send,
+{
+    pub(crate) fn mount(
+        scenario: &Scenario,
+        protocol: P,
+        faults: FaultSpec,
+        delay: DelaySpec,
+    ) -> Self {
+        let online = scenario.initial_online_set();
+        let cells = crate::builder::build_cells(scenario, &protocol, &online, delay);
+        let population = cells.len();
+        let protocol = Arc::new(protocol);
+        let filter: Arc<dyn LinkFilter + Send + Sync> = Arc::from(scenario.link_filter());
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut data_senders = Vec::with_capacity(population);
+        let mut mailboxes = Vec::with_capacity(population);
+        for _ in 0..population {
+            let (tx, rx) = mpsc::channel::<Envelope>();
+            data_senders.push(tx);
+            mailboxes.push(rx);
+        }
+        let mut cluster = Self {
+            protocol,
+            filter,
+            slots: Vec::with_capacity(population),
+            data_senders,
+            reply_tx,
+            reply_rx,
+            online,
+            churn: scenario.make_churn(),
+            churn_rng: ChaCha8Rng::seed_from_u64(derive_seed(scenario.seed(), "churn")),
+            ctrl_rng: ChaCha8Rng::seed_from_u64(derive_seed(scenario.seed(), "cluster/control")),
+            faults: FaultInjector::new(
+                faults,
+                derive_seed(scenario.seed(), "cluster/fault"),
+                population,
+            ),
+            snapshots: vec![
+                DoneReport {
+                    stats: CellStats::default(),
+                    pending_frames: 0,
+                    pending_timers: 0,
+                    aware: None,
+                };
+                population
+            ],
+            rounds_run: 0,
+            converged_round: None,
+        };
+        for (cell, mailbox) in cells.into_iter().zip(mailboxes) {
+            let slot = cluster.spawn(Box::new(cell), mailbox);
+            cluster.slots.push(Some(slot));
+        }
+        cluster
+    }
+
+    fn spawn(&self, cell: Box<NodeCell<P::Node>>, mailbox: Receiver<Envelope>) -> Slot<P::Node> {
+        let (ctrl_tx, ctrl_rx) = mpsc::channel();
+        let protocol = Arc::clone(&self.protocol);
+        let filter = Arc::clone(&self.filter);
+        let peers = self.data_senders.clone();
+        let replies = self.reply_tx.clone();
+        let name = format!("rumor-node-{}", cell.id.as_u32());
+        let handle = std::thread::Builder::new()
+            .name(name)
+            .stack_size(256 * 1024)
+            .spawn(move || {
+                worker_loop::<P>(*cell, protocol, filter, ctrl_rx, mailbox, peers, replies)
+            })
+            .expect("spawn cluster node thread");
+        Slot::Running {
+            ctrl: ctrl_tx,
+            handle,
+        }
+    }
+
+    /// Population size.
+    pub fn population(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds_run(&self) -> u32 {
+        self.rounds_run
+    }
+
+    /// Nodes churn-online and not crashed.
+    pub fn online_count(&self) -> usize {
+        (0..self.slots.len() as u32)
+            .map(PeerId::new)
+            .filter(|&p| self.effective_online(p))
+            .count()
+    }
+
+    fn effective_online(&self, peer: PeerId) -> bool {
+        self.online.is_online(peer) && !self.faults.is_down(peer)
+    }
+
+    /// Frames handed to the transport so far (per the last barrier).
+    pub fn frames_sent(&self) -> u64 {
+        self.snapshots.iter().map(|s| s.stats.sent).sum()
+    }
+
+    /// Encoded bytes of [`ThreadedCluster::frames_sent`].
+    pub fn bytes_sent(&self) -> u64 {
+        self.snapshots.iter().map(|s| s.stats.bytes_sent).sum()
+    }
+
+    /// True when, as of the last barrier, every frame was consumed, no
+    /// timer is armed, and no node is crashed.
+    pub fn is_quiescent(&self) -> bool {
+        if self.faults.any_down() {
+            return false;
+        }
+        let sent: u64 = self.snapshots.iter().map(|s| s.stats.sent).sum();
+        let consumed: u64 = self.snapshots.iter().map(|s| s.stats.consumed()).sum();
+        sent == consumed
+            && self
+                .snapshots
+                .iter()
+                .all(|s| s.pending_frames == 0 && s.pending_timers == 0)
+    }
+
+    /// Waits for one reply from `from`, asserting its variant via
+    /// `pick`. No reply from any other peer can be outstanding: the
+    /// conductor barriers every tick before issuing new control.
+    fn recv_from<T>(&self, from: PeerId, pick: impl Fn(Reply<P::Node>) -> Option<T>) -> T {
+        let (id, reply) = self
+            .reply_rx
+            .recv()
+            .expect("cluster worker channel closed unexpectedly");
+        assert_eq!(id, from, "unexpected reply sender during control wait");
+        pick(reply).unwrap_or_else(|| panic!("unexpected reply variant from {from}"))
+    }
+
+    /// Initiates `event` at a random effectively-online node. `None`
+    /// when nobody is up.
+    pub fn initiate(&mut self, event: &UpdateEvent) -> Option<UpdateId> {
+        let candidates: Vec<PeerId> = (0..self.slots.len() as u32)
+            .map(PeerId::new)
+            .filter(|&p| self.effective_online(p))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let initiator = candidates[self.ctrl_rng.gen_range(0..candidates.len())];
+        let round = self.rounds_run;
+        let Some(Slot::Running { ctrl, .. }) = &self.slots[initiator.index()] else {
+            unreachable!("effective_online excludes crashed nodes");
+        };
+        ctrl.send(Ctrl::Initiate {
+            event: event.clone(),
+            round,
+        })
+        .expect("worker alive");
+        Some(self.recv_from(initiator, |reply| match reply {
+            Reply::Initiated(update) => Some(update),
+            _ => None,
+        }))
+    }
+
+    /// Stops `victim`'s thread, parking its state and mailbox in the
+    /// slot (frames keep accumulating in the mailbox while down).
+    fn crash(&mut self, victim: PeerId) {
+        let slot = self.slots[victim.index()]
+            .take()
+            .expect("slot always present");
+        let Slot::Running { ctrl, handle } = slot else {
+            unreachable!("fault injector never crashes a down node");
+        };
+        ctrl.send(Ctrl::Stop).expect("worker alive");
+        let (cell, mailbox) = self.recv_from(victim, |reply| match reply {
+            Reply::Stopped { cell, mailbox } => Some((cell, mailbox)),
+            _ => None,
+        });
+        handle.join().expect("crashed worker panicked");
+        self.slots[victim.index()] = Some(Slot::Crashed { cell, mailbox });
+    }
+
+    /// Executes one round across all live workers, with an optional
+    /// awareness probe for `probe`.
+    pub fn step(&mut self, probe: Option<UpdateId>) {
+        if self.rounds_run > 0 {
+            self.churn
+                .step(self.rounds_run - 1, &mut self.online, &mut self.churn_rng);
+        }
+        let round = self.rounds_run;
+        let events = self.faults.step(round);
+        for peer in events.restarts {
+            let slot = self.slots[peer.index()].take().expect("slot present");
+            let Slot::Crashed { cell, mailbox } = slot else {
+                unreachable!("restart of a running node");
+            };
+            self.slots[peer.index()] = Some(self.spawn(cell, mailbox));
+        }
+        if let Some(victim) = events.crash {
+            self.crash(victim);
+        }
+
+        // Broadcast the tick to every running worker…
+        let mut ticked = 0usize;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(Slot::Running { ctrl, .. }) = slot {
+                let peer = PeerId::new(i as u32);
+                ctrl.send(Ctrl::Tick {
+                    round,
+                    online: self.online.is_online(peer),
+                    probe,
+                })
+                .expect("worker alive");
+                ticked += 1;
+            }
+        }
+        // …and barrier on their Done reports.
+        for _ in 0..ticked {
+            let (id, reply) = self
+                .reply_rx
+                .recv()
+                .expect("cluster worker channel closed unexpectedly");
+            match reply {
+                Reply::Done(report) => self.snapshots[id.index()] = report,
+                _ => panic!("unexpected non-Done reply from {id} during tick barrier"),
+            }
+        }
+        self.rounds_run += 1;
+
+        if probe.is_some() && self.converged_round.is_none() && self.probe_converged() {
+            self.converged_round = Some(round);
+        }
+    }
+
+    /// Whether the last probed tick saw every effectively-online worker
+    /// aware (and at least one online).
+    fn probe_converged(&self) -> bool {
+        let mut any = false;
+        for i in 0..self.slots.len() as u32 {
+            let p = PeerId::new(i);
+            if self.effective_online(p) {
+                any = true;
+                if self.snapshots[p.index()].aware != Some(true) {
+                    return false;
+                }
+            }
+        }
+        any
+    }
+
+    /// Runs `n` rounds without probing (the throughput path).
+    pub fn run_rounds(&mut self, n: u32) {
+        for _ in 0..n {
+            self.step(None);
+        }
+    }
+
+    /// Steps (probing every round) until every online node is aware of
+    /// `update` or `max_rounds` elapse; returns the converged round.
+    pub fn run_until_all_online_aware(&mut self, update: UpdateId, max_rounds: u32) -> Option<u32> {
+        let start = self.rounds_run;
+        while self.rounds_run - start < max_rounds {
+            self.step(Some(update));
+            if self.converged_round.is_some() {
+                return self.converged_round;
+            }
+        }
+        None
+    }
+
+    /// Gracefully shuts every thread down, reclaims the node states and
+    /// folds the run into a [`ClusterReport`] for `update`.
+    pub fn finish(mut self, update: UpdateId) -> ClusterReport {
+        let population = self.slots.len();
+        let mut cells: Vec<Box<NodeCell<P::Node>>> = Vec::with_capacity(population);
+        for i in 0..population {
+            match self.slots[i].take() {
+                Some(Slot::Running { ctrl, handle }) => {
+                    ctrl.send(Ctrl::Stop).expect("worker alive");
+                    let peer = PeerId::new(i as u32);
+                    let (cell, _mailbox) = self.recv_from(peer, |reply| match reply {
+                        Reply::Stopped { cell, mailbox } => Some((cell, mailbox)),
+                        _ => None,
+                    });
+                    handle.join().expect("cluster worker panicked");
+                    cells.push(cell);
+                }
+                Some(Slot::Crashed { cell, .. }) => cells.push(cell),
+                None => unreachable!("slot present until finish"),
+            }
+        }
+
+        let aware_set: Vec<PeerId> = cells
+            .iter()
+            .filter(|c| self.protocol.is_aware(&c.node, update))
+            .map(|c| c.id)
+            .collect();
+        let online = (0..population as u32)
+            .map(PeerId::new)
+            .filter(|&p| self.effective_online(p))
+            .count();
+        let aware_online = aware_set
+            .iter()
+            .filter(|&&p| self.effective_online(p))
+            .count();
+        ClusterReport::fold(
+            crate::report::RunOutcome {
+                rounds: self.rounds_run,
+                crashes: self.faults.crashes,
+                restarts: self.faults.restarts,
+                online,
+                aware_online,
+                converged_round: self.converged_round,
+                aware_set,
+            },
+            cells.iter().map(|c| &c.stats),
+        )
+    }
+}
+
+impl<P> Drop for ThreadedCluster<P>
+where
+    P: Protocol + Send + Sync + 'static,
+    P::Node: Send + 'static,
+    <P::Node as Node>::Msg: Encode + Decode + Send,
+{
+    fn drop(&mut self) {
+        // Best-effort shutdown for clusters dropped without `finish`
+        // (including unwinds): stop every running worker and join it.
+        for slot in &mut self.slots {
+            if let Some(Slot::Running { ctrl, handle }) = slot.take() {
+                let _ = ctrl.send(Ctrl::Stop);
+                let _ = handle.join();
+            }
+        }
+    }
+}

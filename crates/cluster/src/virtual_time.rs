@@ -1,0 +1,245 @@
+//! The deterministic single-threaded virtual-time mode.
+//!
+//! Same runtime semantics as the threaded mode — encoded frames, crash
+//! faults, loss, delay — but executed on one thread in a fixed order, so
+//! outcomes are bit-reproducible per scenario seed and can be
+//! golden-pinned by `cargo test`. The multi-threaded
+//! [`ThreadedCluster`](crate::ThreadedCluster) is the throughput path;
+//! this is the correctness path.
+
+use crate::cell::{DelaySpec, Envelope, NodeCell};
+use crate::fault::{FaultInjector, FaultSpec};
+use crate::report::ClusterReport;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rumor_churn::{Churn, OnlineSet};
+use rumor_net::{LinkFilter, Node};
+use rumor_sim::{Protocol, Scenario, UpdateEvent};
+use rumor_types::{derive_seed, PeerId, Round, UpdateId};
+use rumor_wire::{Decode, Encode};
+
+/// A live cluster executed deterministically in virtual time.
+///
+/// Build one with
+/// [`ClusterBuilder::virtual_time`](crate::ClusterBuilder::virtual_time).
+pub struct VirtualCluster<P: Protocol>
+where
+    <P::Node as Node>::Msg: Encode + Decode,
+{
+    protocol: P,
+    cells: Vec<NodeCell<P::Node>>,
+    online: OnlineSet,
+    churn: Box<dyn Churn>,
+    churn_rng: ChaCha8Rng,
+    ctrl_rng: ChaCha8Rng,
+    filter: Box<dyn LinkFilter + Send + Sync>,
+    faults: FaultInjector,
+    rounds_run: u32,
+    converged_round: Option<u32>,
+    staged: Vec<(PeerId, Envelope)>,
+}
+
+impl<P: Protocol> std::fmt::Debug for VirtualCluster<P>
+where
+    <P::Node as Node>::Msg: Encode + Decode,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualCluster")
+            .field("population", &self.cells.len())
+            .field("rounds_run", &self.rounds_run)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Protocol> VirtualCluster<P>
+where
+    <P::Node as Node>::Msg: Encode + Decode,
+{
+    pub(crate) fn mount(
+        scenario: &Scenario,
+        protocol: P,
+        faults: FaultSpec,
+        delay: DelaySpec,
+    ) -> Self {
+        let online = scenario.initial_online_set();
+        let cells = crate::builder::build_cells(scenario, &protocol, &online, delay);
+        let population = cells.len();
+        Self {
+            protocol,
+            cells,
+            online,
+            churn: scenario.make_churn(),
+            churn_rng: ChaCha8Rng::seed_from_u64(derive_seed(scenario.seed(), "churn")),
+            ctrl_rng: ChaCha8Rng::seed_from_u64(derive_seed(scenario.seed(), "cluster/control")),
+            filter: scenario.link_filter(),
+            faults: FaultInjector::new(
+                faults,
+                derive_seed(scenario.seed(), "cluster/fault"),
+                population,
+            ),
+            rounds_run: 0,
+            converged_round: None,
+            staged: Vec::new(),
+        }
+    }
+
+    /// Population size.
+    pub fn population(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds_run(&self) -> u32 {
+        self.rounds_run
+    }
+
+    /// Nodes that are churn-online *and* not crashed.
+    pub fn online_count(&self) -> usize {
+        (0..self.cells.len())
+            .filter(|&i| self.effective_online(PeerId::new(i as u32)))
+            .count()
+    }
+
+    fn effective_online(&self, peer: PeerId) -> bool {
+        self.online.is_online(peer) && !self.faults.is_down(peer)
+    }
+
+    /// Initiates `event` at a random effectively-online node (its round-0
+    /// frames are delivered next tick). `None` when nobody is up.
+    pub fn initiate(&mut self, event: &UpdateEvent) -> Option<UpdateId> {
+        let candidates: Vec<PeerId> = (0..self.cells.len() as u32)
+            .map(PeerId::new)
+            .filter(|&p| self.effective_online(p))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let initiator = candidates[self.ctrl_rng.gen_range(0..candidates.len())];
+        let round = self.rounds_run;
+        let mut staged = std::mem::take(&mut self.staged);
+        let protocol = &self.protocol;
+        let update = self.cells[initiator.index()].initiate(
+            round,
+            |node, rng, sink| protocol.initiate(node, event, Round::new(round), rng, sink),
+            &mut |to, env| staged.push((to, env)),
+        );
+        for (to, env) in staged.drain(..) {
+            self.cells[to.index()].inbox.push_back(env);
+        }
+        self.staged = staged;
+        Some(update)
+    }
+
+    /// Executes one round: churn transition (after round 0), fault
+    /// events, one tick per live node in id order, then delivery staging.
+    pub fn step(&mut self) {
+        if self.rounds_run > 0 {
+            self.churn
+                .step(self.rounds_run - 1, &mut self.online, &mut self.churn_rng);
+        }
+        let round = self.rounds_run;
+        self.faults.step(round);
+        let mut staged = std::mem::take(&mut self.staged);
+        for i in 0..self.cells.len() {
+            let peer = PeerId::new(i as u32);
+            if self.faults.is_down(peer) {
+                continue; // dead executor: no tick, inbox accumulates
+            }
+            let online = self.online.is_online(peer);
+            let filter = &self.filter;
+            self.cells[i].tick(round, online, filter, &mut |to, env| {
+                staged.push((to, env));
+            });
+        }
+        for (to, env) in staged.drain(..) {
+            self.cells[to.index()].inbox.push_back(env);
+        }
+        self.staged = staged;
+        self.rounds_run += 1;
+    }
+
+    /// Runs `n` rounds.
+    pub fn run_rounds(&mut self, n: u32) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// True when no frame is queued anywhere, no timer is armed and no
+    /// node is crashed (a dead node's inbox may hide in-flight frames).
+    pub fn is_quiescent(&self) -> bool {
+        !self.faults.any_down()
+            && self
+                .cells
+                .iter()
+                .all(|c| c.pending_frames() == 0 && c.pending_timers() == 0)
+    }
+
+    /// Whether `peer`'s node is aware of `update`.
+    pub fn is_aware(&self, peer: PeerId, update: UpdateId) -> bool {
+        self.protocol
+            .is_aware(&self.cells[peer.index()].node, update)
+    }
+
+    /// Every aware replica (offline included), sorted ascending.
+    pub fn aware_set(&self, update: UpdateId) -> Vec<PeerId> {
+        (0..self.cells.len() as u32)
+            .map(PeerId::new)
+            .filter(|&p| self.is_aware(p, update))
+            .collect()
+    }
+
+    /// Whether every effectively-online node is aware (and at least one
+    /// node is up).
+    pub fn all_online_aware(&self, update: UpdateId) -> bool {
+        let mut any = false;
+        for i in 0..self.cells.len() as u32 {
+            let p = PeerId::new(i);
+            if self.effective_online(p) {
+                any = true;
+                if !self.is_aware(p, update) {
+                    return false;
+                }
+            }
+        }
+        any
+    }
+
+    /// Steps until every online node is aware of `update` (recording the
+    /// convergence round) or `max_rounds` elapse. Returns the converged
+    /// round if reached.
+    pub fn run_until_all_online_aware(&mut self, update: UpdateId, max_rounds: u32) -> Option<u32> {
+        let start = self.rounds_run;
+        while self.rounds_run - start < max_rounds {
+            self.step();
+            if self.all_online_aware(update) {
+                let converged = self.rounds_run - 1;
+                self.converged_round.get_or_insert(converged);
+                return Some(converged);
+            }
+        }
+        None
+    }
+
+    /// Folds the run into a [`ClusterReport`] for the tracked `update`.
+    pub fn report(&self, update: UpdateId) -> ClusterReport {
+        let aware_set = self.aware_set(update);
+        let aware_online = aware_set
+            .iter()
+            .filter(|&&p| self.effective_online(p))
+            .count();
+        ClusterReport::fold(
+            crate::report::RunOutcome {
+                rounds: self.rounds_run,
+                crashes: self.faults.crashes,
+                restarts: self.faults.restarts,
+                online: self.online_count(),
+                aware_online,
+                converged_round: self.converged_round,
+                aware_set,
+            },
+            self.cells.iter().map(|c| &c.stats),
+        )
+    }
+}

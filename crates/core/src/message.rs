@@ -62,10 +62,26 @@ pub enum Message {
 }
 
 impl Message {
+    /// The variant tag — also the frame kind byte of the
+    /// [`rumor_wire::Encode`] implementation.
+    const fn tag(&self) -> u8 {
+        match self {
+            Self::Push(_) => TAG_PUSH,
+            Self::PullRequest { .. } => TAG_PULL_REQUEST,
+            Self::PullResponse { .. } => TAG_PULL_RESPONSE,
+            Self::Ack { .. } => TAG_ACK,
+        }
+    }
+
     /// Exact size of [`Message::encode`]'s output, computed without
     /// allocating.
     pub fn encoded_len(&self) -> usize {
-        1 + match self {
+        1 + self.body_len()
+    }
+
+    /// Body size without the leading tag byte (the framed payload size).
+    fn body_len(&self) -> usize {
+        match self {
             Self::Push(p) => {
                 update_len(&p.update) + 4 + 4 + p.flood_list.len() * REPLICA_ENTRY_BYTES
             }
@@ -80,13 +96,12 @@ impl Message {
         }
     }
 
-    /// Serialises the message.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.encoded_len());
+    /// Writes the tag-less body — shared by the legacy inline-tag format
+    /// and the framed codec (where the tag travels in the frame header).
+    fn put_body(&self, buf: &mut BytesMut) {
         match self {
             Self::Push(p) => {
-                buf.put_u8(TAG_PUSH);
-                put_update(&mut buf, &p.update);
+                put_update(buf, &p.update);
                 buf.put_u32(p.push_round);
                 buf.put_u32(p.flood_list.len() as u32);
                 for peer in p.flood_list.iter() {
@@ -94,7 +109,6 @@ impl Message {
                 }
             }
             Self::PullRequest { digest } => {
-                buf.put_u8(TAG_PULL_REQUEST);
                 buf.put_u32(digest.key_count() as u32);
                 for (key, heads) in digest.iter() {
                     buf.put_u64(key.as_u64());
@@ -105,30 +119,20 @@ impl Message {
                 }
             }
             Self::PullResponse { updates } => {
-                buf.put_u8(TAG_PULL_RESPONSE);
                 buf.put_u32(updates.len() as u32);
                 for u in updates {
-                    put_update(&mut buf, u);
+                    put_update(buf, u);
                 }
             }
             Self::Ack { update_id } => {
-                buf.put_u8(TAG_ACK);
                 buf.put_u128(update_id.to_bits());
             }
         }
-        buf.freeze()
     }
 
-    /// Deserialises a message.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::Decode`] on truncated input, an unknown tag,
-    /// or trailing bytes.
-    pub fn decode(mut bytes: &[u8]) -> Result<Self, CoreError> {
-        let buf = &mut bytes;
-        let tag = take_u8(buf)?;
-        let msg = match tag {
+    /// Reads the tag-less body for the variant named by `tag`.
+    fn take_body(tag: u8, buf: &mut &[u8]) -> Result<Self, CoreError> {
+        Ok(match tag {
             TAG_PUSH => {
                 let update = take_update(buf)?;
                 let push_round = take_u32(buf)?;
@@ -167,12 +171,68 @@ impl Message {
                 update_id: UpdateId::from_bits(take_u128(buf)?),
             },
             other => return Err(CoreError::decode(format!("unknown message tag {other}"))),
-        };
+        })
+    }
+
+    /// Serialises the message.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u8(self.tag());
+        self.put_body(&mut buf);
+        buf.freeze()
+    }
+
+    /// Deserialises a message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Decode`] on truncated input, an unknown tag,
+    /// or trailing bytes.
+    pub fn decode(mut bytes: &[u8]) -> Result<Self, CoreError> {
+        let buf = &mut bytes;
+        let tag = take_u8(buf)?;
+        let msg = Self::take_body(tag, buf)?;
         if !buf.is_empty() {
             return Err(CoreError::decode(format!(
                 "{} trailing bytes after message",
                 buf.len()
             )));
+        }
+        Ok(msg)
+    }
+}
+
+/// Framed codec: the variant tag becomes the frame kind, the tag-less
+/// body the payload, so a framed push costs
+/// [`FRAME_HEADER_BYTES`](rumor_wire::FRAME_HEADER_BYTES)` +
+/// encoded_len() − 1` bytes on the wire.
+impl rumor_wire::Encode for Message {
+    fn kind(&self) -> u8 {
+        self.tag()
+    }
+
+    fn payload_len(&self) -> usize {
+        self.body_len()
+    }
+
+    fn encode_payload(&self, buf: &mut BytesMut) {
+        self.put_body(buf);
+    }
+}
+
+impl rumor_wire::Decode for Message {
+    fn decode_payload(kind: u8, payload: &[u8]) -> Result<Self, rumor_wire::WireError> {
+        if !matches!(
+            kind,
+            TAG_PUSH | TAG_PULL_REQUEST | TAG_PULL_RESPONSE | TAG_ACK
+        ) {
+            return Err(rumor_wire::WireError::UnknownKind { kind });
+        }
+        let mut buf = payload;
+        let msg = Self::take_body(kind, &mut buf)
+            .map_err(|e| rumor_wire::WireError::malformed(e.to_string()))?;
+        if !buf.is_empty() {
+            return Err(rumor_wire::WireError::TrailingBytes { count: buf.len() });
         }
         Ok(msg)
     }
@@ -379,6 +439,57 @@ mod tests {
         let mut bytes = m.encode().to_vec();
         bytes.push(0);
         assert!(Message::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn framed_roundtrip_matches_inline_format() {
+        use rumor_wire::{decode_frame, encode_frame, frame_len, FRAME_HEADER_BYTES};
+        let mut r = rng();
+        let mut digest = StoreDigest::new();
+        digest.insert(DataKey::new(5), VersionId::from_bits(1));
+        let messages = vec![
+            sample_push(&mut r),
+            Message::PullRequest { digest },
+            Message::PullResponse {
+                updates: vec![sample_update(&mut r)],
+            },
+            Message::Ack {
+                update_id: UpdateId::from_bits(5),
+            },
+        ];
+        for m in messages {
+            let frame = encode_frame(&m);
+            assert_eq!(frame.len(), frame_len(&m));
+            // Frame = header + the inline format minus its leading tag
+            // (the tag rides in the header's kind byte).
+            assert_eq!(frame_len(&m), FRAME_HEADER_BYTES + m.encoded_len() - 1);
+            assert_eq!(frame[1], m.encode()[0], "kind byte equals inline tag");
+            assert_eq!(&frame[FRAME_HEADER_BYTES..], &m.encode()[1..]);
+            assert_eq!(decode_frame::<Message>(&frame).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn framed_decode_rejects_unknown_kind_and_malformed_body() {
+        use rumor_wire::{decode_frame, encode_frame, WireError};
+        let m = sample_push(&mut rng());
+        let mut bytes = encode_frame(&m).to_vec();
+        bytes[1] = 200; // frame kind byte
+        assert_eq!(
+            decode_frame::<Message>(&bytes),
+            Err(WireError::UnknownKind { kind: 200 })
+        );
+        // Truncate the payload but fix up the declared length: the body
+        // decoder must reject it as malformed rather than panic.
+        let full = encode_frame(&m).to_vec();
+        let cut = full.len() - 3;
+        let mut truncated = full[..cut].to_vec();
+        let declared = (cut - 6) as u32;
+        truncated[2..6].copy_from_slice(&declared.to_be_bytes());
+        assert!(matches!(
+            decode_frame::<Message>(&truncated),
+            Err(WireError::Malformed { .. })
+        ));
     }
 
     #[test]

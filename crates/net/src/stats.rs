@@ -14,6 +14,11 @@ use serde::{Deserialize, Serialize};
 pub struct EngineStats {
     /// Messages handed to the engine (the paper's message count).
     pub sent: u64,
+    /// Encoded wire bytes of the messages in `sent`, as sized by the
+    /// engine's message sizer (zero when none is installed — e.g. for
+    /// toy message types without a wire format). One frame per message:
+    /// header plus payload, per `rumor-wire`.
+    pub bytes_sent: u64,
     /// Messages delivered to an online peer.
     pub delivered: u64,
     /// Messages addressed to a peer that was offline at delivery time.
@@ -28,6 +33,7 @@ impl EngineStats {
     pub fn new() -> Self {
         Self {
             sent: 0,
+            bytes_sent: 0,
             delivered: 0,
             lost_offline: 0,
             lost_fault: 0,
@@ -37,6 +43,20 @@ impl EngineStats {
 
     pub(crate) fn record_sent(&mut self, n: u64) {
         self.sent += n;
+    }
+
+    pub(crate) fn record_bytes(&mut self, n: u64) {
+        self.bytes_sent += n;
+    }
+
+    /// Mean encoded bytes per sent message (0 when nothing was sent or
+    /// no sizer is installed).
+    pub fn mean_message_bytes(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.bytes_sent as f64 / self.sent as f64
+        }
     }
 
     pub(crate) fn close_round(&mut self, round: u32, sent_this_round: u64) {
@@ -73,6 +93,16 @@ mod tests {
         s.lost_fault = 1;
         assert_eq!(s.sent, 10);
         assert_eq!(s.wasted(), 6);
+    }
+
+    #[test]
+    fn byte_accounting_and_mean() {
+        let mut s = EngineStats::new();
+        assert_eq!(s.mean_message_bytes(), 0.0, "no sends, no mean");
+        s.record_sent(4);
+        s.record_bytes(100);
+        assert_eq!(s.bytes_sent, 100);
+        assert_eq!(s.mean_message_bytes(), 25.0);
     }
 
     #[test]

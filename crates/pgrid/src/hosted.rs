@@ -166,6 +166,7 @@ mod tests {
                         .map(|n| protocol.protocol_messages(n))
                         .sum(),
                     total_messages: driver.messages(),
+                    total_bytes: driver.bytes_sent(),
                     initial_online: driver.initial_online(),
                     per_round: Vec::new(),
                 }

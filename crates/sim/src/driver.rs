@@ -26,6 +26,10 @@ use rumor_metrics::ConvergenceDetector;
 use rumor_net::{EffectSink, EngineStats, LinkFilter, Node, SyncEngine};
 use rumor_types::{PeerId, Round, UpdateId};
 
+/// A pure function returning a message's encoded wire-frame size —
+/// what [`Protocol::wire_sizer`] hands the engine for byte accounting.
+pub type WireSizer<M> = fn(&M) -> usize;
+
 /// A factory that mounts one dissemination protocol into a
 /// [`Scenario`](crate::Scenario): it spawns nodes, initiates scheduled
 /// updates, and probes per-node awareness so the [`Driver`] can observe
@@ -68,6 +72,17 @@ pub trait Protocol {
     fn protocol_messages(&self, node: &Self::Node) -> u64 {
         let _ = node;
         0
+    }
+
+    /// The wire sizer for this protocol's message type — a pure function
+    /// returning a message's encoded frame size (typically
+    /// `rumor_wire::frame_len::<Msg>`). When `Some`, the driver installs
+    /// it into the engine so every run also reports bandwidth
+    /// ([`EngineStats::bytes_sent`], [`RunReport::total_bytes`]). The
+    /// default `None` disables byte accounting for message types without
+    /// a wire codec.
+    fn wire_sizer(&self) -> Option<WireSizer<<Self::Node as Node>::Msg>> {
+        None
     }
 }
 
@@ -129,6 +144,10 @@ impl Protocol for PaperProtocol {
 
     fn protocol_messages(&self, node: &ReplicaPeer) -> u64 {
         node.stats().push_messages_sent
+    }
+
+    fn wire_sizer(&self) -> Option<fn(&rumor_core::Message) -> usize> {
+        Some(rumor_wire::frame_len::<rumor_core::Message>)
     }
 }
 
@@ -242,6 +261,20 @@ impl<N: Node> Driver<N> {
     /// sends whether or not the target was online).
     pub fn messages(&self) -> u64 {
         self.engine.stats().sent
+    }
+
+    /// Encoded wire bytes of every message sent so far (0 when the
+    /// mounted protocol provides no [`Protocol::wire_sizer`]).
+    pub fn bytes_sent(&self) -> u64 {
+        self.engine.stats().bytes_sent
+    }
+
+    /// Installs (or clears) the engine's message sizer. Normally set
+    /// automatically by [`Scenario::drive`](crate::Scenario::drive) from
+    /// [`Protocol::wire_sizer`]; exposed for wrappers assembling drivers
+    /// by hand.
+    pub fn set_msg_sizer(&mut self, sizer: Option<fn(&N::Msg) -> usize>) {
+        self.engine.set_msg_sizer(sizer);
     }
 
     /// Messages per initially-online node.
@@ -449,6 +482,7 @@ impl<N: Node> Driver<N> {
             aware_total_fraction: self.aware_fraction_total(|n| protocol.is_aware(n, update)),
             protocol_messages: self.protocol_messages(protocol),
             total_messages: self.engine.stats().sent,
+            total_bytes: self.engine.stats().bytes_sent,
             initial_online: self.initial_online,
             per_round,
         }

@@ -86,6 +86,10 @@ pub struct RunReport {
     pub protocol_messages: u64,
     /// All messages sent so far (cumulative engine total).
     pub total_messages: u64,
+    /// Encoded wire bytes of `total_messages`, per the mounted protocol's
+    /// [`Protocol::wire_sizer`](crate::Protocol::wire_sizer) (0 when the
+    /// protocol has no wire codec).
+    pub total_bytes: u64,
     /// Initial online population (normalisation denominator).
     pub initial_online: usize,
     /// Per-round trace.
@@ -99,6 +103,16 @@ impl RunReport {
             0.0
         } else {
             self.total_messages as f64 / self.initial_online as f64
+        }
+    }
+
+    /// Mean encoded bytes per sent message — the paper's `L_M` made
+    /// measurable (0 when no message was sent or no sizer was installed).
+    pub fn mean_message_bytes(&self) -> f64 {
+        if self.total_messages == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.total_messages as f64
         }
     }
 }

@@ -159,6 +159,50 @@ impl Scenario {
         self.convergence
     }
 
+    /// The scenario's topology draw: each peer's known-replica row (self
+    /// excluded). Deterministic per scenario — every call (and every
+    /// runtime mounting the scenario, driver or live cluster) sees the
+    /// identical knowledge graph.
+    pub fn adjacency(&self) -> Vec<Vec<PeerId>> {
+        let mut topo_rng = ChaCha8Rng::seed_from_u64(derive_seed(self.seed, "topology"));
+        match self.topology {
+            TopologySpec::Full => topology::full(self.population),
+            TopologySpec::RandomSubset { k } => {
+                topology::random_subsets(self.population, k, &mut topo_rng)
+            }
+        }
+    }
+
+    /// The round-0 availability state.
+    pub fn initial_online_set(&self) -> OnlineSet {
+        OnlineSet::with_online_count(self.population, self.online_count)
+    }
+
+    /// A fresh churn instance from the scenario's factory (every mount
+    /// sees the same churn model; pair it with the `"churn"`-derived RNG
+    /// stream to replay the same trajectory).
+    pub fn make_churn(&self) -> Box<dyn Churn> {
+        (self.churn)()
+    }
+
+    /// The configured message-loss probability.
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// The scenario's composed link-fault filter (partition before loss,
+    /// so a cross-partition message consumes no loss randomness — it was
+    /// never going to be delivered). Thread-safe so the live cluster
+    /// runtime can share one filter across node threads.
+    pub fn link_filter(&self) -> Box<dyn LinkFilter + Send + Sync> {
+        match (self.loss > 0.0, self.partition.clone()) {
+            (false, None) => Box::new(PerfectLinks),
+            (true, None) => Box::new(BernoulliLoss::new(self.loss)),
+            (false, Some(p)) => Box::new(p),
+            (true, Some(p)) => Box::new((p, BernoulliLoss::new(self.loss))),
+        }
+    }
+
     /// Mounts `protocol` into the scenario, producing a ready-to-run
     /// [`Driver`]. Every call replays identical environment randomness.
     pub fn drive<P: Protocol>(&self, protocol: &P) -> Driver<P::Node> {
@@ -172,36 +216,24 @@ impl Scenario {
         protocol: &P,
         churn: Box<dyn Churn>,
     ) -> Driver<P::Node> {
-        let mut topo_rng = ChaCha8Rng::seed_from_u64(derive_seed(self.seed, "topology"));
-        let adjacency = match self.topology {
-            TopologySpec::Full => topology::full(self.population),
-            TopologySpec::RandomSubset { k } => {
-                topology::random_subsets(self.population, k, &mut topo_rng)
-            }
-        };
-        let online = OnlineSet::with_online_count(self.population, self.online_count);
+        let adjacency = self.adjacency();
+        let online = self.initial_online_set();
         let mut nodes = Vec::with_capacity(self.population);
         for (i, known) in adjacency.into_iter().enumerate() {
             let id = PeerId::new(i as u32);
             nodes.push(protocol.spawn(id, known, online.is_online(id)));
         }
-        // Partition before loss: a cross-partition message consumes no
-        // loss randomness (it was never going to be delivered).
-        let filter: Box<dyn LinkFilter> = match (self.loss > 0.0, self.partition.clone()) {
-            (false, None) => Box::new(PerfectLinks),
-            (true, None) => Box::new(BernoulliLoss::new(self.loss)),
-            (false, Some(p)) => Box::new(p),
-            (true, Some(p)) => Box::new((p, BernoulliLoss::new(self.loss))),
-        };
-        Driver::assemble(
+        let mut driver = Driver::assemble(
             nodes,
             online,
             churn,
-            filter,
+            self.link_filter(),
             ChaCha8Rng::seed_from_u64(derive_seed(self.seed, "protocol")),
             ChaCha8Rng::seed_from_u64(derive_seed(self.seed, "churn")),
             self.convergence,
-        )
+        );
+        driver.set_msg_sizer(protocol.wire_sizer());
+        driver
     }
 
     /// Convenience: mounts the paper protocol and wraps the driver in the

@@ -1,0 +1,108 @@
+//! Strict decode errors.
+
+use std::fmt;
+
+/// Why a frame or payload failed to decode.
+///
+/// Decoding is strict: every failure mode is distinguished so transports
+/// can tell protocol-version skew ([`WireError::BadVersion`]) apart from
+/// corruption ([`WireError::Truncated`], [`WireError::LengthMismatch`])
+/// and from peers speaking a different message set
+/// ([`WireError::UnknownKind`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the expected structure was complete.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// The frame header carried an unsupported codec version.
+    BadVersion {
+        /// The version byte found on the wire.
+        found: u8,
+    },
+    /// The frame's message-kind byte names no known message variant.
+    UnknownKind {
+        /// The kind byte found on the wire.
+        kind: u8,
+    },
+    /// The header's declared payload length disagrees with the bytes
+    /// actually present.
+    LengthMismatch {
+        /// Length the frame header declared.
+        declared: usize,
+        /// Payload bytes actually available.
+        actual: usize,
+    },
+    /// Bytes remained after the payload was fully decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        count: usize,
+    },
+    /// The payload violated a message-level invariant.
+    Malformed {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl WireError {
+    /// Builds a [`WireError::Malformed`] from any displayable reason.
+    pub fn malformed(reason: impl Into<String>) -> Self {
+        Self::Malformed {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { needed, have } => {
+                write!(f, "truncated input: needed {needed} bytes, have {have}")
+            }
+            Self::BadVersion { found } => write!(f, "unsupported wire version {found}"),
+            Self::UnknownKind { kind } => write!(f, "unknown message kind {kind}"),
+            Self::LengthMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "payload length mismatch: header says {declared}, found {actual}"
+                )
+            }
+            Self::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after decoded payload")
+            }
+            Self::Malformed { reason } => write!(f, "malformed payload: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_descriptive() {
+        let cases: Vec<(WireError, &str)> = vec![
+            (WireError::Truncated { needed: 4, have: 1 }, "truncated"),
+            (WireError::BadVersion { found: 9 }, "version 9"),
+            (WireError::UnknownKind { kind: 7 }, "kind 7"),
+            (
+                WireError::LengthMismatch {
+                    declared: 10,
+                    actual: 3,
+                },
+                "mismatch",
+            ),
+            (WireError::TrailingBytes { count: 2 }, "trailing"),
+            (WireError::malformed("empty lineage"), "empty lineage"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

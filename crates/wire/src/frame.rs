@@ -1,0 +1,294 @@
+//! The frame header and the [`Encode`]/[`Decode`] trait pair.
+
+use crate::error::WireError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// The codec version every frame this crate emits carries.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Size of the frame header: version (1) + kind (1) + payload length (4).
+pub const FRAME_HEADER_BYTES: usize = 6;
+
+/// The fixed header preceding every payload on the wire:
+/// `version: u8, kind: u8, payload_len: u32` (big-endian).
+///
+/// The version byte makes the format evolvable (a decoder rejects frames
+/// from a future codec instead of misreading them), the kind byte selects
+/// the message variant, and the explicit payload length lets stream
+/// transports delimit frames without understanding the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Codec version ([`WIRE_VERSION`] for frames produced here).
+    pub version: u8,
+    /// Message-kind discriminant (protocol-specific).
+    pub kind: u8,
+    /// Payload byte count following the header.
+    pub payload_len: u32,
+}
+
+impl Frame {
+    /// Builds a current-version header for a payload of `payload_len`
+    /// bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds `u32::MAX` bytes.
+    pub fn new(kind: u8, payload_len: usize) -> Self {
+        assert!(
+            u32::try_from(payload_len).is_ok(),
+            "payload of {payload_len} bytes exceeds the u32 frame limit"
+        );
+        Self {
+            version: WIRE_VERSION,
+            kind,
+            payload_len: payload_len as u32,
+        }
+    }
+
+    /// Appends the 6 header bytes to `buf`.
+    pub fn put(&self, buf: &mut BytesMut) {
+        buf.put_u8(self.version);
+        buf.put_u8(self.kind);
+        buf.put_u32(self.payload_len);
+    }
+
+    /// Splits `bytes` into a validated header and its payload slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] when the header is incomplete,
+    /// [`WireError::BadVersion`] for a foreign codec version, and
+    /// [`WireError::LengthMismatch`] when the declared payload length does
+    /// not match the bytes present (both truncation and trailing junk).
+    pub fn parse(mut bytes: &[u8]) -> Result<(Self, &[u8]), WireError> {
+        if bytes.len() < FRAME_HEADER_BYTES {
+            return Err(WireError::Truncated {
+                needed: FRAME_HEADER_BYTES,
+                have: bytes.len(),
+            });
+        }
+        let buf = &mut bytes;
+        let version = buf.get_u8();
+        if version != WIRE_VERSION {
+            return Err(WireError::BadVersion { found: version });
+        }
+        let kind = buf.get_u8();
+        let payload_len = buf.get_u32();
+        if buf.len() != payload_len as usize {
+            return Err(WireError::LengthMismatch {
+                declared: payload_len as usize,
+                actual: buf.len(),
+            });
+        }
+        Ok((
+            Self {
+                version,
+                kind,
+                payload_len,
+            },
+            buf,
+        ))
+    }
+}
+
+/// A message that can be serialised into a framed payload.
+///
+/// Implementations live next to the message types (`rumor-core` for the
+/// paper protocol, `rumor-baselines` for the comparison schemes); this
+/// crate only defines the format contract. `payload_len` must equal the
+/// bytes `encode_payload` writes — [`encode_frame`] debug-asserts it.
+pub trait Encode {
+    /// The message-kind discriminant stored in the frame header.
+    fn kind(&self) -> u8;
+
+    /// Exact payload size in bytes, computed without allocating.
+    fn payload_len(&self) -> usize;
+
+    /// Appends the payload bytes (header excluded) to `buf`.
+    fn encode_payload(&self, buf: &mut BytesMut);
+}
+
+/// A message decodable from a framed payload.
+pub trait Decode: Sized {
+    /// Reconstructs the message from the frame's kind byte and payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnknownKind`] for an unrecognised kind and a
+    /// decode error for truncated, oversize or invariant-violating
+    /// payloads.
+    fn decode_payload(kind: u8, payload: &[u8]) -> Result<Self, WireError>;
+}
+
+/// Total on-wire size of `msg`'s frame (header + payload) — the byte
+/// count the wire-size accounting records per sent message.
+pub fn frame_len<M: Encode + ?Sized>(msg: &M) -> usize {
+    FRAME_HEADER_BYTES + msg.payload_len()
+}
+
+/// Appends `msg`'s complete frame (header + payload) to `buf`.
+pub fn encode_frame_into<M: Encode + ?Sized>(msg: &M, buf: &mut BytesMut) {
+    let before = buf.len();
+    let payload_len = msg.payload_len();
+    Frame::new(msg.kind(), payload_len).put(buf);
+    msg.encode_payload(buf);
+    debug_assert_eq!(
+        buf.len() - before,
+        FRAME_HEADER_BYTES + payload_len,
+        "Encode::payload_len disagrees with Encode::encode_payload"
+    );
+}
+
+/// Serialises `msg` into a freshly allocated frame.
+pub fn encode_frame<M: Encode + ?Sized>(msg: &M) -> Bytes {
+    let mut buf = BytesMut::with_capacity(frame_len(msg));
+    encode_frame_into(msg, &mut buf);
+    buf.freeze()
+}
+
+/// Deserialises one complete frame.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on header truncation, foreign version,
+/// length mismatch, unknown kind or a malformed payload.
+pub fn decode_frame<M: Decode>(bytes: &[u8]) -> Result<M, WireError> {
+    let (frame, payload) = Frame::parse(bytes)?;
+    M::decode_payload(frame.kind, payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::Reader;
+
+    /// A tiny two-variant message set exercising the full contract.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum TestMsg {
+        Ping(u32),
+        Blob(Vec<u8>),
+    }
+
+    impl Encode for TestMsg {
+        fn kind(&self) -> u8 {
+            match self {
+                Self::Ping(_) => 1,
+                Self::Blob(_) => 2,
+            }
+        }
+        fn payload_len(&self) -> usize {
+            match self {
+                Self::Ping(_) => 4,
+                Self::Blob(b) => 4 + b.len(),
+            }
+        }
+        fn encode_payload(&self, buf: &mut BytesMut) {
+            match self {
+                Self::Ping(n) => buf.put_u32(*n),
+                Self::Blob(b) => {
+                    buf.put_u32(b.len() as u32);
+                    buf.put_slice(b);
+                }
+            }
+        }
+    }
+
+    impl Decode for TestMsg {
+        fn decode_payload(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
+            let mut r = Reader::new(payload);
+            let msg = match kind {
+                1 => Self::Ping(r.u32()?),
+                2 => {
+                    let n = r.u32()? as usize;
+                    Self::Blob(r.bytes(n)?.to_vec())
+                }
+                other => return Err(WireError::UnknownKind { kind: other }),
+            };
+            r.finish()?;
+            Ok(msg)
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_frame() {
+        for msg in [TestMsg::Ping(7), TestMsg::Blob(vec![1, 2, 3])] {
+            let bytes = encode_frame(&msg);
+            assert_eq!(bytes.len(), frame_len(&msg));
+            assert_eq!(decode_frame::<TestMsg>(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn header_layout_is_version_kind_len() {
+        let bytes = encode_frame(&TestMsg::Ping(0xDEAD));
+        assert_eq!(bytes[0], WIRE_VERSION);
+        assert_eq!(bytes[1], 1);
+        assert_eq!(&bytes[2..6], &4u32.to_be_bytes());
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        let bytes = encode_frame(&TestMsg::Ping(1));
+        for cut in 0..FRAME_HEADER_BYTES {
+            assert!(matches!(
+                decode_frame::<TestMsg>(&bytes[..cut]),
+                Err(WireError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_and_padded_payloads() {
+        let bytes = encode_frame(&TestMsg::Blob(vec![5; 8])).to_vec();
+        assert!(matches!(
+            decode_frame::<TestMsg>(&bytes[..bytes.len() - 1]),
+            Err(WireError::LengthMismatch { .. })
+        ));
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(
+            decode_frame::<TestMsg>(&padded),
+            Err(WireError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version_and_unknown_kind() {
+        let mut bytes = encode_frame(&TestMsg::Ping(1)).to_vec();
+        bytes[0] = WIRE_VERSION + 1;
+        assert_eq!(
+            decode_frame::<TestMsg>(&bytes),
+            Err(WireError::BadVersion {
+                found: WIRE_VERSION + 1
+            })
+        );
+        bytes[0] = WIRE_VERSION;
+        bytes[1] = 99;
+        assert_eq!(
+            decode_frame::<TestMsg>(&bytes),
+            Err(WireError::UnknownKind { kind: 99 })
+        );
+    }
+
+    #[test]
+    fn inner_length_prefix_cannot_overread() {
+        // A Blob whose inner count exceeds the payload is caught by the
+        // bounds-checked reader, not by a panic.
+        let mut buf = BytesMut::new();
+        Frame::new(2, 4).put(&mut buf);
+        buf.put_u32(1000);
+        assert!(matches!(
+            decode_frame::<TestMsg>(&buf),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer() {
+        let mut buf = BytesMut::with_capacity(64);
+        encode_frame_into(&TestMsg::Ping(3), &mut buf);
+        let first = buf.len();
+        encode_frame_into(&TestMsg::Ping(4), &mut buf);
+        assert_eq!(buf.len(), first * 2, "frames append back to back");
+    }
+}

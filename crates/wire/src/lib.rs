@@ -1,0 +1,66 @@
+//! `rumor-wire` — the versioned, length-prefixed binary wire codec for
+//! the update protocol's message sets.
+//!
+//! The paper's message-length analysis (§4.2) is stated in bytes —
+//! `L_M(t) = |U| + R · δ · l(t)` — and systems it compares against (CUP,
+//! DHT replication stores) measure propagation cost in bytes on the
+//! wire, not abstract message counts. This crate pins down that wire
+//! format: every message travels as a [`Frame`] — a 6-byte header
+//! carrying the codec [`WIRE_VERSION`], a message-kind discriminant and
+//! an explicit payload length — followed by a big-endian payload.
+//!
+//! The crate deliberately knows nothing about any concrete message set.
+//! It defines the [`Encode`]/[`Decode`] trait pair and the framing
+//! functions; `rumor-core` implements them for the paper protocol's
+//! messages (updates, tombstones, digests, partial replica lists) and
+//! `rumor-baselines` for the flooding and Demers message sets. The
+//! live threaded runtime in `rumor-cluster` round-trips every message
+//! through this codec, and the engines' wire-size accounting uses
+//! [`frame_len`] to report bandwidth next to message counts.
+//!
+//! Decoding is strict — truncated input, foreign versions, unknown
+//! kinds, length mismatches and trailing bytes are all distinct
+//! [`WireError`]s, never panics (see [`Reader`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use bytes::{BufMut, BytesMut};
+//! use rumor_wire::{decode_frame, encode_frame, Decode, Encode, Reader, WireError};
+//!
+//! #[derive(Debug, PartialEq)]
+//! struct Hello { seq: u32 }
+//!
+//! impl Encode for Hello {
+//!     fn kind(&self) -> u8 { 1 }
+//!     fn payload_len(&self) -> usize { 4 }
+//!     fn encode_payload(&self, buf: &mut BytesMut) { buf.put_u32(self.seq); }
+//! }
+//! impl Decode for Hello {
+//!     fn decode_payload(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
+//!         if kind != 1 { return Err(WireError::UnknownKind { kind }); }
+//!         let mut r = Reader::new(payload);
+//!         let msg = Hello { seq: r.u32()? };
+//!         r.finish()?;
+//!         Ok(msg)
+//!     }
+//! }
+//!
+//! let frame = encode_frame(&Hello { seq: 9 });
+//! assert_eq!(decode_frame::<Hello>(&frame)?, Hello { seq: 9 });
+//! # Ok::<(), WireError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod frame;
+mod reader;
+
+pub use error::WireError;
+pub use frame::{
+    decode_frame, encode_frame, encode_frame_into, frame_len, Decode, Encode, Frame,
+    FRAME_HEADER_BYTES, WIRE_VERSION,
+};
+pub use reader::Reader;

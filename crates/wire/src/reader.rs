@@ -1,0 +1,141 @@
+//! Bounds-checked payload reading.
+
+use crate::error::WireError;
+use bytes::Buf;
+
+/// A cursor over a payload slice whose every read is bounds-checked,
+/// returning [`WireError::Truncated`] instead of panicking.
+///
+/// Integers are big-endian, matching the [`bytes::BufMut`] writers the
+/// [`Encode`](crate::Encode) implementations use.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_wire::Reader;
+///
+/// let mut r = Reader::new(&[0x01, 0x00, 0x02]);
+/// assert_eq!(r.u8()?, 1);
+/// assert_eq!(r.u16()?, 2);
+/// r.finish()?;
+/// # Ok::<(), rumor_wire::WireError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+macro_rules! read_int {
+    ($name:ident, $ty:ty, $get:ident, $size:expr) => {
+        /// Reads one big-endian integer.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`WireError::Truncated`] when fewer bytes remain.
+        pub fn $name(&mut self) -> Result<$ty, WireError> {
+            if self.buf.len() < $size {
+                return Err(WireError::Truncated {
+                    needed: $size,
+                    have: self.buf.len(),
+                });
+            }
+            Ok(self.buf.$get())
+        }
+    };
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a payload slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether everything has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    read_int!(u8, u8, get_u8, 1);
+    read_int!(u16, u16, get_u16, 2);
+    read_int!(u32, u32, get_u32, 4);
+    read_int!(u64, u64, get_u64, 8);
+    read_int!(u128, u128, get_u128, 16);
+
+    /// Takes the next `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] when fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                have: self.buf.len(),
+            });
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Asserts that the payload was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TrailingBytes`] when bytes remain.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                count: self.buf.len(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_every_width_big_endian() {
+        let mut data = Vec::new();
+        data.push(0xAAu8);
+        data.extend_from_slice(&0xBBCCu16.to_be_bytes());
+        data.extend_from_slice(&0x1122_3344u32.to_be_bytes());
+        data.extend_from_slice(&0x5566_7788_99AA_BBCCu64.to_be_bytes());
+        data.extend_from_slice(&7u128.to_be_bytes());
+        let mut r = Reader::new(&data);
+        assert_eq!(r.u8().unwrap(), 0xAA);
+        assert_eq!(r.u16().unwrap(), 0xBBCC);
+        assert_eq!(r.u32().unwrap(), 0x1122_3344);
+        assert_eq!(r.u64().unwrap(), 0x5566_7788_99AA_BBCC);
+        assert_eq!(r.u128().unwrap(), 7);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_reports_needed_and_have() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.u32(), Err(WireError::Truncated { needed: 4, have: 2 }));
+    }
+
+    #[test]
+    fn raw_bytes_and_trailing_detection() {
+        let mut r = Reader::new(&[9, 8, 7]);
+        assert_eq!(r.bytes(2).unwrap(), &[9, 8]);
+        assert_eq!(r.remaining(), 1);
+        assert!(!r.is_empty());
+        assert_eq!(
+            r.clone().finish(),
+            Err(WireError::TrailingBytes { count: 1 })
+        );
+        assert!(r.bytes(2).is_err());
+    }
+}

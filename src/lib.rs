@@ -19,6 +19,8 @@
 //! | [`sim`] | `rumor-sim` | the `Scenario`/`Driver`/`Protocol` experiment harness + discrete simulator over the real protocol |
 //! | [`churn`] | `rumor-churn` | availability models (σ/p_on chains, on/off dwell, traces, catastrophes) |
 //! | [`net`] | `rumor-net` | sync round engine, async event engine, loss/partitions, topologies |
+//! | [`wire`] | `rumor-wire` | versioned, length-prefixed binary wire codec (frames, strict decode) |
+//! | [`cluster`] | `rumor-cluster` | live runtime: sans-IO nodes on OS threads (or virtual time) exchanging encoded frames |
 //! | [`baselines`] | `rumor-baselines` | Gnutella, pure flooding, Haas GOSSIP1, Demers anti-entropy & rumor mongering |
 //! | [`pgrid`] | `rumor-pgrid` | the P-Grid trie overlay hosting the protocol |
 //! | [`metrics`] | `rumor-metrics` | counters, series, histograms, tables |
@@ -50,9 +52,11 @@
 pub use rumor_analysis as analysis;
 pub use rumor_baselines as baselines;
 pub use rumor_churn as churn;
+pub use rumor_cluster as cluster;
 pub use rumor_core as core;
 pub use rumor_metrics as metrics;
 pub use rumor_net as net;
 pub use rumor_pgrid as pgrid;
 pub use rumor_sim as sim;
 pub use rumor_types as types;
+pub use rumor_wire as wire;

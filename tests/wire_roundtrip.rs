@@ -1,0 +1,242 @@
+//! Wire-codec round-trip properties: `decode(encode(m)) == m` for every
+//! message variant of every protocol family, plus strict rejection of
+//! truncated, padded and foreign-version frames.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rumor::baselines::{DemersMsg, FloodMsg};
+use rumor::core::{Lineage, Message, PartialList, PushMessage, StoreDigest, Update, Value};
+use rumor::types::{DataKey, PeerId, UpdateId, VersionId};
+use rumor::wire::{
+    decode_frame, encode_frame, frame_len, WireError, FRAME_HEADER_BYTES, WIRE_VERSION,
+};
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// An update with `depth + 1` lineage entries; tombstone when asked.
+fn update(seed: u64, depth: usize, tombstone: bool, payload_len: usize) -> Update {
+    let mut r = rng(seed);
+    let key = DataKey::new(seed.wrapping_mul(31));
+    let mut lineage = Lineage::root(&mut r);
+    for _ in 0..depth {
+        lineage = lineage.child(&mut r);
+    }
+    let origin = PeerId::new((seed % 1024) as u32);
+    if tombstone {
+        Update::tombstone(key, lineage, origin)
+    } else {
+        Update::write(key, lineage, Value::from(vec![0xAB; payload_len]), origin)
+    }
+}
+
+fn roundtrip(msg: &Message) {
+    let frame = encode_frame(msg);
+    assert_eq!(frame.len(), frame_len(msg), "sizer must be exact");
+    let decoded: Message = decode_frame(&frame).expect("round-trip decode");
+    assert_eq!(&decoded, msg);
+    // The legacy inline-tag format stays byte-compatible: frame payload
+    // is exactly the inline encoding minus its leading tag.
+    assert_eq!(&frame[FRAME_HEADER_BYTES..], &msg.encode()[1..]);
+}
+
+proptest! {
+    #[test]
+    fn push_roundtrips_any_list_and_lineage(
+        seed in 0u64..10_000,
+        depth in 0usize..6,
+        tombstone in any::<bool>(),
+        payload_len in 0usize..64,
+        push_round in 0u32..512,
+        list_len in 0usize..300,
+    ) {
+        let msg = Message::Push(PushMessage {
+            update: update(seed, depth, tombstone, payload_len),
+            push_round,
+            flood_list: PartialList::from_peers((0..list_len as u32).map(PeerId::new)),
+        });
+        roundtrip(&msg);
+    }
+
+    #[test]
+    fn pull_request_roundtrips_any_digest(
+        seed in 0u64..10_000,
+        keys in 0usize..12,
+        heads_per_key in 1usize..5,
+    ) {
+        let mut digest = StoreDigest::new();
+        for k in 0..keys {
+            for h in 0..heads_per_key {
+                digest.insert(
+                    DataKey::new(seed.wrapping_add(k as u64)),
+                    VersionId::from_bits((seed as u128) << 32 | (k * 7 + h) as u128),
+                );
+            }
+        }
+        roundtrip(&Message::PullRequest { digest });
+    }
+
+    #[test]
+    fn pull_response_roundtrips_mixed_updates(
+        seed in 0u64..10_000,
+        count in 0usize..8,
+    ) {
+        let updates: Vec<Update> = (0..count)
+            .map(|i| update(seed.wrapping_add(i as u64), i % 4, i % 3 == 0, i * 5))
+            .collect();
+        roundtrip(&Message::PullResponse { updates });
+    }
+
+    #[test]
+    fn ack_roundtrips(bits in any::<u128>()) {
+        roundtrip(&Message::Ack { update_id: UpdateId::from_bits(bits) });
+    }
+
+    #[test]
+    fn flood_msg_roundtrips(bits in any::<u128>(), ttl in 0u32..64, hops in 0u32..64) {
+        let msg = FloodMsg { rumor: UpdateId::from_bits(bits), ttl, hops };
+        let frame = encode_frame(&msg);
+        prop_assert_eq!(frame.len(), frame_len(&msg));
+        prop_assert_eq!(decode_frame::<FloodMsg>(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn demers_msgs_roundtrip(
+        seed in 0u64..10_000,
+        known_len in 0usize..40,
+        variant in proptest::sample::select(vec![0usize, 1, 2]),
+        flag in any::<bool>(),
+    ) {
+        let msg = match variant {
+            0 => DemersMsg::Digest {
+                known: (0..known_len)
+                    .map(|i| UpdateId::from_bits(seed as u128 * 131 + i as u128))
+                    .collect(),
+                reply: flag,
+            },
+            1 => DemersMsg::Rumor { rumor: UpdateId::from_bits(seed as u128) },
+            _ => DemersMsg::Feedback {
+                rumor: UpdateId::from_bits(seed as u128),
+                already_knew: flag,
+            },
+        };
+        let frame = encode_frame(&msg);
+        prop_assert_eq!(frame.len(), frame_len(&msg));
+        prop_assert_eq!(decode_frame::<DemersMsg>(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn every_truncation_of_a_push_frame_is_rejected(
+        seed in 0u64..2_000,
+        list_len in 0usize..40,
+        cut_frac in 0u32..1000,
+    ) {
+        let msg = Message::Push(PushMessage {
+            update: update(seed, 2, false, 16),
+            push_round: 1,
+            flood_list: PartialList::from_peers((0..list_len as u32).map(PeerId::new)),
+        });
+        let frame = encode_frame(&msg);
+        let cut = (frame.len() as u64 * u64::from(cut_frac) / 1000) as usize;
+        prop_assert!(cut < frame.len());
+        prop_assert!(decode_frame::<Message>(&frame[..cut]).is_err());
+    }
+}
+
+#[test]
+fn empty_and_max_length_partial_lists_roundtrip() {
+    // Empty list and a paper-scale "everyone already has it" list.
+    for list_len in [0usize, 1, 10_000] {
+        let msg = Message::Push(PushMessage {
+            update: update(9, 3, false, 32),
+            push_round: 7,
+            flood_list: PartialList::from_peers((0..list_len as u32).map(PeerId::new)),
+        });
+        roundtrip(&msg);
+    }
+}
+
+#[test]
+fn tombstone_and_empty_pull_response_roundtrip() {
+    roundtrip(&Message::Push(PushMessage {
+        update: update(4, 0, true, 0),
+        push_round: 0,
+        flood_list: PartialList::new(),
+    }));
+    roundtrip(&Message::PullResponse {
+        updates: Vec::new(),
+    });
+    roundtrip(&Message::PullRequest {
+        digest: StoreDigest::new(),
+    });
+}
+
+#[test]
+fn bad_version_frames_are_rejected_with_the_found_version() {
+    let msg = Message::Ack {
+        update_id: UpdateId::from_bits(1),
+    };
+    let mut bytes = encode_frame(&msg).to_vec();
+    for foreign in [0u8, WIRE_VERSION + 1, 0xFF] {
+        bytes[0] = foreign;
+        assert_eq!(
+            decode_frame::<Message>(&bytes),
+            Err(WireError::BadVersion { found: foreign })
+        );
+    }
+}
+
+#[test]
+fn truncated_headers_and_padded_frames_are_rejected() {
+    let msg = Message::Ack {
+        update_id: UpdateId::from_bits(7),
+    };
+    let frame = encode_frame(&msg);
+    for cut in 0..FRAME_HEADER_BYTES {
+        assert!(matches!(
+            decode_frame::<Message>(&frame[..cut]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+    let mut padded = frame.to_vec();
+    padded.push(0);
+    assert!(matches!(
+        decode_frame::<Message>(&padded),
+        Err(WireError::LengthMismatch { .. })
+    ));
+}
+
+#[test]
+fn unknown_kind_is_rejected_for_every_family() {
+    let mut core = encode_frame(&Message::Ack {
+        update_id: UpdateId::from_bits(1),
+    })
+    .to_vec();
+    core[1] = 250;
+    assert_eq!(
+        decode_frame::<Message>(&core),
+        Err(WireError::UnknownKind { kind: 250 })
+    );
+    let mut flood = encode_frame(&FloodMsg {
+        rumor: UpdateId::from_bits(1),
+        ttl: 1,
+        hops: 0,
+    })
+    .to_vec();
+    flood[1] = 99;
+    assert!(matches!(
+        decode_frame::<FloodMsg>(&flood),
+        Err(WireError::UnknownKind { kind: 99 })
+    ));
+    let mut demers = encode_frame(&DemersMsg::Rumor {
+        rumor: UpdateId::from_bits(1),
+    })
+    .to_vec();
+    demers[1] = 77;
+    assert!(matches!(
+        decode_frame::<DemersMsg>(&demers),
+        Err(WireError::UnknownKind { kind: 77 })
+    ));
+}
