@@ -13,7 +13,7 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use rumor_net::{EffectSink, Node};
 use rumor_types::{PeerId, Round, UpdateId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Messages of the Demers baselines.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,7 +46,7 @@ pub enum DemersMsg {
 pub struct AntiEntropyNode {
     id: PeerId,
     peers: Vec<PeerId>,
-    rumors: HashSet<UpdateId>,
+    rumors: BTreeSet<UpdateId>,
     push_pull: bool,
 }
 
@@ -56,7 +56,7 @@ impl AntiEntropyNode {
         Self {
             id: PeerId::new(id),
             peers,
-            rumors: HashSet::new(),
+            rumors: BTreeSet::new(),
             push_pull,
         }
     }
@@ -117,7 +117,7 @@ impl Node for AntiEntropyNode {
     ) {
         match msg {
             DemersMsg::Digest { known, reply } => {
-                let their: HashSet<UpdateId> = known.iter().copied().collect();
+                let their: BTreeSet<UpdateId> = known.iter().copied().collect();
                 // A response (reply == false) carries the rumors we asked
                 // for — always absorb it. A request is absorbed only in
                 // push-pull mode.
@@ -183,9 +183,9 @@ pub struct RumorMongerNode {
     id: PeerId,
     peers: Vec<PeerId>,
     config: MongerConfig,
-    known: HashSet<UpdateId>,
-    hot: HashSet<UpdateId>,
-    counters: HashMap<UpdateId, u32>,
+    known: BTreeSet<UpdateId>,
+    hot: BTreeSet<UpdateId>,
+    counters: BTreeMap<UpdateId, u32>,
     /// Reusable snapshot of the hot set (hot path).
     hot_scratch: Vec<UpdateId>,
 }
@@ -197,9 +197,9 @@ impl RumorMongerNode {
             id: PeerId::new(id),
             peers,
             config,
-            known: HashSet::new(),
-            hot: HashSet::new(),
-            counters: HashMap::new(),
+            known: BTreeSet::new(),
+            hot: BTreeSet::new(),
+            counters: BTreeMap::new(),
             hot_scratch: Vec::new(),
         }
     }

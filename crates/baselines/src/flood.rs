@@ -5,7 +5,7 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use rumor_net::{EffectSink, Node};
 use rumor_types::{PeerId, Round, UpdateId};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A rumor copy in flight: the rumor id, remaining TTL and hop count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +35,7 @@ pub struct GnutellaNode {
     neighbors: Vec<PeerId>,
     fanout: usize,
     ttl: u32,
-    seen: HashSet<UpdateId>,
+    seen: BTreeSet<UpdateId>,
     /// Duplicate copies received (observability).
     pub duplicates: u64,
     /// Reusable forwarding pool (hot path).
@@ -50,7 +50,7 @@ impl GnutellaNode {
             neighbors,
             fanout,
             ttl,
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             duplicates: 0,
             pool_scratch: Vec::new(),
         }

@@ -97,6 +97,8 @@ where
     cluster.run_rounds(WARMUP_ROUNDS);
     let frames_before = cluster.frames_sent();
     let bytes_before = cluster.bytes_sent();
+    #[allow(clippy::disallowed_methods)]
+    // rumor-lint: allow(determinism) -- wall-clock is the measurand here, never a protocol input
     let start = Instant::now();
     cluster.run_rounds(rounds);
     let elapsed = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);

@@ -89,6 +89,8 @@ fn measure<P: Protocol>(
         .initiate(protocol, None, &bench_event())
         .expect("bench initiator online");
     driver.run_rounds(WARMUP_ROUNDS);
+    #[allow(clippy::disallowed_methods)]
+    // rumor-lint: allow(determinism) -- wall-clock is the measurand here, never a protocol input
     let start = Instant::now();
     driver.run_rounds(rounds);
     let elapsed = start.elapsed().as_secs_f64();

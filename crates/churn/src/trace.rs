@@ -67,6 +67,7 @@ impl AvailabilityTrace {
                 .map(|i| state.is_online(PeerId::new(i as u32)))
                 .collect(),
         );
+        // rumor-lint: allow(single-round-loop) -- churn-model replay recording a trace, not protocol orchestration
         for round in 1..rounds {
             model.step(round as u32 - 1, &mut state, rng);
             rows.push(

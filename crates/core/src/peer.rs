@@ -15,7 +15,7 @@ use rand_chacha::ChaCha8Rng;
 use rumor_net::{EffectSink, Node};
 use rumor_types::{DataKey, PeerId, Round, UpdateId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Timer tag used by the lazy pull strategy.
 const TAG_LAZY_PULL: u64 = 1;
@@ -75,13 +75,13 @@ pub struct ReplicaPeer {
     store: ReplicaStore,
     /// Known replicas, sorted, self excluded.
     known: Vec<PeerId>,
-    processed: HashMap<UpdateId, ProcessedState>,
+    processed: BTreeMap<UpdateId, ProcessedState>,
     /// Accumulated flooding list per update (union over received copies).
-    flood_lists: HashMap<UpdateId, PartialList>,
+    flood_lists: BTreeMap<UpdateId, PartialList>,
     /// Peers that acked recently: preferred targets (round of last ack).
-    acked_by: HashMap<PeerId, Round>,
+    acked_by: BTreeMap<PeerId, Round>,
     /// Peers pushed to that have not acked: avoided until cool-off.
-    awaiting_ack: HashMap<PeerId, Round>,
+    awaiting_ack: BTreeMap<PeerId, Round>,
     last_info_round: Option<Round>,
     confident: bool,
     online: bool,
@@ -107,10 +107,10 @@ impl ReplicaPeer {
             config,
             store: ReplicaStore::new(),
             known: Vec::new(),
-            processed: HashMap::new(),
-            flood_lists: HashMap::new(),
-            acked_by: HashMap::new(),
-            awaiting_ack: HashMap::new(),
+            processed: BTreeMap::new(),
+            flood_lists: BTreeMap::new(),
+            acked_by: BTreeMap::new(),
+            awaiting_ack: BTreeMap::new(),
             last_info_round: None,
             confident: true,
             online: true,

@@ -9,7 +9,7 @@ use crate::value::Value;
 use crate::version::Lineage;
 use rumor_types::DataKey;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One replica's answer to a query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -69,7 +69,7 @@ impl QueryPolicy {
         match self {
             Self::Latest => Some(newest(&versioned)),
             Self::Majority => {
-                let mut votes: HashMap<_, usize> = HashMap::new();
+                let mut votes: BTreeMap<_, usize> = BTreeMap::new();
                 for a in &versioned {
                     *votes
                         .entry(a.lineage.as_ref().expect("filtered").head())

@@ -1,0 +1,59 @@
+//! CLI driver: `rumor-lint [--root PATH] [--format table|json]`.
+//!
+//! Exit status 0 when the tree is clean, 1 when unsuppressed findings
+//! exist, 2 on usage or I/O errors — so both CI and the workspace test
+//! can shell out to it directly.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rumor_lint::rules::RULE_NAMES;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = String::from("table");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a path"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some(v @ ("table" | "json")) => format = v.to_owned(),
+                _ => return usage("--format must be `table` or `json`"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: rumor-lint [--root PATH] [--format table|json]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match rumor_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rumor-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if format == "json" {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_table(&RULE_NAMES));
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("rumor-lint: {msg}");
+    eprintln!("usage: rumor-lint [--root PATH] [--format table|json]");
+    ExitCode::from(2)
+}

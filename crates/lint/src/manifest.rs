@@ -1,0 +1,133 @@
+//! A minimal `Cargo.toml` reader — just enough structure for the
+//! crate-graph rule: the package name and the dependency names per
+//! section. No external TOML crate; the workspace manifests are plain
+//! `name.workspace = true` / `name = { ... }` entries.
+
+/// Parsed view of one manifest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// `[package] name`, empty for a virtual manifest.
+    pub name: String,
+    /// Dependency names from `[dependencies]`.
+    pub deps: Vec<String>,
+    /// Dependency names from `[dev-dependencies]`.
+    pub dev_deps: Vec<String>,
+}
+
+/// Parses the manifest text.
+pub fn parse(text: &str) -> Manifest {
+    #[derive(PartialEq)]
+    enum Section {
+        Package,
+        Deps,
+        DevDeps,
+        Other,
+    }
+    let mut section = Section::Other;
+    let mut m = Manifest::default();
+    let mut brace_depth = 0usize;
+
+    for raw in text.lines() {
+        let line = strip_toml_comment(raw).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        // Multi-line inline tables (`foo = {` ... `}`) — skip the body.
+        if brace_depth > 0 {
+            brace_depth += line.matches('{').count();
+            brace_depth -= line.matches('}').count().min(brace_depth);
+            continue;
+        }
+        if line.starts_with('[') {
+            section = match line.as_str() {
+                "[package]" => Section::Package,
+                "[dependencies]" => Section::Deps,
+                "[dev-dependencies]" => Section::DevDeps,
+                _ => Section::Other,
+            };
+            continue;
+        }
+        match section {
+            Section::Package => {
+                if let Some(rest) = line.strip_prefix("name") {
+                    let rest = rest.trim_start();
+                    if let Some(v) = rest.strip_prefix('=') {
+                        m.name = v.trim().trim_matches('"').to_owned();
+                    }
+                }
+            }
+            Section::Deps | Section::DevDeps => {
+                if let Some(name) = dep_name(&line) {
+                    if section == Section::Deps {
+                        m.deps.push(name);
+                    } else {
+                        m.dev_deps.push(name);
+                    }
+                }
+                let opens = line.matches('{').count();
+                let closes = line.matches('}').count();
+                brace_depth = opens.saturating_sub(closes);
+            }
+            Section::Other => {}
+        }
+    }
+    m
+}
+
+/// The dependency name on an entry line: the key before `.workspace`,
+/// `=` or whitespace.
+fn dep_name(line: &str) -> Option<String> {
+    let key = line
+        .split(['=', ' ', '\t'])
+        .next()?
+        .split('.')
+        .next()?
+        .trim();
+    if key.is_empty() {
+        return None;
+    }
+    Some(key.trim_matches('"').to_owned())
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    // Workspace manifests never put `#` inside strings, so a plain split
+    // is exact here.
+    line.split('#').next().unwrap_or(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_workspace_style_manifest() {
+        let m = parse(
+            r#"
+[package]
+name = "rumor-core"
+version.workspace = true
+
+[dependencies]
+bytes.workspace = true
+rand = { version = "0.8" }
+rumor-net.workspace = true # the sans-IO substrate
+
+[dev-dependencies]
+proptest.workspace = true
+
+[[bench]]
+name = "micro"
+"#,
+        );
+        assert_eq!(m.name, "rumor-core");
+        assert_eq!(m.deps, vec!["bytes", "rand", "rumor-net"]);
+        assert_eq!(m.dev_deps, vec!["proptest"]);
+    }
+
+    #[test]
+    fn empty_sections_and_comments() {
+        let m = parse("[package]\nname = \"x\"\n# comment\n[dependencies]\n");
+        assert_eq!(m.name, "x");
+        assert!(m.deps.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! `determinism` — bit-reproducible seeded simulation.
+//!
+//! Every figure and golden pin rests on `cargo test` being deterministic
+//! (ChaCha8 + `rumor_types::seed` everywhere). Two sub-checks:
+//!
+//! 1. **Ambient time and entropy** — `SystemTime::now`, `Instant::now`,
+//!    `std::thread::sleep`, `thread_rng`, `from_entropy` and
+//!    `rand::random` are forbidden in *all* scanned code. Sanctioned
+//!    call sites (bench wall-clock timing, real-time cluster pacing)
+//!    carry an inline `rumor-lint: allow(determinism) -- <reason>`.
+//! 2. **Hash-ordered collections** — `HashMap`/`HashSet` iteration
+//!    order is seeded per process and can leak into RNG draws, message
+//!    order or report contents. Library code (everything under
+//!    `crates/*/src/` and the facade `src/`) uses `BTreeMap`/`BTreeSet`
+//!    or carries an allow explaining why ordering cannot escape.
+//!    `#[cfg(test)]` items, integration tests and examples are exempt
+//!    (a `HashSet` used for a distinctness assertion is harmless).
+
+use crate::report::Finding;
+use crate::rules::{push, token_match};
+use crate::source::SourceFile;
+
+/// Rule name.
+pub const NAME: &str = "determinism";
+
+/// Forbidden ambient time / entropy sources.
+const TIME_TOKENS: [&str; 6] = [
+    "SystemTime::now",
+    "Instant::now",
+    "thread::sleep",
+    "thread_rng",
+    "from_entropy",
+    "rand::random",
+];
+
+/// Hash-ordered collection types.
+const HASH_TOKENS: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Runs the rule.
+pub fn check(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for file in files {
+        if file.rel.starts_with("crates/lint/") {
+            continue;
+        }
+        let library_code = !file.is_test_or_example_file()
+            && (file.crate_dir().is_some() || file.rel.starts_with("src/"));
+        for (idx, line) in file.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            for token in TIME_TOKENS {
+                if token_match(line, token) {
+                    push(
+                        out,
+                        NAME,
+                        file,
+                        lineno,
+                        format!(
+                            "`{token}`: ambient time/entropy breaks seeded reproducibility — \
+                             draw from the scenario's ChaCha8 substreams, or allow with a \
+                             reason at a sanctioned timing site"
+                        ),
+                    );
+                }
+            }
+            if !library_code || file.is_test_line(lineno) {
+                continue;
+            }
+            for token in HASH_TOKENS {
+                if token_match(line, token) {
+                    push(
+                        out,
+                        NAME,
+                        file,
+                        lineno,
+                        format!(
+                            "`{token}` in deterministic library code: iteration order is \
+                             per-process random and can reach RNG draws, message order or \
+                             reports — use BTreeMap/BTreeSet (or allow with a reason proving \
+                             order never escapes)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(rel: &str, text: &str) -> Vec<Finding> {
+        let f = SourceFile::from_text(rel.into(), text);
+        let mut out = Vec::new();
+        check(&[f], &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_wall_clock_everywhere() {
+        assert_eq!(
+            run_on("crates/bench/src/x.rs", "let t = Instant::now();\n").len(),
+            1
+        );
+        assert_eq!(
+            run_on("tests/some_test.rs", "std::thread::sleep(d);\n").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn flags_hash_collections_in_library_code_only() {
+        let text = "use std::collections::HashMap;\n";
+        assert_eq!(run_on("crates/core/src/peer.rs", text).len(), 1);
+        assert!(run_on("tests/replication.rs", text).is_empty());
+        assert!(run_on("examples/quickstart.rs", text).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n  use std::collections::HashSet;\n}\n";
+        assert!(run_on("crates/types/src/seed.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_do_not_fire() {
+        assert!(run_on("crates/core/src/x.rs", "/// beats a HashMap here\n").is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! `forbid-unsafe` — every library crate rejects `unsafe` at the root.
+//!
+//! The whole tree is sans-IO safe Rust; `#![forbid(unsafe_code)]` in
+//! each crate root makes that machine-checked by the compiler itself.
+//! This rule keeps the attribute present: every `crates/*/src/lib.rs`
+//! and the facade `src/lib.rs` must carry it.
+
+use crate::report::Finding;
+use crate::rules::push;
+use crate::source::SourceFile;
+
+/// Rule name.
+pub const NAME: &str = "forbid-unsafe";
+
+/// Runs the rule.
+pub fn check(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for file in files {
+        let is_crate_root = file.rel == "src/lib.rs"
+            || (file.rel.starts_with("crates/")
+                && file.rel.ends_with("/src/lib.rs")
+                && file.rel.matches('/').count() == 3);
+        if !is_crate_root {
+            continue;
+        }
+        let has_forbid = file
+            .lines
+            .iter()
+            .any(|l| l.contains("#![forbid(unsafe_code)]"));
+        if !has_forbid {
+            push(
+                out,
+                NAME,
+                file,
+                0,
+                "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(rel: &str, text: &str) -> Vec<Finding> {
+        let f = SourceFile::from_text(rel.into(), text);
+        let mut out = Vec::new();
+        check(&[f], &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_missing_forbid_on_crate_roots() {
+        assert_eq!(run_on("crates/demo/src/lib.rs", "pub fn f() {}\n").len(), 1);
+        assert_eq!(run_on("src/lib.rs", "pub use x;\n").len(), 1);
+    }
+
+    #[test]
+    fn present_attribute_passes() {
+        let text = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert!(run_on("crates/demo/src/lib.rs", text).is_empty());
+    }
+
+    #[test]
+    fn non_roots_are_ignored() {
+        assert!(run_on("crates/demo/src/other.rs", "pub fn f() {}\n").is_empty());
+        assert!(run_on("crates/demo/tests/it.rs", "fn t() {}\n").is_empty());
+    }
+}

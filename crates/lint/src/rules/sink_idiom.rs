@@ -1,0 +1,93 @@
+//! `sink-idiom` — the allocation-free effect API.
+//!
+//! Node callbacks write into a reusable `rumor_net::EffectSink`; nothing
+//! returns `Vec<Effect>` (ROADMAP: "allocation-free round engine", PR 4).
+//! The rule flags (a) any function returning `Vec<Effect…>` anywhere,
+//! and (b) any `Vec<Effect…>` type mention in protocol crates
+//! (`core`, `baselines`, `pgrid`) outside tests — hot-path effect
+//! buffers are a regression even when not returned. The sink's own
+//! backing store in `rumor-net` is the one sanctioned `Vec<Effect>`.
+
+use crate::report::Finding;
+use crate::rules::push;
+use crate::source::SourceFile;
+
+/// Rule name.
+pub const NAME: &str = "sink-idiom";
+
+/// Crates whose non-test code may not mention `Vec<Effect` at all.
+const PROTOCOL_CRATES: [&str; 3] = ["core", "baselines", "pgrid"];
+
+/// Runs the rule.
+pub fn check(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for file in files {
+        if file.rel.starts_with("crates/lint/") {
+            continue;
+        }
+        let protocol_crate = file
+            .crate_dir()
+            .is_some_and(|c| PROTOCOL_CRATES.contains(&c))
+            && !file.is_test_or_example_file();
+        for (idx, line) in file.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if file.is_test_line(lineno) {
+                continue;
+            }
+            if line.contains("-> Vec<Effect") {
+                push(
+                    out,
+                    NAME,
+                    file,
+                    lineno,
+                    "function returns `Vec<Effect…>`: write effects into \
+                     `&mut EffectSink<_>` instead (allocation-free engine invariant)"
+                        .to_owned(),
+                );
+            } else if protocol_crate && line.contains("Vec<Effect") {
+                push(
+                    out,
+                    NAME,
+                    file,
+                    lineno,
+                    "`Vec<Effect…>` buffer in protocol code: effects flow through \
+                     `EffectSink`, not per-call vectors"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(rel: &str, text: &str) -> Vec<Finding> {
+        let f = SourceFile::from_text(rel.into(), text);
+        let mut out = Vec::new();
+        check(&[f], &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_vec_effect_return_anywhere() {
+        let found = run_on(
+            "crates/net/src/x.rs",
+            "fn on_message(&mut self) -> Vec<Effect<M>> {\n}\n",
+        );
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn flags_buffer_in_protocol_crate_only() {
+        let text = "let buf: Vec<Effect<M>> = Vec::new();\n";
+        assert_eq!(run_on("crates/core/src/x.rs", text).len(), 1);
+        assert!(run_on("crates/net/src/sink.rs", text).is_empty());
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let text = "#[cfg(test)]\nmod tests {\n  fn t() -> Vec<Effect<M>> { vec![] }\n}\n";
+        assert!(run_on("crates/core/src/x.rs", text).is_empty());
+    }
+}

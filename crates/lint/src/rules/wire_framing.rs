@@ -1,0 +1,88 @@
+//! `single-wire-framing` — one wire format.
+//!
+//! `rumor-wire` owns the 6-byte version/kind/length frame header;
+//! message sets implement `Encode`/`Decode` for their *payloads* and go
+//! through `encode_frame`/`decode_frame` (ROADMAP: "one wire format,
+//! two execution paths"). The rule flags header construction primitives
+//! — `Frame::new`, `Frame {`, `WIRE_VERSION`, `FRAME_HEADER_BYTES` —
+//! in non-test library code outside `crates/wire/`. Integration tests
+//! and examples may probe headers (the rejection matrices do).
+
+use crate::report::Finding;
+use crate::rules::{push, token_match};
+use crate::source::SourceFile;
+
+/// Rule name.
+pub const NAME: &str = "single-wire-framing";
+
+/// Tokens that mean "I am assembling or inspecting a frame header".
+const HEADER_TOKENS: [&str; 4] = [
+    "Frame::new",
+    "Frame {",
+    "WIRE_VERSION",
+    "FRAME_HEADER_BYTES",
+];
+
+/// Runs the rule.
+pub fn check(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for file in files {
+        if file.rel.starts_with("crates/wire/")
+            || file.rel.starts_with("crates/lint/")
+            || file.is_test_or_example_file()
+        {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if file.is_test_line(lineno) {
+                continue;
+            }
+            for token in HEADER_TOKENS {
+                if token_match(line, token) {
+                    push(
+                        out,
+                        NAME,
+                        file,
+                        lineno,
+                        format!(
+                            "`{token}` outside rumor-wire: frame headers are built only by \
+                             the wire crate — implement Encode/Decode and use \
+                             encode_frame/decode_frame"
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(rel: &str, text: &str) -> Vec<Finding> {
+        let f = SourceFile::from_text(rel.into(), text);
+        let mut out = Vec::new();
+        check(&[f], &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_header_construction_outside_wire() {
+        let found = run_on(
+            "crates/cluster/src/x.rs",
+            "let f = Frame::new(kind, len);\n",
+        );
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn wire_crate_and_tests_are_exempt() {
+        let text = "let v = WIRE_VERSION;\n";
+        assert!(run_on("crates/wire/src/frame.rs", text).is_empty());
+        assert!(run_on("tests/wire_roundtrip.rs", text).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests { use rumor_wire::FRAME_HEADER_BYTES; }\n";
+        assert!(run_on("crates/core/src/message.rs", in_test).is_empty());
+    }
+}

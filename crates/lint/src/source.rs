@@ -1,0 +1,478 @@
+//! Source loading and sanitising.
+//!
+//! The rules operate on *sanitised* lines: the raw text with every
+//! comment, string literal and char literal blanked to spaces (newlines
+//! preserved), so a pattern like `Instant::now` only matches real code —
+//! never prose in a doc comment or the lint's own pattern tables. During
+//! the same pass the scanner collects `// rumor-lint: allow(<rule>) --
+//! <reason>` suppression comments and the line spans of `#[cfg(test)]`
+//! items, which several rules exempt.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// An inline suppression comment: `// rumor-lint: allow(<rule>) -- <reason>`.
+///
+/// The reason is mandatory — an allow without one does not suppress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule being suppressed.
+    pub rule: String,
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// The stated justification.
+    pub reason: String,
+}
+
+/// One scanned source file: sanitised lines plus suppression and
+/// test-span metadata.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the lint root, `/`-separated.
+    pub rel: String,
+    /// Sanitised lines (1-based indexing via `line - 1`).
+    pub lines: Vec<String>,
+    /// Inline suppressions found in the file.
+    pub allows: Vec<Allow>,
+    /// 1-based inclusive line spans of `#[cfg(test)]` items.
+    test_spans: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Loads and sanitises `path`, recording it relative to `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file read error.
+    pub fn load(root: &Path, path: &Path) -> io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        Ok(Self::from_text(rel, &text))
+    }
+
+    /// Builds a `SourceFile` from in-memory text (used by the lint's own
+    /// tests).
+    pub fn from_text(rel: String, text: &str) -> Self {
+        let (sanitized, allows) = sanitize(text);
+        let lines: Vec<String> = sanitized.split('\n').map(str::to_owned).collect();
+        let test_spans = find_test_spans(&lines);
+        Self {
+            rel,
+            lines,
+            allows,
+            test_spans,
+        }
+    }
+
+    /// Whether the 1-based `line` falls inside a `#[cfg(test)]` item.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(start, end)| line >= start && line <= end)
+    }
+
+    /// The suppression covering `rule` at `line`, if any: an allow
+    /// comment trailing the same line, or alone on the line directly
+    /// above (a trailing allow never spills onto the next line).
+    pub fn allow_for(&self, rule: &str, line: usize) -> Option<&Allow> {
+        self.allows.iter().find(|a| {
+            a.rule == rule
+                && (a.line == line || (a.line + 1 == line && self.comment_only_line(a.line)))
+        })
+    }
+
+    /// Whether the 1-based `line` sanitises to pure whitespace, i.e. it
+    /// held only comments.
+    fn comment_only_line(&self, line: usize) -> bool {
+        self.lines
+            .get(line - 1)
+            .is_some_and(|l| l.trim().is_empty())
+    }
+
+    /// Whether the file lives under `crates/<name>/`; returns the crate
+    /// directory name.
+    pub fn crate_dir(&self) -> Option<&str> {
+        let mut parts = self.rel.split('/');
+        if parts.next() == Some("crates") {
+            parts.next()
+        } else {
+            None
+        }
+    }
+
+    /// Whether the file is non-library input: integration tests,
+    /// examples or benches (either at the root or inside a crate).
+    pub fn is_test_or_example_file(&self) -> bool {
+        let parts: Vec<&str> = self.rel.split('/').collect();
+        matches!(
+            parts.as_slice(),
+            ["tests" | "examples", ..] | ["crates", _, "tests" | "examples" | "benches", ..]
+        )
+    }
+}
+
+/// Blank comments and literals to spaces, preserving line structure, and
+/// collect `rumor-lint: allow(...)` comments on the way.
+fn sanitize(text: &str) -> (String, Vec<Allow>) {
+    let bytes = text.as_bytes();
+    let mut out = String::with_capacity(text.len());
+    let mut allows = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                out.push('\n');
+                line += 1;
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment: capture for allow parsing, blank it.
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+                if let Some(allow) = parse_allow(&text[start..i], line) {
+                    allows.push(allow);
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nested per Rust.
+                let mut depth = 1usize;
+                out.push_str("  ");
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if bytes[i] == b'\n' {
+                        out.push('\n');
+                        line += 1;
+                        i += 1;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+            'r' | 'b' if is_raw_string_start(bytes, i) => {
+                let (consumed, newlines) = skip_raw_string(bytes, i);
+                for _ in 0..consumed {
+                    out.push(' ');
+                }
+                for _ in 0..newlines {
+                    // Keep line structure: re-insert the newlines blanked
+                    // above (skip_raw_string counts them).
+                    line += 1;
+                }
+                // Replace the blanks covering newlines with real newlines.
+                truncate_and_renewline(&mut out, consumed, newlines, bytes, i);
+                i += consumed;
+            }
+            '"' => {
+                out.push(' ');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            out.push_str("  ");
+                            i += 2;
+                        }
+                        b'"' => {
+                            out.push(' ');
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            out.push('\n');
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => {
+                            out.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal vs lifetime. `'\...'` and `'x'` are
+                // literals; `'ident` (no closing quote right after) is a
+                // lifetime and passes through.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    out.push(' ');
+                    i += 1;
+                    // Skip escape body up to the closing quote.
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        out.push(' ');
+                        i += if bytes[i] == b'\\' { 2 } else { 1 };
+                    }
+                    if i < bytes.len() {
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    out.push_str("   ");
+                    i += 3;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    (out, allows)
+}
+
+/// Whether position `i` starts a raw (byte) string: `r"`, `r#`, `br"`,
+/// `br#`, `b"`.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(b'"' | b'#')),
+        b'b' => match bytes.get(i + 1) {
+            Some(b'"') => true,
+            Some(b'r') => matches!(bytes.get(i + 2), Some(b'"' | b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+    // A preceding identifier character would make this part of an ident
+    // (e.g. `attr`); callers only reach here from a fresh char, and the
+    // false-positive risk (an ident ending in `r` followed by `"` with no
+    // operator) does not occur in practice.
+}
+
+/// Consumes a raw/byte string starting at `i`; returns (consumed bytes,
+/// newlines inside).
+fn skip_raw_string(bytes: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i;
+    // Prefix: r, b, br, rb.
+    while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'"' {
+        // Not actually a string (e.g. `b'#'` weirdness): consume one byte.
+        return (1, 0);
+    }
+    j += 1;
+    let mut newlines = 0usize;
+    if hashes == 0 {
+        // Plain "..." (possibly a b"..."): honour escapes.
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'"' => {
+                    j += 1;
+                    break;
+                }
+                b'\n' => {
+                    newlines += 1;
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+    } else {
+        // Raw string: ends at `"` followed by `hashes` hashes.
+        while j < bytes.len() {
+            if bytes[j] == b'"'
+                && bytes[j + 1..].iter().take_while(|&&b| b == b'#').count() >= hashes
+            {
+                j += 1 + hashes;
+                break;
+            }
+            if bytes[j] == b'\n' {
+                newlines += 1;
+            }
+            j += 1;
+        }
+    }
+    (j - i, newlines)
+}
+
+/// Fixes up the blanks just pushed for a raw string so the newlines it
+/// contained stay newlines in the sanitised text.
+fn truncate_and_renewline(
+    out: &mut String,
+    consumed: usize,
+    newlines: usize,
+    bytes: &[u8],
+    i: usize,
+) {
+    if newlines == 0 {
+        return;
+    }
+    out.truncate(out.len() - consumed);
+    for &b in &bytes[i..i + consumed] {
+        out.push(if b == b'\n' { '\n' } else { ' ' });
+    }
+}
+
+/// Parses a `rumor-lint: allow(<rule>) -- <reason>` comment.
+fn parse_allow(comment: &str, line: usize) -> Option<Allow> {
+    let idx = comment.find("rumor-lint:")?;
+    let rest = comment[idx + "rumor-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_owned();
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix("--")?.trim().to_owned();
+    if rule.is_empty() || reason.is_empty() {
+        return None;
+    }
+    Some(Allow { rule, line, reason })
+}
+
+/// Finds 1-based inclusive line spans of `#[cfg(test)]` items by brace
+/// matching from the attribute to the close of the item it decorates.
+fn find_test_spans(lines: &[String]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (idx, l) in lines.iter().enumerate() {
+        if !l.contains("#[cfg(test)]") {
+            continue;
+        }
+        let start = idx + 1;
+        // Scan forward for the first `{`, then match braces.
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut end = lines.len();
+        'outer: for (j, body) in lines.iter().enumerate().skip(idx) {
+            for c in body.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    // An attribute on a braceless item (`#[cfg(test)]
+                    // use ...;`) ends at the first semicolon before any
+                    // brace opens.
+                    ';' if !opened => {
+                        end = j + 1;
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+                if opened && depth == 0 {
+                    end = j + 1;
+                    break 'outer;
+                }
+            }
+        }
+        spans.push((start, end));
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(text: &str) -> SourceFile {
+        SourceFile::from_text("crates/demo/src/lib.rs".into(), text)
+    }
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let f = sf("let x = \"Instant::now\"; // Instant::now\nInstant::now();\n");
+        assert!(!f.lines[0].contains("Instant::now"));
+        assert!(f.lines[1].contains("Instant::now"));
+    }
+
+    #[test]
+    fn block_comments_preserve_line_numbers() {
+        let f = sf("/* a\n b\n c */\nHashMap\n");
+        assert!(f.lines[3].contains("HashMap"));
+        assert_eq!(f.lines.len(), 5);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = sf("/* outer /* inner */ still comment */ code()\n");
+        assert!(f.lines[0].contains("code()"));
+        assert!(!f.lines[0].contains("outer"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked_with_lines_kept() {
+        let f = sf("let s = r#\"one\ntwo HashMap\"#;\nafter\n");
+        assert!(!f.lines[1].contains("HashMap"));
+        assert!(f.lines[2].contains("after"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let f = sf("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }\n");
+        assert!(f.lines[0].contains("'a"));
+        assert!(!f.lines[0].contains("'x'"));
+    }
+
+    #[test]
+    fn allow_comment_parsed_with_reason() {
+        let f = sf("foo(); // rumor-lint: allow(determinism) -- bench timing\n");
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].rule, "determinism");
+        assert_eq!(f.allows[0].reason, "bench timing");
+        assert!(f.allow_for("determinism", 1).is_some());
+        assert!(f.allow_for("sink-idiom", 1).is_none());
+    }
+
+    #[test]
+    fn allow_without_reason_is_ignored() {
+        let f = sf("foo(); // rumor-lint: allow(determinism)\n");
+        assert!(f.allows.is_empty());
+    }
+
+    #[test]
+    fn allow_on_previous_line_covers_next() {
+        let f = sf("// rumor-lint: allow(determinism) -- fixture\nfoo();\n");
+        assert!(f.allow_for("determinism", 2).is_some());
+        assert!(f.allow_for("determinism", 3).is_none());
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_mod() {
+        let f = sf("fn real() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn after() {}\n");
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn crate_dir_and_input_kind() {
+        let f = SourceFile::from_text("crates/core/src/peer.rs".into(), "");
+        assert_eq!(f.crate_dir(), Some("core"));
+        assert!(!f.is_test_or_example_file());
+        let t = SourceFile::from_text("tests/engine_parity.rs".into(), "");
+        assert_eq!(t.crate_dir(), None);
+        assert!(t.is_test_or_example_file());
+        let b = SourceFile::from_text("crates/bench/benches/micro.rs".into(), "");
+        assert!(b.is_test_or_example_file());
+    }
+}

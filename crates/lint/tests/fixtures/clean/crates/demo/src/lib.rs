@@ -1,0 +1,31 @@
+#![forbid(unsafe_code)]
+
+//! Clean fixture: deterministic collections, no orchestration loops, and
+//! one *suppressed* violation demonstrating the allow grammar.
+
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, usize> {
+    let mut out = BTreeMap::new();
+    for x in xs {
+        *out.entry(*x).or_insert(0) += 1;
+    }
+    out
+}
+
+pub fn sanctioned_stamp() -> std::time::Instant {
+    // rumor-lint: allow(determinism) -- fixture demonstrating a sanctioned timing site
+    std::time::Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only hash state is exempt by rule, no allow needed.
+    use std::collections::HashSet;
+
+    #[test]
+    fn distinct() {
+        let s: HashSet<u32> = [1, 2, 2].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

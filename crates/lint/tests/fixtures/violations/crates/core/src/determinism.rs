@@ -1,0 +1,13 @@
+// determinism violations: ambient wall-clock plus a hash-ordered map in
+// library code.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn tally() -> HashMap<u32, u32> {
+    HashMap::new()
+}

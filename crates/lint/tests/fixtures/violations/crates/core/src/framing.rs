@@ -1,0 +1,15 @@
+// single-wire-framing violation: frame-header construction outside
+// crates/wire.
+
+pub fn frame_by_hand(kind: u8, len: u32) -> (u8, u32) {
+    let header = Frame::new(kind, len);
+    (header.0, header.1)
+}
+
+pub struct Frame(pub u8, pub u32);
+
+impl Frame {
+    pub fn new(kind: u8, len: u32) -> Self {
+        Frame(kind, len)
+    }
+}

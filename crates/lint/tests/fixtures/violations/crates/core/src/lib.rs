@@ -1,0 +1,7 @@
+// forbid-unsafe violation: this crate root carries no
+// `#![forbid(unsafe_code)]` attribute.
+
+mod determinism;
+mod framing;
+mod round_loop;
+mod sink;

@@ -1,0 +1,9 @@
+// single-round-loop violation: a trial loop outside rumor-sim.
+
+pub fn replicate(n: usize) -> usize {
+    let mut acc = 0;
+    for trial in 0..n {
+        acc += trial;
+    }
+    acc
+}

@@ -1,0 +1,8 @@
+// sink-idiom violation: a callback returning `Vec<Effect<_>>` instead of
+// writing into an `EffectSink`.
+
+pub struct Effect<M>(pub M);
+
+pub fn on_message(m: u8) -> Vec<Effect<u8>> {
+    vec![Effect(m)]
+}

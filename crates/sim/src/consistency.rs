@@ -30,7 +30,7 @@ pub fn awareness(peers: &[ReplicaPeer], online: Option<&OnlineSet>, update: Upda
 /// Fraction of (online) peers whose store digest equals the digest of the
 /// majority — the paper's quasi-consistency measure once gossip quiesces.
 pub fn consistency_fraction(peers: &[ReplicaPeer], online: Option<&OnlineSet>) -> f64 {
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     let digests: Vec<_> = peers
         .iter()
         .enumerate()
@@ -42,7 +42,7 @@ pub fn consistency_fraction(peers: &[ReplicaPeer], online: Option<&OnlineSet>) -
     if digests.is_empty() {
         return 0.0;
     }
-    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
     for d in &digests {
         // Digest equality via a canonical rendering keeps the map simple.
         let key = format!("{d:?}");

@@ -1,0 +1,74 @@
+//! Tier-1 architecture gate: the rumor-lint pass must come back clean
+//! over this very tree.
+//!
+//! This is the "invariants are executable" contract from the ROADMAP: a
+//! change that re-grows a round loop outside `rumor-sim`, returns
+//! `Vec<Effect>`, builds frame headers outside `rumor-wire`, reaches for
+//! ambient time/entropy or hash-ordered state, reverses a crate-graph
+//! edge, or drops `#![forbid(unsafe_code)]` fails `cargo test` — not
+//! code review.
+
+use std::path::Path;
+
+use rumor_lint::report::Report;
+use rumor_lint::rules::RULE_NAMES;
+
+fn workspace_report() -> Report {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    rumor_lint::lint_workspace(root).expect("lint pass walks the workspace")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = workspace_report();
+    assert!(
+        report.is_clean(),
+        "rumor-lint found unsuppressed violations:\n{}",
+        report.render_table(&RULE_NAMES)
+    );
+}
+
+#[test]
+fn lint_actually_scanned_the_tree() {
+    let report = workspace_report();
+    // Guard against a silently empty walk: the workspace has 13 library
+    // crates plus the facade, and well over a hundred sources.
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned",
+        report.files_scanned
+    );
+    assert!(
+        report.manifests_checked >= 14,
+        "only {} manifests checked",
+        report.manifests_checked
+    );
+}
+
+#[test]
+fn every_suppression_carries_a_reason() {
+    let report = workspace_report();
+    for s in &report.suppressed {
+        assert!(
+            !s.reason.trim().is_empty(),
+            "{}:{} suppresses {} without a reason",
+            s.file,
+            s.line,
+            s.rule
+        );
+        assert!(
+            RULE_NAMES.contains(&s.rule.as_str()),
+            "{}:{} suppresses unknown rule {:?}",
+            s.file,
+            s.line,
+            s.rule
+        );
+    }
+}
+
+#[test]
+fn live_report_round_trips_through_json() {
+    let report = workspace_report();
+    let parsed = Report::from_json(&report.to_json()).expect("schema-valid JSON");
+    assert_eq!(parsed, report);
+}
