@@ -1,7 +1,8 @@
 //! Mounting a [`Scenario`] + [`Protocol`] into a live cluster.
 
+use crate::byzantine::{byzantine_seed, select_byzantine, ByzantineState};
 use crate::cell::{DelaySpec, NodeCell};
-use crate::fault::FaultSpec;
+use crate::fault::{FaultError, FaultSpec};
 use crate::threaded::ThreadedCluster;
 use crate::virtual_time::VirtualCluster;
 use rumor_churn::OnlineSet;
@@ -55,10 +56,16 @@ impl<'a> ClusterBuilder<'a> {
         }
     }
 
-    /// Installs a crash/restart plan.
-    pub fn faults(mut self, spec: FaultSpec) -> Self {
-        self.faults = spec;
-        self
+    /// Installs a crash/restart (and optionally Byzantine) fault plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FaultError`] from [`FaultSpec::validate`] when any
+    /// rate or fraction is not a probability or the restart gap is zero
+    /// — bad plans are rejected at build time, not silently run.
+    pub fn faults(mut self, spec: FaultSpec) -> Result<Self, FaultError> {
+        self.faults = spec.validate()?;
+        Ok(self)
     }
 
     /// Installs an extra-delivery-delay plan.
@@ -92,32 +99,46 @@ impl<'a> ClusterBuilder<'a> {
 /// Spawns the scenario's node population into cells: one node per peer
 /// (same topology row and round-0 availability the driver would hand
 /// out) with per-node RNG substreams derived under the `"cluster/node"`
-/// and `"cluster/link"` namespaces.
+/// and `"cluster/link"` namespaces. The fault plan's Byzantine fraction
+/// is selected here (its own `"cluster/byzantine"` substream — zero
+/// draws when empty) and mounted on the chosen cells; the returned flag
+/// vector records who is adversarial.
 pub(crate) fn build_cells<P: Protocol>(
     scenario: &Scenario,
     protocol: &P,
     online: &OnlineSet,
+    faults: &FaultSpec,
     delay: DelaySpec,
-) -> Vec<NodeCell<P::Node>>
+) -> (Vec<NodeCell<P::Node>>, Vec<bool>)
 where
     <P::Node as Node>::Msg: Encode + Decode,
 {
     let mut node_seeds = SeedSequence::new(scenario.seed(), "cluster/node");
     let mut link_seeds = SeedSequence::new(scenario.seed(), "cluster/link");
-    scenario
+    let flags = select_byzantine(scenario.seed(), scenario.population(), &faults.byzantine);
+    let cells = scenario
         .adjacency()
         .into_iter()
         .enumerate()
         .map(|(i, known)| {
             let id = PeerId::new(i as u32);
             let node = protocol.spawn(id, known, online.is_online(id));
-            NodeCell::new(
+            let mut cell = NodeCell::new(
                 id,
                 node,
                 node_seeds.next_seed(),
                 link_seeds.next_seed(),
                 delay,
-            )
+            );
+            if flags[i] {
+                cell.set_byzantine(ByzantineState::new(
+                    faults.byzantine.behaviour,
+                    byzantine_seed(scenario.seed(), i as u64),
+                    protocol.byzantine_liar(),
+                ));
+            }
+            cell
         })
-        .collect()
+        .collect();
+    (cells, flags)
 }

@@ -8,6 +8,7 @@
 //! message crosses the node boundary as a `rumor-wire` frame, encoded at
 //! send and strictly decoded at delivery.
 
+use crate::byzantine::{ByzantineState, TamperedFrame};
 use bytes::Bytes;
 use rand::Rng;
 use rand::SeedableRng;
@@ -77,6 +78,9 @@ pub(crate) struct CellStats {
     pub lost_offline: u64,
     pub lost_fault: u64,
     pub decode_errors: u64,
+    /// Sends this cell's Byzantine layer tampered with (lied, replayed
+    /// or corrupted). Always 0 on an honest cell.
+    pub tampered: u64,
 }
 
 impl CellStats {
@@ -101,6 +105,7 @@ pub(crate) struct NodeCell<N: Node> {
     sink: EffectSink<N::Msg>,
     pub stats: CellStats,
     delay: DelaySpec,
+    byz: Option<ByzantineState<N::Msg>>,
     retained_scratch: Vec<Envelope>,
     due_scratch: Vec<(u32, u64)>,
 }
@@ -124,9 +129,16 @@ where
             sink: EffectSink::new(),
             stats: CellStats::default(),
             delay,
+            byz: None,
             retained_scratch: Vec::new(),
             due_scratch: Vec::new(),
         }
+    }
+
+    /// Mounts adversarial behaviour on this cell: from now on every
+    /// outgoing message passes through the Byzantine tamper layer.
+    pub fn set_byzantine(&mut self, state: ByzantineState<N::Msg>) {
+        self.byz = Some(state);
     }
 
     /// Frames queued (not yet delivered or dropped).
@@ -154,7 +166,20 @@ where
         for effect in self.sink.drain() {
             match effect {
                 Effect::Send { to, msg } => {
-                    let frame = encode_frame(&msg);
+                    let (frame, replay) = match self.byz.as_mut() {
+                        None => (encode_frame(&msg), None),
+                        Some(byz) => {
+                            let decision = byz.tamper(msg, encode_frame);
+                            if decision.tampered {
+                                self.stats.tampered += 1;
+                            }
+                            let frame = match decision.outgoing {
+                                TamperedFrame::Message(m) => encode_frame(&m),
+                                TamperedFrame::Raw(raw) => raw,
+                            };
+                            (frame, decision.replay)
+                        }
+                    };
                     self.stats.sent += 1;
                     self.stats.bytes_sent += frame.len() as u64;
                     dispatch(
@@ -166,6 +191,19 @@ where
                             frame,
                         },
                     );
+                    if let Some(stale) = replay {
+                        self.stats.sent += 1;
+                        self.stats.bytes_sent += stale.len() as u64;
+                        dispatch(
+                            to,
+                            Envelope {
+                                from: self.id,
+                                deliver_from,
+                                delay_resolved: false,
+                                frame: stale,
+                            },
+                        );
+                    }
                 }
                 Effect::Timer { delay, tag } => {
                     let fire = now.saturating_add(delay as u32).max(timer_floor);
@@ -290,6 +328,11 @@ where
                 Ok(msg) => {
                     self.stats.delivered += 1;
                     self.stats.bytes_delivered += env.frame.len() as u64;
+                    if let Some(byz) = self.byz.as_mut() {
+                        if byz.replays() {
+                            byz.remember(&env.frame);
+                        }
+                    }
                     self.node
                         .on_message(env.from, msg, r, &mut self.rng, &mut self.sink);
                     self.drain_effects(round, round + 1, round + 1, dispatch);
@@ -543,5 +586,137 @@ mod tests {
             c.tick(round, true, &PerfectLinks, &mut drop_dispatch);
         }
         assert_eq!(c.stats.delivered, 8, "every frame eventually arrives");
+    }
+
+    #[test]
+    fn every_corruption_class_counts_a_decode_error_and_the_cell_survives() {
+        use rumor_wire::{garbage_frame, FrameCorruption};
+        let clean = encode_frame(&Num(5));
+        let bad_frames: Vec<Bytes> = vec![
+            FrameCorruption::Truncate { keep: 3 }.apply(&clean),
+            FrameCorruption::BumpVersion.apply(&clean),
+            FrameCorruption::ForgeKind { kind: 0xEE }.apply(&clean),
+            FrameCorruption::InflateLength { extra: 9 }.apply(&clean),
+            FrameCorruption::FlipByte { index: 0 }.apply(&clean),
+            garbage_frame(16, 0xAB),
+        ];
+        let total = bad_frames.len() as u64;
+        let mut c = cell(0);
+        for frame in bad_frames {
+            c.inbox.push_back(Envelope {
+                from: PeerId::new(1),
+                deliver_from: 1,
+                delay_resolved: false,
+                frame,
+            });
+        }
+        c.inbox.push_back(envelope(1, 1, 9));
+        c.tick(1, true, &PerfectLinks, &mut |_, _| {});
+        assert_eq!(c.stats.decode_errors, total, "each bad frame is counted");
+        assert_eq!(c.stats.delivered, 1, "the clean frame still delivers");
+        assert_eq!(c.node.received, vec![(PeerId::new(1), 9)]);
+        assert_eq!(
+            c.stats.consumed(),
+            total + 1,
+            "rejects balance the in-flight ledger"
+        );
+    }
+
+    use crate::byzantine::{ByzantineBehaviour, ByzantineState};
+
+    #[test]
+    fn digest_liar_rewrites_outgoing_messages() {
+        let mut c = cell(0);
+        let liar: rumor_sim::MsgTamper<Num> = |msg| match msg {
+            Num(0) => None,
+            Num(_) => Some(Num(0)),
+        };
+        c.set_byzantine(ByzantineState::new(
+            ByzantineBehaviour::DigestLie,
+            9,
+            Some(liar),
+        ));
+        let mut out = Vec::new();
+        c.initiate(
+            0,
+            |_node, _rng, sink| sink.send(PeerId::new(1), Num(7)),
+            &mut |to, env| out.push((to, env)),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(decode_frame::<Num>(&out[0].1.frame).unwrap(), Num(0));
+        assert_eq!(c.stats.tampered, 1);
+    }
+
+    #[test]
+    fn corrupt_frames_member_emits_undecodable_frames() {
+        let mut c = cell(0);
+        c.set_byzantine(ByzantineState::new(
+            ByzantineBehaviour::CorruptFrames,
+            5,
+            None,
+        ));
+        let mut out = Vec::new();
+        c.initiate(
+            0,
+            |_node, _rng, sink| sink.send(PeerId::new(1), Num(3)),
+            &mut |to, env| out.push((to, env)),
+        );
+        assert_eq!(out.len(), 1);
+        assert!(decode_frame::<Num>(&out[0].1.frame).is_err());
+        assert_eq!(c.stats.tampered, 1);
+        assert_eq!(c.stats.sent, 1);
+        assert_eq!(c.stats.bytes_sent, out[0].1.frame.len() as u64);
+    }
+
+    #[test]
+    fn stale_replay_member_reinjects_remembered_frames() {
+        let mut c = cell(0);
+        c.set_byzantine(ByzantineState::new(
+            ByzantineBehaviour::StaleReplay,
+            11,
+            None,
+        ));
+        let mut out = Vec::new();
+        c.initiate(
+            0,
+            |_node, _rng, sink| sink.send(PeerId::new(1), Num(1)),
+            &mut |to, env| out.push((to, env)),
+        );
+        assert_eq!(out.len(), 1, "nothing to replay yet");
+        assert_eq!(c.stats.tampered, 0);
+        c.initiate(
+            1,
+            |_node, _rng, sink| sink.send(PeerId::new(2), Num(2)),
+            &mut |to, env| out.push((to, env)),
+        );
+        assert_eq!(out.len(), 3, "second send carries a stale replay");
+        assert_eq!(c.stats.tampered, 1);
+        assert_eq!(c.stats.sent, 3, "replays count as sends");
+        let replayed = decode_frame::<Num>(&out[2].1.frame).unwrap();
+        assert!(
+            replayed == Num(1) || replayed == Num(2),
+            "replay is a real old frame"
+        );
+    }
+
+    #[test]
+    fn replaying_member_remembers_delivered_frames_too() {
+        let mut c = cell(0);
+        c.set_byzantine(ByzantineState::new(
+            ByzantineBehaviour::StaleReplay,
+            13,
+            None,
+        ));
+        c.inbox.push_back(envelope(1, 1, 0));
+        c.tick(1, true, &PerfectLinks, &mut |_, _| {});
+        assert_eq!(c.stats.delivered, 1);
+        let mut out = Vec::new();
+        c.initiate(
+            1,
+            |_node, _rng, sink| sink.send(PeerId::new(2), Num(4)),
+            &mut |to, env| out.push((to, env)),
+        );
+        assert_eq!(out.len(), 2, "first send already has ammunition to replay");
+        assert_eq!(c.stats.tampered, 1);
     }
 }

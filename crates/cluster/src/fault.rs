@@ -9,6 +9,7 @@
 //! one dedicated ChaCha8 substream, so a crash schedule replays
 //! identically in virtual-time and threaded modes.
 
+use crate::byzantine::ByzantineSpec;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -16,13 +17,23 @@ use rumor_types::PeerId;
 
 /// Crash/restart plan: per round, with probability `crash_rate`, one
 /// uniformly chosen node crashes (no-op if the pick is already down) and
-/// comes back `restart_after` rounds later.
+/// comes back `restart_after` rounds later. The optional
+/// [`ByzantineSpec`] additionally mounts a seeded fraction of the
+/// population as adversarial members.
+///
+/// A spec is *validated* when a cluster is built
+/// ([`ClusterBuilder::faults`](crate::ClusterBuilder::faults) calls
+/// [`FaultSpec::validate`]): a NaN, negative or greater-than-one rate or
+/// fraction, or a zero restart gap, is a typed [`FaultError`] instead of
+/// a silently misbehaving run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultSpec {
     /// Per-round probability that a crash is attempted.
     pub crash_rate: f64,
-    /// Rounds a crashed node stays down before its restart.
+    /// Rounds a crashed node stays down before its restart (≥ 1).
     pub restart_after: u32,
+    /// The adversarial population slice (disabled by default).
+    pub byzantine: ByzantineSpec,
 }
 
 impl Default for FaultSpec {
@@ -30,9 +41,75 @@ impl Default for FaultSpec {
         Self {
             crash_rate: 0.0,
             restart_after: 5,
+            byzantine: ByzantineSpec::default(),
         }
     }
 }
+
+impl FaultSpec {
+    /// Checks every parameter, returning the spec unchanged when sound.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::CrashRate`] when `crash_rate` is NaN, negative or
+    /// above `1.0`; [`FaultError::RestartAfter`] when `restart_after`
+    /// is `0` (a crash that never keeps the node down is a schedule
+    /// bug, not a fault plan); [`FaultError::ByzantineFraction`] when
+    /// the Byzantine fraction is NaN, negative or above `1.0`.
+    pub fn validate(self) -> Result<Self, FaultError> {
+        if !(0.0..=1.0).contains(&self.crash_rate) {
+            return Err(FaultError::CrashRate {
+                value: self.crash_rate,
+            });
+        }
+        if self.restart_after == 0 {
+            return Err(FaultError::RestartAfter);
+        }
+        if !(0.0..=1.0).contains(&self.byzantine.fraction) {
+            return Err(FaultError::ByzantineFraction {
+                value: self.byzantine.fraction,
+            });
+        }
+        Ok(self)
+    }
+}
+
+/// A rejected [`FaultSpec`] parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultError {
+    /// `crash_rate` is not a probability (NaN, negative or > 1).
+    CrashRate {
+        /// The offending value.
+        value: f64,
+    },
+    /// `restart_after` is zero.
+    RestartAfter,
+    /// The Byzantine fraction is not a probability (NaN, negative
+    /// or > 1).
+    ByzantineFraction {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::CrashRate { value } => {
+                write!(f, "crash_rate must be a probability in [0, 1], got {value}")
+            }
+            Self::RestartAfter => {
+                write!(f, "restart_after must be at least 1 round")
+            }
+            Self::ByzantineFraction { value } => write!(
+                f,
+                "byzantine.fraction must be a probability in [0, 1], got {value}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
 
 /// The fault decisions for one round, in application order: restarts
 /// first (a node crashed earlier comes back), then at most one new crash.
@@ -116,6 +193,7 @@ mod tests {
         let spec = FaultSpec {
             crash_rate: 1.0,
             restart_after: 3,
+            ..FaultSpec::default()
         };
         let mut inj = FaultInjector::new(spec, 7, 4);
         let events = inj.step(0);
@@ -139,6 +217,7 @@ mod tests {
         let spec = FaultSpec {
             crash_rate: 0.4,
             restart_after: 2,
+            ..FaultSpec::default()
         };
         let run = || {
             let mut inj = FaultInjector::new(spec, 42, 16);
@@ -152,6 +231,7 @@ mod tests {
         let spec = FaultSpec {
             crash_rate: 1.0,
             restart_after: 100,
+            ..FaultSpec::default()
         };
         let mut inj = FaultInjector::new(spec, 3, 1); // single node
         assert!(inj.step(0).crash.is_some());
@@ -159,5 +239,78 @@ mod tests {
             assert_eq!(inj.step(round).crash, None, "round {round}");
         }
         assert_eq!(inj.crashes, 1);
+    }
+
+    #[test]
+    fn sound_specs_validate_unchanged() {
+        for spec in [
+            FaultSpec::default(),
+            FaultSpec {
+                crash_rate: 1.0,
+                restart_after: 1,
+                ..FaultSpec::default()
+            },
+            FaultSpec {
+                byzantine: crate::ByzantineSpec {
+                    fraction: 1.0,
+                    behaviour: crate::ByzantineBehaviour::DigestLie,
+                },
+                ..FaultSpec::default()
+            },
+        ] {
+            assert_eq!(spec.validate(), Ok(spec));
+        }
+    }
+
+    #[test]
+    fn bad_crash_rates_are_typed_errors() {
+        for bad in [f64::NAN, -0.01, 1.01, f64::INFINITY, f64::NEG_INFINITY] {
+            let spec = FaultSpec {
+                crash_rate: bad,
+                ..FaultSpec::default()
+            };
+            assert!(
+                matches!(spec.validate(), Err(FaultError::CrashRate { .. })),
+                "crash_rate {bad} slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_restart_gap_is_rejected() {
+        let spec = FaultSpec {
+            restart_after: 0,
+            ..FaultSpec::default()
+        };
+        assert_eq!(spec.validate(), Err(FaultError::RestartAfter));
+    }
+
+    #[test]
+    fn bad_byzantine_fractions_are_typed_errors() {
+        for bad in [f64::NAN, -1.0, 1.5] {
+            let spec = FaultSpec {
+                byzantine: crate::ByzantineSpec {
+                    fraction: bad,
+                    ..crate::ByzantineSpec::default()
+                },
+                ..FaultSpec::default()
+            };
+            assert!(
+                matches!(spec.validate(), Err(FaultError::ByzantineFraction { .. })),
+                "fraction {bad} slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_errors_render_the_offending_value() {
+        let err = FaultSpec {
+            crash_rate: 2.0,
+            ..FaultSpec::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("2"));
+        assert!(FaultError::RestartAfter.to_string().contains("at least 1"));
     }
 }

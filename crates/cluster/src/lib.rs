@@ -32,6 +32,13 @@
 //! graceful shutdown are built in: [`ThreadedCluster::finish`] stops
 //! every thread, reclaims node state and folds a [`ClusterReport`].
 //!
+//! A fault plan can additionally mount a seeded fraction of the
+//! population as *Byzantine* members ([`ByzantineSpec`]): replicas that
+//! keep running the real protocol but lie at the wire boundary — empty
+//! pull digests, stale-frame replays, corrupt frames (see
+//! [`ByzantineBehaviour`]). Both runtime modes host them; `rumor-fuzz`
+//! sweeps them against the convergence oracle.
+//!
 //! # Examples
 //!
 //! ```
@@ -51,7 +58,7 @@
 //!     .staleness_rounds(6)
 //!     .build()?;
 //! let mut cluster = ClusterBuilder::new(&scenario)
-//!     .faults(FaultSpec { crash_rate: 0.1, restart_after: 3 })
+//!     .faults(FaultSpec { crash_rate: 0.1, restart_after: 3, ..FaultSpec::default() })?
 //!     .virtual_time(PaperProtocol::new(config));
 //! let event = UpdateEvent { round: 0, key: DataKey::from_name("motd"), delete: false, sequence: 0 };
 //! let update = cluster.initiate(&event).expect("someone online");
@@ -67,6 +74,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod byzantine;
 mod cell;
 mod fault;
 mod report;
@@ -74,8 +82,9 @@ mod threaded;
 mod virtual_time;
 
 pub use builder::ClusterBuilder;
+pub use byzantine::{ByzantineBehaviour, ByzantineSpec};
 pub use cell::DelaySpec;
-pub use fault::FaultSpec;
+pub use fault::{FaultError, FaultSpec};
 pub use report::ClusterReport;
 pub use threaded::ThreadedCluster;
 pub use virtual_time::VirtualCluster;

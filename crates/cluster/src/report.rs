@@ -30,6 +30,8 @@ pub struct ClusterReport {
     pub lost_fault: u64,
     /// Frames that failed strict decoding (0 in a healthy cluster).
     pub decode_errors: u64,
+    /// Sends the Byzantine members tampered with (0 without adversaries).
+    pub frames_tampered: u64,
     /// Node crashes injected.
     pub crashes: u64,
     /// Node restarts performed.
@@ -42,6 +44,8 @@ pub struct ClusterReport {
     pub converged_round: Option<u32>,
     /// Every aware replica (offline included), sorted ascending.
     pub aware_set: Vec<PeerId>,
+    /// Replicas mounted as Byzantine members.
+    pub byzantine: usize,
 }
 
 /// Run-level context a report is folded from (both runtime modes fold
@@ -56,6 +60,7 @@ pub(crate) struct RunOutcome {
     pub aware_online: usize,
     pub converged_round: Option<u32>,
     pub aware_set: Vec<PeerId>,
+    pub byzantine: usize,
 }
 
 impl ClusterReport {
@@ -73,12 +78,14 @@ impl ClusterReport {
             lost_offline: 0,
             lost_fault: 0,
             decode_errors: 0,
+            frames_tampered: 0,
             crashes: outcome.crashes,
             restarts: outcome.restarts,
             online: outcome.online,
             aware_online: outcome.aware_online,
             converged_round: outcome.converged_round,
             aware_set: outcome.aware_set,
+            byzantine: outcome.byzantine,
         };
         for cell in stats {
             report.frames_sent += cell.sent;
@@ -88,6 +95,7 @@ impl ClusterReport {
             report.lost_offline += cell.lost_offline;
             report.lost_fault += cell.lost_fault;
             report.decode_errors += cell.decode_errors;
+            report.frames_tampered += cell.tampered;
         }
         report
     }
@@ -125,12 +133,14 @@ mod tests {
             lost_offline: 1,
             lost_fault: 0,
             decode_errors: 0,
+            frames_tampered: 0,
             crashes: 1,
             restarts: 1,
             online: 8,
             aware_online: 6,
             converged_round: None,
             aware_set: vec![PeerId::new(0)],
+            byzantine: 0,
         }
     }
 

@@ -174,6 +174,7 @@ where
     churn_rng: ChaCha8Rng,
     ctrl_rng: ChaCha8Rng,
     faults: FaultInjector,
+    byzantine: Vec<bool>,
     /// Latest per-worker Done snapshot (stats are cumulative).
     snapshots: Vec<DoneReport>,
     rounds_run: u32,
@@ -207,7 +208,8 @@ where
         delay: DelaySpec,
     ) -> Self {
         let online = scenario.initial_online_set();
-        let cells = crate::builder::build_cells(scenario, &protocol, &online, delay);
+        let (cells, byzantine) =
+            crate::builder::build_cells(scenario, &protocol, &online, &faults, delay);
         let population = cells.len();
         let protocol = Arc::new(protocol);
         let filter: Arc<dyn LinkFilter + Send + Sync> = Arc::from(scenario.link_filter());
@@ -235,6 +237,7 @@ where
                 derive_seed(scenario.seed(), "cluster/fault"),
                 population,
             ),
+            byzantine,
             snapshots: vec![
                 DoneReport {
                     stats: CellStats::default(),
@@ -294,6 +297,11 @@ where
 
     fn effective_online(&self, peer: PeerId) -> bool {
         self.online.is_online(peer) && !self.faults.is_down(peer)
+    }
+
+    /// Whether `peer` was mounted as a Byzantine member.
+    pub fn is_byzantine(&self, peer: PeerId) -> bool {
+        self.byzantine.get(peer.index()).copied().unwrap_or(false)
     }
 
     /// Frames handed to the transport so far (per the last barrier).
@@ -509,6 +517,7 @@ where
                 aware_online,
                 converged_round: self.converged_round,
                 aware_set,
+                byzantine: self.byzantine.iter().filter(|&&f| f).count(),
             },
             cells.iter().map(|c| &c.stats),
         )

@@ -35,6 +35,7 @@ where
     ctrl_rng: ChaCha8Rng,
     filter: Box<dyn LinkFilter + Send + Sync>,
     faults: FaultInjector,
+    byzantine: Vec<bool>,
     rounds_run: u32,
     converged_round: Option<u32>,
     staged: Vec<(PeerId, Envelope)>,
@@ -63,7 +64,8 @@ where
         delay: DelaySpec,
     ) -> Self {
         let online = scenario.initial_online_set();
-        let cells = crate::builder::build_cells(scenario, &protocol, &online, delay);
+        let (cells, byzantine) =
+            crate::builder::build_cells(scenario, &protocol, &online, &faults, delay);
         let population = cells.len();
         Self {
             protocol,
@@ -78,6 +80,7 @@ where
                 derive_seed(scenario.seed(), "cluster/fault"),
                 population,
             ),
+            byzantine,
             rounds_run: 0,
             converged_round: None,
             staged: Vec::new(),
@@ -103,6 +106,25 @@ where
 
     fn effective_online(&self, peer: PeerId) -> bool {
         self.online.is_online(peer) && !self.faults.is_down(peer)
+    }
+
+    /// Whether `peer` was mounted as a Byzantine member.
+    pub fn is_byzantine(&self, peer: PeerId) -> bool {
+        self.byzantine.get(peer.index()).copied().unwrap_or(false)
+    }
+
+    /// Read access to `peer`'s protocol node (for external oracles that
+    /// inspect replica state, e.g. the chaos fuzzer's convergence check).
+    pub fn node(&self, peer: PeerId) -> &P::Node {
+        &self.cells[peer.index()].node
+    }
+
+    /// Peers that are churn-online and not crashed right now, ascending.
+    pub fn online_peers(&self) -> Vec<PeerId> {
+        (0..self.cells.len() as u32)
+            .map(PeerId::new)
+            .filter(|&p| self.effective_online(p))
+            .collect()
     }
 
     /// Initiates `event` at a random effectively-online node (its round-0
@@ -238,6 +260,7 @@ where
                 aware_online,
                 converged_round: self.converged_round,
                 aware_set,
+                byzantine: self.byzantine.iter().filter(|&&f| f).count(),
             },
             self.cells.iter().map(|c| &c.stats),
         )

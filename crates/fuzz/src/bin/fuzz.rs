@@ -1,0 +1,235 @@
+//! `fuzz` — drive seeded chaos batches, Byzantine degradation sweeps
+//! and record replays from the command line.
+//!
+//! ```text
+//! fuzz [--seed N] [--cases N] [--byz F] [OUT_DIR]   full batch + sweep
+//! fuzz --smoke OUT_DIR                              bounded CI batch + sweep
+//! fuzz --replay RECORD.json                         re-run a frozen record
+//! ```
+//!
+//! Artefacts: `FUZZ_batch.json` (schema `rumor-fuzz/batch/v1`),
+//! `FUZZ_sweep.json` (schema `rumor-fuzz/sweep/v1`) and one
+//! `record_<index>.json` per violation (schema `rumor-fuzz/record/v1`).
+//! Exit status is non-zero when a benign batch finds a violation or a
+//! replay fails to reproduce its record.
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use rumor_cluster::ByzantineBehaviour;
+use rumor_fuzz::{
+    degradation_sweep, run_batch, BatchReport, ExecutionRecord, FuzzConfig, ReplayVerdict,
+    SweepReport,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_mode(&args) {
+        Ok(Mode::Replay { path }) => replay(&path),
+        Ok(Mode::Batch { config, out_dir }) => batch(&config, &out_dir),
+        Err(message) => {
+            eprintln!("fuzz: {message}");
+            eprintln!(
+                "usage: fuzz [--seed N] [--cases N] [--byz F] [OUT_DIR]\n       \
+                 fuzz --smoke OUT_DIR\n       fuzz --replay RECORD.json"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+enum Mode {
+    Batch { config: FuzzConfig, out_dir: String },
+    Replay { path: String },
+}
+
+fn parse_mode(args: &[String]) -> Result<Mode, String> {
+    let mut config = FuzzConfig::default();
+    let mut out_dir: Option<String> = None;
+    let mut arg_idx = 0usize;
+    while arg_idx < args.len() {
+        let take_value = |i: usize| -> Result<&str, String> {
+            args.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| format!("`{}` needs a value", args[i]))
+        };
+        match args[arg_idx].as_str() {
+            "--replay" => {
+                return Ok(Mode::Replay {
+                    path: take_value(arg_idx)?.to_owned(),
+                });
+            }
+            "--smoke" => {
+                // Bounded for CI: small populations, short horizon.
+                config.cases = 32;
+                config.max_population = 24;
+                config.max_rounds = 100;
+                out_dir = Some(take_value(arg_idx)?.to_owned());
+                arg_idx += 2;
+            }
+            "--seed" => {
+                config.seed = take_value(arg_idx)?
+                    .parse()
+                    .map_err(|_| "`--seed` wants a u64".to_owned())?;
+                arg_idx += 2;
+            }
+            "--cases" => {
+                config.cases = take_value(arg_idx)?
+                    .parse()
+                    .map_err(|_| "`--cases` wants a u32".to_owned())?;
+                arg_idx += 2;
+            }
+            "--byz" => {
+                config.byzantine_max_fraction = take_value(arg_idx)?
+                    .parse()
+                    .map_err(|_| "`--byz` wants a fraction".to_owned())?;
+                arg_idx += 2;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            dir => {
+                out_dir = Some(dir.to_owned());
+                arg_idx += 1;
+            }
+        }
+    }
+    Ok(Mode::Batch {
+        config,
+        out_dir: out_dir.unwrap_or_else(|| "fuzz-out".to_owned()),
+    })
+}
+
+fn batch(config: &FuzzConfig, out_dir: &str) -> ExitCode {
+    let report = match run_batch(config) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("fuzz: invalid config: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    // The sweep always runs on the cluster path with a forced Byzantine
+    // block, independent of the batch's own (usually benign) knobs.
+    let sweep_config = FuzzConfig {
+        cases: report.config.cases,
+        ..report.config.clone()
+    };
+    let sweep = match degradation_sweep(
+        &sweep_config,
+        ByzantineBehaviour::DigestLie,
+        &[0.0, 0.15, 0.3, 0.45, 0.6, 0.75],
+        8,
+    ) {
+        Ok(sweep) => sweep,
+        Err(error) => {
+            eprintln!("fuzz: sweep failed: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(error) = write_artefacts(Path::new(out_dir), &report, &sweep) {
+        eprintln!("fuzz: {error}");
+        return ExitCode::from(2);
+    }
+    print_summary(&report, &sweep, out_dir);
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn write_artefacts(
+    out_dir: &Path,
+    report: &BatchReport,
+    sweep: &SweepReport,
+) -> Result<(), String> {
+    fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let write = |name: &str, text: &str| {
+        let path = out_dir.join(name);
+        fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))
+    };
+    write("FUZZ_batch.json", &report.to_json())?;
+    write("FUZZ_sweep.json", &sweep.to_json())?;
+    for record in &report.violations {
+        write(
+            &format!("record_{}.json", record.spec.index),
+            &record.to_json(),
+        )?;
+    }
+    Ok(())
+}
+
+fn print_summary(report: &BatchReport, sweep: &SweepReport, out_dir: &str) {
+    println!("fuzz batch (seed {}):", report.config.seed);
+    println!(
+        "  cases                 : {} ({} engine, {} cluster)",
+        report.cases_run, report.engine_cases, report.cluster_cases
+    );
+    println!("  messages              : {}", report.total_messages);
+    println!("  tampered sends        : {}", report.total_tampered);
+    println!("  oracle violations     : {}", report.violations.len());
+    for record in &report.violations {
+        println!(
+            "    case {:>4} seed {:>20} -> {}",
+            record.spec.index,
+            record.spec.seed,
+            record.divergence.kind()
+        );
+    }
+    for error in &report.errors {
+        println!("  run error             : {error}");
+    }
+    println!("degradation sweep (digest-lie):");
+    for point in &sweep.points {
+        println!(
+            "  byz {:>5.2} -> P(converge) {:.2}  (mean tampered {:.1})",
+            point.fraction, point.convergence_probability, point.mean_tampered
+        );
+    }
+    println!("artefacts under {out_dir}/");
+}
+
+fn replay(path: &str) -> ExitCode {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("fuzz: reading {path}: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    let record = match ExecutionRecord::from_json(&text) {
+        Ok(record) => record,
+        Err(error) => {
+            eprintln!("fuzz: parsing {path}: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    match record.replay() {
+        Ok((ReplayVerdict::Reproduced, outcome)) => {
+            println!(
+                "replay {path}: reproduced `{}` after {} rounds ({} witnesses)",
+                record.divergence.kind(),
+                outcome.rounds_executed,
+                outcome.witnesses
+            );
+            ExitCode::SUCCESS
+        }
+        Ok((ReplayVerdict::DifferentDivergence(other), _)) => {
+            eprintln!(
+                "replay {path}: STALE — recorded `{}` but replay produced `{}`",
+                record.divergence.kind(),
+                other.kind()
+            );
+            ExitCode::FAILURE
+        }
+        Ok((ReplayVerdict::Clean, _)) => {
+            eprintln!("replay {path}: GONE — the case now satisfies the oracle");
+            ExitCode::FAILURE
+        }
+        Err(error) => {
+            eprintln!("replay {path}: failed to run: {error}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Fuzzer configuration: one master seed plus the knobs bounding the
+//! random case space, with build-time validation.
+
+/// Bounds of the random case space and the master seed.
+///
+/// Every random decision the fuzzer makes — scenario shape, workload,
+/// fault schedule, Byzantine fraction — is derived from [`seed`] through
+/// the `rumor_types::SeedSequence` substream `"fuzz/case"`; two runs
+/// with the same config generate byte-identical case specs.
+///
+/// [`seed`]: FuzzConfig::seed
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzConfig {
+    /// Master seed; case `i` runs on `SeedSequence(seed, "fuzz/case")[i]`.
+    pub seed: u64,
+    /// How many cases a batch generates.
+    pub cases: u32,
+    /// Smallest population a case may draw (must be ≥ 2).
+    pub min_population: usize,
+    /// Largest population a case may draw.
+    pub max_population: usize,
+    /// Horizon in rounds before the oracle's stable-online probe window.
+    pub max_rounds: u32,
+    /// Upper bound on the Byzantine fraction a case may draw; `0.0`
+    /// keeps the whole batch benign (every member honest).
+    pub byzantine_max_fraction: f64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 2026,
+            cases: 64,
+            min_population: 8,
+            max_population: 40,
+            max_rounds: 160,
+            byzantine_max_fraction: 0.0,
+        }
+    }
+}
+
+impl FuzzConfig {
+    /// Validates the bounds, returning the config ready to run.
+    pub fn validate(self) -> Result<Self, ConfigError> {
+        if self.cases == 0 {
+            return Err(ConfigError::NoCases);
+        }
+        if self.min_population < 2 {
+            return Err(ConfigError::PopulationFloor {
+                min: self.min_population,
+            });
+        }
+        if self.min_population > self.max_population {
+            return Err(ConfigError::PopulationRange {
+                min: self.min_population,
+                max: self.max_population,
+            });
+        }
+        if self.max_rounds == 0 {
+            return Err(ConfigError::NoHorizon);
+        }
+        if !(0.0..=1.0).contains(&self.byzantine_max_fraction) {
+            return Err(ConfigError::ByzantineFraction {
+                value: self.byzantine_max_fraction,
+            });
+        }
+        Ok(self)
+    }
+}
+
+/// Rejected [`FuzzConfig`] bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `cases` was zero — a batch must run something.
+    NoCases,
+    /// `min_population` below 2 — the oracle needs two witnesses.
+    PopulationFloor {
+        /// The offending floor.
+        min: usize,
+    },
+    /// `min_population` exceeded `max_population`.
+    PopulationRange {
+        /// The configured floor.
+        min: usize,
+        /// The configured ceiling.
+        max: usize,
+    },
+    /// `max_rounds` was zero — no case could make progress.
+    NoHorizon,
+    /// `byzantine_max_fraction` outside `[0, 1]` (or NaN).
+    ByzantineFraction {
+        /// The offending fraction.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoCases => write!(f, "cases must be at least 1"),
+            ConfigError::PopulationFloor { min } => {
+                write!(
+                    f,
+                    "min_population {min} is below 2 (oracle needs two witnesses)"
+                )
+            }
+            ConfigError::PopulationRange { min, max } => {
+                write!(f, "population range is empty: min {min} > max {max}")
+            }
+            ConfigError::NoHorizon => write!(f, "max_rounds must be at least 1"),
+            ConfigError::ByzantineFraction { value } => {
+                write!(f, "byzantine_max_fraction {value} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(FuzzConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn each_bound_violation_maps_to_its_typed_error() {
+        let base = FuzzConfig::default;
+        assert_eq!(
+            FuzzConfig { cases: 0, ..base() }.validate(),
+            Err(ConfigError::NoCases)
+        );
+        assert_eq!(
+            FuzzConfig {
+                min_population: 1,
+                ..base()
+            }
+            .validate(),
+            Err(ConfigError::PopulationFloor { min: 1 })
+        );
+        assert_eq!(
+            FuzzConfig {
+                min_population: 50,
+                max_population: 10,
+                ..base()
+            }
+            .validate(),
+            Err(ConfigError::PopulationRange { min: 50, max: 10 })
+        );
+        assert_eq!(
+            FuzzConfig {
+                max_rounds: 0,
+                ..base()
+            }
+            .validate(),
+            Err(ConfigError::NoHorizon)
+        );
+        let nan = FuzzConfig {
+            byzantine_max_fraction: f64::NAN,
+            ..base()
+        };
+        assert!(matches!(
+            nan.validate(),
+            Err(ConfigError::ByzantineFraction { .. })
+        ));
+        assert!(FuzzConfig {
+            byzantine_max_fraction: 1.5,
+            ..base()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn errors_render_a_human_message() {
+        let msg = ConfigError::PopulationRange { min: 9, max: 3 }.to_string();
+        assert!(msg.contains("min 9"), "{msg}");
+        assert!(msg.contains("max 3"), "{msg}");
+    }
+}

@@ -2,8 +2,8 @@
 //!
 //! The workspace is layered: foundations (`types`, `wire`, `metrics`,
 //! `analysis`) at the bottom, then `churn` → `net` → `core` → `sim` →
-//! the protocol/runtime tier (`baselines`, `pgrid`, `cluster`) → `bench`
-//! → the `rumor` facade on top. Every normal dependency edge between
+//! the protocol/runtime tier (`baselines`, `pgrid`, `cluster`) →
+//! `bench`/`fuzz` → the `rumor` facade on top. Every normal dependency edge between
 //! workspace crates must point *strictly downward* in that order —
 //! `core` may never grow an edge to `sim`, `baselines`/`pgrid` may never
 //! be depended on by `sim`, and so on. Dev-dependencies are exempt
@@ -12,7 +12,7 @@
 //!
 //! * `rumor-lint` itself has **zero** dependencies — the linter cannot
 //!   be contaminated by the tree it judges.
-//! * the `rumor` facade depends on exactly the eleven library crates it
+//! * the `rumor` facade depends on exactly the twelve library crates it
 //!   re-exports, and its `src/lib.rs` contains re-exports only — no
 //!   functions, types or logic of its own.
 //!
@@ -27,7 +27,7 @@ use crate::source::SourceFile;
 pub const NAME: &str = "crate-graph";
 
 /// Layer of each workspace crate; edges must strictly decrease.
-const LAYERS: [(&str, u8); 14] = [
+const LAYERS: [(&str, u8); 15] = [
     ("rumor-types", 0),
     ("rumor-wire", 0),
     ("rumor-metrics", 0),
@@ -40,17 +40,19 @@ const LAYERS: [(&str, u8); 14] = [
     ("rumor-pgrid", 5),
     ("rumor-cluster", 5),
     ("rumor-bench", 6),
+    ("rumor-fuzz", 6),
     ("rumor", 7),
     ("rumor-lint", 8),
 ];
 
 /// The facade's exact dependency set.
-const FACADE_DEPS: [&str; 11] = [
+const FACADE_DEPS: [&str; 12] = [
     "rumor-analysis",
     "rumor-baselines",
     "rumor-churn",
     "rumor-cluster",
     "rumor-core",
+    "rumor-fuzz",
     "rumor-metrics",
     "rumor-net",
     "rumor-pgrid",
@@ -116,7 +118,7 @@ pub fn check(manifests: &[(String, Manifest)], files: &[SourceFile], out: &mut V
             deps.sort();
             if deps != FACADE_DEPS {
                 emit(format!(
-                    "facade dependency set drifted from the eleven re-exported crates \
+                    "facade dependency set drifted from the twelve re-exported crates \
                      (found: {})",
                     deps.join(", ")
                 ));

@@ -30,6 +30,14 @@ use rumor_types::{PeerId, Round, UpdateId};
 /// what [`Protocol::wire_sizer`] hands the engine for byte accounting.
 pub type WireSizer<M> = fn(&M) -> usize;
 
+/// A pure message transform a Byzantine host applies to a node's
+/// outgoing traffic: `Some(forged)` replaces the message, `None` lets
+/// it pass unchanged. What [`Protocol::byzantine_liar`] hands the
+/// cluster runtime so adversarial members can lie in the protocol's own
+/// vocabulary (the paper peer's liar answers pull digests with "you are
+/// missing nothing").
+pub type MsgTamper<M> = fn(&M) -> Option<M>;
+
 /// A factory that mounts one dissemination protocol into a
 /// [`Scenario`](crate::Scenario): it spawns nodes, initiates scheduled
 /// updates, and probes per-node awareness so the [`Driver`] can observe
@@ -82,6 +90,15 @@ pub trait Protocol {
     /// default `None` disables byte accounting for message types without
     /// a wire codec.
     fn wire_sizer(&self) -> Option<WireSizer<<Self::Node as Node>::Msg>> {
+        None
+    }
+
+    /// The digest-lie transform a Byzantine host applies to this
+    /// protocol's outgoing messages (see [`MsgTamper`]). The default
+    /// `None` means the protocol defines no typed lie — Byzantine
+    /// members of such a protocol can still replay stale frames and
+    /// push corrupt ones, which need no message-type knowledge.
+    fn byzantine_liar(&self) -> Option<MsgTamper<<Self::Node as Node>::Msg>> {
         None
     }
 }
@@ -148,6 +165,23 @@ impl Protocol for PaperProtocol {
 
     fn wire_sizer(&self) -> Option<fn(&rumor_core::Message) -> usize> {
         Some(rumor_wire::frame_len::<rumor_core::Message>)
+    }
+
+    fn byzantine_liar(&self) -> Option<MsgTamper<rumor_core::Message>> {
+        // The paper's pull phase is the repair channel: an offline-again
+        // replica hands its version digest to a peer and trusts the
+        // missing-updates answer. The liar betrays exactly that trust —
+        // it swears the digest is complete by emptying its pull
+        // responses, starving pull-based repair while leaving its own
+        // push traffic (which would incriminate nothing) intact.
+        Some(|msg| match msg {
+            rumor_core::Message::PullResponse { updates } if !updates.is_empty() => {
+                Some(rumor_core::Message::PullResponse {
+                    updates: Vec::new(),
+                })
+            }
+            _ => None,
+        })
     }
 }
 

@@ -1,0 +1,241 @@
+//! Deliberately malformed frames, for fault injection and codec tests.
+//!
+//! Byzantine cluster members and the chaos fuzzer need to put *invalid*
+//! bytes on the wire; the strict decoder's whole job is to reject them
+//! without panicking. Header surgery lives here because this crate owns
+//! the frame layout — everyone else only sees opaque corrupted bytes.
+//!
+//! Every [`FrameCorruption`] produced by [`FrameCorruption::from_draws`]
+//! is guaranteed to be rejected by [`decode_frame`](crate::decode_frame)
+//! when applied to a frame emitted by
+//! [`encode_frame`](crate::encode_frame) for a message set whose kind
+//! bytes stay below `0x80` (every message set in this workspace does):
+//! header-byte flips break the version, kind or declared length;
+//! truncation breaks the length; version and length forgeries break
+//! their own fields.
+
+use crate::frame::FRAME_HEADER_BYTES;
+use bytes::Bytes;
+
+/// One way to damage an encoded frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameCorruption {
+    /// XOR `0xFF` into the byte at `index` (modulo the frame length).
+    FlipByte {
+        /// Position to damage; reduced modulo the frame length.
+        index: usize,
+    },
+    /// Cut the frame short: the result keeps `keep % len` bytes, so it
+    /// is always strictly shorter than the input.
+    Truncate {
+        /// Bytes to keep; reduced modulo the frame length.
+        keep: usize,
+    },
+    /// Increment the header's version byte (a foreign-codec frame).
+    BumpVersion,
+    /// Overwrite the header's kind byte.
+    ForgeKind {
+        /// The kind byte to plant.
+        kind: u8,
+    },
+    /// Add `extra` (wrapping) to the declared payload length without
+    /// touching the payload, so declared and actual lengths disagree.
+    InflateLength {
+        /// Amount to add; `0` is promoted to `1` so the field always
+        /// changes.
+        extra: u32,
+    },
+}
+
+impl FrameCorruption {
+    /// Maps two uniform draws onto a corruption that strict decoding
+    /// rejects: a header-byte flip, a truncation, a version bump or a
+    /// length forgery. This is the menu Byzantine senders draw from —
+    /// callers supply the randomness, this crate supplies the surgery.
+    pub fn from_draws(mode: u32, detail: u32) -> Self {
+        match mode % 4 {
+            0 => Self::FlipByte {
+                index: detail as usize % FRAME_HEADER_BYTES,
+            },
+            1 => Self::Truncate {
+                keep: detail as usize,
+            },
+            2 => Self::BumpVersion,
+            _ => Self::InflateLength { extra: detail | 1 },
+        }
+    }
+
+    /// Applies the corruption to `frame`, returning the damaged copy.
+    ///
+    /// Inputs shorter than a full header (including empty ones) degrade
+    /// to a single `0xFF` byte for the variants that need header room —
+    /// still guaranteed undecodable.
+    pub fn apply(self, frame: &[u8]) -> Bytes {
+        match self {
+            Self::FlipByte { index } => {
+                if frame.is_empty() {
+                    return Bytes::from_static(&[0xFF]);
+                }
+                let mut bytes = frame.to_vec();
+                let at = index % bytes.len();
+                bytes[at] ^= 0xFF;
+                Bytes::from(bytes)
+            }
+            Self::Truncate { keep } => {
+                if frame.is_empty() {
+                    return Bytes::new();
+                }
+                Bytes::copy_from_slice(&frame[..keep % frame.len()])
+            }
+            Self::BumpVersion => {
+                if frame.is_empty() {
+                    return Bytes::from_static(&[0xFF]);
+                }
+                let mut bytes = frame.to_vec();
+                bytes[0] = bytes[0].wrapping_add(1);
+                Bytes::from(bytes)
+            }
+            Self::ForgeKind { kind } => {
+                if frame.len() < 2 {
+                    return Bytes::from_static(&[0xFF]);
+                }
+                let mut bytes = frame.to_vec();
+                bytes[1] = kind;
+                Bytes::from(bytes)
+            }
+            Self::InflateLength { extra } => {
+                if frame.len() < FRAME_HEADER_BYTES {
+                    return Bytes::from_static(&[0xFF]);
+                }
+                let mut bytes = frame.to_vec();
+                let declared = u32::from_be_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]);
+                let forged = declared.wrapping_add(extra.max(1));
+                bytes[2..FRAME_HEADER_BYTES].copy_from_slice(&forged.to_be_bytes());
+                Bytes::from(bytes)
+            }
+        }
+    }
+}
+
+/// A frame of `len` copies of `fill` — pure noise. The strict decoder
+/// rejects every such frame: short ones are truncated headers, and a
+/// full-size one either carries a foreign version byte or declares a
+/// payload length (`fill` repeated four times, big-endian) that cannot
+/// match the bytes present.
+pub fn garbage_frame(len: usize, fill: u8) -> Bytes {
+    Bytes::from(vec![fill; len])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::WireError;
+    use crate::frame::{decode_frame, encode_frame, Decode, Encode};
+    use bytes::{BufMut, BytesMut};
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Ping(u32);
+
+    impl Encode for Ping {
+        fn kind(&self) -> u8 {
+            1
+        }
+        fn payload_len(&self) -> usize {
+            4
+        }
+        fn encode_payload(&self, buf: &mut BytesMut) {
+            buf.put_u32(self.0);
+        }
+    }
+
+    impl Decode for Ping {
+        fn decode_payload(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
+            if kind != 1 {
+                return Err(WireError::UnknownKind { kind });
+            }
+            let mut r = crate::Reader::new(payload);
+            let msg = Ping(r.u32()?);
+            r.finish()?;
+            Ok(msg)
+        }
+    }
+
+    #[test]
+    fn every_drawn_corruption_is_rejected() {
+        let clean = encode_frame(&Ping(0xBEEF));
+        assert!(decode_frame::<Ping>(&clean).is_ok());
+        for mode in 0..8u32 {
+            for detail in [0u32, 1, 2, 5, 6, 9, 0xFFFF_FFFF] {
+                let corruption = FrameCorruption::from_draws(mode, detail);
+                let damaged = corruption.apply(&clean);
+                assert!(
+                    decode_frame::<Ping>(&damaged).is_err(),
+                    "{corruption:?} survived strict decoding"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_variants_hit_their_error_classes() {
+        let clean = encode_frame(&Ping(7));
+        assert!(matches!(
+            decode_frame::<Ping>(&FrameCorruption::BumpVersion.apply(&clean)),
+            Err(WireError::BadVersion { .. })
+        ));
+        assert!(matches!(
+            decode_frame::<Ping>(&FrameCorruption::ForgeKind { kind: 99 }.apply(&clean)),
+            Err(WireError::UnknownKind { kind: 99 })
+        ));
+        assert!(matches!(
+            decode_frame::<Ping>(&FrameCorruption::Truncate { keep: 3 }.apply(&clean)),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode_frame::<Ping>(&FrameCorruption::InflateLength { extra: 4 }.apply(&clean)),
+            Err(WireError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            decode_frame::<Ping>(&FrameCorruption::FlipByte { index: 0 }.apply(&clean)),
+            Err(WireError::BadVersion { found: 0xFE })
+        ));
+    }
+
+    #[test]
+    fn corruption_never_mutates_the_original() {
+        let clean = encode_frame(&Ping(3));
+        let before = clean.clone();
+        let _ = FrameCorruption::FlipByte { index: 2 }.apply(&clean);
+        assert_eq!(clean, before);
+    }
+
+    #[test]
+    fn degenerate_inputs_stay_undecodable() {
+        for corruption in [
+            FrameCorruption::FlipByte { index: 9 },
+            FrameCorruption::Truncate { keep: 9 },
+            FrameCorruption::BumpVersion,
+            FrameCorruption::ForgeKind { kind: 1 },
+            FrameCorruption::InflateLength { extra: 0 },
+        ] {
+            let damaged = corruption.apply(&[]);
+            assert!(decode_frame::<Ping>(&damaged).is_err());
+            let damaged = corruption.apply(&[1]);
+            assert!(decode_frame::<Ping>(&damaged).is_err());
+        }
+    }
+
+    #[test]
+    fn garbage_frames_are_rejected_at_any_length_and_fill() {
+        for len in [0usize, 1, 5, 6, 7, 32] {
+            for fill in [0u8, 1, 0xFF] {
+                let noise = garbage_frame(len, fill);
+                assert_eq!(noise.len(), len);
+                assert!(
+                    decode_frame::<Ping>(&noise).is_err(),
+                    "garbage ({len}, {fill:#x}) decoded"
+                );
+            }
+        }
+    }
+}

@@ -20,7 +20,12 @@
 //!
 //! Decoding is strict — truncated input, foreign versions, unknown
 //! kinds, length mismatches and trailing bytes are all distinct
-//! [`WireError`]s, never panics (see [`Reader`]).
+//! [`WireError`]s, never panics (see [`Reader`]). The flip side of that
+//! strictness is testable: [`FrameCorruption`] and [`garbage_frame`]
+//! construct deliberately malformed frames (header flips, truncations,
+//! version and length forgeries) for the Byzantine fault injector and
+//! the codec's own rejection suites — frame surgery stays in this crate
+//! so nobody else ever touches header bytes.
 //!
 //! # Examples
 //!
@@ -54,10 +59,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod corrupt;
 mod error;
 mod frame;
 mod reader;
 
+pub use corrupt::{garbage_frame, FrameCorruption};
 pub use error::WireError;
 pub use frame::{
     decode_frame, encode_frame, encode_frame_into, frame_len, Decode, Encode, Frame,

@@ -35,7 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .faults(FaultSpec {
             crash_rate: 0.05,
             restart_after: 4,
-        })
+            ..FaultSpec::default()
+        })?
         .threaded(PaperProtocol::new(config));
 
     let event = UpdateEvent {

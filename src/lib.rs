@@ -21,6 +21,7 @@
 //! | [`net`] | `rumor-net` | sync round engine, async event engine, loss/partitions, topologies |
 //! | [`wire`] | `rumor-wire` | versioned, length-prefixed binary wire codec (frames, strict decode) |
 //! | [`cluster`] | `rumor-cluster` | live runtime: sans-IO nodes on OS threads (or virtual time) exchanging encoded frames |
+//! | [`fuzz`] | `rumor-fuzz` | seeded chaos fuzzer: random scenarios + Byzantine peers vs the convergence oracle, replayable records |
 //! | [`baselines`] | `rumor-baselines` | Gnutella, pure flooding, Haas GOSSIP1, Demers anti-entropy & rumor mongering |
 //! | [`pgrid`] | `rumor-pgrid` | the P-Grid trie overlay hosting the protocol |
 //! | [`metrics`] | `rumor-metrics` | counters, series, histograms, tables |
@@ -54,6 +55,7 @@ pub use rumor_baselines as baselines;
 pub use rumor_churn as churn;
 pub use rumor_cluster as cluster;
 pub use rumor_core as core;
+pub use rumor_fuzz as fuzz;
 pub use rumor_metrics as metrics;
 pub use rumor_net as net;
 pub use rumor_pgrid as pgrid;

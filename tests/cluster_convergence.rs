@@ -75,7 +75,9 @@ fn virtual_cluster_delivers_to_every_online_replica_under_faults() {
         .faults(FaultSpec {
             crash_rate: 0.10,
             restart_after: 4,
+            ..FaultSpec::default()
         })
+        .expect("sound fault spec")
         .delay(DelaySpec {
             max_extra_rounds: 1,
         })
@@ -106,7 +108,9 @@ fn virtual_time_mode_is_bit_reproducible_and_golden_pinned() {
             .faults(FaultSpec {
                 crash_rate: 0.05,
                 restart_after: 3,
+                ..FaultSpec::default()
             })
+            .expect("sound fault spec")
             .virtual_time(paper(64));
         let update = cluster.initiate(&event()).expect("someone online");
         cluster.run_rounds(100);
@@ -214,7 +218,9 @@ fn threaded_cluster_converges_with_thread_crashes() {
         .faults(FaultSpec {
             crash_rate: 0.10,
             restart_after: 4,
+            ..FaultSpec::default()
         })
+        .expect("sound fault spec")
         .threaded(paper(64));
     let update = cluster.initiate(&event()).expect("someone online");
     // Ride out the whole churn/fault window first (the crash schedule is
