@@ -1,16 +1,17 @@
 //! Tracked live-cluster throughput benchmark: measures frames/sec and
-//! bytes/sec of the threaded `rumor-cluster` runtime for the paper peer
-//! and the anti-entropy baseline at several populations and writes
-//! `BENCH_cluster.json`.
+//! bytes/sec of the `rumor-cluster` runtime for the paper peer and the
+//! anti-entropy baseline at several populations — thread-per-node up to
+//! N = 1024, the sharded worker-pool executor up to N = 10000 — and
+//! writes `BENCH_cluster.json`.
 //!
 //! `cargo run --release -p rumor-bench --bin bench_cluster [-- out_dir]`
 //! `cargo run --release -p rumor-bench --bin bench_cluster -- --smoke [out_dir]`
 //!
-//! `--smoke` runs a tiny population for a handful of rounds — CI uses it
-//! (under a wall-clock bound) to keep the live-cluster path working and
-//! the artefact schema stable.
+//! `--smoke` runs tiny windows (including one sharded N = 4096 row) —
+//! CI uses it (under a wall-clock bound) to keep both live-cluster
+//! executors working and the artefact schema stable.
 
-use rumor_bench::cluster_bench::{self, ClusterBenchRow};
+use rumor_bench::cluster_bench::{self, ClusterBenchRow, ExecMode};
 use std::path::PathBuf;
 
 fn main() {
@@ -23,21 +24,24 @@ fn main() {
 
     let rows: Vec<ClusterBenchRow> = if smoke {
         vec![
-            cluster_bench::measure_paper(32, 20),
-            cluster_bench::measure_anti_entropy(32, 20),
+            cluster_bench::measure_paper(32, 20, ExecMode::Threaded),
+            cluster_bench::measure_anti_entropy(32, 20, ExecMode::Threaded),
+            cluster_bench::measure_paper(32, 20, ExecMode::Sharded),
+            cluster_bench::measure_paper(4_096, 10, ExecMode::Sharded),
         ]
     } else {
-        cluster_bench::run_matrix(&[64, 256, 1_024])
+        cluster_bench::run_matrix(&[64, 256, 1_024], &[256, 1_024, 4_096, 10_000])
     };
 
     println!(
-        "{:<14} {:>10} {:>8} {:>14} {:>14} {:>12}",
-        "contender", "population", "rounds", "frames/sec", "bytes/sec", "bytes/frame"
+        "{:<14} {:<9} {:>10} {:>8} {:>14} {:>14} {:>12}",
+        "contender", "mode", "population", "rounds", "frames/sec", "bytes/sec", "bytes/frame"
     );
     for row in &rows {
         println!(
-            "{:<14} {:>10} {:>8} {:>14.1} {:>14.1} {:>12.1}",
+            "{:<14} {:<9} {:>10} {:>8} {:>14.1} {:>14.1} {:>12.1}",
             row.contender,
+            row.mode,
             row.population,
             row.rounds,
             row.frames_per_sec,

@@ -1,22 +1,24 @@
 //! Tracked live-cluster throughput measurement (frames/sec, bytes/sec).
 //!
-//! The threaded `rumor-cluster` runtime is the repo's real-time path:
-//! one OS thread per replica, every message an encoded `rumor-wire`
-//! frame. This module defines its tracked benchmark — the same
-//! steady-state environment family as `engine_bench` (partial
-//! knowledge, churn, loss, a paper-peer configuration whose staleness
-//! pulls keep traffic flowing forever) executed live, emitted as
+//! The `rumor-cluster` runtime is the repo's real-time path: live
+//! replicas exchanging encoded `rumor-wire` frames. This module defines
+//! its tracked benchmark — the same steady-state environment family as
+//! `engine_bench` (partial knowledge, churn, loss, a paper-peer
+//! configuration whose staleness pulls keep traffic flowing forever)
+//! executed live in both real-time execution modes: `threaded` (one OS
+//! thread per replica, practical to N ≈ 1–2k) and `sharded` (a fixed
+//! worker pool hosting the cells, the 10k+ scale path). Emitted as
 //! `BENCH_cluster.json` so the throughput trajectory is comparable
 //! across commits in both frames *and* bytes per second.
 
 use crate::json::Json;
 use rumor_baselines::AntiEntropy;
 use rumor_churn::MarkovChurn;
-use rumor_cluster::ClusterBuilder;
+use rumor_cluster::{ClusterBuilder, ClusterReport, ShardedCluster, ThreadedCluster};
 use rumor_core::{ProtocolConfig, PullStrategy};
 use rumor_net::Node;
 use rumor_sim::{PaperProtocol, Protocol, Scenario, TopologySpec, UpdateEvent};
-use rumor_types::DataKey;
+use rumor_types::{DataKey, UpdateId};
 use rumor_wire::{Decode, Encode};
 use std::time::Instant;
 
@@ -27,12 +29,33 @@ pub const CLUSTER_BENCH_SEED: u64 = 99;
 /// channel buffers and the churn mix).
 pub const WARMUP_ROUNDS: u32 = 10;
 
+/// Which real-time executor a row was measured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One OS thread per replica.
+    Threaded,
+    /// A fixed worker pool (available parallelism) hosting all cells.
+    Sharded,
+}
+
+impl ExecMode {
+    /// The label recorded in the row's `mode` field.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Threaded => "threaded",
+            Self::Sharded => "sharded",
+        }
+    }
+}
+
 /// One measured configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterBenchRow {
     /// Contender label (`"paper"` or `"anti-entropy"`).
     pub contender: String,
-    /// Population size (= OS threads mounted).
+    /// Executor label (`"threaded"` or `"sharded"`).
+    pub mode: String,
+    /// Population size (= replicas mounted).
     pub population: usize,
     /// Rounds in the timed window.
     pub rounds: u32,
@@ -83,16 +106,71 @@ fn bench_event() -> UpdateEvent {
     }
 }
 
-fn measure<P>(label: &str, protocol: P, population: usize, rounds: u32) -> ClusterBenchRow
+/// The cluster surface the timed loop drives — both real-time modes
+/// expose it verbatim, so one measurement body serves both.
+trait LiveRun {
+    fn initiate_update(&mut self, event: &UpdateEvent) -> Option<UpdateId>;
+    fn run_rounds(&mut self, n: u32);
+    fn frames_sent(&self) -> u64;
+    fn bytes_sent(&self) -> u64;
+    fn finish_report(self, update: UpdateId) -> ClusterReport;
+}
+
+impl<P> LiveRun for ThreadedCluster<P>
 where
     P: Protocol + Send + Sync + 'static,
     P::Node: Send + 'static,
     <P::Node as Node>::Msg: Encode + Decode + Send,
 {
-    let scenario = bench_scenario(population, CLUSTER_BENCH_SEED);
-    let mut cluster = ClusterBuilder::new(&scenario).threaded(protocol);
+    fn initiate_update(&mut self, event: &UpdateEvent) -> Option<UpdateId> {
+        self.initiate(event)
+    }
+    fn run_rounds(&mut self, n: u32) {
+        ThreadedCluster::run_rounds(self, n);
+    }
+    fn frames_sent(&self) -> u64 {
+        ThreadedCluster::frames_sent(self)
+    }
+    fn bytes_sent(&self) -> u64 {
+        ThreadedCluster::bytes_sent(self)
+    }
+    fn finish_report(self, update: UpdateId) -> ClusterReport {
+        self.finish(update)
+    }
+}
+
+impl<P> LiveRun for ShardedCluster<P>
+where
+    P: Protocol + Send + Sync + 'static,
+    P::Node: Send + 'static,
+    <P::Node as Node>::Msg: Encode + Decode + Send,
+{
+    fn initiate_update(&mut self, event: &UpdateEvent) -> Option<UpdateId> {
+        self.initiate(event)
+    }
+    fn run_rounds(&mut self, n: u32) {
+        ShardedCluster::run_rounds(self, n);
+    }
+    fn frames_sent(&self) -> u64 {
+        ShardedCluster::frames_sent(self)
+    }
+    fn bytes_sent(&self) -> u64 {
+        ShardedCluster::bytes_sent(self)
+    }
+    fn finish_report(self, update: UpdateId) -> ClusterReport {
+        self.finish(update)
+    }
+}
+
+fn measure_on<C: LiveRun>(
+    label: &str,
+    mode: ExecMode,
+    mut cluster: C,
+    population: usize,
+    rounds: u32,
+) -> ClusterBenchRow {
     let update = cluster
-        .initiate(&bench_event())
+        .initiate_update(&bench_event())
         .expect("bench initiator online");
     cluster.run_rounds(WARMUP_ROUNDS);
     let frames_before = cluster.frames_sent();
@@ -104,10 +182,11 @@ where
     let elapsed = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
     let frames = cluster.frames_sent() - frames_before;
     let bytes = cluster.bytes_sent() - bytes_before;
-    let report = cluster.finish(update);
+    let report = cluster.finish_report(update);
     assert_eq!(report.decode_errors, 0, "bench traffic must decode cleanly");
     ClusterBenchRow {
         contender: label.to_owned(),
+        mode: mode.label().to_owned(),
         population,
         rounds,
         elapsed_secs: elapsed,
@@ -118,44 +197,74 @@ where
     }
 }
 
-/// Measures the paper peer on the threaded runtime.
-pub fn measure_paper(population: usize, rounds: u32) -> ClusterBenchRow {
+fn measure<P>(
+    label: &str,
+    mode: ExecMode,
+    protocol: P,
+    population: usize,
+    rounds: u32,
+) -> ClusterBenchRow
+where
+    P: Protocol + Send + Sync + 'static,
+    P::Node: Send + 'static,
+    <P::Node as Node>::Msg: Encode + Decode + Send,
+{
+    let scenario = bench_scenario(population, CLUSTER_BENCH_SEED);
+    let builder = ClusterBuilder::new(&scenario);
+    match mode {
+        ExecMode::Threaded => {
+            measure_on(label, mode, builder.threaded(protocol), population, rounds)
+        }
+        ExecMode::Sharded => measure_on(label, mode, builder.sharded(protocol), population, rounds),
+    }
+}
+
+/// Measures the paper peer on the chosen executor.
+pub fn measure_paper(population: usize, rounds: u32, mode: ExecMode) -> ClusterBenchRow {
     measure(
         "paper",
+        mode,
         PaperProtocol::new(bench_paper_config(population)),
         population,
         rounds,
     )
 }
 
-/// Measures Demers push-pull anti-entropy on the threaded runtime
+/// Measures Demers push-pull anti-entropy on the chosen executor
 /// (per-round digest exchange: sustained small-frame traffic).
-pub fn measure_anti_entropy(population: usize, rounds: u32) -> ClusterBenchRow {
+pub fn measure_anti_entropy(population: usize, rounds: u32, mode: ExecMode) -> ClusterBenchRow {
     measure(
         "anti-entropy",
+        mode,
         AntiEntropy { push_pull: true },
         population,
         rounds,
     )
 }
 
-/// Timed rounds per population: thread barriers dominate at large N, so
-/// the window shrinks as the population grows.
+/// Timed rounds per population: per-round coordination cost grows with
+/// N, so the window shrinks as the population grows.
 pub fn default_rounds_for(population: usize) -> u32 {
     match population {
         0..=128 => 400,
         129..=512 => 150,
-        _ => 50,
+        513..=2048 => 50,
+        _ => 30,
     }
 }
 
-/// Runs the full tracked matrix (both contenders at each population).
-pub fn run_matrix(populations: &[usize]) -> Vec<ClusterBenchRow> {
+/// Runs the full tracked matrix: both contenders at each population,
+/// thread-per-node at the `threaded` populations and the worker-pool
+/// executor at the `sharded` ones (which is how populations beyond a
+/// couple thousand are reachable at all).
+pub fn run_matrix(threaded: &[usize], sharded: &[usize]) -> Vec<ClusterBenchRow> {
     let mut rows = Vec::new();
-    for &n in populations {
-        let rounds = default_rounds_for(n);
-        rows.push(measure_paper(n, rounds));
-        rows.push(measure_anti_entropy(n, rounds));
+    for (mode, populations) in [(ExecMode::Threaded, threaded), (ExecMode::Sharded, sharded)] {
+        for &n in populations {
+            let rounds = default_rounds_for(n);
+            rows.push(measure_paper(n, rounds, mode));
+            rows.push(measure_anti_entropy(n, rounds, mode));
+        }
     }
     rows
 }
@@ -174,6 +283,7 @@ pub fn to_json(rows: &[ClusterBenchRow]) -> Json {
                     .map(|r| {
                         Json::obj([
                             ("contender", Json::Str(r.contender.clone())),
+                            ("mode", Json::Str(r.mode.clone())),
                             ("population", Json::Int(r.population as i64)),
                             ("rounds", Json::Int(i64::from(r.rounds))),
                             ("elapsed_secs", Json::Num(r.elapsed_secs)),
@@ -195,14 +305,29 @@ mod tests {
 
     #[test]
     fn smoke_measurement_produces_live_traffic() {
-        let row = measure_paper(24, 10);
+        let row = measure_paper(24, 10, ExecMode::Threaded);
         assert_eq!(row.contender, "paper");
+        assert_eq!(row.mode, "threaded");
         assert_eq!(row.population, 24);
         assert!(row.frames > 0, "steady-state scenario must send frames");
         assert!(row.bytes > row.frames * 6, "bytes include frame headers");
         assert!(row.frames_per_sec > 0.0);
         assert!(row.bytes_per_sec > row.frames_per_sec);
-        let ae = measure_anti_entropy(24, 10);
+        let ae = measure_anti_entropy(24, 10, ExecMode::Threaded);
+        assert!(ae.frames > 0);
+    }
+
+    #[test]
+    fn sharded_measurement_matches_the_threaded_traffic_profile() {
+        // The same scenario seed drives both executors, so a sharded
+        // measurement must carry live traffic of the same shape (same
+        // environment, different interleavings — counts are close but
+        // not equal).
+        let row = measure_paper(24, 10, ExecMode::Sharded);
+        assert_eq!(row.mode, "sharded");
+        assert!(row.frames > 0, "sharded run must send frames");
+        assert!(row.bytes > row.frames * 6);
+        let ae = measure_anti_entropy(24, 10, ExecMode::Sharded);
         assert!(ae.frames > 0);
     }
 
@@ -210,6 +335,7 @@ mod tests {
     fn json_schema_is_stable() {
         let rows = vec![ClusterBenchRow {
             contender: "paper".into(),
+            mode: "sharded".into(),
             population: 64,
             rounds: 10,
             elapsed_secs: 0.5,
@@ -226,6 +352,7 @@ mod tests {
             "\"warmup_rounds\"",
             "\"rows\"",
             "\"contender\"",
+            "\"mode\"",
             "\"population\"",
             "\"rounds\"",
             "\"elapsed_secs\"",

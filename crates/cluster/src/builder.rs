@@ -3,6 +3,7 @@
 use crate::byzantine::{byzantine_seed, select_byzantine, ByzantineState};
 use crate::cell::{DelaySpec, NodeCell};
 use crate::fault::{FaultError, FaultSpec};
+use crate::sharded::ShardedCluster;
 use crate::threaded::ThreadedCluster;
 use crate::virtual_time::VirtualCluster;
 use rumor_churn::OnlineSet;
@@ -43,6 +44,7 @@ pub struct ClusterBuilder<'a> {
     scenario: &'a Scenario,
     faults: FaultSpec,
     delay: DelaySpec,
+    workers: Option<usize>,
 }
 
 impl<'a> ClusterBuilder<'a> {
@@ -53,6 +55,7 @@ impl<'a> ClusterBuilder<'a> {
             scenario,
             faults: FaultSpec::default(),
             delay: DelaySpec::default(),
+            workers: None,
         }
     }
 
@@ -84,8 +87,17 @@ impl<'a> ClusterBuilder<'a> {
         VirtualCluster::mount(self.scenario, protocol, self.faults, self.delay)
     }
 
+    /// Sets the worker-thread count for [`ClusterBuilder::sharded`]
+    /// (clamped to at least 1 and at most the population at mount).
+    /// Defaults to the machine's available parallelism. Ignored by the
+    /// other two modes.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
     /// Mounts `protocol` onto one OS thread per replica (the real-time
-    /// throughput path).
+    /// deployment-shaped path, practical to a couple thousand nodes).
     pub fn threaded<P>(self, protocol: P) -> ThreadedCluster<P>
     where
         P: Protocol + Send + Sync + 'static,
@@ -93,6 +105,25 @@ impl<'a> ClusterBuilder<'a> {
         <P::Node as Node>::Msg: Encode + Decode + Send,
     {
         ThreadedCluster::mount(self.scenario, protocol, self.faults, self.delay)
+    }
+
+    /// Mounts `protocol` onto a fixed pool of worker threads, each
+    /// owning a contiguous shard of replicas (the scale path — 10k+
+    /// live replicas on one machine). Worker count via
+    /// [`ClusterBuilder::workers`].
+    pub fn sharded<P>(self, protocol: P) -> ShardedCluster<P>
+    where
+        P: Protocol + Send + Sync + 'static,
+        P::Node: Send + 'static,
+        <P::Node as Node>::Msg: Encode + Decode + Send,
+    {
+        ShardedCluster::mount(
+            self.scenario,
+            protocol,
+            self.faults,
+            self.delay,
+            self.workers,
+        )
     }
 }
 

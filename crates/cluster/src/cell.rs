@@ -89,6 +89,19 @@ impl CellStats {
     pub fn consumed(&self) -> u64 {
         self.delivered + self.lost_offline + self.lost_fault + self.decode_errors
     }
+
+    /// Adds `other`'s counters into `self` — shard-level aggregation in
+    /// the sharded runtime, where one report sums a whole shard's cells.
+    pub fn absorb(&mut self, other: &CellStats) {
+        self.sent += other.sent;
+        self.bytes_sent += other.bytes_sent;
+        self.delivered += other.delivered;
+        self.bytes_delivered += other.bytes_delivered;
+        self.lost_offline += other.lost_offline;
+        self.lost_fault += other.lost_fault;
+        self.decode_errors += other.decode_errors;
+        self.tampered += other.tampered;
+    }
 }
 
 /// One replica mounted in the live runtime.

@@ -10,23 +10,30 @@
 //! message between nodes round-trips through the `rumor-wire` codec,
 //! so a run reports frames *and* bytes on the wire.
 //!
-//! Two modes over one set of runtime semantics:
+//! Three modes over one set of runtime semantics:
 //!
 //! * [`VirtualCluster`] — single-threaded virtual time. Deterministic
 //!   per scenario seed, bit-reproducible, golden-pinnable in `cargo
 //!   test`. The correctness path.
 //! * [`ThreadedCluster`] — one OS thread per replica, joined by
 //!   in-process channels carrying encoded frames; a conductor paces
-//!   rounds and barriers on per-tick reports. The throughput path
-//!   (`bench_cluster` measures frames/sec and bytes/sec on it).
+//!   rounds and barriers on per-tick reports. The deployment-shaped
+//!   real-time path (practical to N ≈ 1–2k).
+//! * [`ShardedCluster`] — M worker threads (default: available
+//!   parallelism, [`ClusterBuilder::workers`] to override) each owning
+//!   a contiguous shard of replicas, with cross-shard frames batched
+//!   per round and the conductor barrier at shard granularity. The
+//!   scale path: 10k+ live replicas, and the fastest mode in
+//!   `bench_cluster` at every population.
 //!
 //! Both take the environment from the same declarative
 //! [`rumor_sim::Scenario`] the simulation harness uses — identical
 //! topology draw, initial availability, churn trajectory and
 //! loss/partition semantics (`LinkFilter`) — plus cluster-only faults:
 //! a seeded [`FaultSpec`] crash/restart injector (in threaded mode the
-//! victim's OS thread really exits and is respawned; node state and
-//! mailbox survive, and frames that arrived during the gap are dropped
+//! victim's OS thread really exits and is respawned; in sharded mode
+//! the cell is parked inside its shard; node state and mailbox survive
+//! either way, and frames that arrived during the gap are dropped
 //! exactly like sends to an offline replica) and an optional
 //! [`DelaySpec`] extra delivery delay. Quiescence detection and
 //! graceful shutdown are built in: [`ThreadedCluster::finish`] stops
@@ -78,6 +85,7 @@ mod byzantine;
 mod cell;
 mod fault;
 mod report;
+mod sharded;
 mod threaded;
 mod virtual_time;
 
@@ -86,5 +94,6 @@ pub use byzantine::{ByzantineBehaviour, ByzantineSpec};
 pub use cell::DelaySpec;
 pub use fault::{FaultError, FaultSpec};
 pub use report::ClusterReport;
+pub use sharded::ShardedCluster;
 pub use threaded::ThreadedCluster;
 pub use virtual_time::VirtualCluster;

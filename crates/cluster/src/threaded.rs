@@ -60,7 +60,14 @@ struct DoneReport {
 /// Worker → conductor replies, tagged with the worker's peer id.
 enum Reply<N: Node> {
     Done(DoneReport),
-    Initiated(UpdateId),
+    /// Initiation outcome plus a fresh stats snapshot: frames sent
+    /// while initiating must reach the conductor's accounting
+    /// immediately, not at the next barrier (and not never, should the
+    /// worker crash before its next tick).
+    Initiated {
+        update: UpdateId,
+        report: DoneReport,
+    },
     Stopped {
         cell: Box<NodeCell<N>>,
         mailbox: Receiver<Envelope>,
@@ -133,7 +140,16 @@ fn worker_loop<P>(
                         let _ = peers[to.index()].send(env);
                     },
                 );
-                if replies.send((id, Reply::Initiated(update))).is_err() {
+                let report = DoneReport {
+                    stats: cell.stats,
+                    pending_frames: cell.pending_frames(),
+                    pending_timers: cell.pending_timers(),
+                    aware: None,
+                };
+                if replies
+                    .send((id, Reply::Initiated { update, report }))
+                    .is_err()
+                {
                     return;
                 }
             }
@@ -179,6 +195,9 @@ where
     snapshots: Vec<DoneReport>,
     rounds_run: u32,
     converged_round: Option<u32>,
+    /// The update the convergence probe state belongs to; probing a
+    /// different update resets `converged_round`.
+    probed_update: Option<UpdateId>,
 }
 
 impl<P> std::fmt::Debug for ThreadedCluster<P>
@@ -249,6 +268,7 @@ where
             ],
             rounds_run: 0,
             converged_round: None,
+            probed_update: None,
         };
         for (cell, mailbox) in cells.into_iter().zip(mailboxes) {
             let slot = cluster.spawn(Box::new(cell), mailbox);
@@ -289,10 +309,15 @@ where
 
     /// Nodes churn-online and not crashed.
     pub fn online_count(&self) -> usize {
+        self.online_peers().len()
+    }
+
+    /// Peers that are churn-online and not crashed right now, ascending.
+    pub fn online_peers(&self) -> Vec<PeerId> {
         (0..self.slots.len() as u32)
             .map(PeerId::new)
             .filter(|&p| self.effective_online(p))
-            .count()
+            .collect()
     }
 
     fn effective_online(&self, peer: PeerId) -> bool {
@@ -361,10 +386,17 @@ where
             round,
         })
         .expect("worker alive");
-        Some(self.recv_from(initiator, |reply| match reply {
-            Reply::Initiated(update) => Some(update),
+        let (update, report) = self.recv_from(initiator, |reply| match reply {
+            Reply::Initiated { update, report } => Some((update, report)),
             _ => None,
-        }))
+        });
+        // Fold the fresh snapshot so `frames_sent` / `is_quiescent`
+        // never lag an initiation; the awareness flag still belongs to
+        // the last probed tick, so keep the old one.
+        let aware = self.snapshots[initiator.index()].aware;
+        self.snapshots[initiator.index()] = report;
+        self.snapshots[initiator.index()].aware = aware;
+        Some(update)
     }
 
     /// Stops `victim`'s thread, parking its state and mailbox in the
@@ -382,6 +414,16 @@ where
             _ => None,
         });
         handle.join().expect("crashed worker panicked");
+        // The parked cell will miss every barrier while down; fold its
+        // final stats now so mid-run accounting keeps the frames it
+        // sent since its last Done (e.g. an initiation this round).
+        let aware = self.snapshots[victim.index()].aware;
+        self.snapshots[victim.index()] = DoneReport {
+            stats: cell.stats,
+            pending_frames: cell.pending_frames(),
+            pending_timers: cell.pending_timers(),
+            aware,
+        };
         self.slots[victim.index()] = Some(Slot::Crashed { cell, mailbox });
     }
 
@@ -403,6 +445,14 @@ where
         }
         if let Some(victim) = events.crash {
             self.crash(victim);
+        }
+        if let Some(update) = probe {
+            if self.probed_update != Some(update) {
+                // A fresh update is being probed: the previous probe's
+                // convergence verdict must not leak into this one.
+                self.probed_update = Some(update);
+                self.converged_round = None;
+            }
         }
 
         // Broadcast the tick to every running worker…

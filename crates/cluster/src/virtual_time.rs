@@ -38,6 +38,9 @@ where
     byzantine: Vec<bool>,
     rounds_run: u32,
     converged_round: Option<u32>,
+    /// The update the convergence round belongs to; tracking a
+    /// different update resets `converged_round`.
+    probed_update: Option<UpdateId>,
     staged: Vec<(PeerId, Envelope)>,
 }
 
@@ -83,6 +86,7 @@ where
             byzantine,
             rounds_run: 0,
             converged_round: None,
+            probed_update: None,
             staged: Vec::new(),
         }
     }
@@ -232,6 +236,12 @@ where
     /// convergence round) or `max_rounds` elapse. Returns the converged
     /// round if reached.
     pub fn run_until_all_online_aware(&mut self, update: UpdateId, max_rounds: u32) -> Option<u32> {
+        if self.probed_update != Some(update) {
+            // A fresh update is being tracked: the previous update's
+            // convergence round must not leak into this one's report.
+            self.probed_update = Some(update);
+            self.converged_round = None;
+        }
         let start = self.rounds_run;
         while self.rounds_run - start < max_rounds {
             self.step();

@@ -20,7 +20,7 @@
 //! | [`churn`] | `rumor-churn` | availability models (σ/p_on chains, on/off dwell, traces, catastrophes) |
 //! | [`net`] | `rumor-net` | sync round engine, async event engine, loss/partitions, topologies |
 //! | [`wire`] | `rumor-wire` | versioned, length-prefixed binary wire codec (frames, strict decode) |
-//! | [`cluster`] | `rumor-cluster` | live runtime: sans-IO nodes on OS threads (or virtual time) exchanging encoded frames |
+//! | [`cluster`] | `rumor-cluster` | live runtime: sans-IO nodes on OS threads, a sharded worker pool, or virtual time, exchanging encoded frames |
 //! | [`fuzz`] | `rumor-fuzz` | seeded chaos fuzzer: random scenarios + Byzantine peers vs the convergence oracle, replayable records |
 //! | [`baselines`] | `rumor-baselines` | Gnutella, pure flooding, Haas GOSSIP1, Demers anti-entropy & rumor mongering |
 //! | [`pgrid`] | `rumor-pgrid` | the P-Grid trie overlay hosting the protocol |

@@ -239,6 +239,80 @@ fn threaded_cluster_converges_with_thread_crashes() {
 }
 
 #[test]
+fn virtual_cluster_reports_the_second_updates_convergence_round() {
+    // Regression: `converged_round` was never reset, so a second
+    // tracked update's report carried the *first* update's round.
+    let scenario = cluster_scenario(48, 13, 0);
+    let mut cluster = ClusterBuilder::new(&scenario).virtual_time(paper(48));
+    let first = cluster.initiate(&event()).expect("someone online");
+    let first_round = cluster
+        .run_until_all_online_aware(first, 100)
+        .expect("first update converges");
+
+    let rounds_before_second = cluster.rounds_run();
+    let second_event = UpdateEvent {
+        round: rounds_before_second,
+        key: DataKey::from_name("cluster-motd-2"),
+        delete: false,
+        sequence: 1,
+    };
+    let second = cluster.initiate(&second_event).expect("someone online");
+    assert_ne!(first, second);
+    let second_round = cluster
+        .run_until_all_online_aware(second, 100)
+        .expect("second update converges");
+    assert!(
+        second_round >= rounds_before_second,
+        "second convergence round {second_round} predates the second \
+         initiation at {rounds_before_second} — stale probe state \
+         (first converged at {first_round})"
+    );
+    assert_eq!(cluster.report(second).converged_round, Some(second_round));
+}
+
+#[test]
+fn threaded_cluster_tracks_sequential_updates_independently() {
+    // Regression for two conductor-side staleness bugs: the probe state
+    // must reset when the tracked update changes, and frames sent while
+    // handling an initiation must reach `frames_sent()` immediately
+    // rather than at the next barrier (or never, if the worker crashes
+    // before its next tick).
+    let scenario = cluster_scenario(48, 15, 0);
+    let mut cluster = ClusterBuilder::new(&scenario).threaded(paper(48));
+    let first = cluster.initiate(&event()).expect("someone online");
+    let first_round = cluster
+        .run_until_all_online_aware(first, 100)
+        .expect("first update converges");
+
+    let rounds_before_second = cluster.rounds_run();
+    let frames_before_second = cluster.frames_sent();
+    let second_event = UpdateEvent {
+        round: rounds_before_second,
+        key: DataKey::from_name("cluster-motd-2"),
+        delete: false,
+        sequence: 1,
+    };
+    let second = cluster.initiate(&second_event).expect("someone online");
+    assert_ne!(first, second);
+    assert!(
+        cluster.frames_sent() > frames_before_second,
+        "initiation frames must reach the accounting before the next barrier"
+    );
+    let second_round = cluster
+        .run_until_all_online_aware(second, 100)
+        .expect("second update converges");
+    assert!(
+        second_round >= rounds_before_second,
+        "second convergence round {second_round} predates the second \
+         initiation at {rounds_before_second} — stale probe state \
+         (first converged at {first_round})"
+    );
+    let report = cluster.finish(second);
+    assert_eq!(report.converged_round, Some(second_round));
+    assert_eq!(report.online, report.aware_online);
+}
+
+#[test]
 fn threaded_cluster_drains_to_quiescence_without_round_start_traffic() {
     // Flood-style traffic (no per-round pulls) must quiesce: every frame
     // sent is eventually consumed and the conductor can prove it from
