@@ -25,6 +25,7 @@ fn main() {
     let rows: Vec<ClusterBenchRow> = if smoke {
         vec![
             cluster_bench::measure_paper(32, 20, ExecMode::Threaded),
+            cluster_bench::measure_paper_wire_v2(32, 20, ExecMode::Threaded),
             cluster_bench::measure_anti_entropy(32, 20, ExecMode::Threaded),
             cluster_bench::measure_paper(32, 20, ExecMode::Sharded),
             cluster_bench::measure_paper(4_096, 10, ExecMode::Sharded),
@@ -34,19 +35,30 @@ fn main() {
     };
 
     println!(
-        "{:<14} {:<9} {:>10} {:>8} {:>14} {:>14} {:>12}",
-        "contender", "mode", "population", "rounds", "frames/sec", "bytes/sec", "bytes/frame"
+        "{:<14} {:<5} {:<9} {:>10} {:>8} {:>14} {:>14} {:>12} {:>11}",
+        "contender",
+        "wire",
+        "mode",
+        "population",
+        "rounds",
+        "frames/sec",
+        "bytes/sec",
+        "bytes/msg",
+        "conv round"
     );
     for row in &rows {
         println!(
-            "{:<14} {:<9} {:>10} {:>8} {:>14.1} {:>14.1} {:>12.1}",
+            "{:<14} {:<5} {:<9} {:>10} {:>8} {:>14.1} {:>14.1} {:>12.1} {:>11}",
             row.contender,
+            format!("v{}", row.wire_version),
             row.mode,
             row.population,
             row.rounds,
             row.frames_per_sec,
             row.bytes_per_sec,
-            row.bytes as f64 / (row.frames.max(1)) as f64,
+            row.mean_message_bytes,
+            row.converged_round
+                .map_or_else(|| "-".to_owned(), |r| r.to_string()),
         );
     }
 

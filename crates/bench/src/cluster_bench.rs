@@ -19,15 +19,28 @@ use rumor_core::{ProtocolConfig, PullStrategy};
 use rumor_net::Node;
 use rumor_sim::{PaperProtocol, Protocol, Scenario, TopologySpec, UpdateEvent};
 use rumor_types::{DataKey, UpdateId};
-use rumor_wire::{Decode, Encode};
+use rumor_wire::{Decode, Encode, WireVersion};
 use std::time::Instant;
 
 /// Seed every cluster-bench scenario derives from.
 pub const CLUSTER_BENCH_SEED: u64 = 99;
 
-/// Untimed rounds before the measured window (warms thread caches,
-/// channel buffers and the churn mix).
-pub const WARMUP_ROUNDS: u32 = 10;
+/// Untimed rounds before the measured window. Long enough that the
+/// initial flood has decayed and (under wire v2) most peer pairs have
+/// exchanged their first delta pull — the measured window is the
+/// steady-state staleness-pull regime, not the transient.
+pub const WARMUP_ROUNDS: u32 = 40;
+
+/// Distinct updates seeded at round 0 (one per key). The paper's
+/// steady-state regime circulates many updates, so the store every v1
+/// pull digests is O(`BENCH_UPDATE_BURST`) — a single-update store
+/// would hide exactly the O(store)-vs-O(delta) gap the wire-v2 rows
+/// exist to measure.
+pub const BENCH_UPDATE_BURST: usize = 16;
+
+/// Round cap for the deterministic convergence probe attached to every
+/// row (virtual-time replay of the same scenario seed).
+pub const CONVERGENCE_PROBE_CAP: u32 = 400;
 
 /// Which real-time executor a row was measured on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +82,22 @@ pub struct ClusterBenchRow {
     pub frames: u64,
     /// Bytes sent during the window.
     pub bytes: u64,
+    /// Wire codec version the cluster ran (1 or 2).
+    pub wire_version: u8,
+    /// Logical protocol messages inside `frames` (equal to `frames`
+    /// under wire v1; larger under v2 batch frames).
+    pub messages: u64,
+    /// Mean encoded bytes per frame during the window.
+    pub mean_frame_bytes: f64,
+    /// Mean encoded bytes per *logical message* during the window — the
+    /// bandwidth-diet metric that batching and delta pulls push down.
+    pub mean_message_bytes: f64,
+    /// First round at which every online node was aware of the tracked
+    /// update, from a deterministic virtual-time replay of the same
+    /// scenario seed and protocol (threaded/sharded interleavings are
+    /// nondeterministic, so convergence is probed out of band). `None`
+    /// if the probe cap elapsed first.
+    pub converged_round: Option<u32>,
 }
 
 /// The steady-state environment: partial knowledge (§2), Markov churn
@@ -97,10 +126,24 @@ pub fn bench_paper_config(population: usize) -> ProtocolConfig {
         .expect("valid bench config")
 }
 
-fn bench_event() -> UpdateEvent {
+/// The same paper-peer configuration with digest-delta pulls enabled —
+/// the wire-v2 contender (pull requests quote a sync mark and answers
+/// carry only the missing suffix instead of the full digest).
+pub fn bench_paper_config_v2(population: usize) -> ProtocolConfig {
+    ProtocolConfig::builder(population)
+        .fanout_absolute(4)
+        .pull_strategy(PullStrategy::Eager)
+        .pull_retry(2, 3)
+        .staleness_rounds(6)
+        .delta_pulls(true)
+        .build()
+        .expect("valid bench config")
+}
+
+fn bench_event(index: usize) -> UpdateEvent {
     UpdateEvent {
         round: 0,
-        key: DataKey::from_name("cluster-bench"),
+        key: DataKey::from_name(&format!("cluster-bench-{index}")),
         delete: false,
         sequence: 0,
     }
@@ -113,6 +156,7 @@ trait LiveRun {
     fn run_rounds(&mut self, n: u32);
     fn frames_sent(&self) -> u64;
     fn bytes_sent(&self) -> u64;
+    fn messages_sent(&self) -> u64;
     fn finish_report(self, update: UpdateId) -> ClusterReport;
 }
 
@@ -133,6 +177,9 @@ where
     }
     fn bytes_sent(&self) -> u64 {
         ThreadedCluster::bytes_sent(self)
+    }
+    fn messages_sent(&self) -> u64 {
+        ThreadedCluster::messages_sent(self)
     }
     fn finish_report(self, update: UpdateId) -> ClusterReport {
         self.finish(update)
@@ -157,6 +204,9 @@ where
     fn bytes_sent(&self) -> u64 {
         ShardedCluster::bytes_sent(self)
     }
+    fn messages_sent(&self) -> u64 {
+        ShardedCluster::messages_sent(self)
+    }
     fn finish_report(self, update: UpdateId) -> ClusterReport {
         self.finish(update)
     }
@@ -168,13 +218,21 @@ fn measure_on<C: LiveRun>(
     mut cluster: C,
     population: usize,
     rounds: u32,
+    wire: WireVersion,
+    converged_round: Option<u32>,
 ) -> ClusterBenchRow {
     let update = cluster
-        .initiate_update(&bench_event())
+        .initiate_update(&bench_event(0))
         .expect("bench initiator online");
+    for i in 1..BENCH_UPDATE_BURST {
+        cluster
+            .initiate_update(&bench_event(i))
+            .expect("bench initiator online");
+    }
     cluster.run_rounds(WARMUP_ROUNDS);
     let frames_before = cluster.frames_sent();
     let bytes_before = cluster.bytes_sent();
+    let messages_before = cluster.messages_sent();
     #[allow(clippy::disallowed_methods)]
     // rumor-lint: allow(determinism) -- wall-clock is the measurand here, never a protocol input
     let start = Instant::now();
@@ -182,8 +240,13 @@ fn measure_on<C: LiveRun>(
     let elapsed = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
     let frames = cluster.frames_sent() - frames_before;
     let bytes = cluster.bytes_sent() - bytes_before;
+    let messages = cluster.messages_sent() - messages_before;
     let report = cluster.finish_report(update);
     assert_eq!(report.decode_errors, 0, "bench traffic must decode cleanly");
+    assert_eq!(
+        report.version_mismatches, 0,
+        "bench cluster is version-homogeneous"
+    );
     ClusterBenchRow {
         contender: label.to_owned(),
         mode: mode.label().to_owned(),
@@ -194,7 +257,39 @@ fn measure_on<C: LiveRun>(
         bytes_per_sec: bytes as f64 / elapsed,
         frames,
         bytes,
+        wire_version: wire.byte(),
+        messages,
+        mean_frame_bytes: if frames == 0 {
+            0.0
+        } else {
+            bytes as f64 / frames as f64
+        },
+        mean_message_bytes: if messages == 0 {
+            0.0
+        } else {
+            bytes as f64 / messages as f64
+        },
+        converged_round,
     }
+}
+
+/// Replays the row's scenario seed and protocol in the deterministic
+/// virtual-time executor to pin the convergence round — the live
+/// executors' interleavings are nondeterministic, so convergence is
+/// probed out of band where it is bit-reproducible.
+fn probe_converged_round<P>(scenario: &Scenario, protocol: P, wire: WireVersion) -> Option<u32>
+where
+    P: Protocol,
+    <P::Node as Node>::Msg: Encode + Decode,
+{
+    let mut probe = ClusterBuilder::new(scenario)
+        .wire(wire)
+        .virtual_time(protocol);
+    let update = probe.initiate(&bench_event(0))?;
+    for i in 1..BENCH_UPDATE_BURST {
+        probe.initiate(&bench_event(i))?;
+    }
+    probe.run_until_all_online_aware(update, CONVERGENCE_PROBE_CAP)
 }
 
 fn measure<P>(
@@ -203,23 +298,39 @@ fn measure<P>(
     protocol: P,
     population: usize,
     rounds: u32,
+    wire: WireVersion,
 ) -> ClusterBenchRow
 where
-    P: Protocol + Send + Sync + 'static,
+    P: Protocol + Clone + Send + Sync + 'static,
     P::Node: Send + 'static,
     <P::Node as Node>::Msg: Encode + Decode + Send,
 {
     let scenario = bench_scenario(population, CLUSTER_BENCH_SEED);
-    let builder = ClusterBuilder::new(&scenario);
+    let converged = probe_converged_round(&scenario, protocol.clone(), wire);
+    let builder = ClusterBuilder::new(&scenario).wire(wire);
     match mode {
-        ExecMode::Threaded => {
-            measure_on(label, mode, builder.threaded(protocol), population, rounds)
-        }
-        ExecMode::Sharded => measure_on(label, mode, builder.sharded(protocol), population, rounds),
+        ExecMode::Threaded => measure_on(
+            label,
+            mode,
+            builder.threaded(protocol),
+            population,
+            rounds,
+            wire,
+            converged,
+        ),
+        ExecMode::Sharded => measure_on(
+            label,
+            mode,
+            builder.sharded(protocol),
+            population,
+            rounds,
+            wire,
+            converged,
+        ),
     }
 }
 
-/// Measures the paper peer on the chosen executor.
+/// Measures the paper peer on the chosen executor (wire v1).
 pub fn measure_paper(population: usize, rounds: u32, mode: ExecMode) -> ClusterBenchRow {
     measure(
         "paper",
@@ -227,6 +338,20 @@ pub fn measure_paper(population: usize, rounds: u32, mode: ExecMode) -> ClusterB
         PaperProtocol::new(bench_paper_config(population)),
         population,
         rounds,
+        WireVersion::V1,
+    )
+}
+
+/// Measures the paper peer under wire v2: per-peer batch frames plus
+/// digest-delta pulls. The bandwidth-diet contender.
+pub fn measure_paper_wire_v2(population: usize, rounds: u32, mode: ExecMode) -> ClusterBenchRow {
+    measure(
+        "paper",
+        mode,
+        PaperProtocol::new(bench_paper_config_v2(population)),
+        population,
+        rounds,
+        WireVersion::V2,
     )
 }
 
@@ -239,6 +364,7 @@ pub fn measure_anti_entropy(population: usize, rounds: u32, mode: ExecMode) -> C
         AntiEntropy { push_pull: true },
         population,
         rounds,
+        WireVersion::V1,
     )
 }
 
@@ -263,6 +389,7 @@ pub fn run_matrix(threaded: &[usize], sharded: &[usize]) -> Vec<ClusterBenchRow>
         for &n in populations {
             let rounds = default_rounds_for(n);
             rows.push(measure_paper(n, rounds, mode));
+            rows.push(measure_paper_wire_v2(n, rounds, mode));
             rows.push(measure_anti_entropy(n, rounds, mode));
         }
     }
@@ -270,10 +397,12 @@ pub fn run_matrix(threaded: &[usize], sharded: &[usize]) -> Vec<ClusterBenchRow>
 }
 
 /// Serialises rows into the `BENCH_cluster.json` document (schema
-/// `rumor-bench/cluster/v1`).
+/// `rumor-bench/cluster/v2` — v2 added `wire_version`, `messages`, the
+/// per-frame/per-message byte means and the deterministic
+/// `converged_round` probe; all additive).
 pub fn to_json(rows: &[ClusterBenchRow]) -> Json {
     Json::obj([
-        ("schema", Json::Str("rumor-bench/cluster/v1".into())),
+        ("schema", Json::Str("rumor-bench/cluster/v2".into())),
         ("seed", Json::Int(CLUSTER_BENCH_SEED as i64)),
         ("warmup_rounds", Json::Int(i64::from(WARMUP_ROUNDS))),
         (
@@ -291,6 +420,17 @@ pub fn to_json(rows: &[ClusterBenchRow]) -> Json {
                             ("bytes_per_sec", Json::Num(r.bytes_per_sec)),
                             ("frames", Json::Int(r.frames as i64)),
                             ("bytes", Json::Int(r.bytes as i64)),
+                            ("wire_version", Json::Int(i64::from(r.wire_version))),
+                            ("messages", Json::Int(r.messages as i64)),
+                            ("mean_frame_bytes", Json::Num(r.mean_frame_bytes)),
+                            ("mean_message_bytes", Json::Num(r.mean_message_bytes)),
+                            (
+                                "converged_round",
+                                match r.converged_round {
+                                    Some(round) => Json::Int(i64::from(round)),
+                                    None => Json::Null,
+                                },
+                            ),
                         ])
                     })
                     .collect(),
@@ -309,12 +449,45 @@ mod tests {
         assert_eq!(row.contender, "paper");
         assert_eq!(row.mode, "threaded");
         assert_eq!(row.population, 24);
+        assert_eq!(row.wire_version, 1);
+        assert_eq!(row.messages, row.frames, "wire v1: one message per frame");
         assert!(row.frames > 0, "steady-state scenario must send frames");
         assert!(row.bytes > row.frames * 6, "bytes include frame headers");
         assert!(row.frames_per_sec > 0.0);
         assert!(row.bytes_per_sec > row.frames_per_sec);
+        assert!(row.mean_frame_bytes > 6.0);
+        assert_eq!(row.mean_frame_bytes, row.mean_message_bytes);
+        assert!(
+            row.converged_round.is_some(),
+            "24-node bench scenario converges well inside the probe cap"
+        );
         let ae = measure_anti_entropy(24, 10, ExecMode::Threaded);
         assert!(ae.frames > 0);
+    }
+
+    #[test]
+    fn wire_v2_row_spends_fewer_bytes_per_message_at_the_same_convergence() {
+        let v1 = measure_paper(24, 10, ExecMode::Threaded);
+        let v2 = measure_paper_wire_v2(24, 10, ExecMode::Threaded);
+        assert_eq!(v2.wire_version, 2);
+        assert!(
+            v2.messages >= v2.frames,
+            "batch frames carry at least one message each"
+        );
+        assert!(
+            v2.mean_message_bytes < v1.mean_message_bytes,
+            "the bandwidth diet must show: v2 {} vs v1 {}",
+            v2.mean_message_bytes,
+            v1.mean_message_bytes
+        );
+        // Both probes are deterministic replays of the same seed; the
+        // diet must not slow the rumor down.
+        let v1_round = v1.converged_round.expect("v1 probe converges");
+        let v2_round = v2.converged_round.expect("v2 probe converges");
+        assert!(
+            v2_round <= v1_round,
+            "wire v2 must not delay convergence: v2 {v2_round} vs v1 {v1_round}"
+        );
     }
 
     #[test]
@@ -343,11 +516,16 @@ mod tests {
             bytes_per_sec: 600.0,
             frames: 10,
             bytes: 300,
+            wire_version: 2,
+            messages: 25,
+            mean_frame_bytes: 30.0,
+            mean_message_bytes: 12.0,
+            converged_round: Some(7),
         }];
         let text = to_json(&rows).pretty();
         for key in [
             "\"schema\"",
-            "rumor-bench/cluster/v1",
+            "rumor-bench/cluster/v2",
             "\"seed\"",
             "\"warmup_rounds\"",
             "\"rows\"",
@@ -360,6 +538,11 @@ mod tests {
             "\"bytes_per_sec\"",
             "\"frames\"",
             "\"bytes\"",
+            "\"wire_version\"",
+            "\"messages\"",
+            "\"mean_frame_bytes\"",
+            "\"mean_message_bytes\"",
+            "\"converged_round\"",
         ] {
             assert!(text.contains(key), "missing {key} in {text}");
         }

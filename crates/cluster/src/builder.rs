@@ -10,7 +10,7 @@ use rumor_churn::OnlineSet;
 use rumor_net::Node;
 use rumor_sim::{Protocol, Scenario};
 use rumor_types::{PeerId, SeedSequence};
-use rumor_wire::{Decode, Encode};
+use rumor_wire::{Decode, Encode, WireVersion};
 
 /// Builds a live cluster from the same declarative [`Scenario`] the
 /// simulation harness uses — identical topology draw, initial
@@ -44,6 +44,7 @@ pub struct ClusterBuilder<'a> {
     scenario: &'a Scenario,
     faults: FaultSpec,
     delay: DelaySpec,
+    wire: WireVersion,
     workers: Option<usize>,
 }
 
@@ -55,8 +56,19 @@ impl<'a> ClusterBuilder<'a> {
             scenario,
             faults: FaultSpec::default(),
             delay: DelaySpec::default(),
+            wire: WireVersion::default(),
             workers: None,
         }
+    }
+
+    /// Selects the wire codec version every mounted cell speaks.
+    /// [`WireVersion::V1`] — the default — frames one message per frame
+    /// and keeps existing seeded runs bit-identical; [`WireVersion::V2`]
+    /// coalesces each tick's per-peer traffic into batch frames (one
+    /// header amortised over the group) and decodes both versions.
+    pub fn wire(mut self, wire: WireVersion) -> Self {
+        self.wire = wire;
+        self
     }
 
     /// Installs a crash/restart (and optionally Byzantine) fault plan.
@@ -84,7 +96,7 @@ impl<'a> ClusterBuilder<'a> {
         P: Protocol,
         <P::Node as Node>::Msg: Encode + Decode,
     {
-        VirtualCluster::mount(self.scenario, protocol, self.faults, self.delay)
+        VirtualCluster::mount(self.scenario, protocol, self.faults, self.delay, self.wire)
     }
 
     /// Sets the worker-thread count for [`ClusterBuilder::sharded`]
@@ -104,7 +116,7 @@ impl<'a> ClusterBuilder<'a> {
         P::Node: Send + 'static,
         <P::Node as Node>::Msg: Encode + Decode + Send,
     {
-        ThreadedCluster::mount(self.scenario, protocol, self.faults, self.delay)
+        ThreadedCluster::mount(self.scenario, protocol, self.faults, self.delay, self.wire)
     }
 
     /// Mounts `protocol` onto a fixed pool of worker threads, each
@@ -122,6 +134,7 @@ impl<'a> ClusterBuilder<'a> {
             protocol,
             self.faults,
             self.delay,
+            self.wire,
             self.workers,
         )
     }
@@ -140,6 +153,7 @@ pub(crate) fn build_cells<P: Protocol>(
     online: &OnlineSet,
     faults: &FaultSpec,
     delay: DelaySpec,
+    wire: WireVersion,
 ) -> (Vec<NodeCell<P::Node>>, Vec<bool>)
 where
     <P::Node as Node>::Msg: Encode + Decode,
@@ -161,6 +175,7 @@ where
                 link_seeds.next_seed(),
                 delay,
             );
+            cell.set_wire(wire);
             if flags[i] {
                 cell.set_byzantine(ByzantineState::new(
                     faults.byzantine.behaviour,

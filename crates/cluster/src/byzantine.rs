@@ -139,6 +139,18 @@ pub(crate) enum TamperedFrame<M> {
     Raw(Bytes),
 }
 
+/// What a Byzantine member decided to do with one outgoing frame group
+/// — the wire-v2 flush unit, where all of a tick's messages to one peer
+/// leave as a single (batch) frame.
+pub(crate) struct TamperedGroup {
+    /// The frame to put on the wire (clean, forged or corrupted).
+    pub frame: Bytes,
+    /// An old frame to replay to the same target, on top of the send.
+    pub replay: Option<Bytes>,
+    /// Whether the member actually lied this turn (for accounting).
+    pub tampered: bool,
+}
+
 impl<M> ByzantineState<M> {
     pub fn new(behaviour: ByzantineBehaviour, seed: u64, liar: Option<MsgTamper<M>>) -> Self {
         Self {
@@ -220,6 +232,65 @@ impl<M> ByzantineState<M> {
                 Tampered {
                     tampered: replay.is_some(),
                     outgoing: TamperedFrame::Raw(clean),
+                    replay,
+                }
+            }
+            ByzantineBehaviour::Mixed => unreachable!("next_behaviour resolves Mixed"),
+        }
+    }
+
+    /// Frame-group analogue of [`ByzantineState::tamper`] for the
+    /// wire-v2 path: one behaviour draw per outgoing *frame*, not per
+    /// message. A digest-lie turn rewrites the group's messages in
+    /// place before encoding; a corrupt-frames turn damages the encoded
+    /// batch once, so receivers drop the whole group and count a single
+    /// reject; a stale-replay turn re-injects an entire remembered
+    /// frame. `encode` is called exactly once, on the clean (or forged)
+    /// group.
+    pub fn tamper_group(
+        &mut self,
+        msgs: &mut [M],
+        encode: impl Fn(&[M]) -> Bytes,
+    ) -> TamperedGroup {
+        match self.next_behaviour() {
+            ByzantineBehaviour::DigestLie => {
+                let mut tampered = false;
+                if let Some(lie) = self.liar {
+                    for msg in msgs.iter_mut() {
+                        if let Some(forged) = lie(msg) {
+                            *msg = forged;
+                            tampered = true;
+                        }
+                    }
+                }
+                TamperedGroup {
+                    frame: encode(msgs),
+                    replay: None,
+                    tampered,
+                }
+            }
+            ByzantineBehaviour::CorruptFrames => {
+                let clean = encode(msgs);
+                let corruption =
+                    FrameCorruption::from_draws(self.rng.gen::<u32>(), self.rng.gen::<u32>());
+                TamperedGroup {
+                    frame: corruption.apply(&clean),
+                    replay: None,
+                    tampered: true,
+                }
+            }
+            ByzantineBehaviour::StaleReplay => {
+                let clean = encode(msgs);
+                self.remember(&clean);
+                let replay = if self.memory.len() > 1 {
+                    let pick = self.rng.gen_range(0..self.memory.len());
+                    Some(self.memory[pick].clone())
+                } else {
+                    None
+                };
+                TamperedGroup {
+                    tampered: replay.is_some(),
+                    frame: clean,
                     replay,
                 }
             }

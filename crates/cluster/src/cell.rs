@@ -15,7 +15,10 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rumor_net::{Effect, EffectSink, LinkFilter, Node};
 use rumor_types::{PeerId, Round};
-use rumor_wire::{decode_frame, encode_frame, Decode, Encode};
+use rumor_wire::{
+    decode_frame, decode_frame_v2, encode_frame, BatchEncoder, Decode, Encode, WireError,
+    WireVersion,
+};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -67,17 +70,30 @@ impl Ord for TimerEntry {
 /// Per-cell traffic accounting. `sent` counts frames handed to the
 /// transport (the paper's overhead metric counts sends to offline peers
 /// too); the consumed side splits into delivered / lost-offline /
-/// lost-fault / decode-error so `sent == consumed` across the cluster is
-/// the quiescence check.
+/// lost-fault / decode-error / version-mismatch so `sent == consumed`
+/// across the cluster is the quiescence check. Under wire v1 every
+/// frame carries exactly one message and the `messages_*` counters move
+/// in lockstep with the frame counters; under wire v2 one batch frame
+/// carries a whole per-peer round group, so the two diverge and the
+/// ratio is the batching win.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub(crate) struct CellStats {
     pub sent: u64,
     pub bytes_sent: u64,
+    /// Logical protocol messages inside `sent` frames (a replayed frame
+    /// is opaque and counts as one).
+    pub messages_sent: u64,
     pub delivered: u64,
     pub bytes_delivered: u64,
+    /// Logical messages handed to the node out of `delivered` frames.
+    pub messages_delivered: u64,
     pub lost_offline: u64,
     pub lost_fault: u64,
     pub decode_errors: u64,
+    /// Frames rejected for carrying a codec version this cell does not
+    /// speak (a v2 batch arriving at a v1 cell, a forged version byte) —
+    /// distinct from `decode_errors` so coexistence drops are visible.
+    pub version_mismatches: u64,
     /// Sends this cell's Byzantine layer tampered with (lied, replayed
     /// or corrupted). Always 0 on an honest cell.
     pub tampered: u64,
@@ -87,7 +103,11 @@ impl CellStats {
     /// Frames this cell has consumed (delivered or dropped for any
     /// reason) — the receiving side of the in-flight balance.
     pub fn consumed(&self) -> u64 {
-        self.delivered + self.lost_offline + self.lost_fault + self.decode_errors
+        self.delivered
+            + self.lost_offline
+            + self.lost_fault
+            + self.decode_errors
+            + self.version_mismatches
     }
 
     /// Adds `other`'s counters into `self` — shard-level aggregation in
@@ -95,11 +115,14 @@ impl CellStats {
     pub fn absorb(&mut self, other: &CellStats) {
         self.sent += other.sent;
         self.bytes_sent += other.bytes_sent;
+        self.messages_sent += other.messages_sent;
         self.delivered += other.delivered;
         self.bytes_delivered += other.bytes_delivered;
+        self.messages_delivered += other.messages_delivered;
         self.lost_offline += other.lost_offline;
         self.lost_fault += other.lost_fault;
         self.decode_errors += other.decode_errors;
+        self.version_mismatches += other.version_mismatches;
         self.tampered += other.tampered;
     }
 }
@@ -119,6 +142,11 @@ pub(crate) struct NodeCell<N: Node> {
     pub stats: CellStats,
     delay: DelaySpec,
     byz: Option<ByzantineState<N::Msg>>,
+    wire: WireVersion,
+    /// Wire-v2 send staging: `(target, message)` pairs accumulated over
+    /// one tick, flushed per peer as (batch) frames at the tick's end.
+    outbox: Vec<(PeerId, N::Msg)>,
+    decode_scratch: Vec<N::Msg>,
     retained_scratch: Vec<Envelope>,
     due_scratch: Vec<(u32, u64)>,
 }
@@ -143,6 +171,9 @@ where
             stats: CellStats::default(),
             delay,
             byz: None,
+            wire: WireVersion::V1,
+            outbox: Vec::new(),
+            decode_scratch: Vec::new(),
             retained_scratch: Vec::new(),
             due_scratch: Vec::new(),
         }
@@ -152,6 +183,13 @@ where
     /// outgoing message passes through the Byzantine tamper layer.
     pub fn set_byzantine(&mut self, state: ByzantineState<N::Msg>) {
         self.byz = Some(state);
+    }
+
+    /// Selects the wire codec version this cell speaks. V1 — the
+    /// default — frames one message per frame; V2 coalesces each tick's
+    /// per-peer traffic into batch frames and decodes both versions.
+    pub fn set_wire(&mut self, wire: WireVersion) {
+        self.wire = wire;
     }
 
     /// Frames queued (not yet delivered or dropped).
@@ -179,6 +217,12 @@ where
         for effect in self.sink.drain() {
             match effect {
                 Effect::Send { to, msg } => {
+                    if self.wire == WireVersion::V2 {
+                        // Staged; the end-of-tick flush groups per peer
+                        // and emits one (batch) frame per target.
+                        self.outbox.push((to, msg));
+                        continue;
+                    }
                     let (frame, replay) = match self.byz.as_mut() {
                         None => (encode_frame(&msg), None),
                         Some(byz) => {
@@ -194,6 +238,7 @@ where
                         }
                     };
                     self.stats.sent += 1;
+                    self.stats.messages_sent += 1;
                     self.stats.bytes_sent += frame.len() as u64;
                     dispatch(
                         to,
@@ -206,6 +251,7 @@ where
                     );
                     if let Some(stale) = replay {
                         self.stats.sent += 1;
+                        self.stats.messages_sent += 1;
                         self.stats.bytes_sent += stale.len() as u64;
                         dispatch(
                             to,
@@ -231,6 +277,67 @@ where
         }
     }
 
+    /// Flushes the wire-v2 outbox: staged sends are grouped per target
+    /// peer (first-send order; a linear scan, not a hash, so iteration
+    /// stays deterministic), each group leaves as one frame — a plain
+    /// frame for a lone message, a batch frame for two or more — and
+    /// the Byzantine layer tampers per *frame*, not per message. No-op
+    /// under wire v1, whose sends never stage.
+    fn flush_outbox(&mut self, deliver_from: u32, dispatch: &mut dyn FnMut(PeerId, Envelope)) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let staged = std::mem::take(&mut self.outbox);
+        let mut groups: Vec<(PeerId, Vec<N::Msg>)> = Vec::new();
+        for (to, msg) in staged {
+            match groups.iter_mut().find(|(peer, _)| *peer == to) {
+                Some((_, group)) => group.push(msg),
+                None => groups.push((to, vec![msg])),
+            }
+        }
+        for (to, mut msgs) in groups {
+            let count = msgs.len() as u64;
+            let (frame, replay) = match self.byz.as_mut() {
+                None => (encode_group(&msgs), None),
+                Some(byz) => {
+                    let decision = byz.tamper_group(&mut msgs, encode_group);
+                    if decision.tampered {
+                        self.stats.tampered += 1;
+                    }
+                    (decision.frame, decision.replay)
+                }
+            };
+            self.stats.sent += 1;
+            self.stats.messages_sent += count;
+            self.stats.bytes_sent += frame.len() as u64;
+            dispatch(
+                to,
+                Envelope {
+                    from: self.id,
+                    deliver_from,
+                    delay_resolved: false,
+                    frame,
+                },
+            );
+            if let Some(stale) = replay {
+                // A replayed frame's content is opaque here: one frame,
+                // counted as one logical message.
+                self.stats.sent += 1;
+                self.stats.messages_sent += 1;
+                self.stats.bytes_sent += stale.len() as u64;
+                dispatch(
+                    to,
+                    Envelope {
+                        from: self.id,
+                        deliver_from,
+                        delay_resolved: false,
+                        frame: stale,
+                    },
+                );
+            }
+        }
+    }
+
     /// Runs `f` against the node outside a tick (update initiation): its
     /// sends become deliverable at the *next* tick (`round`), mirroring
     /// `SyncEngine::inject` before a step.
@@ -242,6 +349,7 @@ where
     ) -> T {
         let out = f(&mut self.node, &mut self.rng, &mut self.sink);
         self.drain_effects(round, round, round, dispatch);
+        self.flush_outbox(round, dispatch);
         out
     }
 
@@ -332,28 +440,94 @@ where
                 self.stats.lost_offline += 1;
                 continue;
             }
-            if !filter.allows(env.from, self.id, r, &mut self.link_rng) {
-                self.stats.lost_fault += 1;
-                continue;
-            }
-            match decode_frame::<N::Msg>(&env.frame) {
-                Err(_) => self.stats.decode_errors += 1,
-                Ok(msg) => {
-                    self.stats.delivered += 1;
-                    self.stats.bytes_delivered += env.frame.len() as u64;
-                    if let Some(byz) = self.byz.as_mut() {
-                        if byz.replays() {
-                            byz.remember(&env.frame);
+            match self.wire {
+                WireVersion::V1 => {
+                    if !filter.allows(env.from, self.id, r, &mut self.link_rng) {
+                        self.stats.lost_fault += 1;
+                        continue;
+                    }
+                    match decode_frame::<N::Msg>(&env.frame) {
+                        Err(WireError::BadVersion { .. }) => self.stats.version_mismatches += 1,
+                        Err(_) => self.stats.decode_errors += 1,
+                        Ok(msg) => {
+                            self.stats.delivered += 1;
+                            self.stats.messages_delivered += 1;
+                            self.stats.bytes_delivered += env.frame.len() as u64;
+                            if let Some(byz) = self.byz.as_mut() {
+                                if byz.replays() {
+                                    byz.remember(&env.frame);
+                                }
+                            }
+                            self.node
+                                .on_message(env.from, msg, r, &mut self.rng, &mut self.sink);
+                            self.drain_effects(round, round + 1, round + 1, dispatch);
                         }
                     }
-                    self.node
-                        .on_message(env.from, msg, r, &mut self.rng, &mut self.sink);
-                    self.drain_effects(round, round + 1, round + 1, dispatch);
+                }
+                WireVersion::V2 => {
+                    // Decode the whole frame first — a corrupted batch
+                    // drops whole and counts once — then draw the link
+                    // filter per logical message in send order,
+                    // mirroring v1's one draw per single-message frame
+                    // so zero-delay link-RNG trajectories stay aligned.
+                    let mut msgs = std::mem::take(&mut self.decode_scratch);
+                    msgs.clear();
+                    match decode_frame_v2::<N::Msg>(&env.frame, &mut msgs) {
+                        Err(WireError::BadVersion { .. }) => self.stats.version_mismatches += 1,
+                        Err(_) => self.stats.decode_errors += 1,
+                        Ok(()) => {
+                            if let Some(byz) = self.byz.as_mut() {
+                                if byz.replays() {
+                                    byz.remember(&env.frame);
+                                }
+                            }
+                            let mut survivors = 0u64;
+                            for msg in msgs.drain(..) {
+                                if !filter.allows(env.from, self.id, r, &mut self.link_rng) {
+                                    continue;
+                                }
+                                survivors += 1;
+                                self.node.on_message(
+                                    env.from,
+                                    msg,
+                                    r,
+                                    &mut self.rng,
+                                    &mut self.sink,
+                                );
+                                self.drain_effects(round, round + 1, round + 1, dispatch);
+                            }
+                            self.stats.messages_delivered += survivors;
+                            if survivors > 0 {
+                                self.stats.delivered += 1;
+                                self.stats.bytes_delivered += env.frame.len() as u64;
+                            } else {
+                                self.stats.lost_fault += 1;
+                            }
+                        }
+                    }
+                    self.decode_scratch = msgs;
                 }
             }
         }
         self.inbox.extend(retained.drain(..));
         self.retained_scratch = retained;
+        self.flush_outbox(round + 1, dispatch);
+    }
+}
+
+/// Encodes one per-peer send group: a lone message leaves as a plain
+/// frame (v1 or v2 header according to its kind), two or more as one
+/// wire-v2 batch frame.
+fn encode_group<M: Encode>(msgs: &[M]) -> Bytes {
+    match msgs {
+        [single] => encode_frame(single),
+        _ => {
+            let mut batch = BatchEncoder::new();
+            for msg in msgs {
+                batch.push(msg);
+            }
+            batch.finish()
+        }
     }
 }
 
@@ -523,12 +697,19 @@ mod tests {
     #[test]
     fn corrupt_frames_are_counted_not_panicked() {
         let mut c = cell(0);
+        // Valid v1 header, unknown kind: a decode error proper.
+        let mut env = envelope(1, 1, 0);
+        env.frame = Bytes::copy_from_slice(&[1, 0xEE, 0, 0, 0, 0]);
+        c.inbox.push_back(env);
+        // Foreign version byte: counted as a version mismatch instead.
         let mut env = envelope(1, 1, 0);
         env.frame = Bytes::copy_from_slice(&[0xFF, 0, 0, 0, 0, 0]);
         c.inbox.push_back(env);
         c.tick(1, true, &PerfectLinks, &mut |_, _| {});
         assert_eq!(c.stats.decode_errors, 1);
+        assert_eq!(c.stats.version_mismatches, 1);
         assert_eq!(c.stats.delivered, 0);
+        assert_eq!(c.stats.consumed(), 2);
     }
 
     #[test]
@@ -605,17 +786,21 @@ mod tests {
     fn every_corruption_class_counts_a_decode_error_and_the_cell_survives() {
         use rumor_wire::{garbage_frame, FrameCorruption};
         let clean = encode_frame(&Num(5));
-        let bad_frames: Vec<Bytes> = vec![
+        // Payload/kind/length damage stays a decode error; version-byte
+        // damage (bump, flip at 0, garbage) is a version mismatch.
+        let decode_bad: Vec<Bytes> = vec![
             FrameCorruption::Truncate { keep: 3 }.apply(&clean),
-            FrameCorruption::BumpVersion.apply(&clean),
             FrameCorruption::ForgeKind { kind: 0xEE }.apply(&clean),
             FrameCorruption::InflateLength { extra: 9 }.apply(&clean),
+        ];
+        let version_bad: Vec<Bytes> = vec![
+            FrameCorruption::BumpVersion.apply(&clean),
             FrameCorruption::FlipByte { index: 0 }.apply(&clean),
             garbage_frame(16, 0xAB),
         ];
-        let total = bad_frames.len() as u64;
+        let (decode_total, version_total) = (decode_bad.len() as u64, version_bad.len() as u64);
         let mut c = cell(0);
-        for frame in bad_frames {
+        for frame in decode_bad.into_iter().chain(version_bad) {
             c.inbox.push_back(Envelope {
                 from: PeerId::new(1),
                 deliver_from: 1,
@@ -625,12 +810,19 @@ mod tests {
         }
         c.inbox.push_back(envelope(1, 1, 9));
         c.tick(1, true, &PerfectLinks, &mut |_, _| {});
-        assert_eq!(c.stats.decode_errors, total, "each bad frame is counted");
+        assert_eq!(
+            c.stats.decode_errors, decode_total,
+            "each bad frame is counted"
+        );
+        assert_eq!(
+            c.stats.version_mismatches, version_total,
+            "version damage is counted apart"
+        );
         assert_eq!(c.stats.delivered, 1, "the clean frame still delivers");
         assert_eq!(c.node.received, vec![(PeerId::new(1), 9)]);
         assert_eq!(
             c.stats.consumed(),
-            total + 1,
+            decode_total + version_total + 1,
             "rejects balance the in-flight ledger"
         );
     }
@@ -710,6 +902,167 @@ mod tests {
             replayed == Num(1) || replayed == Num(2),
             "replay is a real old frame"
         );
+    }
+
+    /// Fan-out node: on round start, sends `copies` messages to peer 1
+    /// and one to peer 2 (exercising per-peer grouping).
+    struct FanOut {
+        id: PeerId,
+        copies: u32,
+        received: Vec<(PeerId, u32)>,
+    }
+
+    impl Node for FanOut {
+        type Msg = Num;
+        fn id(&self) -> PeerId {
+            self.id
+        }
+        fn on_message(
+            &mut self,
+            from: PeerId,
+            msg: Num,
+            _round: Round,
+            _rng: &mut ChaCha8Rng,
+            _out: &mut EffectSink<Num>,
+        ) {
+            self.received.push((from, msg.0));
+        }
+        fn on_round_start(
+            &mut self,
+            _round: Round,
+            _rng: &mut ChaCha8Rng,
+            out: &mut EffectSink<Num>,
+        ) {
+            for n in 0..self.copies {
+                out.send(PeerId::new(1), Num(n));
+            }
+            out.send(PeerId::new(2), Num(99));
+        }
+    }
+
+    fn v2_fanout_cell(copies: u32) -> NodeCell<FanOut> {
+        let mut c = NodeCell::new(
+            PeerId::new(0),
+            FanOut {
+                id: PeerId::new(0),
+                copies,
+                received: Vec::new(),
+            },
+            1,
+            2,
+            DelaySpec::default(),
+        );
+        c.set_wire(WireVersion::V2);
+        c
+    }
+
+    #[test]
+    fn v2_cell_coalesces_per_peer_sends_into_batch_frames() {
+        let mut c = v2_fanout_cell(16);
+        let mut out = Vec::new();
+        c.tick(0, true, &PerfectLinks, &mut |to, env| out.push((to, env)));
+        // Two frames left: one batch of 16 for peer 1, one plain frame
+        // for peer 2 — instead of wire v1's seventeen frames.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, PeerId::new(1));
+        assert_eq!(out[1].0, PeerId::new(2));
+        assert_eq!(c.stats.sent, 2);
+        assert_eq!(c.stats.messages_sent, 17);
+        let mut batch: Vec<Num> = Vec::new();
+        decode_frame_v2(&out[0].1.frame, &mut batch).expect("batch decodes");
+        assert_eq!(batch, (0..16).map(Num).collect::<Vec<_>>());
+        // The singleton went out as a plain decodable v1 frame.
+        assert_eq!(decode_frame::<Num>(&out[1].1.frame).unwrap(), Num(99));
+        // Header amortisation: the batch undercuts sixteen lone frames.
+        assert!(out[0].1.frame.len() < 16 * encode_frame(&Num(0)).len());
+    }
+
+    #[test]
+    fn v2_cell_delivers_batches_and_counts_messages() {
+        let mut c = v2_fanout_cell(0);
+        let mut batch = BatchEncoder::new();
+        for n in [5, 6, 7] {
+            batch.push(&Num(n));
+        }
+        c.inbox.push_back(Envelope {
+            from: PeerId::new(9),
+            deliver_from: 1,
+            delay_resolved: false,
+            frame: batch.finish(),
+        });
+        c.tick(1, true, &PerfectLinks, &mut |_, _| {});
+        assert_eq!(
+            c.node.received,
+            vec![
+                (PeerId::new(9), 5),
+                (PeerId::new(9), 6),
+                (PeerId::new(9), 7)
+            ]
+        );
+        assert_eq!(c.stats.delivered, 1, "one frame");
+        assert_eq!(c.stats.messages_delivered, 3, "three messages");
+    }
+
+    #[test]
+    fn v1_cell_counts_a_batch_as_a_version_mismatch_not_a_decode_error() {
+        let mut c = cell(0);
+        let mut batch = BatchEncoder::new();
+        batch.push(&Num(1));
+        c.inbox.push_back(Envelope {
+            from: PeerId::new(9),
+            deliver_from: 1,
+            delay_resolved: false,
+            frame: batch.finish(),
+        });
+        c.tick(1, true, &PerfectLinks, &mut |_, _| {});
+        assert_eq!(c.stats.version_mismatches, 1);
+        assert_eq!(c.stats.decode_errors, 0);
+        assert!(c.node.received.is_empty());
+    }
+
+    #[test]
+    fn corrupted_batch_drops_whole_and_counts_once() {
+        use rumor_wire::FrameCorruption;
+        let mut c = v2_fanout_cell(0);
+        let mut batch = BatchEncoder::new();
+        for n in 0..5 {
+            batch.push(&Num(n));
+        }
+        let corrupted = FrameCorruption::Truncate { keep: 14 }.apply(&batch.finish());
+        c.inbox.push_back(Envelope {
+            from: PeerId::new(9),
+            deliver_from: 1,
+            delay_resolved: false,
+            frame: corrupted,
+        });
+        c.tick(1, true, &PerfectLinks, &mut |_, _| {});
+        // Five messages were lost but the ledger records exactly one
+        // rejected frame and zero partial deliveries.
+        assert_eq!(c.stats.decode_errors + c.stats.version_mismatches, 1);
+        assert_eq!(c.stats.messages_delivered, 0);
+        assert!(c.node.received.is_empty(), "no partial batch delivery");
+    }
+
+    #[test]
+    fn v2_corrupt_member_damages_the_whole_batch_frame() {
+        let mut c = v2_fanout_cell(3);
+        c.set_byzantine(ByzantineState::new(
+            ByzantineBehaviour::CorruptFrames,
+            5,
+            None,
+        ));
+        let mut out = Vec::new();
+        c.tick(0, true, &PerfectLinks, &mut |to, env| out.push((to, env)));
+        assert_eq!(out.len(), 2, "one frame per peer group");
+        assert_eq!(c.stats.tampered, 2, "one tamper decision per frame");
+        let mut scratch: Vec<Num> = Vec::new();
+        for (_, env) in &out {
+            scratch.clear();
+            assert!(
+                decode_frame_v2::<Num>(&env.frame, &mut scratch).is_err(),
+                "corrupted group frame must not decode"
+            );
+        }
     }
 
     #[test]

@@ -97,3 +97,7 @@ pub use report::ClusterReport;
 pub use sharded::ShardedCluster;
 pub use threaded::ThreadedCluster;
 pub use virtual_time::VirtualCluster;
+
+// Re-exported so downstream crates can select a codec for
+// [`ClusterBuilder::wire`] without depending on `rumor-wire` directly.
+pub use rumor_wire::WireVersion;

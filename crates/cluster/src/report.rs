@@ -20,16 +20,26 @@ pub struct ClusterReport {
     pub frames_sent: u64,
     /// Encoded bytes of `frames_sent` (header + payload per frame).
     pub bytes_sent: u64,
+    /// Logical protocol messages inside `frames_sent`. Equal to
+    /// `frames_sent` under wire v1 (one message per frame); larger under
+    /// wire v2, where per-peer batch frames carry whole round groups.
+    pub messages_sent: u64,
     /// Frames delivered to an online node and decoded successfully.
     pub frames_delivered: u64,
     /// Encoded bytes of `frames_delivered`.
     pub bytes_delivered: u64,
+    /// Logical messages handed to nodes out of `frames_delivered`.
+    pub messages_delivered: u64,
     /// Frames dropped because the target was offline or crashed.
     pub lost_offline: u64,
     /// Frames dropped by the link-fault filter (loss / partition).
     pub lost_fault: u64,
     /// Frames that failed strict decoding (0 in a healthy cluster).
     pub decode_errors: u64,
+    /// Frames dropped for carrying a codec version the receiver does
+    /// not speak — v1/v2 coexistence drops, counted apart from
+    /// `decode_errors` (0 in a version-homogeneous cluster).
+    pub version_mismatches: u64,
     /// Sends the Byzantine members tampered with (0 without adversaries).
     pub frames_tampered: u64,
     /// Node crashes injected.
@@ -73,11 +83,14 @@ impl ClusterReport {
             rounds: outcome.rounds,
             frames_sent: 0,
             bytes_sent: 0,
+            messages_sent: 0,
             frames_delivered: 0,
             bytes_delivered: 0,
+            messages_delivered: 0,
             lost_offline: 0,
             lost_fault: 0,
             decode_errors: 0,
+            version_mismatches: 0,
             frames_tampered: 0,
             crashes: outcome.crashes,
             restarts: outcome.restarts,
@@ -90,11 +103,14 @@ impl ClusterReport {
         for cell in stats {
             report.frames_sent += cell.sent;
             report.bytes_sent += cell.bytes_sent;
+            report.messages_sent += cell.messages_sent;
             report.frames_delivered += cell.delivered;
             report.bytes_delivered += cell.bytes_delivered;
+            report.messages_delivered += cell.messages_delivered;
             report.lost_offline += cell.lost_offline;
             report.lost_fault += cell.lost_fault;
             report.decode_errors += cell.decode_errors;
+            report.version_mismatches += cell.version_mismatches;
             report.frames_tampered += cell.tampered;
         }
         report
@@ -117,6 +133,18 @@ impl ClusterReport {
             self.bytes_sent as f64 / self.frames_sent as f64
         }
     }
+
+    /// Mean wire bytes per *logical message* sent — the bandwidth-diet
+    /// metric. Under wire v1 this equals [`ClusterReport::mean_frame_bytes`];
+    /// under wire v2 batching amortises headers across the group and
+    /// this falls below it.
+    pub fn mean_message_bytes(&self) -> f64 {
+        if self.messages_sent == 0 {
+            0.0
+        } else {
+            self.bytes_sent as f64 / self.messages_sent as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -128,11 +156,14 @@ mod tests {
             rounds: 10,
             frames_sent: 4,
             bytes_sent: 100,
+            messages_sent: 10,
             frames_delivered: 3,
             bytes_delivered: 75,
+            messages_delivered: 8,
             lost_offline: 1,
             lost_fault: 0,
             decode_errors: 0,
+            version_mismatches: 0,
             frames_tampered: 0,
             crashes: 1,
             restarts: 1,
@@ -149,6 +180,7 @@ mod tests {
         let r = report();
         assert_eq!(r.aware_online_fraction(), 0.75);
         assert_eq!(r.mean_frame_bytes(), 25.0);
+        assert_eq!(r.mean_message_bytes(), 10.0);
     }
 
     #[test]
@@ -156,7 +188,9 @@ mod tests {
         let mut r = report();
         r.online = 0;
         r.frames_sent = 0;
+        r.messages_sent = 0;
         assert_eq!(r.aware_online_fraction(), 0.0);
         assert_eq!(r.mean_frame_bytes(), 0.0);
+        assert_eq!(r.mean_message_bytes(), 0.0);
     }
 }

@@ -353,11 +353,12 @@ where
         protocol: P,
         faults: FaultSpec,
         delay: DelaySpec,
+        wire: rumor_wire::WireVersion,
         workers: Option<usize>,
     ) -> Self {
         let online = scenario.initial_online_set();
         let (cells, byzantine) =
-            crate::builder::build_cells(scenario, &protocol, &online, &faults, delay);
+            crate::builder::build_cells(scenario, &protocol, &online, &faults, delay, wire);
         let population = cells.len();
         let map = ShardMap::new(population, workers.unwrap_or_else(default_workers));
         let protocol = Arc::new(protocol);
@@ -470,6 +471,12 @@ where
     /// Encoded bytes of [`ShardedCluster::frames_sent`].
     pub fn bytes_sent(&self) -> u64 {
         self.snapshots.iter().map(|s| s.stats.bytes_sent).sum()
+    }
+
+    /// Logical protocol messages inside [`ShardedCluster::frames_sent`]
+    /// (equal to it under wire v1; larger under v2 batch frames).
+    pub fn messages_sent(&self) -> u64 {
+        self.snapshots.iter().map(|s| s.stats.messages_sent).sum()
     }
 
     /// True when, as of the last barrier, every frame was consumed, no

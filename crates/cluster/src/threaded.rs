@@ -225,10 +225,11 @@ where
         protocol: P,
         faults: FaultSpec,
         delay: DelaySpec,
+        wire: rumor_wire::WireVersion,
     ) -> Self {
         let online = scenario.initial_online_set();
         let (cells, byzantine) =
-            crate::builder::build_cells(scenario, &protocol, &online, &faults, delay);
+            crate::builder::build_cells(scenario, &protocol, &online, &faults, delay, wire);
         let population = cells.len();
         let protocol = Arc::new(protocol);
         let filter: Arc<dyn LinkFilter + Send + Sync> = Arc::from(scenario.link_filter());
@@ -337,6 +338,12 @@ where
     /// Encoded bytes of [`ThreadedCluster::frames_sent`].
     pub fn bytes_sent(&self) -> u64 {
         self.snapshots.iter().map(|s| s.stats.bytes_sent).sum()
+    }
+
+    /// Logical protocol messages inside [`ThreadedCluster::frames_sent`]
+    /// (equal to it under wire v1; larger under v2 batch frames).
+    pub fn messages_sent(&self) -> u64 {
+        self.snapshots.iter().map(|s| s.stats.messages_sent).sum()
     }
 
     /// True when, as of the last barrier, every frame was consumed, no

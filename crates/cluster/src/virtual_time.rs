@@ -65,10 +65,11 @@ where
         protocol: P,
         faults: FaultSpec,
         delay: DelaySpec,
+        wire: rumor_wire::WireVersion,
     ) -> Self {
         let online = scenario.initial_online_set();
         let (cells, byzantine) =
-            crate::builder::build_cells(scenario, &protocol, &online, &faults, delay);
+            crate::builder::build_cells(scenario, &protocol, &online, &faults, delay, wire);
         let population = cells.len();
         Self {
             protocol,

@@ -64,6 +64,12 @@ pub struct PullConfig {
     pub retry_rounds: u32,
     /// Maximum pull retries per trigger.
     pub max_retries: u32,
+    /// Wire-v2 digest-delta pulls: instead of shipping the full store
+    /// digest, ask each peer "what changed since journal mark X" and
+    /// receive only the missing suffix — O(delta) response bytes instead
+    /// of O(store) request + response. Off by default; the full-digest
+    /// exchange remains the v1-compatible path.
+    pub delta: bool,
 }
 
 impl Default for PullConfig {
@@ -74,6 +80,7 @@ impl Default for PullConfig {
             staleness_rounds: None,
             retry_rounds: 3,
             max_retries: 5,
+            delta: false,
         }
     }
 }
@@ -204,6 +211,12 @@ impl ProtocolConfigBuilder {
         self
     }
 
+    /// Enables wire-v2 digest-delta pulls (see [`PullConfig::delta`]).
+    pub fn delta_pulls(&mut self, enabled: bool) -> &mut Self {
+        self.config.pull.delta = enabled;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -273,6 +286,7 @@ mod tests {
             .pull_fanout(7)
             .staleness_rounds(40)
             .pull_retry(2, 9)
+            .delta_pulls(true)
             .build()
             .unwrap();
         assert_eq!(c.push_targets(), 4);
@@ -282,6 +296,7 @@ mod tests {
         assert_eq!(c.pull.staleness_rounds, Some(40));
         assert_eq!(c.pull.retry_rounds, 2);
         assert_eq!(c.pull.max_retries, 9);
+        assert!(c.pull.delta);
     }
 
     #[test]

@@ -26,6 +26,10 @@ const TAG_PUSH: u8 = 1;
 const TAG_PULL_REQUEST: u8 = 2;
 const TAG_PULL_RESPONSE: u8 = 3;
 const TAG_ACK: u8 = 4;
+// Wire-v2 kinds: a v1 decoder must never accept them, so the framed
+// codec marks them `WireVersion::V2` (see the `Encode`/`Decode` impls).
+const TAG_PULL_SINCE: u8 = 5;
+const TAG_DELTA_RESPONSE: u8 = 6;
 
 /// The push-phase request `Push(U, V, R_f, t)` (§3).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,6 +63,23 @@ pub enum Message {
         /// Which update event is acknowledged.
         update_id: UpdateId,
     },
+    /// Wire-v2 incremental pull: "send me what changed since your
+    /// journal mark `since`" — a constant 8 bytes replacing the
+    /// O(store) digest of [`Message::PullRequest`].
+    PullSince {
+        /// The responder-local journal mark the requester last synced to
+        /// (0 = everything).
+        since: u64,
+    },
+    /// Wire-v2 reply to [`Message::PullSince`]: only the suffix of
+    /// changes past the quoted mark, plus the responder's new mark.
+    DeltaResponse {
+        /// The responder's journal mark after this delta; quote it in
+        /// the next [`Message::PullSince`].
+        upto: u64,
+        /// Frontier versions of every key changed since the quoted mark.
+        updates: Vec<Update>,
+    },
 }
 
 impl Message {
@@ -70,6 +91,8 @@ impl Message {
             Self::PullRequest { .. } => TAG_PULL_REQUEST,
             Self::PullResponse { .. } => TAG_PULL_RESPONSE,
             Self::Ack { .. } => TAG_ACK,
+            Self::PullSince { .. } => TAG_PULL_SINCE,
+            Self::DeltaResponse { .. } => TAG_DELTA_RESPONSE,
         }
     }
 
@@ -93,6 +116,10 @@ impl Message {
             }
             Self::PullResponse { updates } => 4 + updates.iter().map(update_len).sum::<usize>(),
             Self::Ack { .. } => 16,
+            Self::PullSince { .. } => 8,
+            Self::DeltaResponse { updates, .. } => {
+                8 + 4 + updates.iter().map(update_len).sum::<usize>()
+            }
         }
     }
 
@@ -127,14 +154,27 @@ impl Message {
             Self::Ack { update_id } => {
                 buf.put_u128(update_id.to_bits());
             }
+            Self::PullSince { since } => {
+                buf.put_u64(*since);
+            }
+            Self::DeltaResponse { upto, updates } => {
+                buf.put_u64(*upto);
+                buf.put_u32(updates.len() as u32);
+                for u in updates {
+                    put_update(buf, u);
+                }
+            }
         }
     }
 
-    /// Reads the tag-less body for the variant named by `tag`.
-    fn take_body(tag: u8, buf: &mut &[u8]) -> Result<Self, CoreError> {
+    /// Reads the tag-less body for the variant named by `tag`. When
+    /// `source` is the receive buffer the payload was sliced from,
+    /// variable-length fields (update values) become zero-copy views of
+    /// it instead of owned copies.
+    fn take_body(tag: u8, buf: &mut &[u8], source: Option<&Bytes>) -> Result<Self, CoreError> {
         Ok(match tag {
             TAG_PUSH => {
-                let update = take_update(buf)?;
+                let update = take_update(buf, source)?;
                 let push_round = take_u32(buf)?;
                 let n = take_u32(buf)? as usize;
                 let mut flood_list = PartialList::new();
@@ -163,13 +203,25 @@ impl Message {
                 let n = take_u32(buf)? as usize;
                 let mut updates = Vec::with_capacity(n.min(4096));
                 for _ in 0..n {
-                    updates.push(take_update(buf)?);
+                    updates.push(take_update(buf, source)?);
                 }
                 Self::PullResponse { updates }
             }
             TAG_ACK => Self::Ack {
                 update_id: UpdateId::from_bits(take_u128(buf)?),
             },
+            TAG_PULL_SINCE => Self::PullSince {
+                since: take_u64(buf)?,
+            },
+            TAG_DELTA_RESPONSE => {
+                let upto = take_u64(buf)?;
+                let n = take_u32(buf)? as usize;
+                let mut updates = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    updates.push(take_update(buf, source)?);
+                }
+                Self::DeltaResponse { upto, updates }
+            }
             other => return Err(CoreError::decode(format!("unknown message tag {other}"))),
         })
     }
@@ -191,7 +243,7 @@ impl Message {
     pub fn decode(mut bytes: &[u8]) -> Result<Self, CoreError> {
         let buf = &mut bytes;
         let tag = take_u8(buf)?;
-        let msg = Self::take_body(tag, buf)?;
+        let msg = Self::take_body(tag, buf, None)?;
         if !buf.is_empty() {
             return Err(CoreError::decode(format!(
                 "{} trailing bytes after message",
@@ -218,24 +270,55 @@ impl rumor_wire::Encode for Message {
     fn encode_payload(&self, buf: &mut BytesMut) {
         self.put_body(buf);
     }
+
+    fn wire_version(&self) -> rumor_wire::WireVersion {
+        match self {
+            Self::PullSince { .. } | Self::DeltaResponse { .. } => rumor_wire::WireVersion::V2,
+            _ => rumor_wire::WireVersion::V1,
+        }
+    }
 }
 
 impl rumor_wire::Decode for Message {
     fn decode_payload(kind: u8, payload: &[u8]) -> Result<Self, rumor_wire::WireError> {
-        if !matches!(
-            kind,
-            TAG_PUSH | TAG_PULL_REQUEST | TAG_PULL_RESPONSE | TAG_ACK
-        ) {
-            return Err(rumor_wire::WireError::UnknownKind { kind });
-        }
-        let mut buf = payload;
-        let msg = Self::take_body(kind, &mut buf)
-            .map_err(|e| rumor_wire::WireError::malformed(e.to_string()))?;
-        if !buf.is_empty() {
-            return Err(rumor_wire::WireError::TrailingBytes { count: buf.len() });
-        }
-        Ok(msg)
+        decode_message_payload(kind, payload, None)
     }
+
+    fn kind_version(kind: u8) -> rumor_wire::WireVersion {
+        match kind {
+            TAG_PULL_SINCE | TAG_DELTA_RESPONSE => rumor_wire::WireVersion::V2,
+            _ => rumor_wire::WireVersion::V1,
+        }
+    }
+
+    fn decode_payload_bytes(kind: u8, payload: &Bytes) -> Result<Self, rumor_wire::WireError> {
+        decode_message_payload(kind, payload, Some(payload))
+    }
+}
+
+fn decode_message_payload(
+    kind: u8,
+    payload: &[u8],
+    source: Option<&Bytes>,
+) -> Result<Message, rumor_wire::WireError> {
+    if !matches!(
+        kind,
+        TAG_PUSH
+            | TAG_PULL_REQUEST
+            | TAG_PULL_RESPONSE
+            | TAG_ACK
+            | TAG_PULL_SINCE
+            | TAG_DELTA_RESPONSE
+    ) {
+        return Err(rumor_wire::WireError::UnknownKind { kind });
+    }
+    let mut buf = payload;
+    let msg = Message::take_body(kind, &mut buf, source)
+        .map_err(|e| rumor_wire::WireError::malformed(e.to_string()))?;
+    if !buf.is_empty() {
+        return Err(rumor_wire::WireError::TrailingBytes { count: buf.len() });
+    }
+    Ok(msg)
 }
 
 fn update_len(u: &Update) -> usize {
@@ -260,7 +343,7 @@ fn put_update(buf: &mut BytesMut, u: &Update) {
     }
 }
 
-fn take_update(buf: &mut &[u8]) -> Result<Update, CoreError> {
+fn take_update(buf: &mut &[u8], source: Option<&Bytes>) -> Result<Update, CoreError> {
     let key = DataKey::new(take_u64(buf)?);
     let origin = PeerId::new(take_u32(buf)?);
     let n = take_u16(buf)? as usize;
@@ -279,7 +362,13 @@ fn take_update(buf: &mut &[u8]) -> Result<Update, CoreError> {
             if buf.len() < len {
                 return Err(CoreError::decode("truncated value"));
             }
-            let value = Value::from(buf[..len].to_vec());
+            // Zero-copy hot path: view the value out of the receive
+            // buffer; fall back to an owned copy when no buffer backs
+            // the slice (legacy inline decode).
+            let value = match source {
+                Some(src) => Value::new(src.slice_ref(&buf[..len])),
+                None => Value::from(buf[..len].to_vec()),
+            };
             buf.advance(len);
             Ok(Update::write(key, lineage, value, origin))
         }
@@ -391,6 +480,15 @@ mod tests {
             Message::Ack {
                 update_id: UpdateId::from_bits(5),
             },
+            Message::PullSince { since: 42 },
+            Message::DeltaResponse {
+                upto: 7,
+                updates: vec![sample_update(&mut r)],
+            },
+            Message::DeltaResponse {
+                upto: 0,
+                updates: vec![],
+            },
         ];
         for m in messages {
             assert_eq!(m.encoded_len(), m.encode().len(), "{m:?}");
@@ -490,6 +588,75 @@ mod tests {
             decode_frame::<Message>(&truncated),
             Err(WireError::Malformed { .. })
         ));
+    }
+
+    #[test]
+    fn pull_since_and_delta_roundtrip_inline() {
+        let mut r = rng();
+        for m in [
+            Message::PullSince { since: 0 },
+            Message::PullSince { since: u64::MAX },
+            Message::DeltaResponse {
+                upto: 9,
+                updates: vec![sample_update(&mut r), sample_update(&mut r)],
+            },
+        ] {
+            assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn v2_kinds_are_framed_as_wire_v2_and_rejected_by_the_v1_decoder() {
+        use rumor_wire::{decode_frame, decode_frame_v2, encode_frame, WireError, WIRE_VERSION_V2};
+        let mut r = rng();
+        let messages = vec![
+            Message::PullSince { since: 3 },
+            Message::DeltaResponse {
+                upto: 5,
+                updates: vec![sample_update(&mut r)],
+            },
+        ];
+        for m in messages {
+            let frame = encode_frame(&m);
+            assert_eq!(frame[0], WIRE_VERSION_V2, "v2 kinds carry the v2 byte");
+            assert_eq!(
+                decode_frame::<Message>(&frame),
+                Err(WireError::BadVersion {
+                    found: WIRE_VERSION_V2
+                }),
+                "the v1 decoder must reject {m:?}"
+            );
+            let mut out = Vec::new();
+            decode_frame_v2::<Message>(&frame, &mut out).unwrap();
+            assert_eq!(out, vec![m]);
+        }
+    }
+
+    #[test]
+    fn framed_zero_copy_decode_views_values_out_of_the_frame() {
+        use rumor_wire::{decode_frame_v2, encode_frame, FRAME_HEADER_BYTES};
+        let m = Message::DeltaResponse {
+            upto: 1,
+            updates: vec![Update::write(
+                DataKey::new(4),
+                Lineage::root(&mut rng()),
+                Value::from("zero-copy payload"),
+                PeerId::new(2),
+            )],
+        };
+        let frame = encode_frame(&m);
+        let mut out = Vec::new();
+        decode_frame_v2::<Message>(&frame, &mut out).unwrap();
+        let Message::DeltaResponse { updates, .. } = &out[0] else {
+            panic!("wrong variant");
+        };
+        let value = updates[0].value().unwrap();
+        let frame_base = frame.as_ref().as_ptr() as usize;
+        let value_base = value.as_bytes().as_ptr() as usize;
+        assert!(
+            value_base >= frame_base + FRAME_HEADER_BYTES && value_base < frame_base + frame.len(),
+            "value bytes must point into the receive buffer"
+        );
     }
 
     #[test]

@@ -86,6 +86,10 @@ pub struct ReplicaPeer {
     confident: bool,
     online: bool,
     pull_retries_left: u32,
+    /// Wire-v2 delta pulls: per-responder journal mark this peer has
+    /// synced to (advanced only by received [`Message::DeltaResponse`]s,
+    /// so a lost response merely re-sends — never skips — updates).
+    peer_sync: BTreeMap<PeerId, u64>,
     stats: PeerStats,
     /// Reusable tier buffers for target selection (hot path).
     select_scratch: SelectScratch,
@@ -115,6 +119,7 @@ impl ReplicaPeer {
             confident: true,
             online: true,
             pull_retries_left: 0,
+            peer_sync: BTreeMap::new(),
             stats: PeerStats::default(),
             select_scratch: SelectScratch::default(),
             targets_scratch: Vec::new(),
@@ -280,14 +285,37 @@ impl ReplicaPeer {
             &mut self.select_scratch,
             &mut targets,
         );
-        let digest = self.store.digest();
-        for &to in &targets {
-            out.send(
-                to,
-                Message::PullRequest {
-                    digest: digest.clone(),
-                },
-            );
+        if self.config.pull.delta {
+            // Wire-v2: quote each responder's last journal mark instead
+            // of shipping the full store digest — constant request size,
+            // O(delta) response. First contact (no mark yet) falls back
+            // to a digest pull: quoting `since = 0` would make the
+            // responder replay its entire journal, and flood lists keep
+            // introducing never-pulled peers, so at scale the replays
+            // would dwarf what the marks save. The responder answers a
+            // digest pull with a mark-carrying delta (see
+            // [`ReplicaPeer::handle_pull_request`]), so one exchange
+            // upgrades the pair to incremental syncs.
+            let mut digest = None;
+            for &to in &targets {
+                match self.peer_sync.get(&to) {
+                    Some(&since) => out.send(to, Message::PullSince { since }),
+                    None => {
+                        let d = digest.get_or_insert_with(|| self.store.digest());
+                        out.send(to, Message::PullRequest { digest: d.clone() });
+                    }
+                }
+            }
+        } else {
+            let digest = self.store.digest();
+            for &to in &targets {
+                out.send(
+                    to,
+                    Message::PullRequest {
+                        digest: digest.clone(),
+                    },
+                );
+            }
         }
         targets.clear();
         self.targets_scratch = targets;
@@ -477,7 +505,15 @@ impl ReplicaPeer {
         self.stats.pull_requests_received += 1;
         self.learn_replicas([from]);
         let updates = self.store.missing_updates_for(digest);
-        out.send(from, Message::PullResponse { updates });
+        if self.config.pull.delta {
+            // Answer with the same digest-diff but stamped with this
+            // replica's journal frontier, so the requester's sync mark
+            // populates and its next pull is an 8-byte `PullSince`.
+            let upto = self.store.journal_len();
+            out.send(from, Message::DeltaResponse { upto, updates });
+        } else {
+            out.send(from, Message::PullResponse { updates });
+        }
         // §3: "receives a pull request, but is not sure to have the latest
         // update" — an unconfident pulled party itself enters the pull
         // phase.
@@ -498,6 +534,36 @@ impl ReplicaPeer {
         }
         // Any response — even an empty one — is evidence of being in sync.
         self.note_info(round);
+    }
+
+    /// Serves a wire-v2 delta pull: answer with the journal suffix past
+    /// the quoted mark. Mirrors [`ReplicaPeer::handle_pull_request`]
+    /// including the §3 unconfident self-pull — and like it draws no
+    /// randomness, so delta and full-digest pulls stay trajectory-
+    /// equivalent on identical seeds.
+    fn handle_pull_since(
+        &mut self,
+        from: PeerId,
+        since: u64,
+        round: Round,
+        rng: &mut ChaCha8Rng,
+        out: &mut EffectSink<Message>,
+    ) {
+        self.stats.pull_requests_received += 1;
+        self.learn_replicas([from]);
+        let (updates, upto) = self.store.delta_since(since);
+        out.send(from, Message::DeltaResponse { upto, updates });
+        if !self.confident {
+            self.trigger_pull(round, rng, out);
+        }
+    }
+
+    fn handle_delta_response(&mut self, from: PeerId, upto: u64, updates: &[Update], round: Round) {
+        // The sync mark only ever advances: a stale (reordered) response
+        // cannot roll it back into re-requesting already-synced history.
+        let mark = self.peer_sync.entry(from).or_insert(0);
+        *mark = (*mark).max(upto);
+        self.handle_pull_response(from, updates, round);
     }
 
     fn handle_ack(&mut self, from: PeerId, update_id: UpdateId, round: Round) {
@@ -532,6 +598,10 @@ impl Node for ReplicaPeer {
             }
             Message::PullResponse { updates } => self.handle_pull_response(from, &updates, round),
             Message::Ack { update_id } => self.handle_ack(from, update_id, round),
+            Message::PullSince { since } => self.handle_pull_since(from, since, round, rng, out),
+            Message::DeltaResponse { upto, updates } => {
+                self.handle_delta_response(from, upto, &updates, round);
+            }
         }
     }
 
@@ -992,6 +1062,165 @@ mod tests {
             "pulled updates are marked processed"
         );
         assert_eq!(fresh.stats().updates_via_pull, 1);
+    }
+
+    #[test]
+    fn delta_pull_roundtrip_reconciles_and_resyncs_incrementally() {
+        let mut r = rng();
+        let source_config = ProtocolConfig::builder(10)
+            .fanout_fraction(0.2)
+            .delta_pulls(true)
+            .build()
+            .unwrap();
+        let mut source = ReplicaPeer::new(PeerId::new(0), source_config);
+        source.learn_replicas((1..10).map(PeerId::new));
+        let mut out = sink();
+        source.initiate_update(
+            DataKey::new(5),
+            Some(Value::from("data")),
+            Round::ZERO,
+            &mut r,
+            &mut out,
+        );
+
+        let config = ProtocolConfig::builder(10)
+            .delta_pulls(true)
+            .build()
+            .unwrap();
+        let mut fresh = ReplicaPeer::new(PeerId::new(9), config);
+        fresh.learn_replicas([PeerId::new(0)]);
+
+        // First contact (no sync mark for peer 0 yet) falls back to a
+        // digest pull rather than asking for a full journal replay.
+        let mut pulls = sink();
+        fresh.on_status_change(true, Round::new(3), &mut r, &mut pulls);
+        let digest = pulls
+            .iter()
+            .find_map(|e| match e {
+                Effect::Send {
+                    msg: Message::PullRequest { digest },
+                    ..
+                } => Some(digest.clone()),
+                _ => None,
+            })
+            .expect("first delta pull sends a digest PullRequest");
+
+        // A delta-enabled responder answers the digest pull with a
+        // mark-carrying delta, upgrading the pair to incremental syncs.
+        let mut responses = sink();
+        source.on_message(
+            PeerId::new(9),
+            Message::PullRequest { digest },
+            Round::new(3),
+            &mut r,
+            &mut responses,
+        );
+        let Effect::Send {
+            msg: Message::DeltaResponse { upto, updates },
+            ..
+        } = &responses[0]
+        else {
+            panic!("expected delta response, got {:?}", responses[0]);
+        };
+        assert_eq!(*upto, 1);
+        assert_eq!(updates.len(), 1);
+
+        // Fresh peer ingests it, advancing its sync mark for peer 0.
+        let mut ignored = sink();
+        fresh.on_message(
+            PeerId::new(0),
+            Message::DeltaResponse {
+                upto: *upto,
+                updates: updates.clone(),
+            },
+            Round::new(4),
+            &mut r,
+            &mut ignored,
+        );
+        assert!(fresh.is_confident());
+        assert_eq!(
+            fresh.store().get(DataKey::new(5)).unwrap().as_bytes(),
+            b"data"
+        );
+        assert_eq!(fresh.stats().updates_via_pull, 1);
+
+        // The next pull quotes the advanced mark; the source answers
+        // with an empty delta — O(delta), not O(store).
+        let mut again = sink();
+        fresh.trigger_pull(Round::new(5), &mut r, &mut again);
+        let since2 = again
+            .iter()
+            .find_map(|e| match e {
+                Effect::Send {
+                    msg: Message::PullSince { since },
+                    ..
+                } => Some(*since),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(since2, 1, "sync mark advanced");
+        let mut empty = sink();
+        source.on_message(
+            PeerId::new(9),
+            Message::PullSince { since: since2 },
+            Round::new(5),
+            &mut r,
+            &mut empty,
+        );
+        let Effect::Send {
+            msg: Message::DeltaResponse { updates, .. },
+            ..
+        } = &empty[0]
+        else {
+            panic!("expected delta response");
+        };
+        assert!(updates.is_empty(), "nothing changed since the mark");
+    }
+
+    #[test]
+    fn stale_delta_response_cannot_roll_back_the_sync_mark() {
+        let config = ProtocolConfig::builder(10)
+            .delta_pulls(true)
+            .build()
+            .unwrap();
+        let mut p = ReplicaPeer::new(PeerId::new(0), config);
+        p.learn_replicas([PeerId::new(1)]);
+        let mut r = rng();
+        let mut out = sink();
+        p.on_message(
+            PeerId::new(1),
+            Message::DeltaResponse {
+                upto: 7,
+                updates: vec![],
+            },
+            Round::new(1),
+            &mut r,
+            &mut out,
+        );
+        // A delayed older response arrives afterwards.
+        p.on_message(
+            PeerId::new(1),
+            Message::DeltaResponse {
+                upto: 3,
+                updates: vec![],
+            },
+            Round::new(2),
+            &mut r,
+            &mut out,
+        );
+        out.clear();
+        p.trigger_pull(Round::new(3), &mut r, &mut out);
+        let since = out
+            .iter()
+            .find_map(|e| match e {
+                Effect::Send {
+                    msg: Message::PullSince { since },
+                    ..
+                } => Some(*since),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(since, 7, "mark is monotone");
     }
 
     #[test]

@@ -97,6 +97,12 @@ impl ApplyOutcome {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ReplicaStore {
     items: BTreeMap<DataKey, Vec<StoredVersion>>,
+    /// Keys in the order store-changing applies touched them — the
+    /// wire-v2 delta-pull index. `journal.len()` is this replica's sync
+    /// frontier; [`ReplicaStore::delta_since`] answers "what changed
+    /// since entry `n`" without walking the whole store. Append-only
+    /// (a bound is a known residual, see ROADMAP).
+    journal: Vec<DataKey>,
 }
 
 impl ReplicaStore {
@@ -125,11 +131,43 @@ impl ReplicaStore {
             value: update.value().cloned(),
             origin: update.origin(),
         });
+        self.journal.push(update.key());
         if superseded > 0 {
             ApplyOutcome::Applied
         } else {
             ApplyOutcome::AppliedConcurrent
         }
+    }
+
+    /// Number of store-changing applies so far — the frontier a wire-v2
+    /// delta pull quotes back as its `since` mark.
+    pub fn journal_len(&self) -> u64 {
+        self.journal.len() as u64
+    }
+
+    /// The suffix of changes since journal entry `since`: the current
+    /// frontier versions of every key touched by apply number `since`
+    /// onwards, plus the new frontier mark (`journal_len`).
+    ///
+    /// Any change a peer misses after syncing to mark `s` is itself a
+    /// journaled apply at an entry `>= s`, so repeatedly pulling with the
+    /// last returned mark never skips an update. A `since` beyond the
+    /// journal (e.g. after the responder restarted with an empty store)
+    /// degrades to a full resend. Keys touched repeatedly are sent once;
+    /// over-sending is an apply no-op at the requester.
+    pub fn delta_since(&self, since: u64) -> (Vec<Update>, u64) {
+        let upto = self.journal_len();
+        let start = if since > upto { 0 } else { since as usize };
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for &key in &self.journal[start..] {
+            if seen.insert(key) {
+                for v in self.versions(key) {
+                    out.push(v.to_update(key));
+                }
+            }
+        }
+        (out, upto)
     }
 
     /// All current (frontier) versions of a key.
@@ -374,6 +412,66 @@ mod tests {
         s.apply(&u);
         let back = s.versions(DataKey::new(7))[0].to_update(DataKey::new(7));
         assert_eq!(back, u);
+    }
+
+    #[test]
+    fn delta_since_returns_only_the_changed_suffix() {
+        let mut r = rng();
+        let mut s = ReplicaStore::new();
+        assert_eq!(s.delta_since(0), (vec![], 0));
+        let u1 = write(1, Lineage::root(&mut r), "a");
+        let u2 = write(2, Lineage::root(&mut r), "b");
+        s.apply(&u1);
+        s.apply(&u2);
+        let (all, mark) = s.delta_since(0);
+        assert_eq!(mark, 2);
+        assert_eq!(all.len(), 2, "full resend from mark 0");
+        // From the frontier mark: nothing to send.
+        assert_eq!(s.delta_since(mark), (vec![], mark));
+        // A change after the mark shows up, and only it.
+        let u2b = write(2, u2.lineage().child(&mut r), "b2");
+        s.apply(&u2b);
+        let (delta, mark2) = s.delta_since(mark);
+        assert_eq!(mark2, 3);
+        assert_eq!(delta, vec![u2b.clone()]);
+        // Rejected applies (stale, already known) do not advance the journal.
+        s.apply(&u2);
+        s.apply(&u2b);
+        assert_eq!(s.journal_len(), 3);
+    }
+
+    #[test]
+    fn delta_since_dedupes_and_clamps_foreign_marks() {
+        let mut r = rng();
+        let mut s = ReplicaStore::new();
+        let u1 = write(1, Lineage::root(&mut r), "a");
+        let u1b = write(1, u1.lineage().child(&mut r), "a2");
+        s.apply(&u1);
+        s.apply(&u1b);
+        // Key 1 was journaled twice but its frontier is sent once.
+        let (delta, mark) = s.delta_since(0);
+        assert_eq!(delta, vec![u1b]);
+        assert_eq!(mark, 2);
+        // A mark beyond the journal degrades to a full resend.
+        let (resend, mark2) = s.delta_since(99);
+        assert_eq!(resend.len(), 1);
+        assert_eq!(mark2, 2);
+    }
+
+    #[test]
+    fn delta_from_zero_covers_missing_updates_for_any_digest() {
+        let mut r = rng();
+        let mut a = ReplicaStore::new();
+        let mut b = ReplicaStore::new();
+        let u1 = write(1, Lineage::root(&mut r), "x");
+        let u2 = write(2, Lineage::root(&mut r), "y");
+        a.apply(&u1);
+        a.apply(&u2);
+        b.apply(&u1);
+        let (delta, _) = a.delta_since(0);
+        let mut patched = b.clone();
+        patched.merge_updates(&delta);
+        assert!(patched.consistent_with(&a), "delta from 0 is a superset");
     }
 
     #[test]

@@ -113,6 +113,10 @@ pub struct CaseSpec {
     pub byzantine_behaviour: ByzantineBehaviour,
     /// Horizon in rounds before the oracle's probe window.
     pub max_rounds: u32,
+    /// Cluster-path wire codec: `true` = v2 (per-peer batch frames +
+    /// digest-delta pulls). Copied from the config, never drawn — see
+    /// [`FuzzConfig::wire_v2`].
+    pub wire_v2: bool,
 }
 
 /// What one case run produced.
@@ -209,6 +213,7 @@ impl CaseSpec {
             byzantine_fraction,
             byzantine_behaviour,
             max_rounds: config.max_rounds,
+            wire_v2: config.wire_v2,
         }
     }
 
@@ -262,6 +267,9 @@ impl CaseSpec {
             } else {
                 PullStrategy::Lazy { patience: 2 }
             });
+        if self.wire_v2 {
+            builder.delta_pulls(true);
+        }
         builder
             .build()
             .map(PaperProtocol::new)
@@ -287,10 +295,13 @@ impl CaseSpec {
                 behaviour: self.byzantine_behaviour,
             },
         };
-        let mut cluster = ClusterBuilder::new(&scenario)
+        let mut builder = ClusterBuilder::new(&scenario)
             .faults(faults)
-            .map_err(|e| e.to_string())?
-            .virtual_time(protocol);
+            .map_err(|e| e.to_string())?;
+        if self.wire_v2 {
+            builder = builder.wire(rumor_cluster::WireVersion::V2);
+        }
+        let mut cluster = builder.virtual_time(protocol);
 
         let events = self.events();
         let mut tracked: Vec<(u32, DataKey, UpdateId)> = Vec::new();
@@ -391,8 +402,10 @@ impl CaseSpec {
     }
 
     /// Serializes the spec as a JSON object (field order is stable).
+    /// `wire_v2` is emitted only when set, so records captured before
+    /// the field existed re-serialize byte-identically.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("index".into(), Json::from_u32(self.index)),
             ("seed".into(), Json::from_u64(self.seed)),
             ("path".into(), Json::from_text(self.path.name())),
@@ -424,7 +437,11 @@ impl CaseSpec {
                 Json::from_text(behaviour_name(self.byzantine_behaviour)),
             ),
             ("max_rounds".into(), Json::from_u32(self.max_rounds)),
-        ])
+        ];
+        if self.wire_v2 {
+            fields.push(("wire_v2".into(), Json::Bool(true)));
+        }
+        Json::Obj(fields)
     }
 
     /// Parses a spec serialized by [`CaseSpec::to_json`].
@@ -480,6 +497,11 @@ impl CaseSpec {
             byzantine_behaviour: behaviour_from_name(behaviour_text)
                 .ok_or_else(|| format!("unknown byzantine behaviour `{behaviour_text}`"))?,
             max_rounds: u32_field("max_rounds")?,
+            // Absent in records captured before wire v2 existed.
+            wire_v2: match doc.get("wire_v2") {
+                None => false,
+                Some(v) => v.as_bool().ok_or("case spec `wire_v2` is not a bool")?,
+            },
         })
     }
 }
@@ -552,6 +574,66 @@ mod tests {
             assert!(outcome.messages > 0 || outcome.witnesses < 2);
         }
         assert!(saw.0 && saw.1, "both exec paths should be exercised");
+    }
+
+    #[test]
+    fn wire_v2_json_field_is_emitted_only_when_set() {
+        let mut spec = CaseSpec::generate(&FuzzConfig::default(), 2);
+        assert!(!spec.to_json().pretty().contains("wire_v2"));
+        spec.wire_v2 = true;
+        let text = spec.to_json().pretty();
+        assert!(text.contains("\"wire_v2\": true"), "{text}");
+        let doc = crate::json::parse(&text).expect("spec parses");
+        let back = CaseSpec::from_json(&doc).expect("spec deserializes");
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json().pretty(), text);
+    }
+
+    #[test]
+    fn a_wire_v2_case_runs_clean_under_batches_and_delta_pulls() {
+        let config = FuzzConfig {
+            cases: 4,
+            max_population: 16,
+            max_rounds: 120,
+            wire_v2: true,
+            ..FuzzConfig::default()
+        };
+        let mut ran_cluster = false;
+        for case_idx in 0..8 {
+            let spec = CaseSpec::generate(&config, case_idx);
+            assert!(spec.wire_v2, "config flag must reach the spec");
+            if spec.path != ExecPath::Cluster {
+                continue;
+            }
+            ran_cluster = true;
+            let outcome = spec.run().expect("case runs");
+            assert_eq!(
+                outcome.divergence, None,
+                "benign wire-v2 case {case_idx} diverged"
+            );
+        }
+        assert!(ran_cluster, "at least one cluster-path case expected");
+    }
+
+    #[test]
+    fn a_corrupt_frames_adversary_cannot_break_a_wire_v2_cluster() {
+        // Corrupted batch frames drop whole; the honest majority must
+        // still satisfy the oracle exactly as it does under wire v1.
+        let config = FuzzConfig {
+            max_population: 20,
+            max_rounds: 120,
+            ..FuzzConfig::default()
+        };
+        let mut spec = CaseSpec::generate(&config, 1);
+        spec.path = ExecPath::Cluster;
+        spec.byzantine_fraction = 0.2;
+        spec.byzantine_behaviour = ByzantineBehaviour::CorruptFrames;
+        let v1 = spec.run().expect("v1 case runs");
+        spec.wire_v2 = true;
+        let v2 = spec.run().expect("v2 case runs");
+        assert!(v2.tampered > 0, "the adversary must actually tamper");
+        assert_eq!(v1.divergence, None, "v1 baseline converges");
+        assert_eq!(v2.divergence, None, "wire v2 must absorb the same block");
     }
 
     #[test]

@@ -24,6 +24,11 @@ pub struct FuzzConfig {
     /// Upper bound on the Byzantine fraction a case may draw; `0.0`
     /// keeps the whole batch benign (every member honest).
     pub byzantine_max_fraction: f64,
+    /// Run cluster-path cases under wire v2 (per-peer batch frames +
+    /// digest-delta pulls). Copied into every spec — never drawn from
+    /// the case RNG, so flipping it cannot shift the draw order behind
+    /// committed repro records.
+    pub wire_v2: bool,
 }
 
 impl Default for FuzzConfig {
@@ -35,6 +40,7 @@ impl Default for FuzzConfig {
             max_population: 40,
             max_rounds: 160,
             byzantine_max_fraction: 0.0,
+            wire_v2: false,
         }
     }
 }

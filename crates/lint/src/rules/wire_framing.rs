@@ -4,9 +4,12 @@
 //! message sets implement `Encode`/`Decode` for their *payloads* and go
 //! through `encode_frame`/`decode_frame` (ROADMAP: "one wire format,
 //! two execution paths"). The rule flags header construction primitives
-//! — `Frame::new`, `Frame {`, `WIRE_VERSION`, `FRAME_HEADER_BYTES` —
-//! in non-test library code outside `crates/wire/`. Integration tests
-//! and examples may probe headers (the rejection matrices do).
+//! — `Frame::new`, `Frame::versioned`, `Frame {`, `WIRE_VERSION`,
+//! `FRAME_HEADER_BYTES`, and the wire-v2 constants `WIRE_VERSION_V2`,
+//! `KIND_BATCH`, `BATCH_SUBHEADER_BYTES` — in non-test library code
+//! outside `crates/wire/`. Cross-crate code selects a codec through the
+//! `WireVersion` enum, never raw version bytes. Integration tests and
+//! examples may probe headers (the rejection matrices do).
 
 use crate::report::Finding;
 use crate::rules::{push, token_match};
@@ -16,10 +19,14 @@ use crate::source::SourceFile;
 pub const NAME: &str = "single-wire-framing";
 
 /// Tokens that mean "I am assembling or inspecting a frame header".
-const HEADER_TOKENS: [&str; 4] = [
+const HEADER_TOKENS: [&str; 8] = [
     "Frame::new",
+    "Frame::versioned",
     "Frame {",
     "WIRE_VERSION",
+    "WIRE_VERSION_V2",
+    "KIND_BATCH",
+    "BATCH_SUBHEADER_BYTES",
     "FRAME_HEADER_BYTES",
 ];
 
@@ -75,6 +82,28 @@ mod tests {
             "let f = Frame::new(kind, len);\n",
         );
         assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn flags_wire_v2_constants_outside_wire() {
+        for line in [
+            "let b = BatchEncoder::with(KIND_BATCH);\n",
+            "let v = WIRE_VERSION_V2;\n",
+            "let n = BATCH_SUBHEADER_BYTES + 1;\n",
+            "let f = Frame::versioned(v, k, n);\n",
+        ] {
+            assert_eq!(
+                run_on("crates/cluster/src/cell.rs", line).len(),
+                1,
+                "expected a finding for {line:?}"
+            );
+        }
+        // The sanctioned cross-crate surface stays clean.
+        assert!(run_on(
+            "crates/cluster/src/builder.rs",
+            "let w = WireVersion::V2;\n"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -180,6 +180,16 @@ impl Protocol for PaperProtocol {
                     updates: Vec::new(),
                 })
             }
+            rumor_core::Message::DeltaResponse { upto, updates } if !updates.is_empty() => {
+                // The wire-v2 delta pull trusts the same answer — and
+                // worse, believes the `upto` mark, so the lie also
+                // advances the victim's sync cursor past the withheld
+                // updates.
+                Some(rumor_core::Message::DeltaResponse {
+                    upto: *upto,
+                    updates: Vec::new(),
+                })
+            }
             _ => None,
         })
     }

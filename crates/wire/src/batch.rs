@@ -1,0 +1,465 @@
+//! Wire-v2 batch frames and the version-aware v2 decode path.
+//!
+//! A batch frame coalesces every message a node sends to one peer in a
+//! round behind a single 6-byte header:
+//!
+//! ```text
+//! version=2 | kind=KIND_BATCH | payload_len: u32      (outer header)
+//! count: u32                                          (sub-frame count)
+//! count × ( kind: u8 | len: u32 | payload )           (sub-frames)
+//! ```
+//!
+//! Sub-frames carry no version byte of their own — the batch is itself a
+//! v2 construct — and a batch may not nest. Decoding is zero-copy: each
+//! sub-payload is handed to [`Decode::decode_payload_bytes`] as a
+//! [`Bytes`] view sliced out of the receive buffer, so variable-length
+//! fields (update values) need never be copied on the cluster hot path.
+
+use crate::error::WireError;
+use crate::frame::{Decode, Encode, Frame, WireVersion, FRAME_HEADER_BYTES, KIND_BATCH};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Bytes of one batch sub-frame header: kind (1) + payload length (4).
+pub const BATCH_SUBHEADER_BYTES: usize = 5;
+
+/// Builds a wire-v2 batch frame incrementally.
+///
+/// The outer header and sub-frame count are reserved up front and
+/// backfilled by [`BatchEncoder::finish`], so encoding stays a single
+/// forward pass over one buffer.
+///
+/// # Examples
+///
+/// ```
+/// use rumor_wire::{decode_frame_v2, BatchEncoder, Decode, Encode, Reader, WireError};
+/// # use bytes::{BufMut, BytesMut};
+/// # #[derive(Debug, PartialEq)]
+/// # struct Ping(u32);
+/// # impl Encode for Ping {
+/// #     fn kind(&self) -> u8 { 1 }
+/// #     fn payload_len(&self) -> usize { 4 }
+/// #     fn encode_payload(&self, buf: &mut BytesMut) { buf.put_u32(self.0); }
+/// # }
+/// # impl Decode for Ping {
+/// #     fn decode_payload(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
+/// #         if kind != 1 { return Err(WireError::UnknownKind { kind }); }
+/// #         let mut r = Reader::new(payload);
+/// #         let msg = Ping(r.u32()?);
+/// #         r.finish()?;
+/// #         Ok(msg)
+/// #     }
+/// # }
+/// let mut batch = BatchEncoder::new();
+/// batch.push(&Ping(1));
+/// batch.push(&Ping(2));
+/// let frame = batch.finish();
+/// let mut out = Vec::new();
+/// decode_frame_v2::<Ping>(&frame, &mut out)?;
+/// assert_eq!(out, vec![Ping(1), Ping(2)]);
+/// # Ok::<(), WireError>(())
+/// ```
+#[derive(Debug)]
+pub struct BatchEncoder {
+    buf: BytesMut,
+    count: u32,
+}
+
+impl BatchEncoder {
+    /// Starts an empty batch (header and count reserved, backfilled on
+    /// [`BatchEncoder::finish`]).
+    pub fn new() -> Self {
+        let mut buf = BytesMut::with_capacity(FRAME_HEADER_BYTES + 4);
+        Frame::versioned(WireVersion::V2, KIND_BATCH, 0).put(&mut buf);
+        buf.put_u32(0);
+        Self { buf, count: 0 }
+    }
+
+    /// Appends one message as a sub-frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message's own kind is the batch kind (batches do
+    /// not nest) or its payload exceeds the `u32` sub-frame limit.
+    pub fn push<M: Encode + ?Sized>(&mut self, msg: &M) {
+        let kind = msg.kind();
+        assert!(kind != KIND_BATCH, "batch frames do not nest");
+        let payload_len = msg.payload_len();
+        let declared = u32::try_from(payload_len).expect("sub-frame payload exceeds u32 limit");
+        self.buf.put_u8(kind);
+        self.buf.put_u32(declared);
+        let before = self.buf.len();
+        msg.encode_payload(&mut self.buf);
+        debug_assert_eq!(
+            self.buf.len() - before,
+            payload_len,
+            "Encode::payload_len disagrees with Encode::encode_payload"
+        );
+        self.count += 1;
+    }
+
+    /// Number of sub-frames pushed so far.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// True while no sub-frame has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Backfills the outer header and count, returning the finished
+    /// frame bytes.
+    pub fn finish(mut self) -> Bytes {
+        let payload_len = (self.buf.len() - FRAME_HEADER_BYTES) as u32;
+        self.buf[2..FRAME_HEADER_BYTES].copy_from_slice(&payload_len.to_be_bytes());
+        self.buf[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + 4]
+            .copy_from_slice(&self.count.to_be_bytes());
+        self.buf.freeze()
+    }
+}
+
+impl Default for BatchEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// On-wire size of a batch frame holding the given messages (outer
+/// header + count + one sub-header and payload per message).
+pub fn batch_frame_len<'a, M, I>(msgs: I) -> usize
+where
+    M: Encode + 'a,
+    I: IntoIterator<Item = &'a M>,
+{
+    FRAME_HEADER_BYTES
+        + 4
+        + msgs
+            .into_iter()
+            .map(|m| BATCH_SUBHEADER_BYTES + m.payload_len())
+            .sum::<usize>()
+}
+
+/// Deserialises one frame on the wire-v2 path, appending the decoded
+/// message(s) to `out` — one for a single frame, the sub-frame count
+/// for a batch. Existing elements of `out` are left untouched.
+///
+/// Accepts both codec versions but enforces version↔kind consistency:
+/// a v1 kind must carry the v1 version byte and a v2 kind (or batch)
+/// the v2 byte, so header version forgeries stay undecodable here too.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on header truncation, foreign or
+/// inconsistent version, length mismatch (outer or at any sub-frame
+/// boundary), unknown kind, nested batch, or a malformed payload. On
+/// error `out` may hold a prefix of an aborted batch; callers treating
+/// a batch as atomic should truncate `out` back to its prior length.
+pub fn decode_frame_v2<M: Decode>(bytes: &Bytes, out: &mut Vec<M>) -> Result<(), WireError> {
+    let (frame, payload) = Frame::parse_any(bytes)?;
+    if frame.kind == KIND_BATCH {
+        if frame.version != WireVersion::V2.byte() {
+            return Err(WireError::BadVersion {
+                found: frame.version,
+            });
+        }
+        return decode_batch_payload(bytes, payload, out);
+    }
+    if frame.version != M::kind_version(frame.kind).byte() {
+        return Err(WireError::BadVersion {
+            found: frame.version,
+        });
+    }
+    let payload = bytes.slice_ref(payload);
+    out.push(M::decode_payload_bytes(frame.kind, &payload)?);
+    Ok(())
+}
+
+fn decode_batch_payload<M: Decode>(
+    source: &Bytes,
+    payload: &[u8],
+    out: &mut Vec<M>,
+) -> Result<(), WireError> {
+    let mut r = crate::reader::Reader::new(payload);
+    let count = r.u32()?;
+    for _ in 0..count {
+        let kind = r.u8()?;
+        if kind == KIND_BATCH {
+            return Err(WireError::malformed("nested batch frame"));
+        }
+        let len = r.u32()? as usize;
+        let raw = r.bytes(len)?;
+        let sub = source.slice_ref(raw);
+        out.push(M::decode_payload_bytes(kind, &sub)?);
+    }
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{decode_frame, encode_frame, WIRE_VERSION, WIRE_VERSION_V2};
+    use crate::reader::Reader;
+
+    /// A two-variant set where kind 2 is a v2-only kind.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Mixed {
+        Old(u32),
+        New(Vec<u8>),
+    }
+
+    impl Encode for Mixed {
+        fn kind(&self) -> u8 {
+            match self {
+                Self::Old(_) => 1,
+                Self::New(_) => 2,
+            }
+        }
+        fn payload_len(&self) -> usize {
+            match self {
+                Self::Old(_) => 4,
+                Self::New(b) => 4 + b.len(),
+            }
+        }
+        fn encode_payload(&self, buf: &mut BytesMut) {
+            match self {
+                Self::Old(n) => buf.put_u32(*n),
+                Self::New(b) => {
+                    buf.put_u32(b.len() as u32);
+                    buf.put_slice(b);
+                }
+            }
+        }
+        fn wire_version(&self) -> WireVersion {
+            match self {
+                Self::Old(_) => WireVersion::V1,
+                Self::New(_) => WireVersion::V2,
+            }
+        }
+    }
+
+    impl Decode for Mixed {
+        fn decode_payload(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
+            let mut r = Reader::new(payload);
+            let msg = match kind {
+                1 => Self::Old(r.u32()?),
+                2 => {
+                    let n = r.u32()? as usize;
+                    Self::New(r.bytes(n)?.to_vec())
+                }
+                other => return Err(WireError::UnknownKind { kind: other }),
+            };
+            r.finish()?;
+            Ok(msg)
+        }
+        fn kind_version(kind: u8) -> WireVersion {
+            if kind == 2 {
+                WireVersion::V2
+            } else {
+                WireVersion::V1
+            }
+        }
+    }
+
+    fn decode_v2(bytes: &Bytes) -> Result<Vec<Mixed>, WireError> {
+        let mut out = Vec::new();
+        decode_frame_v2(bytes, &mut out)?;
+        Ok(out)
+    }
+
+    #[test]
+    fn batch_roundtrips_and_len_matches() {
+        let msgs = vec![Mixed::Old(7), Mixed::New(vec![1, 2, 3]), Mixed::Old(9)];
+        let mut enc = BatchEncoder::new();
+        for m in &msgs {
+            enc.push(m);
+        }
+        assert_eq!(enc.count(), 3);
+        let frame = enc.finish();
+        assert_eq!(frame.len(), batch_frame_len(msgs.iter()));
+        assert_eq!(frame[0], WIRE_VERSION_V2);
+        assert_eq!(frame[1], KIND_BATCH);
+        assert_eq!(decode_v2(&frame).unwrap(), msgs);
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let enc = BatchEncoder::new();
+        assert!(enc.is_empty());
+        let frame = enc.finish();
+        assert_eq!(frame.len(), FRAME_HEADER_BYTES + 4);
+        assert_eq!(decode_v2(&frame).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn v2_path_accepts_v1_frames() {
+        let frame = encode_frame(&Mixed::Old(5));
+        assert_eq!(frame[0], WIRE_VERSION);
+        assert_eq!(decode_v2(&frame).unwrap(), vec![Mixed::Old(5)]);
+    }
+
+    #[test]
+    fn v2_path_accepts_single_v2_frames() {
+        let frame = encode_frame(&Mixed::New(vec![9]));
+        assert_eq!(frame[0], WIRE_VERSION_V2);
+        assert_eq!(decode_v2(&frame).unwrap(), vec![Mixed::New(vec![9])]);
+    }
+
+    #[test]
+    fn v1_path_rejects_v2_frames_and_kinds() {
+        // A batch frame carries version 2: strict v1 parse refuses it.
+        let mut enc = BatchEncoder::new();
+        enc.push(&Mixed::Old(1));
+        assert_eq!(
+            decode_frame::<Mixed>(&enc.finish()),
+            Err(WireError::BadVersion {
+                found: WIRE_VERSION_V2
+            })
+        );
+        // A single v2-kind frame likewise carries version 2.
+        let frame = encode_frame(&Mixed::New(vec![1]));
+        assert_eq!(
+            decode_frame::<Mixed>(&frame),
+            Err(WireError::BadVersion {
+                found: WIRE_VERSION_V2
+            })
+        );
+        // A v2 kind smuggled behind a forged v1 version byte is an
+        // unknown kind to the v1 decoder.
+        let mut forged = frame.to_vec();
+        forged[0] = WIRE_VERSION;
+        assert_eq!(
+            decode_frame::<Mixed>(&forged),
+            Err(WireError::UnknownKind { kind: 2 })
+        );
+    }
+
+    #[test]
+    fn v2_path_rejects_version_kind_forgeries() {
+        // v1 kind with a bumped version byte.
+        let mut bumped = encode_frame(&Mixed::Old(1)).to_vec();
+        bumped[0] = WIRE_VERSION_V2;
+        assert_eq!(
+            decode_v2(&Bytes::from(bumped)),
+            Err(WireError::BadVersion {
+                found: WIRE_VERSION_V2
+            })
+        );
+        // v2 kind with a downgraded version byte.
+        let mut lowered = encode_frame(&Mixed::New(vec![1])).to_vec();
+        lowered[0] = WIRE_VERSION;
+        assert_eq!(
+            decode_v2(&Bytes::from(lowered)),
+            Err(WireError::BadVersion {
+                found: WIRE_VERSION
+            })
+        );
+        // Batch kind with a v1 version byte.
+        let mut enc = BatchEncoder::new();
+        enc.push(&Mixed::Old(1));
+        let mut batch = enc.finish().to_vec();
+        batch[0] = WIRE_VERSION;
+        assert_eq!(
+            decode_v2(&Bytes::from(batch)),
+            Err(WireError::BadVersion {
+                found: WIRE_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn truncation_at_every_sub_frame_boundary_is_rejected() {
+        let mut enc = BatchEncoder::new();
+        enc.push(&Mixed::Old(1));
+        enc.push(&Mixed::New(vec![1, 2, 3]));
+        let full = enc.finish().to_vec();
+        // Cut the frame at every length, fixing up the outer declared
+        // length so the cut lands on the sub-frame parser, and the count
+        // so truncation is structural rather than a count shortfall.
+        for cut in FRAME_HEADER_BYTES..full.len() - 1 {
+            let mut bytes = full[..cut].to_vec();
+            let declared = (cut - FRAME_HEADER_BYTES) as u32;
+            bytes[2..6].copy_from_slice(&declared.to_be_bytes());
+            assert!(
+                decode_v2(&Bytes::from(bytes)).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn sub_frame_payload_is_a_zero_copy_view() {
+        let mut enc = BatchEncoder::new();
+        enc.push(&Mixed::New(vec![42; 64]));
+        let frame = enc.finish();
+        struct Raw(Bytes);
+        impl Decode for Raw {
+            fn decode_payload(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
+                let _ = kind;
+                Ok(Self(Bytes::copy_from_slice(payload)))
+            }
+            fn decode_payload_bytes(kind: u8, payload: &Bytes) -> Result<Self, WireError> {
+                let _ = kind;
+                Ok(Self(payload.clone()))
+            }
+        }
+        let mut out: Vec<Raw> = Vec::new();
+        decode_frame_v2(&frame, &mut out).unwrap();
+        // The sub-payload view points into the original frame allocation.
+        let sub = &out[0].0;
+        let frame_base = frame.as_ref().as_ptr() as usize;
+        let sub_base = sub.as_ref().as_ptr() as usize;
+        assert!(sub_base >= frame_base && sub_base < frame_base + frame.len());
+    }
+
+    #[test]
+    fn nested_batch_is_rejected() {
+        // Hand-craft a batch whose sub-frame claims the batch kind.
+        let mut buf = BytesMut::new();
+        Frame::versioned(WireVersion::V2, KIND_BATCH, 4 + BATCH_SUBHEADER_BYTES).put(&mut buf);
+        buf.put_u32(1);
+        buf.put_u8(KIND_BATCH);
+        buf.put_u32(0);
+        assert!(matches!(
+            decode_v2(&buf.freeze()),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_count_must_match_sub_frames() {
+        // Declare two sub-frames but provide one: truncated.
+        let mut enc = BatchEncoder::new();
+        enc.push(&Mixed::Old(1));
+        let mut bytes = enc.finish().to_vec();
+        bytes[6..10].copy_from_slice(&2u32.to_be_bytes());
+        assert!(matches!(
+            decode_v2(&Bytes::from(bytes.clone())),
+            Err(WireError::Truncated { .. })
+        ));
+        // Declare zero: the real sub-frame becomes trailing bytes.
+        bytes[6..10].copy_from_slice(&0u32.to_be_bytes());
+        assert!(matches!(
+            decode_v2(&Bytes::from(bytes)),
+            Err(WireError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn every_drawn_corruption_is_rejected_on_the_v2_path() {
+        use crate::corrupt::FrameCorruption;
+        let mut enc = BatchEncoder::new();
+        enc.push(&Mixed::Old(3));
+        enc.push(&Mixed::New(vec![7; 5]));
+        let clean = enc.finish();
+        for mode in 0..8u32 {
+            for detail in [0u32, 1, 2, 3, 4, 5, 63, 255] {
+                let corruption = FrameCorruption::from_draws(mode, detail);
+                let corrupted = corruption.apply(&clean);
+                assert!(
+                    decode_v2(&corrupted).is_err(),
+                    "corruption {corruption:?} must not decode"
+                );
+            }
+        }
+    }
+}

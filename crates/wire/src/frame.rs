@@ -3,11 +3,45 @@
 use crate::error::WireError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-/// The codec version every frame this crate emits carries.
+/// The codec version every v1 frame carries.
 pub const WIRE_VERSION: u8 = 1;
+
+/// The codec version wire-v2 frames carry ([`KIND_BATCH`] batches and
+/// message kinds whose [`Decode::kind_version`] is [`WireVersion::V2`]).
+pub const WIRE_VERSION_V2: u8 = 2;
 
 /// Size of the frame header: version (1) + kind (1) + payload length (4).
 pub const FRAME_HEADER_BYTES: usize = 6;
+
+/// Frame kind reserved for wire-v2 batch frames. Deliberately far above
+/// the small tag ranges the message sets use so it can never collide
+/// with a protocol message kind.
+pub const KIND_BATCH: u8 = 0x7F;
+
+/// The codec versions this crate can emit and decode.
+///
+/// This enum is the sanctioned cross-crate handle on versioning: other
+/// crates select a version through it (builder knobs, [`Encode::wire_version`],
+/// [`Decode::kind_version`]) while the raw header bytes ([`WIRE_VERSION`],
+/// [`WIRE_VERSION_V2`]) stay constructible only inside `rumor-wire`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireVersion {
+    /// The original one-message-per-frame codec.
+    #[default]
+    V1,
+    /// Wire v2: batch frames, delta-pull kinds, zero-copy decode.
+    V2,
+}
+
+impl WireVersion {
+    /// The version byte this codec version writes into frame headers.
+    pub fn byte(self) -> u8 {
+        match self {
+            Self::V1 => WIRE_VERSION,
+            Self::V2 => WIRE_VERSION_V2,
+        }
+    }
+}
 
 /// The fixed header preceding every payload on the wire:
 /// `version: u8, kind: u8, payload_len: u32` (big-endian).
@@ -34,12 +68,21 @@ impl Frame {
     ///
     /// Panics if the payload exceeds `u32::MAX` bytes.
     pub fn new(kind: u8, payload_len: usize) -> Self {
+        Self::versioned(WireVersion::V1, kind, payload_len)
+    }
+
+    /// Builds a header for the given codec version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds `u32::MAX` bytes.
+    pub fn versioned(version: WireVersion, kind: u8, payload_len: usize) -> Self {
         assert!(
             u32::try_from(payload_len).is_ok(),
             "payload of {payload_len} bytes exceeds the u32 frame limit"
         );
         Self {
-            version: WIRE_VERSION,
+            version: version.byte(),
             kind,
             payload_len: payload_len as u32,
         }
@@ -60,7 +103,20 @@ impl Frame {
     /// [`WireError::BadVersion`] for a foreign codec version, and
     /// [`WireError::LengthMismatch`] when the declared payload length does
     /// not match the bytes present (both truncation and trailing junk).
-    pub fn parse(mut bytes: &[u8]) -> Result<(Self, &[u8]), WireError> {
+    pub fn parse(bytes: &[u8]) -> Result<(Self, &[u8]), WireError> {
+        let (frame, payload) = Self::parse_any(bytes)?;
+        if frame.version != WIRE_VERSION {
+            return Err(WireError::BadVersion {
+                found: frame.version,
+            });
+        }
+        Ok((frame, payload))
+    }
+
+    /// Like [`Frame::parse`] but accepting every supported codec version
+    /// (v1 and v2). Callers must still check version↔kind consistency —
+    /// [`decode_frame_v2`](crate::decode_frame_v2) does.
+    pub(crate) fn parse_any(mut bytes: &[u8]) -> Result<(Self, &[u8]), WireError> {
         if bytes.len() < FRAME_HEADER_BYTES {
             return Err(WireError::Truncated {
                 needed: FRAME_HEADER_BYTES,
@@ -69,7 +125,7 @@ impl Frame {
         }
         let buf = &mut bytes;
         let version = buf.get_u8();
-        if version != WIRE_VERSION {
+        if version != WIRE_VERSION && version != WIRE_VERSION_V2 {
             return Err(WireError::BadVersion { found: version });
         }
         let kind = buf.get_u8();
@@ -106,6 +162,15 @@ pub trait Encode {
 
     /// Appends the payload bytes (header excluded) to `buf`.
     fn encode_payload(&self, buf: &mut BytesMut);
+
+    /// The codec version this message's frame header carries.
+    ///
+    /// Defaults to [`WireVersion::V1`] so existing message sets emit
+    /// byte-identical frames; wire-v2-only kinds (delta pulls) override
+    /// this to [`WireVersion::V2`].
+    fn wire_version(&self) -> WireVersion {
+        WireVersion::V1
+    }
 }
 
 /// A message decodable from a framed payload.
@@ -118,6 +183,31 @@ pub trait Decode: Sized {
     /// decode error for truncated, oversize or invariant-violating
     /// payloads.
     fn decode_payload(kind: u8, payload: &[u8]) -> Result<Self, WireError>;
+
+    /// The codec version a given kind byte belongs to.
+    ///
+    /// The v1 decode path ([`decode_frame`]) rejects kinds that are not
+    /// [`WireVersion::V1`], and the v2 path
+    /// ([`decode_frame_v2`](crate::decode_frame_v2)) enforces that the
+    /// header's version byte matches the kind's version — so a v1 frame
+    /// whose version byte was forged to 2 (or vice versa) never decodes.
+    fn kind_version(kind: u8) -> WireVersion {
+        let _ = kind;
+        WireVersion::V1
+    }
+
+    /// Zero-copy variant of [`Decode::decode_payload`]: the payload
+    /// arrives as a [`Bytes`] view of the receive buffer, so
+    /// implementations can slice variable-length fields (values, blobs)
+    /// out of it via [`Bytes::slice_ref`] instead of copying into owned
+    /// `Vec`s. The default falls back to the borrowed-slice path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Decode::decode_payload`].
+    fn decode_payload_bytes(kind: u8, payload: &Bytes) -> Result<Self, WireError> {
+        Self::decode_payload(kind, payload)
+    }
 }
 
 /// Total on-wire size of `msg`'s frame (header + payload) — the byte
@@ -130,7 +220,7 @@ pub fn frame_len<M: Encode + ?Sized>(msg: &M) -> usize {
 pub fn encode_frame_into<M: Encode + ?Sized>(msg: &M, buf: &mut BytesMut) {
     let before = buf.len();
     let payload_len = msg.payload_len();
-    Frame::new(msg.kind(), payload_len).put(buf);
+    Frame::versioned(msg.wire_version(), msg.kind(), payload_len).put(buf);
     msg.encode_payload(buf);
     debug_assert_eq!(
         buf.len() - before,
@@ -146,7 +236,12 @@ pub fn encode_frame<M: Encode + ?Sized>(msg: &M) -> Bytes {
     buf.freeze()
 }
 
-/// Deserialises one complete frame.
+/// Deserialises one complete v1 frame.
+///
+/// This is the strict v1 decoder: a wire-v2 version byte is rejected
+/// with [`WireError::BadVersion`], and a v2-only kind smuggled behind a
+/// v1 version byte is rejected with [`WireError::UnknownKind`] — to a
+/// v1 peer those kinds do not exist.
 ///
 /// # Errors
 ///
@@ -154,6 +249,9 @@ pub fn encode_frame<M: Encode + ?Sized>(msg: &M) -> Bytes {
 /// length mismatch, unknown kind or a malformed payload.
 pub fn decode_frame<M: Decode>(bytes: &[u8]) -> Result<M, WireError> {
     let (frame, payload) = Frame::parse(bytes)?;
+    if M::kind_version(frame.kind) != WireVersion::V1 {
+        return Err(WireError::UnknownKind { kind: frame.kind });
+    }
     M::decode_payload(frame.kind, payload)
 }
 

@@ -18,6 +18,16 @@
 //! through this codec, and the engines' wire-size accounting uses
 //! [`frame_len`] to report bandwidth next to message counts.
 //!
+//! Two codec versions coexist. Wire v1 frames one message per frame;
+//! wire v2 ([`WireVersion::V2`]) adds per-peer batch frames
+//! ([`BatchEncoder`], one header amortised over many sub-frames),
+//! v2-only message kinds (delta pulls in `rumor-core`) and a zero-copy
+//! decode path ([`Decode::decode_payload_bytes`],
+//! [`decode_frame_v2`]) that slices payload fields straight out of the
+//! receive buffer. The v1 decoder ([`decode_frame`]) rejects every v2
+//! frame and kind; the v2 decoder accepts both versions but enforces
+//! version↔kind consistency so header forgeries stay undecodable.
+//!
 //! Decoding is strict — truncated input, foreign versions, unknown
 //! kinds, length mismatches and trailing bytes are all distinct
 //! [`WireError`]s, never panics (see [`Reader`]). The flip side of that
@@ -59,15 +69,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod corrupt;
 mod error;
 mod frame;
 mod reader;
 
+pub use batch::{batch_frame_len, decode_frame_v2, BatchEncoder, BATCH_SUBHEADER_BYTES};
 pub use corrupt::{garbage_frame, FrameCorruption};
 pub use error::WireError;
 pub use frame::{
-    decode_frame, encode_frame, encode_frame_into, frame_len, Decode, Encode, Frame,
-    FRAME_HEADER_BYTES, WIRE_VERSION,
+    decode_frame, encode_frame, encode_frame_into, frame_len, Decode, Encode, Frame, WireVersion,
+    FRAME_HEADER_BYTES, KIND_BATCH, WIRE_VERSION, WIRE_VERSION_V2,
 };
 pub use reader::Reader;
+
+// Re-exported because the zero-copy decode surface
+// ([`decode_frame_v2`], [`Decode::decode_payload_bytes`]) speaks in
+// `Bytes` views; callers should not need a direct `bytes` dependency.
+pub use bytes::Bytes;
