@@ -1,0 +1,80 @@
+//! Traced virtual-cluster run: mounts the paper peer on the
+//! deterministic virtual-time executor with a `MemTracer`, drives a
+//! small churned scenario to convergence, and writes the structured
+//! trace artefact `TRACE_cluster.json` (schema `rumor-obs/trace/v1`)
+//! next to a human-readable timeline.
+//!
+//! `cargo run --release -p rumor-bench --bin trace_cluster [-- out_dir]`
+//!
+//! The run is a pure function of the seed — CI's `obs-smoke` job greps
+//! the schema out of a fresh artefact and archives it, so the traced
+//! path stays working and the format stays stable.
+
+use rumor_churn::MarkovChurn;
+use rumor_cluster::{ClusterBuilder, FaultSpec};
+use rumor_core::{ProtocolConfig, PullStrategy};
+use rumor_obs::render_timeline;
+use rumor_sim::{PaperProtocol, Scenario, UpdateEvent};
+use rumor_types::DataKey;
+use std::path::PathBuf;
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("experiments-out"), PathBuf::from);
+
+    let population = 48;
+    let scenario = Scenario::builder(population, 2003)
+        .online_fraction(0.75)
+        .churn(MarkovChurn::new(0.95, 0.3).expect("valid churn"))
+        .loss(0.05)
+        .build()
+        .expect("valid scenario");
+    let protocol = PaperProtocol::new(
+        ProtocolConfig::builder(population)
+            .fanout_absolute(4)
+            .pull_strategy(PullStrategy::Eager)
+            .pull_retry(2, 3)
+            .staleness_rounds(6)
+            .build()
+            .expect("valid config"),
+    );
+    let mut cluster = ClusterBuilder::new(&scenario)
+        .faults(FaultSpec {
+            crash_rate: 0.04,
+            restart_after: 3,
+            ..FaultSpec::default()
+        })
+        .expect("sound fault spec")
+        .traced()
+        .virtual_time(protocol);
+
+    let update = cluster
+        .initiate(&UpdateEvent {
+            round: 0,
+            key: DataKey::from_name("traced-motd"),
+            delete: false,
+            sequence: 0,
+        })
+        .expect("someone online");
+    let converged = cluster.run_until_all_online_aware(update, 120);
+    let trace = cluster
+        .take_trace("virtual-cluster")
+        .expect("cluster was mounted traced");
+
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+    let path = out_dir.join("TRACE_cluster.json");
+    std::fs::write(&path, trace.to_json()).expect("write trace artefact");
+
+    println!("{}", render_timeline(&trace));
+    match converged {
+        Some(round) => println!("converged at round {round}"),
+        None => println!("did not converge within the horizon"),
+    }
+    println!(
+        "wrote {} ({} events over {} rounds)",
+        path.display(),
+        trace.events.len(),
+        trace.rounds()
+    );
+}

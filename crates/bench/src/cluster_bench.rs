@@ -98,6 +98,15 @@ pub struct ClusterBenchRow {
     /// nondeterministic, so convergence is probed out of band). `None`
     /// if the probe cap elapsed first.
     pub converged_round: Option<u32>,
+    /// Frames the run failed to decode (whole-run total; asserted zero
+    /// for bench traffic, published so regressions are visible in the
+    /// artefact, not just in a panic message).
+    pub decode_errors: u64,
+    /// Frames carrying an unknown wire version (whole-run total).
+    pub version_mismatches: u64,
+    /// Frames corrupted by Byzantine members before send (whole-run
+    /// total; zero under the bench's fault-free plan).
+    pub frames_tampered: u64,
 }
 
 /// The steady-state environment: partial knowledge (§2), Markov churn
@@ -270,6 +279,9 @@ fn measure_on<C: LiveRun>(
             bytes as f64 / messages as f64
         },
         converged_round,
+        decode_errors: report.decode_errors,
+        version_mismatches: report.version_mismatches,
+        frames_tampered: report.frames_tampered,
     }
 }
 
@@ -399,7 +411,8 @@ pub fn run_matrix(threaded: &[usize], sharded: &[usize]) -> Vec<ClusterBenchRow>
 /// Serialises rows into the `BENCH_cluster.json` document (schema
 /// `rumor-bench/cluster/v2` — v2 added `wire_version`, `messages`, the
 /// per-frame/per-message byte means and the deterministic
-/// `converged_round` probe; all additive).
+/// `converged_round` probe; the wire-health columns `decode_errors`,
+/// `version_mismatches` and `frames_tampered` are additive within v2).
 pub fn to_json(rows: &[ClusterBenchRow]) -> Json {
     Json::obj([
         ("schema", Json::Str("rumor-bench/cluster/v2".into())),
@@ -431,6 +444,9 @@ pub fn to_json(rows: &[ClusterBenchRow]) -> Json {
                                     None => Json::Null,
                                 },
                             ),
+                            ("decode_errors", Json::Int(r.decode_errors as i64)),
+                            ("version_mismatches", Json::Int(r.version_mismatches as i64)),
+                            ("frames_tampered", Json::Int(r.frames_tampered as i64)),
                         ])
                     })
                     .collect(),
@@ -521,6 +537,9 @@ mod tests {
             mean_frame_bytes: 30.0,
             mean_message_bytes: 12.0,
             converged_round: Some(7),
+            decode_errors: 0,
+            version_mismatches: 0,
+            frames_tampered: 0,
         }];
         let text = to_json(&rows).pretty();
         for key in [
@@ -543,6 +562,9 @@ mod tests {
             "\"mean_frame_bytes\"",
             "\"mean_message_bytes\"",
             "\"converged_round\"",
+            "\"decode_errors\"",
+            "\"version_mismatches\"",
+            "\"frames_tampered\"",
         ] {
             assert!(text.contains(key), "missing {key} in {text}");
         }

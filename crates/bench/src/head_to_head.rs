@@ -45,6 +45,11 @@ pub struct ContenderRow {
     pub coverage: f64,
     /// Rounds until the tracker stopped (quiescence or convergence).
     pub rounds: u32,
+    /// Messages that reached nobody — lost to an offline target or a
+    /// link fault (the engine's `wasted()` counter).
+    pub total_wasted: u64,
+    /// `total_wasted / total_messages` (0 when nothing was sent).
+    pub wasted_fraction: f64,
 }
 
 /// One contender's replication statistics across every shared scenario:
@@ -69,6 +74,10 @@ pub struct ContenderSummary {
     pub coverage: SampleStats,
     /// Rounds until the tracker stopped, over replications.
     pub rounds: SampleStats,
+    /// Wasted (nobody-reached) messages, over replications.
+    pub total_wasted: SampleStats,
+    /// Wasted fraction of all sent messages, over replications.
+    pub wasted_fraction: SampleStats,
 }
 
 impl ContenderSummary {
@@ -123,6 +132,15 @@ impl ContenderSummary {
             ),
             coverage: SampleStats::of(&rows.iter().map(|r| r.coverage).collect::<Vec<_>>()),
             rounds: SampleStats::of(&rows.iter().map(|r| f64::from(r.rounds)).collect::<Vec<_>>()),
+            total_wasted: SampleStats::of(
+                &rows
+                    .iter()
+                    .map(|r| r.total_wasted as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            wasted_fraction: SampleStats::of(
+                &rows.iter().map(|r| r.wasted_fraction).collect::<Vec<_>>(),
+            ),
         }
     }
 }
@@ -181,6 +199,8 @@ fn mount<P: Protocol>(scenario: &Scenario, protocol: &P, horizon: u32) -> Conten
         messages_per_initial_online: report.messages_per_initial_online(),
         coverage: report.aware_online_fraction,
         rounds: report.rounds,
+        total_wasted: report.total_wasted,
+        wasted_fraction: report.wasted_fraction(),
     }
 }
 
@@ -342,6 +362,8 @@ mod tests {
             messages_per_initial_online: 0.5,
             coverage: 1.0,
             rounds: 3,
+            total_wasted: 0,
+            wasted_fraction: 0.0,
         };
         let (a, b) = (row("a"), row("b"));
         let result = std::panic::catch_unwind(|| ContenderSummary::fold(&[&a, &b]));

@@ -210,6 +210,42 @@ pub struct ReplicatedSeries {
     /// Fraction of replications ending below 90% online awareness (the
     /// figures' "died" criterion, now a probability instead of a flag).
     pub died_fraction: f64,
+    /// Fraction of sent messages that reached nobody (offline target or
+    /// link fault), over replications — the engine's `wasted()` counter,
+    /// previously collected but unpublished.
+    pub wasted_fraction: SampleStats,
+    /// Mean messages sent in round `t` across the replications that
+    /// reached round `t` — the published form of
+    /// `EngineStats::per_round_sent`.
+    pub per_round_sent_mean: Vec<f64>,
+}
+
+/// Mean messages sent per round across replications: entry `t` averages
+/// the round-`t` send counts (diffs of the cumulative per-round trace)
+/// over the replications whose run lasted at least `t + 1` rounds.
+fn mean_per_round_sent(reports: &[rumor_sim::PushReport]) -> Vec<f64> {
+    let horizon = reports.iter().map(|r| r.per_round.len()).max().unwrap_or(0);
+    (0..horizon)
+        .map(|t| {
+            let (sum, n) = reports
+                .iter()
+                .filter(|r| t < r.per_round.len())
+                .map(|r| {
+                    let prev = if t == 0 {
+                        0
+                    } else {
+                        r.per_round[t - 1].cum_messages
+                    };
+                    (r.per_round[t].cum_messages - prev) as f64
+                })
+                .fold((0.0, 0u32), |(s, n), sent| (s + sent, n + 1));
+            if n == 0 {
+                0.0
+            } else {
+                sum / f64::from(n)
+            }
+        })
+        .collect()
 }
 
 /// Runs `replications` independent pushes of one parameter set and folds
@@ -241,6 +277,13 @@ pub fn replicated_sim_series(
         } else {
             died as f64 / reports.len() as f64
         },
+        wasted_fraction: SampleStats::of(
+            &reports
+                .iter()
+                .map(rumor_sim::PushReport::wasted_fraction)
+                .collect::<Vec<_>>(),
+        ),
+        per_round_sent_mean: mean_per_round_sent(&reports),
     }
 }
 
@@ -441,6 +484,13 @@ mod tests {
         assert!(s.final_awareness.mean() > 0.0 && s.final_awareness.mean() <= 1.0);
         assert!(s.final_awareness.ci95().half_width().is_finite());
         assert!((0.0..=1.0).contains(&s.died_fraction));
+        assert!((0.0..=1.0).contains(&s.wasted_fraction.mean()));
+        assert_eq!(
+            s.per_round_sent_mean.len(),
+            s.rounds.max() as usize,
+            "one mean per executed round"
+        );
+        assert!(s.per_round_sent_mean.iter().all(|&m| m >= 0.0));
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub struct ClusterBuilder<'a> {
     delay: DelaySpec,
     wire: WireVersion,
     workers: Option<usize>,
+    trace: bool,
 }
 
 impl<'a> ClusterBuilder<'a> {
@@ -58,7 +59,20 @@ impl<'a> ClusterBuilder<'a> {
             delay: DelaySpec::default(),
             wire: WireVersion::default(),
             workers: None,
+            trace: false,
         }
+    }
+
+    /// Enables structured trace capture (`rumor-obs`): every cell
+    /// buffers its message-level events locally and the conductor
+    /// records its environment decisions, assembled into a
+    /// [`rumor_obs::TraceDoc`] by [`VirtualCluster::take_trace`],
+    /// [`ThreadedCluster::finish_traced`] or
+    /// [`ShardedCluster::finish_traced`]. Capture consumes no
+    /// randomness, so a traced run is bit-identical to an untraced one.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
     }
 
     /// Selects the wire codec version every mounted cell speaks.
@@ -96,7 +110,14 @@ impl<'a> ClusterBuilder<'a> {
         P: Protocol,
         <P::Node as Node>::Msg: Encode + Decode,
     {
-        VirtualCluster::mount(self.scenario, protocol, self.faults, self.delay, self.wire)
+        VirtualCluster::mount(
+            self.scenario,
+            protocol,
+            self.faults,
+            self.delay,
+            self.wire,
+            self.trace,
+        )
     }
 
     /// Sets the worker-thread count for [`ClusterBuilder::sharded`]
@@ -116,7 +137,14 @@ impl<'a> ClusterBuilder<'a> {
         P::Node: Send + 'static,
         <P::Node as Node>::Msg: Encode + Decode + Send,
     {
-        ThreadedCluster::mount(self.scenario, protocol, self.faults, self.delay, self.wire)
+        ThreadedCluster::mount(
+            self.scenario,
+            protocol,
+            self.faults,
+            self.delay,
+            self.wire,
+            self.trace,
+        )
     }
 
     /// Mounts `protocol` onto a fixed pool of worker threads, each
@@ -136,6 +164,7 @@ impl<'a> ClusterBuilder<'a> {
             self.delay,
             self.wire,
             self.workers,
+            self.trace,
         )
     }
 }
@@ -154,6 +183,7 @@ pub(crate) fn build_cells<P: Protocol>(
     faults: &FaultSpec,
     delay: DelaySpec,
     wire: WireVersion,
+    trace: bool,
 ) -> (Vec<NodeCell<P::Node>>, Vec<bool>)
 where
     <P::Node as Node>::Msg: Encode + Decode,
@@ -176,6 +206,9 @@ where
                 delay,
             );
             cell.set_wire(wire);
+            if trace {
+                cell.enable_trace(protocol.trace_msg_kind());
+            }
             if flags[i] {
                 cell.set_byzantine(ByzantineState::new(
                     faults.byzantine.behaviour,

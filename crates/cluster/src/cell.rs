@@ -14,6 +14,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rumor_net::{Effect, EffectSink, LinkFilter, Node};
+use rumor_obs::{EventKind, MemTracer, MsgKind, TraceEvent, Tracer};
 use rumor_types::{PeerId, Round};
 use rumor_wire::{
     decode_frame, decode_frame_v2, encode_frame, BatchEncoder, Decode, Encode, WireError,
@@ -149,6 +150,12 @@ pub(crate) struct NodeCell<N: Node> {
     decode_scratch: Vec<N::Msg>,
     retained_scratch: Vec<Envelope>,
     due_scratch: Vec<(u32, u64)>,
+    /// Per-cell trace capture; `None` (the default) costs one untaken
+    /// branch per event site. Events never leave the cell until the
+    /// run finishes, so tracing adds no cross-thread traffic.
+    tracer: Option<MemTracer>,
+    /// Message classifier stamped on send/deliver trace events.
+    kinder: Option<fn(&N::Msg) -> MsgKind>,
 }
 
 impl<N: Node> NodeCell<N>
@@ -176,7 +183,22 @@ where
             decode_scratch: Vec::new(),
             retained_scratch: Vec::new(),
             due_scratch: Vec::new(),
+            tracer: None,
+            kinder: None,
         }
+    }
+
+    /// Enables trace capture on this cell with `kinder` classifying
+    /// message kinds (None stamps [`MsgKind::Other`]). Capture consumes
+    /// no randomness: a traced run is bit-identical to an untraced one.
+    pub fn enable_trace(&mut self, kinder: Option<fn(&N::Msg) -> MsgKind>) {
+        self.tracer = Some(MemTracer::new());
+        self.kinder = kinder;
+    }
+
+    /// Drains the cell's captured events (empty when tracing is off).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.tracer.as_mut().map_or_else(Vec::new, MemTracer::take)
     }
 
     /// Mounts adversarial behaviour on this cell: from now on every
@@ -223,12 +245,18 @@ where
                         self.outbox.push((to, msg));
                         continue;
                     }
+                    let kind = match (&self.tracer, self.kinder) {
+                        (Some(_), Some(k)) => k(&msg),
+                        _ => MsgKind::Other,
+                    };
+                    let mut tampered = false;
                     let (frame, replay) = match self.byz.as_mut() {
                         None => (encode_frame(&msg), None),
                         Some(byz) => {
                             let decision = byz.tamper(msg, encode_frame);
                             if decision.tampered {
                                 self.stats.tampered += 1;
+                                tampered = true;
                             }
                             let frame = match decision.outgoing {
                                 TamperedFrame::Message(m) => encode_frame(&m),
@@ -240,6 +268,20 @@ where
                     self.stats.sent += 1;
                     self.stats.messages_sent += 1;
                     self.stats.bytes_sent += frame.len() as u64;
+                    if let Some(t) = self.tracer.as_mut() {
+                        if tampered {
+                            t.record(now, self.id.as_u32(), EventKind::Tamper);
+                        }
+                        t.record(
+                            now,
+                            self.id.as_u32(),
+                            EventKind::Send {
+                                to: to.as_u32(),
+                                kind,
+                                bytes: frame.len() as u32,
+                            },
+                        );
+                    }
                     dispatch(
                         to,
                         Envelope {
@@ -253,6 +295,18 @@ where
                         self.stats.sent += 1;
                         self.stats.messages_sent += 1;
                         self.stats.bytes_sent += stale.len() as u64;
+                        if let Some(t) = self.tracer.as_mut() {
+                            // A replayed frame's content is opaque.
+                            t.record(
+                                now,
+                                self.id.as_u32(),
+                                EventKind::Send {
+                                    to: to.as_u32(),
+                                    kind: MsgKind::Other,
+                                    bytes: stale.len() as u32,
+                                },
+                            );
+                        }
                         dispatch(
                             to,
                             Envelope {
@@ -283,7 +337,12 @@ where
     /// frame for a lone message, a batch frame for two or more — and
     /// the Byzantine layer tampers per *frame*, not per message. No-op
     /// under wire v1, whose sends never stage.
-    fn flush_outbox(&mut self, deliver_from: u32, dispatch: &mut dyn FnMut(PeerId, Envelope)) {
+    fn flush_outbox(
+        &mut self,
+        now: u32,
+        deliver_from: u32,
+        dispatch: &mut dyn FnMut(PeerId, Envelope),
+    ) {
         if self.outbox.is_empty() {
             return;
         }
@@ -297,12 +356,20 @@ where
         }
         for (to, mut msgs) in groups {
             let count = msgs.len() as u64;
+            // A lone message keeps its kind; a batch frame is stamped
+            // `Other` (it carries many kinds at once).
+            let kind = match (&self.tracer, self.kinder, &msgs[..]) {
+                (Some(_), Some(k), [single]) => k(single),
+                _ => MsgKind::Other,
+            };
+            let mut tampered = false;
             let (frame, replay) = match self.byz.as_mut() {
                 None => (encode_group(&msgs), None),
                 Some(byz) => {
                     let decision = byz.tamper_group(&mut msgs, encode_group);
                     if decision.tampered {
                         self.stats.tampered += 1;
+                        tampered = true;
                     }
                     (decision.frame, decision.replay)
                 }
@@ -310,6 +377,20 @@ where
             self.stats.sent += 1;
             self.stats.messages_sent += count;
             self.stats.bytes_sent += frame.len() as u64;
+            if let Some(t) = self.tracer.as_mut() {
+                if tampered {
+                    t.record(now, self.id.as_u32(), EventKind::Tamper);
+                }
+                t.record(
+                    now,
+                    self.id.as_u32(),
+                    EventKind::Send {
+                        to: to.as_u32(),
+                        kind,
+                        bytes: frame.len() as u32,
+                    },
+                );
+            }
             dispatch(
                 to,
                 Envelope {
@@ -325,6 +406,17 @@ where
                 self.stats.sent += 1;
                 self.stats.messages_sent += 1;
                 self.stats.bytes_sent += stale.len() as u64;
+                if let Some(t) = self.tracer.as_mut() {
+                    t.record(
+                        now,
+                        self.id.as_u32(),
+                        EventKind::Send {
+                            to: to.as_u32(),
+                            kind: MsgKind::Other,
+                            bytes: stale.len() as u32,
+                        },
+                    );
+                }
                 dispatch(
                     to,
                     Envelope {
@@ -349,7 +441,7 @@ where
     ) -> T {
         let out = f(&mut self.node, &mut self.rng, &mut self.sink);
         self.drain_effects(round, round, round, dispatch);
-        self.flush_outbox(round, dispatch);
+        self.flush_outbox(round, round, dispatch);
         out
     }
 
@@ -404,6 +496,9 @@ where
         }
         for &(fire, tag) in &due {
             if online && fire == round {
+                if let Some(t) = self.tracer.as_mut() {
+                    t.record(round, self.id.as_u32(), EventKind::TimerFire { tag });
+                }
                 self.node.on_timer(tag, r, &mut self.rng, &mut self.sink);
                 self.drain_effects(round, round + 1, round + 1, dispatch);
             }
@@ -423,6 +518,15 @@ where
                 // before the delay draw so a gap frame is never
                 // resurrected into a later round by the delay model.
                 self.stats.lost_offline += 1;
+                if let Some(t) = self.tracer.as_mut() {
+                    t.record(
+                        round,
+                        self.id.as_u32(),
+                        EventKind::DropOffline {
+                            from: env.from.as_u32(),
+                        },
+                    );
+                }
                 continue;
             }
             if !env.delay_resolved {
@@ -438,12 +542,30 @@ where
             }
             if !online {
                 self.stats.lost_offline += 1;
+                if let Some(t) = self.tracer.as_mut() {
+                    t.record(
+                        round,
+                        self.id.as_u32(),
+                        EventKind::DropOffline {
+                            from: env.from.as_u32(),
+                        },
+                    );
+                }
                 continue;
             }
             match self.wire {
                 WireVersion::V1 => {
                     if !filter.allows(env.from, self.id, r, &mut self.link_rng) {
                         self.stats.lost_fault += 1;
+                        if let Some(t) = self.tracer.as_mut() {
+                            t.record(
+                                round,
+                                self.id.as_u32(),
+                                EventKind::DropLoss {
+                                    from: env.from.as_u32(),
+                                },
+                            );
+                        }
                         continue;
                     }
                     match decode_frame::<N::Msg>(&env.frame) {
@@ -456,6 +578,19 @@ where
                             if let Some(byz) = self.byz.as_mut() {
                                 if byz.replays() {
                                     byz.remember(&env.frame);
+                                }
+                            }
+                            if self.tracer.is_some() {
+                                let kind = self.kinder.map_or(MsgKind::Other, |k| k(&msg));
+                                if let Some(t) = self.tracer.as_mut() {
+                                    t.record(
+                                        round,
+                                        self.id.as_u32(),
+                                        EventKind::Deliver {
+                                            from: env.from.as_u32(),
+                                            kind,
+                                        },
+                                    );
                                 }
                             }
                             self.node
@@ -487,6 +622,19 @@ where
                                     continue;
                                 }
                                 survivors += 1;
+                                if self.tracer.is_some() {
+                                    let kind = self.kinder.map_or(MsgKind::Other, |k| k(&msg));
+                                    if let Some(t) = self.tracer.as_mut() {
+                                        t.record(
+                                            round,
+                                            self.id.as_u32(),
+                                            EventKind::Deliver {
+                                                from: env.from.as_u32(),
+                                                kind,
+                                            },
+                                        );
+                                    }
+                                }
                                 self.node.on_message(
                                     env.from,
                                     msg,
@@ -502,6 +650,15 @@ where
                                 self.stats.bytes_delivered += env.frame.len() as u64;
                             } else {
                                 self.stats.lost_fault += 1;
+                                if let Some(t) = self.tracer.as_mut() {
+                                    t.record(
+                                        round,
+                                        self.id.as_u32(),
+                                        EventKind::DropLoss {
+                                            from: env.from.as_u32(),
+                                        },
+                                    );
+                                }
                             }
                         }
                     }
@@ -511,7 +668,7 @@ where
         }
         self.inbox.extend(retained.drain(..));
         self.retained_scratch = retained;
-        self.flush_outbox(round + 1, dispatch);
+        self.flush_outbox(round, round + 1, dispatch);
     }
 }
 

@@ -46,6 +46,15 @@
 //! [`ByzantineBehaviour`]). Both runtime modes host them; `rumor-fuzz`
 //! sweeps them against the convergence oracle.
 //!
+//! [`ClusterBuilder::traced`] additionally mounts structured
+//! `rumor-obs` capture: each cell buffers its message-level events
+//! locally, the conductor records its seeded environment decisions
+//! (round starts, churn transitions, fault events, initiations), and
+//! the buffers merge into one canonical `(round, node, seq)`-ordered
+//! [`rumor_obs::TraceDoc`]. Capture consumes no randomness, so a traced
+//! run stays bit-identical to an untraced one, and the conductor-side
+//! environment sub-trace is byte-identical across all three modes.
+//!
 //! # Examples
 //!
 //! ```
@@ -87,6 +96,7 @@ mod fault;
 mod report;
 mod sharded;
 mod threaded;
+mod trace;
 mod virtual_time;
 
 pub use builder::ClusterBuilder;

@@ -32,11 +32,13 @@
 use crate::cell::{CellStats, DelaySpec, Envelope, NodeCell};
 use crate::fault::{FaultInjector, FaultSpec};
 use crate::report::ClusterReport;
+use crate::trace::ConductorTrace;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rumor_churn::{Churn, OnlineSet};
 use rumor_net::{LinkFilter, Node};
+use rumor_obs::TraceDoc;
 use rumor_sim::{Protocol, Scenario, UpdateEvent};
 use rumor_types::{derive_seed, PeerId, Round, UpdateId};
 use rumor_wire::{Decode, Encode};
@@ -325,6 +327,8 @@ where
     /// The update the convergence probe state belongs to; probing a
     /// different update resets `converged_round`.
     probed_update: Option<UpdateId>,
+    seed: u64,
+    trace: Option<ConductorTrace>,
 }
 
 impl<P> std::fmt::Debug for ShardedCluster<P>
@@ -355,11 +359,13 @@ where
         delay: DelaySpec,
         wire: rumor_wire::WireVersion,
         workers: Option<usize>,
+        trace: bool,
     ) -> Self {
         let online = scenario.initial_online_set();
         let (cells, byzantine) =
-            crate::builder::build_cells(scenario, &protocol, &online, &faults, delay, wire);
+            crate::builder::build_cells(scenario, &protocol, &online, &faults, delay, wire, trace);
         let population = cells.len();
+        let trace = trace.then(|| ConductorTrace::new(&online, population));
         let map = ShardMap::new(population, workers.unwrap_or_else(default_workers));
         let protocol = Arc::new(protocol);
         let filter: Arc<dyn LinkFilter + Send + Sync> = Arc::from(scenario.link_filter());
@@ -422,6 +428,8 @@ where
             rounds_run: 0,
             converged_round: None,
             probed_update: None,
+            seed: scenario.seed(),
+            trace,
         }
     }
 
@@ -532,6 +540,9 @@ where
         let probe = self.snapshots[shard].probe;
         self.snapshots[shard] = report;
         self.snapshots[shard].probe = probe;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.initiate(self.rounds_run, initiator, update);
+        }
         Some(update)
     }
 
@@ -543,10 +554,16 @@ where
                 .step(self.rounds_run - 1, &mut self.online, &mut self.churn_rng);
         }
         let round = self.rounds_run;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.round_start(round, &self.online);
+        }
         // Fault events ride the ctrl channels ahead of the tick: FIFO
         // ordering guarantees a shard parks/un-parks the cell before it
         // pumps this round.
         let events = self.faults.step(round);
+        if let Some(trace) = self.trace.as_mut() {
+            trace.fault_events(round, &events);
+        }
         for peer in events.restarts {
             self.ctrls[self.map.shard_of(peer.index())]
                 .send(ShardCtrl::Restart { peer })
@@ -636,7 +653,20 @@ where
 
     /// Gracefully shuts the worker pool down, reclaims the node states
     /// and folds the run into a [`ClusterReport`] for `update`.
-    pub fn finish(mut self, update: UpdateId) -> ClusterReport {
+    pub fn finish(self, update: UpdateId) -> ClusterReport {
+        self.finish_traced(update, "sharded").0
+    }
+
+    /// Like [`ShardedCluster::finish`], additionally assembling the
+    /// captured trace into a canonical [`TraceDoc`] labelled `label`
+    /// (conductor events plus every reclaimed cell's buffer), or `None`
+    /// when the cluster was not built with
+    /// [`ClusterBuilder::traced`](crate::ClusterBuilder::traced).
+    pub fn finish_traced(
+        mut self,
+        update: UpdateId,
+        label: &str,
+    ) -> (ClusterReport, Option<TraceDoc>) {
         let mut shard_cells: Vec<Vec<NodeCell<P::Node>>> = Vec::with_capacity(self.ctrls.len());
         shard_cells.resize_with(self.ctrls.len(), Vec::new);
         for ctrl in &self.ctrls {
@@ -657,7 +687,7 @@ where
                 handle.join().expect("cluster shard panicked");
             }
         }
-        let cells: Vec<NodeCell<P::Node>> = shard_cells.into_iter().flatten().collect();
+        let mut cells: Vec<NodeCell<P::Node>> = shard_cells.into_iter().flatten().collect();
 
         let aware_set: Vec<PeerId> = cells
             .iter()
@@ -669,7 +699,7 @@ where
             .iter()
             .filter(|&&p| self.effective_online(p))
             .count();
-        ClusterReport::fold(
+        let report = ClusterReport::fold(
             crate::report::RunOutcome {
                 rounds: self.rounds_run,
                 crashes: self.faults.crashes,
@@ -681,7 +711,15 @@ where
                 byzantine: self.byzantine.iter().filter(|&&f| f).count(),
             },
             cells.iter().map(|c| &c.stats),
-        )
+        );
+        let population = self.map.population() as u32;
+        let trace = self.trace.as_mut().map(|conductor| {
+            let buffers = std::iter::once(conductor.take())
+                .chain(cells.iter_mut().map(NodeCell::take_trace))
+                .collect::<Vec<_>>();
+            TraceDoc::merge(label, self.seed, population, buffers)
+        });
+        (report, trace)
     }
 }
 

@@ -20,11 +20,13 @@
 use crate::cell::{CellStats, DelaySpec, Envelope, NodeCell};
 use crate::fault::{FaultInjector, FaultSpec};
 use crate::report::ClusterReport;
+use crate::trace::ConductorTrace;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rumor_churn::{Churn, OnlineSet};
 use rumor_net::{LinkFilter, Node};
+use rumor_obs::TraceDoc;
 use rumor_sim::{Protocol, Scenario, UpdateEvent};
 use rumor_types::{derive_seed, PeerId, Round, UpdateId};
 use rumor_wire::{Decode, Encode};
@@ -198,6 +200,8 @@ where
     /// The update the convergence probe state belongs to; probing a
     /// different update resets `converged_round`.
     probed_update: Option<UpdateId>,
+    seed: u64,
+    trace: Option<ConductorTrace>,
 }
 
 impl<P> std::fmt::Debug for ThreadedCluster<P>
@@ -226,11 +230,13 @@ where
         faults: FaultSpec,
         delay: DelaySpec,
         wire: rumor_wire::WireVersion,
+        trace: bool,
     ) -> Self {
         let online = scenario.initial_online_set();
         let (cells, byzantine) =
-            crate::builder::build_cells(scenario, &protocol, &online, &faults, delay, wire);
+            crate::builder::build_cells(scenario, &protocol, &online, &faults, delay, wire, trace);
         let population = cells.len();
+        let trace = trace.then(|| ConductorTrace::new(&online, population));
         let protocol = Arc::new(protocol);
         let filter: Arc<dyn LinkFilter + Send + Sync> = Arc::from(scenario.link_filter());
         let (reply_tx, reply_rx) = mpsc::channel();
@@ -270,6 +276,8 @@ where
             rounds_run: 0,
             converged_round: None,
             probed_update: None,
+            seed: scenario.seed(),
+            trace,
         };
         for (cell, mailbox) in cells.into_iter().zip(mailboxes) {
             let slot = cluster.spawn(Box::new(cell), mailbox);
@@ -403,6 +411,9 @@ where
         let aware = self.snapshots[initiator.index()].aware;
         self.snapshots[initiator.index()] = report;
         self.snapshots[initiator.index()].aware = aware;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.initiate(round, initiator, update);
+        }
         Some(update)
     }
 
@@ -442,7 +453,13 @@ where
                 .step(self.rounds_run - 1, &mut self.online, &mut self.churn_rng);
         }
         let round = self.rounds_run;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.round_start(round, &self.online);
+        }
         let events = self.faults.step(round);
+        if let Some(trace) = self.trace.as_mut() {
+            trace.fault_events(round, &events);
+        }
         for peer in events.restarts {
             let slot = self.slots[peer.index()].take().expect("slot present");
             let Slot::Crashed { cell, mailbox } = slot else {
@@ -532,7 +549,20 @@ where
 
     /// Gracefully shuts every thread down, reclaims the node states and
     /// folds the run into a [`ClusterReport`] for `update`.
-    pub fn finish(mut self, update: UpdateId) -> ClusterReport {
+    pub fn finish(self, update: UpdateId) -> ClusterReport {
+        self.finish_traced(update, "threaded").0
+    }
+
+    /// Like [`ThreadedCluster::finish`], additionally assembling the
+    /// captured trace into a canonical [`TraceDoc`] labelled `label`
+    /// (conductor events plus every reclaimed cell's buffer), or `None`
+    /// when the cluster was not built with
+    /// [`ClusterBuilder::traced`](crate::ClusterBuilder::traced).
+    pub fn finish_traced(
+        mut self,
+        update: UpdateId,
+        label: &str,
+    ) -> (ClusterReport, Option<TraceDoc>) {
         let population = self.slots.len();
         let mut cells: Vec<Box<NodeCell<P::Node>>> = Vec::with_capacity(population);
         for i in 0..population {
@@ -565,7 +595,7 @@ where
             .iter()
             .filter(|&&p| self.effective_online(p))
             .count();
-        ClusterReport::fold(
+        let report = ClusterReport::fold(
             crate::report::RunOutcome {
                 rounds: self.rounds_run,
                 crashes: self.faults.crashes,
@@ -577,7 +607,14 @@ where
                 byzantine: self.byzantine.iter().filter(|&&f| f).count(),
             },
             cells.iter().map(|c| &c.stats),
-        )
+        );
+        let trace = self.trace.as_mut().map(|conductor| {
+            let buffers = std::iter::once(conductor.take())
+                .chain(cells.iter_mut().map(|c| c.take_trace()))
+                .collect::<Vec<_>>();
+            TraceDoc::merge(label, self.seed, population as u32, buffers)
+        });
+        (report, trace)
     }
 }
 

@@ -10,11 +10,13 @@
 use crate::cell::{DelaySpec, Envelope, NodeCell};
 use crate::fault::{FaultInjector, FaultSpec};
 use crate::report::ClusterReport;
+use crate::trace::ConductorTrace;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rumor_churn::{Churn, OnlineSet};
 use rumor_net::{LinkFilter, Node};
+use rumor_obs::TraceDoc;
 use rumor_sim::{Protocol, Scenario, UpdateEvent};
 use rumor_types::{derive_seed, PeerId, Round, UpdateId};
 use rumor_wire::{Decode, Encode};
@@ -42,6 +44,8 @@ where
     /// different update resets `converged_round`.
     probed_update: Option<UpdateId>,
     staged: Vec<(PeerId, Envelope)>,
+    seed: u64,
+    trace: Option<ConductorTrace>,
 }
 
 impl<P: Protocol> std::fmt::Debug for VirtualCluster<P>
@@ -66,11 +70,13 @@ where
         faults: FaultSpec,
         delay: DelaySpec,
         wire: rumor_wire::WireVersion,
+        trace: bool,
     ) -> Self {
         let online = scenario.initial_online_set();
         let (cells, byzantine) =
-            crate::builder::build_cells(scenario, &protocol, &online, &faults, delay, wire);
+            crate::builder::build_cells(scenario, &protocol, &online, &faults, delay, wire, trace);
         let population = cells.len();
+        let trace = trace.then(|| ConductorTrace::new(&online, population));
         Self {
             protocol,
             cells,
@@ -89,6 +95,8 @@ where
             converged_round: None,
             probed_update: None,
             staged: Vec::new(),
+            seed: scenario.seed(),
+            trace,
         }
     }
 
@@ -155,6 +163,9 @@ where
             self.cells[to.index()].inbox.push_back(env);
         }
         self.staged = staged;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.initiate(round, initiator, update);
+        }
         Some(update)
     }
 
@@ -166,7 +177,13 @@ where
                 .step(self.rounds_run - 1, &mut self.online, &mut self.churn_rng);
         }
         let round = self.rounds_run;
-        self.faults.step(round);
+        if let Some(trace) = self.trace.as_mut() {
+            trace.round_start(round, &self.online);
+        }
+        let events = self.faults.step(round);
+        if let Some(trace) = self.trace.as_mut() {
+            trace.fault_events(round, &events);
+        }
         let mut staged = std::mem::take(&mut self.staged);
         for i in 0..self.cells.len() {
             let peer = PeerId::new(i as u32);
@@ -246,6 +263,21 @@ where
         let start = self.rounds_run;
         while self.rounds_run - start < max_rounds {
             self.step();
+            if let Some(mut trace) = self.trace.take() {
+                // Virtual time is the only mode where the conductor can
+                // see per-node awareness, so only its traces carry
+                // `Aware`/`Probe` events (neither is part of the
+                // environment sub-trace contract).
+                let round = self.rounds_run - 1;
+                let online = self.online_count() as u32;
+                trace.probe(
+                    round,
+                    update,
+                    (0..self.cells.len() as u32).map(|i| self.is_aware(PeerId::new(i), update)),
+                    online,
+                );
+                self.trace = Some(trace);
+            }
             if self.all_online_aware(update) {
                 let converged = self.rounds_run - 1;
                 self.converged_round.get_or_insert(converged);
@@ -253,6 +285,21 @@ where
             }
         }
         None
+    }
+
+    /// Assembles and drains the captured trace into a canonical
+    /// [`TraceDoc`] (conductor events plus every cell's buffer), or
+    /// `None` when the cluster was not built with
+    /// [`ClusterBuilder::traced`](crate::ClusterBuilder::traced). The
+    /// cluster may keep running afterwards; a second call returns only
+    /// events captured since.
+    pub fn take_trace(&mut self, label: &str) -> Option<TraceDoc> {
+        let conductor = self.trace.as_mut()?.take();
+        let population = self.cells.len() as u32;
+        let buffers = std::iter::once(conductor)
+            .chain(self.cells.iter_mut().map(NodeCell::take_trace))
+            .collect::<Vec<_>>();
+        Some(TraceDoc::merge(label, self.seed, population, buffers))
     }
 
     /// Folds the run into a [`ClusterReport`] for the tracked `update`.

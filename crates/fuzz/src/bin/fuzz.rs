@@ -4,14 +4,17 @@
 //! ```text
 //! fuzz [--seed N] [--cases N] [--byz F] [OUT_DIR]   full batch + sweep
 //! fuzz --smoke OUT_DIR                              bounded CI batch + sweep
-//! fuzz --replay RECORD.json                         re-run a frozen record
+//! fuzz --replay RECORD.json [--trace TRACE.json]    re-run a frozen record
 //! ```
 //!
 //! Artefacts: `FUZZ_batch.json` (schema `rumor-fuzz/batch/v1`),
 //! `FUZZ_sweep.json` (schema `rumor-fuzz/sweep/v1`) and one
 //! `record_<index>.json` per violation (schema `rumor-fuzz/record/v1`).
-//! Exit status is non-zero when a benign batch finds a violation or a
-//! replay fails to reproduce its record.
+//! `--replay --trace OUT` additionally captures the replayed trajectory
+//! as a structured trace artefact (schema `rumor-obs/trace/v1`) —
+//! tracing draws no randomness, so the traced replay is the recorded
+//! run, made inspectable. Exit status is non-zero when a benign batch
+//! finds a violation or a replay fails to reproduce its record.
 
 use std::fs;
 use std::path::Path;
@@ -26,13 +29,14 @@ use rumor_fuzz::{
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_mode(&args) {
-        Ok(Mode::Replay { path }) => replay(&path),
+        Ok(Mode::Replay { path, trace }) => replay(&path, trace.as_deref()),
         Ok(Mode::Batch { config, out_dir }) => batch(&config, &out_dir),
         Err(message) => {
             eprintln!("fuzz: {message}");
             eprintln!(
                 "usage: fuzz [--seed N] [--cases N] [--byz F] [OUT_DIR]\n       \
-                 fuzz --smoke OUT_DIR\n       fuzz --replay RECORD.json"
+                 fuzz --smoke OUT_DIR\n       \
+                 fuzz --replay RECORD.json [--trace TRACE.json]"
             );
             ExitCode::from(2)
         }
@@ -41,12 +45,14 @@ fn main() -> ExitCode {
 
 enum Mode {
     Batch { config: FuzzConfig, out_dir: String },
-    Replay { path: String },
+    Replay { path: String, trace: Option<String> },
 }
 
 fn parse_mode(args: &[String]) -> Result<Mode, String> {
     let mut config = FuzzConfig::default();
     let mut out_dir: Option<String> = None;
+    let mut replay_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut arg_idx = 0usize;
     while arg_idx < args.len() {
         let take_value = |i: usize| -> Result<&str, String> {
@@ -56,9 +62,12 @@ fn parse_mode(args: &[String]) -> Result<Mode, String> {
         };
         match args[arg_idx].as_str() {
             "--replay" => {
-                return Ok(Mode::Replay {
-                    path: take_value(arg_idx)?.to_owned(),
-                });
+                replay_path = Some(take_value(arg_idx)?.to_owned());
+                arg_idx += 2;
+            }
+            "--trace" => {
+                trace_path = Some(take_value(arg_idx)?.to_owned());
+                arg_idx += 2;
             }
             "--smoke" => {
                 // Bounded for CI: small populations, short horizon.
@@ -94,6 +103,15 @@ fn parse_mode(args: &[String]) -> Result<Mode, String> {
                 arg_idx += 1;
             }
         }
+    }
+    if let Some(path) = replay_path {
+        return Ok(Mode::Replay {
+            path,
+            trace: trace_path,
+        });
+    }
+    if trace_path.is_some() {
+        return Err("`--trace` only makes sense with `--replay`".to_owned());
     }
     Ok(Mode::Batch {
         config,
@@ -190,7 +208,7 @@ fn print_summary(report: &BatchReport, sweep: &SweepReport, out_dir: &str) {
     println!("artefacts under {out_dir}/");
 }
 
-fn replay(path: &str) -> ExitCode {
+fn replay(path: &str, trace_out: Option<&str>) -> ExitCode {
     let text = match fs::read_to_string(path) {
         Ok(text) => text,
         Err(error) => {
@@ -205,7 +223,28 @@ fn replay(path: &str) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match record.replay() {
+    let result = match trace_out {
+        Some(out) => {
+            let label = format!("fuzz-replay-{}", record.spec.index);
+            match record.replay_traced(&label) {
+                Ok((verdict, outcome, trace)) => {
+                    if let Err(error) = fs::write(out, trace.to_json()) {
+                        eprintln!("fuzz: writing trace {out}: {error}");
+                        return ExitCode::from(2);
+                    }
+                    println!(
+                        "trace: {out} ({} events over {} rounds)",
+                        trace.events.len(),
+                        trace.rounds()
+                    );
+                    Ok((verdict, outcome))
+                }
+                Err(error) => Err(error),
+            }
+        }
+        None => record.replay(),
+    };
+    match result {
         Ok((ReplayVerdict::Reproduced, outcome)) => {
             println!(
                 "replay {path}: reproduced `{}` after {} rounds ({} witnesses)",

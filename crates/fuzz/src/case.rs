@@ -10,9 +10,10 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rumor_churn::MarkovChurn;
-use rumor_cluster::{ByzantineBehaviour, ByzantineSpec, ClusterBuilder, FaultSpec};
-use rumor_core::{ProtocolConfig, PullStrategy};
-use rumor_sim::{PaperProtocol, Protocol, Scenario, TopologySpec, UpdateEvent};
+use rumor_cluster::{ByzantineBehaviour, ByzantineSpec, ClusterBuilder, FaultSpec, VirtualCluster};
+use rumor_core::{ProtocolConfig, PullStrategy, ReplicaPeer};
+use rumor_obs::{MemTracer, TraceDoc, Tracer};
+use rumor_sim::{Driver, PaperProtocol, Protocol, Scenario, TopologySpec, UpdateEvent};
 use rumor_types::{derive_seed, DataKey, PeerId, SeedSequence, UpdateId};
 
 use crate::config::FuzzConfig;
@@ -279,12 +280,48 @@ impl CaseSpec {
     /// Runs the case to completion and checks the convergence oracle.
     pub fn run(&self) -> Result<CaseOutcome, String> {
         match self.path {
-            ExecPath::Engine => self.run_engine(),
-            ExecPath::Cluster => self.run_cluster(),
+            ExecPath::Engine => {
+                let scenario = self.scenario()?;
+                let protocol = self.protocol()?;
+                let mut driver = scenario.drive(&protocol);
+                Ok(self.drive_engine(&mut driver, &protocol))
+            }
+            ExecPath::Cluster => {
+                let mut cluster = self.mount_cluster(false)?;
+                Ok(self.drive_cluster(&mut cluster))
+            }
         }
     }
 
-    fn run_cluster(&self) -> Result<CaseOutcome, String> {
+    /// Like [`CaseSpec::run`], additionally capturing the trajectory as
+    /// a structured `rumor-obs` trace labelled `label`. Capture consumes
+    /// no randomness, so the outcome (and the oracle verdict) is
+    /// bit-identical to an untraced [`CaseSpec::run`] of the same spec —
+    /// which is what makes a frozen repro record explorable as a
+    /// timeline without invalidating it.
+    pub fn run_traced(&self, label: &str) -> Result<(CaseOutcome, TraceDoc), String> {
+        match self.path {
+            ExecPath::Engine => {
+                let scenario = self.scenario()?;
+                let protocol = self.protocol()?;
+                let mut driver = scenario.drive_traced(&protocol, MemTracer::new());
+                let outcome = self.drive_engine(&mut driver, &protocol);
+                let events = driver.tracer_mut().take();
+                let doc = TraceDoc::merge(label, self.seed, self.population as u32, [events]);
+                Ok((outcome, doc))
+            }
+            ExecPath::Cluster => {
+                let mut cluster = self.mount_cluster(true)?;
+                let outcome = self.drive_cluster(&mut cluster);
+                let doc = cluster
+                    .take_trace(label)
+                    .expect("cluster was mounted traced");
+                Ok((outcome, doc))
+            }
+        }
+    }
+
+    fn mount_cluster(&self, trace: bool) -> Result<VirtualCluster<PaperProtocol>, String> {
         let scenario = self.scenario()?;
         let protocol = self.protocol()?;
         let faults = FaultSpec {
@@ -298,11 +335,16 @@ impl CaseSpec {
         let mut builder = ClusterBuilder::new(&scenario)
             .faults(faults)
             .map_err(|e| e.to_string())?;
+        if trace {
+            builder = builder.traced();
+        }
         if self.wire_v2 {
             builder = builder.wire(rumor_cluster::WireVersion::V2);
         }
-        let mut cluster = builder.virtual_time(protocol);
+        Ok(builder.virtual_time(protocol))
+    }
 
+    fn drive_cluster(&self, cluster: &mut VirtualCluster<PaperProtocol>) -> CaseOutcome {
         let events = self.events();
         let mut tracked: Vec<(u32, DataKey, UpdateId)> = Vec::new();
         let mut next = 0usize;
@@ -343,28 +385,28 @@ impl CaseSpec {
         let report = tracked
             .first()
             .map(|&(_, _, update)| cluster.report(update));
-        Ok(CaseOutcome {
+        CaseOutcome {
             divergence,
             rounds_executed: self.max_rounds + self.probe_window(),
             messages: report.as_ref().map_or(0, |r| r.frames_sent),
             tampered: report.as_ref().map_or(0, |r| r.frames_tampered),
             byzantine: report.as_ref().map_or(0, |r| r.byzantine),
             witnesses: stable.len(),
-        })
+        }
     }
 
-    fn run_engine(&self) -> Result<CaseOutcome, String> {
-        let scenario = self.scenario()?;
-        let protocol = self.protocol()?;
-        let mut driver = scenario.drive(&protocol);
-
+    fn drive_engine<T: Tracer>(
+        &self,
+        driver: &mut Driver<ReplicaPeer, T>,
+        protocol: &PaperProtocol,
+    ) -> CaseOutcome {
         let events = self.events();
         let mut tracked: Vec<(u32, DataKey, UpdateId)> = Vec::new();
         let mut next = 0usize;
         let mut tick = 0u32;
         while tick < self.max_rounds {
             while next < events.len() && events[next].round <= tick {
-                match driver.initiate(&protocol, None, &events[next]) {
+                match driver.initiate(protocol, None, &events[next]) {
                     Some(update) => {
                         tracked.push((events[next].sequence, events[next].key, update));
                         next += 1;
@@ -391,14 +433,14 @@ impl CaseSpec {
             &surviving_updates(&tracked),
             |p, u| protocol.is_aware(driver.node(p), u),
         );
-        Ok(CaseOutcome {
+        CaseOutcome {
             divergence,
             rounds_executed: self.max_rounds + self.probe_window(),
             messages: driver.messages(),
             tampered: 0,
             byzantine: 0,
             witnesses: stable.len(),
-        })
+        }
     }
 
     /// Serializes the spec as a JSON object (field order is stable).

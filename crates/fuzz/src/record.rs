@@ -10,6 +10,7 @@
 use crate::case::{CaseOutcome, CaseSpec};
 use crate::json::{self, Json};
 use crate::oracle::Divergence;
+use rumor_obs::TraceDoc;
 
 /// Schema tag stamped into every record artefact.
 pub const RECORD_SCHEMA: &str = "rumor-fuzz/record/v1";
@@ -69,12 +70,29 @@ impl ExecutionRecord {
     /// Re-runs the recorded case and compares the oracle verdict.
     pub fn replay(&self) -> Result<(ReplayVerdict, CaseOutcome), String> {
         let outcome = self.spec.run()?;
-        let verdict = match &outcome.divergence {
+        let verdict = self.verdict_of(&outcome);
+        Ok((verdict, outcome))
+    }
+
+    /// Like [`ExecutionRecord::replay`], additionally capturing the
+    /// replayed trajectory as a `rumor-obs` trace. Tracing consumes no
+    /// randomness, so the verdict is identical to an untraced replay —
+    /// the trace is the same run, made inspectable.
+    pub fn replay_traced(
+        &self,
+        label: &str,
+    ) -> Result<(ReplayVerdict, CaseOutcome, TraceDoc), String> {
+        let (outcome, trace) = self.spec.run_traced(label)?;
+        let verdict = self.verdict_of(&outcome);
+        Ok((verdict, outcome, trace))
+    }
+
+    fn verdict_of(&self, outcome: &CaseOutcome) -> ReplayVerdict {
+        match &outcome.divergence {
             Some(d) if *d == self.divergence => ReplayVerdict::Reproduced,
             Some(d) => ReplayVerdict::DifferentDivergence(d.clone()),
             None => ReplayVerdict::Clean,
-        };
-        Ok((verdict, outcome))
+        }
     }
 }
 

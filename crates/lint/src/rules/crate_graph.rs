@@ -1,9 +1,9 @@
 //! `crate-graph` — the README dependency diagram as a layering check.
 //!
 //! The workspace is layered: foundations (`types`, `wire`, `metrics`,
-//! `analysis`) at the bottom, then `churn` → `net` → `core` → `sim` →
-//! the protocol/runtime tier (`baselines`, `pgrid`, `cluster`) →
-//! `bench`/`fuzz` → the `rumor` facade on top. Every normal dependency edge between
+//! `analysis`) at the bottom, then `churn`/`obs` → `net` → `core` →
+//! `sim` → the protocol/runtime tier (`baselines`, `pgrid`, `cluster`)
+//! → `bench`/`fuzz` → the `rumor` facade on top. Every normal dependency edge between
 //! workspace crates must point *strictly downward* in that order —
 //! `core` may never grow an edge to `sim`, `baselines`/`pgrid` may never
 //! be depended on by `sim`, and so on. Dev-dependencies are exempt
@@ -12,8 +12,8 @@
 //!
 //! * `rumor-lint` itself has **zero** dependencies — the linter cannot
 //!   be contaminated by the tree it judges.
-//! * the `rumor` facade depends on exactly the twelve library crates it
-//!   re-exports, and its `src/lib.rs` contains re-exports only — no
+//! * the `rumor` facade depends on exactly the thirteen library crates
+//!   it re-exports, and its `src/lib.rs` contains re-exports only — no
 //!   functions, types or logic of its own.
 //!
 //! Manifest-level findings have no inline-suppression channel: a wrong
@@ -27,12 +27,13 @@ use crate::source::SourceFile;
 pub const NAME: &str = "crate-graph";
 
 /// Layer of each workspace crate; edges must strictly decrease.
-const LAYERS: [(&str, u8); 15] = [
+const LAYERS: [(&str, u8); 16] = [
     ("rumor-types", 0),
     ("rumor-wire", 0),
     ("rumor-metrics", 0),
     ("rumor-analysis", 0),
     ("rumor-churn", 1),
+    ("rumor-obs", 1),
     ("rumor-net", 2),
     ("rumor-core", 3),
     ("rumor-sim", 4),
@@ -46,7 +47,7 @@ const LAYERS: [(&str, u8); 15] = [
 ];
 
 /// The facade's exact dependency set.
-const FACADE_DEPS: [&str; 12] = [
+const FACADE_DEPS: [&str; 13] = [
     "rumor-analysis",
     "rumor-baselines",
     "rumor-churn",
@@ -55,6 +56,7 @@ const FACADE_DEPS: [&str; 12] = [
     "rumor-fuzz",
     "rumor-metrics",
     "rumor-net",
+    "rumor-obs",
     "rumor-pgrid",
     "rumor-sim",
     "rumor-types",
@@ -118,7 +120,7 @@ pub fn check(manifests: &[(String, Manifest)], files: &[SourceFile], out: &mut V
             deps.sort();
             if deps != FACADE_DEPS {
                 emit(format!(
-                    "facade dependency set drifted from the twelve re-exported crates \
+                    "facade dependency set drifted from the thirteen re-exported crates \
                      (found: {})",
                     deps.join(", ")
                 ));

@@ -17,6 +17,7 @@ use crate::sink::EffectSink;
 use crate::stats::EngineStats;
 use rand_chacha::ChaCha8Rng;
 use rumor_churn::OnlineSet;
+use rumor_obs::{EventKind, MsgKind, NopTracer, Tracer, CONDUCTOR};
 use rumor_types::{PeerId, Round};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -81,7 +82,7 @@ impl Ord for TimerEntry {
 /// assert_eq!(engine.stats().sent, 4); // 3, 2, 1, 0
 /// ```
 #[derive(Debug)]
-pub struct SyncEngine<M> {
+pub struct SyncEngine<M, T = NopTracer> {
     current: Vec<Inbox<M>>,
     next: Vec<Inbox<M>>,
     timers: BinaryHeap<TimerEntry>,
@@ -101,6 +102,13 @@ pub struct SyncEngine<M> {
     /// Optional wire sizer: encoded frame bytes per message, recorded
     /// into [`EngineStats::bytes_sent`] at send time.
     sizer: Option<fn(&M) -> usize>,
+    /// Optional message classifier for trace events; consulted only when
+    /// the tracer is enabled, never consumes randomness.
+    kinder: Option<fn(&M) -> MsgKind>,
+    /// Structured-event sink. The default [`NopTracer`] monomorphizes to
+    /// nothing — the untraced engine is bit- and cost-identical to the
+    /// pre-tracing one.
+    tracer: T,
     /// Scratch sink node callbacks write into; drained after each call.
     sink: EffectSink<M>,
     /// Scratch inbox swapped against each peer slot during delivery.
@@ -110,8 +118,16 @@ pub struct SyncEngine<M> {
 }
 
 impl<M: Clone> SyncEngine<M> {
-    /// Creates an engine for a population of `n` peers.
+    /// Creates an untraced engine for a population of `n` peers.
     pub fn new(n: usize) -> Self {
+        Self::with_tracer(n, NopTracer)
+    }
+}
+
+impl<M: Clone, T: Tracer> SyncEngine<M, T> {
+    /// Creates an engine for a population of `n` peers capturing
+    /// structured events into `tracer`.
+    pub fn with_tracer(n: usize, tracer: T) -> Self {
         Self {
             current: (0..n).map(|_| Vec::new()).collect(),
             next: (0..n).map(|_| Vec::new()).collect(),
@@ -125,10 +141,28 @@ impl<M: Clone> SyncEngine<M> {
             sent_this_round: 0,
             in_flight: 0,
             sizer: None,
+            kinder: None,
+            tracer,
             sink: EffectSink::new(),
             delivery_scratch: Vec::new(),
             due_scratch: Vec::new(),
         }
+    }
+
+    /// The mounted tracer.
+    pub const fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Mutable access to the mounted tracer (e.g. to drain a
+    /// [`rumor_obs::MemTracer`] mid-run).
+    pub fn tracer_mut(&mut self) -> &mut T {
+        &mut self.tracer
+    }
+
+    /// Consumes the engine, returning the tracer with its capture.
+    pub fn into_tracer(self) -> T {
+        self.tracer
     }
 
     /// The round the *next* [`SyncEngine::step`] call will execute.
@@ -149,6 +183,16 @@ impl<M: Clone> SyncEngine<M> {
     /// Sizing consumes no randomness and never alters behaviour.
     pub fn set_msg_sizer(&mut self, sizer: Option<fn(&M) -> usize>) {
         self.sizer = sizer;
+    }
+
+    /// Installs (or clears) the trace message classifier: a pure
+    /// function mapping a message to its coarse [`MsgKind`] for
+    /// send/deliver trace events. Consulted only while the tracer is
+    /// enabled; classification consumes no randomness and never alters
+    /// behaviour. Without one, traced messages stamp
+    /// [`MsgKind::Other`].
+    pub fn set_msg_kind(&mut self, kinder: Option<fn(&M) -> MsgKind>) {
+        self.kinder = kinder;
     }
 
     /// Number of messages queued for delivery (maintained incrementally;
@@ -178,8 +222,24 @@ impl<M: Clone> SyncEngine<M> {
         match effect {
             Effect::Send { to, msg } => {
                 self.stats.record_sent(1);
+                let mut frame_bytes = 0u64;
                 if let Some(size_of) = self.sizer {
-                    self.stats.record_bytes(size_of(&msg) as u64);
+                    frame_bytes = size_of(&msg) as u64;
+                    self.stats.record_bytes(frame_bytes);
+                }
+                if self.tracer.is_enabled() {
+                    let kind = self
+                        .kinder
+                        .map_or(MsgKind::Other, |classify| classify(&msg));
+                    self.tracer.record(
+                        self.round.as_u32(),
+                        from.as_u32(),
+                        EventKind::Send {
+                            to: to.as_u32(),
+                            kind,
+                            bytes: frame_bytes.min(u64::from(u32::MAX)) as u32,
+                        },
+                    );
                 }
                 self.sent_this_round += 1;
                 self.in_flight += 1;
@@ -230,6 +290,10 @@ impl<M: Clone> SyncEngine<M> {
     {
         assert_eq!(nodes.len(), self.current.len(), "population size mismatch");
         let round = self.round;
+        if self.tracer.is_enabled() {
+            self.tracer
+                .record(round.as_u32(), CONDUCTOR, EventKind::RoundStart);
+        }
         let mut sink = std::mem::take(&mut self.sink);
 
         // 1. Status changes relative to the previous observation, with
@@ -240,6 +304,13 @@ impl<M: Clone> SyncEngine<M> {
                 let now_online = online.is_online(peer);
                 if self.prev_online[i] != now_online {
                     self.prev_online[i] = now_online;
+                    if self.tracer.is_enabled() {
+                        self.tracer.record(
+                            round.as_u32(),
+                            peer.as_u32(),
+                            EventKind::Status { online: now_online },
+                        );
+                    }
                     node.on_status_change(now_online, round, rng, &mut sink);
                     self.apply_sink(peer, &mut sink, false);
                 }
@@ -276,6 +347,10 @@ impl<M: Clone> SyncEngine<M> {
         self.timer_barrier = round.next();
         for &(peer, tag) in &due {
             if online.is_online(peer) {
+                if self.tracer.is_enabled() {
+                    self.tracer
+                        .record(round.as_u32(), peer.as_u32(), EventKind::TimerFire { tag });
+                }
                 nodes[peer.index()].on_timer(tag, round, rng, &mut sink);
                 self.apply_sink(peer, &mut sink, false);
             }
@@ -294,13 +369,44 @@ impl<M: Clone> SyncEngine<M> {
                 self.in_flight -= 1;
                 if !online.is_online(to) {
                     self.stats.lost_offline += 1;
+                    if self.tracer.is_enabled() {
+                        self.tracer.record(
+                            round.as_u32(),
+                            to.as_u32(),
+                            EventKind::DropOffline {
+                                from: from.as_u32(),
+                            },
+                        );
+                    }
                     continue;
                 }
                 if !filter.allows(from, to, round, rng) {
                     self.stats.lost_fault += 1;
+                    if self.tracer.is_enabled() {
+                        self.tracer.record(
+                            round.as_u32(),
+                            to.as_u32(),
+                            EventKind::DropLoss {
+                                from: from.as_u32(),
+                            },
+                        );
+                    }
                     continue;
                 }
                 self.stats.delivered += 1;
+                if self.tracer.is_enabled() {
+                    let kind = self
+                        .kinder
+                        .map_or(MsgKind::Other, |classify| classify(&msg));
+                    self.tracer.record(
+                        round.as_u32(),
+                        to.as_u32(),
+                        EventKind::Deliver {
+                            from: from.as_u32(),
+                            kind,
+                        },
+                    );
+                }
                 nodes[i].on_message(from, msg, round, rng, &mut sink);
                 self.apply_sink(to, &mut sink, false);
             }
@@ -311,6 +417,15 @@ impl<M: Clone> SyncEngine<M> {
         // 5. Promote next-round queue and close the round.
         std::mem::swap(&mut self.current, &mut self.next);
         self.stats.close_round(round.as_u32(), self.sent_this_round);
+        if self.tracer.is_enabled() {
+            self.tracer.record(
+                round.as_u32(),
+                CONDUCTOR,
+                EventKind::RoundEnd {
+                    sent: self.sent_this_round,
+                },
+            );
+        }
         self.sent_this_round = 0;
         self.round = round.next();
         self.sink = sink;
@@ -626,6 +741,39 @@ mod tests {
             20,
             "cleared sizer stops accounting"
         );
+    }
+
+    #[test]
+    fn traced_engine_captures_sends_and_deliveries_without_drift() {
+        use rumor_obs::MemTracer;
+        // Untraced reference run.
+        let mut nodes = vec![Forwarder::new(0, Some(1)), Forwarder::new(1, None)];
+        let online = OnlineSet::all_online(2);
+        let mut plain = SyncEngine::new(2);
+        plain.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 5)]);
+        plain.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        let reference = plain.stats().clone();
+
+        // Same run, traced: identical statistics, events captured.
+        let mut nodes = vec![Forwarder::new(0, Some(1)), Forwarder::new(1, None)];
+        let mut engine = SyncEngine::with_tracer(2, MemTracer::new());
+        engine.set_msg_sizer(Some(|_m: &u32| 10));
+        engine.inject(PeerId::new(0), vec![Effect::send(PeerId::new(1), 5)]);
+        engine.step(&mut nodes, &online, &PerfectLinks, &mut rng());
+        assert_eq!(engine.stats().sent, reference.sent);
+        assert_eq!(engine.stats().delivered, reference.delivered);
+        let events = engine.tracer_mut().take();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            vec!["send", "round_start", "deliver", "round_end"],
+            "inject send, then the round frame around the delivery"
+        );
+        let send = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Send { .. }))
+            .unwrap();
+        assert!(matches!(send.kind, EventKind::Send { bytes: 10, .. }));
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! Derived analysis over a captured event stream.
+//!
+//! The paper's figures are *dynamics* — fraction-aware-per-round curves,
+//! push die-out, pull repair. This module reconstructs those dynamics
+//! from the raw trace: cumulative awareness per round, per-round
+//! frame/byte series, and the dissemination tree (who infected whom)
+//! for each tracked update.
+
+use crate::event::{EventKind, TraceEvent};
+use rumor_metrics::RoundSeries;
+use std::collections::BTreeMap;
+
+/// Distinct update indices appearing in `events` (initiations and
+/// awareness observations), ascending.
+pub fn updates(events: &[TraceEvent]) -> Vec<u32> {
+    let mut ids: Vec<u32> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Initiate { update } | EventKind::Aware { update } => Some(update),
+            _ => None,
+        })
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// Cumulative number of nodes aware of `update` after each round in
+/// which awareness grew (the initiator counts from its initiation
+/// round). This is the paper's awareness curve in absolute counts;
+/// normalise by the population for fractions.
+pub fn awareness_curve(events: &[TraceEvent], update: u32) -> RoundSeries {
+    let mut series = RoundSeries::new("nodes aware");
+    let mut aware = 0u64;
+    let mut per_round: BTreeMap<u32, u64> = BTreeMap::new();
+    for e in events {
+        let hit = match e.kind {
+            EventKind::Initiate { update: u } | EventKind::Aware { update: u } => u == update,
+            _ => false,
+        };
+        if hit {
+            *per_round.entry(e.round).or_insert(0) += 1;
+        }
+    }
+    for (round, grew) in per_round {
+        aware += grew;
+        series.record(round, aware as f64);
+    }
+    series
+}
+
+/// Messages/frames handed to the transport per round.
+pub fn sends_per_round(events: &[TraceEvent]) -> RoundSeries {
+    per_round_series(events, "sends", |kind| match kind {
+        EventKind::Send { .. } => Some(1),
+        _ => None,
+    })
+}
+
+/// Encoded wire bytes handed to the transport per round (all zero when
+/// no sizer was installed).
+pub fn bytes_per_round(events: &[TraceEvent]) -> RoundSeries {
+    per_round_series(events, "bytes", |kind| match kind {
+        EventKind::Send { bytes, .. } => Some(u64::from(*bytes)),
+        _ => None,
+    })
+}
+
+fn per_round_series(
+    events: &[TraceEvent],
+    name: &str,
+    weigh: impl Fn(&EventKind) -> Option<u64>,
+) -> RoundSeries {
+    let mut per_round: BTreeMap<u32, u64> = BTreeMap::new();
+    for e in events {
+        if let Some(w) = weigh(&e.kind) {
+            *per_round.entry(e.round).or_insert(0) += w;
+        }
+    }
+    let mut series = RoundSeries::new(name);
+    for (round, v) in per_round {
+        series.record(round, v as f64);
+    }
+    series
+}
+
+/// One edge of a dissemination tree: `node` first learned of the update
+/// in `round`, infected by `parent` (`None` for the initiator, or when
+/// the trace shows no delivery in the awareness round — e.g. the node
+/// repaired itself from replica state on restart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeEdge {
+    /// The node that became aware.
+    pub node: u32,
+    /// The first-delivery parent, if one is visible in the trace.
+    pub parent: Option<u32>,
+    /// The round awareness was first observed.
+    pub round: u32,
+}
+
+/// Reconstructs the dissemination tree of `update`: for every node the
+/// round it first became aware and the *first-delivery parent* — the
+/// sender of the first message delivered to it during that round. Edges
+/// are ordered by `(round, node)`.
+pub fn dissemination_tree(events: &[TraceEvent], update: u32) -> Vec<TreeEdge> {
+    // First awareness round per node (initiation counts as awareness).
+    let mut first_aware: BTreeMap<u32, (u32, bool)> = BTreeMap::new();
+    for e in events {
+        let (initiated, hit) = match e.kind {
+            EventKind::Initiate { update: u } => (true, u == update),
+            EventKind::Aware { update: u } => (false, u == update),
+            _ => (false, false),
+        };
+        if hit {
+            first_aware.entry(e.node).or_insert((e.round, initiated));
+        }
+    }
+    // First delivery per (node, round), by capture sequence.
+    let mut first_delivery: BTreeMap<(u32, u32), (u32, u32)> = BTreeMap::new();
+    for e in events {
+        if let EventKind::Deliver { from, .. } = e.kind {
+            let slot = first_delivery
+                .entry((e.node, e.round))
+                .or_insert((e.seq, from));
+            if e.seq < slot.0 {
+                *slot = (e.seq, from);
+            }
+        }
+    }
+    let mut edges: Vec<TreeEdge> = first_aware
+        .into_iter()
+        .map(|(node, (round, initiated))| TreeEdge {
+            node,
+            parent: if initiated {
+                None
+            } else {
+                first_delivery.get(&(node, round)).map(|&(_, from)| from)
+            },
+            round,
+        })
+        .collect();
+    edges.sort_by_key(|e| (e.round, e.node));
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MsgKind;
+
+    fn ev(round: u32, node: u32, seq: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            round,
+            node,
+            seq,
+            kind,
+        }
+    }
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            ev(0, 0, 0, EventKind::Initiate { update: 0 }),
+            ev(
+                0,
+                0,
+                1,
+                EventKind::Send {
+                    to: 1,
+                    kind: MsgKind::Push,
+                    bytes: 100,
+                },
+            ),
+            ev(
+                1,
+                1,
+                0,
+                EventKind::Deliver {
+                    from: 0,
+                    kind: MsgKind::Push,
+                },
+            ),
+            ev(1, 1, 1, EventKind::Aware { update: 0 }),
+            ev(
+                1,
+                1,
+                2,
+                EventKind::Send {
+                    to: 2,
+                    kind: MsgKind::Push,
+                    bytes: 60,
+                },
+            ),
+            ev(
+                2,
+                2,
+                0,
+                EventKind::Deliver {
+                    from: 1,
+                    kind: MsgKind::Push,
+                },
+            ),
+            ev(2, 2, 1, EventKind::Aware { update: 0 }),
+        ]
+    }
+
+    #[test]
+    fn awareness_curve_accumulates() {
+        let curve = awareness_curve(&sample(), 0);
+        let points: Vec<(u32, f64)> = curve.points().iter().map(|p| (p.round, p.value)).collect();
+        assert_eq!(points, vec![(0, 1.0), (1, 2.0), (2, 3.0)]);
+        assert!(awareness_curve(&sample(), 9).points().is_empty());
+    }
+
+    #[test]
+    fn per_round_series_sum_sends_and_bytes() {
+        let sends = sends_per_round(&sample());
+        assert_eq!(sends.points().len(), 2);
+        assert_eq!(sends.total(), 2.0);
+        let bytes = bytes_per_round(&sample());
+        assert_eq!(bytes.total(), 160.0);
+        assert_eq!(bytes.points()[0].value, 100.0);
+    }
+
+    #[test]
+    fn tree_assigns_first_delivery_parents() {
+        let edges = dissemination_tree(&sample(), 0);
+        assert_eq!(
+            edges,
+            vec![
+                TreeEdge {
+                    node: 0,
+                    parent: None,
+                    round: 0
+                },
+                TreeEdge {
+                    node: 1,
+                    parent: Some(0),
+                    round: 1
+                },
+                TreeEdge {
+                    node: 2,
+                    parent: Some(1),
+                    round: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn updates_lists_distinct_indices() {
+        let mut events = sample();
+        events.push(ev(3, 3, 0, EventKind::Initiate { update: 2 }));
+        assert_eq!(updates(&events), vec![0, 2]);
+    }
+}

@@ -1,0 +1,169 @@
+//! A minimal hand-rolled JSON writer for trace artefacts.
+//!
+//! The workspace deliberately has no JSON dependency; like the bench and
+//! fuzz crates, `rumor-obs` writes its artefacts through its own tiny
+//! model. Only emission is needed here (traces are produced, never
+//! parsed back), so the model is write-only: insertion-ordered objects,
+//! 2-space pretty printing, plus a [`Json::Raw`] escape hatch that lets
+//! a pre-rendered compact value (one trace event per line) embed inside
+//! a pretty document.
+
+use std::fmt::Write as _;
+
+/// A JSON value for emission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer (rounds, counts, seeds).
+    UInt(u64),
+    /// A float, rendered like Rust's `{}` (used by derived series).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+    /// A pre-rendered JSON fragment emitted verbatim.
+    Raw(String),
+}
+
+impl Json {
+    /// Convenience constructor for an object from `(key, value)` pairs.
+    pub fn obj<const N: usize>(entries: [(&str, Json); N]) -> Self {
+        Self::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    /// Convenience constructor for a string value.
+    pub fn str(s: &str) -> Self {
+        Self::Str(s.to_owned())
+    }
+
+    /// Renders with 2-space indentation and a stable layout.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Self::Null => out.push_str("null"),
+            Self::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Self::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Self::Num(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    let _ = write!(out, "{x:.1}");
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Self::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            Self::Raw(s) => out.push_str(s),
+            Self::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Self::Obj(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    out.push('"');
+                    escape_into(key, out);
+                    out.push_str("\": ");
+                    value.write(out, indent + 1);
+                    if i + 1 < entries.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+/// Appends `s` to `out` with JSON string escaping.
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_stable_layout() {
+        let doc = Json::obj([
+            ("schema", Json::str("rumor-obs/trace/v1")),
+            ("n", Json::UInt(3)),
+            ("f", Json::Num(0.5)),
+            ("whole", Json::Num(2.0)),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            ("empty", Json::Arr(vec![])),
+            (
+                "events",
+                Json::Arr(vec![Json::Raw("{\"round\":0}".to_owned())]),
+            ),
+        ]);
+        let expected = "{\n  \"schema\": \"rumor-obs/trace/v1\",\n  \"n\": 3,\n  \"f\": 0.5,\n  \"whole\": 2.0,\n  \"flag\": true,\n  \"none\": null,\n  \"empty\": [],\n  \"events\": [\n    {\"round\":0}\n  ]\n}";
+        assert_eq!(doc.pretty(), expected);
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let doc = Json::str("a\"b\\c\nd\u{1}");
+        assert_eq!(doc.pretty(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,179 @@
+//! A per-node counter/histogram registry folded from the event stream.
+
+use crate::event::{EventKind, TraceEvent, CONDUCTOR};
+use rumor_metrics::{CounterSet, Histogram};
+use std::collections::BTreeMap;
+
+/// Per-node counters plus a frame-size histogram, built incrementally
+/// from captured [`TraceEvent`]s (see
+/// [`MemTracer::registry`](crate::MemTracer::registry)) and foldable
+/// into run-level reports via [`Registry::totals`].
+#[derive(Debug, Clone)]
+pub struct Registry {
+    per_node: BTreeMap<u32, CounterSet>,
+    frame_bytes: Histogram,
+}
+
+/// Counter names used by [`Registry::observe`].
+const SENT: &str = "sent";
+const DELIVERED: &str = "delivered";
+const DROPPED_OFFLINE: &str = "dropped_offline";
+const DROPPED_LOSS: &str = "dropped_loss";
+const TIMERS: &str = "timers";
+const CRASHES: &str = "crashes";
+const RESTARTS: &str = "restarts";
+const TAMPERED: &str = "tampered";
+const BYTES: &str = "bytes_sent";
+
+impl Registry {
+    /// Creates an empty registry. The frame-size histogram covers
+    /// `[0, 4096)` bytes in 64-byte cells — every frame in the tree fits
+    /// well inside, and larger ones land in the overflow bucket without
+    /// losing the count.
+    pub fn new() -> Self {
+        Self {
+            per_node: BTreeMap::new(),
+            frame_bytes: Histogram::new(0.0, 4096.0, 64),
+        }
+    }
+
+    /// Folds one event into the per-node counters.
+    pub fn observe(&mut self, event: &TraceEvent) {
+        let (name, delta) = match event.kind {
+            EventKind::Send { bytes, .. } => {
+                self.frame_bytes.record(f64::from(bytes));
+                if bytes > 0 {
+                    self.node_mut(event.node).add(BYTES, u64::from(bytes));
+                }
+                (SENT, 1)
+            }
+            EventKind::Deliver { .. } => (DELIVERED, 1),
+            EventKind::DropOffline { .. } => (DROPPED_OFFLINE, 1),
+            EventKind::DropLoss { .. } => (DROPPED_LOSS, 1),
+            EventKind::TimerFire { .. } => (TIMERS, 1),
+            EventKind::Crash => (CRASHES, 1),
+            EventKind::Restart => (RESTARTS, 1),
+            EventKind::Tamper => (TAMPERED, 1),
+            _ => return,
+        };
+        self.node_mut(event.node).add(name, delta);
+    }
+
+    fn node_mut(&mut self, node: u32) -> &mut CounterSet {
+        self.per_node.entry(node).or_default()
+    }
+
+    /// The counters of one node, if it produced any counted event.
+    pub fn node(&self, node: u32) -> Option<&CounterSet> {
+        self.per_node.get(&node)
+    }
+
+    /// Iterates `(node, counters)` in ascending node order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &CounterSet)> {
+        self.per_node.iter().map(|(&n, c)| (n, c))
+    }
+
+    /// Number of nodes with at least one counted event.
+    pub fn node_count(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// True when no counted event was observed.
+    pub fn is_empty(&self) -> bool {
+        self.per_node.is_empty()
+    }
+
+    /// The frame-size histogram over every sized send.
+    pub const fn frame_bytes(&self) -> &Histogram {
+        &self.frame_bytes
+    }
+
+    /// Folds every node's counters (conductor included) into one set —
+    /// the shape existing reports consume.
+    pub fn totals(&self) -> CounterSet {
+        let mut total = CounterSet::new();
+        for counters in self.per_node.values() {
+            total.merge(counters);
+        }
+        total
+    }
+
+    /// Folds only real-node counters, excluding [`CONDUCTOR`] events.
+    pub fn node_totals(&self) -> CounterSet {
+        let mut total = CounterSet::new();
+        for (&node, counters) in &self.per_node {
+            if node != CONDUCTOR {
+                total.merge(counters);
+            }
+        }
+        total
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MsgKind;
+
+    fn ev(round: u32, node: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            round,
+            node,
+            seq: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn folds_sends_and_drops_per_node() {
+        let mut r = Registry::new();
+        r.observe(&ev(
+            0,
+            1,
+            EventKind::Send {
+                to: 2,
+                kind: MsgKind::Push,
+                bytes: 100,
+            },
+        ));
+        r.observe(&ev(
+            1,
+            2,
+            EventKind::Deliver {
+                from: 1,
+                kind: MsgKind::Push,
+            },
+        ));
+        r.observe(&ev(1, 3, EventKind::DropLoss { from: 1 }));
+        assert_eq!(r.node(1).unwrap().get("sent"), 1);
+        assert_eq!(r.node(1).unwrap().get("bytes_sent"), 100);
+        assert_eq!(r.node(2).unwrap().get("delivered"), 1);
+        assert_eq!(r.node(3).unwrap().get("dropped_loss"), 1);
+        assert_eq!(r.totals().get("sent"), 1);
+        assert_eq!(r.frame_bytes().count(), 1);
+        assert_eq!(r.node_count(), 3);
+    }
+
+    #[test]
+    fn round_boundaries_are_not_counted() {
+        let mut r = Registry::new();
+        r.observe(&ev(0, CONDUCTOR, EventKind::RoundStart));
+        r.observe(&ev(0, CONDUCTOR, EventKind::RoundEnd { sent: 5 }));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn node_totals_exclude_the_conductor() {
+        let mut r = Registry::new();
+        r.observe(&ev(0, CONDUCTOR, EventKind::Crash));
+        r.observe(&ev(0, 4, EventKind::Crash));
+        assert_eq!(r.totals().get("crashes"), 2);
+        assert_eq!(r.node_totals().get("crashes"), 1);
+    }
+}

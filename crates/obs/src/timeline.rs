@@ -1,0 +1,143 @@
+//! A text timeline renderer over a [`TraceDoc`].
+
+use crate::event::{EventKind, TraceEvent, CONDUCTOR};
+use crate::trace::TraceDoc;
+use std::fmt::Write as _;
+
+/// Renders a round-by-round text timeline: per-round traffic totals
+/// plus every discrete lifecycle event (churn transitions, crashes,
+/// restarts, timers, initiations, first-awareness observations,
+/// tampering). Deterministic for a canonical trace; intended for
+/// humans, not machines — the JSON artefact is the machine surface.
+pub fn render_timeline(doc: &TraceDoc) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace {:?} seed={} population={} rounds={} events={}",
+        doc.label,
+        doc.seed,
+        doc.population,
+        doc.rounds(),
+        doc.events.len()
+    );
+    let mut i = 0usize;
+    while i < doc.events.len() {
+        let round = doc.events[i].round;
+        let mut j = i;
+        while j < doc.events.len() && doc.events[j].round == round {
+            j += 1;
+        }
+        render_round(&mut out, round, &doc.events[i..j]);
+        i = j;
+    }
+    out
+}
+
+fn render_round(out: &mut String, round: u32, events: &[TraceEvent]) {
+    let mut sends = 0u64;
+    let mut bytes = 0u64;
+    let mut delivered = 0u64;
+    let mut drop_offline = 0u64;
+    let mut drop_loss = 0u64;
+    for e in events {
+        match e.kind {
+            EventKind::Send { bytes: b, .. } => {
+                sends += 1;
+                bytes += u64::from(b);
+            }
+            EventKind::Deliver { .. } => delivered += 1,
+            EventKind::DropOffline { .. } => drop_offline += 1,
+            EventKind::DropLoss { .. } => drop_loss += 1,
+            _ => {}
+        }
+    }
+    let _ = writeln!(
+        out,
+        "round {round:>4}  sent={sends} bytes={bytes} delivered={delivered} \
+         drop_offline={drop_offline} drop_loss={drop_loss}"
+    );
+    for e in events {
+        let who = |node: u32| {
+            if node == CONDUCTOR {
+                "conductor".to_owned()
+            } else {
+                format!("node {node}")
+            }
+        };
+        match e.kind {
+            EventKind::Status { online } => {
+                let _ = writeln!(
+                    out,
+                    "  {} went {}",
+                    who(e.node),
+                    if online { "online" } else { "offline" }
+                );
+            }
+            EventKind::Crash => {
+                let _ = writeln!(out, "  {} crashed", who(e.node));
+            }
+            EventKind::Restart => {
+                let _ = writeln!(out, "  {} restarted", who(e.node));
+            }
+            EventKind::TimerFire { tag } => {
+                let _ = writeln!(out, "  {} timer fired (tag {tag})", who(e.node));
+            }
+            EventKind::Tamper => {
+                let _ = writeln!(out, "  {} traffic tampered", who(e.node));
+            }
+            EventKind::Initiate { update } => {
+                let _ = writeln!(out, "  {} initiated update {update}", who(e.node));
+            }
+            EventKind::Aware { update } => {
+                let _ = writeln!(out, "  {} became aware of update {update}", who(e.node));
+            }
+            EventKind::Probe { online, aware } => {
+                let _ = writeln!(out, "  probe: {aware}/{online} online nodes aware");
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MsgKind;
+
+    #[test]
+    fn renders_rounds_and_lifecycle_lines() {
+        let doc = TraceDoc::new(
+            "t",
+            1,
+            2,
+            vec![
+                TraceEvent {
+                    round: 0,
+                    node: 0,
+                    seq: 0,
+                    kind: EventKind::Initiate { update: 0 },
+                },
+                TraceEvent {
+                    round: 0,
+                    node: 0,
+                    seq: 1,
+                    kind: EventKind::Send {
+                        to: 1,
+                        kind: MsgKind::Push,
+                        bytes: 50,
+                    },
+                },
+                TraceEvent {
+                    round: 1,
+                    node: 1,
+                    seq: 0,
+                    kind: EventKind::Status { online: false },
+                },
+            ],
+        );
+        let text = render_timeline(&doc);
+        assert!(text.contains("round    0  sent=1 bytes=50"));
+        assert!(text.contains("node 0 initiated update 0"));
+        assert!(text.contains("node 1 went offline"));
+    }
+}

@@ -167,8 +167,10 @@ mod tests {
                         .sum(),
                     total_messages: driver.messages(),
                     total_bytes: driver.bytes_sent(),
+                    total_wasted: driver.stats().wasted(),
                     initial_online: driver.initial_online(),
                     per_round: Vec::new(),
+                    per_round_sent: driver.stats().per_round_sent().clone(),
                 }
             });
             for (i, report) in reports.iter().enumerate() {

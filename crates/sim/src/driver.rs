@@ -24,6 +24,7 @@ use rumor_churn::{Churn, OnlineSet};
 use rumor_core::{ReplicaPeer, Value};
 use rumor_metrics::ConvergenceDetector;
 use rumor_net::{EffectSink, EngineStats, LinkFilter, Node, SyncEngine};
+use rumor_obs::{EventKind, MsgKind, NopTracer, Tracer, CONDUCTOR};
 use rumor_types::{PeerId, Round, UpdateId};
 
 /// A pure function returning a message's encoded wire-frame size —
@@ -37,6 +38,10 @@ pub type WireSizer<M> = fn(&M) -> usize;
 /// vocabulary (the paper peer's liar answers pull digests with "you are
 /// missing nothing").
 pub type MsgTamper<M> = fn(&M) -> Option<M>;
+
+/// A pure classifier mapping a protocol message to the coarse
+/// [`MsgKind`] stamped on send/deliver trace events.
+pub type MsgKinder<M> = fn(&M) -> MsgKind;
 
 /// A factory that mounts one dissemination protocol into a
 /// [`Scenario`](crate::Scenario): it spawns nodes, initiates scheduled
@@ -99,6 +104,15 @@ pub trait Protocol {
     /// members of such a protocol can still replay stale frames and
     /// push corrupt ones, which need no message-type knowledge.
     fn byzantine_liar(&self) -> Option<MsgTamper<<Self::Node as Node>::Msg>> {
+        None
+    }
+
+    /// The trace message classifier for this protocol's message type —
+    /// a pure function mapping a message to the coarse
+    /// [`MsgKind`] stamped on send/deliver trace events. Consulted only
+    /// while a tracer is enabled; the default `None` stamps
+    /// [`MsgKind::Other`].
+    fn trace_msg_kind(&self) -> Option<MsgKinder<<Self::Node as Node>::Msg>> {
         None
     }
 }
@@ -167,6 +181,17 @@ impl Protocol for PaperProtocol {
         Some(rumor_wire::frame_len::<rumor_core::Message>)
     }
 
+    fn trace_msg_kind(&self) -> Option<fn(&rumor_core::Message) -> MsgKind> {
+        Some(|msg| match msg {
+            rumor_core::Message::Push(_) => MsgKind::Push,
+            rumor_core::Message::PullRequest { .. } => MsgKind::PullRequest,
+            rumor_core::Message::PullResponse { .. } => MsgKind::PullResponse,
+            rumor_core::Message::Ack { .. } => MsgKind::Ack,
+            rumor_core::Message::PullSince { .. } => MsgKind::DeltaRequest,
+            rumor_core::Message::DeltaResponse { .. } => MsgKind::DeltaResponse,
+        })
+    }
+
     fn byzantine_liar(&self) -> Option<MsgTamper<rumor_core::Message>> {
         // The paper's pull phase is the repair channel: an offline-again
         // replica hands its version digest to a peer and trusts the
@@ -201,11 +226,11 @@ impl Protocol for PaperProtocol {
 ///
 /// Build one by mounting a [`Protocol`] into a
 /// [`Scenario`](crate::Scenario) via [`Scenario::drive`](crate::Scenario::drive).
-pub struct Driver<N: Node> {
+pub struct Driver<N: Node, T = NopTracer> {
     nodes: Vec<N>,
     online: OnlineSet,
     churn: Box<dyn Churn>,
-    engine: SyncEngine<N::Msg>,
+    engine: SyncEngine<N::Msg, T>,
     filter: Box<dyn LinkFilter>,
     proto_rng: ChaCha8Rng,
     churn_rng: ChaCha8Rng,
@@ -214,9 +239,12 @@ pub struct Driver<N: Node> {
     rounds_run: u32,
     /// Scratch sink for out-of-round effect injection (initiations).
     sink: EffectSink<N::Msg>,
+    /// Dense per-trace update indices, in initiation order; populated
+    /// only while a tracer is enabled.
+    traced_updates: Vec<UpdateId>,
 }
 
-impl<N: Node> std::fmt::Debug for Driver<N> {
+impl<N: Node, T> std::fmt::Debug for Driver<N, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Driver")
             .field("population", &self.nodes.len())
@@ -227,10 +255,11 @@ impl<N: Node> std::fmt::Debug for Driver<N> {
 }
 
 impl<N: Node> Driver<N> {
-    /// Assembles a driver from fully-constructed parts. Most callers
-    /// should go through [`Scenario::drive`](crate::Scenario::drive);
-    /// this is the low-level mount point for wrappers that manage their
-    /// own random streams (e.g. `BaselineSim`'s legacy constructor).
+    /// Assembles an untraced driver from fully-constructed parts. Most
+    /// callers should go through
+    /// [`Scenario::drive`](crate::Scenario::drive); this is the
+    /// low-level mount point for wrappers that manage their own random
+    /// streams (e.g. `BaselineSim`'s legacy constructor).
     pub fn assemble(
         nodes: Vec<N>,
         online: OnlineSet,
@@ -240,13 +269,41 @@ impl<N: Node> Driver<N> {
         churn_rng: ChaCha8Rng,
         convergence: ConvergenceSpec,
     ) -> Self {
+        Self::assemble_traced(
+            nodes,
+            online,
+            churn,
+            filter,
+            proto_rng,
+            churn_rng,
+            convergence,
+            NopTracer,
+        )
+    }
+}
+
+impl<N: Node, T: Tracer> Driver<N, T> {
+    /// Assembles a driver whose engine captures structured events into
+    /// `tracer`. Tracing consumes no randomness: the traced run is
+    /// bit-identical to the untraced one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble_traced(
+        nodes: Vec<N>,
+        online: OnlineSet,
+        churn: Box<dyn Churn>,
+        filter: Box<dyn LinkFilter>,
+        proto_rng: ChaCha8Rng,
+        churn_rng: ChaCha8Rng,
+        convergence: ConvergenceSpec,
+        tracer: T,
+    ) -> Self {
         let population = nodes.len();
         let initial_online = online.online_count();
         Self {
             nodes,
             online,
             churn,
-            engine: SyncEngine::new(population),
+            engine: SyncEngine::with_tracer(population, tracer),
             filter,
             proto_rng,
             churn_rng,
@@ -254,6 +311,35 @@ impl<N: Node> Driver<N> {
             initial_online,
             rounds_run: 0,
             sink: EffectSink::new(),
+            traced_updates: Vec::new(),
+        }
+    }
+
+    /// The engine's tracer.
+    pub fn tracer(&self) -> &T {
+        self.engine.tracer()
+    }
+
+    /// Mutable access to the engine's tracer (e.g. to drain a
+    /// [`rumor_obs::MemTracer`] capture).
+    pub fn tracer_mut(&mut self) -> &mut T {
+        self.engine.tracer_mut()
+    }
+
+    /// Consumes the driver, returning the tracer with its capture.
+    pub fn into_tracer(self) -> T {
+        self.engine.into_tracer()
+    }
+
+    /// The dense trace index of `update`, assigning the next one on
+    /// first sight (indices follow initiation order).
+    fn trace_update_index(&mut self, update: UpdateId) -> u32 {
+        match self.traced_updates.iter().position(|&u| u == update) {
+            Some(i) => i as u32,
+            None => {
+                self.traced_updates.push(update);
+                (self.traced_updates.len() - 1) as u32
+            }
         }
     }
 
@@ -321,6 +407,15 @@ impl<N: Node> Driver<N> {
         self.engine.set_msg_sizer(sizer);
     }
 
+    /// Installs (or clears) the engine's trace message classifier.
+    /// Normally set automatically by
+    /// [`Scenario::drive`](crate::Scenario::drive) from
+    /// [`Protocol::trace_msg_kind`]; consulted only while a tracer is
+    /// enabled.
+    pub fn set_msg_kind(&mut self, kinder: Option<fn(&N::Msg) -> MsgKind>) {
+        self.engine.set_msg_kind(kinder);
+    }
+
     /// Messages per initially-online node.
     pub fn messages_per_initial_online(&self) -> f64 {
         if self.initial_online == 0 {
@@ -372,11 +467,11 @@ impl<N: Node> Driver<N> {
     /// # Panics
     ///
     /// Panics if `at` is outside the population.
-    pub fn apply<T>(
+    pub fn apply<R>(
         &mut self,
         at: PeerId,
-        f: impl FnOnce(&mut N, &mut ChaCha8Rng, &mut EffectSink<N::Msg>) -> T,
-    ) -> T {
+        f: impl FnOnce(&mut N, &mut ChaCha8Rng, &mut EffectSink<N::Msg>) -> R,
+    ) -> R {
         let mut sink = std::mem::take(&mut self.sink);
         let out = f(&mut self.nodes[at.index()], &mut self.proto_rng, &mut sink);
         self.engine.inject(at, sink.drain());
@@ -403,6 +498,14 @@ impl<N: Node> Driver<N> {
             &mut self.proto_rng,
             &mut sink,
         );
+        if self.engine.tracer().is_enabled() {
+            let index = self.trace_update_index(update);
+            self.engine.tracer_mut().record(
+                round.as_u32(),
+                id.as_u32(),
+                EventKind::Initiate { update: index },
+            );
+        }
         self.engine.inject(id, sink.drain());
         self.sink = sink;
         Some(update)
@@ -508,12 +611,48 @@ impl<N: Node> Driver<N> {
         let c = self.convergence;
         let mut detector = ConvergenceDetector::new(c.epsilon, c.patience, c.target);
         let start_round = self.rounds_run;
+        // Per-node awareness snapshot for first-awareness trace events;
+        // nodes already aware before tracking (the initiator) emit no
+        // `Aware` event — their `Initiate` marks them.
+        let tracing = self.engine.tracer().is_enabled();
+        let mut aware_snapshot = vec![false; if tracing { self.nodes.len() } else { 0 }];
+        let trace_index = if tracing {
+            Some(self.trace_update_index(update))
+        } else {
+            None
+        };
+        if tracing {
+            for (i, node) in self.nodes.iter().enumerate() {
+                aware_snapshot[i] = protocol.is_aware(node, update);
+            }
+        }
         while self.rounds_run - start_round < max_rounds {
             if self.engine.is_quiescent() && self.rounds_run > start_round {
                 break;
             }
             self.step();
             let obs = self.observe(protocol, update);
+            if let Some(index) = trace_index {
+                let executed = self.rounds_run - 1;
+                for (i, aware) in aware_snapshot.iter_mut().enumerate() {
+                    if !*aware && protocol.is_aware(&self.nodes[i], update) {
+                        *aware = true;
+                        self.engine.tracer_mut().record(
+                            executed,
+                            i as u32,
+                            EventKind::Aware { update: index },
+                        );
+                    }
+                }
+                self.engine.tracer_mut().record(
+                    executed,
+                    CONDUCTOR,
+                    EventKind::Probe {
+                        online: obs.online as u32,
+                        aware: obs.aware_online as u32,
+                    },
+                );
+            }
             let f_aware = obs.f_aware;
             per_round.push(obs);
             if detector.observe(f_aware) {
@@ -527,8 +666,10 @@ impl<N: Node> Driver<N> {
             protocol_messages: self.protocol_messages(protocol),
             total_messages: self.engine.stats().sent,
             total_bytes: self.engine.stats().bytes_sent,
+            total_wasted: self.engine.stats().wasted(),
             initial_online: self.initial_online,
             per_round,
+            per_round_sent: self.engine.stats().per_round_sent().clone(),
         }
     }
 

@@ -57,7 +57,7 @@ mod workload;
 
 pub use builder::SimulationBuilder;
 pub use consistency::{awareness, consistency_fraction, staleness_by_peer};
-pub use driver::{Driver, MsgTamper, PaperProtocol, Protocol, WireSizer};
+pub use driver::{Driver, MsgKinder, MsgTamper, PaperProtocol, Protocol, WireSizer};
 pub use error::SimError;
 pub use replicate::{Experiment, ReplicatedReport, Replication};
 pub use report::{

@@ -37,6 +37,10 @@ pub struct PushReport {
     pub total_messages: u64,
     /// Duplicate push deliveries observed by peers.
     pub duplicates: u64,
+    /// Messages that reached nobody — lost to an offline target or a
+    /// link fault (cumulative engine total,
+    /// [`EngineStats::wasted`](rumor_net::EngineStats::wasted)).
+    pub wasted: u64,
     /// Initial online population (normalisation denominator).
     pub initial_online: usize,
     /// Per-round trace.
@@ -44,6 +48,15 @@ pub struct PushReport {
 }
 
 impl PushReport {
+    /// Fraction of sent messages that reached nobody.
+    pub fn wasted_fraction(&self) -> f64 {
+        if self.total_messages == 0 {
+            0.0
+        } else {
+            self.wasted as f64 / self.total_messages as f64
+        }
+    }
+
     /// Push messages per initially-online peer — the y axis of the
     /// paper's figures.
     pub fn messages_per_initial_online(&self) -> f64 {
@@ -90,10 +103,18 @@ pub struct RunReport {
     /// [`Protocol::wire_sizer`](crate::Protocol::wire_sizer) (0 when the
     /// protocol has no wire codec).
     pub total_bytes: u64,
+    /// Messages that reached nobody — lost to an offline target or a
+    /// link fault (cumulative engine total,
+    /// [`EngineStats::wasted`](rumor_net::EngineStats::wasted)).
+    pub total_wasted: u64,
     /// Initial online population (normalisation denominator).
     pub initial_online: usize,
     /// Per-round trace.
     pub per_round: Vec<RoundObservation>,
+    /// Per-round sent-message series over the driver's lifetime
+    /// ([`EngineStats::per_round_sent`](rumor_net::EngineStats::per_round_sent),
+    /// previously collected but unpublished).
+    pub per_round_sent: RoundSeries,
 }
 
 impl RunReport {
@@ -103,6 +124,15 @@ impl RunReport {
             0.0
         } else {
             self.total_messages as f64 / self.initial_online as f64
+        }
+    }
+
+    /// Fraction of sent messages that reached nobody.
+    pub fn wasted_fraction(&self) -> f64 {
+        if self.total_messages == 0 {
+            0.0
+        } else {
+            self.total_wasted as f64 / self.total_messages as f64
         }
     }
 
@@ -241,11 +271,13 @@ mod tests {
             push_messages: 10,
             total_messages: 10,
             duplicates: 0,
+            wasted: 5,
             initial_online: 0,
             per_round: Vec::new(),
         };
         assert_eq!(r.messages_per_initial_online(), 0.0);
         assert!(r.awareness_cost_series().is_empty());
+        assert!((r.wasted_fraction() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -302,6 +334,7 @@ mod tests {
             push_messages: 20,
             total_messages: 30,
             duplicates: 2,
+            wasted: 0,
             initial_online: 10,
             per_round: vec![RoundObservation {
                 round: 0,

@@ -147,6 +147,7 @@ impl Simulation {
                 .iter()
                 .map(|p| p.stats().duplicates_received)
                 .sum(),
+            wasted: run.total_wasted,
             initial_online: run.initial_online,
             per_round: run.per_round,
         }

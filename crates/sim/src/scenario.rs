@@ -50,6 +50,7 @@ use rand_chacha::ChaCha8Rng;
 use rumor_churn::{Churn, OnlineSet, StaticChurn};
 use rumor_core::ProtocolConfig;
 use rumor_net::{topology, BernoulliLoss, LinkFilter, Partition, PerfectLinks};
+use rumor_obs::{NopTracer, Tracer};
 use rumor_types::{derive_seed, PeerId};
 use serde::{Deserialize, Serialize};
 
@@ -216,6 +217,27 @@ impl Scenario {
         protocol: &P,
         churn: Box<dyn Churn>,
     ) -> Driver<P::Node> {
+        self.drive_traced_with_churn(protocol, churn, NopTracer)
+    }
+
+    /// Like [`Scenario::drive`] but capturing structured trace events
+    /// into `tracer`. Tracing consumes no randomness, so the traced run
+    /// replays the untraced one bit for bit.
+    pub fn drive_traced<P: Protocol, T: Tracer>(
+        &self,
+        protocol: &P,
+        tracer: T,
+    ) -> Driver<P::Node, T> {
+        self.drive_traced_with_churn(protocol, (self.churn)(), tracer)
+    }
+
+    /// The fully general mount: explicit churn instance and tracer.
+    pub fn drive_traced_with_churn<P: Protocol, T: Tracer>(
+        &self,
+        protocol: &P,
+        churn: Box<dyn Churn>,
+        tracer: T,
+    ) -> Driver<P::Node, T> {
         let adjacency = self.adjacency();
         let online = self.initial_online_set();
         let mut nodes = Vec::with_capacity(self.population);
@@ -223,7 +245,7 @@ impl Scenario {
             let id = PeerId::new(i as u32);
             nodes.push(protocol.spawn(id, known, online.is_online(id)));
         }
-        let mut driver = Driver::assemble(
+        let mut driver = Driver::assemble_traced(
             nodes,
             online,
             churn,
@@ -231,8 +253,10 @@ impl Scenario {
             ChaCha8Rng::seed_from_u64(derive_seed(self.seed, "protocol")),
             ChaCha8Rng::seed_from_u64(derive_seed(self.seed, "churn")),
             self.convergence,
+            tracer,
         );
         driver.set_msg_sizer(protocol.wire_sizer());
+        driver.set_msg_kind(protocol.trace_msg_kind());
         driver
     }
 

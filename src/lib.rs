@@ -22,6 +22,7 @@
 //! | [`wire`] | `rumor-wire` | versioned, length-prefixed binary wire codec (frames, strict decode) |
 //! | [`cluster`] | `rumor-cluster` | live runtime: sans-IO nodes on OS threads, a sharded worker pool, or virtual time, exchanging encoded frames |
 //! | [`fuzz`] | `rumor-fuzz` | seeded chaos fuzzer: random scenarios + Byzantine peers vs the convergence oracle, replayable records |
+//! | [`obs`] | `rumor-obs` | deterministic structured tracing: `Tracer` sinks, canonical trace merge, dissemination timelines, per-node registry |
 //! | [`baselines`] | `rumor-baselines` | Gnutella, pure flooding, Haas GOSSIP1, Demers anti-entropy & rumor mongering |
 //! | [`pgrid`] | `rumor-pgrid` | the P-Grid trie overlay hosting the protocol |
 //! | [`metrics`] | `rumor-metrics` | counters, series, histograms, tables |
@@ -58,6 +59,7 @@ pub use rumor_core as core;
 pub use rumor_fuzz as fuzz;
 pub use rumor_metrics as metrics;
 pub use rumor_net as net;
+pub use rumor_obs as obs;
 pub use rumor_pgrid as pgrid;
 pub use rumor_sim as sim;
 pub use rumor_types as types;

@@ -9,6 +9,7 @@
 //! issued was answered by a liar claiming nothing was missing.
 
 use rumor::fuzz::{run_batch, ExecutionRecord, FuzzConfig, ReplayVerdict};
+use rumor::obs::{EventKind, MsgKind};
 
 const FIXTURE: &str = include_str!("fixtures/fuzz_record_digest_lie.json");
 
@@ -57,6 +58,68 @@ fn fuzzer_catches_the_planted_violation_from_the_seed_alone() {
         report.violations[0].to_json(),
         FIXTURE,
         "the fuzzer no longer reproduces the committed record"
+    );
+}
+
+#[test]
+fn replayed_trace_pins_where_the_starved_witnesses_lose_honest_repair() {
+    let record = ExecutionRecord::from_json(FIXTURE).expect("fixture parses");
+    let (verdict, _, trace) = record
+        .replay_traced("fuzz-replay-1")
+        .expect("fixture case runs traced");
+    assert_eq!(
+        verdict,
+        ReplayVerdict::Reproduced,
+        "tracing must not perturb the replayed trajectory"
+    );
+    // The traced replay is itself deterministic: a second capture
+    // produces the identical artefact byte for byte.
+    let (_, _, again) = record
+        .replay_traced("fuzz-replay-1")
+        .expect("fixture case runs traced twice");
+    assert_eq!(
+        trace.to_json(),
+        again.to_json(),
+        "replayed trace artefact drifted between runs"
+    );
+
+    // Members that ever tampered with a send are the digest liars; every
+    // other sender is an honest repair source.
+    let liars: std::collections::BTreeSet<u32> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Tamper)
+        .map(|e| e.node)
+        .collect();
+    assert!(!liars.is_empty(), "the fixture's Byzantine block must lie");
+
+    // The recorded divergence starves witnesses 15 and 21 of update 0.
+    // The trace pins the exact round each one last received a pull
+    // response from an *honest* peer — every honest responder they ever
+    // reached was itself starved (an aware honest responder would have
+    // handed them the update), and past the pinned round their repair
+    // traffic is answered exclusively by liars, so awareness can never
+    // reach them again.
+    let last_honest_repair = |witness: u32| -> Option<u32> {
+        trace
+            .events
+            .iter()
+            .filter(|e| e.node == witness)
+            .filter_map(|e| match e.kind {
+                EventKind::Deliver { from, kind }
+                    if (kind == MsgKind::PullResponse || kind == MsgKind::DeltaResponse)
+                        && !liars.contains(&from) =>
+                {
+                    Some(e.round)
+                }
+                _ => None,
+            })
+            .max()
+    };
+    assert_eq!(
+        (last_honest_repair(15), last_honest_repair(21)),
+        (Some(152), Some(166)),
+        "golden: the round each starved witness last heard an honest pull response"
     );
 }
 
